@@ -1,0 +1,64 @@
+//! Microbenchmark behind the paper's §2 complexity argument: per-step
+//! cost of vanilla RNN vs LSTM vs GRU at the paper's dimensions, forward
+//! and backward.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use etsb_nn::{GruCell, LstmCell, Recurrence, RnnCell};
+use etsb_tensor::{init, Matrix};
+
+const INPUT_DIM: usize = 86; // Beers alphabet
+const HIDDEN: usize = 64; // the paper's unit count
+const SEQ_LEN: usize = 16; // typical value length
+
+fn input() -> Matrix {
+    let mut rng = init::seeded_rng(7);
+    init::glorot_uniform(SEQ_LEN, INPUT_DIM, &mut rng)
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_forward_16x86x64");
+    let mut rng = init::seeded_rng(1);
+    let rnn = RnnCell::new(INPUT_DIM, HIDDEN, &mut rng);
+    let lstm = LstmCell::new(INPUT_DIM, HIDDEN, &mut rng);
+    let gru = GruCell::new(INPUT_DIM, HIDDEN, &mut rng);
+    let x = input();
+    group.bench_with_input(BenchmarkId::from_parameter("rnn"), &(), |b, _| {
+        b.iter(|| black_box(rnn.forward_seq(x.clone())))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("lstm"), &(), |b, _| {
+        b.iter(|| black_box(lstm.forward_seq(x.clone())))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("gru"), &(), |b, _| {
+        b.iter(|| black_box(gru.forward_seq(x.clone())))
+    });
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_backward_16x86x64");
+    let mut rng = init::seeded_rng(2);
+    let x = input();
+    let grad = Matrix::full(SEQ_LEN, HIDDEN, 1.0);
+
+    let mut rnn = RnnCell::new(INPUT_DIM, HIDDEN, &mut rng);
+    let (_, rnn_cache) = rnn.forward_seq(x.clone());
+    group.bench_with_input(BenchmarkId::from_parameter("rnn"), &(), |b, _| {
+        b.iter(|| black_box(rnn.backward_seq(&rnn_cache, &grad)))
+    });
+
+    let mut lstm = LstmCell::new(INPUT_DIM, HIDDEN, &mut rng);
+    let (_, lstm_cache) = lstm.forward_seq(x.clone());
+    group.bench_with_input(BenchmarkId::from_parameter("lstm"), &(), |b, _| {
+        b.iter(|| black_box(lstm.backward_seq(&lstm_cache, &grad)))
+    });
+
+    let mut gru = GruCell::new(INPUT_DIM, HIDDEN, &mut rng);
+    let (_, gru_cache) = gru.forward_seq(x.clone());
+    group.bench_with_input(BenchmarkId::from_parameter("gru"), &(), |b, _| {
+        b.iter(|| black_box(gru.backward_seq(&gru_cache, &grad)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmarks for the data-preparation pipeline (§4.1): generation,
+//! merge, dictionary construction and encoding.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use etsb_core::EncodedDataset;
+use etsb_datasets::{Dataset, GenConfig};
+use etsb_table::{csv, CellFrame, CharIndex};
+
+fn bench_generate(c: &mut Criterion) {
+    c.bench_function("generate_beers_0.1", |b| {
+        b.iter(|| black_box(Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 })))
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 });
+    c.bench_function("merge_beers_0.1", |b| {
+        b.iter(|| black_box(CellFrame::merge(&pair.dirty, &pair.clean).unwrap()))
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 });
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+    c.bench_function("encode_beers_0.1", |b| {
+        b.iter(|| black_box(EncodedDataset::from_frame(&frame)))
+    });
+    let dict = CharIndex::build(&frame);
+    c.bench_function("char_encode_single", |b| {
+        b.iter(|| black_box(dict.encode(black_box("American Pale Ale (APA)"))))
+    });
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let pair = Dataset::Rayyan.generate(&GenConfig { scale: 0.2, seed: 2 });
+    let text = csv::to_string(&pair.dirty);
+    c.bench_function("csv_write_rayyan_0.2", |b| {
+        b.iter(|| black_box(csv::to_string(&pair.dirty)))
+    });
+    c.bench_function("csv_parse_rayyan_0.2", |b| b.iter(|| black_box(csv::parse(&text).unwrap())));
+}
+
+criterion_group!(benches, bench_generate, bench_merge, bench_encode, bench_csv);
+criterion_main!(benches);

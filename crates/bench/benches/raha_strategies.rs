@@ -1,0 +1,50 @@
+//! Microbenchmarks for the Raha baseline's strategy battery and
+//! clustering stage.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use etsb_datasets::{Dataset, GenConfig};
+use etsb_raha::strategies::{
+    default_battery, FdViolation, FrequencyOutlier, GaussianOutlier, KnowledgeBase, PatternShape,
+    Strategy,
+};
+use etsb_raha::{build_features, cluster_columns};
+use etsb_table::CellFrame;
+
+fn beers_frame() -> CellFrame {
+    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 });
+    CellFrame::merge(&pair.dirty, &pair.clean).unwrap()
+}
+
+fn bench_individual_strategies(c: &mut Criterion) {
+    let frame = beers_frame();
+    let cases: Vec<(&str, Box<dyn Strategy>)> = vec![
+        ("frequency", Box::new(FrequencyOutlier { max_rel_freq: 0.02 })),
+        ("gaussian", Box::new(GaussianOutlier { z_threshold: 3.0 })),
+        ("pattern", Box::new(PatternShape { max_rel_freq: 0.05, collapse_runs: true })),
+        ("fd", Box::new(FdViolation { min_support: 0.95 })),
+        ("kb", Box::new(KnowledgeBase::builtin())),
+    ];
+    for (name, strategy) in cases {
+        c.bench_function(&format!("strategy_{name}_beers"), |b| {
+            b.iter(|| black_box(strategy.run(&frame)))
+        });
+    }
+}
+
+fn bench_battery_and_clustering(c: &mut Criterion) {
+    let frame = beers_frame();
+    let battery = default_battery();
+    let mut group = c.benchmark_group("raha_pipeline");
+    group.sample_size(10);
+    group.bench_function("battery_beers", |b| {
+        b.iter(|| black_box(build_features(&frame, &battery)))
+    });
+    let features = build_features(&frame, &battery);
+    group.bench_function("cluster_beers_k20", |b| {
+        b.iter(|| black_box(cluster_columns(&frame, &features, 20)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_individual_strategies, bench_battery_and_clustering);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Microbenchmarks for the repair layer: edit distances, shape
+//! operations, FD discovery and repair proposal over a realistic frame.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use etsb_datasets::{Dataset, GenConfig};
+use etsb_repair::{bounded_levenshtein, dominant_shape, levenshtein, Repairer};
+use etsb_table::CellFrame;
+
+fn bench_distances(c: &mut Criterion) {
+    let pairs = [
+        ("heart failure patients given ace inhibitor", "hexrt fxilure patients given ace inhibitor"),
+        ("Birmingham", "Birmingxam"),
+        ("12.0 oz", "12.0"),
+    ];
+    c.bench_function("levenshtein_mixed", |b| {
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(levenshtein(black_box(x), black_box(y)));
+            }
+        })
+    });
+    c.bench_function("bounded_levenshtein_mixed", |b| {
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(bounded_levenshtein(black_box(x), black_box(y), 2));
+            }
+        })
+    });
+    // The early-exit case the bound exists for: wildly different strings.
+    c.bench_function("bounded_levenshtein_early_exit", |b| {
+        b.iter(|| {
+            black_box(bounded_levenshtein(
+                black_box("completely different content here"),
+                black_box("zzzzz"),
+                2,
+            ))
+        })
+    });
+}
+
+fn bench_shapes(c: &mut Criterion) {
+    let values: Vec<String> = (0..200).map(|i| format!("value {i} with 12.{i} digits")).collect();
+    c.bench_function("dominant_shape_200", |b| {
+        b.iter(|| black_box(dominant_shape(values.iter().map(String::as_str))))
+    });
+}
+
+fn bench_repairer(c: &mut Criterion) {
+    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 });
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+    let mask: Vec<bool> = frame.cells().iter().map(|cell| cell.label).collect();
+    let mut group = c.benchmark_group("repairer");
+    group.sample_size(10);
+    group.bench_function("fit_beers_0.1", |b| b.iter(|| black_box(Repairer::fit(&frame, &mask))));
+    let repairer = Repairer::fit(&frame, &mask);
+    group.bench_function("propose_all_beers_0.1", |b| {
+        b.iter(|| black_box(repairer.propose_all(&frame, &mask)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances, bench_shapes, bench_repairer);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks for the neural substrate: forward and backward passes
+//! through the paper's actual layer configuration (BiRNN 64 units,
+//! two-stacked), across value lengths typical of the six datasets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use etsb_nn::{Embedding, StackedBiRnn};
+use etsb_tensor::{init, Matrix};
+
+fn bench_stacked_birnn_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stacked_birnn_forward");
+    let mut rng = init::seeded_rng(1);
+    let embed_dim = 86; // Beers alphabet
+    let net: StackedBiRnn = StackedBiRnn::new(embed_dim, 64, &mut rng);
+    for &len in &[4usize, 16, 64, 128] {
+        let input = init::glorot_uniform(len, embed_dim, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(net.forward(input.clone())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stacked_birnn_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stacked_birnn_backward");
+    let mut rng = init::seeded_rng(2);
+    let embed_dim = 86;
+    let mut net: StackedBiRnn = StackedBiRnn::new(embed_dim, 64, &mut rng);
+    for &len in &[16usize, 64] {
+        let input = init::glorot_uniform(len, embed_dim, &mut rng);
+        let (out, cache) = net.forward(input.clone());
+        let grad = vec![1.0f32; out.len()];
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(net.backward(&cache, &grad)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut rng = init::seeded_rng(3);
+    let emb = Embedding::new(100, 100, &mut rng);
+    let ids: Vec<usize> = (0..64).map(|i| i % 100).collect();
+    c.bench_function("embedding_lookup_64", |b| b.iter(|| black_box(emb.forward(&ids))));
+}
+
+fn bench_batchnorm(c: &mut Criterion) {
+    let mut bn = etsb_nn::BatchNorm::new(32);
+    let x = Matrix::from_fn(55, 32, |i, j| ((i * 32 + j) as f32 * 0.07).sin());
+    c.bench_function("batchnorm_train_55x32", |b| b.iter(|| black_box(bn.forward_train(&x))));
+    c.bench_function("batchnorm_eval_55x32", |b| b.iter(|| black_box(bn.forward_eval(&x))));
+}
+
+criterion_group!(
+    benches,
+    bench_stacked_birnn_forward,
+    bench_stacked_birnn_backward,
+    bench_embedding,
+    bench_batchnorm
+);
+criterion_main!(benches);

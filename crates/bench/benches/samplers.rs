@@ -1,0 +1,33 @@
+//! Microbenchmarks for the three trainset-selection algorithms (§4.2).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use etsb_core::sampling;
+use etsb_datasets::{Dataset, GenConfig};
+use etsb_table::CellFrame;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    group.sample_size(10);
+    for &scale in &[0.05f64, 0.2] {
+        let pair = Dataset::Beers.generate(&GenConfig { scale, seed: 1 });
+        let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+        let rows = frame.n_tuples();
+        group.bench_with_input(BenchmarkId::new("random_set", rows), &frame, |b, f| {
+            b.iter(|| black_box(sampling::random_set(f, 20, 7)))
+        });
+        group.bench_with_input(BenchmarkId::new("diver_set", rows), &frame, |b, f| {
+            b.iter(|| black_box(sampling::diver_set(f, 20, 7)))
+        });
+        // RahaSet includes the full strategy + clustering pipeline, so it
+        // is benchmarked at the smaller scale only.
+        if scale < 0.1 {
+            group.bench_with_input(BenchmarkId::new("raha_set", rows), &frame, |b, f| {
+                b.iter(|| black_box(sampling::raha_set(f, 20, 7)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

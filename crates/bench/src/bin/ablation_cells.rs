@@ -1,0 +1,61 @@
+//! **Ablation C** (§2's design claim): the paper argues vanilla RNNs are
+//! "less complex and therefore do not need as much time for training"
+//! than LSTM/GRU while detecting errors equally well. This bench swaps
+//! the recurrent cell inside TSB-RNN and reports both F1 and training
+//! time for all three.
+//!
+//! ```text
+//! cargo run --release -p etsb-bench --bin ablation_cells -- --runs 2 --dataset beers
+//! ```
+
+use etsb_bench::{experiment_config, fmt, gen_config, maybe_write, parse_args};
+use etsb_core::config::{CellKind, ModelKind};
+use etsb_core::eval::{aggregate, Metrics, Summary};
+use etsb_core::pipeline::{run_once_on_frame, RunResult};
+use etsb_table::CellFrame;
+
+fn main() {
+    let args = parse_args();
+    let cells = [CellKind::Vanilla, CellKind::Lstm, CellKind::Gru];
+    println!(
+        "{:<10} {:<6} {:>7} {:>8} {:>10} {:>8}",
+        "dataset", "cell", "F1", "F1 S.D.", "train[s]", "weights"
+    );
+    let mut csv = String::from("dataset,cell,f1_mean,f1_sd,train_secs,n\n");
+    for &ds in &args.datasets {
+        let pair = ds.generate(&gen_config(&args, ds));
+        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        for cell in cells {
+            eprintln!("[{ds}] {} x{}...", cell.name(), args.runs);
+            let mut cfg = experiment_config(&args, ModelKind::Tsb);
+            cfg.train.cell = cell;
+            let runs: Vec<RunResult> = (0..args.runs as u64)
+                .map(|rep| run_once_on_frame(&frame, &cfg, rep))
+                .collect();
+            let metrics: Vec<Metrics> = runs.iter().map(|r| r.metrics).collect();
+            let (_, _, f1) = aggregate(&metrics);
+            let secs =
+                Summary::of(&runs.iter().map(|r| r.train_time.as_secs_f64()).collect::<Vec<_>>());
+            println!(
+                "{:<10} {:<6} {:>7} {:>8} {:>10.1} {:>8}",
+                ds.name(),
+                cell.name(),
+                fmt(f1.mean),
+                fmt(f1.std),
+                secs.mean,
+                "-"
+            );
+            csv.push_str(&format!(
+                "{},{},{:.4},{:.4},{:.2},{}\n",
+                ds.name(),
+                cell.name(),
+                f1.mean,
+                f1.std,
+                secs.mean,
+                f1.n
+            ));
+        }
+    }
+    println!("\n(the paper's claim: vanilla matches gated cells at lower training cost)");
+    maybe_write(&args.out, &csv);
+}

@@ -1,0 +1,57 @@
+//! **Ablation A** (§5.2's claim "We reached the best results with our
+//! novel Algorithm 3"): hold the model fixed (TSB-RNN) and swap the
+//! trainset-selection algorithm — RandomSet vs RahaSet vs DiverSet.
+//!
+//! ```text
+//! cargo run --release -p etsb-bench --bin ablation_sampling -- --runs 3
+//! ```
+
+use etsb_bench::{experiment_config, fmt, gen_config, maybe_write, parse_args};
+use etsb_core::config::{ModelKind, SamplerKind};
+use etsb_core::eval::{aggregate, Metrics};
+use etsb_core::pipeline::run_once_on_frame;
+use etsb_table::CellFrame;
+
+fn main() {
+    let args = parse_args();
+    let samplers = [SamplerKind::Random, SamplerKind::Raha, SamplerKind::DiverSet];
+    println!(
+        "{:<10} {:>11} {:>8} {:>11} {:>8} {:>11} {:>8}",
+        "dataset", "Random F1", "S.D.", "Raha F1", "S.D.", "DiverSet F1", "S.D."
+    );
+    let mut csv = String::from("dataset,sampler,f1_mean,f1_sd,n\n");
+    for &ds in &args.datasets {
+        let pair = ds.generate(&gen_config(&args, ds));
+        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        let mut cells = Vec::new();
+        for sampler in samplers {
+            eprintln!("[{ds}] {} x{}...", sampler.name(), args.runs);
+            let mut cfg = experiment_config(&args, ModelKind::Tsb);
+            cfg.sampler = sampler;
+            let metrics: Vec<Metrics> = (0..args.runs as u64)
+                .map(|rep| run_once_on_frame(&frame, &cfg, rep).metrics)
+                .collect();
+            let (_, _, f1) = aggregate(&metrics);
+            cells.push(f1);
+            csv.push_str(&format!(
+                "{},{},{:.4},{:.4},{}\n",
+                ds.name(),
+                sampler.name(),
+                f1.mean,
+                f1.std,
+                f1.n
+            ));
+        }
+        println!(
+            "{:<10} {:>11} {:>8} {:>11} {:>8} {:>11} {:>8}",
+            ds.name(),
+            fmt(cells[0].mean),
+            fmt(cells[0].std),
+            fmt(cells[1].mean),
+            fmt(cells[1].std),
+            fmt(cells[2].mean),
+            fmt(cells[2].std)
+        );
+    }
+    maybe_write(&args.out, &csv);
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Figure 6**: average test-accuracy per epoch (with the
+//! 95% confidence band over repetitions) for TSB-RNN vs ETSB-RNN, plus
+//! the selected best-model epoch per run — one CSV series per dataset.
+//!
+//! ```text
+//! cargo run --release -p etsb-bench --bin fig6 -- --runs 3 --out fig6.csv
+//! ```
+//!
+//! CSV columns: `dataset,model,epoch,mean_test_acc,ci95,n_runs`; the
+//! selected epochs are emitted as rows with `epoch = -1 - best_epoch`
+//! markers in a second block (`dataset,model,run,best_epoch,test_acc`).
+
+use etsb_bench::{experiment_config, gen_config, maybe_write, parse_args};
+use etsb_core::config::ModelKind;
+use etsb_core::eval::Summary;
+use etsb_core::pipeline::run_once_on_frame;
+use etsb_table::CellFrame;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args = parse_args();
+    let mut csv = String::from("dataset,model,epoch,mean_test_acc,ci95,n_runs\n");
+    let mut markers = String::from("dataset,model,run,best_epoch,test_acc_at_best\n");
+
+    for &ds in &args.datasets {
+        let pair = ds.generate(&gen_config(&args, ds));
+        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        for kind in [ModelKind::Tsb, ModelKind::Etsb] {
+            eprintln!("[{ds}] {} x{}...", kind.name(), args.runs);
+            let cfg = experiment_config(&args, kind);
+            // epoch → accuracy across runs.
+            let mut series: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+            for rep in 0..args.runs as u64 {
+                let result = run_once_on_frame(&frame, &cfg, rep);
+                let h = &result.history;
+                for (i, &epoch) in h.eval_epochs.iter().enumerate() {
+                    series.entry(epoch).or_default().push(h.test_acc[i] as f64);
+                }
+                markers.push_str(&format!(
+                    "{},{},{},{},{}\n",
+                    ds.name(),
+                    kind.name(),
+                    rep,
+                    h.best_epoch,
+                    h.test_acc_at_best().map(|a| a.to_string()).unwrap_or_default()
+                ));
+            }
+            println!("\n{} / {}:", ds.name(), kind.name());
+            println!("{:>6} {:>10} {:>8}", "epoch", "test acc", "ci95");
+            for (epoch, accs) in &series {
+                let s = Summary::of(accs);
+                println!("{:>6} {:>10.4} {:>8.4}", epoch, s.mean, s.ci95());
+                csv.push_str(&format!(
+                    "{},{},{},{:.4},{:.4},{}\n",
+                    ds.name(),
+                    kind.name(),
+                    epoch,
+                    s.mean,
+                    s.ci95(),
+                    s.n
+                ));
+            }
+        }
+    }
+    csv.push('\n');
+    csv.push_str(&markers);
+    maybe_write(&args.out, &csv);
+    if args.out.is_none() {
+        eprintln!("\n(pass --out fig6.csv to save the plottable series)");
+    }
+}

@@ -1,0 +1,84 @@
+//! **Extension experiment**: repair quality per dataset (the paper's
+//! conclusion names detection+repair as the ultimate goal). Two detector
+//! settings per dataset:
+//!
+//! * `oracle` — ground-truth error mask (isolates the repairer), and
+//! * `etsb` — the trained ETSB-RNN's predictions (the deployable loop).
+//!
+//! Reported: repair precision (proposals matching ground truth) and the
+//! erroneous-cell count before vs after applying the proposals.
+//!
+//! ```text
+//! cargo run --release -p etsb-bench --bin repair_eval -- --runs 1
+//! ```
+
+use etsb_bench::{experiment_config, gen_config, maybe_write, parse_args};
+use etsb_core::config::ModelKind;
+use etsb_core::model::AnyModel;
+use etsb_core::train::train_model;
+use etsb_core::{sampling, EncodedDataset};
+use etsb_repair::{evaluate, Repairer};
+use etsb_table::CellFrame;
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "{:<10} {:<7} {:>9} {:>9} {:>10} {:>14}",
+        "dataset", "mask", "proposed", "correct", "precision", "errors (→)"
+    );
+    let mut csv = String::from(
+        "dataset,mask,flagged,proposed,correct,repair_precision,errors_before,errors_after\n",
+    );
+    for &ds in &args.datasets {
+        let pair = ds.generate(&gen_config(&args, ds));
+        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        let data = EncodedDataset::from_frame(&frame);
+
+        // Oracle mask.
+        let oracle: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
+
+        // ETSB mask (one training run).
+        let cfg = experiment_config(&args, ModelKind::Etsb);
+        eprintln!("[{ds}] training ETSB-RNN for the detector mask...");
+        let sample = sampling::diver_set(&frame, cfg.n_label_tuples, cfg.seed);
+        let (train_cells, test_cells) = data.split_by_tuples(&sample);
+        let mut rng = etsb_tensor::init::seeded_rng(cfg.seed);
+        let mut model = AnyModel::new(cfg.model, &data, &cfg.train, &mut rng);
+        let _ = train_model(&mut model, &data, &train_cells, &test_cells, &cfg.train, cfg.seed);
+        let mut detected = vec![false; data.n_cells()];
+        for (&cell, p) in test_cells.iter().zip(model.predict(&data, &test_cells)) {
+            detected[cell] = p;
+        }
+        for &cell in &train_cells {
+            detected[cell] = data.labels[cell];
+        }
+
+        for (name, mask) in [("oracle", &oracle), ("etsb", &detected)] {
+            let repairer = Repairer::fit(&frame, mask);
+            let proposals = repairer.propose_all(&frame, mask);
+            let eval = evaluate(&frame, mask, &proposals);
+            println!(
+                "{:<10} {:<7} {:>9} {:>9} {:>10.2} {:>6} → {:<6}",
+                ds.name(),
+                name,
+                eval.proposed,
+                eval.correct,
+                eval.repair_precision,
+                eval.errors_before,
+                eval.errors_after
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{},{:.4},{},{}\n",
+                ds.name(),
+                name,
+                eval.flagged,
+                eval.proposed,
+                eval.correct,
+                eval.repair_precision,
+                eval.errors_before,
+                eval.errors_after
+            ));
+        }
+    }
+    maybe_write(&args.out, &csv);
+}

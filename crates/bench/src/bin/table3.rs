@@ -1,0 +1,52 @@
+//! Regenerates **Table 3**: precision / recall / F1 (mean ± S.D.) for
+//! Raha, Rotom, Rotom+SSL, TSB-RNN and ETSB-RNN on the six benchmark
+//! datasets with 20 labelled tuples.
+//!
+//! ```text
+//! cargo run --release -p etsb-bench --bin table3 -- --runs 3
+//! cargo run --release -p etsb-bench --bin table3 -- --paper   # 10 runs, 120 epochs
+//! ```
+//!
+//! Rows marked `*` are this workspace's reimplementations of the
+//! comparison systems (the paper quotes their original publications);
+//! the `paper` column prints the published F1 for reference.
+
+use etsb_bench::harness::{points_to_csv, run_comparison, System};
+use etsb_bench::{fmt, maybe_write, paper, parse_args};
+use etsb_datasets::Dataset;
+
+fn paper_f1(system: System, ds: Dataset) -> f64 {
+    match system {
+        System::Raha => paper::raha(ds).map(|(_, _, f)| f).unwrap_or(f64::NAN),
+        System::Rotom => paper::rotom_f1(ds).unwrap_or(f64::NAN),
+        System::RotomSsl => paper::rotom_ssl_f1(ds).unwrap_or(f64::NAN),
+        System::Tsb => paper::tsb(ds).2,
+        System::Etsb => paper::etsb(ds).2,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let points = run_comparison(&args, &System::ALL);
+
+    for &ds in &args.datasets {
+        println!("\n=== {ds} ===");
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>7} {:>9}",
+            "system", "P", "R", "F1", "F1 S.D.", "paper F1"
+        );
+        for p in points.iter().filter(|p| p.dataset == ds) {
+            println!(
+                "{:<12} {:>6} {:>6} {:>6} {:>7} {:>9}",
+                p.system.name(),
+                fmt(p.precision.mean),
+                fmt(p.recall.mean),
+                fmt(p.f1.mean),
+                fmt(p.f1.std),
+                fmt(paper_f1(p.system, ds)),
+            );
+        }
+    }
+    println!("\n(* = reimplementation; paper rows quote the original publications)");
+    maybe_write(&args.out, &points_to_csv(&points));
+}

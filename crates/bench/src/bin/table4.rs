@@ -1,0 +1,62 @@
+//! Regenerates **Table 4**: average F1 and standard deviation across
+//! datasets, with and without Flights (Rotom never evaluated Flights, so
+//! the paper reports both aggregations).
+//!
+//! ```text
+//! cargo run --release -p etsb-bench --bin table4 -- --runs 3
+//! ```
+
+use etsb_bench::harness::{run_comparison, System};
+use etsb_bench::{fmt, maybe_write, parse_args};
+use etsb_core::eval::Summary;
+use etsb_datasets::Dataset;
+
+fn main() {
+    let args = parse_args();
+    let points = run_comparison(&args, &System::ALL);
+
+    println!(
+        "\n{:<12} {:>18} {:>18}",
+        "system", "without Flights", "with Flights"
+    );
+    println!("{:<12} {:>9} {:>8} {:>9} {:>8}", "", "AVG", "S.D.", "AVG", "S.D.");
+    let mut csv = String::from("system,scope,avg_f1,sd_f1,n_datasets\n");
+    for system in System::ALL {
+        let f1_of = |include_flights: bool| {
+            let f1s: Vec<f64> = points
+                .iter()
+                .filter(|p| {
+                    p.system == system && (include_flights || p.dataset != Dataset::Flights)
+                })
+                .map(|p| p.f1.mean)
+                .collect();
+            Summary::of(&f1s)
+        };
+        let without = f1_of(false);
+        let with = f1_of(true);
+        println!(
+            "{:<12} {:>9} {:>8} {:>9} {:>8}",
+            system.name(),
+            fmt(without.mean),
+            fmt(without.std),
+            fmt(with.mean),
+            fmt(with.std)
+        );
+        csv.push_str(&format!(
+            "{},without_flights,{:.4},{:.4},{}\n{},with_flights,{:.4},{:.4},{}\n",
+            system.name(),
+            without.mean,
+            without.std,
+            without.n,
+            system.name(),
+            with.mean,
+            with.std,
+            with.n
+        ));
+    }
+    println!(
+        "\n(paper: Raha 0.85/0.85, Rotom 0.90/n-a, Rotom+SSL 0.86/n-a, \
+         TSB 0.89/0.85, ETSB 0.91/0.88)"
+    );
+    maybe_write(&args.out, &csv);
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Table 5**: training time per dataset for TSB-RNN and
+//! ETSB-RNN (mean ± S.D. over runs). Absolute seconds differ from the
+//! paper's Colab GPUs (see DESIGN.md §5.3); the structure to compare is
+//! the *ratio* — ETSB slightly slower than TSB, and the per-dataset
+//! ordering driven by attribute count, alphabet size and value lengths.
+//!
+//! ```text
+//! cargo run --release -p etsb-bench --bin table5 -- --runs 3
+//! ```
+
+use etsb_bench::{experiment_config, gen_config, maybe_write, paper, parse_args};
+use etsb_core::config::ModelKind;
+use etsb_core::pipeline::run_repeated;
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "{:<10} {:>10} {:>7} {:>10} {:>7} {:>8} {:>14}",
+        "Name", "TSB[s]", "S.D.", "ETSB[s]", "S.D.", "ratio", "paper ratio"
+    );
+    let mut csv = String::from("dataset,tsb_secs,tsb_sd,etsb_secs,etsb_sd\n");
+    let mut totals = (0.0f64, 0.0f64, 0usize);
+    for &ds in &args.datasets {
+        let pair = ds.generate(&gen_config(&args, ds));
+        let mut secs = Vec::new();
+        for kind in [ModelKind::Tsb, ModelKind::Etsb] {
+            let cfg = experiment_config(&args, kind);
+            let rep = run_repeated(&pair.dirty, &pair.clean, &cfg, args.runs)
+                .expect("generated pair");
+            secs.push(rep.train_secs);
+        }
+        let (tsb, etsb) = (secs[0], secs[1]);
+        let (p_tsb, p_etsb) = paper::train_secs(ds);
+        println!(
+            "{:<10} {:>10.1} {:>7.1} {:>10.1} {:>7.1} {:>8.2} {:>14.2}",
+            ds.name(),
+            tsb.mean,
+            tsb.std,
+            etsb.mean,
+            etsb.std,
+            etsb.mean / tsb.mean,
+            p_etsb / p_tsb
+        );
+        csv.push_str(&format!(
+            "{},{:.2},{:.2},{:.2},{:.2}\n",
+            ds.name(),
+            tsb.mean,
+            tsb.std,
+            etsb.mean,
+            etsb.std
+        ));
+        totals.0 += tsb.mean;
+        totals.1 += etsb.mean;
+        totals.2 += 1;
+    }
+    if totals.2 > 0 {
+        println!(
+            "{:<10} {:>10.1} {:>7} {:>10.1}  (paper AVG: 183 / 191 s on Colab GPUs)",
+            "AVG",
+            totals.0 / totals.2 as f64,
+            "",
+            totals.1 / totals.2 as f64
+        );
+    }
+    maybe_write(&args.out, &csv);
+}

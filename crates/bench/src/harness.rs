@@ -1,0 +1,134 @@
+//! Shared experiment driver for the Table 3/4 binaries: runs every
+//! system (Raha, Rotom, Rotom+SSL, TSB-RNN, ETSB-RNN) over the requested
+//! datasets with the paper's repeated-runs protocol.
+
+use crate::{experiment_config, gen_config, BenchArgs};
+use etsb_core::config::ModelKind;
+use etsb_core::eval::{aggregate, Metrics, Summary};
+use etsb_core::pipeline::run_once_on_frame;
+use etsb_core::rotom::{RotomConfig, RotomDetector};
+use etsb_core::EncodedDataset;
+use etsb_datasets::Dataset;
+use etsb_raha::RahaDetector;
+use etsb_table::CellFrame;
+
+/// Systems compared in Table 3, in the paper's row order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum System {
+    /// Raha baseline (reimplemented).
+    Raha,
+    /// Rotom-style augmentation baseline.
+    Rotom,
+    /// Rotom with the self-training pass.
+    RotomSsl,
+    /// The paper's TSB-RNN.
+    Tsb,
+    /// The paper's ETSB-RNN.
+    Etsb,
+}
+
+impl System {
+    /// All systems in table order.
+    pub const ALL: [System; 5] =
+        [System::Raha, System::Rotom, System::RotomSsl, System::Tsb, System::Etsb];
+
+    /// Row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::Raha => "Raha*",
+            System::Rotom => "Rotom*",
+            System::RotomSsl => "Rotom+SSL*",
+            System::Tsb => "TSB-RNN",
+            System::Etsb => "ETSB-RNN",
+        }
+    }
+}
+
+/// One (system, dataset) measurement: P/R/F1 summaries over runs.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// System measured.
+    pub system: System,
+    /// Dataset measured on.
+    pub dataset: Dataset,
+    /// Precision over runs.
+    pub precision: Summary,
+    /// Recall over runs.
+    pub recall: Summary,
+    /// F1 over runs.
+    pub f1: Summary,
+}
+
+/// Run one system on one already-merged dataset for `runs` repetitions.
+pub fn run_system(
+    system: System,
+    frame: &CellFrame,
+    args: &BenchArgs,
+    runs: usize,
+) -> (Summary, Summary, Summary) {
+    let metrics: Vec<Metrics> = (0..runs as u64)
+        .map(|rep| match system {
+            System::Raha => {
+                let detector = RahaDetector::default();
+                let model = detector.fit(frame);
+                let sample = model.sample_tuples(20, args.seed + rep);
+                let preds = model.detect(frame, &sample);
+                let labels: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
+                Metrics::from_predictions(&preds, &labels)
+            }
+            System::Rotom | System::RotomSsl => {
+                let data = EncodedDataset::from_frame(frame);
+                let det = RotomDetector::new(RotomConfig {
+                    self_training: system == System::RotomSsl,
+                    ..RotomConfig::default()
+                });
+                let sample = etsb_core::sampling::diver_set(frame, 20, args.seed + rep);
+                let preds = det.detect(frame, &data, &sample, args.seed + rep);
+                let labels: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
+                Metrics::from_predictions(&preds, &labels)
+            }
+            System::Tsb | System::Etsb => {
+                let kind = if system == System::Tsb { ModelKind::Tsb } else { ModelKind::Etsb };
+                let cfg = experiment_config(args, kind);
+                run_once_on_frame(frame, &cfg, rep).metrics
+            }
+        })
+        .collect();
+    aggregate(&metrics)
+}
+
+/// Run every requested system over every requested dataset.
+pub fn run_comparison(args: &BenchArgs, systems: &[System]) -> Vec<Point> {
+    let mut points = Vec::new();
+    for &ds in &args.datasets {
+        eprintln!("[{ds}] generating (scale {})...", gen_config(args, ds).scale);
+        let pair = ds.generate(&gen_config(args, ds));
+        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        for &system in systems {
+            eprintln!("[{ds}] running {} x{}...", system.name(), args.runs);
+            let (precision, recall, f1) = run_system(system, &frame, args, args.runs);
+            points.push(Point { system, dataset: ds, precision, recall, f1 });
+        }
+    }
+    points
+}
+
+/// Serialize points as CSV (`system,dataset,metric,mean,std,n`).
+pub fn points_to_csv(points: &[Point]) -> String {
+    let mut out = String::from("system,dataset,metric,mean,std,n\n");
+    for p in points {
+        for (metric, s) in
+            [("precision", p.precision), ("recall", p.recall), ("f1", p.f1)]
+        {
+            out.push_str(&format!(
+                "{},{},{metric},{:.4},{:.4},{}\n",
+                p.system.name(),
+                p.dataset.name(),
+                s.mean,
+                s.std,
+                s.n
+            ));
+        }
+    }
+    out
+}

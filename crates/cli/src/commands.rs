@@ -1,0 +1,320 @@
+//! Subcommand implementations and flag parsing.
+
+use etsb_core::config::{ExperimentConfig, ModelKind, SamplerKind, TrainConfig};
+use etsb_core::model::AnyModel;
+use etsb_core::persist::{load_detector, save_detector};
+use etsb_core::train::train_model;
+use etsb_core::{sampling, EncodedDataset, Metrics};
+use etsb_datasets::{Dataset, GenConfig};
+use etsb_repair::{evaluate, Repairer};
+use etsb_table::{csv, CellFrame, Table};
+use etsb_tensor::init::seeded_rng;
+use std::collections::HashMap;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+etsb — error detection in databases with bidirectional RNNs (EDBT 2022)
+
+commands:
+  generate  --dataset NAME [--scale F] [--seed N] --dirty FILE --clean FILE
+            synthesize a benchmark dataset pair to CSV
+  stats     --dirty FILE --clean FILE
+            print Table-2 style statistics for a dataset pair
+  detect    --dirty FILE --clean FILE [--model tsb|etsb] [--sampler random|raha|diverset]
+            [--tuples N] [--epochs N] [--seed N] [--out FILE] [--save FILE]
+            train the detector and report precision/recall/F1
+  apply     --model FILE --dirty FILE [--out FILE]
+            apply a saved detector to new dirty data (no ground truth)
+  repair    --dirty FILE --clean FILE [--epochs N] [--seed N] [--out FILE]
+            detect, then repair flagged cells and report repair quality";
+
+/// Parse `--key value` pairs; returns an error on dangling or unknown
+/// flags (callers pass the set of known keys).
+fn parse_flags(args: &[String], known: &[&str]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {flag:?}"))?;
+        if !known.contains(&key) {
+            return Err(format!("unknown flag --{key} (known: {})", known.join(", ")));
+        }
+        let value = iter.next().ok_or_else(|| format!("--{key} requires a value"))?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("--{key} is required"))
+}
+
+fn parse_or<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+    }
+}
+
+fn load_pair(flags: &HashMap<String, String>) -> Result<(Table, Table, CellFrame), String> {
+    let dirty = csv::read_file(required(flags, "dirty")?).map_err(|e| e.to_string())?;
+    let clean = csv::read_file(required(flags, "clean")?).map_err(|e| e.to_string())?;
+    let frame = CellFrame::merge(&dirty, &clean).map_err(|e| e.to_string())?;
+    Ok((dirty, clean, frame))
+}
+
+/// `etsb generate`.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["dataset", "scale", "seed", "dirty", "clean"])?;
+    let name = required(&flags, "dataset")?;
+    let dataset = Dataset::parse(name).ok_or_else(|| {
+        format!(
+            "unknown dataset {name:?} (expected one of {})",
+            Dataset::ALL.map(|d| d.name().to_lowercase()).join(", ")
+        )
+    })?;
+    let cfg = GenConfig {
+        scale: parse_or(&flags, "scale", 1.0)?,
+        seed: parse_or(&flags, "seed", 42u64)?,
+    };
+    let pair = dataset.generate(&cfg);
+    csv::write_file(&pair.dirty, required(&flags, "dirty")?).map_err(|e| e.to_string())?;
+    csv::write_file(&pair.clean, required(&flags, "clean")?).map_err(|e| e.to_string())?;
+    println!(
+        "generated {dataset}: {} rows x {} cols (scale {}, seed {})",
+        pair.dirty.n_rows(),
+        pair.dirty.n_cols(),
+        cfg.scale,
+        cfg.seed
+    );
+    Ok(())
+}
+
+/// `etsb stats`.
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["dirty", "clean"])?;
+    let (_, _, frame) = load_pair(&flags)?;
+    let s = etsb_table::stats::DatasetStats::of(&frame);
+    println!("{s}");
+    println!(
+        "value dictionary: {} characters; attribute dictionary: {} attributes",
+        frame.distinct_chars(),
+        frame.n_attrs()
+    );
+    Ok(())
+}
+
+/// Shared detection path; returns the frame, encoding and the full-table
+/// prediction mask (ground truth on labelled tuples, model output
+/// elsewhere).
+fn run_detection(
+    frame: &CellFrame,
+    flags: &HashMap<String, String>,
+) -> Result<(EncodedDataset, Vec<bool>, Metrics, AnyModel, ExperimentConfig), String> {
+    let model_kind = match flags.get("model").map(String::as_str) {
+        None | Some("etsb") => ModelKind::Etsb,
+        Some("tsb") => ModelKind::Tsb,
+        Some(other) => return Err(format!("unknown model {other:?} (tsb|etsb)")),
+    };
+    let sampler = match flags.get("sampler").map(String::as_str) {
+        None | Some("diverset") => SamplerKind::DiverSet,
+        Some("random") => SamplerKind::Random,
+        Some("raha") => SamplerKind::Raha,
+        Some(other) => return Err(format!("unknown sampler {other:?} (random|raha|diverset)")),
+    };
+    let cfg = ExperimentConfig {
+        model: model_kind,
+        sampler,
+        n_label_tuples: parse_or(flags, "tuples", 20usize)?,
+        train: TrainConfig {
+            epochs: parse_or(flags, "epochs", 120usize)?,
+            eval_every: 20,
+            ..Default::default()
+        },
+        seed: parse_or(flags, "seed", 42u64)?,
+    };
+    let data = EncodedDataset::from_frame(frame);
+    let sample = sampling::select(cfg.sampler, frame, cfg.n_label_tuples, cfg.seed);
+    eprintln!("labelling tuples {sample:?}");
+    let (train_cells, test_cells) = data.split_by_tuples(&sample);
+    let mut model = AnyModel::new(cfg.model, &data, &cfg.train, &mut seeded_rng(cfg.seed));
+    eprintln!(
+        "training {} for {} epochs ({} weights)...",
+        cfg.model.name(),
+        cfg.train.epochs,
+        model.n_weights()
+    );
+    let history = train_model(&mut model, &data, &train_cells, &test_cells, &cfg.train, cfg.seed);
+    eprintln!("best epoch {}", history.best_epoch);
+
+    let preds = model.predict(&data, &test_cells);
+    let labels = data.labels_of(&test_cells);
+    let metrics = Metrics::from_predictions(&preds, &labels);
+
+    let mut mask = vec![false; data.n_cells()];
+    for (&cell, &p) in test_cells.iter().zip(&preds) {
+        mask[cell] = p;
+    }
+    for &cell in &train_cells {
+        mask[cell] = data.labels[cell];
+    }
+    Ok((data, mask, metrics, model, cfg))
+}
+
+/// `etsb detect`.
+pub fn detect(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &["dirty", "clean", "model", "sampler", "tuples", "epochs", "seed", "out", "save"],
+    )?;
+    let (_, _, frame) = load_pair(&flags)?;
+    let (data, mask, metrics, model, cfg) = run_detection(&frame, &flags)?;
+    if let Some(path) = flags.get("save") {
+        let bytes = save_detector(&model, cfg.model, &cfg.train, &data);
+        std::fs::write(path, bytes).map_err(|e| e.to_string())?;
+        println!("saved trained detector to {path}");
+    }
+    println!(
+        "precision {:.3}  recall {:.3}  F1 {:.3}  (tp {} fp {} fn {})",
+        metrics.precision, metrics.recall, metrics.f1, metrics.tp, metrics.fp, metrics.fn_
+    );
+    if let Some(out) = flags.get("out") {
+        let mut csv_text = String::from("tuple_id,attribute,value,flagged\n");
+        for (i, cell) in frame.cells().iter().enumerate() {
+            if mask[i] {
+                csv_text.push_str(&format!(
+                    "{},{},{:?},1\n",
+                    cell.tuple_id,
+                    frame.attrs()[cell.attr],
+                    cell.value_x
+                ));
+            }
+        }
+        std::fs::write(out, csv_text).map_err(|e| e.to_string())?;
+        println!("wrote flagged cells to {out}");
+    }
+    Ok(())
+}
+
+/// `etsb apply`.
+pub fn apply(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["model", "dirty", "out"])?;
+    let bytes = std::fs::read(required(&flags, "model")?).map_err(|e| e.to_string())?;
+    let detector = load_detector(&bytes).map_err(|e| e.to_string())?;
+    let dirty = csv::read_file(required(&flags, "dirty")?).map_err(|e| e.to_string())?;
+    let mask = detector.apply(&dirty).map_err(|e| e.to_string())?;
+    let flagged = mask.iter().filter(|&&m| m).count();
+    println!(
+        "{} detector over {} attributes: flagged {flagged} of {} cells",
+        detector.kind.name(),
+        detector.attr_index.len(),
+        mask.len()
+    );
+    if let Some(out) = flags.get("out") {
+        let n_cols = dirty.n_cols();
+        let mut csv_text = String::from("tuple_id,attribute,value,flagged
+");
+        for (i, &m) in mask.iter().enumerate() {
+            if m {
+                let (r, c) = (i / n_cols, i % n_cols);
+                csv_text.push_str(&format!(
+                    "{r},{},{:?},1
+",
+                    dirty.columns()[c],
+                    dirty.cell(r, c)
+                ));
+            }
+        }
+        std::fs::write(out, csv_text).map_err(|e| e.to_string())?;
+        println!("wrote flagged cells to {out}");
+    }
+    Ok(())
+}
+
+/// `etsb repair`.
+pub fn repair(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["dirty", "clean", "epochs", "seed", "out"])?;
+    let (dirty, _, frame) = load_pair(&flags)?;
+    let (_, mask, metrics, _, _) = run_detection(&frame, &flags)?;
+    println!("detection F1 {:.3}", metrics.f1);
+
+    let repairer = Repairer::fit(&frame, &mask);
+    let proposals = repairer.propose_all(&frame, &mask);
+    let eval = evaluate(&frame, &mask, &proposals);
+    println!(
+        "repairs: {} proposed, {} correct (precision {:.3}); errors {} -> {}",
+        eval.proposed, eval.correct, eval.repair_precision, eval.errors_before, eval.errors_after
+    );
+    if let Some(out) = flags.get("out") {
+        let repaired = repairer.apply(&dirty, &proposals);
+        csv::write_file(&repaired, out).map_err(|e| e.to_string())?;
+        println!("wrote repaired table to {out}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> Vec<String> {
+        pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect()
+    }
+
+    #[test]
+    fn parse_flags_happy_path() {
+        let args = flags(&[("dataset", "beers"), ("scale", "0.1")]);
+        let map = parse_flags(&args, &["dataset", "scale"]).unwrap();
+        assert_eq!(map["dataset"], "beers");
+        assert_eq!(map["scale"], "0.1");
+    }
+
+    #[test]
+    fn parse_flags_rejects_unknown_and_dangling() {
+        assert!(parse_flags(&flags(&[("bogus", "1")]), &["dataset"]).is_err());
+        assert!(parse_flags(&["--dataset".to_string()], &["dataset"]).is_err());
+        assert!(parse_flags(&["dataset".to_string()], &["dataset"]).is_err());
+    }
+
+    #[test]
+    fn parse_or_defaults_and_errors() {
+        let map = parse_flags(&flags(&[("scale", "abc")]), &["scale"]).unwrap();
+        assert!(parse_or::<f64>(&map, "scale", 1.0).is_err());
+        assert_eq!(parse_or::<f64>(&map, "missing", 2.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn generate_round_trips_through_files() {
+        let dir = std::env::temp_dir();
+        let d = dir.join("etsb_cli_test_dirty.csv");
+        let c = dir.join("etsb_cli_test_clean.csv");
+        let args = flags(&[
+            ("dataset", "rayyan"),
+            ("scale", "0.03"),
+            ("seed", "5"),
+            ("dirty", d.to_str().unwrap()),
+            ("clean", c.to_str().unwrap()),
+        ]);
+        generate(&args).unwrap();
+        let dirty = csv::read_file(&d).unwrap();
+        let clean = csv::read_file(&c).unwrap();
+        assert_eq!(dirty.shape(), clean.shape());
+        assert_eq!(dirty.n_cols(), 10);
+        std::fs::remove_file(d).ok();
+        std::fs::remove_file(c).ok();
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        let args = flags(&[("dataset", "nope"), ("dirty", "/tmp/x"), ("clean", "/tmp/y")]);
+        assert!(generate(&args).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Experiment and training configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which neural architecture to train (§4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Two-Stacked Bidirectional RNN: character input only.
+    Tsb,
+    /// Enriched TSB-RNN: characters + attribute metadata + length_norm.
+    Etsb,
+}
+
+impl ModelKind {
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Tsb => "TSB-RNN",
+            ModelKind::Etsb => "ETSB-RNN",
+        }
+    }
+}
+
+/// Which recurrent cell powers the bidirectional stacks. The paper uses
+/// vanilla RNNs and argues (§2) they train faster than LSTM/GRU at equal
+/// quality for this task; the alternatives exist to test that claim
+/// (`ablation_cells` bench).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Vanilla (Elman) RNN — the paper's choice.
+    Vanilla,
+    /// Long Short-Term Memory cell.
+    Lstm,
+    /// Gated Recurrent Unit cell.
+    Gru,
+}
+
+impl CellKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellKind::Vanilla => "RNN",
+            CellKind::Lstm => "LSTM",
+            CellKind::Gru => "GRU",
+        }
+    }
+}
+
+/// Which trainset-selection algorithm to use (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplerKind {
+    /// Algorithm 1: uniform random tuples.
+    Random,
+    /// Algorithm 2: Raha's cluster-coverage sampling.
+    Raha,
+    /// Algorithm 3: the paper's novel diversity-greedy sampler.
+    DiverSet,
+}
+
+impl SamplerKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplerKind::Random => "RandomSet",
+            SamplerKind::Raha => "RahaSet",
+            SamplerKind::DiverSet => "DiverSet",
+        }
+    }
+}
+
+/// Neural-network training hyper-parameters (§5.2 defaults).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Training epochs (paper: 120).
+    pub epochs: usize,
+    /// Batch size = trainset size / `batch_divisor` (paper: 4).
+    pub batch_divisor: usize,
+    /// RMSprop learning rate.
+    pub learning_rate: f32,
+    /// Units per direction of the character BiRNN (paper: 64).
+    pub rnn_units: usize,
+    /// Units per direction of the attribute BiRNN (paper: 8).
+    pub attr_rnn_units: usize,
+    /// Width of the shared hidden head (paper: 32).
+    pub head_dim: usize,
+    /// Width of the length_norm dense path (paper: 64).
+    pub length_dense_dim: usize,
+    /// Character-embedding dimension; `None` = value-dictionary size, as
+    /// §3.1 describes.
+    pub embed_dim: Option<usize>,
+    /// Evaluate test accuracy every `eval_every` epochs for the learning
+    /// curves (1 reproduces the paper's figures exactly; larger values
+    /// speed up the run).
+    pub eval_every: usize,
+    /// Cap on test cells used for per-epoch curve tracking (the final
+    /// metrics always use the full testset). `0` disables the cap.
+    pub curve_subsample: usize,
+    /// Recurrent cell for both bidirectional stacks (paper: vanilla).
+    pub cell: CellKind,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 120,
+            batch_divisor: 4,
+            learning_rate: 1e-3,
+            rnn_units: 64,
+            attr_rnn_units: 8,
+            head_dim: 32,
+            length_dense_dim: 64,
+            embed_dim: None,
+            eval_every: 1,
+            curve_subsample: 2000,
+            cell: CellKind::Vanilla,
+        }
+    }
+}
+
+/// Full experiment configuration: model, sampler, labeling budget and
+/// training hyper-parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Architecture to train.
+    pub model: ModelKind,
+    /// Trainset-selection algorithm.
+    pub sampler: SamplerKind,
+    /// Tuples the user labels (paper: 20).
+    pub n_label_tuples: usize,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+    /// Base RNG seed; repetition `i` of a repeated run uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            model: ModelKind::Etsb,
+            sampler: SamplerKind::DiverSet,
+            n_label_tuples: 20,
+            train: TrainConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.n_label_tuples, 20);
+        assert_eq!(cfg.train.epochs, 120);
+        assert_eq!(cfg.train.batch_divisor, 4);
+        assert_eq!(cfg.train.rnn_units, 64);
+        assert_eq!(cfg.train.attr_rnn_units, 8);
+        assert_eq!(cfg.train.head_dim, 32);
+        assert_eq!(cfg.train.length_dense_dim, 64);
+        assert_eq!(cfg.train.cell, CellKind::Vanilla);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ModelKind::Tsb.name(), "TSB-RNN");
+        assert_eq!(ModelKind::Etsb.name(), "ETSB-RNN");
+        assert_eq!(SamplerKind::DiverSet.name(), "DiverSet");
+    }
+}

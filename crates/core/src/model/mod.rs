@@ -1,0 +1,498 @@
+//! The paper's two neural architectures (§4.3) and their shared
+//! classification head.
+
+mod etsb;
+mod tsb;
+
+pub use etsb::EtsbRnn;
+pub use tsb::TsbRnn;
+
+use crate::config::{CellKind, ModelKind, TrainConfig};
+use crate::encode::EncodedDataset;
+use etsb_nn::{
+    Activation, BatchNorm, BatchNormCache, Dense, DenseCache, GruCell, LstmCell, Param, RnnCell,
+    StackedBiRnn, StackedBiRnnCache,
+};
+use etsb_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// A two-stacked bidirectional encoder over any supported recurrent cell,
+/// dispatched at runtime so [`crate::config::TrainConfig::cell`] can swap
+/// vanilla RNN / LSTM / GRU without changing the model code.
+// Variant sizes differ (LSTM carries 4x gate weights); one instance lives
+// per model, so the footprint difference is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub(crate) enum AnyStacked {
+    Vanilla(StackedBiRnn<RnnCell>),
+    Lstm(StackedBiRnn<LstmCell>),
+    Gru(StackedBiRnn<GruCell>),
+}
+
+/// Cache matching the active variant of [`AnyStacked`].
+// Variant sizes legitimately differ (LSTM caches gates and cell states);
+// these are short-lived per-sample values, not stored in bulk.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub(crate) enum AnyStackedCache {
+    Vanilla(StackedBiRnnCache<RnnCell>),
+    Lstm(StackedBiRnnCache<LstmCell>),
+    Gru(StackedBiRnnCache<GruCell>),
+}
+
+impl AnyStacked {
+    pub(crate) fn new(kind: CellKind, input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        match kind {
+            CellKind::Vanilla => AnyStacked::Vanilla(StackedBiRnn::new(input_dim, hidden, rng)),
+            CellKind::Lstm => AnyStacked::Lstm(StackedBiRnn::new(input_dim, hidden, rng)),
+            CellKind::Gru => AnyStacked::Gru(StackedBiRnn::new(input_dim, hidden, rng)),
+        }
+    }
+
+    pub(crate) fn output_dim(&self) -> usize {
+        match self {
+            AnyStacked::Vanilla(n) => n.output_dim(),
+            AnyStacked::Lstm(n) => n.output_dim(),
+            AnyStacked::Gru(n) => n.output_dim(),
+        }
+    }
+
+    pub(crate) fn forward(&self, inputs: Matrix) -> (Vec<f32>, AnyStackedCache) {
+        match self {
+            AnyStacked::Vanilla(n) => {
+                let (out, c) = n.forward(inputs);
+                (out, AnyStackedCache::Vanilla(c))
+            }
+            AnyStacked::Lstm(n) => {
+                let (out, c) = n.forward(inputs);
+                (out, AnyStackedCache::Lstm(c))
+            }
+            AnyStacked::Gru(n) => {
+                let (out, c) = n.forward(inputs);
+                (out, AnyStackedCache::Gru(c))
+            }
+        }
+    }
+
+    pub(crate) fn backward(&mut self, cache: &AnyStackedCache, grad_out: &[f32]) -> Matrix {
+        match (self, cache) {
+            (AnyStacked::Vanilla(n), AnyStackedCache::Vanilla(c)) => n.backward(c, grad_out),
+            (AnyStacked::Lstm(n), AnyStackedCache::Lstm(c)) => n.backward(c, grad_out),
+            (AnyStacked::Gru(n), AnyStackedCache::Gru(c)) => n.backward(c, grad_out),
+            _ => panic!("AnyStacked::backward: cache kind does not match cell kind"),
+        }
+    }
+
+    pub(crate) fn params(&self) -> Vec<&Param> {
+        match self {
+            AnyStacked::Vanilla(n) => n.params(),
+            AnyStacked::Lstm(n) => n.params(),
+            AnyStacked::Gru(n) => n.params(),
+        }
+    }
+
+    pub(crate) fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            AnyStacked::Vanilla(n) => n.params_mut(),
+            AnyStacked::Lstm(n) => n.params_mut(),
+            AnyStacked::Gru(n) => n.params_mut(),
+        }
+    }
+}
+
+/// The shared classification head: Dense(`head_dim`, ReLU) → BatchNorm →
+/// Dense(2, linear) feeding the softmax cross-entropy loss. §4.3.1
+/// describes exactly this stack for TSB-RNN; ETSB-RNN reuses it over a
+/// wider concatenated feature vector.
+#[derive(Clone, Debug)]
+pub(crate) struct Head {
+    dense: Dense,
+    bn: BatchNorm,
+    out: Dense,
+}
+
+pub(crate) struct HeadCache {
+    dense: DenseCache,
+    bn: BatchNormCache,
+    out: DenseCache,
+}
+
+impl Head {
+    pub(crate) fn new(input_dim: usize, head_dim: usize, rng: &mut StdRng) -> Self {
+        Self {
+            dense: Dense::new(input_dim, head_dim, Activation::Relu, rng),
+            bn: BatchNorm::new(head_dim),
+            out: Dense::new(head_dim, 2, Activation::Linear, rng),
+        }
+    }
+
+    /// Training-mode forward (batch statistics in the BatchNorm).
+    pub(crate) fn forward_train(&mut self, features: Matrix) -> (Matrix, HeadCache) {
+        let (h, dense) = self.dense.forward(features);
+        let (n, bn) = self.bn.forward_train(&h);
+        let (logits, out) = self.out.forward(n);
+        (logits, HeadCache { dense, bn, out })
+    }
+
+    /// Evaluation-mode forward (running statistics in the BatchNorm).
+    pub(crate) fn forward_eval(&self, features: Matrix) -> Matrix {
+        let (h, _) = self.dense.forward(features);
+        let n = self.bn.forward_eval(&h);
+        let (logits, _) = self.out.forward(n);
+        logits
+    }
+
+    /// Backward through the head; returns the feature gradient.
+    pub(crate) fn backward(&mut self, cache: &HeadCache, grad_logits: &Matrix) -> Matrix {
+        let g = self.out.backward(&cache.out, grad_logits);
+        let g = self.bn.backward(&cache.bn, &g);
+        self.dense.backward(&cache.dense, &g)
+    }
+
+    pub(crate) fn params(&self) -> Vec<&Param> {
+        let mut p = self.dense.params();
+        p.extend(self.bn.params());
+        p.extend(self.out.params());
+        p
+    }
+
+    pub(crate) fn params_mut(&mut self) -> Vec<&mut Param> {
+        let (d, b, o) = (&mut self.dense, &mut self.bn, &mut self.out);
+        let mut p = d.params_mut();
+        p.extend(b.params_mut());
+        p.extend(o.params_mut());
+        p
+    }
+
+    /// Non-trainable state that must survive checkpointing: the
+    /// BatchNorm running statistics used by evaluation mode.
+    pub(crate) fn buffers(&self) -> Vec<&Matrix> {
+        vec![&self.bn.running_mean, &self.bn.running_var]
+    }
+
+    pub(crate) fn buffers_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.bn.running_mean, &mut self.bn.running_var]
+    }
+}
+
+/// Either architecture behind one interface, so the trainer and pipeline
+/// are model-agnostic.
+// One model exists per experiment; the size difference between the
+// variants' inline headers is irrelevant next to their heap-owned weights.
+#[allow(clippy::large_enum_variant)]
+pub enum AnyModel {
+    /// Two-Stacked Bidirectional RNN.
+    Tsb(TsbRnn),
+    /// Enriched Two-Stacked Bidirectional RNN.
+    Etsb(EtsbRnn),
+}
+
+impl AnyModel {
+    /// Construct the requested architecture for a dataset's dictionaries.
+    pub fn new(kind: ModelKind, data: &EncodedDataset, cfg: &TrainConfig, rng: &mut StdRng) -> Self {
+        match kind {
+            ModelKind::Tsb => AnyModel::Tsb(TsbRnn::new(data, cfg, rng)),
+            ModelKind::Etsb => AnyModel::Etsb(EtsbRnn::new(data, cfg, rng)),
+        }
+    }
+
+    /// One training step over a batch of cell indices: forward, loss,
+    /// backward (gradients *accumulate*; the caller owns `zero_grad` and
+    /// the optimizer step). Returns the mean batch loss.
+    pub fn train_batch(&mut self, data: &EncodedDataset, batch: &[usize]) -> f32 {
+        match self {
+            AnyModel::Tsb(m) => m.train_batch(data, batch),
+            AnyModel::Etsb(m) => m.train_batch(data, batch),
+        }
+    }
+
+    /// Error probability (class-1 softmax output) per requested cell,
+    /// evaluation mode, parallel across cells.
+    pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
+        match self {
+            AnyModel::Tsb(m) => m.predict_probs(data, cells),
+            AnyModel::Etsb(m) => m.predict_probs(data, cells),
+        }
+    }
+
+    /// Hard predictions at threshold 0.5.
+    pub fn predict(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<bool> {
+        self.predict_probs(data, cells).into_iter().map(|p| p >= 0.5).collect()
+    }
+
+    /// All parameters in stable order.
+    pub fn params(&self) -> Vec<&Param> {
+        match self {
+            AnyModel::Tsb(m) => m.params(),
+            AnyModel::Etsb(m) => m.params(),
+        }
+    }
+
+    /// Mutable parameters in the same order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            AnyModel::Tsb(m) => m.params_mut(),
+            AnyModel::Etsb(m) => m.params_mut(),
+        }
+    }
+
+    /// Zero every gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total trainable weights.
+    pub fn n_weights(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Non-trainable buffers (BatchNorm running statistics).
+    pub fn buffers(&self) -> Vec<&Matrix> {
+        match self {
+            AnyModel::Tsb(m) => m.buffers(),
+            AnyModel::Etsb(m) => m.buffers(),
+        }
+    }
+
+    /// Mutable buffers in the same order.
+    pub fn buffers_mut(&mut self) -> Vec<&mut Matrix> {
+        match self {
+            AnyModel::Tsb(m) => m.buffers_mut(),
+            AnyModel::Etsb(m) => m.buffers_mut(),
+        }
+    }
+
+    /// Serialize current weights *and* the evaluation-mode buffers
+    /// (BatchNorm running statistics) — both are needed to reproduce the
+    /// checkpointed epoch exactly.
+    pub fn snapshot(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let params = self.params();
+        let buffers = self.buffers();
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u64_le((params.len() + buffers.len()) as u64);
+        for p in params {
+            etsb_tensor::encode_matrix(&p.value, &mut buf);
+        }
+        for b in buffers {
+            etsb_tensor::encode_matrix(b, &mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Restore a snapshot taken from an identically-shaped model.
+    pub fn restore(&mut self, snap: &bytes::Bytes) -> Result<(), etsb_nn::CheckpointError> {
+        use bytes::Buf;
+        use etsb_nn::CheckpointError;
+        use etsb_tensor::DecodeError;
+        let mut buf = snap.clone();
+        if buf.remaining() < 8 {
+            return Err(CheckpointError::Decode(DecodeError::Truncated {
+                needed: 8,
+                available: buf.remaining(),
+            }));
+        }
+        let count = buf.get_u64_le() as usize;
+        let expected = self.params().len() + self.buffers().len();
+        if count != expected {
+            return Err(CheckpointError::CountMismatch { snapshot: count, target: expected });
+        }
+        // Decode everything before mutating so errors leave the model intact.
+        let mut decoded = Vec::with_capacity(count);
+        for _ in 0..count {
+            decoded.push(etsb_tensor::decode_matrix(&mut buf)?);
+        }
+        {
+            let params = self.params();
+            let buffers = self.buffers();
+            for (i, (target, got)) in params
+                .iter()
+                .map(|p| p.value.shape())
+                .chain(buffers.iter().map(|b| b.shape()))
+                .zip(decoded.iter().map(|m| m.shape()))
+                .enumerate()
+            {
+                if target != got {
+                    return Err(CheckpointError::ShapeMismatch {
+                        index: i,
+                        snapshot: got,
+                        target,
+                    });
+                }
+            }
+        }
+        let mut iter = decoded.into_iter();
+        for p in self.params_mut() {
+            p.value = iter.next().expect("counted above");
+        }
+        for b in self.buffers_mut() {
+            *b = iter.next().expect("counted above");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use etsb_table::{CellFrame, Table};
+
+    /// A small dataset where errors carry the marker character '!'.
+    pub(crate) fn marked_dataset(n: usize) -> EncodedDataset {
+        let mut dirty = Table::with_columns(&["v", "w"]);
+        let mut clean = Table::with_columns(&["v", "w"]);
+        for i in 0..n {
+            let v = format!("val{}", i % 5);
+            let w = format!("{}", 10 + (i % 4));
+            if i % 3 == 0 {
+                dirty.push_row(vec![format!("{v}!"), w.clone()]);
+            } else {
+                dirty.push_row(vec![v.clone(), w.clone()]);
+            }
+            clean.push_row(vec![v, w]);
+        }
+        let frame = CellFrame::merge(&dirty, &clean).unwrap();
+        EncodedDataset::from_frame(&frame)
+    }
+
+    /// Train `model` for `epochs` full-batch epochs on all cells and
+    /// return the final loss.
+    pub(crate) fn overfit(model: &mut AnyModel, data: &EncodedDataset, epochs: usize) -> f32 {
+        use etsb_nn::{Optimizer, Rmsprop};
+        let all: Vec<usize> = (0..data.n_cells()).collect();
+        let mut opt = Rmsprop::new(5e-3);
+        let mut last = f32::INFINITY;
+        for _ in 0..epochs {
+            model.zero_grad();
+            last = model.train_batch(data, &all);
+            opt.step(&mut model.params_mut());
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use etsb_tensor::init::seeded_rng;
+
+    #[test]
+    fn head_gradient_check() {
+        let mut rng = seeded_rng(1);
+        let head = Head::new(4, 3, &mut rng);
+        let x = Matrix::from_fn(6, 4, |i, j| ((i * 4 + j) as f32 * 0.37).sin());
+        let labels = [0usize, 1, 0, 1, 1, 0];
+
+        let loss_of = |h: &Head, x: &Matrix| {
+            let mut h = h.clone();
+            let (logits, _) = h.forward_train(x.clone());
+            etsb_nn::softmax_cross_entropy(&logits, &labels).loss
+        };
+
+        let mut work = head.clone();
+        let (logits, cache) = work.forward_train(x.clone());
+        let loss = etsb_nn::softmax_cross_entropy(&logits, &labels);
+        let grad_x = work.backward(&cache, &loss.grad_logits);
+
+        let h = 1e-2_f32;
+        // One coordinate from each parameter bank.
+        for pi in 0..work.params().len() {
+            let analytic = work.params()[pi].grad[(0, 0)];
+            let mut plus = head.clone();
+            plus.params_mut()[pi].value[(0, 0)] += h;
+            let mut minus = head.clone();
+            minus.params_mut()[pi].value[(0, 0)] -= h;
+            let numeric = (loss_of(&plus, &x) - loss_of(&minus, &x)) / (2.0 * h);
+            assert!(
+                (numeric - analytic).abs() < 5e-2 * analytic.abs().max(0.2),
+                "param {pi}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Input gradient.
+        let analytic = grad_x[(2, 1)];
+        let mut xp = x.clone();
+        xp[(2, 1)] += h;
+        let mut xm = x.clone();
+        xm[(2, 1)] -= h;
+        let numeric = (loss_of(&head, &xp) - loss_of(&head, &xm)) / (2.0 * h);
+        assert!(
+            (numeric - analytic).abs() < 5e-2 * analytic.abs().max(0.2),
+            "input grad: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn both_models_construct_and_count_weights() {
+        let data = marked_dataset(30);
+        let cfg = TrainConfig { rnn_units: 8, attr_rnn_units: 4, head_dim: 8, ..Default::default() };
+        let mut rng = seeded_rng(2);
+        let tsb = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut rng);
+        let etsb = AnyModel::new(ModelKind::Etsb, &data, &cfg, &mut rng);
+        assert!(tsb.n_weights() > 0);
+        // ETSB has strictly more parameters (extra input paths).
+        assert!(etsb.n_weights() > tsb.n_weights());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let data = marked_dataset(20);
+        let cfg = TrainConfig { rnn_units: 4, head_dim: 4, ..Default::default() };
+        let mut rng = seeded_rng(3);
+        let mut model = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut rng);
+        let snap = model.snapshot();
+        let before = model.predict_probs(&data, &[0, 1, 2]);
+        // Perturb, then restore.
+        for p in model.params_mut() {
+            p.value.map_inplace(|x| x + 0.1);
+        }
+        let perturbed = model.predict_probs(&data, &[0, 1, 2]);
+        assert_ne!(before, perturbed);
+        model.restore(&snap).unwrap();
+        assert_eq!(before, model.predict_probs(&data, &[0, 1, 2]));
+    }
+
+    /// Every cell kind must train end-to-end (the ablation_cells bench
+    /// depends on all three being functional).
+    #[test]
+    fn lstm_and_gru_cells_train() {
+        use crate::config::CellKind;
+        let data = marked_dataset(24);
+        for cell in [CellKind::Lstm, CellKind::Gru] {
+            let cfg = TrainConfig {
+                rnn_units: 6,
+                attr_rnn_units: 3,
+                head_dim: 6,
+                cell,
+                ..Default::default()
+            };
+            let mut rng = seeded_rng(9);
+            let mut model = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut rng);
+            let loss = overfit(&mut model, &data, 120);
+            assert!(loss < 0.3, "{cell:?} failed to fit: loss {loss}");
+        }
+    }
+
+    /// The headline sanity check: both models must be able to overfit a
+    /// small marked dataset (loss → ~0, perfect train predictions).
+    #[test]
+    fn models_overfit_marked_errors() {
+        let data = marked_dataset(24);
+        let cfg = TrainConfig { rnn_units: 8, attr_rnn_units: 4, head_dim: 8, ..Default::default() };
+        for kind in [ModelKind::Tsb, ModelKind::Etsb] {
+            let mut rng = seeded_rng(4);
+            let mut model = AnyModel::new(kind, &data, &cfg, &mut rng);
+            let loss = overfit(&mut model, &data, 150);
+            assert!(loss < 0.1, "{kind:?} failed to overfit: loss {loss}");
+            let preds = model.predict(&data, &(0..data.n_cells()).collect::<Vec<_>>());
+            let correct = preds.iter().zip(&data.labels).filter(|(p, l)| *p == *l).count();
+            assert!(
+                correct as f64 / data.n_cells() as f64 > 0.95,
+                "{kind:?} train accuracy {correct}/{}",
+                data.n_cells()
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! TSB-RNN (§4.3.1): character embedding → two-stacked bidirectional RNN
+//! (64 units/direction) → Dense(32, ReLU) → BatchNorm → Dense(2, softmax).
+
+use super::{AnyStacked, AnyStackedCache, Head};
+use crate::config::TrainConfig;
+use crate::encode::EncodedDataset;
+use etsb_nn::{parallel, softmax_cross_entropy, Embedding, Param};
+use etsb_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// The Two-Stacked Bidirectional RNN model.
+pub struct TsbRnn {
+    embedding: Embedding,
+    rnn: AnyStacked,
+    head: Head,
+}
+
+impl TsbRnn {
+    /// Build for a dataset's value dictionary.
+    pub fn new(data: &EncodedDataset, cfg: &TrainConfig, rng: &mut StdRng) -> Self {
+        let vocab = data.char_index.vocab_size();
+        // §3.1: the embedding width defaults to the dictionary size.
+        let embed_dim = cfg.embed_dim.unwrap_or(vocab);
+        let rnn = AnyStacked::new(cfg.cell, embed_dim, cfg.rnn_units, rng);
+        let feature_dim = rnn.output_dim();
+        Self {
+            embedding: Embedding::new(vocab, embed_dim, rng),
+            rnn,
+            head: Head::new(feature_dim, cfg.head_dim, rng),
+        }
+    }
+
+    /// Encode one cell's character sequence into the RNN feature vector.
+    fn encode_one(&self, seq: &[usize]) -> (Vec<f32>, (etsb_nn::EmbeddingCache, AnyStackedCache)) {
+        let (embedded, emb_cache) = self.embedding.forward(seq);
+        let (feat, rnn_cache) = self.rnn.forward(embedded);
+        (feat, (emb_cache, rnn_cache))
+    }
+
+    /// One gradient-accumulating training step; returns the batch loss.
+    pub fn train_batch(&mut self, data: &EncodedDataset, batch: &[usize]) -> f32 {
+        assert!(!batch.is_empty(), "TsbRnn::train_batch: empty batch");
+        let feat_dim = self.rnn.output_dim();
+        let mut features = Matrix::zeros(batch.len(), feat_dim);
+        let mut caches = Vec::with_capacity(batch.len());
+        for (row, &cell) in batch.iter().enumerate() {
+            let (feat, cache) = self.encode_one(&data.sequences[cell]);
+            features.row_mut(row).copy_from_slice(&feat);
+            caches.push(cache);
+        }
+
+        let labels: Vec<usize> =
+            batch.iter().map(|&c| usize::from(data.labels[c])).collect();
+        let (logits, head_cache) = self.head.forward_train(features);
+        let loss = softmax_cross_entropy(&logits, &labels);
+
+        let grad_features = self.head.backward(&head_cache, &loss.grad_logits);
+        for (row, (emb_cache, rnn_cache)) in caches.iter().enumerate() {
+            let grad_embedded = self.rnn.backward(rnn_cache, grad_features.row(row));
+            self.embedding.backward(emb_cache, &grad_embedded);
+        }
+        loss.loss
+    }
+
+    /// Error probabilities (evaluation mode), parallel across cells.
+    pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
+        let feats: Vec<Vec<f32>> =
+            parallel::parallel_map(cells.len(), |i| self.encode_one(&data.sequences[cells[i]]).0);
+        let feat_dim = self.rnn.output_dim();
+        let mut features = Matrix::zeros(cells.len(), feat_dim);
+        for (row, f) in feats.iter().enumerate() {
+            features.row_mut(row).copy_from_slice(f);
+        }
+        let logits = self.head.forward_eval(features);
+        (0..cells.len())
+            .map(|r| {
+                let mut row = logits.row(r).to_vec();
+                etsb_tensor::softmax_inplace(&mut row);
+                row[1]
+            })
+            .collect()
+    }
+
+    /// Parameters: embedding, RNN (layer1 fwd/bwd, layer2 fwd/bwd), head.
+    pub fn params(&self) -> Vec<&Param> {
+        let mut p = vec![self.embedding.param()];
+        p.extend(self.rnn.params());
+        p.extend(self.head.params());
+        p
+    }
+
+    /// Mutable parameters in the same order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let (e, r, h) = (&mut self.embedding, &mut self.rnn, &mut self.head);
+        let mut p = vec![e.param_mut()];
+        p.extend(r.params_mut());
+        p.extend(h.params_mut());
+        p
+    }
+
+    /// Non-trainable buffers (BatchNorm running statistics).
+    pub fn buffers(&self) -> Vec<&Matrix> {
+        self.head.buffers()
+    }
+
+    /// Mutable buffers in the same order.
+    pub fn buffers_mut(&mut self) -> Vec<&mut Matrix> {
+        self.head.buffers_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::marked_dataset;
+    use etsb_tensor::init::seeded_rng;
+
+    fn small_cfg() -> TrainConfig {
+        TrainConfig { rnn_units: 6, head_dim: 6, ..Default::default() }
+    }
+
+    #[test]
+    fn predict_probs_are_probabilities() {
+        let data = marked_dataset(20);
+        let model = TsbRnn::new(&data, &small_cfg(), &mut seeded_rng(1));
+        let cells: Vec<usize> = (0..data.n_cells()).collect();
+        let probs = model.predict_probs(&data, &cells);
+        assert_eq!(probs.len(), data.n_cells());
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn train_batch_reduces_loss() {
+        use etsb_nn::{Optimizer, Rmsprop};
+        let data = marked_dataset(30);
+        let mut model = TsbRnn::new(&data, &small_cfg(), &mut seeded_rng(2));
+        let batch: Vec<usize> = (0..data.n_cells()).collect();
+        let mut opt = Rmsprop::new(3e-3);
+        let first = model.train_batch(&data, &batch);
+        for p in model.params_mut() {
+            p.zero_grad();
+        }
+        let mut last = first;
+        for _ in 0..60 {
+            last = model.train_batch(&data, &batch);
+            opt.step(&mut model.params_mut());
+            for p in model.params_mut() {
+                p.zero_grad();
+            }
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn gradient_accumulates_across_calls() {
+        let data = marked_dataset(12);
+        let mut model = TsbRnn::new(&data, &small_cfg(), &mut seeded_rng(3));
+        let _ = model.train_batch(&data, &[0, 1]);
+        let g1 = model.params()[0].grad.frobenius_norm();
+        let _ = model.train_batch(&data, &[0, 1]);
+        let g2 = model.params()[0].grad.frobenius_norm();
+        assert!(g2 > g1, "gradients should accumulate: {g1} -> {g2}");
+    }
+
+    #[test]
+    fn param_order_is_stable() {
+        let data = marked_dataset(12);
+        let mut model = TsbRnn::new(&data, &small_cfg(), &mut seeded_rng(4));
+        let shapes_a: Vec<_> = model.params().iter().map(|p| p.value.shape()).collect();
+        let shapes_b: Vec<_> = model.params_mut().iter().map(|p| p.value.shape()).collect();
+        assert_eq!(shapes_a, shapes_b);
+        // 1 embedding + 12 RNN + 6 head (dense w/b, bn γ/β, out w/b).
+        assert_eq!(shapes_a.len(), 19);
+    }
+}

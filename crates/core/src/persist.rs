@@ -1,0 +1,301 @@
+//! Trained-detector persistence: save a trained model together with its
+//! dictionaries, reload it later, and apply it to *new dirty data with no
+//! ground truth* — the deployment step after the paper's train/evaluate
+//! protocol.
+//!
+//! Binary format (all integers little-endian):
+//!
+//! ```text
+//! magic "ETSBDET1"
+//! u8  model kind (0 = TSB, 1 = ETSB)
+//! u8  cell kind (0 = vanilla, 1 = LSTM, 2 = GRU)
+//! u32 rnn_units | u32 attr_rnn_units | u32 head_dim | u32 length_dense_dim
+//! u8  embed_dim override present | u32 embed_dim
+//! u32 n_chars   | n_chars x u32 codepoint      (value dictionary, index order)
+//! u32 n_attrs   | n_attrs x (u32 len, utf-8)   (attribute dictionary)
+//! u64 weights byte length | weight snapshot (etsb-nn checkpoint format)
+//! ```
+
+use crate::config::{CellKind, ModelKind, TrainConfig};
+use crate::encode::EncodedDataset;
+use crate::model::AnyModel;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use etsb_table::{AttrIndex, CharIndex, Table, TableError};
+use etsb_tensor::init::seeded_rng;
+
+const MAGIC: &[u8; 8] = b"ETSBDET1";
+
+/// Error loading a saved detector.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Not an ETSB detector file (bad magic) or truncated.
+    Malformed(String),
+    /// Weight snapshot does not fit the declared architecture.
+    Weights(etsb_nn::CheckpointError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Malformed(msg) => write!(f, "malformed detector file: {msg}"),
+            PersistError::Weights(e) => write!(f, "weight restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// A reloaded detector: the model plus everything needed to encode new
+/// data the way it was trained.
+pub struct LoadedDetector {
+    /// The restored model.
+    pub model: AnyModel,
+    /// Architecture kind.
+    pub kind: ModelKind,
+    /// The hyper-parameters the model was built with (training-schedule
+    /// fields carry defaults; only architecture fields are persisted).
+    pub train: TrainConfig,
+    /// The value dictionary from training time.
+    pub char_index: CharIndex,
+    /// The attribute dictionary from training time.
+    pub attr_index: AttrIndex,
+}
+
+impl LoadedDetector {
+    /// Apply the detector to a new dirty table (no ground truth): encodes
+    /// with the *training-time* dictionaries (unseen characters map to
+    /// the pad/unknown index) and returns one error flag per cell in
+    /// row-major order.
+    ///
+    /// The table's columns must match the training schema by name.
+    pub fn apply(&self, dirty: &Table) -> Result<Vec<bool>, TableError> {
+        let data = EncodedDataset::from_dirty_table(dirty, &self.char_index, &self.attr_index)?;
+        let cells: Vec<usize> = (0..data.n_cells()).collect();
+        Ok(self.model.predict(&data, &cells))
+    }
+
+    /// Per-cell error probabilities on a new dirty table.
+    pub fn apply_probs(&self, dirty: &Table) -> Result<Vec<f32>, TableError> {
+        let data = EncodedDataset::from_dirty_table(dirty, &self.char_index, &self.attr_index)?;
+        let cells: Vec<usize> = (0..data.n_cells()).collect();
+        Ok(self.model.predict_probs(&data, &cells))
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Serialize a trained model with the dictionaries it was trained on.
+pub fn save_detector(
+    model: &AnyModel,
+    kind: ModelKind,
+    cfg: &TrainConfig,
+    data: &EncodedDataset,
+) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(match kind {
+        ModelKind::Tsb => 0,
+        ModelKind::Etsb => 1,
+    });
+    buf.put_u8(match cfg.cell {
+        CellKind::Vanilla => 0,
+        CellKind::Lstm => 1,
+        CellKind::Gru => 2,
+    });
+    buf.put_u32_le(cfg.rnn_units as u32);
+    buf.put_u32_le(cfg.attr_rnn_units as u32);
+    buf.put_u32_le(cfg.head_dim as u32);
+    buf.put_u32_le(cfg.length_dense_dim as u32);
+    buf.put_u8(u8::from(cfg.embed_dim.is_some()));
+    buf.put_u32_le(cfg.embed_dim.unwrap_or(0) as u32);
+
+    let entries = data.char_index.entries();
+    buf.put_u32_le(entries.len() as u32);
+    for (ch, _) in entries {
+        buf.put_u32_le(ch as u32);
+    }
+    let names = data.attr_index.names();
+    buf.put_u32_le(names.len() as u32);
+    for name in names {
+        put_string(&mut buf, name);
+    }
+
+    let weights = model.snapshot();
+    buf.put_u64_le(weights.len() as u64);
+    buf.put_slice(&weights);
+    buf.to_vec()
+}
+
+fn need(buf: &Bytes, n: usize, what: &str) -> Result<(), PersistError> {
+    if buf.remaining() < n {
+        Err(PersistError::Malformed(format!("truncated while reading {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+/// Load a detector produced by [`save_detector`].
+pub fn load_detector(bytes: &[u8]) -> Result<LoadedDetector, PersistError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    need(&buf, 8, "magic")?;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::Malformed("bad magic".into()));
+    }
+    need(&buf, 2 + 16 + 5, "header")?;
+    let kind = match buf.get_u8() {
+        0 => ModelKind::Tsb,
+        1 => ModelKind::Etsb,
+        other => return Err(PersistError::Malformed(format!("unknown model kind {other}"))),
+    };
+    let cell = match buf.get_u8() {
+        0 => CellKind::Vanilla,
+        1 => CellKind::Lstm,
+        2 => CellKind::Gru,
+        other => return Err(PersistError::Malformed(format!("unknown cell kind {other}"))),
+    };
+    let mut train = TrainConfig {
+        rnn_units: buf.get_u32_le() as usize,
+        attr_rnn_units: buf.get_u32_le() as usize,
+        head_dim: buf.get_u32_le() as usize,
+        length_dense_dim: buf.get_u32_le() as usize,
+        cell,
+        ..TrainConfig::default()
+    };
+    let has_embed = buf.get_u8() != 0;
+    let embed = buf.get_u32_le() as usize;
+    train.embed_dim = has_embed.then_some(embed);
+
+    need(&buf, 4, "char count")?;
+    let n_chars = buf.get_u32_le() as usize;
+    need(&buf, n_chars * 4, "char table")?;
+    let mut entries = Vec::with_capacity(n_chars);
+    for i in 0..n_chars {
+        let cp = buf.get_u32_le();
+        let ch = char::from_u32(cp)
+            .ok_or_else(|| PersistError::Malformed(format!("invalid codepoint {cp}")))?;
+        entries.push((ch, i + 1));
+    }
+    let char_index = CharIndex::from_entries(entries);
+
+    need(&buf, 4, "attr count")?;
+    let n_attrs = buf.get_u32_le() as usize;
+    let mut names = Vec::with_capacity(n_attrs);
+    for _ in 0..n_attrs {
+        need(&buf, 4, "attr name length")?;
+        let len = buf.get_u32_le() as usize;
+        need(&buf, len, "attr name")?;
+        let mut raw = vec![0u8; len];
+        buf.copy_to_slice(&mut raw);
+        let name = String::from_utf8(raw)
+            .map_err(|_| PersistError::Malformed("non-utf8 attribute name".into()))?;
+        names.push(name);
+    }
+    let attr_index = AttrIndex::from_names(names);
+
+    need(&buf, 8, "weights length")?;
+    let w_len = buf.get_u64_le() as usize;
+    need(&buf, w_len, "weights")?;
+    let weights = buf.copy_to_bytes(w_len);
+
+    // Build a model of the right shape, then restore the weights. The
+    // RNG seed is irrelevant: every weight is overwritten.
+    let dims = EncodedDataset::empty_with_dicts(char_index.clone(), attr_index.clone());
+    let mut model = AnyModel::new(kind, &dims, &train, &mut seeded_rng(0));
+    model.restore(&weights).map_err(PersistError::Weights)?;
+
+    Ok(LoadedDetector { model, kind, train, char_index, attr_index })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::{marked_dataset, overfit};
+
+    fn small_cfg() -> TrainConfig {
+        TrainConfig {
+            rnn_units: 6,
+            attr_rnn_units: 3,
+            head_dim: 6,
+            length_dense_dim: 4,
+            embed_dim: Some(8),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let data = marked_dataset(30);
+        let cfg = small_cfg();
+        let mut model = AnyModel::new(ModelKind::Etsb, &data, &cfg, &mut seeded_rng(1));
+        let _ = overfit(&mut model, &data, 40);
+
+        let cells: Vec<usize> = (0..data.n_cells()).collect();
+        let before = model.predict_probs(&data, &cells);
+
+        let saved = save_detector(&model, ModelKind::Etsb, &cfg, &data);
+        let loaded = load_detector(&saved).unwrap();
+        assert_eq!(loaded.kind, ModelKind::Etsb);
+        let after = loaded.model.predict_probs(&data, &cells);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn loaded_detector_applies_to_fresh_dirty_data() {
+        let data = marked_dataset(30);
+        let cfg = small_cfg();
+        let mut model = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut seeded_rng(2));
+        let _ = overfit(&mut model, &data, 60);
+        let saved = save_detector(&model, ModelKind::Tsb, &cfg, &data);
+        let loaded = load_detector(&saved).unwrap();
+
+        // New dirty-only table in the same schema: errors carry '!'.
+        let mut fresh = etsb_table::Table::with_columns(&["v", "w"]);
+        fresh.push_row_strs(&["val1", "11"]);
+        fresh.push_row_strs(&["val2!", "12"]);
+        let flags = loaded.apply(&fresh).unwrap();
+        assert_eq!(flags.len(), 4);
+        assert!(flags[2], "the marked value should be flagged");
+        assert!(!flags[0]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            load_detector(b"NOTADETECTOR"),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let data = marked_dataset(12);
+        let cfg = small_cfg();
+        let model = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut seeded_rng(3));
+        let saved = save_detector(&model, ModelKind::Tsb, &cfg, &data);
+        // Chop the buffer at several points; every prefix must fail
+        // cleanly rather than panic.
+        for cut in [0, 4, 9, 12, 30, saved.len() / 2, saved.len() - 3] {
+            assert!(
+                load_detector(&saved[..cut]).is_err(),
+                "prefix of {cut} bytes unexpectedly loaded"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_is_reported_on_apply() {
+        let data = marked_dataset(12);
+        let cfg = small_cfg();
+        let model = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut seeded_rng(4));
+        let saved = save_detector(&model, ModelKind::Tsb, &cfg, &data);
+        let loaded = load_detector(&saved).unwrap();
+        let mut wrong = etsb_table::Table::with_columns(&["different", "schema"]);
+        wrong.push_row_strs(&["a", "b"]);
+        assert!(loaded.apply(&wrong).is_err());
+    }
+}

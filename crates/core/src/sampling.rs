@@ -1,0 +1,217 @@
+//! Trainset selection (§4.2): Algorithms 1–3.
+//!
+//! All three return `n` distinct tuple ids whose cells the (simulated)
+//! user labels. Only the dirty values are consulted — never `value_y` or
+//! the labels — exactly as the paper stresses.
+
+use crate::config::SamplerKind;
+use etsb_table::CellFrame;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Dispatch a sampler by kind.
+pub fn select(kind: SamplerKind, frame: &CellFrame, n: usize, seed: u64) -> Vec<usize> {
+    match kind {
+        SamplerKind::Random => random_set(frame, n, seed),
+        SamplerKind::Raha => raha_set(frame, n, seed),
+        SamplerKind::DiverSet => diver_set(frame, n, seed),
+    }
+}
+
+/// Algorithm 1 (`RandomSet`): uniform sample of `n` distinct tuples.
+pub fn random_set(frame: &CellFrame, n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<usize> = (0..frame.n_tuples()).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(n.min(frame.n_tuples()));
+    ids
+}
+
+/// Algorithm 2 (`RahaSet`): delegate to the Raha baseline's
+/// cluster-coverage sampler.
+pub fn raha_set(frame: &CellFrame, n: usize, seed: u64) -> Vec<usize> {
+    let detector = etsb_raha::RahaDetector::default();
+    let model = detector.fit(frame);
+    model.sample_tuples(n, seed)
+}
+
+/// Algorithm 3 (`DiverSet`): greedily pick the tuple with the most
+/// attribute values not seen in previously selected tuples; break ties by
+/// the number of empty values, then uniformly at random.
+///
+/// The paper's `concat` column (attribute ‖ value) defines "seen": after
+/// choosing a tuple, every cell anywhere in the dataset sharing a concat
+/// value with it is deleted from the working set, so later picks are
+/// scored only on genuinely novel values.
+pub fn diver_set(frame: &CellFrame, n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_tuples = frame.n_tuples();
+    let n = n.min(n_tuples);
+    let attrs = frame.attrs();
+
+    // concat value → cells carrying it.
+    let mut by_concat: HashMap<String, Vec<usize>> = HashMap::new();
+    for (idx, cell) in frame.cells().iter().enumerate() {
+        by_concat.entry(cell.concat(attrs)).or_default().push(idx);
+    }
+
+    let mut removed = vec![false; frame.cells().len()];
+    // Per-tuple live-cell count (#unseenAttr) and live-empty count (#empty).
+    let mut unseen: Vec<usize> = vec![frame.n_attrs(); n_tuples];
+    let mut empties: Vec<usize> = (0..n_tuples)
+        .map(|t| frame.tuple(t).iter().filter(|c| c.empty).count())
+        .collect();
+    let mut chosen = vec![false; n_tuples];
+    let mut id_train = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        // Candidates: unchosen tuples that still have live cells; if the
+        // working set ran dry, fall back to any unchosen tuple (the
+        // paper's "chosen randomly" terminal case).
+        let best = (0..n_tuples)
+            .filter(|&t| !chosen[t] && unseen[t] > 0)
+            .map(|t| (unseen[t], empties[t]))
+            .max();
+        let candidates: Vec<usize> = match best {
+            Some((u, e)) => (0..n_tuples)
+                .filter(|&t| !chosen[t] && unseen[t] == u && empties[t] == e)
+                .collect(),
+            None => (0..n_tuples).filter(|&t| !chosen[t]).collect(),
+        };
+        let pick = candidates[rng.gen_range(0..candidates.len())];
+        chosen[pick] = true;
+        id_train.push(pick);
+
+        // Delete every cell sharing a concat value with the pick.
+        for cell in frame.tuple(pick) {
+            let key = cell.concat(attrs);
+            if let Some(cells) = by_concat.remove(&key) {
+                for idx in cells {
+                    if !removed[idx] {
+                        removed[idx] = true;
+                        let c = &frame.cells()[idx];
+                        unseen[c.tuple_id] -= 1;
+                        if c.empty {
+                            empties[c.tuple_id] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    id_train
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_table::Table;
+
+    fn frame_from_rows(rows: &[&[&str]]) -> CellFrame {
+        let cols: Vec<String> = (0..rows[0].len()).map(|c| format!("c{c}")).collect();
+        let mut d = Table::new(cols);
+        for r in rows {
+            d.push_row_strs(r);
+        }
+        CellFrame::merge(&d, &d).unwrap()
+    }
+
+    fn assert_valid_sample(sample: &[usize], n: usize, n_tuples: usize) {
+        assert_eq!(sample.len(), n);
+        let mut sorted = sample.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n, "sample must be duplicate-free");
+        assert!(sorted.iter().all(|&t| t < n_tuples));
+    }
+
+    #[test]
+    fn random_set_basic_invariants() {
+        let frame = frame_from_rows(&[&["a"], &["b"], &["c"], &["d"], &["e"]]);
+        let s = random_set(&frame, 3, 7);
+        assert_valid_sample(&s, 3, 5);
+        // Deterministic per seed.
+        assert_eq!(s, random_set(&frame, 3, 7));
+        assert_ne!(random_set(&frame, 3, 1), random_set(&frame, 3, 2));
+    }
+
+    #[test]
+    fn diver_set_prefers_unseen_values() {
+        // Tuple 0 and 1 are identical; tuple 2 is all-new. After picking
+        // one of {0,1}, the other contributes zero unseen values, so the
+        // second pick must be tuple 2.
+        let frame = frame_from_rows(&[&["x", "y"], &["x", "y"], &["p", "q"]]);
+        let s = diver_set(&frame, 2, 3);
+        assert_valid_sample(&s, 2, 3);
+        assert!(s.contains(&2), "the all-new tuple must be selected: {s:?}");
+    }
+
+    #[test]
+    fn diver_set_breaks_ties_by_empty_count() {
+        // All tuples have 2 unseen attrs; tuple 1 has an empty value and
+        // must win the first pick.
+        let frame = frame_from_rows(&[&["a", "b"], &["c", ""], &["e", "f"]]);
+        let s = diver_set(&frame, 1, 5);
+        assert_eq!(s, vec![1]);
+    }
+
+    #[test]
+    fn diver_set_walks_the_paper_example() {
+        // Figure 4's worked example: three tuples over three attributes.
+        // Tuple 0: (e3, "", 1111) — has an empty value.
+        // Tuples 1, 2: all-distinct values, no empties.
+        let frame = frame_from_rows(&[
+            &["e3", "", "1111"],
+            &["a7", "x1", "2222"],
+            &["b9", "y2", "3333"],
+        ]);
+        // i=1: all have #unseen=3; tuple 0 wins on #empty=1.
+        // i=2: tuples 1 and 2 tie (3 unseen, 0 empty) → random.
+        let s = diver_set(&frame, 2, 1);
+        assert_eq!(s[0], 0, "first pick must be the tuple with the empty value");
+        assert!(s[1] == 1 || s[1] == 2);
+    }
+
+    #[test]
+    fn diver_set_handles_exhausted_working_set() {
+        // Only two distinct tuples exist; asking for 4 must still return
+        // 4 distinct ids via the random fallback.
+        let frame = frame_from_rows(&[&["a"], &["a"], &["a"], &["a"], &["b"]]);
+        let s = diver_set(&frame, 4, 9);
+        assert_valid_sample(&s, 4, 5);
+    }
+
+    #[test]
+    fn diver_set_is_deterministic_per_seed() {
+        let rows: Vec<Vec<String>> =
+            (0..50).map(|i| vec![format!("v{}", i % 7), format!("w{}", i % 3)]).collect();
+        let str_rows: Vec<Vec<&str>> =
+            rows.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+        let refs: Vec<&[&str]> = str_rows.iter().map(|r| r.as_slice()).collect();
+        let frame = frame_from_rows(&refs);
+        assert_eq!(diver_set(&frame, 20, 5), diver_set(&frame, 20, 5));
+    }
+
+    #[test]
+    fn all_samplers_dispatch() {
+        let rows: Vec<Vec<String>> = (0..40).map(|i| vec![format!("v{i}")]).collect();
+        let str_rows: Vec<Vec<&str>> =
+            rows.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+        let refs: Vec<&[&str]> = str_rows.iter().map(|r| r.as_slice()).collect();
+        let frame = frame_from_rows(&refs);
+        for kind in [SamplerKind::Random, SamplerKind::Raha, SamplerKind::DiverSet] {
+            let s = select(kind, &frame, 10, 1);
+            assert_valid_sample(&s, 10, 40);
+        }
+    }
+
+    #[test]
+    fn request_larger_than_dataset_is_clamped() {
+        let frame = frame_from_rows(&[&["a"], &["b"]]);
+        assert_eq!(diver_set(&frame, 10, 1).len(), 2);
+        assert_eq!(random_set(&frame, 10, 1).len(), 2);
+    }
+}

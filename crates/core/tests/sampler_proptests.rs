@@ -1,0 +1,99 @@
+//! Property-based tests for the trainset-selection algorithms and the
+//! evaluation metrics.
+
+use etsb_core::config::SamplerKind;
+use etsb_core::eval::{Metrics, Summary};
+use etsb_core::sampling;
+use etsb_table::{CellFrame, Table};
+use proptest::prelude::*;
+
+/// Random small frames: up to 40 tuples x 3 attrs over a tiny value
+/// alphabet (so value collisions — the interesting case for DiverSet —
+/// are common).
+fn frame() -> impl Strategy<Value = CellFrame> {
+    (2usize..40, 1usize..4).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u8..6, cols),
+            rows,
+        )
+        .prop_map(move |data| {
+            let names: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
+            let mut t = Table::new(names);
+            for row in data {
+                t.push_row(
+                    row.into_iter()
+                        .map(|v| if v == 0 { String::new() } else { format!("v{v}") })
+                        .collect(),
+                );
+            }
+            CellFrame::merge(&t, &t).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn samplers_return_distinct_in_range_ids(f in frame(), n in 1usize..25, seed in 0u64..100) {
+        for kind in [SamplerKind::Random, SamplerKind::DiverSet] {
+            let s = sampling::select(kind, &f, n, seed);
+            prop_assert_eq!(s.len(), n.min(f.n_tuples()), "{:?}", kind);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), s.len(), "{:?} returned duplicates", kind);
+            prop_assert!(s.iter().all(|&t| t < f.n_tuples()));
+        }
+    }
+
+    #[test]
+    fn diver_set_first_pick_maximizes_empties_among_full_coverage(f in frame(), seed in 0u64..100) {
+        // On the first iteration every tuple has #unseen = n_attrs, so the
+        // pick must be among the tuples with the most empty values.
+        let s = sampling::diver_set(&f, 1, seed);
+        let empties = |t: usize| f.tuple(t).iter().filter(|c| c.empty).count();
+        let max_empty = (0..f.n_tuples()).map(empties).max().unwrap();
+        prop_assert_eq!(empties(s[0]), max_empty);
+    }
+
+    #[test]
+    fn metrics_are_bounded_and_consistent(
+        preds in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let labels: Vec<bool> = preds.iter().map(|p| !p).collect(); // worst case
+        let m = Metrics::from_predictions(&preds, &labels);
+        prop_assert!(m.tp + m.fp + m.fn_ + m.tn == preds.len());
+        for v in [m.precision, m.recall, m.f1, m.accuracy] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean(tp in 0usize..50, fp in 0usize..50, fn_ in 0usize..50) {
+        // Build a prediction vector realizing this confusion matrix.
+        let mut preds = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..tp { preds.push(true); labels.push(true); }
+        for _ in 0..fp { preds.push(true); labels.push(false); }
+        for _ in 0..fn_ { preds.push(false); labels.push(true); }
+        preds.push(false); labels.push(false); // ensure non-empty
+        let m = Metrics::from_predictions(&preds, &labels);
+        if m.precision + m.recall > 0.0 {
+            let expect = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+            prop_assert!((m.f1 - expect).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(m.f1, 0.0);
+        }
+    }
+
+    #[test]
+    fn summary_mean_within_range(vals in proptest::collection::vec(0.0f64..1.0, 1..30)) {
+        let s = Summary::of(&vals);
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(s.mean >= min - 1e-12 && s.mean <= max + 1e-12);
+        prop_assert!(s.std >= 0.0 && s.std <= 0.5 + 1e-12); // bounded on [0,1] data
+        prop_assert!(s.ci95() >= 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Hospital generator: 1,000 x 20, error rate 0.03, T + VAD.
+//!
+//! §5.5: "Detecting errors in the Hospital dataset is quite
+//! straightforward because the errors are marked with 'x'
+//! (e.g. 'hexrt fxilure')" — so the generator injects mostly `x` typos,
+//! plus a small share of repeated-information conflicts (VAD).
+
+use crate::corrupt::{x_typo, ErrorKind, Injector};
+use crate::vocab;
+use crate::{Dataset, GenConfig};
+use etsb_table::Table;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+const COLUMNS: [&str; 20] = [
+    "provider_number",
+    "hospital_name",
+    "address1",
+    "address2",
+    "address3",
+    "city",
+    "state",
+    "zip",
+    "county",
+    "phone",
+    "hospital_type",
+    "hospital_owner",
+    "emergency_service",
+    "condition",
+    "measure_code",
+    "measure_name",
+    "score",
+    "sample",
+    "state_avg",
+    "record_id",
+];
+
+pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
+    let mut rng = cfg.rng(Dataset::Hospital);
+    let n_rows = cfg.rows(Dataset::Hospital.paper_rows());
+
+    // Hospitals repeat across rows (one row per hospital x measure).
+    let n_hospitals = vocab::HOSPITAL_NAMES.len();
+    let hospital_meta: Vec<(String, String, String, String)> = (0..n_hospitals)
+        .map(|i| {
+            let (city, state) = vocab::CITY_STATE[i % vocab::CITY_STATE.len()];
+            let zip = format!("{:05}", 10000 + i * 137);
+            let phone = format!("{}5551{:03}", 200 + i, i);
+            (city.to_lowercase(), state.to_lowercase(), zip, phone)
+        })
+        .collect();
+
+    let mut clean = Table::with_columns(&COLUMNS);
+    for i in 0..n_rows {
+        let h = i % n_hospitals;
+        let m = (i / n_hospitals) % vocab::HOSPITAL_MEASURES.len();
+        let (city, state, zip, phone) = &hospital_meta[h];
+        let condition = vocab::HOSPITAL_CONDITIONS[m % vocab::HOSPITAL_CONDITIONS.len()];
+        clean.push_row(vec![
+            format!("{:05}", 10001 + h),
+            vocab::HOSPITAL_NAMES[h].to_string(),
+            format!("{} main street", 100 + h * 7),
+            String::new(),
+            String::new(),
+            city.clone(),
+            state.clone(),
+            zip.clone(),
+            format!("county {}", h % 12),
+            phone.clone(),
+            "acute care hospitals".to_string(),
+            "voluntary non-profit - private".to_string(),
+            if h.is_multiple_of(3) { "yes".to_string() } else { "no".to_string() },
+            condition.to_string(),
+            format!("{}-{}", condition.split(' ').next().unwrap_or("m"), m + 1),
+            vocab::HOSPITAL_MEASURES[m].to_string(),
+            format!("{}%", rng.gen_range(55..100)),
+            rng.gen_range(10..400).to_string(),
+            format!("{}%", rng.gen_range(60..99)),
+            i.to_string(),
+        ]);
+    }
+
+    let mut dirty = clean.clone();
+    let mix = [(ErrorKind::Typo, 0.95), (ErrorKind::ViolatedDependency, 0.05)];
+    Injector::new(n_rows * COLUMNS.len(), Dataset::Hospital.paper_error_rate(), &mix, &mut rng)
+        .run(&mut dirty, |kind, _r, c, old, rng| match kind {
+            // The hallmark 'x' typo on any textual cell.
+            ErrorKind::Typo => x_typo(old, rng),
+            // Repeated hospital information that disagrees: swap in the
+            // metadata of a different hospital (looks perfectly valid).
+            ErrorKind::ViolatedDependency => match c {
+                1 => {
+                    let other = vocab::HOSPITAL_NAMES.choose(rng).expect("non-empty");
+                    (*other != old).then(|| other.to_string())
+                }
+                5 => {
+                    let (city, _) = vocab::CITY_STATE.choose(rng).expect("non-empty");
+                    let lc = city.to_lowercase();
+                    (lc != old).then_some(lc)
+                }
+                _ => None,
+            },
+            _ => None,
+        });
+    (dirty, clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_table::CellFrame;
+
+    #[test]
+    fn most_errors_contain_x() {
+        let cfg = GenConfig { scale: 0.2, seed: 8 };
+        let (dirty, clean) = generate(&cfg);
+        let frame = CellFrame::merge(&dirty, &clean).unwrap();
+        let errors: Vec<_> = frame.cells().iter().filter(|c| c.label).collect();
+        assert!(!errors.is_empty());
+        let with_x = errors.iter().filter(|c| c.value_x.contains('x')).count();
+        assert!(
+            with_x as f64 / errors.len() as f64 > 0.75,
+            "only {with_x}/{} errors carry the x marker",
+            errors.len()
+        );
+    }
+
+    #[test]
+    fn alphabet_is_small_like_the_paper() {
+        // Hospital is all-lowercase: Table 2 reports just 46 distinct chars.
+        let cfg = GenConfig { scale: 0.1, seed: 9 };
+        let (dirty, clean) = generate(&cfg);
+        let frame = CellFrame::merge(&dirty, &clean).unwrap();
+        assert!(frame.distinct_chars() < 60, "alphabet {}", frame.distinct_chars());
+    }
+}

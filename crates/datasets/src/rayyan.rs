@@ -1,0 +1,186 @@
+//! Rayyan generator: 1,000 x 10, error rate 0.09, MV + T + FI + VAD.
+//!
+//! §5.1: formatting issues in journal_issn ('Mar-22' rather than
+//! '22-Mar') and article_pagination ('70-6' rather than 'Jun-70'),
+//! missing values in article_jissue, typos in journal/article titles.
+//! §5.5 notes the errors are "mostly due to non-recognized special
+//! characters", so titles carry a spread of unicode punctuation.
+
+use crate::corrupt::{missing_value, typo, ErrorKind, Injector};
+use crate::vocab;
+use crate::{Dataset, GenConfig};
+use etsb_table::Table;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Encoding damage: replace one character with a mojibake sequence — the
+/// "non-recognized special characters" the paper's error analysis blames
+/// for most Rayyan errors.
+fn mojibake(value: &str, rng: &mut StdRng) -> Option<String> {
+    const GARBAGE: [&str; 6] = ["\u{fffd}", "Ã©", "â€™", "Ã¤", "â€œ", "Â±"];
+    let chars: Vec<char> = value.chars().collect();
+    if chars.is_empty() {
+        return None;
+    }
+    let pos = rng.gen_range(0..chars.len());
+    let g = GARBAGE[rng.gen_range(0..GARBAGE.len())];
+    let mut out: String = chars[..pos].iter().collect();
+    out.push_str(g);
+    out.extend(&chars[pos + 1..]);
+    (out != value).then_some(out)
+}
+
+const COLUMNS: [&str; 10] = [
+    "article_id",
+    "article_title",
+    "journal_title",
+    "journal_issn",
+    "article_jvolume",
+    "article_jissue",
+    "article_pagination",
+    "author_list",
+    "journal_abbreviation",
+    "article_language",
+];
+
+pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
+    let mut rng = cfg.rng(Dataset::Rayyan);
+    let n_rows = cfg.rows(Dataset::Rayyan.paper_rows());
+
+    let languages = ["eng", "fre", "ger", "spa", "ita", "jpn"];
+    let decorations = ["—", "–", "“", "”", "‘", "’", "±", "≥", "≤", "µ", "α", "β"];
+
+    let mut clean = Table::with_columns(&COLUMNS);
+    for i in 0..n_rows {
+        let w = |rng: &mut rand::rngs::StdRng| {
+            vocab::ARTICLE_WORDS.choose(rng).expect("non-empty").to_string()
+        };
+        let deco = decorations.choose(&mut rng).expect("non-empty");
+        let title = format!(
+            "A {} {} of {} {} {deco} a {} study",
+            w(&mut rng),
+            w(&mut rng),
+            w(&mut rng),
+            w(&mut rng),
+            w(&mut rng)
+        );
+        let authors = format!(
+            "{}, {}. and {}, {}.",
+            vocab::LAST_NAMES.choose(&mut rng).expect("non-empty"),
+            vocab::FIRST_NAMES.choose(&mut rng).expect("non-empty").chars().next().unwrap_or('A'),
+            vocab::LAST_NAMES.choose(&mut rng).expect("non-empty"),
+            vocab::FIRST_NAMES.choose(&mut rng).expect("non-empty").chars().next().unwrap_or('B'),
+        );
+        let journal = vocab::JOURNALS.choose(&mut rng).expect("non-empty");
+        let day = rng.gen_range(1..=28);
+        let month = vocab::MONTHS_ABBR.choose(&mut rng).expect("non-empty");
+        let p_start = rng.gen_range(1..900);
+        clean.push_row(vec![
+            (2_000_000 + i).to_string(),
+            title,
+            journal.to_string(),
+            format!("{day}-{month}"),
+            rng.gen_range(1..80).to_string(),
+            rng.gen_range(1..12).to_string(),
+            format!("{p_start}-{}", p_start + rng.gen_range(2..30)),
+            authors,
+            journal.split(' ').map(|w| &w[..1.min(w.len())]).collect::<Vec<_>>().join(""),
+            languages.choose(&mut rng).expect("non-empty").to_string(),
+        ]);
+    }
+
+    let mut dirty = clean.clone();
+    let col = |name: &str| COLUMNS.iter().position(|c| *c == name).expect("known column");
+    let (c_title, c_journal, c_issn, c_issue, c_pages, c_volume) = (
+        col("article_title"),
+        col("journal_title"),
+        col("journal_issn"),
+        col("article_jissue"),
+        col("article_pagination"),
+        col("article_jvolume"),
+    );
+
+    let mix = [
+        (ErrorKind::FormattingIssue, 0.40),
+        (ErrorKind::Typo, 0.25),
+        (ErrorKind::MissingValue, 0.25),
+        (ErrorKind::ViolatedDependency, 0.10),
+    ];
+    Injector::new(n_rows * COLUMNS.len(), Dataset::Rayyan.paper_error_rate(), &mix, &mut rng)
+        .run(&mut dirty, |kind, _r, c, old, rng| match kind {
+            ErrorKind::FormattingIssue => {
+                if c == c_issn {
+                    // '22-Mar' → 'Mar-22' (the Excel-style date flip).
+                    let (day, month) = old.split_once('-')?;
+                    Some(format!("{month}-{day}"))
+                } else if c == c_pages {
+                    // '70-76' → '70-6' (truncated page range).
+                    let (start, end) = old.split_once('-')?;
+                    let shortened = &end[end.len().saturating_sub(1)..];
+                    let candidate = format!("{start}-{shortened}");
+                    (candidate != old).then_some(candidate)
+                } else {
+                    None
+                }
+            }
+            ErrorKind::Typo => {
+                if c == c_title || c == c_journal {
+                    // §5.5: "mostly due to non-recognized special
+                    // characters" — encoding damage (mojibake), with a
+                    // minority of plain character typos.
+                    if rng.gen_bool(0.7) {
+                        mojibake(old, rng)
+                    } else {
+                        typo(old, rng)
+                    }
+                } else {
+                    None
+                }
+            }
+            ErrorKind::MissingValue => {
+                if c == c_issue || c == c_volume {
+                    Some(missing_value(rng))
+                } else {
+                    None
+                }
+            }
+            ErrorKind::ViolatedDependency => {
+                if c == c_journal {
+                    let other = vocab::JOURNALS.choose(rng).expect("non-empty");
+                    (*other != old).then(|| other.to_string())
+                } else {
+                    None
+                }
+            }
+        });
+    (dirty, clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_table::CellFrame;
+
+    #[test]
+    fn issn_flip_errors_present() {
+        let cfg = GenConfig { scale: 0.2, seed: 21 };
+        let (dirty, clean) = generate(&cfg);
+        let frame = CellFrame::merge(&dirty, &clean).unwrap();
+        let flipped = frame
+            .cells()
+            .iter()
+            .filter(|c| c.label && c.attr == 3 && c.value_x.chars().next().is_some_and(|ch| ch.is_ascii_alphabetic()))
+            .count();
+        assert!(flipped > 0, "expected Mar-22 style flips");
+    }
+
+    #[test]
+    fn special_characters_in_alphabet() {
+        let cfg = GenConfig { scale: 0.1, seed: 22 };
+        let (dirty, clean) = generate(&cfg);
+        let frame = CellFrame::merge(&dirty, &clean).unwrap();
+        // Unicode decorations should push the alphabet near the paper's 101.
+        assert!(frame.distinct_chars() > 60, "alphabet {}", frame.distinct_chars());
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the dataset generators and the error
+//! injector.
+
+use etsb_datasets::{Dataset, GenConfig};
+use etsb_table::CellFrame;
+use proptest::prelude::*;
+
+proptest! {
+    // Generation is the expensive part; keep case counts low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_seed_produces_valid_pairs(seed in 0u64..10_000, ds_idx in 0usize..6) {
+        let ds = Dataset::ALL[ds_idx];
+        let cfg = GenConfig { scale: 0.02, seed };
+        let pair = ds.generate(&cfg);
+        prop_assert_eq!(pair.dirty.shape(), pair.clean.shape());
+        prop_assert_eq!(pair.dirty.n_cols(), ds.paper_cols());
+        let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+        // Errors exist and never exceed twice the nominal rate.
+        prop_assert!(frame.error_rate() > 0.0, "{}: no errors injected", ds);
+        prop_assert!(
+            frame.error_rate() < ds.paper_error_rate() * 2.0 + 0.05,
+            "{}: error rate {} too high",
+            ds,
+            frame.error_rate()
+        );
+    }
+
+    #[test]
+    fn scale_controls_row_count(scale in 0.01f64..0.2) {
+        let cfg = GenConfig { scale, seed: 1 };
+        let pair = Dataset::Rayyan.generate(&cfg);
+        let expected = ((1000.0 * scale).round() as usize).max(30);
+        prop_assert_eq!(pair.dirty.n_rows(), expected);
+    }
+
+    #[test]
+    fn error_cells_differ_and_clean_cells_match(seed in 0u64..1000) {
+        let cfg = GenConfig { scale: 0.03, seed };
+        let pair = Dataset::Beers.generate(&cfg);
+        let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+        for cell in frame.cells() {
+            if cell.label {
+                prop_assert_ne!(&cell.value_x, &cell.value_y);
+            } else {
+                prop_assert_eq!(&cell.value_x, &cell.value_y);
+            }
+        }
+    }
+
+    #[test]
+    fn hospital_errors_remain_x_marked(seed in 0u64..500) {
+        let cfg = GenConfig { scale: 0.06, seed };
+        let pair = Dataset::Hospital.generate(&cfg);
+        let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+        let errors: Vec<_> = frame.cells().iter().filter(|c| c.label).collect();
+        prop_assert!(!errors.is_empty());
+        let with_x = errors.iter().filter(|c| c.value_x.contains('x')).count();
+        prop_assert!(
+            with_x * 10 >= errors.len() * 7,
+            "only {}/{} errors carry the x marker",
+            with_x,
+            errors.len()
+        );
+    }
+}

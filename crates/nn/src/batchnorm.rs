@@ -1,0 +1,288 @@
+//! Batch normalization (Ioffe & Szegedy 2015), used by the paper to
+//! "standardize the input to the softmax" head (§4.3.1).
+//!
+//! Training mode normalizes with batch statistics and maintains running
+//! estimates; evaluation mode uses the running estimates, which is what
+//! the best-weight checkpoint evaluates with.
+
+use crate::Param;
+use etsb_tensor::Matrix;
+
+/// Per-feature batch normalization over `N x D` batches.
+#[derive(Clone, Debug)]
+pub struct BatchNorm {
+    /// Learned scale, `1 x D`.
+    pub gamma: Param,
+    /// Learned shift, `1 x D`.
+    pub beta: Param,
+    /// Running mean used at evaluation time, `1 x D`.
+    pub running_mean: Matrix,
+    /// Running (population) variance used at evaluation time, `1 x D`.
+    pub running_var: Matrix,
+    /// Exponential-moving-average momentum for the running statistics.
+    pub momentum: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+}
+
+/// Cache from [`BatchNorm::forward_train`].
+#[derive(Clone, Debug)]
+pub struct BatchNormCache {
+    /// Centered inputs `x - mu`, `N x D`.
+    centered: Matrix,
+    /// Per-feature `1/sqrt(var + eps)`, length `D`.
+    inv_std: Vec<f32>,
+    /// Normalized inputs, `N x D`.
+    xhat: Matrix,
+}
+
+impl BatchNorm {
+    /// New batch-norm layer over `dim` features (γ=1, β=0, Keras defaults:
+    /// momentum 0.99, eps 1e-3).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "BatchNorm: dim must be positive");
+        Self {
+            gamma: Param::new(Matrix::full(1, dim, 1.0)),
+            beta: Param::new(Matrix::zeros(1, dim)),
+            running_mean: Matrix::zeros(1, dim),
+            running_var: Matrix::full(1, dim, 1.0),
+            momentum: 0.99,
+            eps: 1e-3,
+        }
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.gamma.value.cols()
+    }
+
+    /// Training-mode forward: normalize with batch statistics and update
+    /// the running estimates.
+    pub fn forward_train(&mut self, inputs: &Matrix) -> (Matrix, BatchNormCache) {
+        let (n, d) = inputs.shape();
+        assert_eq!(d, self.dim(), "BatchNorm::forward_train: width {} != {}", d, self.dim());
+        assert!(n > 0, "BatchNorm::forward_train: empty batch");
+        let nf = n as f32;
+
+        let mut mean = vec![0.0_f32; d];
+        for r in 0..n {
+            etsb_tensor::add_assign(&mut mean, inputs.row(r));
+        }
+        etsb_tensor::scale(&mut mean, 1.0 / nf);
+
+        let mut var = vec![0.0_f32; d];
+        let mut centered = Matrix::zeros(n, d);
+        for r in 0..n {
+            let row = inputs.row(r);
+            let c = centered.row_mut(r);
+            for j in 0..d {
+                let diff = row[j] - mean[j];
+                c[j] = diff;
+                var[j] += diff * diff;
+            }
+        }
+        etsb_tensor::scale(&mut var, 1.0 / nf);
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+
+        let mut xhat = Matrix::zeros(n, d);
+        let mut out = Matrix::zeros(n, d);
+        let gamma = self.gamma.value.row(0);
+        let beta = self.beta.value.row(0);
+        for r in 0..n {
+            let c = centered.row(r);
+            let xh = xhat.row_mut(r);
+            let o = out.row_mut(r);
+            for j in 0..d {
+                xh[j] = c[j] * inv_std[j];
+                o[j] = gamma[j] * xh[j] + beta[j];
+            }
+        }
+
+        // Update running statistics (EMA, Keras semantics).
+        let m = self.momentum;
+        for j in 0..d {
+            self.running_mean[(0, j)] = m * self.running_mean[(0, j)] + (1.0 - m) * mean[j];
+            self.running_var[(0, j)] = m * self.running_var[(0, j)] + (1.0 - m) * var[j];
+        }
+
+        (out, BatchNormCache { centered, inv_std, xhat })
+    }
+
+    /// Evaluation-mode forward using the running statistics.
+    pub fn forward_eval(&self, inputs: &Matrix) -> Matrix {
+        let (n, d) = inputs.shape();
+        assert_eq!(d, self.dim(), "BatchNorm::forward_eval: width {} != {}", d, self.dim());
+        let gamma = self.gamma.value.row(0);
+        let beta = self.beta.value.row(0);
+        let mut out = Matrix::zeros(n, d);
+        for r in 0..n {
+            let row = inputs.row(r);
+            let o = out.row_mut(r);
+            for j in 0..d {
+                let inv = 1.0 / (self.running_var[(0, j)] + self.eps).sqrt();
+                o[j] = gamma[j] * (row[j] - self.running_mean[(0, j)]) * inv + beta[j];
+            }
+        }
+        out
+    }
+
+    /// Backward through the training-mode normalization. Accumulates γ/β
+    /// gradients and returns the input gradient.
+    pub fn backward(&mut self, cache: &BatchNormCache, grad_out: &Matrix) -> Matrix {
+        let (n, d) = cache.xhat.shape();
+        assert_eq!(grad_out.shape(), (n, d), "BatchNorm::backward: grad shape");
+        let nf = n as f32;
+        let gamma = self.gamma.value.row(0);
+
+        // dgamma_j = Σ_r dy_rj * xhat_rj ; dbeta_j = Σ_r dy_rj
+        let mut dgamma = vec![0.0_f32; d];
+        let mut dbeta = vec![0.0_f32; d];
+        let mut sum_dxhat = vec![0.0_f32; d];
+        let mut sum_dxhat_xhat = vec![0.0_f32; d];
+        for r in 0..n {
+            let dy = grad_out.row(r);
+            let xh = cache.xhat.row(r);
+            for j in 0..d {
+                dgamma[j] += dy[j] * xh[j];
+                dbeta[j] += dy[j];
+                let dxhat = dy[j] * gamma[j];
+                sum_dxhat[j] += dxhat;
+                sum_dxhat_xhat[j] += dxhat * xh[j];
+            }
+        }
+        etsb_tensor::add_assign(self.gamma.grad.row_mut(0), &dgamma);
+        etsb_tensor::add_assign(self.beta.grad.row_mut(0), &dbeta);
+
+        // dx = (inv_std / N) * (N*dxhat - Σdxhat - xhat * Σ(dxhat·xhat))
+        let mut grad_in = Matrix::zeros(n, d);
+        for r in 0..n {
+            let dy = grad_out.row(r);
+            let xh = cache.xhat.row(r);
+            let g = grad_in.row_mut(r);
+            for j in 0..d {
+                let dxhat = dy[j] * gamma[j];
+                g[j] = cache.inv_std[j] / nf
+                    * (nf * dxhat - sum_dxhat[j] - xh[j] * sum_dxhat_xhat[j]);
+            }
+        }
+        let _ = &cache.centered; // kept for introspection/debugging
+        grad_in
+    }
+
+    /// Parameters in stable order (γ then β).
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    /// Mutable parameters in the same order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_tensor::{mean, stddev};
+
+    #[test]
+    fn train_forward_standardizes_batch() {
+        let mut bn = BatchNorm::new(2);
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 30.0], &[5.0, 50.0], &[7.0, 70.0]]);
+        let (y, _) = bn.forward_train(&x);
+        for j in 0..2 {
+            let col = y.col(j);
+            assert!(mean(&col).abs() < 1e-5, "column {j} mean {}", mean(&col));
+            // Population std ≈ 1 (slightly below because of eps).
+            assert!((stddev(&col) - 1.0).abs() < 0.05, "column {j} std {}", stddev(&col));
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_batch_stats() {
+        let mut bn = BatchNorm::new(1);
+        bn.momentum = 0.5;
+        let x = Matrix::from_rows(&[&[2.0], &[6.0]]); // mean 4, var 4
+        for _ in 0..40 {
+            let _ = bn.forward_train(&x);
+        }
+        assert!((bn.running_mean[(0, 0)] - 4.0).abs() < 1e-3);
+        assert!((bn.running_var[(0, 0)] - 4.0).abs() < 1e-3);
+        // Eval mode with converged stats reproduces the train normalization.
+        let y = bn.forward_eval(&x);
+        assert!((y[(0, 0)] + 1.0).abs() < 0.01);
+        assert!((y[(1, 0)] - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn gamma_beta_scale_and_shift() {
+        let mut bn = BatchNorm::new(1);
+        bn.gamma.value[(0, 0)] = 3.0;
+        bn.beta.value[(0, 0)] = 1.0;
+        let x = Matrix::from_rows(&[&[-1.0], &[1.0]]);
+        let (y, _) = bn.forward_train(&x);
+        // xhat = ±1/sqrt(1+eps) ≈ ±0.9995 → y ≈ 1 ∓ 3·0.9995
+        assert!((y[(0, 0)] - (1.0 - 3.0 * (1.0_f32 / 1.001).sqrt())).abs() < 1e-3);
+        assert!((y[(1, 0)] - (1.0 + 3.0 * (1.0_f32 / 1.001).sqrt())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut bn = BatchNorm::new(3);
+        // Make gamma/beta non-trivial so their gradients are exercised.
+        bn.gamma.value = Matrix::from_rows(&[&[1.5, 0.8, 1.1]]);
+        bn.beta.value = Matrix::from_rows(&[&[0.2, -0.4, 0.0]]);
+        let x = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j) as f32 * 0.47).sin());
+
+        // Scalar loss: weighted sum so per-column grads differ.
+        let weights = Matrix::from_fn(5, 3, |i, j| 0.3 + (i as f32) * 0.1 - (j as f32) * 0.2);
+        let loss = |bn: &BatchNorm, x: &Matrix| {
+            let mut b = bn.clone();
+            let (y, _) = b.forward_train(x);
+            y.hadamard(&weights).sum()
+        };
+
+        let mut work = bn.clone();
+        let (_, cache) = work.forward_train(&x);
+        let grad_in = work.backward(&cache, &weights);
+
+        let h = 1e-3_f32;
+        // Parameter gradients.
+        for (pi, coords) in [(0usize, (0usize, 1usize)), (1, (0, 2))] {
+            let analytic = work.params()[pi].grad[coords];
+            let mut plus = bn.clone();
+            plus.params_mut()[pi].value[coords] += h;
+            let mut minus = bn.clone();
+            minus.params_mut()[pi].value[coords] -= h;
+            let numeric = (loss(&plus, &x) - loss(&minus, &x)) / (2.0 * h);
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+                "param {pi}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Input gradient (the hard part: batch statistics depend on x).
+        for coords in [(0, 0), (2, 1), (4, 2)] {
+            let analytic = grad_in[coords];
+            let mut xp = x.clone();
+            xp[coords] += h;
+            let mut xm = x.clone();
+            xm[coords] -= h;
+            let numeric = (loss(&bn, &xp) - loss(&bn, &xm)) / (2.0 * h);
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+                "input {coords:?}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_does_not_mutate_running_stats() {
+        let mut bn = BatchNorm::new(2);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let _ = bn.forward_train(&x);
+        let before = bn.running_mean.clone();
+        let _ = bn.forward_eval(&x);
+        assert_eq!(bn.running_mean, before);
+    }
+}

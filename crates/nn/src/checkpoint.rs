@@ -1,0 +1,154 @@
+//! Weight checkpointing.
+//!
+//! The paper saves the model weights after every epoch whose training loss
+//! improves on the best seen so far, and restores that snapshot before
+//! evaluation (§5.2). [`snapshot`] serializes a parameter list to bytes;
+//! [`restore`] writes a snapshot back into the same parameter list.
+
+use crate::Param;
+use bytes::{Bytes, BytesMut};
+use etsb_tensor::{decode_matrix, encode_matrix, DecodeError};
+
+/// Error restoring a checkpoint into a parameter list.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying matrix decode failure.
+    Decode(DecodeError),
+    /// Snapshot holds a different number of matrices than the target.
+    CountMismatch {
+        /// Matrices in the snapshot.
+        snapshot: usize,
+        /// Parameters in the target model.
+        target: usize,
+    },
+    /// A matrix in the snapshot has a different shape than its target.
+    ShapeMismatch {
+        /// Index of the offending matrix.
+        index: usize,
+        /// Shape found in the snapshot.
+        snapshot: (usize, usize),
+        /// Shape the model expects.
+        target: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Decode(e) => write!(f, "checkpoint decode: {e}"),
+            CheckpointError::CountMismatch { snapshot, target } => {
+                write!(f, "checkpoint holds {snapshot} matrices, model has {target}")
+            }
+            CheckpointError::ShapeMismatch { index, snapshot, target } => write!(
+                f,
+                "checkpoint matrix {index} is {snapshot:?}, model expects {target:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<DecodeError> for CheckpointError {
+    fn from(e: DecodeError) -> Self {
+        CheckpointError::Decode(e)
+    }
+}
+
+/// Serialize the values of `params` (gradients are not saved).
+pub fn snapshot(params: &[&Param]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.reserve(8);
+    bytes::BufMut::put_u64_le(&mut buf, params.len() as u64);
+    for p in params {
+        encode_matrix(&p.value, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Restore a snapshot produced by [`snapshot`] into `params`.
+///
+/// Shapes must match exactly; gradients are left untouched.
+pub fn restore(snapshot: &Bytes, params: &mut [&mut Param]) -> Result<(), CheckpointError> {
+    let mut buf = snapshot.clone();
+    if bytes::Buf::remaining(&buf) < 8 {
+        return Err(CheckpointError::Decode(DecodeError::Truncated {
+            needed: 8,
+            available: bytes::Buf::remaining(&buf),
+        }));
+    }
+    let count = bytes::Buf::get_u64_le(&mut buf) as usize;
+    if count != params.len() {
+        return Err(CheckpointError::CountMismatch { snapshot: count, target: params.len() });
+    }
+    // Decode everything first so a mid-stream error leaves params intact.
+    let mut decoded = Vec::with_capacity(count);
+    for (i, p) in params.iter().enumerate() {
+        let m = decode_matrix(&mut buf)?;
+        if m.shape() != p.value.shape() {
+            return Err(CheckpointError::ShapeMismatch {
+                index: i,
+                snapshot: m.shape(),
+                target: p.value.shape(),
+            });
+        }
+        decoded.push(m);
+    }
+    for (p, m) in params.iter_mut().zip(decoded) {
+        p.value = m;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_tensor::Matrix;
+
+    #[test]
+    fn round_trip_restores_values() {
+        let mut a = Param::new(Matrix::from_fn(2, 3, |i, j| (i + j) as f32));
+        let mut b = Param::new(Matrix::identity(4));
+        let snap = snapshot(&[&a, &b]);
+        let (va, vb) = (a.value.clone(), b.value.clone());
+        a.value.fill_zero();
+        b.value.fill_zero();
+        restore(&snap, &mut [&mut a, &mut b]).unwrap();
+        assert_eq!(a.value, va);
+        assert_eq!(b.value, vb);
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let a = Param::new(Matrix::zeros(1, 1));
+        let snap = snapshot(&[&a]);
+        let mut x = Param::new(Matrix::zeros(1, 1));
+        let mut y = Param::new(Matrix::zeros(1, 1));
+        assert!(matches!(
+            restore(&snap, &mut [&mut x, &mut y]),
+            Err(CheckpointError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_leaves_params_untouched() {
+        let a = Param::new(Matrix::full(2, 2, 7.0));
+        let snap = snapshot(&[&a]);
+        let mut target = Param::new(Matrix::full(3, 3, 1.0));
+        assert!(matches!(
+            restore(&snap, &mut [&mut target]),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+        assert_eq!(target.value, Matrix::full(3, 3, 1.0));
+    }
+
+    #[test]
+    fn snapshot_excludes_gradients() {
+        let mut a = Param::new(Matrix::zeros(1, 1));
+        a.grad[(0, 0)] = 99.0;
+        let snap = snapshot(&[&a]);
+        let mut b = Param::new(Matrix::zeros(1, 1));
+        restore(&snap, &mut [&mut b]).unwrap();
+        assert_eq!(b.grad[(0, 0)], 0.0);
+    }
+}

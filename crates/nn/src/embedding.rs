@@ -1,0 +1,128 @@
+//! Trainable lookup-table embedding (§3.1 of the paper).
+//!
+//! Index `0` is reserved as the padding symbol by the data-preparation
+//! pipeline; it embeds like any other row, matching Keras'
+//! `Embedding(mask_zero=False)` default that the reference implementation
+//! uses (the RNN in this workspace never reaches padding positions because
+//! sequences run to their true length, but attribute ids may legitimately
+//! be 0).
+
+use crate::Param;
+use etsb_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+
+/// A `vocab_size x dim` trainable embedding table.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    weights: Param,
+}
+
+/// Cache produced by [`Embedding::forward`]: the looked-up indices.
+#[derive(Clone, Debug)]
+pub struct EmbeddingCache {
+    ids: Vec<usize>,
+}
+
+impl Embedding {
+    /// New embedding with Glorot-uniform rows.
+    ///
+    /// # Panics
+    /// If `vocab_size` or `dim` is zero.
+    pub fn new(vocab_size: usize, dim: usize, rng: &mut StdRng) -> Self {
+        assert!(vocab_size > 0, "Embedding: vocab_size must be positive");
+        assert!(dim > 0, "Embedding: dim must be positive");
+        Self { weights: Param::new(init::glorot_uniform(vocab_size, dim, rng)) }
+    }
+
+    /// Vocabulary size (number of rows).
+    pub fn vocab_size(&self) -> usize {
+        self.weights.value.rows()
+    }
+
+    /// Embedding dimension (number of columns).
+    pub fn dim(&self) -> usize {
+        self.weights.value.cols()
+    }
+
+    /// Look up `ids`, producing a `len(ids) x dim` matrix.
+    ///
+    /// # Panics
+    /// If any id is out of vocabulary.
+    pub fn forward(&self, ids: &[usize]) -> (Matrix, EmbeddingCache) {
+        let dim = self.dim();
+        let vocab = self.vocab_size();
+        let mut out = Matrix::zeros(ids.len(), dim);
+        for (row, &id) in ids.iter().enumerate() {
+            assert!(id < vocab, "Embedding: id {id} out of vocabulary (size {vocab})");
+            out.row_mut(row).copy_from_slice(self.weights.value.row(id));
+        }
+        (out, EmbeddingCache { ids: ids.to_vec() })
+    }
+
+    /// Accumulate gradients for the rows selected in the cached forward
+    /// pass. `grad_out` must be `len(ids) x dim`.
+    pub fn backward(&mut self, cache: &EmbeddingCache, grad_out: &Matrix) {
+        assert_eq!(
+            grad_out.shape(),
+            (cache.ids.len(), self.dim()),
+            "Embedding::backward: gradient shape mismatch"
+        );
+        for (row, &id) in cache.ids.iter().enumerate() {
+            etsb_tensor::add_assign(self.weights.grad.row_mut(id), grad_out.row(row));
+        }
+    }
+
+    /// The underlying parameter (for optimizers / checkpoints).
+    pub fn param(&self) -> &Param {
+        &self.weights
+    }
+
+    /// Mutable access to the underlying parameter.
+    pub fn param_mut(&mut self) -> &mut Param {
+        &mut self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_tensor::init::seeded_rng;
+
+    #[test]
+    fn forward_selects_rows() {
+        let mut rng = seeded_rng(1);
+        let emb = Embedding::new(5, 3, &mut rng);
+        let (out, _) = emb.forward(&[2, 2, 4]);
+        assert_eq!(out.shape(), (3, 3));
+        assert_eq!(out.row(0), emb.param().value.row(2));
+        assert_eq!(out.row(1), emb.param().value.row(2));
+        assert_eq!(out.row(2), emb.param().value.row(4));
+    }
+
+    #[test]
+    fn backward_accumulates_repeated_ids() {
+        let mut rng = seeded_rng(2);
+        let mut emb = Embedding::new(4, 2, &mut rng);
+        let (_, cache) = emb.forward(&[1, 1]);
+        let grad = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, 0.5]]);
+        emb.backward(&cache, &grad);
+        assert_eq!(emb.param().grad.row(1), &[3.0, 1.0]);
+        assert_eq!(emb.param().grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn out_of_vocab_panics() {
+        let mut rng = seeded_rng(3);
+        let emb = Embedding::new(3, 2, &mut rng);
+        let _ = emb.forward(&[3]);
+    }
+
+    #[test]
+    fn empty_sequence_is_fine() {
+        let mut rng = seeded_rng(4);
+        let emb = Embedding::new(3, 2, &mut rng);
+        let (out, _) = emb.forward(&[]);
+        assert_eq!(out.shape(), (0, 2));
+    }
+}

@@ -1,0 +1,50 @@
+//! Central-difference gradient verification.
+//!
+//! Used throughout the test-suite (and available to downstream crates'
+//! tests) to prove that a model's analytic `backward` agrees with the
+//! numerical derivative of its `forward` loss.
+
+/// Result of checking one coordinate.
+#[derive(Clone, Copy, Debug)]
+pub struct GradCheck {
+    /// Analytic gradient reported by the backward pass.
+    pub analytic: f32,
+    /// Central-difference estimate.
+    pub numeric: f32,
+    /// `|analytic - numeric| / max(1, |analytic|, |numeric|)`.
+    pub relative_error: f32,
+}
+
+impl GradCheck {
+    /// True when the relative error is below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.relative_error <= tol
+    }
+}
+
+/// Compare `analytic` against a central difference of `loss_at`, where
+/// `loss_at(delta)` must evaluate the loss with the checked coordinate
+/// perturbed by `delta`.
+pub fn check_scalar(analytic: f32, h: f32, mut loss_at: impl FnMut(f32) -> f32) -> GradCheck {
+    let numeric = (loss_at(h) - loss_at(-h)) / (2.0 * h);
+    let denom = 1.0_f32.max(analytic.abs()).max(numeric.abs());
+    GradCheck { analytic, numeric, relative_error: (analytic - numeric).abs() / denom }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient_checks_out() {
+        // f(x) = x² at x = 3 → f'(3) = 6.
+        let check = check_scalar(6.0, 1e-3, |d| (3.0 + d) * (3.0 + d));
+        assert!(check.passes(1e-3), "{check:?}");
+    }
+
+    #[test]
+    fn wrong_gradient_fails() {
+        let check = check_scalar(5.0, 1e-3, |d| (3.0 + d) * (3.0 + d));
+        assert!(!check.passes(1e-2), "{check:?}");
+    }
+}

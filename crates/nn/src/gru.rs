@@ -1,0 +1,241 @@
+//! GRU cell (Cho et al. 2014) with full BPTT.
+//!
+//! Classic (reset-before) formulation:
+//!
+//! ```text
+//! z_t = σ(x_t Wxz + h_{t-1} Whz + bz)         update gate
+//! r_t = σ(x_t Wxr + h_{t-1} Whr + br)         reset gate
+//! n_t = tanh(x_t Wxn + r_t ⊙ (h_{t-1} Whn) + bn)
+//! h_t = (1 - z_t) ⊙ n_t + z_t ⊙ h_{t-1}
+//! ```
+//!
+//! Gate layout in the fused weight matrices: `[z, r, n]`.
+
+use crate::rnn::Recurrence;
+use crate::Param;
+use etsb_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A GRU cell with fused gate weights.
+#[derive(Clone, Debug)]
+pub struct GruCell {
+    /// Input weights, `input_dim x 3·hidden` (gates z, r, n).
+    pub wx: Param,
+    /// Recurrent weights, `hidden x 3·hidden`.
+    pub wh: Param,
+    /// Bias, `1 x 3·hidden`.
+    pub b: Param,
+    hidden: usize,
+}
+
+/// Cache from [`GruCell::forward_seq`].
+#[derive(Clone, Debug)]
+pub struct GruCache {
+    inputs: Matrix,
+    /// Activated gates per step, `T x 3·hidden`: `[z, r, n]`.
+    gates: Matrix,
+    /// The pre-reset hidden contribution `h_{t-1} Whn`, `T x hidden`
+    /// (needed for the reset-gate gradient).
+    hn: Matrix,
+    /// Hidden states (outputs), `T x hidden`.
+    hidden: Matrix,
+}
+
+impl GruCell {
+    /// New cell with Glorot weights and zero bias.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        assert!(input_dim > 0 && hidden > 0, "GruCell: dims must be positive");
+        Self {
+            wx: Param::new(init::glorot_uniform(input_dim, 3 * hidden, rng)),
+            wh: Param::new(init::glorot_uniform(hidden, 3 * hidden, rng)),
+            b: Param::new(Matrix::zeros(1, 3 * hidden)),
+            hidden,
+        }
+    }
+}
+
+impl Recurrence for GruCell {
+    type Cache = GruCache;
+
+    fn with_dims(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        GruCell::new(input_dim, hidden, rng)
+    }
+
+    fn input_dim(&self) -> usize {
+        self.wx.value.rows()
+    }
+
+    fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    fn forward_seq(&self, inputs: Matrix) -> (Matrix, GruCache) {
+        let t_max = inputs.rows();
+        assert!(t_max > 0, "GruCell::forward_seq: empty sequence");
+        assert_eq!(inputs.cols(), self.input_dim(), "GruCell: input width mismatch");
+        let h = self.hidden;
+        let mut gates = Matrix::zeros(t_max, 3 * h);
+        let mut hn_all = Matrix::zeros(t_max, h);
+        let mut hidden = Matrix::zeros(t_max, h);
+        let mut h_prev = vec![0.0_f32; h];
+        for t in 0..t_max {
+            let zx = self.wx.value.vecmat(inputs.row(t));
+            let zh = self.wh.value.vecmat(&h_prev);
+            let b = self.b.value.row(0);
+            let g_row = gates.row_mut(t);
+            let hn_row = hn_all.row_mut(t);
+            for j in 0..h {
+                g_row[j] = sigmoid(zx[j] + zh[j] + b[j]); // z
+                g_row[h + j] = sigmoid(zx[h + j] + zh[h + j] + b[h + j]); // r
+                hn_row[j] = zh[2 * h + j];
+            }
+            for j in 0..h {
+                let n = (zx[2 * h + j] + g_row[h + j] * hn_row[j] + b[2 * h + j]).tanh();
+                g_row[2 * h + j] = n;
+            }
+            let h_row = hidden.row_mut(t);
+            for j in 0..h {
+                let z = g_row[j];
+                h_row[j] = (1.0 - z) * g_row[2 * h + j] + z * h_prev[j];
+            }
+            h_prev.copy_from_slice(h_row);
+        }
+        let out = hidden.clone();
+        (out, GruCache { inputs, gates, hn: hn_all, hidden })
+    }
+
+    fn backward_seq(&mut self, cache: &GruCache, grad_out: &Matrix) -> Matrix {
+        let t_max = cache.hidden.rows();
+        let h = self.hidden;
+        assert_eq!(grad_out.shape(), (t_max, h), "GruCell::backward_seq: grad shape");
+        let mut grad_inputs = Matrix::zeros(t_max, self.input_dim());
+        let mut dh_carry = vec![0.0_f32; h];
+        // Gradient w.r.t. the pre-activations feeding Wx (dz_x) and the
+        // hidden-side products feeding Wh (dz_h): they differ only in the
+        // candidate slot, where the hidden path is gated by r.
+        let mut dz_x = vec![0.0_f32; 3 * h];
+        let mut dz_h = vec![0.0_f32; 3 * h];
+        let zero = vec![0.0_f32; h];
+        for t in (0..t_max).rev() {
+            let gates = cache.gates.row(t);
+            let hn = cache.hn.row(t);
+            let h_prev: &[f32] = if t > 0 { cache.hidden.row(t - 1) } else { &zero };
+            let mut dh_prev_direct = vec![0.0_f32; h];
+            for j in 0..h {
+                let (z, r, n) = (gates[j], gates[h + j], gates[2 * h + j]);
+                let dh = grad_out.row(t)[j] + dh_carry[j];
+                let dz_gate = dh * (h_prev[j] - n) * z * (1.0 - z);
+                let dn = dh * (1.0 - z) * (1.0 - n * n);
+                let dr = dn * hn[j] * r * (1.0 - r);
+                dz_x[j] = dz_gate;
+                dz_x[h + j] = dr;
+                dz_x[2 * h + j] = dn;
+                dz_h[j] = dz_gate;
+                dz_h[h + j] = dr;
+                dz_h[2 * h + j] = dn * r;
+                dh_prev_direct[j] = dh * z;
+            }
+            etsb_tensor::add_assign(self.b.grad.row_mut(0), &dz_x);
+            self.wx.grad.add_outer(1.0, cache.inputs.row(t), &dz_x);
+            if t > 0 {
+                self.wh.grad.add_outer(1.0, h_prev, &dz_h);
+            }
+            grad_inputs.row_mut(t).copy_from_slice(&self.wx.value.matvec(&dz_x));
+            dh_carry = self.wh.value.matvec(&dz_h);
+            etsb_tensor::add_assign(&mut dh_carry, &dh_prev_direct);
+        }
+        grad_inputs
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_tensor::init::seeded_rng;
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let cell = GruCell::new(3, 5, &mut seeded_rng(1));
+        let x = Matrix::from_fn(6, 3, |i, j| ((i + 2 * j) as f32 * 0.3).sin());
+        let (out, cache) = cell.forward_seq(x);
+        assert_eq!(out.shape(), (6, 5));
+        // h is a convex combination of tanh outputs and prior state.
+        assert!(out.as_slice().iter().all(|&v| v.abs() <= 1.0));
+        assert_eq!(cache.gates.shape(), (6, 15));
+    }
+
+    #[test]
+    fn state_propagates_across_steps() {
+        let cell = GruCell::new(2, 4, &mut seeded_rng(2));
+        let constant = Matrix::from_fn(3, 2, |_, _| 0.4);
+        let (out, _) = cell.forward_seq(constant);
+        assert_ne!(out.row(0), out.row(1));
+    }
+
+    /// Central-difference gradient check through the full GRU BPTT,
+    /// including the reset-gate path.
+    #[test]
+    fn gradient_check() {
+        let mut cell = GruCell::new(2, 3, &mut seeded_rng(3));
+        let x = Matrix::from_fn(4, 2, |i, j| ((i * 2 + j) as f32 * 0.77).sin() * 0.6);
+
+        let loss = |c: &GruCell, x: &Matrix| c.forward_seq(x.clone()).0.sum();
+
+        let (out, cache) = cell.forward_seq(x.clone());
+        let ones = Matrix::full(out.rows(), out.cols(), 1.0);
+        let grad_in = cell.backward_seq(&cache, &ones);
+
+        let h = 1e-3_f32;
+        for pi in 0..3 {
+            let cols = cell.params()[pi].value.cols();
+            for block in 0..3 {
+                let coords = (0, block * (cols / 3) + 1);
+                let analytic = cell.params()[pi].grad[coords];
+                let mut plus = cell.clone();
+                plus.params_mut()[pi].value[coords] += h;
+                let mut minus = cell.clone();
+                minus.params_mut()[pi].value[coords] -= h;
+                let numeric = (loss(&plus, &x) - loss(&minus, &x)) / (2.0 * h);
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+                    "param {pi} block {block}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+        let analytic = grad_in[(1, 0)];
+        let mut xp = x.clone();
+        xp[(1, 0)] += h;
+        let mut xm = x.clone();
+        xm[(1, 0)] -= h;
+        let numeric = (loss(&cell, &xp) - loss(&cell, &xm)) / (2.0 * h);
+        assert!(
+            (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+            "input grad: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn works_inside_stacked_birnn() {
+        use crate::StackedBiRnn;
+        let net: StackedBiRnn<GruCell> = StackedBiRnn::new(3, 4, &mut seeded_rng(4));
+        let x = Matrix::from_fn(5, 3, |i, j| (i as f32 + j as f32) * 0.1);
+        let (out, cache) = net.forward(x);
+        assert_eq!(out.len(), 8);
+        let mut net = net;
+        let grad = net.backward(&cache, &[1.0; 8]);
+        assert_eq!(grad.shape(), (5, 3));
+    }
+}

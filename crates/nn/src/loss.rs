@@ -1,0 +1,144 @@
+//! Loss functions.
+//!
+//! The paper trains with "binary cross-entropy" over a two-way softmax
+//! head (§4.3.1/§5.2); for a two-class softmax those are the same
+//! function, implemented here as the numerically fused softmax +
+//! cross-entropy whose gradient is simply `p - onehot(y)`.
+
+use etsb_tensor::Matrix;
+
+/// Result of a loss evaluation over a batch.
+#[derive(Clone, Debug)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Class probabilities after softmax, `N x C`.
+    pub probs: Matrix,
+    /// Gradient of the *mean* loss with respect to the logits, `N x C`.
+    pub grad_logits: Matrix,
+}
+
+/// Fused softmax + categorical cross-entropy.
+///
+/// `logits` is `N x C`; `labels[i]` is the true class of row `i`.
+///
+/// # Panics
+/// If `labels.len() != N`, a label is out of range, or the batch is empty.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> LossOutput {
+    let (n, c) = logits.shape();
+    assert!(n > 0, "softmax_cross_entropy: empty batch");
+    assert_eq!(labels.len(), n, "softmax_cross_entropy: {} labels for {n} rows", labels.len());
+    let nf = n as f32;
+
+    let mut probs = logits.clone();
+    let mut loss = 0.0;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < c, "softmax_cross_entropy: label {label} out of range for {c} classes");
+        let row = probs.row_mut(r);
+        etsb_tensor::softmax_inplace(row);
+        // Clamp avoids -inf when a probability underflows to exactly 0.
+        loss -= row[label].max(1e-12).ln();
+    }
+    loss /= nf;
+
+    let mut grad = probs.clone();
+    for (r, &label) in labels.iter().enumerate() {
+        let row = grad.row_mut(r);
+        row[label] -= 1.0;
+        etsb_tensor::scale(row, 1.0 / nf);
+    }
+
+    LossOutput { loss, probs, grad_logits: grad }
+}
+
+/// Plain binary cross-entropy on probabilities in `[0, 1]`.
+///
+/// Provided for the logistic-regression classifiers in the Raha baseline;
+/// the neural models use [`softmax_cross_entropy`]. Returns
+/// `(mean loss, d loss / d p)` where the gradient is per-element of `p`.
+pub fn binary_cross_entropy(p: &[f32], y: &[f32]) -> (f32, Vec<f32>) {
+    assert_eq!(p.len(), y.len(), "binary_cross_entropy: length mismatch");
+    assert!(!p.is_empty(), "binary_cross_entropy: empty batch");
+    let nf = p.len() as f32;
+    let mut loss = 0.0;
+    let mut grad = Vec::with_capacity(p.len());
+    for (&pi, &yi) in p.iter().zip(y) {
+        let pc = pi.clamp(1e-7, 1.0 - 1e-7);
+        loss -= yi * pc.ln() + (1.0 - yi) * (1.0 - pc).ln();
+        grad.push((pc - yi) / (pc * (1.0 - pc)) / nf);
+    }
+    (loss / nf, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Matrix::from_rows(&[&[10.0, -10.0], &[-10.0, 10.0]]);
+        let out = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(out.loss < 1e-6);
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_c() {
+        let logits = Matrix::zeros(3, 4);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2]);
+        assert!((out.loss - 4.0_f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn probs_are_normalized() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let out = softmax_cross_entropy(&logits, &[2]);
+        assert!((out.probs.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.3], &[0.1, 0.9]]);
+        let labels = [1, 0];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let h = 1e-3_f32;
+        for coords in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let mut lp = logits.clone();
+            lp[coords] += h;
+            let mut lm = logits.clone();
+            lm[coords] -= h;
+            let numeric = (softmax_cross_entropy(&lp, &labels).loss
+                - softmax_cross_entropy(&lm, &labels).loss)
+                / (2.0 * h);
+            let analytic = out.grad_logits[coords];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "{coords:?}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let logits = Matrix::from_rows(&[&[1000.0, -1000.0]]);
+        let out = softmax_cross_entropy(&logits, &[1]);
+        assert!(out.loss.is_finite());
+        assert!(out.grad_logits.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn bce_basics() {
+        let (loss, grad) = binary_cross_entropy(&[0.9, 0.1], &[1.0, 0.0]);
+        assert!(loss < 0.2);
+        assert_eq!(grad.len(), 2);
+        // Pushing p toward the label reduces loss: grads point the right way.
+        assert!(grad[0] < 0.0); // p should increase
+        assert!(grad[1] > 0.0); // p should decrease
+    }
+
+    #[test]
+    fn bce_clamps_extremes() {
+        let (loss, grad) = binary_cross_entropy(&[0.0, 1.0], &[1.0, 0.0]);
+        assert!(loss.is_finite());
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+}

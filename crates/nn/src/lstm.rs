@@ -1,0 +1,250 @@
+//! LSTM cell (Hochreiter & Schmidhuber 1997) with full BPTT.
+//!
+//! The paper (§2) argues vanilla RNNs are sufficient for character-level
+//! error detection and cheaper to train than LSTM/GRU; this cell exists
+//! so the claim is *testable* — it plugs into the same [`crate::BiRnn`] /
+//! [`crate::StackedBiRnn`] topology via [`Recurrence`], and the
+//! `ablation_cells` bench compares all three on F1 and wall-clock.
+//!
+//! Gate layout in the fused weight matrices: `[input, forget, cell, output]`.
+
+use crate::rnn::Recurrence;
+use crate::Param;
+use etsb_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// An LSTM cell with fused gate weights.
+#[derive(Clone, Debug)]
+pub struct LstmCell {
+    /// Input weights, `input_dim x 4·hidden` (gates i, f, g, o).
+    pub wx: Param,
+    /// Recurrent weights, `hidden x 4·hidden`.
+    pub wh: Param,
+    /// Bias, `1 x 4·hidden` (forget-gate slice initialized to 1).
+    pub b: Param,
+    hidden: usize,
+}
+
+/// Cache from [`LstmCell::forward_seq`].
+#[derive(Clone, Debug)]
+pub struct LstmCache {
+    inputs: Matrix,
+    /// Activated gates per step, `T x 4·hidden`: `[i, f, g, o]`.
+    gates: Matrix,
+    /// Cell states, `T x hidden`.
+    cells: Matrix,
+    /// `tanh(c_t)`, `T x hidden`.
+    tanh_cells: Matrix,
+    /// Hidden states (outputs), `T x hidden`.
+    hidden: Matrix,
+}
+
+impl LstmCell {
+    /// New cell: Glorot input/recurrent weights, forget bias 1.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        assert!(input_dim > 0 && hidden > 0, "LstmCell: dims must be positive");
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        for j in hidden..2 * hidden {
+            b[(0, j)] = 1.0; // standard forget-gate bias init
+        }
+        Self {
+            wx: Param::new(init::glorot_uniform(input_dim, 4 * hidden, rng)),
+            wh: Param::new(init::glorot_uniform(hidden, 4 * hidden, rng)),
+            b: Param::new(b),
+            hidden,
+        }
+    }
+}
+
+impl Recurrence for LstmCell {
+    type Cache = LstmCache;
+
+    fn with_dims(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        LstmCell::new(input_dim, hidden, rng)
+    }
+
+    fn input_dim(&self) -> usize {
+        self.wx.value.rows()
+    }
+
+    fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    fn forward_seq(&self, inputs: Matrix) -> (Matrix, LstmCache) {
+        let t_max = inputs.rows();
+        assert!(t_max > 0, "LstmCell::forward_seq: empty sequence");
+        assert_eq!(inputs.cols(), self.input_dim(), "LstmCell: input width mismatch");
+        let h = self.hidden;
+        let mut gates = Matrix::zeros(t_max, 4 * h);
+        let mut cells = Matrix::zeros(t_max, h);
+        let mut tanh_cells = Matrix::zeros(t_max, h);
+        let mut hidden = Matrix::zeros(t_max, h);
+        let mut h_prev = vec![0.0_f32; h];
+        let mut c_prev = vec![0.0_f32; h];
+        for t in 0..t_max {
+            let mut z = self.wx.value.vecmat(inputs.row(t));
+            let rec = self.wh.value.vecmat(&h_prev);
+            for ((zi, &ri), &bi) in z.iter_mut().zip(&rec).zip(self.b.value.row(0)) {
+                *zi += ri + bi;
+            }
+            let g_row = gates.row_mut(t);
+            for j in 0..h {
+                g_row[j] = sigmoid(z[j]); // i
+                g_row[h + j] = sigmoid(z[h + j]); // f
+                g_row[2 * h + j] = z[2 * h + j].tanh(); // g
+                g_row[3 * h + j] = sigmoid(z[3 * h + j]); // o
+            }
+            let c_row = cells.row_mut(t);
+            for j in 0..h {
+                c_row[j] = g_row[h + j] * c_prev[j] + g_row[j] * g_row[2 * h + j];
+            }
+            let tc_row = tanh_cells.row_mut(t);
+            let h_row = hidden.row_mut(t);
+            for j in 0..h {
+                tc_row[j] = c_row[j].tanh();
+                h_row[j] = g_row[3 * h + j] * tc_row[j];
+            }
+            h_prev.copy_from_slice(h_row);
+            c_prev.copy_from_slice(c_row);
+        }
+        let out = hidden.clone();
+        (out, LstmCache { inputs, gates, cells, tanh_cells, hidden })
+    }
+
+    fn backward_seq(&mut self, cache: &LstmCache, grad_out: &Matrix) -> Matrix {
+        let t_max = cache.hidden.rows();
+        let h = self.hidden;
+        assert_eq!(grad_out.shape(), (t_max, h), "LstmCell::backward_seq: grad shape");
+        let mut grad_inputs = Matrix::zeros(t_max, self.input_dim());
+        let mut dh_carry = vec![0.0_f32; h];
+        let mut dc_carry = vec![0.0_f32; h];
+        let mut dz = vec![0.0_f32; 4 * h];
+        for t in (0..t_max).rev() {
+            let gates = cache.gates.row(t);
+            let tc = cache.tanh_cells.row(t);
+            for j in 0..h {
+                let (i, f, g, o) =
+                    (gates[j], gates[h + j], gates[2 * h + j], gates[3 * h + j]);
+                let dh = grad_out.row(t)[j] + dh_carry[j];
+                let do_ = dh * tc[j];
+                let dc = dh * o * (1.0 - tc[j] * tc[j]) + dc_carry[j];
+                let c_prev = if t > 0 { cache.cells.row(t - 1)[j] } else { 0.0 };
+                dz[j] = dc * g * i * (1.0 - i); // input gate
+                dz[h + j] = dc * c_prev * f * (1.0 - f); // forget gate
+                dz[2 * h + j] = dc * i * (1.0 - g * g); // candidate
+                dz[3 * h + j] = do_ * o * (1.0 - o); // output gate
+                dc_carry[j] = dc * f;
+            }
+            etsb_tensor::add_assign(self.b.grad.row_mut(0), &dz);
+            self.wx.grad.add_outer(1.0, cache.inputs.row(t), &dz);
+            if t > 0 {
+                self.wh.grad.add_outer(1.0, cache.hidden.row(t - 1), &dz);
+            }
+            grad_inputs.row_mut(t).copy_from_slice(&self.wx.value.matvec(&dz));
+            dh_carry = self.wh.value.matvec(&dz);
+        }
+        grad_inputs
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_tensor::init::seeded_rng;
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let cell = LstmCell::new(3, 5, &mut seeded_rng(1));
+        let x = Matrix::from_fn(7, 3, |i, j| ((i + j) as f32 * 0.4).sin());
+        let (out, cache) = cell.forward_seq(x);
+        assert_eq!(out.shape(), (7, 5));
+        // h = o * tanh(c): bounded by (0,1)*(-1,1).
+        assert!(out.as_slice().iter().all(|&v| v.abs() < 1.0));
+        assert_eq!(cache.gates.shape(), (7, 20));
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let cell = LstmCell::new(2, 4, &mut seeded_rng(2));
+        for j in 4..8 {
+            assert_eq!(cell.b.value[(0, j)], 1.0);
+        }
+        assert_eq!(cell.b.value[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn state_propagates_across_steps() {
+        let cell = LstmCell::new(2, 4, &mut seeded_rng(3));
+        let constant = Matrix::from_fn(3, 2, |_, _| 0.5);
+        let (out, _) = cell.forward_seq(constant);
+        assert_ne!(out.row(0), out.row(1));
+        assert_ne!(out.row(1), out.row(2));
+    }
+
+    /// Central-difference gradient check through the full LSTM BPTT.
+    #[test]
+    fn gradient_check() {
+        let mut cell = LstmCell::new(2, 3, &mut seeded_rng(4));
+        let x = Matrix::from_fn(4, 2, |i, j| ((i * 2 + j) as f32 * 0.63).cos() * 0.5);
+
+        let loss = |c: &LstmCell, x: &Matrix| c.forward_seq(x.clone()).0.sum();
+
+        let (out, cache) = cell.forward_seq(x.clone());
+        let ones = Matrix::full(out.rows(), out.cols(), 1.0);
+        let grad_in = cell.backward_seq(&cache, &ones);
+
+        let h = 1e-3_f32;
+        // Sample coordinates from each gate block of each parameter.
+        for pi in 0..3 {
+            let cols = cell.params()[pi].value.cols();
+            for block in 0..4 {
+                let coords = (0, block * (cols / 4) + 1);
+                let analytic = cell.params()[pi].grad[coords];
+                let mut plus = cell.clone();
+                plus.params_mut()[pi].value[coords] += h;
+                let mut minus = cell.clone();
+                minus.params_mut()[pi].value[coords] -= h;
+                let numeric = (loss(&plus, &x) - loss(&minus, &x)) / (2.0 * h);
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+                    "param {pi} block {block}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+        // Input gradient.
+        let analytic = grad_in[(2, 1)];
+        let mut xp = x.clone();
+        xp[(2, 1)] += h;
+        let mut xm = x.clone();
+        xm[(2, 1)] -= h;
+        let numeric = (loss(&cell, &xp) - loss(&cell, &xm)) / (2.0 * h);
+        assert!(
+            (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+            "input grad: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn works_inside_stacked_birnn() {
+        use crate::StackedBiRnn;
+        let net: StackedBiRnn<LstmCell> = StackedBiRnn::new(3, 4, &mut seeded_rng(5));
+        let x = Matrix::from_fn(5, 3, |i, j| (i as f32 - j as f32) * 0.2);
+        let (out, _) = net.forward(x);
+        assert_eq!(out.len(), 8);
+        assert_eq!(net.params().len(), 12);
+    }
+}

@@ -1,0 +1,267 @@
+//! Optimizers. The paper trains with RMSprop (§5.2); SGD and Adam are
+//! provided for the ablation benches and as baselines in tests.
+//!
+//! An optimizer holds one slot of state per parameter, keyed by the
+//! *position* of the parameter in the slice passed to `step`. Models must
+//! therefore always present their parameters in the same order — every
+//! layer in this workspace exposes `params_mut()` with a documented stable
+//! order, and the optimizer cross-checks shapes on every step.
+
+use crate::Param;
+use etsb_tensor::Matrix;
+
+/// A gradient-descent style optimizer.
+pub trait Optimizer {
+    /// Apply one update using the accumulated gradients, then leave the
+    /// gradients untouched (callers decide when to `zero_grad`).
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the learning rate (for schedules and ablations).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Verify (and on first use, create) per-parameter state slots.
+fn sync_state(state: &mut Vec<Matrix>, params: &[&mut Param], what: &str) {
+    if state.is_empty() {
+        *state = params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+        return;
+    }
+    assert_eq!(
+        state.len(),
+        params.len(),
+        "{what}: parameter count changed between steps ({} -> {})",
+        state.len(),
+        params.len()
+    );
+    for (s, p) in state.iter().zip(params.iter()) {
+        assert_eq!(
+            s.shape(),
+            p.value.shape(),
+            "{what}: parameter shape changed between steps"
+        );
+    }
+}
+
+/// RMSprop (Hinton): per-weight adaptive learning rates from an EMA of
+/// squared gradients. Defaults match Keras (`lr=1e-3, rho=0.9, eps=1e-7`).
+#[derive(Clone, Debug)]
+pub struct Rmsprop {
+    lr: f32,
+    /// EMA decay for the squared-gradient cache.
+    pub rho: f32,
+    /// Stability constant added before the square root.
+    pub eps: f32,
+    cache: Vec<Matrix>,
+}
+
+impl Rmsprop {
+    /// New RMSprop optimizer with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, rho: 0.9, eps: 1e-7, cache: Vec::new() }
+    }
+}
+
+impl Default for Rmsprop {
+    fn default() -> Self {
+        Self::new(1e-3)
+    }
+}
+
+impl Optimizer for Rmsprop {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        sync_state(&mut self.cache, params, "Rmsprop");
+        for (p, cache) in params.iter_mut().zip(&mut self.cache) {
+            let g = p.grad.as_slice();
+            let v = p.value.as_mut_slice();
+            let c = cache.as_mut_slice();
+            for i in 0..g.len() {
+                c[i] = self.rho * c[i] + (1.0 - self.rho) * g[i] * g[i];
+                v[i] -= self.lr * g[i] / (c[i].sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// New SGD optimizer with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        sync_state(&mut self.velocity, params, "Sgd");
+        for (p, vel) in params.iter_mut().zip(&mut self.velocity) {
+            let g = p.grad.as_slice();
+            let v = p.value.as_mut_slice();
+            let m = vel.as_mut_slice();
+            for i in 0..g.len() {
+                m[i] = self.momentum * m[i] - self.lr * g[i];
+                v[i] += m[i];
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Stability constant.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// New Adam optimizer with standard hyper-parameters.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        sync_state(&mut self.m, params, "Adam(m)");
+        sync_state(&mut self.v, params, "Adam(v)");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            let g = p.grad.as_slice();
+            let w = p.value.as_mut_slice();
+            let m = m.as_mut_slice();
+            let vv = v.as_mut_slice();
+            for i in 0..g.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                vv[i] = self.beta2 * vv[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = m[i] / bc1;
+                let vhat = vv[i] / bc2;
+                w[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(w) = (w - 3)² with each optimizer; all must converge.
+    fn converges(mut opt: impl Optimizer, iters: usize, tol: f32) {
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        for _ in 0..iters {
+            let w = p.value[(0, 0)];
+            p.grad[(0, 0)] = 2.0 * (w - 3.0);
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+        }
+        assert!(
+            (p.value[(0, 0)] - 3.0).abs() < tol,
+            "did not converge: w = {}",
+            p.value[(0, 0)]
+        );
+    }
+
+    #[test]
+    fn sgd_converges() {
+        converges(Sgd::new(0.1), 200, 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        converges(Sgd::with_momentum(0.05, 0.9), 300, 1e-2);
+    }
+
+    #[test]
+    fn rmsprop_converges() {
+        converges(Rmsprop::new(0.05), 500, 1e-2);
+    }
+
+    #[test]
+    fn adam_converges() {
+        converges(Adam::new(0.1), 500, 1e-2);
+    }
+
+    #[test]
+    fn rmsprop_adapts_per_weight() {
+        // Two weights with very different gradient scales should both move
+        // at roughly lr per step (the point of RMSprop).
+        let mut opt = Rmsprop::new(0.01);
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.grad = Matrix::from_rows(&[&[100.0, 0.01]]);
+        opt.step(&mut [&mut p]);
+        let d0 = -p.value[(0, 0)];
+        let d1 = -p.value[(0, 1)];
+        // update = lr * g / (sqrt(0.1 g²) + eps) ≈ lr / sqrt(0.1)
+        assert!((d0 - d1).abs() / d0 < 0.01, "updates {d0} vs {d1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count changed")]
+    fn changing_param_count_panics() {
+        let mut opt = Sgd::new(0.1);
+        let mut a = Param::new(Matrix::zeros(1, 1));
+        let mut b = Param::new(Matrix::zeros(1, 1));
+        opt.step(&mut [&mut a]);
+        opt.step(&mut [&mut a, &mut b]);
+    }
+
+    #[test]
+    fn set_learning_rate_applies() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        p.grad[(0, 0)] = 1.0;
+        opt.step(&mut [&mut p]);
+        assert!((p.value[(0, 0)] + 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,127 @@
+//! Data-parallel helpers.
+//!
+//! Model inference in this workspace is read-only (layers carry no hidden
+//! mutable state thanks to the cache-out convention), so evaluating a test
+//! set parallelizes embarrassingly: shard the sample indices across
+//! threads, run the shared model by reference, concatenate results in
+//! order.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use: the available parallelism, capped so
+/// tiny workloads do not pay spawn overhead.
+pub fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    cores.min(items.max(1)).min(32)
+}
+
+/// Apply `f` to every index in `0..n` across threads, returning results in
+/// index order. `f` must be `Sync` (it borrows the model immutably).
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count(n);
+    if workers <= 1 || n < 64 {
+        return (0..n).map(f).collect();
+    }
+    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    std::thread::scope(|scope| {
+        let chunk = n.div_ceil(workers);
+        for w in 0..workers {
+            let tx = tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(n);
+                for i in start..end {
+                    // The receiver outlives every sender inside the scope.
+                    let _ = tx.send((i, f(i)));
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, v) in rx {
+            slots[i] = Some(v);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("parallel_map: worker dropped an index"))
+            .collect()
+    })
+}
+
+/// Fold `f` over `0..n` across threads, merging per-thread accumulators
+/// with `merge`. Used for sharded gradient accumulation.
+pub fn parallel_fold<A, F, M>(n: usize, init: impl Fn() -> A + Sync, f: F, merge: M) -> A
+where
+    A: Send,
+    F: Fn(&mut A, usize) + Sync,
+    M: Fn(A, A) -> A,
+{
+    let workers = worker_count(n);
+    if workers <= 1 || n < 64 {
+        let mut acc = init();
+        for i in 0..n {
+            f(&mut acc, i);
+        }
+        return acc;
+    }
+    let accs = std::thread::scope(|scope| {
+        let chunk = n.div_ceil(workers);
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                let init = &init;
+                scope.spawn(move || {
+                    let mut acc = init();
+                    let start = w * chunk;
+                    let end = ((w + 1) * chunk).min(n);
+                    for i in start..end {
+                        f(&mut acc, i);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel_fold worker panicked")).collect::<Vec<_>>()
+    });
+    let mut iter = accs.into_iter();
+    let first = iter.next().expect("at least one worker");
+    iter.fold(first, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out = parallel_map(1000, |i| i * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn map_small_input_uses_serial_path() {
+        assert_eq!(parallel_map(3, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn fold_sums_correctly() {
+        let total = parallel_fold(10_000, || 0u64, |acc, i| *acc += i as u64, |a, b| a + b);
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(0), 1);
+        assert!(worker_count(1_000_000) <= 32);
+    }
+}

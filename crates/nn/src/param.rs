@@ -1,0 +1,62 @@
+//! Trainable parameter: a weight matrix paired with its gradient
+//! accumulator.
+
+use etsb_tensor::Matrix;
+
+/// A trainable parameter.
+///
+/// `grad` always has the same shape as `value`; `backward` passes
+/// *accumulate* into it (so one optimizer step can integrate gradients
+/// from every sample of a mini-batch) and the trainer clears it between
+/// steps with [`Param::zero_grad`].
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current weight values.
+    pub value: Matrix,
+    /// Accumulated gradient of the loss w.r.t. `value`.
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wrap an initialized weight matrix with a zeroed gradient.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// Reset the gradient accumulator to zero, keeping its allocation.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar weights.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter holds no weights.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_zeroes_grad_with_matching_shape() {
+        let p = Param::new(Matrix::full(3, 4, 1.5));
+        assert_eq!(p.grad.shape(), (3, 4));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.len(), 12);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        p.grad.as_mut_slice().fill(3.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,542 @@
+//! Vanilla (Elman) recurrent cells with backpropagation-through-time, and
+//! the bidirectional / two-stacked configurations of the paper's §4.3.
+//!
+//! The recurrence implements equations (1)–(4) of the paper:
+//!
+//! ```text
+//! z_t = Wx · x_t + Wh · h_{t-1} + b
+//! h_t = tanh(z_t)
+//! ```
+//!
+//! with row-vector convention (`h_t = tanh(x_t Wx + h_{t-1} Wh + b)`),
+//! zero initial state, and full BPTT in `backward`.
+//!
+//! Sequences are processed at their *true* length (the data-preparation
+//! pipeline guarantees at least one step), so no masking machinery is
+//! needed and inference cost is proportional to actual value lengths.
+
+use crate::Param;
+use etsb_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+
+/// A recurrent cell usable inside [`BiRnn`] / [`StackedBiRnn`]: vanilla
+/// ([`RnnCell`], the paper's choice), [`crate::LstmCell`] or
+/// [`crate::GruCell`] (the heavier alternatives §2 argues against).
+pub trait Recurrence: Clone {
+    /// Cache produced by `forward`, consumed by `backward`.
+    type Cache: Clone + std::fmt::Debug;
+
+    /// Construct a cell with freshly initialized weights.
+    fn with_dims(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self;
+
+    /// Input width.
+    fn input_dim(&self) -> usize;
+
+    /// Output (hidden-state) width.
+    fn hidden_dim(&self) -> usize;
+
+    /// Run the recurrence over a `T x input_dim` sequence, producing the
+    /// `T x hidden` output sequence.
+    fn forward_seq(&self, inputs: Matrix) -> (Matrix, Self::Cache);
+
+    /// BPTT: gradients on every output step (`T x hidden`) in,
+    /// accumulated parameter gradients + input gradients out.
+    fn backward_seq(&mut self, cache: &Self::Cache, grad_out: &Matrix) -> Matrix;
+
+    /// Parameters in a stable order.
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable parameters in the same order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+}
+
+/// One directional vanilla RNN cell.
+#[derive(Clone, Debug)]
+pub struct RnnCell {
+    /// Input-to-hidden weights, `input_dim x hidden`.
+    pub wx: Param,
+    /// Hidden-to-hidden weights, `hidden x hidden`.
+    pub wh: Param,
+    /// Bias, `1 x hidden`.
+    pub b: Param,
+}
+
+/// Cache from [`RnnCell::forward`]: owns the inputs and the hidden-state
+/// sequence (`hidden.row(t)` is `h_t`, which is also the layer output).
+#[derive(Clone, Debug)]
+pub struct RnnCache {
+    /// The `T x input_dim` input sequence.
+    pub inputs: Matrix,
+    /// The `T x hidden` hidden-state sequence (also the output).
+    pub hidden: Matrix,
+}
+
+impl RnnCell {
+    /// New cell with Glorot input weights and a near-identity recurrent
+    /// matrix (see [`init::recurrent_init`]).
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        assert!(input_dim > 0 && hidden > 0, "RnnCell: dims must be positive");
+        Self {
+            wx: Param::new(init::glorot_uniform(input_dim, hidden, rng)),
+            wh: Param::new(init::recurrent_init(hidden, rng)),
+            b: Param::new(Matrix::zeros(1, hidden)),
+        }
+    }
+
+    /// Hidden-state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.wh.value.rows()
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.wx.value.rows()
+    }
+
+    /// Run the recurrence over `inputs` (`T x input_dim`, `T >= 1`).
+    pub fn forward(&self, inputs: Matrix) -> RnnCache {
+        let t_max = inputs.rows();
+        assert!(t_max > 0, "RnnCell::forward: empty sequence");
+        assert_eq!(
+            inputs.cols(),
+            self.input_dim(),
+            "RnnCell::forward: input width {} != cell input dim {}",
+            inputs.cols(),
+            self.input_dim()
+        );
+        let h = self.hidden_dim();
+        let mut hidden = Matrix::zeros(t_max, h);
+        let mut prev = vec![0.0_f32; h];
+        for t in 0..t_max {
+            // z_t = x_t Wx + h_{t-1} Wh + b
+            let mut z = self.wx.value.vecmat(inputs.row(t));
+            let rec = self.wh.value.vecmat(&prev);
+            for ((zi, &ri), &bi) in z.iter_mut().zip(&rec).zip(self.b.value.row(0)) {
+                *zi = (*zi + ri + bi).tanh();
+            }
+            hidden.row_mut(t).copy_from_slice(&z);
+            prev = z;
+        }
+        RnnCache { inputs, hidden }
+    }
+
+    /// BPTT. `grad_hidden` is `dL/dh_t` for every step (`T x hidden`);
+    /// parameter gradients accumulate into the cell, and the gradient with
+    /// respect to the inputs (`T x input_dim`) is returned.
+    pub fn backward(&mut self, cache: &RnnCache, grad_hidden: &Matrix) -> Matrix {
+        let t_max = cache.hidden.rows();
+        let h = self.hidden_dim();
+        assert_eq!(
+            grad_hidden.shape(),
+            (t_max, h),
+            "RnnCell::backward: grad shape {:?} != {:?}",
+            grad_hidden.shape(),
+            (t_max, h)
+        );
+        let mut grad_inputs = Matrix::zeros(t_max, self.input_dim());
+        let mut carry = vec![0.0_f32; h]; // dL/dh_t arriving from step t+1
+        for t in (0..t_max).rev() {
+            let h_t = cache.hidden.row(t);
+            // dz_t = (dL/dh_t) * tanh'(z_t), with tanh' = 1 - h_t².
+            let dz: Vec<f32> = grad_hidden
+                .row(t)
+                .iter()
+                .zip(&carry)
+                .zip(h_t)
+                .map(|((&g, &c), &ht)| (g + c) * (1.0 - ht * ht))
+                .collect();
+            etsb_tensor::add_assign(self.b.grad.row_mut(0), &dz);
+            self.wx.grad.add_outer(1.0, cache.inputs.row(t), &dz);
+            if t > 0 {
+                self.wh.grad.add_outer(1.0, cache.hidden.row(t - 1), &dz);
+            }
+            grad_inputs.row_mut(t).copy_from_slice(&self.wx.value.matvec(&dz));
+            carry = self.wh.value.matvec(&dz);
+        }
+        grad_inputs
+    }
+
+    /// Parameters in a stable order (for optimizers / checkpoints).
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.b]
+    }
+
+    /// Mutable parameters in the same stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+}
+
+impl Recurrence for RnnCell {
+    type Cache = RnnCache;
+
+    fn with_dims(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        RnnCell::new(input_dim, hidden, rng)
+    }
+
+    fn input_dim(&self) -> usize {
+        RnnCell::input_dim(self)
+    }
+
+    fn hidden_dim(&self) -> usize {
+        RnnCell::hidden_dim(self)
+    }
+
+    fn forward_seq(&self, inputs: Matrix) -> (Matrix, RnnCache) {
+        let cache = self.forward(inputs);
+        (cache.hidden.clone(), cache)
+    }
+
+    fn backward_seq(&mut self, cache: &RnnCache, grad_out: &Matrix) -> Matrix {
+        self.backward(cache, grad_out)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        RnnCell::params(self)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        RnnCell::params_mut(self)
+    }
+}
+
+/// Reverse the row order of a matrix (time reversal).
+fn reverse_rows(m: &Matrix) -> Matrix {
+    let (rows, cols) = m.shape();
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        out.row_mut(rows - 1 - r).copy_from_slice(m.row(r));
+    }
+    out
+}
+
+/// A bidirectional recurrent layer: one forward cell, one backward cell,
+/// output per step is `[h_fwd_t ‖ h_bwd_t]` (width `2 * hidden`), matching
+/// Keras' `Bidirectional(..., merge_mode="concat")`. Generic over the
+/// cell; the default is the paper's vanilla [`RnnCell`].
+#[derive(Clone, Debug)]
+pub struct BiRnn<C: Recurrence = RnnCell> {
+    /// Cell consuming the sequence left-to-right.
+    pub fwd: C,
+    /// Cell consuming the sequence right-to-left.
+    pub bwd: C,
+}
+
+/// Cache from [`BiRnn::forward`].
+#[derive(Clone, Debug)]
+pub struct BiRnnCache<C: Recurrence = RnnCell> {
+    fwd: C::Cache,
+    /// Backward-cell cache; its rows are in *reversed* time order.
+    bwd: C::Cache,
+    seq_len: usize,
+}
+
+impl<C: Recurrence> BiRnn<C> {
+    /// New bidirectional layer with independently initialized cells.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        Self { fwd: C::with_dims(input_dim, hidden, rng), bwd: C::with_dims(input_dim, hidden, rng) }
+    }
+
+    /// Per-direction hidden width (output width is twice this).
+    pub fn hidden_dim(&self) -> usize {
+        self.fwd.hidden_dim()
+    }
+
+    /// Output width (`2 * hidden`).
+    pub fn output_dim(&self) -> usize {
+        2 * self.hidden_dim()
+    }
+
+    /// Run both directions; returns the `T x 2·hidden` output sequence.
+    pub fn forward(&self, inputs: Matrix) -> (Matrix, BiRnnCache<C>) {
+        let seq_len = inputs.rows();
+        let reversed = reverse_rows(&inputs);
+        let (out_fwd, fwd) = self.fwd.forward_seq(inputs);
+        let (out_bwd, bwd) = self.bwd.forward_seq(reversed);
+        let h = self.hidden_dim();
+        let mut out = Matrix::zeros(seq_len, 2 * h);
+        for t in 0..seq_len {
+            out.row_mut(t)[..h].copy_from_slice(out_fwd.row(t));
+            // Backward cell's state for original position t was computed at
+            // reversed step T-1-t.
+            out.row_mut(t)[h..].copy_from_slice(out_bwd.row(seq_len - 1 - t));
+        }
+        (out, BiRnnCache { fwd, bwd, seq_len })
+    }
+
+    /// Backward through both directions; `grad_out` is `T x 2·hidden` in
+    /// output layout. Returns `T x input_dim` input gradients.
+    pub fn backward(&mut self, cache: &BiRnnCache<C>, grad_out: &Matrix) -> Matrix {
+        let t_max = cache.seq_len;
+        let h = self.hidden_dim();
+        assert_eq!(
+            grad_out.shape(),
+            (t_max, 2 * h),
+            "BiRnn::backward: grad shape {:?} != {:?}",
+            grad_out.shape(),
+            (t_max, 2 * h)
+        );
+        let mut grad_fwd = Matrix::zeros(t_max, h);
+        let mut grad_bwd = Matrix::zeros(t_max, h);
+        for t in 0..t_max {
+            grad_fwd.row_mut(t).copy_from_slice(&grad_out.row(t)[..h]);
+            grad_bwd.row_mut(t_max - 1 - t).copy_from_slice(&grad_out.row(t)[h..]);
+        }
+        let gi_fwd = self.fwd.backward_seq(&cache.fwd, &grad_fwd);
+        let gi_bwd_rev = self.bwd.backward_seq(&cache.bwd, &grad_bwd);
+        let mut grad_inputs = gi_fwd;
+        let gi_bwd = reverse_rows(&gi_bwd_rev);
+        grad_inputs.add_assign(&gi_bwd);
+        grad_inputs
+    }
+
+    /// Parameters of both cells (stable order: fwd then bwd).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut p = self.fwd.params();
+        p.extend(self.bwd.params());
+        p
+    }
+
+    /// Mutable parameters in the same order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let (f, b) = (&mut self.fwd, &mut self.bwd);
+        let mut p = f.params_mut();
+        p.extend(b.params_mut());
+        p
+    }
+}
+
+/// The paper's *two-stacked* bidirectional RNN (§4.3): two [`BiRnn`] layers
+/// in series, the second consuming the first's full output sequence; the
+/// layer output is the concatenation of the second layer's two final
+/// states (`[fwd_{T-1} ‖ bwd after consuming x_0]`), i.e. Keras'
+/// `Bidirectional(SimpleRNN(h, return_sequences=True))` followed by
+/// `Bidirectional(SimpleRNN(h))`. Generic over the recurrent cell.
+#[derive(Clone, Debug)]
+pub struct StackedBiRnn<C: Recurrence = RnnCell> {
+    /// First bidirectional layer (`input_dim -> 2h`).
+    pub layer1: BiRnn<C>,
+    /// Second bidirectional layer (`2h -> 2h`).
+    pub layer2: BiRnn<C>,
+}
+
+/// Cache from [`StackedBiRnn::forward`].
+#[derive(Clone, Debug)]
+pub struct StackedBiRnnCache<C: Recurrence = RnnCell> {
+    l1: BiRnnCache<C>,
+    l2: BiRnnCache<C>,
+    seq_len: usize,
+}
+
+impl<C: Recurrence> StackedBiRnn<C> {
+    /// New two-stacked bidirectional RNN with `hidden` units per direction.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        Self {
+            layer1: BiRnn::new(input_dim, hidden, rng),
+            layer2: BiRnn::new(2 * hidden, hidden, rng),
+        }
+    }
+
+    /// Width of the final feature vector (`2 * hidden`).
+    pub fn output_dim(&self) -> usize {
+        self.layer2.output_dim()
+    }
+
+    /// Encode a sequence into a `2·hidden` feature vector.
+    pub fn forward(&self, inputs: Matrix) -> (Vec<f32>, StackedBiRnnCache<C>) {
+        let seq_len = inputs.rows();
+        let (seq1, l1) = self.layer1.forward(inputs);
+        let (seq2, l2) = self.layer2.forward(seq1);
+        let h = self.layer2.hidden_dim();
+        let t_last = seq_len - 1;
+        let mut out = vec![0.0_f32; 2 * h];
+        // Final forward state lives in the last output row's first half;
+        // the backward cell's final state (after consuming x_0) lives in
+        // the *first* output row's second half.
+        out[..h].copy_from_slice(&seq2.row(t_last)[..h]);
+        out[h..].copy_from_slice(&seq2.row(0)[h..]);
+        (out, StackedBiRnnCache { l1, l2, seq_len })
+    }
+
+    /// Backward from a gradient on the final feature vector.
+    /// Returns the gradient with respect to the input sequence.
+    pub fn backward(&mut self, cache: &StackedBiRnnCache<C>, grad_out: &[f32]) -> Matrix {
+        let h = self.layer2.hidden_dim();
+        assert_eq!(grad_out.len(), 2 * h, "StackedBiRnn::backward: grad width");
+        let t_max = cache.seq_len;
+        let mut grad_seq2 = Matrix::zeros(t_max, 2 * h);
+        grad_seq2.row_mut(t_max - 1)[..h].copy_from_slice(&grad_out[..h]);
+        grad_seq2.row_mut(0)[h..].copy_from_slice(&grad_out[h..]);
+        let grad_seq1 = self.layer2.backward(&cache.l2, &grad_seq2);
+        self.layer1.backward(&cache.l1, &grad_seq1)
+    }
+
+    /// All parameters (layer1 then layer2, each fwd then bwd).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut p = self.layer1.params();
+        p.extend(self.layer2.params());
+        p
+    }
+
+    /// Mutable parameters in the same order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let (l1, l2) = (&mut self.layer1, &mut self.layer2);
+        let mut p = l1.params_mut();
+        p.extend(l2.params_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_tensor::init::seeded_rng;
+
+    #[test]
+    fn rnn_forward_shapes_and_state_propagation() {
+        let mut rng = seeded_rng(1);
+        let cell = RnnCell::new(3, 4, &mut rng);
+        let inputs = Matrix::from_fn(5, 3, |i, j| (i as f32 - j as f32) * 0.1);
+        let cache = cell.forward(inputs.clone());
+        assert_eq!(cache.hidden.shape(), (5, 4));
+        // Same input at t=0 and t=1 but different hidden states because of
+        // the recurrence (h_0 feeds into h_1).
+        let constant = Matrix::from_fn(2, 3, |_, _| 0.3);
+        let c2 = cell.forward(constant);
+        assert_ne!(c2.hidden.row(0), c2.hidden.row(1));
+    }
+
+    #[test]
+    fn rnn_outputs_bounded_by_tanh() {
+        let mut rng = seeded_rng(2);
+        let cell = RnnCell::new(2, 8, &mut rng);
+        let inputs = Matrix::from_fn(20, 2, |i, _| i as f32);
+        let cache = cell.forward(inputs);
+        assert!(cache.hidden.as_slice().iter().all(|&x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn single_step_sequence_works() {
+        let mut rng = seeded_rng(3);
+        let s: StackedBiRnn = StackedBiRnn::new(4, 3, &mut rng);
+        let (out, _) = s.forward(Matrix::from_fn(1, 4, |_, j| j as f32 * 0.1));
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn birnn_is_symmetric_under_reversal_with_swapped_cells() {
+        // Running BiRnn on a reversed sequence with fwd/bwd cells swapped
+        // must produce the row-reversed, half-swapped output.
+        let mut rng = seeded_rng(4);
+        let b: BiRnn = BiRnn::new(3, 2, &mut rng);
+        let swapped = BiRnn { fwd: b.bwd.clone(), bwd: b.fwd.clone() };
+        let x = Matrix::from_fn(6, 3, |i, j| ((i * 3 + j) as f32).sin());
+        let (out, _) = b.forward(x.clone());
+        let (out_rev, _) = swapped.forward(reverse_rows(&x));
+        let h = 2;
+        for t in 0..6 {
+            let orig = out.row(t);
+            let mirrored = out_rev.row(5 - t);
+            assert!(etsb_tensor::max_abs_diff(&orig[..h], &mirrored[h..]) < 1e-6);
+            assert!(etsb_tensor::max_abs_diff(&orig[h..], &mirrored[..h]) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stacked_output_dim() {
+        let mut rng = seeded_rng(5);
+        let s: StackedBiRnn = StackedBiRnn::new(10, 64, &mut rng);
+        assert_eq!(s.output_dim(), 128);
+        assert_eq!(s.params().len(), 12);
+    }
+
+    /// Full BPTT gradient check on a tiny cell: perturb every weight and
+    /// compare the analytic gradient of a scalar loss (sum of all hidden
+    /// states) against central differences.
+    #[test]
+    fn rnn_cell_gradient_check() {
+        let mut rng = seeded_rng(6);
+        let mut cell = RnnCell::new(2, 3, &mut rng);
+        let inputs = Matrix::from_fn(4, 2, |i, j| ((i + j) as f32 * 0.7).sin() * 0.5);
+
+        let loss = |c: &RnnCell| c.forward(inputs.clone()).hidden.sum();
+
+        let cache = cell.forward(inputs.clone());
+        let ones = Matrix::full(4, 3, 1.0);
+        let grad_inputs = cell.backward(&cache, &ones);
+
+        let h = 1e-3_f32;
+        // Check a selection of weights in each parameter.
+        for (pi, coords) in [(0, (1, 2)), (1, (0, 1)), (2, (0, 2))] {
+            let analytic = cell.params()[pi].grad[coords];
+            let mut plus = cell.clone();
+            plus.params_mut()[pi].value[coords] += h;
+            let mut minus = cell.clone();
+            minus.params_mut()[pi].value[coords] -= h;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * h);
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+                "param {pi} {coords:?}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // And the input gradient.
+        let analytic = grad_inputs[(1, 0)];
+        let mut xp = inputs.clone();
+        xp[(1, 0)] += h;
+        let mut xm = inputs.clone();
+        xm[(1, 0)] -= h;
+        let numeric = (cell.forward(xp).hidden.sum() - cell.forward(xm).hidden.sum()) / (2.0 * h);
+        assert!(
+            (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+            "input grad: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    /// Gradient check through the full two-stacked bidirectional network.
+    #[test]
+    fn stacked_birnn_gradient_check() {
+        let mut rng = seeded_rng(7);
+        let mut net = StackedBiRnn::new(2, 2, &mut rng);
+        let inputs = Matrix::from_fn(3, 2, |i, j| ((i * 2 + j) as f32 * 0.9).cos() * 0.4);
+
+        let loss = |n: &StackedBiRnn| n.forward(inputs.clone()).0.iter().sum::<f32>();
+
+        let (out, cache) = net.forward(inputs.clone());
+        let grad_inputs = net.backward(&cache, &vec![1.0; out.len()]);
+
+        let h = 1e-3_f32;
+        // One weight from every cell of both layers.
+        for pi in 0..12 {
+            let analytic = net.params()[pi].grad[(0, 0)];
+            let mut plus = net.clone();
+            plus.params_mut()[pi].value[(0, 0)] += h;
+            let mut minus = net.clone();
+            minus.params_mut()[pi].value[(0, 0)] -= h;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * h);
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * analytic.abs().max(1.0),
+                "param {pi}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Input gradient.
+        let analytic = grad_inputs[(2, 1)];
+        let mut xp = inputs.clone();
+        xp[(2, 1)] += h;
+        let mut xm = inputs.clone();
+        xm[(2, 1)] -= h;
+        let loss_of = |x: Matrix| net.forward(x).0.iter().sum::<f32>();
+        let numeric = (loss_of(xp) - loss_of(xm)) / (2.0 * h);
+        assert!(
+            (numeric - analytic).abs() < 3e-2 * analytic.abs().max(1.0),
+            "input grad: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let mut rng = seeded_rng(8);
+        let cell = RnnCell::new(2, 2, &mut rng);
+        let _ = cell.forward(Matrix::zeros(0, 2));
+    }
+}

@@ -1,0 +1,184 @@
+//! L2-regularized logistic regression trained with full-batch gradient
+//! descent — the per-column classifier that generalizes propagated labels
+//! to the whole column (the original Raha uses scikit-learn gradient
+//! boosting; on ≤ a dozen binary features a regularized logistic model is
+//! an equally expressive and dependency-free stand-in).
+
+/// Binary logistic-regression classifier.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    weights: Vec<f32>,
+    bias: f32,
+    /// L2 penalty.
+    pub l2: f32,
+    /// Gradient-descent step size.
+    pub lr: f32,
+    /// Training iterations.
+    pub iters: usize,
+    /// Weight the positive class inversely to its prevalence — essential
+    /// when errors are a few percent of cells, or the optimum collapses
+    /// to "predict the majority class".
+    pub balance_classes: bool,
+}
+
+impl LogisticRegression {
+    /// New classifier over `n_features` inputs.
+    pub fn new(n_features: usize) -> Self {
+        Self {
+            weights: vec![0.0; n_features],
+            bias: 0.0,
+            l2: 1e-3,
+            lr: 0.5,
+            iters: 300,
+            balance_classes: false,
+        }
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Fit on rows `x` with binary targets `y` (`true` = positive class).
+    ///
+    /// # Panics
+    /// If `x` and `y` lengths differ, or any row width mismatches.
+    pub fn fit(&mut self, x: &[Vec<f32>], y: &[bool]) {
+        assert_eq!(x.len(), y.len(), "LogisticRegression::fit: {} rows, {} labels", x.len(), y.len());
+        if x.is_empty() {
+            return;
+        }
+        let d = self.weights.len();
+        for row in x {
+            assert_eq!(row.len(), d, "LogisticRegression::fit: row width {} != {d}", row.len());
+        }
+        // Optional class re-weighting: each class contributes half of the
+        // total gradient mass regardless of its prevalence.
+        let n_pos = y.iter().filter(|&&l| l).count();
+        let n_neg = y.len() - n_pos;
+        let (w_pos, w_neg) = if self.balance_classes && n_pos > 0 && n_neg > 0 {
+            let total = y.len() as f32;
+            (total / (2.0 * n_pos as f32), total / (2.0 * n_neg as f32))
+        } else {
+            (1.0, 1.0)
+        };
+        let norm: f32 = y.iter().map(|&l| if l { w_pos } else { w_neg }).sum();
+        for _ in 0..self.iters {
+            let mut gw = vec![0.0f32; d];
+            let mut gb = 0.0f32;
+            for (row, &label) in x.iter().zip(y) {
+                let p = self.predict_proba(row);
+                let weight = if label { w_pos } else { w_neg };
+                let err = weight * (p - if label { 1.0 } else { 0.0 });
+                for (g, &xi) in gw.iter_mut().zip(row) {
+                    *g += err * xi;
+                }
+                gb += err;
+            }
+            for (w, g) in self.weights.iter_mut().zip(&gw) {
+                *w -= self.lr * (g / norm + self.l2 * *w);
+            }
+            self.bias -= self.lr * gb / norm;
+        }
+    }
+
+    /// Probability of the positive class.
+    pub fn predict_proba(&self, row: &[f32]) -> f32 {
+        debug_assert_eq!(row.len(), self.weights.len());
+        let z: f32 = self
+            .weights
+            .iter()
+            .zip(row)
+            .map(|(w, x)| w * x)
+            .sum::<f32>()
+            + self.bias;
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, row: &[f32]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_single_informative_feature() {
+        let x: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![if i % 2 == 0 { 1.0 } else { 0.0 }, 0.5])
+            .collect();
+        let y: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let mut clf = LogisticRegression::new(2);
+        clf.fit(&x, &y);
+        assert!(clf.predict(&[1.0, 0.5]));
+        assert!(!clf.predict(&[0.0, 0.5]));
+    }
+
+    #[test]
+    fn learns_a_conjunction() {
+        // Positive iff both features fire.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in [0.0f32, 1.0] {
+            for b in [0.0f32, 1.0] {
+                for _ in 0..10 {
+                    x.push(vec![a, b]);
+                    y.push(a == 1.0 && b == 1.0);
+                }
+            }
+        }
+        let mut clf = LogisticRegression::new(2);
+        clf.fit(&x, &y);
+        assert!(clf.predict(&[1.0, 1.0]));
+        assert!(!clf.predict(&[1.0, 0.0]));
+        assert!(!clf.predict(&[0.0, 1.0]));
+        assert!(!clf.predict(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn untrained_predicts_half() {
+        let clf = LogisticRegression::new(3);
+        assert!((clf.predict_proba(&[1.0, 1.0, 1.0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_fit_is_a_noop() {
+        let mut clf = LogisticRegression::new(2);
+        clf.fit(&[], &[]);
+        assert!((clf.predict_proba(&[0.0, 0.0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_class_training_predicts_that_class() {
+        let x: Vec<Vec<f32>> = (0..10).map(|_| vec![1.0]).collect();
+        let y = vec![true; 10];
+        let mut clf = LogisticRegression::new(1);
+        clf.fit(&x, &y);
+        assert!(clf.predict(&[1.0]));
+    }
+}
+
+#[cfg(test)]
+mod balance_tests {
+    use super::*;
+
+    #[test]
+    fn balancing_rescues_minority_class() {
+        // 3% positives, perfectly separable on one feature.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let pos = i % 33 == 0;
+            x.push(vec![if pos { 1.0 } else { 0.0 }]);
+            y.push(pos);
+        }
+        let mut balanced = LogisticRegression::new(1);
+        balanced.balance_classes = true;
+        balanced.fit(&x, &y);
+        assert!(balanced.predict(&[1.0]), "balanced model must flag the minority pattern");
+        assert!(!balanced.predict(&[0.0]));
+    }
+}

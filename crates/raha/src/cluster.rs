@@ -1,0 +1,200 @@
+//! Per-column agglomerative clustering of cells by feature-vector
+//! similarity — Raha's mechanism for propagating a handful of labels to
+//! many cells.
+//!
+//! Cells with identical feature vectors are first collapsed into
+//! *patterns* (there are only a handful of distinct strategy-agreement
+//! patterns per column), and average-linkage agglomerative clustering
+//! runs over the patterns, weighted by their cell counts. This keeps the
+//! procedure exact while making it O(p²·log p) in the number of distinct
+//! patterns rather than the number of cells.
+
+use crate::features::FeatureMatrix;
+use etsb_table::CellFrame;
+use std::collections::HashMap;
+
+/// Clustering of one column's cells.
+#[derive(Clone, Debug)]
+pub struct ColumnClustering {
+    /// Cluster id of each tuple's cell in this column (`len == n_tuples`).
+    pub assignment: Vec<usize>,
+    /// Number of clusters.
+    pub n_clusters: usize,
+}
+
+/// Cluster every column's cells into at most `k` clusters.
+pub fn cluster_columns(frame: &CellFrame, features: &FeatureMatrix, k: usize) -> Vec<ColumnClustering> {
+    assert!(k >= 1, "cluster_columns: k must be at least 1");
+    (0..frame.n_attrs())
+        .map(|attr| cluster_one_column(frame, features, attr, k))
+        .collect()
+}
+
+fn cluster_one_column(
+    frame: &CellFrame,
+    features: &FeatureMatrix,
+    attr: usize,
+    k: usize,
+) -> ColumnClustering {
+    let n_tuples = frame.n_tuples();
+    // Collapse identical feature vectors into patterns.
+    let mut pattern_ids: HashMap<Vec<bool>, usize> = HashMap::new();
+    let mut pattern_of_tuple = Vec::with_capacity(n_tuples);
+    let mut patterns: Vec<Vec<bool>> = Vec::new();
+    let mut weights: Vec<usize> = Vec::new();
+    for t in 0..n_tuples {
+        let cell = frame.cell_index(t, attr);
+        let fv = features.row(cell).to_vec();
+        let id = *pattern_ids.entry(fv.clone()).or_insert_with(|| {
+            patterns.push(fv);
+            weights.push(0);
+            patterns.len() - 1
+        });
+        weights[id] += 1;
+        pattern_of_tuple.push(id);
+    }
+
+    let p = patterns.len();
+    if p <= k {
+        // Every pattern is its own cluster.
+        return ColumnClustering { assignment: pattern_of_tuple, n_clusters: p };
+    }
+
+    // Agglomerative average linkage over patterns. `members[c]` lists the
+    // pattern ids merged into cluster c; `None` marks absorbed clusters.
+    let mut members: Vec<Option<Vec<usize>>> = (0..p).map(|i| Some(vec![i])).collect();
+    let mut alive = p;
+
+    let dist = |a: &[usize], b: &[usize]| -> f64 {
+        let mut total = 0.0f64;
+        let mut w = 0.0f64;
+        for &i in a {
+            for &j in b {
+                let d = patterns[i]
+                    .iter()
+                    .zip(&patterns[j])
+                    .filter(|(x, y)| x != y)
+                    .count() as f64;
+                let wij = (weights[i] * weights[j]) as f64;
+                total += d * wij;
+                w += wij;
+            }
+        }
+        if w == 0.0 {
+            0.0
+        } else {
+            total / w
+        }
+    };
+
+    while alive > k {
+        // Find the closest pair of live clusters.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..members.len() {
+            let Some(mi) = &members[i] else { continue };
+            for (j, slot) in members.iter().enumerate().skip(i + 1) {
+                let Some(mj) = slot else { continue };
+                let d = dist(mi, mj);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (i, j, _) = best.expect("at least two live clusters");
+        let mj = members[j].take().expect("checked live");
+        members[i].as_mut().expect("checked live").extend(mj);
+        alive -= 1;
+    }
+
+    // Renumber live clusters densely and map tuples through.
+    let mut cluster_of_pattern = vec![usize::MAX; p];
+    let mut next = 0usize;
+    for m in members.iter().flatten() {
+        for &pat in m {
+            cluster_of_pattern[pat] = next;
+        }
+        next += 1;
+    }
+    let assignment = pattern_of_tuple
+        .into_iter()
+        .map(|pat| cluster_of_pattern[pat])
+        .collect();
+    ColumnClustering { assignment, n_clusters: next }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::build_features;
+    use crate::strategies::{FrequencyOutlier, MissingMarker, Strategy};
+    use etsb_table::Table;
+
+    fn setup() -> (CellFrame, FeatureMatrix) {
+        let mut d = Table::with_columns(&["a"]);
+        for _ in 0..40 {
+            d.push_row_strs(&["common"]);
+        }
+        for _ in 0..2 {
+            d.push_row_strs(&["NaN"]);
+        }
+        for _ in 0..2 {
+            d.push_row_strs(&["weird"]);
+        }
+        let frame = CellFrame::merge(&d, &d).unwrap();
+        let battery: Vec<Box<dyn Strategy>> = vec![
+            Box::new(FrequencyOutlier { max_rel_freq: 0.05 }),
+            Box::new(FrequencyOutlier { max_rel_freq: 0.10 }),
+            Box::new(MissingMarker),
+        ];
+        let fm = build_features(&frame, &battery);
+        (frame, fm)
+    }
+
+    #[test]
+    fn identical_patterns_share_a_cluster() {
+        let (frame, fm) = setup();
+        let clusterings = cluster_columns(&frame, &fm, 3);
+        let c = &clusterings[0];
+        // All "common" cells identical → same cluster.
+        assert!(c.assignment[..40].iter().all(|&x| x == c.assignment[0]));
+        // All "NaN" cells identical → same cluster, different from common.
+        assert_eq!(c.assignment[40], c.assignment[41]);
+        assert_ne!(c.assignment[0], c.assignment[40]);
+    }
+
+    #[test]
+    fn k_limits_cluster_count() {
+        let (frame, fm) = setup();
+        for k in 1..=4 {
+            let c = &cluster_columns(&frame, &fm, k)[0];
+            assert!(c.n_clusters <= k, "k={k} produced {} clusters", c.n_clusters);
+            assert!(c.assignment.iter().all(|&a| a < c.n_clusters));
+        }
+    }
+
+    #[test]
+    fn merge_prefers_similar_patterns() {
+        let (frame, fm) = setup();
+        // With k=2 the NaN cells (which share the frequency-outlier flags
+        // with "weird") should merge with "weird", not with "common".
+        let c = &cluster_columns(&frame, &fm, 2)[0];
+        assert_eq!(c.assignment[40], c.assignment[42]);
+        assert_ne!(c.assignment[0], c.assignment[40]);
+    }
+
+    #[test]
+    fn every_column_gets_a_clustering() {
+        let mut d = Table::with_columns(&["a", "b", "c"]);
+        for i in 0..20 {
+            d.push_row(vec![format!("{i}"), "x".into(), "y".into()]);
+        }
+        let frame = CellFrame::merge(&d, &d).unwrap();
+        let battery: Vec<Box<dyn Strategy>> = vec![Box::new(MissingMarker)];
+        let fm = build_features(&frame, &battery);
+        let clusterings = cluster_columns(&frame, &fm, 5);
+        assert_eq!(clusterings.len(), 3);
+        for c in &clusterings {
+            assert_eq!(c.assignment.len(), 20);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-cell feature vectors from strategy outputs.
+
+use crate::strategies::Strategy;
+use etsb_table::CellFrame;
+
+/// Binary feature matrix: one row per cell (in `frame.cells()` order),
+/// one column per strategy.
+#[derive(Clone, Debug)]
+pub struct FeatureMatrix {
+    /// Strategy names, in column order.
+    pub strategy_names: Vec<String>,
+    n_features: usize,
+    rows: Vec<Vec<bool>>,
+}
+
+impl FeatureMatrix {
+    /// Number of cells.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of strategies.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Feature vector of one cell.
+    pub fn row(&self, cell: usize) -> &[bool] {
+        &self.rows[cell]
+    }
+
+    /// Feature vector as f32 (for the classifier).
+    pub fn row_f32(&self, cell: usize) -> Vec<f32> {
+        self.rows[cell].iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Hamming distance between two cells' feature vectors.
+    pub fn hamming(&self, a: usize, b: usize) -> usize {
+        self.rows[a]
+            .iter()
+            .zip(&self.rows[b])
+            .filter(|(x, y)| x != y)
+            .count()
+    }
+
+    /// Number of strategies suspecting a cell.
+    pub fn votes(&self, cell: usize) -> usize {
+        self.rows[cell].iter().filter(|&&b| b).count()
+    }
+}
+
+/// Run every strategy over the frame and assemble the feature matrix.
+pub fn build_features(frame: &CellFrame, battery: &[Box<dyn Strategy>]) -> FeatureMatrix {
+    let n_cells = frame.cells().len();
+    let mut rows = vec![Vec::with_capacity(battery.len()); n_cells];
+    let mut names = Vec::with_capacity(battery.len());
+    for strategy in battery {
+        names.push(strategy.name());
+        let flags = strategy.run(frame);
+        assert_eq!(
+            flags.len(),
+            n_cells,
+            "strategy {} returned {} flags for {} cells",
+            strategy.name(),
+            flags.len(),
+            n_cells
+        );
+        for (row, flag) in rows.iter_mut().zip(flags) {
+            row.push(flag);
+        }
+    }
+    FeatureMatrix { strategy_names: names, n_features: battery.len(), rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{FrequencyOutlier, MissingMarker};
+    use etsb_table::Table;
+
+    fn small_frame() -> CellFrame {
+        let mut d = Table::with_columns(&["a"]);
+        for _ in 0..30 {
+            d.push_row_strs(&["common"]);
+        }
+        d.push_row_strs(&["NaN"]);
+        CellFrame::merge(&d, &d).unwrap()
+    }
+
+    #[test]
+    fn features_align_with_strategies() {
+        let frame = small_frame();
+        let battery: Vec<Box<dyn Strategy>> = vec![
+            Box::new(FrequencyOutlier { max_rel_freq: 0.05 }),
+            Box::new(MissingMarker),
+        ];
+        let fm = build_features(&frame, &battery);
+        assert_eq!(fm.n_rows(), 31);
+        assert_eq!(fm.n_features(), 2);
+        assert_eq!(fm.row(0), &[false, false]);
+        assert_eq!(fm.row(30), &[true, true]);
+        assert_eq!(fm.votes(30), 2);
+        assert_eq!(fm.hamming(0, 30), 2);
+        assert_eq!(fm.row_f32(30), vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,509 @@
+//! Error-detection strategies: each produces one boolean per cell of the
+//! frame ("this strategy suspects this cell").
+//!
+//! Raha's insight is that none of these detectors needs to be *good* —
+//! their agreement pattern is a feature vector that a downstream
+//! classifier learns to interpret per column.
+
+use etsb_table::CellFrame;
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// A configured strategy instance.
+pub trait Strategy {
+    /// Human-readable name (used in diagnostics and bench output).
+    fn name(&self) -> String;
+    /// One suspicion flag per cell of the frame, in `frame.cells()` order.
+    fn run(&self, frame: &CellFrame) -> Vec<bool>;
+}
+
+/// The default strategy battery Raha would generate for a dataset.
+///
+/// The spread of thresholds matters more than any single detector being
+/// accurate: two surface forms that co-exist in a column (say `12.0` and
+/// `12.0 oz`) must end up with *different* feature vectors so the
+/// clustering can separate them and labels propagate correctly — which
+/// is why the battery includes deliberately loose thresholds (a value
+/// "rare" for 45% of a column is not an outlier, but it is a distinct
+/// population).
+pub fn default_battery() -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(FrequencyOutlier { max_rel_freq: 0.005 }),
+        Box::new(FrequencyOutlier { max_rel_freq: 0.02 }),
+        Box::new(FrequencyOutlier { max_rel_freq: 0.05 }),
+        Box::new(FrequencyOutlier { max_rel_freq: 0.30 }),
+        Box::new(GaussianOutlier { z_threshold: 2.0 }),
+        Box::new(GaussianOutlier { z_threshold: 3.0 }),
+        Box::new(PatternShape { max_rel_freq: 0.01, collapse_runs: false }),
+        Box::new(PatternShape { max_rel_freq: 0.05, collapse_runs: true }),
+        Box::new(PatternShape { max_rel_freq: 0.30, collapse_runs: false }),
+        Box::new(PatternShape { max_rel_freq: 0.50, collapse_runs: true }),
+        // NOTE: [`RareCharacter`] is intentionally *not* in the default
+        // battery. The published Raha has no per-character detector, and
+        // including one makes this baseline markedly stronger than the
+        // published numbers on Hospital (whose errors are single rare
+        // characters). It remains available for custom batteries.
+        Box::new(MissingMarker),
+        Box::new(FdViolation { min_support: 0.95 }),
+        Box::new(KnowledgeBase::builtin()),
+    ]
+}
+
+// ---------------------------------------------------------------------
+
+/// Flags values whose relative frequency within their column is below a
+/// threshold (dBoost-style histogram outlier).
+pub struct FrequencyOutlier {
+    /// Values rarer than this fraction of the column are suspicious.
+    pub max_rel_freq: f64,
+}
+
+impl Strategy for FrequencyOutlier {
+    fn name(&self) -> String {
+        format!("freq<{}", self.max_rel_freq)
+    }
+
+    fn run(&self, frame: &CellFrame) -> Vec<bool> {
+        let n = frame.n_tuples() as f64;
+        let mut counts: Vec<HashMap<&str, u32>> = vec![HashMap::new(); frame.n_attrs()];
+        for cell in frame.cells() {
+            *counts[cell.attr].entry(cell.value_x.as_str()).or_insert(0) += 1;
+        }
+        frame
+            .cells()
+            .iter()
+            .map(|cell| {
+                let c = counts[cell.attr][cell.value_x.as_str()] as f64;
+                c / n < self.max_rel_freq
+            })
+            .collect()
+    }
+}
+
+/// Flags numeric outliers: in columns that are mostly parseable, values
+/// with |z-score| above a threshold, plus values that fail to parse at
+/// all.
+pub struct GaussianOutlier {
+    /// z-score beyond which a value is suspicious.
+    pub z_threshold: f64,
+}
+
+impl Strategy for GaussianOutlier {
+    fn name(&self) -> String {
+        format!("gauss|z|>{}", self.z_threshold)
+    }
+
+    fn run(&self, frame: &CellFrame) -> Vec<bool> {
+        let n_attrs = frame.n_attrs();
+        // Pass 1: per-column parse rate, mean, std.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize, 0usize); n_attrs]; // (Σx, Σx², parsed, total)
+        for cell in frame.cells() {
+            let s = &mut sums[cell.attr];
+            s.3 += 1;
+            if let Ok(v) = cell.value_x.trim().parse::<f64>() {
+                s.0 += v;
+                s.1 += v * v;
+                s.2 += 1;
+            }
+        }
+        let stats: Vec<Option<(f64, f64)>> = sums
+            .iter()
+            .map(|&(sx, sxx, parsed, total)| {
+                if total == 0 || (parsed as f64) < 0.8 * total as f64 || parsed < 2 {
+                    None // not a numeric column
+                } else {
+                    let mean = sx / parsed as f64;
+                    let var = (sxx / parsed as f64 - mean * mean).max(0.0);
+                    Some((mean, var.sqrt()))
+                }
+            })
+            .collect();
+        frame
+            .cells()
+            .iter()
+            .map(|cell| match stats[cell.attr] {
+                None => false,
+                Some((mean, std)) => match cell.value_x.trim().parse::<f64>() {
+                    Err(_) => true, // non-numeric value in a numeric column
+                    Ok(v) => std > 0.0 && ((v - mean) / std).abs() > self.z_threshold,
+                },
+            })
+            .collect()
+    }
+}
+
+/// Generalize a value to its character-class shape: digits → `d`,
+/// letters → `a`, whitespace → `_`, everything else kept verbatim.
+/// With `collapse_runs`, consecutive identical classes collapse
+/// (`"12.0 oz"` → `"d.d_a"`), generalizing over lengths.
+pub fn shape_of(value: &str, collapse_runs: bool) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut last: Option<char> = None;
+    for ch in value.chars() {
+        let class = if ch.is_ascii_digit() {
+            'd'
+        } else if ch.is_alphabetic() {
+            'a'
+        } else if ch.is_whitespace() {
+            '_'
+        } else {
+            ch
+        };
+        if collapse_runs && last == Some(class) {
+            continue;
+        }
+        out.push(class);
+        last = Some(class);
+    }
+    out
+}
+
+/// Flags values whose character-class *shape* is rare within the column
+/// (Wrangler-style pattern violation).
+pub struct PatternShape {
+    /// Shapes rarer than this fraction of the column are suspicious.
+    pub max_rel_freq: f64,
+    /// Collapse runs of the same character class.
+    pub collapse_runs: bool,
+}
+
+impl Strategy for PatternShape {
+    fn name(&self) -> String {
+        format!("shape<{}{}", self.max_rel_freq, if self.collapse_runs { "+runs" } else { "" })
+    }
+
+    fn run(&self, frame: &CellFrame) -> Vec<bool> {
+        let n = frame.n_tuples() as f64;
+        let mut counts: Vec<HashMap<String, u32>> = vec![HashMap::new(); frame.n_attrs()];
+        let shapes: Vec<String> = frame
+            .cells()
+            .iter()
+            .map(|cell| {
+                let s = shape_of(&cell.value_x, self.collapse_runs);
+                *counts[cell.attr].entry(s.clone()).or_insert(0) += 1;
+                s
+            })
+            .collect();
+        frame
+            .cells()
+            .iter()
+            .zip(&shapes)
+            .map(|(cell, shape)| (counts[cell.attr][shape] as f64) / n < self.max_rel_freq)
+            .collect()
+    }
+}
+
+/// Flags values containing a character that is rare within the column.
+pub struct RareCharacter {
+    /// Characters occurring in fewer than this fraction of the column's
+    /// values are suspicious.
+    pub max_rel_freq: f64,
+}
+
+impl Strategy for RareCharacter {
+    fn name(&self) -> String {
+        format!("rarechar<{}", self.max_rel_freq)
+    }
+
+    fn run(&self, frame: &CellFrame) -> Vec<bool> {
+        let n = frame.n_tuples() as f64;
+        let mut char_counts: Vec<HashMap<char, u32>> = vec![HashMap::new(); frame.n_attrs()];
+        for cell in frame.cells() {
+            let distinct: HashSet<char> = cell.value_x.chars().collect();
+            for ch in distinct {
+                *char_counts[cell.attr].entry(ch).or_insert(0) += 1;
+            }
+        }
+        frame
+            .cells()
+            .iter()
+            .map(|cell| {
+                cell.value_x
+                    .chars()
+                    .any(|ch| (char_counts[cell.attr][&ch] as f64) / n < self.max_rel_freq)
+            })
+            .collect()
+    }
+}
+
+/// Flags canonical missing-value markers.
+pub struct MissingMarker;
+
+impl Strategy for MissingMarker {
+    fn name(&self) -> String {
+        "missing".to_string()
+    }
+
+    fn run(&self, frame: &CellFrame) -> Vec<bool> {
+        frame
+            .cells()
+            .iter()
+            .map(|cell| {
+                let v = cell.value_x.trim();
+                v.is_empty()
+                    || v.eq_ignore_ascii_case("nan")
+                    || v.eq_ignore_ascii_case("null")
+                    || v.eq_ignore_ascii_case("n/a")
+                    || v == "-"
+            })
+            .collect()
+    }
+}
+
+/// Approximate functional-dependency violations (NADEEF-style rule
+/// checking): for every attribute pair `(A → B)` that holds on at least
+/// `min_support` of tuples, cells of `B` disagreeing with their group's
+/// majority are flagged.
+pub struct FdViolation {
+    /// Minimum fraction of tuples on which a candidate FD must hold.
+    pub min_support: f64,
+}
+
+impl Strategy for FdViolation {
+    fn name(&self) -> String {
+        format!("fd>{}", self.min_support)
+    }
+
+    fn run(&self, frame: &CellFrame) -> Vec<bool> {
+        let n_attrs = frame.n_attrs();
+        let n_tuples = frame.n_tuples();
+        let mut flags = vec![false; frame.cells().len()];
+        if n_tuples < 10 {
+            return flags;
+        }
+        for lhs in 0..n_attrs {
+            // Skip key-like columns: grouping by a unique id yields no
+            // information and is O(n) wasted work.
+            let distinct_lhs: HashSet<&str> = (0..n_tuples)
+                .map(|t| frame.tuple(t)[lhs].value_x.as_str())
+                .collect();
+            if distinct_lhs.len() > n_tuples / 2 || distinct_lhs.len() < 2 {
+                continue;
+            }
+            for rhs in 0..n_attrs {
+                if lhs == rhs {
+                    continue;
+                }
+                // group: lhs value → (rhs value → count)
+                let mut groups: HashMap<&str, HashMap<&str, u32>> = HashMap::new();
+                for t in 0..n_tuples {
+                    let l = frame.tuple(t)[lhs].value_x.as_str();
+                    let r = frame.tuple(t)[rhs].value_x.as_str();
+                    *groups.entry(l).or_default().entry(r).or_insert(0) += 1;
+                }
+                let agree: u64 = groups
+                    .values()
+                    .map(|rhs_counts| u64::from(*rhs_counts.values().max().expect("non-empty")))
+                    .sum();
+                if (agree as f64) < self.min_support * n_tuples as f64 {
+                    continue; // not (approximately) an FD
+                }
+                // Flag rhs cells that disagree with their group majority.
+                let majority: HashMap<&str, &str> = groups
+                    .iter()
+                    .map(|(l, rhs_counts)| {
+                        let best = rhs_counts
+                            .iter()
+                            .max_by_key(|(_, c)| **c)
+                            .map(|(v, _)| *v)
+                            .expect("non-empty");
+                        (*l, best)
+                    })
+                    .collect();
+                for t in 0..n_tuples {
+                    let l = frame.tuple(t)[lhs].value_x.as_str();
+                    let r = frame.tuple(t)[rhs].value_x.as_str();
+                    if majority[l] != r {
+                        flags[frame.cell_index(t, rhs)] = true;
+                    }
+                }
+            }
+        }
+        flags
+    }
+}
+
+/// KATARA-style knowledge-base lookups. The original consults DBpedia;
+/// this substitution carries builtin domain dictionaries (US states,
+/// months, language codes) and flags values in columns that mostly match
+/// a domain but themselves do not.
+pub struct KnowledgeBase {
+    domains: Vec<(String, HashSet<String>)>,
+}
+
+impl KnowledgeBase {
+    /// The builtin dictionaries.
+    pub fn builtin() -> Self {
+        let states: HashSet<String> = [
+            "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN",
+            "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV",
+            "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN",
+            "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let months: HashSet<String> = [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let genders: HashSet<String> =
+            ["M", "F"].iter().map(|s| s.to_string()).collect();
+        Self {
+            domains: vec![
+                ("us_states".to_string(), states),
+                ("months".to_string(), months),
+                ("gender".to_string(), genders),
+            ],
+        }
+    }
+
+    /// A knowledge base over custom domains.
+    pub fn new(domains: Vec<(String, HashSet<String>)>) -> Self {
+        Self { domains }
+    }
+}
+
+impl Strategy for KnowledgeBase {
+    fn name(&self) -> String {
+        format!("kb[{}]", self.domains.len())
+    }
+
+    fn run(&self, frame: &CellFrame) -> Vec<bool> {
+        let n_tuples = frame.n_tuples().max(1) as f64;
+        let n_attrs = frame.n_attrs();
+        // Which domain (if any) does each column belong to?
+        let mut col_domain: Vec<Option<usize>> = vec![None; n_attrs];
+        for (a, slot) in col_domain.iter_mut().enumerate() {
+            for (d, (_, values)) in self.domains.iter().enumerate() {
+                let matches = (0..frame.n_tuples())
+                    .filter(|&t| values.contains(&frame.tuple(t)[a].value_x))
+                    .count();
+                if matches as f64 / n_tuples > 0.8 {
+                    *slot = Some(d);
+                    break;
+                }
+            }
+        }
+        frame
+            .cells()
+            .iter()
+            .map(|cell| match col_domain[cell.attr] {
+                Some(d) => !self.domains[d].1.contains(&cell.value_x),
+                None => false,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_table::Table;
+
+    fn frame_from(cols: &[&str], rows: &[&[&str]]) -> CellFrame {
+        let mut d = Table::with_columns(cols);
+        for r in rows {
+            d.push_row_strs(r);
+        }
+        // Strategies only read value_x; a self-merge gives an all-clean frame.
+        CellFrame::merge(&d, &d).unwrap()
+    }
+
+    #[test]
+    fn frequency_outlier_flags_rare_value() {
+        let rows: Vec<Vec<&str>> = (0..99).map(|_| vec!["common"]).chain([vec!["rare"]]).collect();
+        let refs: Vec<&[&str]> = rows.iter().map(|r| r.as_slice()).collect();
+        let frame = frame_from(&["a"], &refs);
+        let flags = FrequencyOutlier { max_rel_freq: 0.02 }.run(&frame);
+        assert!(!flags[0]);
+        assert!(flags[99]);
+    }
+
+    #[test]
+    fn gaussian_outlier_flags_extreme_and_nonnumeric() {
+        let mut rows: Vec<Vec<String>> = (0..50).map(|i| vec![format!("{}", 100 + i)]).collect();
+        rows.push(vec!["9999".to_string()]);
+        rows.push(vec!["BER".to_string()]);
+        let str_rows: Vec<Vec<&str>> =
+            rows.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+        let refs: Vec<&[&str]> = str_rows.iter().map(|r| r.as_slice()).collect();
+        let frame = frame_from(&["n"], &refs);
+        let flags = GaussianOutlier { z_threshold: 3.0 }.run(&frame);
+        assert!(!flags[0]);
+        assert!(flags[50], "extreme value should be flagged");
+        assert!(flags[51], "non-numeric in numeric column should be flagged");
+    }
+
+    #[test]
+    fn shape_generalization() {
+        assert_eq!(shape_of("12.0 oz", false), "dd.d_aa");
+        assert_eq!(shape_of("12.0 oz", true), "d.d_a");
+        assert_eq!(shape_of("Rome", true), "a");
+        assert_eq!(shape_of("", true), "");
+    }
+
+    #[test]
+    fn pattern_shape_flags_odd_format() {
+        let mut rows: Vec<Vec<&str>> = (0..60).map(|_| vec!["12.0"]).collect();
+        rows.push(vec!["12.0 oz"]);
+        let refs: Vec<&[&str]> = rows.iter().map(|r| r.as_slice()).collect();
+        let frame = frame_from(&["ounces"], &refs);
+        let flags = PatternShape { max_rel_freq: 0.05, collapse_runs: true }.run(&frame);
+        assert!(!flags[0]);
+        assert!(flags[60]);
+    }
+
+    #[test]
+    fn missing_marker_catches_all_spellings() {
+        let frame = frame_from(&["a"], &[&["NaN"], &[""], &["null"], &["N/A"], &["-"], &["ok"]]);
+        let flags = MissingMarker.run(&frame);
+        assert_eq!(flags, vec![true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn fd_violation_flags_disagreement() {
+        // city → state holds except one row.
+        let mut rows: Vec<Vec<&str>> = Vec::new();
+        for _ in 0..20 {
+            rows.push(vec!["Rome", "IT"]);
+            rows.push(vec!["Paris", "FR"]);
+        }
+        rows.push(vec!["Rome", "FR"]); // violation
+        let refs: Vec<&[&str]> = rows.iter().map(|r| r.as_slice()).collect();
+        let frame = frame_from(&["city", "state"], &refs);
+        let flags = FdViolation { min_support: 0.95 }.run(&frame);
+        let idx = frame.cell_index(40, 1);
+        assert!(flags[idx], "the disagreeing state cell should be flagged");
+        assert!(!flags[frame.cell_index(0, 1)]);
+    }
+
+    #[test]
+    fn knowledge_base_flags_nonmember_in_domain_column() {
+        let mut rows: Vec<Vec<&str>> = (0..20).map(|_| vec!["CA"]).collect();
+        rows.push(vec!["BER"]);
+        let refs: Vec<&[&str]> = rows.iter().map(|r| r.as_slice()).collect();
+        let frame = frame_from(&["state"], &refs);
+        let flags = KnowledgeBase::builtin().run(&frame);
+        assert!(!flags[0]);
+        assert!(flags[20]);
+    }
+
+    #[test]
+    fn knowledge_base_ignores_free_text_columns() {
+        let frame = frame_from(&["note"], &[&["hello"], &["world"]]);
+        let flags = KnowledgeBase::builtin().run(&frame);
+        assert!(flags.iter().all(|f| !f));
+    }
+
+    #[test]
+    fn battery_runs_on_any_frame() {
+        let frame = frame_from(&["a", "b"], &[&["1", "x"], &["2", "y"], &["3", "z"]]);
+        for strategy in default_battery() {
+            let flags = strategy.run(&frame);
+            assert_eq!(flags.len(), 6, "{} returned wrong length", strategy.name());
+        }
+    }
+}

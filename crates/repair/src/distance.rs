@@ -1,0 +1,119 @@
+//! Edit distance with an early-exit bound, used by the typo corrector.
+
+/// Full Levenshtein distance between two strings (by chars).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            curr[j + 1] = sub.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein distance, returning `None` as soon as it provably exceeds
+/// `bound` — O(len · bound) instead of O(len²), which is what makes
+/// scanning a column's value vocabulary for near matches affordable.
+pub fn bounded_levenshtein(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > bound {
+        return None;
+    }
+    if a.is_empty() || b.is_empty() {
+        let d = a.len().max(b.len());
+        return (d <= bound).then_some(d);
+    }
+    const BIG: usize = usize::MAX / 2;
+    let mut prev = vec![BIG; b.len() + 1];
+    let mut curr = vec![BIG; b.len() + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(bound + 1) {
+        *p = j;
+    }
+    for (i, &ca) in a.iter().enumerate() {
+        // Band: only |i - j| <= bound can stay within the bound.
+        let lo = (i + 1).saturating_sub(bound);
+        let hi = (i + 1 + bound).min(b.len());
+        curr.fill(BIG);
+        if lo == 0 {
+            curr[0] = i + 1;
+        }
+        let mut row_min = BIG;
+        for j in lo.max(1)..=hi {
+            let cb = b[j - 1];
+            let sub = prev[j - 1] + usize::from(ca != cb);
+            let val = sub.min(prev[j] + 1).min(curr[j - 1] + 1);
+            curr[j] = val;
+            row_min = row_min.min(val);
+        }
+        if lo == 0 {
+            row_min = row_min.min(curr[0]);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let d = prev[b.len()];
+    (d <= bound).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("Birmingxam", "Birmingham"), 1);
+        assert_eq!(levenshtein("hexrt fxilure", "heart failure"), 2);
+    }
+
+    #[test]
+    fn bounded_agrees_with_full_within_bound() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("hexrt", "heart"),
+            ("", ""),
+            ("abc", ""),
+            ("flaw", "lawn"),
+            ("12.0 oz", "12.0"),
+        ];
+        for (a, b) in pairs {
+            let full = levenshtein(a, b);
+            for bound in 0..6 {
+                let got = bounded_levenshtein(a, b, bound);
+                if full <= bound {
+                    assert_eq!(got, Some(full), "{a:?} vs {b:?} bound {bound}");
+                } else {
+                    assert_eq!(got, None, "{a:?} vs {b:?} bound {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_exits_on_length_gap() {
+        assert_eq!(bounded_levenshtein("ab", "abcdefgh", 2), None);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("Zürich", "Zurich"), 1);
+        assert_eq!(bounded_levenshtein("Zürich", "Zurich", 1), Some(1));
+    }
+}

@@ -1,0 +1,173 @@
+//! Functional-dependency repair: discover approximate FDs among the
+//! cells the detector considers clean, then impute a flagged cell from
+//! the majority value of its determining group (Baran-style context
+//! repair; also HoloClean's most informative signal).
+
+use etsb_table::CellFrame;
+use std::collections::{HashMap, HashSet};
+
+/// Discovered dependency `lhs → rhs` with its group majority table.
+struct Dependency {
+    lhs: usize,
+    rhs: usize,
+    /// lhs value → majority rhs value.
+    majority: HashMap<String, String>,
+}
+
+/// FD-based repairer, fit on the predicted-clean portion of a frame.
+pub struct FdRepairer {
+    deps: Vec<Dependency>,
+}
+
+impl FdRepairer {
+    /// Discover approximate FDs (`support` fraction of groups must agree)
+    /// using only cells whose `error_mask` entry is `false`.
+    pub fn fit(frame: &CellFrame, error_mask: &[bool], support: f64) -> Self {
+        let n_attrs = frame.n_attrs();
+        let n_tuples = frame.n_tuples();
+        assert_eq!(error_mask.len(), frame.cells().len(), "FdRepairer::fit: mask length");
+        let mut deps = Vec::new();
+        if n_tuples < 10 {
+            return Self { deps };
+        }
+        for lhs in 0..n_attrs {
+            // Key-like and constant columns carry no usable grouping.
+            let distinct: HashSet<&str> = (0..n_tuples)
+                .map(|t| frame.tuple(t)[lhs].value_x.as_str())
+                .collect();
+            if distinct.len() > n_tuples / 2 || distinct.len() < 2 {
+                continue;
+            }
+            for rhs in 0..n_attrs {
+                if lhs == rhs {
+                    continue;
+                }
+                // Group over tuples where BOTH cells are predicted clean.
+                let mut groups: HashMap<&str, HashMap<&str, u32>> = HashMap::new();
+                let mut used = 0usize;
+                for t in 0..n_tuples {
+                    if error_mask[frame.cell_index(t, lhs)] || error_mask[frame.cell_index(t, rhs)]
+                    {
+                        continue;
+                    }
+                    used += 1;
+                    let l = frame.tuple(t)[lhs].value_x.as_str();
+                    let r = frame.tuple(t)[rhs].value_x.as_str();
+                    *groups.entry(l).or_default().entry(r).or_insert(0) += 1;
+                }
+                if used < 10 {
+                    continue;
+                }
+                let agree: u64 = groups
+                    .values()
+                    .map(|c| u64::from(*c.values().max().expect("non-empty")))
+                    .sum();
+                if (agree as f64) < support * used as f64 {
+                    continue;
+                }
+                let majority: HashMap<String, String> = groups
+                    .into_iter()
+                    .map(|(l, counts)| {
+                        let best = counts
+                            .into_iter()
+                            .max_by_key(|&(_, c)| c)
+                            .map(|(v, _)| v.to_string())
+                            .expect("non-empty");
+                        (l.to_string(), best)
+                    })
+                    .collect();
+                deps.push(Dependency { lhs, rhs, majority });
+            }
+        }
+        Self { deps }
+    }
+
+    /// Number of discovered dependencies.
+    pub fn n_dependencies(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Propose a repair for the cell `(tuple, attr)`: the majority value
+    /// of any dependency group determining this attribute, provided the
+    /// determining cell is itself clean.
+    pub fn propose(
+        &self,
+        frame: &CellFrame,
+        error_mask: &[bool],
+        tuple: usize,
+        attr: usize,
+    ) -> Option<String> {
+        for dep in self.deps.iter().filter(|d| d.rhs == attr) {
+            if error_mask[frame.cell_index(tuple, dep.lhs)] {
+                continue; // the determinant itself is suspect
+            }
+            let lhs_value = frame.tuple(tuple)[dep.lhs].value_x.as_str();
+            if let Some(fix) = dep.majority.get(lhs_value) {
+                if fix != &frame.tuple(tuple)[attr].value_x {
+                    return Some(fix.clone());
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_table::Table;
+
+    /// city → state FD with one corrupted state cell.
+    fn setup() -> (CellFrame, Vec<bool>) {
+        let mut dirty = Table::with_columns(&["city", "state"]);
+        let mut clean = Table::with_columns(&["city", "state"]);
+        for i in 0..30 {
+            let (c, s) = if i % 2 == 0 { ("Rome", "IT") } else { ("Paris", "FR") };
+            clean.push_row_strs(&[c, s]);
+            if i == 4 {
+                dirty.push_row_strs(&[c, "FR"]); // wrong state for Rome
+            } else {
+                dirty.push_row_strs(&[c, s]);
+            }
+        }
+        let frame = CellFrame::merge(&dirty, &clean).unwrap();
+        let mask: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
+        (frame, mask)
+    }
+
+    #[test]
+    fn discovers_city_state_fd() {
+        let (frame, mask) = setup();
+        let rep = FdRepairer::fit(&frame, &mask, 0.95);
+        assert!(rep.n_dependencies() >= 1);
+    }
+
+    #[test]
+    fn proposes_majority_value() {
+        let (frame, mask) = setup();
+        let rep = FdRepairer::fit(&frame, &mask, 0.95);
+        let fix = rep.propose(&frame, &mask, 4, 1).expect("repair proposed");
+        assert_eq!(fix, "IT");
+    }
+
+    #[test]
+    fn no_proposal_when_determinant_is_dirty() {
+        let (frame, mut mask) = setup();
+        // Mark the determinant (city of tuple 4) as suspect too.
+        let idx = frame.cell_index(4, 0);
+        mask[idx] = true;
+        let rep = FdRepairer::fit(&frame, &mask, 0.95);
+        assert_eq!(rep.propose(&frame, &mask, 4, 1), None);
+    }
+
+    #[test]
+    fn tiny_frames_yield_no_dependencies() {
+        let mut t = Table::with_columns(&["a", "b"]);
+        for i in 0..5 {
+            t.push_row(vec![format!("{}", i % 2), "x".to_string()]);
+        }
+        let frame = CellFrame::merge(&t, &t).unwrap();
+        let mask = vec![false; frame.cells().len()];
+        assert_eq!(FdRepairer::fit(&frame, &mask, 0.95).n_dependencies(), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Format normalization: learn the dominant character-class shape of a
+//! column's clean cells and rewrite deviating values toward it.
+
+use std::collections::HashMap;
+
+/// Character-class shape with run collapsing: digits → `d`, letters →
+/// `a`, whitespace → `_`, other characters verbatim.
+pub fn shape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut last: Option<char> = None;
+    for ch in value.chars() {
+        let class = if ch.is_ascii_digit() {
+            'd'
+        } else if ch.is_alphabetic() {
+            'a'
+        } else if ch.is_whitespace() {
+            '_'
+        } else {
+            ch
+        };
+        if last == Some(class) {
+            continue;
+        }
+        out.push(class);
+        last = Some(class);
+    }
+    out
+}
+
+/// Most common shape among `values` (ties resolve lexicographically so
+/// the result is deterministic). Returns `None` for an empty iterator.
+pub fn dominant_shape<'a>(values: impl Iterator<Item = &'a str>) -> Option<String> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(shape(v)).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|(sa, ca), (sb, cb)| ca.cmp(cb).then(sb.cmp(sa)))
+        .map(|(s, _)| s)
+}
+
+/// Attempt to rewrite `value` so its shape matches `target`; returns
+/// `None` when no rule applies. The rules invert the formatting
+/// corruptions catalogued in the paper's §5.1 (ounces `'12.0 oz'`,
+/// ABV `'0.061%'`, RatingCount `'379,998'`, RatingValue `'8.0'`,
+/// `'Frankie & Johnny'`, ZIP `'1907'`).
+pub fn normalize_to_shape(value: &str, target: &str) -> Option<String> {
+    if shape(value) == target {
+        return None; // already conformant
+    }
+    let candidates = [
+        // Strip a trailing unit / annotation (after space or directly).
+        value.split(' ').next().map(str::to_string),
+        // Strip trailing non-alphanumeric marks ('0.061%', 'ARCHIE-*').
+        Some(value.trim_end_matches(|c: char| !c.is_alphanumeric()).to_string()),
+        // Remove thousands separators.
+        Some(value.replace(',', "")),
+        // Drop a spurious '.0' decimal.
+        value.strip_suffix(".0").map(str::to_string),
+        // '&' written for 'and'.
+        Some(value.replace(" & ", " and ")),
+        // 'and' written for '&'.
+        Some(value.replace(" and ", " & ")),
+        // Restore one leading zero (ZIP '1907' → '01907').
+        Some(format!("0{value}")),
+        // Drop one leading zero.
+        value.strip_prefix('0').map(str::to_string),
+        // Append a '.0' decimal ('45' → '45.0').
+        Some(format!("{value}.0")),
+    ];
+    candidates
+        .into_iter()
+        .flatten()
+        .find(|c| !c.is_empty() && c != value && shape(c) == target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        assert_eq!(shape("12.0 oz"), "d.d_a");
+        assert_eq!(shape("379,998"), "d,d");
+        assert_eq!(shape("Frankie & Johnny"), "a_&_a");
+        assert_eq!(shape(""), "");
+    }
+
+    #[test]
+    fn dominant_shape_majority() {
+        let values = ["12.0", "16.0", "24.0", "12.0 oz"];
+        assert_eq!(dominant_shape(values.into_iter()).unwrap(), "d.d");
+        assert_eq!(dominant_shape(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn normalizes_paper_examples() {
+        assert_eq!(normalize_to_shape("12.0 oz", "d.d").unwrap(), "12.0");
+        assert_eq!(normalize_to_shape("0.061%", "d.d").unwrap(), "0.061");
+        assert_eq!(normalize_to_shape("379,998", "d").unwrap(), "379998");
+        assert_eq!(normalize_to_shape("8.0", "d").unwrap(), "8");
+        assert_eq!(
+            normalize_to_shape("Frankie & Johnny", "a_a_a").unwrap(),
+            "Frankie and Johnny"
+        );
+        assert_eq!(normalize_to_shape("1907", "dd")/* same collapsed shape */, None);
+        assert_eq!(normalize_to_shape("45", "d.d").unwrap(), "45.0");
+    }
+
+    #[test]
+    fn conformant_values_untouched() {
+        assert_eq!(normalize_to_shape("12.0", "d.d"), None);
+    }
+
+    #[test]
+    fn no_rule_returns_none() {
+        assert_eq!(normalize_to_shape("hello", "d"), None);
+    }
+}

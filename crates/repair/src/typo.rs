@@ -1,0 +1,139 @@
+//! Typo correction: snap a flagged value to the nearest *frequent, clean*
+//! value of its column within a small edit distance.
+
+use crate::distance::bounded_levenshtein;
+use etsb_table::CellFrame;
+use std::collections::HashMap;
+
+/// Per-column vocabulary of frequent clean values.
+pub struct TypoCorrector {
+    /// Per attribute: (value, frequency), sorted by descending frequency.
+    vocab: Vec<Vec<(String, u32)>>,
+    /// Maximum edit distance to snap across.
+    pub max_distance: usize,
+    /// Minimum occurrences for a value to be considered a correction
+    /// target (singletons are likelier to be typos themselves).
+    pub min_frequency: u32,
+}
+
+impl TypoCorrector {
+    /// Build vocabularies from the predicted-clean cells.
+    pub fn fit(frame: &CellFrame, error_mask: &[bool]) -> Self {
+        assert_eq!(error_mask.len(), frame.cells().len(), "TypoCorrector::fit: mask length");
+        let mut counts: Vec<HashMap<&str, u32>> = vec![HashMap::new(); frame.n_attrs()];
+        for (i, cell) in frame.cells().iter().enumerate() {
+            if !error_mask[i] && !cell.value_x.is_empty() {
+                *counts[cell.attr].entry(cell.value_x.as_str()).or_insert(0) += 1;
+            }
+        }
+        let vocab = counts
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(String, u32)> =
+                    m.into_iter().map(|(s, c)| (s.to_string(), c)).collect();
+                v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                v
+            })
+            .collect();
+        Self { vocab, max_distance: 2, min_frequency: 2 }
+    }
+
+    /// Nearest frequent clean value within `max_distance` edits; ties
+    /// resolve to the more frequent value. Returns `None` when nothing
+    /// qualifies or the best match is the value itself.
+    pub fn propose(&self, attr: usize, value: &str) -> Option<String> {
+        if value.is_empty() {
+            return None;
+        }
+        let mut best: Option<(&str, usize, u32)> = None;
+        for (candidate, freq) in &self.vocab[attr] {
+            if *freq < self.min_frequency || candidate == value {
+                continue;
+            }
+            if let Some(d) = bounded_levenshtein(value, candidate, self.max_distance) {
+                if d == 0 {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, bd, bf)) => d < bd || (d == bd && *freq > bf),
+                };
+                if better {
+                    best = Some((candidate, d, *freq));
+                }
+            }
+        }
+        best.map(|(c, _, _)| c.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_table::Table;
+
+    fn frame_with_typos() -> (CellFrame, Vec<bool>) {
+        let mut dirty = Table::with_columns(&["city"]);
+        let mut clean = Table::with_columns(&["city"]);
+        for i in 0..40 {
+            let c = if i % 2 == 0 { "birmingham" } else { "montgomery" };
+            clean.push_row_strs(&[c]);
+            if i == 6 {
+                dirty.push_row_strs(&["birmingxam"]);
+            } else if i == 7 {
+                dirty.push_row_strs(&["montgomxry"]);
+            } else {
+                dirty.push_row_strs(&[c]);
+            }
+        }
+        let frame = CellFrame::merge(&dirty, &clean).unwrap();
+        let mask: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
+        (frame, mask)
+    }
+
+    #[test]
+    fn corrects_paper_style_x_typos() {
+        let (frame, mask) = frame_with_typos();
+        let corrector = TypoCorrector::fit(&frame, &mask);
+        assert_eq!(corrector.propose(0, "birmingxam").unwrap(), "birmingham");
+        assert_eq!(corrector.propose(0, "montgomxry").unwrap(), "montgomery");
+    }
+
+    #[test]
+    fn distant_values_are_not_snapped() {
+        let (frame, mask) = frame_with_typos();
+        let corrector = TypoCorrector::fit(&frame, &mask);
+        assert_eq!(corrector.propose(0, "zzzzzzzzzz"), None);
+    }
+
+    #[test]
+    fn flagged_cells_do_not_enter_the_vocabulary() {
+        let (frame, mask) = frame_with_typos();
+        let corrector = TypoCorrector::fit(&frame, &mask);
+        // The typo'd values were masked out, so they cannot be targets.
+        assert!(corrector.vocab[0].iter().all(|(v, _)| !v.contains('x')));
+    }
+
+    #[test]
+    fn empty_value_yields_none() {
+        let (frame, mask) = frame_with_typos();
+        let corrector = TypoCorrector::fit(&frame, &mask);
+        assert_eq!(corrector.propose(0, ""), None);
+    }
+
+    #[test]
+    fn ties_prefer_frequent_values() {
+        let mut dirty = Table::with_columns(&["v"]);
+        for _ in 0..10 {
+            dirty.push_row_strs(&["aaaa"]);
+        }
+        for _ in 0..2 {
+            dirty.push_row_strs(&["aaab"]);
+        }
+        let frame = CellFrame::merge(&dirty, &dirty).unwrap();
+        let mask = vec![false; frame.cells().len()];
+        let corrector = TypoCorrector::fit(&frame, &mask);
+        // "aaac" is distance 1 from both; the frequent one wins.
+        assert_eq!(corrector.propose(0, "aaac").unwrap(), "aaaa");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the repair layer.
+
+use etsb_repair::{bounded_levenshtein, dominant_shape, levenshtein};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9 .,%&]{0,14}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn levenshtein_is_a_metric(a in word(), b in word(), c in word()) {
+        // Identity of indiscernibles.
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        let dab = levenshtein(&a, &b);
+        prop_assert_eq!(dab == 0, a == b);
+        // Symmetry.
+        prop_assert_eq!(dab, levenshtein(&b, &a));
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= dab + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_lengths(a in word(), b in word()) {
+        let d = levenshtein(&a, &b);
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(d >= la.abs_diff(lb));
+        prop_assert!(d <= la.max(lb));
+    }
+
+    #[test]
+    fn bounded_matches_full(a in word(), b in word(), bound in 0usize..6) {
+        let full = levenshtein(&a, &b);
+        match bounded_levenshtein(&a, &b, bound) {
+            Some(d) => {
+                prop_assert_eq!(d, full);
+                prop_assert!(d <= bound);
+            }
+            None => prop_assert!(full > bound),
+        }
+    }
+
+    #[test]
+    fn single_edit_has_distance_one(a in proptest::string::string_regex("[a-z]{2,10}").expect("regex"), pos in 0usize..10) {
+        let chars: Vec<char> = a.chars().collect();
+        let pos = pos % chars.len();
+        let mut edited = chars.clone();
+        edited[pos] = if edited[pos] == 'x' { 'y' } else { 'x' };
+        let edited: String = edited.into_iter().collect();
+        if edited != a {
+            prop_assert_eq!(levenshtein(&a, &edited), 1);
+        }
+    }
+
+    #[test]
+    fn normalization_output_matches_target_shape(v in word(), target in word()) {
+        use etsb_repair::*;
+        let target_shape = {
+            // Use the shape of another random word as the target.
+            dominant_shape(std::iter::once(target.as_str())).unwrap_or_default()
+        };
+        if let Some(fixed) = normalize_to_shape(&v, &target_shape) {
+            // The contract: the result conforms to the requested shape
+            // and differs from the input.
+            prop_assert_ne!(&fixed, &v);
+            prop_assert_eq!(
+                dominant_shape(std::iter::once(fixed.as_str())).unwrap_or_default(),
+                target_shape
+            );
+        }
+    }
+
+    #[test]
+    fn dominant_shape_is_a_shape_of_some_input(values in proptest::collection::vec(word(), 1..10)) {
+        let dom = dominant_shape(values.iter().map(String::as_str)).unwrap();
+        let shapes: Vec<String> = values
+            .iter()
+            .map(|v| dominant_shape(std::iter::once(v.as_str())).unwrap())
+            .collect();
+        prop_assert!(shapes.contains(&dom));
+    }
+}

@@ -1,0 +1,229 @@
+//! Minimal RFC-4180-style CSV reading and writing.
+//!
+//! Supports quoted fields, embedded commas, escaped quotes (`""`) and
+//! embedded newlines inside quoted fields — everything the benchmark
+//! datasets (Movies titles with commas, Rayyan abstracts with quotes)
+//! require. The first record is always treated as the header.
+
+use crate::{Table, TableError};
+use std::path::Path;
+
+/// Parse CSV text into a [`Table`]. The first record is the header.
+pub fn parse(text: &str) -> Result<Table, TableError> {
+    let records = parse_records(text)?;
+    let mut iter = records.into_iter();
+    let (header, _) = iter
+        .next()
+        .ok_or(TableError::Csv { line: 1, message: "empty input".into() })?;
+    let mut table = Table::new(header);
+    let width = table.n_cols();
+    for (record, line) in iter {
+        if record.len() != width {
+            return Err(TableError::RaggedRow { line, expected: width, found: record.len() });
+        }
+        table.push_row(record);
+    }
+    Ok(table)
+}
+
+/// Read and parse a CSV file.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Table, TableError> {
+    let text = std::fs::read_to_string(path)?;
+    parse(&text)
+}
+
+/// Serialize a [`Table`] to CSV text (header first, `\n` line endings).
+pub fn to_string(table: &Table) -> String {
+    let mut out = String::new();
+    write_record(&mut out, table.columns().iter().map(String::as_str));
+    for row in table.iter_rows() {
+        write_record(&mut out, row.iter().map(String::as_str));
+    }
+    out
+}
+
+/// Write a [`Table`] to a CSV file.
+pub fn write_file(table: &Table, path: impl AsRef<Path>) -> Result<(), TableError> {
+    std::fs::write(path, to_string(table))?;
+    Ok(())
+}
+
+fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+    let fields: Vec<&str> = fields.collect();
+    // A record that is a single empty field would serialize to a blank
+    // line, which parsers (including this one) skip; quote it instead.
+    if fields == [""] {
+        out.push_str("\"\"\n");
+        return;
+    }
+    let mut first = true;
+    for field in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if field.contains([',', '"', '\n', '\r']) {
+            out.push('"');
+            for ch in field.chars() {
+                if ch == '"' {
+                    out.push('"');
+                }
+                out.push(ch);
+            }
+            out.push('"');
+        } else {
+            out.push_str(field);
+        }
+    }
+    out.push('\n');
+}
+
+/// State machine CSV record parser. Returns each record with the 1-based
+/// line number it started on (for error messages).
+#[allow(clippy::type_complexity)]
+fn parse_records(text: &str) -> Result<Vec<(Vec<String>, usize)>, TableError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut record_start_line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut any_content = false;
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                _ => field.push(ch),
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                if field.is_empty() {
+                    in_quotes = true;
+                    any_content = true;
+                } else {
+                    return Err(TableError::Csv {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                any_content = true;
+            }
+            '\r' => {
+                // Swallow; a following \n terminates the record.
+            }
+            '\n' => {
+                if any_content || !field.is_empty() || !record.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push((std::mem::take(&mut record), record_start_line));
+                }
+                line += 1;
+                record_start_line = line;
+                any_content = false;
+            }
+            _ => {
+                field.push(ch);
+                any_content = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv { line, message: "unterminated quoted field".into() });
+    }
+    if any_content || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push((record, record_start_line));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_round_trip() {
+        let mut t = Table::with_columns(&["a", "b"]);
+        t.push_row_strs(&["1", "hello"]);
+        t.push_row_strs(&["2", "world"]);
+        let text = to_string(&t);
+        assert_eq!(parse(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let mut t = Table::with_columns(&["title", "n"]);
+        t.push_row_strs(&["Frankie, and \"Johnny\"", "1"]);
+        t.push_row_strs(&["line\nbreak", "2"]);
+        let text = to_string(&t);
+        assert_eq!(parse(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn parse_hand_written_csv() {
+        let t = parse("a,b\n\"x,y\",2\n\"he said \"\"hi\"\"\",3\n").unwrap();
+        assert_eq!(t.cell(0, 0), "x,y");
+        assert_eq!(t.cell(1, 0), "he said \"hi\"");
+    }
+
+    #[test]
+    fn empty_fields_survive() {
+        let t = parse("a,b,c\n,,\n1,,3\n").unwrap();
+        assert_eq!(t.row(0), &["", "", ""]);
+        assert_eq!(t.row(1), &["1", "", "3"]);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = parse("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.shape(), (1, 2));
+        assert_eq!(t.cell(0, 1), "2");
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let t = parse("a,b\n1,2").unwrap();
+        assert_eq!(t.shape(), (1, 2));
+    }
+
+    #[test]
+    fn ragged_row_is_an_error() {
+        let err = parse("a,b\n1\n").unwrap_err();
+        assert!(matches!(err, TableError::RaggedRow { line: 2, expected: 2, found: 1 }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(matches!(parse("a\n\"oops\n"), Err(TableError::Csv { .. })));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn unicode_cells_round_trip() {
+        let mut t = Table::with_columns(&["city"]);
+        t.push_row_strs(&["Zürich"]);
+        t.push_row_strs(&["東京"]);
+        assert_eq!(parse(&to_string(&t)).unwrap(), t);
+    }
+}

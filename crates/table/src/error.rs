@@ -1,0 +1,59 @@
+//! Error type shared by the table layer.
+
+/// Errors raised while loading, parsing or merging tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// CSV syntax error at a given 1-based line.
+    Csv {
+        /// 1-based line of the offending record.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A data row's width differs from the header width.
+    RaggedRow {
+        /// 1-based line of the offending record.
+        line: usize,
+        /// Header width.
+        expected: usize,
+        /// Fields found on the row.
+        found: usize,
+    },
+    /// The dirty and clean tables cannot be merged.
+    ShapeMismatch {
+        /// Shape of the dirty table.
+        dirty: (usize, usize),
+        /// Shape of the clean table.
+        clean: (usize, usize),
+    },
+    /// A column name was not found.
+    UnknownColumn(String),
+    /// An I/O failure, flattened to a message so the error stays `Clone`.
+    Io(String),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            TableError::RaggedRow { line, expected, found } => {
+                write!(f, "line {line}: expected {expected} fields, found {found}")
+            }
+            TableError::ShapeMismatch { dirty, clean } => write!(
+                f,
+                "dirty table is {}x{} but clean table is {}x{}",
+                dirty.0, dirty.1, clean.0, clean.1
+            ),
+            TableError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            TableError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,77 @@
+//! Dataset statistics, as reported in the paper's Table 2.
+
+use crate::CellFrame;
+use serde::Serialize;
+
+/// Summary statistics of a dirty/clean dataset pair.
+#[derive(Clone, Debug, Serialize)]
+pub struct DatasetStats {
+    /// Number of tuples (wide-table rows).
+    pub n_rows: usize,
+    /// Number of attributes.
+    pub n_cols: usize,
+    /// Fraction of erroneous cells.
+    pub error_rate: f64,
+    /// Distinct characters across dirty values (value-dictionary size).
+    pub distinct_chars: usize,
+    /// Number of cells whose dirty value is empty.
+    pub empty_cells: usize,
+    /// Longest dirty value (post-truncation), in characters.
+    pub max_value_len: usize,
+}
+
+impl DatasetStats {
+    /// Compute statistics for a merged frame.
+    pub fn of(frame: &CellFrame) -> Self {
+        let empty_cells = frame.cells().iter().filter(|c| c.empty).count();
+        let max_value_len =
+            frame.cells().iter().map(|c| c.value_x.chars().count()).max().unwrap_or(0);
+        Self {
+            n_rows: frame.n_tuples(),
+            n_cols: frame.n_attrs(),
+            error_rate: frame.error_rate(),
+            distinct_chars: frame.distinct_chars(),
+            empty_cells,
+            max_value_len,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} cells, error rate {:.2}, {} distinct chars, {} empty cells, max len {}",
+            self.n_rows,
+            self.n_cols,
+            self.error_rate,
+            self.distinct_chars,
+            self.empty_cells,
+            self.max_value_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Table;
+
+    #[test]
+    fn stats_of_small_frame() {
+        let mut d = Table::with_columns(&["a", "b"]);
+        d.push_row_strs(&["xy", ""]);
+        d.push_row_strs(&["x", "zzz"]);
+        let mut c = Table::with_columns(&["a", "b"]);
+        c.push_row_strs(&["xy", "q"]);
+        c.push_row_strs(&["x", "zzz"]);
+        let frame = CellFrame::merge(&d, &c).unwrap();
+        let s = DatasetStats::of(&frame);
+        assert_eq!(s.n_rows, 2);
+        assert_eq!(s.n_cols, 2);
+        assert_eq!(s.error_rate, 0.25);
+        assert_eq!(s.distinct_chars, 3); // x, y, z
+        assert_eq!(s.empty_cells, 1);
+        assert_eq!(s.max_value_len, 3);
+    }
+}

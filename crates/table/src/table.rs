@@ -1,0 +1,185 @@
+//! Wide-format string table.
+
+use crate::TableError;
+
+/// A wide-format table: named columns, rows of string cells.
+///
+/// All cells are strings — exactly the representation the paper's pipeline
+/// works with, since the detector is a character-level model and never
+/// parses values into native types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table with the given column names.
+    ///
+    /// # Panics
+    /// If column names are empty or duplicated.
+    pub fn new(columns: Vec<String>) -> Self {
+        assert!(!columns.is_empty(), "Table: at least one column required");
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].contains(c),
+                "Table: duplicate column name {c:?}"
+            );
+        }
+        Self { columns, rows: Vec::new() }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_columns(columns: &[&str]) -> Self {
+        Self::new(columns.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// If the row width differs from the column count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "Table::push_row: row of width {} into table of width {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Append a row of string slices.
+    pub fn push_row_strs(&mut self, row: &[&str]) {
+        self.push_row(row.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows.len(), self.columns.len())
+    }
+
+    /// Cell at `(row, col)`.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Replace the cell at `(row, col)`.
+    pub fn set_cell(&mut self, row: usize, col: usize, value: impl Into<String>) {
+        self.rows[row][col] = value.into();
+    }
+
+    /// Row `r` as a slice of cells.
+    pub fn row(&self, r: usize) -> &[String] {
+        &self.rows[r]
+    }
+
+    /// Index of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Result<usize, TableError> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| TableError::UnknownColumn(name.to_string()))
+    }
+
+    /// Iterator over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[String]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
+    /// Strip *preceding* whitespace from every cell, as §4.1 step (2)
+    /// prescribes ("we remove preceding white spaces").
+    pub fn trim_leading_whitespace(&mut self) {
+        for row in &mut self.rows {
+            for cell in row {
+                let trimmed = cell.trim_start();
+                if trimmed.len() != cell.len() {
+                    *cell = trimmed.to_string();
+                }
+            }
+        }
+    }
+
+    /// Rename columns wholesale, as §4.1 step (2) does to align dirty and
+    /// clean headers.
+    ///
+    /// # Panics
+    /// If the new name count differs from the column count.
+    pub fn rename_columns(&mut self, names: Vec<String>) {
+        assert_eq!(
+            names.len(),
+            self.columns.len(),
+            "rename_columns: {} names for {} columns",
+            names.len(),
+            self.columns.len()
+        );
+        self.columns = names;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::with_columns(&["a", "b"]);
+        t.push_row_strs(&["1", " x"]);
+        t.push_row_strs(&["2", "y "]);
+        t
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let t = sample();
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.cell(0, 1), " x");
+        assert_eq!(t.column_index("b").unwrap(), 1);
+        assert!(t.column_index("zzz").is_err());
+    }
+
+    #[test]
+    fn trim_leading_only() {
+        let mut t = sample();
+        t.trim_leading_whitespace();
+        assert_eq!(t.cell(0, 1), "x");
+        // Trailing whitespace is preserved (the paper only strips leading).
+        assert_eq!(t.cell(1, 1), "y ");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        let _ = Table::with_columns(&["a", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_row")]
+    fn ragged_row_rejected() {
+        let mut t = Table::with_columns(&["a", "b"]);
+        t.push_row_strs(&["only-one"]);
+    }
+
+    #[test]
+    fn rename_and_set() {
+        let mut t = sample();
+        t.rename_columns(vec!["c1".into(), "c2".into()]);
+        assert_eq!(t.columns(), &["c1".to_string(), "c2".to_string()]);
+        t.set_cell(0, 0, "99");
+        assert_eq!(t.cell(0, 0), "99");
+    }
+}

@@ -1,0 +1,109 @@
+//! Seeded weight initializers.
+//!
+//! Every initializer takes an explicit RNG so that model construction is
+//! reproducible: the paper's 10-repetition protocol re-seeds run *i* with
+//! `base_seed + i` and must produce identical weights across invocations.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Construct the deterministic RNG used across the workspace.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform values in `[-limit, limit)`.
+pub fn uniform(rows: usize, cols: usize, limit: f32, rng: &mut StdRng) -> Matrix {
+    assert!(limit >= 0.0, "uniform: negative limit {limit}");
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+}
+
+/// Glorot/Xavier uniform: `limit = sqrt(6 / (fan_in + fan_out))`.
+///
+/// The default for dense and embedding weights, matching Keras'
+/// `glorot_uniform` used by the paper's reference implementation.
+pub fn glorot_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, limit, rng)
+}
+
+/// Scaled-identity-plus-noise initializer for recurrent (hidden-to-hidden)
+/// weights. Keras uses an orthogonal initializer for `SimpleRNN`; a scaled
+/// identity with small uniform noise preserves the key property (spectral
+/// radius near 1 so gradients neither explode nor vanish over ~128 steps)
+/// without an SVD implementation.
+pub fn recurrent_init(n: usize, rng: &mut StdRng) -> Matrix {
+    let noise = 0.05 / (n as f32).sqrt();
+    Matrix::from_fn(n, n, |i, j| {
+        let base = if i == j { 0.9 } else { 0.0 };
+        base + rng.gen_range(-noise..=noise)
+    })
+}
+
+/// Standard normal values scaled by `std`.
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Matrix {
+    // Box–Muller transform; avoids a dependency on rand_distr.
+    let next_pair = |rng: &mut StdRng| {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        (r * theta.cos(), r * theta.sin())
+    };
+    let mut spare: Option<f32> = None;
+    Matrix::from_fn(rows, cols, |_, _| {
+        let z = if let Some(s) = spare.take() {
+            s
+        } else {
+            let (a, b) = next_pair(rng);
+            spare = Some(b);
+            a
+        };
+        z * std
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = glorot_uniform(8, 8, &mut seeded_rng(7));
+        let b = glorot_uniform(8, 8, &mut seeded_rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = glorot_uniform(8, 8, &mut seeded_rng(7));
+        let b = glorot_uniform(8, 8, &mut seeded_rng(8));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn glorot_respects_limit() {
+        let m = glorot_uniform(10, 20, &mut seeded_rng(1));
+        let limit = (6.0 / 30.0_f32).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn recurrent_init_near_identity() {
+        let m = recurrent_init(16, &mut seeded_rng(3));
+        for i in 0..16 {
+            assert!((m[(i, i)] - 0.9).abs() < 0.05);
+        }
+        // Off-diagonals are small noise.
+        assert!(m[(0, 1)].abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_has_roughly_requested_std() {
+        let m = normal(100, 100, 0.5, &mut seeded_rng(11));
+        let s = crate::ops::stddev(m.as_slice());
+        assert!((s - 0.5).abs() < 0.02, "std was {s}");
+        assert!(crate::ops::mean(m.as_slice()).abs() < 0.02);
+    }
+}

@@ -1,0 +1,38 @@
+//! # etsb-tensor
+//!
+//! Dense `f32` linear-algebra substrate for the ETSB-RNN error-detection
+//! stack. Provides a row-major [`Matrix`] type with the operations the
+//! neural-network layer zoo in `etsb-nn` needs: matrix products (including
+//! transposed variants that avoid materializing transposes), element-wise
+//! arithmetic, reductions, seeded random initialization and a compact
+//! binary serialization used for weight checkpoints.
+//!
+//! The crate deliberately stays scalar (no SIMD intrinsics, no BLAS) so it
+//! builds anywhere; the matmul kernels are written cache-consciously
+//! (ikj loop order, transpose-free variants) which is enough to train the
+//! paper's models in seconds on a laptop core.
+//!
+//! ```
+//! use etsb_tensor::Matrix;
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+#![warn(missing_docs)]
+
+mod matrix;
+mod ops;
+mod serialize;
+
+pub mod init;
+
+pub use matrix::Matrix;
+pub use ops::{
+    add_assign, argmax, axpy, dot, l2_norm, max_abs_diff, mean, relu_inplace, scale,
+    softmax_inplace, stddev, sub_assign, tanh_inplace, variance,
+};
+pub use serialize::{decode_matrix, encode_matrix, DecodeError};
+
+/// Crate-wide numeric tolerance used by tests and gradient checks.
+pub const EPS: f32 = 1e-5;

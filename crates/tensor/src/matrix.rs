@@ -1,0 +1,548 @@
+//! Row-major dense `f32` matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// Shapes are checked at runtime: mismatched operands panic with a message
+/// naming the operation and both shapes, which turns silent numeric bugs
+/// into loud test failures. All storage is a single contiguous `Vec<f32>`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from an explicit row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: buffer of len {} cannot form a {rows}x{cols} matrix",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from row slices; all rows must have equal length.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows ({} vs {c})", row.len());
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Build a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A 1 x n row vector.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// An n x 1 column vector.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Read-only view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col {c} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// `self @ other` — standard matrix product, ikj loop order so the
+    /// inner loop streams both `other`'s and the output's rows.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} @ {}x{} shape mismatch",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other.T` without materializing the transpose.
+    pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed: {}x{} @ ({}x{})^T shape mismatch",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = crate::ops::dot(a_row, other.row(j));
+            }
+        }
+        out
+    }
+
+    /// `self.T @ other` without materializing the transpose.
+    pub fn transposed_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transposed_matmul: ({}x{})^T @ {}x{} shape mismatch",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self @ v`.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            self.cols,
+            v.len(),
+            "matvec: {}x{} @ vec of len {}",
+            self.rows,
+            self.cols,
+            v.len()
+        );
+        (0..self.rows).map(|i| crate::ops::dot(self.row(i), v)).collect()
+    }
+
+    /// Vector–matrix product `v @ self` (i.e. `self.T @ v`), transpose-free.
+    pub fn vecmat(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            self.rows,
+            v.len(),
+            "vecmat: vec of len {} @ {}x{}",
+            v.len(),
+            self.rows,
+            self.cols
+        );
+        let mut out = vec![0.0; self.cols];
+        for (k, &vk) in v.iter().enumerate() {
+            if vk == 0.0 {
+                continue;
+            }
+            for (o, &m) in out.iter_mut().zip(self.row(k)) {
+                *o += vk * m;
+            }
+        }
+        out
+    }
+
+    /// Rank-1 update `self += alpha * a b^T`; the outer-product accumulation
+    /// at the heart of every weight-gradient in `etsb-nn`.
+    pub fn add_outer(&mut self, alpha: f32, a: &[f32], b: &[f32]) {
+        assert_eq!(self.rows, a.len(), "add_outer: rows {} vs a len {}", self.rows, a.len());
+        assert_eq!(self.cols, b.len(), "add_outer: cols {} vs b len {}", self.cols, b.len());
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0.0 {
+                continue;
+            }
+            let s = alpha * ai;
+            for (o, &bj) in self.row_mut(i).iter_mut().zip(b) {
+                *o += s * bj;
+            }
+        }
+    }
+
+    /// Element-wise `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, "hadamard", |a, b| a * b)
+    }
+
+    fn zip_with(&self, other: &Matrix, op: &str, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place element-wise `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_assign: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place element-wise `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "axpy: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Scalar multiple of the matrix.
+    pub fn scaled(&self, alpha: f32) -> Matrix {
+        let mut out = self.clone();
+        out.scale_inplace(alpha);
+        out
+    }
+
+    /// Apply `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Set every element to zero, retaining the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Largest absolute element (0 for an empty matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// True when every element of `self` is within `tol` of `other`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for i in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(12) {
+                write!(f, "{:>9.4}", self[(i, j)])?;
+            }
+            if self.cols > 12 {
+                write!(f, " ...")?;
+            }
+            writeln!(f, " ]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+        assert_eq!(Matrix::identity(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_transposed_agrees_with_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32);
+        let b = Matrix::from_fn(5, 4, |i, j| (i as f32) - (j as f32) * 0.5);
+        assert!(a.matmul_transposed(&b).approx_eq(&a.matmul(&b.transpose()), 1e-6));
+    }
+
+    #[test]
+    fn transposed_matmul_agrees_with_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + j) as f32 * 0.25);
+        let b = Matrix::from_fn(4, 5, |i, j| (i as f32) * 0.1 + j as f32);
+        assert!(a.transposed_matmul(&b).approx_eq(&a.transpose().matmul(&b), 1e-6));
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]);
+        assert_eq!(m.matvec(&[3.0, 4.0]), vec![3.0, 8.0, 7.0]);
+        assert_eq!(m.vecmat(&[1.0, 1.0, 1.0]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates_outer_product() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_outer(2.0, &[1.0, 3.0], &[1.0, 0.0, -1.0]);
+        assert_eq!(m, Matrix::from_rows(&[&[2.0, 0.0, -2.0], &[6.0, 0.0, -6.0]]));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 5.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[&[4.0, 7.0]]));
+        assert_eq!(b.sub(&a), Matrix::from_rows(&[&[2.0, 3.0]]));
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, 10.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 7 + j) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, -4.0]]);
+        assert_eq!(a.sum(), -2.0);
+        assert_eq!(a.mean(), -0.5);
+        assert_eq!(a.max_abs(), 4.0);
+        assert!((a.frobenius_norm() - 30.0_f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_and_col_views() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 4.0]]);
+        a.axpy(0.5, &b);
+        assert_eq!(a, Matrix::from_rows(&[&[2.0, 3.0]]));
+        a.scale_inplace(2.0);
+        assert_eq!(a, Matrix::from_rows(&[&[4.0, 6.0]]));
+    }
+}

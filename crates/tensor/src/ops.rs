@@ -1,0 +1,205 @@
+//! Free functions on `&[f32]` slices: the vector kernels shared by the
+//! layer implementations in `etsb-nn`.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// If the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    // Manual 4-way unroll: gives the optimizer independent accumulation
+    // chains without needing `-C target-cpu` flags.
+    let mut acc = [0.0_f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let k = i * 4;
+        acc[0] += a[k] * b[k];
+        acc[1] += a[k + 1] * b[k + 1];
+        acc[2] += a[k + 2] * b[k + 2];
+        acc[3] += a[k + 3] * b[k + 3];
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for k in chunks * 4..a.len() {
+        sum += a[k] * b[k];
+    }
+    sum
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y += x`.
+#[inline]
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    axpy(1.0, x, y);
+}
+
+/// `y -= x`.
+#[inline]
+pub fn sub_assign(y: &mut [f32], x: &[f32]) {
+    axpy(-1.0, x, y);
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(x: &mut [f32], alpha: f32) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Index of the largest element; ties resolve to the first maximum.
+///
+/// # Panics
+/// If the slice is empty.
+pub fn argmax(x: &[f32]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Numerically stable in-place softmax.
+pub fn softmax_inplace(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for xi in x.iter_mut() {
+        *xi = (*xi - max).exp();
+        sum += *xi;
+    }
+    // `sum >= 1` because one exponent is exp(0); no division-by-zero risk.
+    for xi in x.iter_mut() {
+        *xi /= sum;
+    }
+}
+
+/// In-place hyperbolic tangent.
+pub fn tanh_inplace(x: &mut [f32]) {
+    for xi in x {
+        *xi = xi.tanh();
+    }
+}
+
+/// In-place rectified linear unit.
+pub fn relu_inplace(x: &mut [f32]) {
+    for xi in x {
+        if *xi < 0.0 {
+            *xi = 0.0;
+        }
+    }
+}
+
+/// Euclidean norm.
+pub fn l2_norm(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f32>() / x.len() as f32
+    }
+}
+
+/// Population variance (0 for slices of length < 2).
+pub fn variance(x: &[f32]) -> f32 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / x.len() as f32
+}
+
+/// Population standard deviation.
+pub fn stddev(x: &[f32]) -> f32 {
+    variance(x).sqrt()
+}
+
+/// Largest absolute element-wise difference between two slices.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter().zip(b).fold(0.0_f32, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic_and_unrolled_tail() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        // Length 7 exercises both the unrolled body and the scalar tail.
+        let a: Vec<f32> = (1..=7).map(|i| i as f32).collect();
+        let b = vec![1.0; 7];
+        assert_eq!(dot(&a, &b), 28.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn argmax_ties_take_first() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut x);
+        assert!((x.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = vec![1000.0, 1001.0];
+        softmax_inplace(&mut a);
+        let mut b = vec![0.0, 1.0];
+        softmax_inplace(&mut b);
+        assert!(max_abs_diff(&a, &b) < 1e-6);
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let mut x = vec![-1.0, 0.0, 2.5];
+        relu_inplace(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn stats() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&x), 5.0);
+        assert_eq!(variance(&x), 4.0);
+        assert_eq!(stddev(&x), 2.0);
+    }
+
+    #[test]
+    fn empty_slice_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        softmax_inplace(&mut []); // must not panic
+    }
+}

@@ -1,0 +1,140 @@
+//! Compact binary (de)serialization of matrices, used by the model
+//! checkpointing in `etsb-nn` (the paper saves the weights of the epoch
+//! with the lowest training loss and restores them before evaluation).
+//!
+//! Format: `u64 rows | u64 cols | rows*cols little-endian f32`.
+
+use crate::Matrix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Error returned when a checkpoint buffer cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the header or payload requires.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Header describes an implausibly large matrix.
+    Oversized {
+        /// Row count claimed by the header.
+        rows: u64,
+        /// Column count claimed by the header.
+        cols: u64,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => {
+                write!(f, "truncated matrix buffer: need {needed} bytes, have {available}")
+            }
+            DecodeError::Oversized { rows, cols } => {
+                write!(f, "implausible matrix header {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Upper bound on decoded elements: prevents a corrupt header from
+/// triggering a multi-gigabyte allocation.
+const MAX_ELEMENTS: u64 = 1 << 28;
+
+/// Append `m` to `buf` in checkpoint format.
+pub fn encode_matrix(m: &Matrix, buf: &mut BytesMut) {
+    buf.reserve(16 + m.len() * 4);
+    buf.put_u64_le(m.rows() as u64);
+    buf.put_u64_le(m.cols() as u64);
+    for &v in m.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Decode one matrix from the front of `buf`, advancing it.
+pub fn decode_matrix(buf: &mut Bytes) -> Result<Matrix, DecodeError> {
+    if buf.remaining() < 16 {
+        return Err(DecodeError::Truncated { needed: 16, available: buf.remaining() });
+    }
+    let rows = buf.get_u64_le();
+    let cols = buf.get_u64_le();
+    let elems = rows.checked_mul(cols).filter(|&e| e <= MAX_ELEMENTS);
+    let Some(elems) = elems else {
+        return Err(DecodeError::Oversized { rows, cols });
+    };
+    let needed = elems as usize * 4;
+    if buf.remaining() < needed {
+        return Err(DecodeError::Truncated { needed, available: buf.remaining() });
+    }
+    let mut data = Vec::with_capacity(elems as usize);
+    for _ in 0..elems {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Matrix::from_vec(rows as usize, cols as usize, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let m = Matrix::from_fn(3, 5, |i, j| i as f32 * 0.5 - j as f32);
+        let mut buf = BytesMut::new();
+        encode_matrix(&m, &mut buf);
+        let mut bytes = buf.freeze();
+        let back = decode_matrix(&mut bytes).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn round_trip_multiple() {
+        let a = Matrix::identity(4);
+        let b = Matrix::zeros(2, 7);
+        let mut buf = BytesMut::new();
+        encode_matrix(&a, &mut buf);
+        encode_matrix(&b, &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_matrix(&mut bytes).unwrap(), a);
+        assert_eq!(decode_matrix(&mut bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn truncated_header() {
+        let mut bytes = Bytes::from_static(&[0u8; 8]);
+        assert!(matches!(decode_matrix(&mut bytes), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn truncated_payload() {
+        let m = Matrix::identity(4);
+        let mut buf = BytesMut::new();
+        encode_matrix(&m, &mut buf);
+        let full = buf.freeze();
+        let mut cut = full.slice(0..full.len() - 4);
+        assert!(matches!(decode_matrix(&mut cut), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn oversized_header_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(u64::MAX);
+        buf.put_u64_le(2);
+        let mut bytes = buf.freeze();
+        assert!(matches!(decode_matrix(&mut bytes), Err(DecodeError::Oversized { .. })));
+    }
+
+    #[test]
+    fn empty_matrix_round_trips() {
+        let m = Matrix::zeros(0, 5);
+        let mut buf = BytesMut::new();
+        encode_matrix(&m, &mut buf);
+        let back = decode_matrix(&mut buf.freeze()).unwrap();
+        assert_eq!(back.shape(), (0, 5));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the tensor substrate.
+
+use etsb_tensor::{init, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with the given shape and bounded values.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_identity_left_and_right(m in matrix(4, 6)) {
+        prop_assert!(Matrix::identity(4).matmul(&m).approx_eq(&m, 1e-5));
+        prop_assert!(m.matmul(&Matrix::identity(6)).approx_eq(&m, 1e-5));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 4), b in matrix(4, 5), c in matrix(4, 5)) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2), "max diff too large");
+    }
+
+    #[test]
+    fn matmul_associates(a in matrix(3, 3), b in matrix(3, 3), c in matrix(3, 3)) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        // f32 accumulation order differs; tolerance scales with magnitude.
+        let tol = 1e-2 * (1.0 + lhs.max_abs());
+        prop_assert!(lhs.approx_eq(&rhs, tol));
+    }
+
+    #[test]
+    fn transpose_swaps_matmul_order(a in matrix(3, 4), b in matrix(4, 2)) {
+        // (A B)^T = B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn transpose_free_variants_agree(a in matrix(4, 5), b in matrix(3, 5), c in matrix(4, 6)) {
+        prop_assert!(a.matmul_transposed(&b).approx_eq(&a.matmul(&b.transpose()), 1e-3));
+        prop_assert!(a.transposed_matmul(&c).approx_eq(&a.transpose().matmul(&c), 1e-3));
+    }
+
+    #[test]
+    fn vecmat_matches_matmul(m in matrix(4, 6), v in proptest::collection::vec(-5.0f32..5.0, 4)) {
+        let row = Matrix::row_vector(&v);
+        let full = row.matmul(&m);
+        let fast = m.vecmat(&v);
+        prop_assert!(etsb_tensor::max_abs_diff(full.row(0), &fast) < 1e-3);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(v in proptest::collection::vec(-30.0f32..30.0, 1..20)) {
+        let mut x = v;
+        etsb_tensor::softmax_inplace(&mut x);
+        prop_assert!((x.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(x.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn softmax_preserves_order(a in -20.0f32..20.0, b in -20.0f32..20.0) {
+        let mut x = vec![a, b];
+        etsb_tensor::softmax_inplace(&mut x);
+        if a > b {
+            prop_assert!(x[0] >= x[1]);
+        } else if b > a {
+            prop_assert!(x[1] >= x[0]);
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips(m in matrix(3, 7)) {
+        let mut buf = bytes_mut();
+        etsb_tensor::encode_matrix(&m, &mut buf);
+        let back = etsb_tensor::decode_matrix(&mut buf.freeze()).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn frobenius_triangle_inequality(a in matrix(4, 4), b in matrix(4, 4)) {
+        prop_assert!(a.add(&b).frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-3);
+    }
+
+    #[test]
+    fn glorot_bounds_hold(seed in 0u64..1000) {
+        let m = init::glorot_uniform(6, 10, &mut init::seeded_rng(seed));
+        let limit = (6.0f32 / 16.0).sqrt() + 1e-6;
+        prop_assert!(m.as_slice().iter().all(|x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn argmax_returns_a_maximum(v in proptest::collection::vec(-100.0f32..100.0, 1..30)) {
+        let idx = etsb_tensor::argmax(&v);
+        prop_assert!(v.iter().all(|&x| x <= v[idx]));
+    }
+}
+
+fn bytes_mut() -> bytes::BytesMut {
+    bytes::BytesMut::new()
+}

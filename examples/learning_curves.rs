@@ -1,0 +1,71 @@
+//! Export Figure-6/7 style learning curves as CSV.
+//!
+//! ```text
+//! cargo run --release -p etsb-core --example learning_curves [dataset] [out.csv]
+//! ```
+//!
+//! Trains TSB-RNN and ETSB-RNN on one dataset and writes per-epoch
+//! train/test accuracy series (plus the selected best epoch) to a CSV you
+//! can plot with any tool — the same series the paper's Figures 6 and 7
+//! visualize.
+
+use etsb_core::config::{ExperimentConfig, ModelKind, SamplerKind, TrainConfig};
+use etsb_core::pipeline::run_once;
+use etsb_datasets::{Dataset, GenConfig};
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = args
+        .get(1)
+        .map(|s| Dataset::parse(s).expect("dataset name"))
+        .unwrap_or(Dataset::Hospital);
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| format!("learning_curves_{}.csv", dataset.name().to_lowercase()));
+
+    let pair = dataset.generate(&GenConfig { scale: 0.1, seed: 9 });
+    let mut csv = String::from("model,epoch,train_loss,train_acc,test_acc,is_best\n");
+
+    for model in [ModelKind::Tsb, ModelKind::Etsb] {
+        let cfg = ExperimentConfig {
+            model,
+            sampler: SamplerKind::DiverSet,
+            n_label_tuples: 20,
+            train: TrainConfig { epochs: 60, eval_every: 1, ..Default::default() },
+            seed: 3,
+        };
+        println!("training {} on {dataset}...", model.name());
+        let result = run_once(&pair.dirty, &pair.clean, &cfg, 0).expect("generated pair");
+        let h = &result.history;
+        for epoch in 0..h.train_loss.len() {
+            let test_acc = h
+                .eval_epochs
+                .iter()
+                .position(|&e| e == epoch)
+                .map(|i| h.test_acc[i].to_string())
+                .unwrap_or_default();
+            writeln!(
+                csv,
+                "{},{},{},{},{},{}",
+                model.name(),
+                epoch,
+                h.train_loss[epoch],
+                h.train_acc[epoch],
+                test_acc,
+                (epoch == h.best_epoch) as u8
+            )
+            .expect("string write");
+        }
+        println!(
+            "  F1 {:.3} at best epoch {} (test acc there: {:?})",
+            result.metrics.f1,
+            h.best_epoch,
+            h.test_acc_at_best()
+        );
+    }
+
+    std::fs::write(&out_path, csv).expect("writable output path");
+    println!("wrote {out_path}");
+}

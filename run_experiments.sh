@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates the experiment artifacts recorded in EXPERIMENTS.md.
+# Full paper protocol: add --paper to each line (10 runs, 120 epochs).
+set -x
+B=./target/release
+$B/table3 --runs 2 --dataset rayyan --dataset tax --out results_table3b.csv
+$B/table2 --out results_table2.csv
+$B/table5 --runs 1 --out results_table5.csv
+$B/fig6 --runs 2 --epochs 60 --dataset hospital --out results_fig6.csv
+$B/fig7 --runs 2 --epochs 60 --dataset flights --dataset hospital --out results_fig7.csv
+$B/ablation_sampling --runs 1 --epochs 60 --dataset beers --out results_ablation_sampling.csv
+$B/ablation_inputs --runs 1 --epochs 60 --dataset beers --out results_ablation_inputs.csv
+$B/ablation_cells --runs 1 --epochs 40 --dataset beers --out results_ablation_cells.csv
+$B/ablation_extensions --runs 1 --dataset flights --out results_ablation_extensions.csv
+$B/repair_eval --runs 1 --dataset beers --dataset hospital --dataset tax --out results_repair.csv
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,115 @@
+//! Integration: generated benchmark datasets → data preparation →
+//! sampling → training → evaluation, across the full crate stack.
+
+use etsb_core::config::{ExperimentConfig, ModelKind, SamplerKind, TrainConfig};
+use etsb_core::pipeline::{run_once, run_repeated};
+use etsb_datasets::{Dataset, GenConfig};
+use etsb_table::{stats::DatasetStats, CellFrame};
+
+/// A fast configuration for integration testing: small RNN, few epochs.
+fn fast_cfg(model: ModelKind) -> ExperimentConfig {
+    ExperimentConfig {
+        model,
+        sampler: SamplerKind::DiverSet,
+        n_label_tuples: 20,
+        train: TrainConfig {
+            epochs: 20,
+            rnn_units: 12,
+            attr_rnn_units: 4,
+            head_dim: 12,
+            length_dense_dim: 8,
+            embed_dim: Some(16),
+            learning_rate: 2e-3,
+            eval_every: 10,
+            curve_subsample: 200,
+            ..Default::default()
+        },
+        seed: 17,
+    }
+}
+
+#[test]
+fn hospital_end_to_end_reaches_high_f1() {
+    // Hospital is the paper's easiest dataset (x-marked typos, F1 0.97);
+    // even a miniature model should detect most of them.
+    let pair = Dataset::Hospital.generate(&GenConfig { scale: 0.15, seed: 3 });
+    let result = run_once(&pair.dirty, &pair.clean, &fast_cfg(ModelKind::Tsb), 0).unwrap();
+    assert!(
+        result.metrics.f1 > 0.55,
+        "Hospital F1 {:.2} (p={:.2}, r={:.2})",
+        result.metrics.f1,
+        result.metrics.precision,
+        result.metrics.recall
+    );
+}
+
+#[test]
+fn beers_end_to_end_with_etsb() {
+    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.08, seed: 4 });
+    let result = run_once(&pair.dirty, &pair.clean, &fast_cfg(ModelKind::Etsb), 0).unwrap();
+    assert!(
+        result.metrics.f1 > 0.5,
+        "Beers F1 {:.2} (p={:.2}, r={:.2})",
+        result.metrics.f1,
+        result.metrics.precision,
+        result.metrics.recall
+    );
+}
+
+#[test]
+fn every_dataset_runs_through_the_pipeline() {
+    // Smoke: all six generators produce data the full pipeline accepts.
+    let mut cfg = fast_cfg(ModelKind::Tsb);
+    cfg.train.epochs = 4;
+    cfg.train.eval_every = 4;
+    for ds in Dataset::ALL {
+        let scale = 40.0 / ds.paper_rows() as f64; // ~40 rows each
+        let pair = ds.generate(&GenConfig { scale, seed: 5 });
+        let result = run_once(&pair.dirty, &pair.clean, &cfg, 0)
+            .unwrap_or_else(|e| panic!("{ds}: pipeline failed: {e}"));
+        assert!(result.metrics.f1.is_finite(), "{ds}: non-finite F1");
+        assert_eq!(result.sample.len(), 20.min(pair.dirty.n_rows()));
+    }
+}
+
+#[test]
+fn repeated_runs_have_plausible_spread() {
+    let pair = Dataset::Hospital.generate(&GenConfig { scale: 0.08, seed: 6 });
+    let mut cfg = fast_cfg(ModelKind::Tsb);
+    cfg.train.epochs = 8;
+    let rep = run_repeated(&pair.dirty, &pair.clean, &cfg, 3).unwrap();
+    assert_eq!(rep.runs.len(), 3);
+    // Standard deviation exists and is bounded.
+    assert!(rep.f1.std >= 0.0 && rep.f1.std < 0.5, "std {:.3}", rep.f1.std);
+    // Each run used a different sample (seeds differ).
+    assert_ne!(rep.runs[0].sample, rep.runs[1].sample);
+}
+
+#[test]
+fn trainset_size_matches_paper_formula() {
+    // §5.2: "for the dataset Beers we got a trainset of size 220, i.e.
+    // 20 tuples x 11 attributes, and a testset of 26,290".
+    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.05, seed: 7 });
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+    let data = etsb_core::EncodedDataset::from_frame(&frame);
+    let sample = etsb_core::sampling::diver_set(&frame, 20, 1);
+    let (train, test) = data.split_by_tuples(&sample);
+    assert_eq!(train.len(), 20 * 11);
+    assert_eq!(test.len(), (frame.n_tuples() - 20) * 11);
+}
+
+#[test]
+fn dataset_stats_align_with_table2_metadata() {
+    for ds in [Dataset::Beers, Dataset::Hospital, Dataset::Rayyan] {
+        let pair = ds.generate(&GenConfig { scale: 0.1, seed: 8 });
+        let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+        let stats = DatasetStats::of(&frame);
+        assert_eq!(stats.n_cols, ds.paper_cols(), "{ds}");
+        let target = ds.paper_error_rate();
+        assert!(
+            (stats.error_rate - target).abs() / target < 0.2,
+            "{ds}: error rate {:.3} vs paper {target}",
+            stats.error_rate
+        );
+    }
+}
