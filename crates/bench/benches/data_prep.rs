@@ -8,19 +8,38 @@ use etsb_table::{csv, CellFrame, CharIndex};
 
 fn bench_generate(c: &mut Criterion) {
     c.bench_function("generate_beers_0.1", |b| {
-        b.iter(|| black_box(Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 })))
+        b.iter(|| {
+            black_box(
+                Dataset::Beers
+                    .generate(&GenConfig {
+                        scale: 0.1,
+                        seed: 1,
+                    })
+                    .expect("dataset generation"),
+            )
+        })
     });
 }
 
 fn bench_merge(c: &mut Criterion) {
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.1,
+            seed: 1,
+        })
+        .expect("dataset generation");
     c.bench_function("merge_beers_0.1", |b| {
         b.iter(|| black_box(CellFrame::merge(&pair.dirty, &pair.clean).unwrap()))
     });
 }
 
 fn bench_encode(c: &mut Criterion) {
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.1,
+            seed: 1,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     c.bench_function("encode_beers_0.1", |b| {
         b.iter(|| black_box(EncodedDataset::from_frame(&frame)))
@@ -32,13 +51,26 @@ fn bench_encode(c: &mut Criterion) {
 }
 
 fn bench_csv(c: &mut Criterion) {
-    let pair = Dataset::Rayyan.generate(&GenConfig { scale: 0.2, seed: 2 });
+    let pair = Dataset::Rayyan
+        .generate(&GenConfig {
+            scale: 0.2,
+            seed: 2,
+        })
+        .expect("dataset generation");
     let text = csv::to_string(&pair.dirty);
     c.bench_function("csv_write_rayyan_0.2", |b| {
         b.iter(|| black_box(csv::to_string(&pair.dirty)))
     });
-    c.bench_function("csv_parse_rayyan_0.2", |b| b.iter(|| black_box(csv::parse(&text).unwrap())));
+    c.bench_function("csv_parse_rayyan_0.2", |b| {
+        b.iter(|| black_box(csv::parse(&text).unwrap()))
+    });
 }
 
-criterion_group!(benches, bench_generate, bench_merge, bench_encode, bench_csv);
+criterion_group!(
+    benches,
+    bench_generate,
+    bench_merge,
+    bench_encode,
+    bench_csv
+);
 criterion_main!(benches);

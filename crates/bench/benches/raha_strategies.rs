@@ -11,16 +11,30 @@ use etsb_raha::{build_features, cluster_columns};
 use etsb_table::CellFrame;
 
 fn beers_frame() -> CellFrame {
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.1,
+            seed: 1,
+        })
+        .expect("dataset generation");
     CellFrame::merge(&pair.dirty, &pair.clean).unwrap()
 }
 
 fn bench_individual_strategies(c: &mut Criterion) {
     let frame = beers_frame();
     let cases: Vec<(&str, Box<dyn Strategy>)> = vec![
-        ("frequency", Box::new(FrequencyOutlier { max_rel_freq: 0.02 })),
+        (
+            "frequency",
+            Box::new(FrequencyOutlier { max_rel_freq: 0.02 }),
+        ),
         ("gaussian", Box::new(GaussianOutlier { z_threshold: 3.0 })),
-        ("pattern", Box::new(PatternShape { max_rel_freq: 0.05, collapse_runs: true })),
+        (
+            "pattern",
+            Box::new(PatternShape {
+                max_rel_freq: 0.05,
+                collapse_runs: true,
+            }),
+        ),
         ("fd", Box::new(FdViolation { min_support: 0.95 })),
         ("kb", Box::new(KnowledgeBase::builtin())),
     ];
@@ -46,5 +60,9 @@ fn bench_battery_and_clustering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_individual_strategies, bench_battery_and_clustering);
+criterion_group!(
+    benches,
+    bench_individual_strategies,
+    bench_battery_and_clustering
+);
 criterion_main!(benches);

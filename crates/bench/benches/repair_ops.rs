@@ -8,7 +8,10 @@ use etsb_table::CellFrame;
 
 fn bench_distances(c: &mut Criterion) {
     let pairs = [
-        ("heart failure patients given ace inhibitor", "hexrt fxilure patients given ace inhibitor"),
+        (
+            "heart failure patients given ace inhibitor",
+            "hexrt fxilure patients given ace inhibitor",
+        ),
         ("Birmingham", "Birmingxam"),
         ("12.0 oz", "12.0"),
     ];
@@ -39,19 +42,28 @@ fn bench_distances(c: &mut Criterion) {
 }
 
 fn bench_shapes(c: &mut Criterion) {
-    let values: Vec<String> = (0..200).map(|i| format!("value {i} with 12.{i} digits")).collect();
+    let values: Vec<String> = (0..200)
+        .map(|i| format!("value {i} with 12.{i} digits"))
+        .collect();
     c.bench_function("dominant_shape_200", |b| {
         b.iter(|| black_box(dominant_shape(values.iter().map(String::as_str))))
     });
 }
 
 fn bench_repairer(c: &mut Criterion) {
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.1,
+            seed: 1,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let mask: Vec<bool> = frame.cells().iter().map(|cell| cell.label).collect();
     let mut group = c.benchmark_group("repairer");
     group.sample_size(10);
-    group.bench_function("fit_beers_0.1", |b| b.iter(|| black_box(Repairer::fit(&frame, &mask))));
+    group.bench_function("fit_beers_0.1", |b| {
+        b.iter(|| black_box(Repairer::fit(&frame, &mask)))
+    });
     let repairer = Repairer::fit(&frame, &mask);
     group.bench_function("propose_all_beers_0.1", |b| {
         b.iter(|| black_box(repairer.propose_all(&frame, &mask)))

@@ -40,14 +40,20 @@ fn bench_embedding(c: &mut Criterion) {
     let mut rng = init::seeded_rng(3);
     let emb = Embedding::new(100, 100, &mut rng);
     let ids: Vec<usize> = (0..64).map(|i| i % 100).collect();
-    c.bench_function("embedding_lookup_64", |b| b.iter(|| black_box(emb.forward(&ids))));
+    c.bench_function("embedding_lookup_64", |b| {
+        b.iter(|| black_box(emb.forward(&ids)))
+    });
 }
 
 fn bench_batchnorm(c: &mut Criterion) {
     let mut bn = etsb_nn::BatchNorm::new(32);
     let x = Matrix::from_fn(55, 32, |i, j| ((i * 32 + j) as f32 * 0.07).sin());
-    c.bench_function("batchnorm_train_55x32", |b| b.iter(|| black_box(bn.forward_train(&x))));
-    c.bench_function("batchnorm_eval_55x32", |b| b.iter(|| black_box(bn.forward_eval(&x))));
+    c.bench_function("batchnorm_train_55x32", |b| {
+        b.iter(|| black_box(bn.forward_train(&x)))
+    });
+    c.bench_function("batchnorm_eval_55x32", |b| {
+        b.iter(|| black_box(bn.forward_eval(&x)))
+    });
 }
 
 criterion_group!(

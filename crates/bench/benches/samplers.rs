@@ -9,7 +9,9 @@ fn bench_samplers(c: &mut Criterion) {
     let mut group = c.benchmark_group("samplers");
     group.sample_size(10);
     for &scale in &[0.05f64, 0.2] {
-        let pair = Dataset::Beers.generate(&GenConfig { scale, seed: 1 });
+        let pair = Dataset::Beers
+            .generate(&GenConfig { scale, seed: 1 })
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
         let rows = frame.n_tuples();
         group.bench_with_input(BenchmarkId::new("random_set", rows), &frame, |b, f| {

@@ -27,8 +27,12 @@ fn bench_vec_kernels(c: &mut Criterion) {
     let mut rng = init::seeded_rng(2);
     let m = init::glorot_uniform(64, 64, &mut rng);
     let v: Vec<f32> = (0..64).map(|i| (i as f32 * 0.1).sin()).collect();
-    c.bench_function("vecmat_64", |b| b.iter(|| black_box(m.vecmat(black_box(&v)))));
-    c.bench_function("matvec_64", |b| b.iter(|| black_box(m.matvec(black_box(&v)))));
+    c.bench_function("vecmat_64", |b| {
+        b.iter(|| black_box(m.vecmat(black_box(&v))))
+    });
+    c.bench_function("matvec_64", |b| {
+        b.iter(|| black_box(m.matvec(black_box(&v))))
+    });
     let mut grad = Matrix::zeros(64, 64);
     c.bench_function("add_outer_64", |b| {
         b.iter(|| {

@@ -23,7 +23,9 @@ fn main() {
     );
     let mut csv = String::from("dataset,cell,f1_mean,f1_sd,train_secs,n\n");
     for &ds in &args.datasets {
-        let pair = ds.generate(&gen_config(&args, ds));
+        let pair = ds
+            .generate(&gen_config(&args, ds))
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
         for cell in cells {
             eprintln!("[{ds}] {} x{}...", cell.name(), args.runs);
@@ -33,9 +35,14 @@ fn main() {
                 .map(|rep| run_once_on_frame(&frame, &cfg, rep))
                 .collect();
             let metrics: Vec<Metrics> = runs.iter().map(|r| r.metrics).collect();
-            let (_, _, f1) = aggregate(&metrics);
-            let secs =
-                Summary::of(&runs.iter().map(|r| r.train_time.as_secs_f64()).collect::<Vec<_>>());
+            let (_, _, f1) = aggregate(&metrics).expect("at least one run");
+            let secs = Summary::of(
+                &runs
+                    .iter()
+                    .map(|r| r.train_time.as_secs_f64())
+                    .collect::<Vec<_>>(),
+            )
+            .expect("at least one run");
             println!(
                 "{:<10} {:<6} {:>7} {:>8} {:>10.1} {:>8}",
                 ds.name(),

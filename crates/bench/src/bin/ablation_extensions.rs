@@ -26,7 +26,9 @@ fn main() {
     );
     let mut csv = String::from("dataset,condition,precision,recall,f1_mean,f1_sd,n\n");
     for &ds in &args.datasets {
-        let pair = ds.generate(&gen_config(&args, ds));
+        let pair = ds
+            .generate(&gen_config(&args, ds))
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
         let data = EncodedDataset::from_frame(&frame);
         let labels: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
@@ -43,8 +45,7 @@ fn main() {
             // already knows those).
             let (train_cells, test_cells) = data.split_by_tuples(&sample);
             let mut rng = etsb_tensor::init::seeded_rng(seed);
-            let mut model =
-                etsb_core::model::AnyModel::new(cfg.model, &data, &cfg.train, &mut rng);
+            let mut model = etsb_core::model::AnyModel::new(cfg.model, &data, &cfg.train, &mut rng);
             let _hist = etsb_core::train::train_model(
                 &mut model,
                 &data,
@@ -77,7 +78,7 @@ fn main() {
             .iter()
             .zip(&per_condition)
         {
-            let (p, r, f1) = aggregate(metrics);
+            let (p, r, f1) = aggregate(metrics).expect("at least one run");
             println!(
                 "{:<10} {:<12} {:>6} {:>6} {:>6} {:>8}",
                 ds.name(),

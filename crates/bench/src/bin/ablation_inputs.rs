@@ -29,8 +29,12 @@ enum Condition {
 }
 
 impl Condition {
-    const ALL: [Condition; 4] =
-        [Condition::Tsb, Condition::EtsbNoAttr, Condition::EtsbNoLen, Condition::EtsbFull];
+    const ALL: [Condition; 4] = [
+        Condition::Tsb,
+        Condition::EtsbNoAttr,
+        Condition::EtsbNoLen,
+        Condition::EtsbFull,
+    ];
 
     fn name(self) -> &'static str {
         match self {
@@ -48,7 +52,11 @@ fn run_condition(
     data: &EncodedDataset,
     args: &etsb_bench::BenchArgs,
 ) -> Summary {
-    let kind = if cond == Condition::Tsb { ModelKind::Tsb } else { ModelKind::Etsb };
+    let kind = if cond == Condition::Tsb {
+        ModelKind::Tsb
+    } else {
+        ModelKind::Etsb
+    };
     let cfg = experiment_config(args, kind);
     // Ablate by constant-feeding the input in question.
     let mut ablated = data.clone();
@@ -64,7 +72,7 @@ fn run_condition(
             run_with_sample(frame, &ablated, &sample, &cfg, seed).metrics
         })
         .collect();
-    aggregate(&metrics).2
+    aggregate(&metrics).expect("at least one run").2
 }
 
 fn main() {
@@ -75,7 +83,9 @@ fn main() {
     );
     let mut csv = String::from("dataset,condition,f1_mean,f1_sd,n\n");
     for &ds in &args.datasets {
-        let pair = ds.generate(&gen_config(&args, ds));
+        let pair = ds
+            .generate(&gen_config(&args, ds))
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
         let data = EncodedDataset::from_frame(&frame);
         let mut row = Vec::new();

@@ -14,14 +14,20 @@ use etsb_table::CellFrame;
 
 fn main() {
     let args = parse_args();
-    let samplers = [SamplerKind::Random, SamplerKind::Raha, SamplerKind::DiverSet];
+    let samplers = [
+        SamplerKind::Random,
+        SamplerKind::Raha,
+        SamplerKind::DiverSet,
+    ];
     println!(
         "{:<10} {:>11} {:>8} {:>11} {:>8} {:>11} {:>8}",
         "dataset", "Random F1", "S.D.", "Raha F1", "S.D.", "DiverSet F1", "S.D."
     );
     let mut csv = String::from("dataset,sampler,f1_mean,f1_sd,n\n");
     for &ds in &args.datasets {
-        let pair = ds.generate(&gen_config(&args, ds));
+        let pair = ds
+            .generate(&gen_config(&args, ds))
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
         let mut cells = Vec::new();
         for sampler in samplers {
@@ -31,7 +37,7 @@ fn main() {
             let metrics: Vec<Metrics> = (0..args.runs as u64)
                 .map(|rep| run_once_on_frame(&frame, &cfg, rep).metrics)
                 .collect();
-            let (_, _, f1) = aggregate(&metrics);
+            let (_, _, f1) = aggregate(&metrics).expect("at least one run");
             cells.push(f1);
             csv.push_str(&format!(
                 "{},{},{:.4},{:.4},{}\n",

@@ -23,7 +23,9 @@ fn main() {
     let mut markers = String::from("dataset,model,run,best_epoch,test_acc_at_best\n");
 
     for &ds in &args.datasets {
-        let pair = ds.generate(&gen_config(&args, ds));
+        let pair = ds
+            .generate(&gen_config(&args, ds))
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
         for kind in [ModelKind::Tsb, ModelKind::Etsb] {
             eprintln!("[{ds}] {} x{}...", kind.name(), args.runs);
@@ -42,13 +44,15 @@ fn main() {
                     kind.name(),
                     rep,
                     h.best_epoch,
-                    h.test_acc_at_best().map(|a| a.to_string()).unwrap_or_default()
+                    h.test_acc_at_best()
+                        .map(|a| a.to_string())
+                        .unwrap_or_default()
                 ));
             }
             println!("\n{} / {}:", ds.name(), kind.name());
             println!("{:>6} {:>10} {:>8}", "epoch", "test acc", "ci95");
             for (epoch, accs) in &series {
-                let s = Summary::of(accs);
+                let s = Summary::of(accs).expect("at least one run");
                 println!("{:>6} {:>10.4} {:>8.4}", epoch, s.mean, s.ci95());
                 csv.push_str(&format!(
                     "{},{},{},{:.4},{:.4},{}\n",

@@ -15,13 +15,14 @@ use std::collections::BTreeMap;
 
 fn main() {
     let args = parse_args();
-    let mut csv = String::from(
-        "dataset,epoch,mean_train_acc,train_ci95,mean_test_acc,test_ci95,n_runs\n",
-    );
+    let mut csv =
+        String::from("dataset,epoch,mean_train_acc,train_ci95,mean_test_acc,test_ci95,n_runs\n");
     let mut markers = String::from("dataset,run,best_epoch,train_acc_at_best,test_acc_at_best\n");
 
     for &ds in &args.datasets {
-        let pair = ds.generate(&gen_config(&args, ds));
+        let pair = ds
+            .generate(&gen_config(&args, ds))
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
         let cfg = experiment_config(&args, ModelKind::Etsb);
         let mut train_series: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
@@ -34,7 +35,10 @@ fn main() {
                 train_series.entry(epoch).or_default().push(acc as f64);
             }
             for (i, &epoch) in h.eval_epochs.iter().enumerate() {
-                test_series.entry(epoch).or_default().push(h.test_acc[i] as f64);
+                test_series
+                    .entry(epoch)
+                    .or_default()
+                    .push(h.test_acc[i] as f64);
             }
             markers.push_str(&format!(
                 "{},{},{},{},{}\n",
@@ -42,14 +46,20 @@ fn main() {
                 rep,
                 h.best_epoch,
                 h.train_acc[h.best_epoch],
-                h.test_acc_at_best().map(|a| a.to_string()).unwrap_or_default()
+                h.test_acc_at_best()
+                    .map(|a| a.to_string())
+                    .unwrap_or_default()
             ));
         }
         println!("\n{} (ETSB-RNN):", ds.name());
-        println!("{:>6} {:>11} {:>11} {:>8}", "epoch", "train acc", "test acc", "gap");
+        println!(
+            "{:>6} {:>11} {:>11} {:>8}",
+            "epoch", "train acc", "test acc", "gap"
+        );
         for (&epoch, test_accs) in &test_series {
-            let test = Summary::of(test_accs);
-            let train = Summary::of(train_series.get(&epoch).expect("train acc every epoch"));
+            let test = Summary::of(test_accs).expect("at least one run");
+            let train = Summary::of(train_series.get(&epoch).expect("train acc every epoch"))
+                .expect("at least one run");
             println!(
                 "{:>6} {:>11.4} {:>11.4} {:>8.4}",
                 epoch,

@@ -30,7 +30,9 @@ fn main() {
         "dataset,mask,flagged,proposed,correct,repair_precision,errors_before,errors_after\n",
     );
     for &ds in &args.datasets {
-        let pair = ds.generate(&gen_config(&args, ds));
+        let pair = ds
+            .generate(&gen_config(&args, ds))
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
         let data = EncodedDataset::from_frame(&frame);
 
@@ -44,7 +46,14 @@ fn main() {
         let (train_cells, test_cells) = data.split_by_tuples(&sample);
         let mut rng = etsb_tensor::init::seeded_rng(cfg.seed);
         let mut model = AnyModel::new(cfg.model, &data, &cfg.train, &mut rng);
-        let _ = train_model(&mut model, &data, &train_cells, &test_cells, &cfg.train, cfg.seed);
+        let _ = train_model(
+            &mut model,
+            &data,
+            &train_cells,
+            &test_cells,
+            &cfg.train,
+            cfg.seed,
+        );
         let mut detected = vec![false; data.n_cells()];
         for (&cell, p) in test_cells.iter().zip(model.predict(&data, &test_cells)) {
             detected[cell] = p;

@@ -15,10 +15,14 @@ fn main() {
         "{:<10} {:>12} {:>7} {:>7} {:>7} {:>7} {:<16}",
         "Name", "Size", "ErrRate", "(paper)", "Chars", "(paper)", "Error Types"
     );
-    let mut csv = String::from("dataset,rows,cols,error_rate,paper_error_rate,chars,paper_chars,error_types\n");
+    let mut csv = String::from(
+        "dataset,rows,cols,error_rate,paper_error_rate,chars,paper_chars,error_types\n",
+    );
     for ds in &args.datasets {
         let ds = *ds;
-        let pair = ds.generate(&gen_config(&args, ds));
+        let pair = ds
+            .generate(&gen_config(&args, ds))
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
         let stats = DatasetStats::of(&frame);
         let kinds: Vec<&str> = ds.error_kinds().iter().map(|k| k.code()).collect();

@@ -19,7 +19,10 @@ fn main() {
         "\n{:<12} {:>18} {:>18}",
         "system", "without Flights", "with Flights"
     );
-    println!("{:<12} {:>9} {:>8} {:>9} {:>8}", "", "AVG", "S.D.", "AVG", "S.D.");
+    println!(
+        "{:<12} {:>9} {:>8} {:>9} {:>8}",
+        "", "AVG", "S.D.", "AVG", "S.D."
+    );
     let mut csv = String::from("system,scope,avg_f1,sd_f1,n_datasets\n");
     for system in System::ALL {
         let f1_of = |include_flights: bool| {
@@ -30,7 +33,7 @@ fn main() {
                 })
                 .map(|p| p.f1.mean)
                 .collect();
-            Summary::of(&f1s)
+            Summary::of(&f1s).expect("at least one run")
         };
         let without = f1_of(false);
         let with = f1_of(true);

@@ -21,12 +21,14 @@ fn main() {
     let mut csv = String::from("dataset,tsb_secs,tsb_sd,etsb_secs,etsb_sd\n");
     let mut totals = (0.0f64, 0.0f64, 0usize);
     for &ds in &args.datasets {
-        let pair = ds.generate(&gen_config(&args, ds));
+        let pair = ds
+            .generate(&gen_config(&args, ds))
+            .expect("dataset generation");
         let mut secs = Vec::new();
         for kind in [ModelKind::Tsb, ModelKind::Etsb] {
             let cfg = experiment_config(&args, kind);
-            let rep = run_repeated(&pair.dirty, &pair.clean, &cfg, args.runs)
-                .expect("generated pair");
+            let rep =
+                run_repeated(&pair.dirty, &pair.clean, &cfg, args.runs).expect("generated pair");
             secs.push(rep.train_secs);
         }
         let (tsb, etsb) = (secs[0], secs[1]);

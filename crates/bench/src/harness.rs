@@ -29,8 +29,13 @@ pub enum System {
 
 impl System {
     /// All systems in table order.
-    pub const ALL: [System; 5] =
-        [System::Raha, System::Rotom, System::RotomSsl, System::Tsb, System::Etsb];
+    pub const ALL: [System; 5] = [
+        System::Raha,
+        System::Rotom,
+        System::RotomSsl,
+        System::Tsb,
+        System::Etsb,
+    ];
 
     /// Row label.
     pub fn name(self) -> &'static str {
@@ -88,26 +93,41 @@ pub fn run_system(
                 Metrics::from_predictions(&preds, &labels)
             }
             System::Tsb | System::Etsb => {
-                let kind = if system == System::Tsb { ModelKind::Tsb } else { ModelKind::Etsb };
+                let kind = if system == System::Tsb {
+                    ModelKind::Tsb
+                } else {
+                    ModelKind::Etsb
+                };
                 let cfg = experiment_config(args, kind);
                 run_once_on_frame(frame, &cfg, rep).metrics
             }
         })
         .collect();
-    aggregate(&metrics)
+    aggregate(&metrics).expect("at least one run")
 }
 
 /// Run every requested system over every requested dataset.
 pub fn run_comparison(args: &BenchArgs, systems: &[System]) -> Vec<Point> {
     let mut points = Vec::new();
     for &ds in &args.datasets {
-        eprintln!("[{ds}] generating (scale {})...", gen_config(args, ds).scale);
-        let pair = ds.generate(&gen_config(args, ds));
+        eprintln!(
+            "[{ds}] generating (scale {})...",
+            gen_config(args, ds).scale
+        );
+        let pair = ds
+            .generate(&gen_config(args, ds))
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
         for &system in systems {
             eprintln!("[{ds}] running {} x{}...", system.name(), args.runs);
             let (precision, recall, f1) = run_system(system, &frame, args, args.runs);
-            points.push(Point { system, dataset: ds, precision, recall, f1 });
+            points.push(Point {
+                system,
+                dataset: ds,
+                precision,
+                recall,
+                f1,
+            });
         }
     }
     points
@@ -117,9 +137,11 @@ pub fn run_comparison(args: &BenchArgs, systems: &[System]) -> Vec<Point> {
 pub fn points_to_csv(points: &[Point]) -> String {
     let mut out = String::from("system,dataset,metric,mean,std,n\n");
     for p in points {
-        for (metric, s) in
-            [("precision", p.precision), ("recall", p.recall), ("f1", p.f1)]
-        {
+        for (metric, s) in [
+            ("precision", p.precision),
+            ("recall", p.recall),
+            ("f1", p.f1),
+        ] {
             out.push_str(&format!(
                 "{},{},{metric},{:.4},{:.4},{}\n",
                 p.system.name(),

@@ -46,7 +46,14 @@ pub struct BenchArgs {
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        Self { runs: 3, scale: None, epochs: None, datasets: Dataset::ALL.to_vec(), out: None, seed: 42 }
+        Self {
+            runs: 3,
+            scale: None,
+            epochs: None,
+            datasets: Dataset::ALL.to_vec(),
+            out: None,
+            seed: 42,
+        }
     }
 }
 
@@ -57,21 +64,39 @@ pub fn parse_args() -> BenchArgs {
     let mut datasets: Vec<Dataset> = Vec::new();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
-            iter.next().unwrap_or_else(|| die(&format!("{name} requires a value")))
+            iter.next()
+                .unwrap_or_else(|| die(&format!("{name} requires a value")))
         };
         match flag.as_str() {
-            "--runs" => args.runs = value("--runs").parse().unwrap_or_else(|_| die("bad --runs")),
+            "--runs" => {
+                args.runs = value("--runs")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --runs"))
+            }
             "--scale" => {
-                args.scale = Some(value("--scale").parse().unwrap_or_else(|_| die("bad --scale")))
+                args.scale = Some(
+                    value("--scale")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --scale")),
+                )
             }
             "--epochs" => {
-                args.epochs = Some(value("--epochs").parse().unwrap_or_else(|_| die("bad --epochs")))
+                args.epochs = Some(
+                    value("--epochs")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --epochs")),
+                )
             }
-            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| die("bad --seed")),
+            "--seed" => {
+                args.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --seed"))
+            }
             "--dataset" => {
                 let name = value("--dataset");
                 datasets.push(
-                    Dataset::parse(&name).unwrap_or_else(|| die(&format!("unknown dataset {name}"))),
+                    Dataset::parse(&name)
+                        .unwrap_or_else(|| die(&format!("unknown dataset {name}"))),
                 );
             }
             "--out" => args.out = Some(value("--out")),
@@ -113,13 +138,19 @@ pub fn default_scale(ds: Dataset) -> f64 {
 
 /// Generation config for a dataset under these args.
 pub fn gen_config(args: &BenchArgs, ds: Dataset) -> GenConfig {
-    GenConfig { scale: args.scale.unwrap_or_else(|| default_scale(ds)), seed: args.seed }
+    GenConfig {
+        scale: args.scale.unwrap_or_else(|| default_scale(ds)),
+        seed: args.seed,
+    }
 }
 
 /// Experiment config for a model under these args (paper defaults unless
 /// overridden).
 pub fn experiment_config(args: &BenchArgs, model: ModelKind) -> ExperimentConfig {
-    let mut train = TrainConfig { eval_every: 5, ..TrainConfig::default() };
+    let mut train = TrainConfig {
+        eval_every: 5,
+        ..TrainConfig::default()
+    };
     if let Some(e) = args.epochs {
         train.epochs = e;
     }

@@ -1,0 +1,53 @@
+//! Fixture: compliant library-crate code. Must produce zero findings
+//! for every rule — anything reported here is a false positive.
+
+use rand::SeedableRng;
+
+/// A documented public matrix wrapper.
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Element-wise sum with an op-naming shape assertion.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Shape accessor; mentions unwrap() and panic!() only in prose and
+    /// strings: "call .unwrap() here" should not be flagged.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// An annotated escape hatch for a justified invariant.
+    pub fn head(&self) -> f32 {
+        // etsb: allow(no-unwrap) -- construction guarantees non-empty data.
+        *self.data.first().expect("non-empty by construction")
+    }
+}
+
+/// Seeded randomness is the only sanctioned kind.
+pub fn seeded_roll(seed: u64) -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: undocumented public items. `undocumented_fn` and
+//! `Undocumented` must be reported by the `doc-pub` rule; the documented
+//! and non-public items must not.
+
+pub fn undocumented_fn() {}
+
+pub struct Undocumented;
+
+/// This one is documented.
+pub fn documented_fn() {}
+
+#[derive(Debug)]
+/// Documented through an attribute in between.
+pub enum AlsoDocumented {
+    /// Variant.
+    A,
+}
+
+fn private_needs_no_docs() {}

@@ -1,0 +1,31 @@
+//! Fixture: panicking calls in non-test library code. Every site below
+//! must be reported by the `no-unwrap` rule.
+
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn second(x: Result<u32, String>) -> u32 {
+    x.expect("fixture")
+}
+
+pub fn third() {
+    panic!("fixture");
+}
+
+pub fn fourth(n: u32) -> u32 {
+    match n {
+        0 => todo!(),
+        1 => unimplemented!(),
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: unseeded randomness. Both sites below must be reported by
+//! the `no-unseeded-rng` rule — even the one inside test code, since a
+//! nondeterministic test breaks the 10-repetition protocol too.
+
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..6)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn nondeterministic_test() {
+        let _rng = rand::rngs::StdRng::from_entropy();
+    }
+}

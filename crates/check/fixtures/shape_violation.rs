@@ -1,0 +1,26 @@
+//! Fixture: a two-operand tensor op with no op-naming shape assertion.
+//! `bad_add` must be reported by the `shape-assert` rule; `good_add`
+//! and `delegating_add` must not.
+
+impl Matrix {
+    pub fn bad_add(&self, other: &Matrix) -> Matrix {
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    pub fn good_add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "good_add: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    pub fn delegating_add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, "delegating_add", |a, b| a + b)
+    }
+}

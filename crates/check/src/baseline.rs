@@ -1,0 +1,162 @@
+//! The debt baseline: a machine-readable record of pre-existing rule
+//! violations, so `etsb-check` can gate *new* debt while old debt is
+//! paid down incrementally.
+//!
+//! Format — one entry per line, sorted, `#` comments ignored:
+//!
+//! ```text
+//! <rule-name> <count> <workspace-relative-path>
+//! ```
+//!
+//! The ratchet: a (rule, file) pair may never exceed its recorded count.
+//! When the current count drops below the baseline, the checker reports
+//! the slack so the file can be regenerated (`--update-baseline`),
+//! locking the progress in.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Parsed baseline: budgets per (rule, file).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    budgets: BTreeMap<(String, String), usize>,
+}
+
+/// A malformed baseline line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the baseline file.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Baseline {
+    /// Parse baseline text.
+    pub fn parse(text: &str) -> Result<Baseline, ParseError> {
+        let mut budgets = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, ' ');
+            let (rule, count, path) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(c), Some(p)) => (r, c, p),
+                _ => {
+                    return Err(ParseError {
+                        line: i + 1,
+                        message: format!("expected `<rule> <count> <path>`, got `{line}`"),
+                    })
+                }
+            };
+            if crate::Rule::from_name(rule).is_none() {
+                return Err(ParseError {
+                    line: i + 1,
+                    message: format!("unknown rule `{rule}`"),
+                });
+            }
+            let count: usize = count.parse().map_err(|_| ParseError {
+                line: i + 1,
+                message: format!("bad count `{count}`"),
+            })?;
+            budgets.insert((rule.to_string(), path.trim().to_string()), count);
+        }
+        Ok(Baseline { budgets })
+    }
+
+    /// Load from a file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text).map_err(|e| e.to_string()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Allowed count for a (rule, file); zero if absent.
+    pub fn budget(&self, rule: &str, file: &str) -> usize {
+        self.budgets
+            .get(&(rule.to_string(), file.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Add one to a (rule, file) budget (used when regenerating).
+    pub fn bump(&mut self, rule: &str, file: &str) {
+        *self
+            .budgets
+            .entry((rule.to_string(), file.to_string()))
+            .or_insert(0) += 1;
+    }
+
+    /// All entries as (rule, file, count).
+    pub fn entries(&self) -> Vec<(String, String, usize)> {
+        self.budgets
+            .iter()
+            .map(|((r, f), &c)| (r.clone(), f.clone(), c))
+            .collect()
+    }
+
+    /// Total budgeted sites for one rule.
+    pub fn total(&self, rule: &str) -> usize {
+        self.budgets
+            .iter()
+            .filter(|((r, _), _)| r == rule)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Serialize in the canonical sorted format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(
+            "# etsb-check debt baseline. One `<rule> <count> <path>` entry per line.\n\
+             # Counts may only ratchet down: regenerate with `cargo run -p etsb-check -- \
+             --update-baseline`.\n",
+        );
+        for ((rule, file), count) in &self.budgets {
+            out.push_str(&format!("{rule} {count} {file}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Baseline;
+
+    #[test]
+    fn round_trips_entries() {
+        let mut b = Baseline::default();
+        b.bump("no-unwrap", "crates/core/src/train.rs");
+        b.bump("no-unwrap", "crates/core/src/train.rs");
+        b.bump("doc-pub", "crates/tensor/src/ops.rs");
+        let parsed = Baseline::parse(&b.to_text()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.budget("no-unwrap", "crates/core/src/train.rs"), 2);
+        assert_eq!(parsed.budget("no-unwrap", "crates/core/src/other.rs"), 0);
+        assert_eq!(parsed.total("no-unwrap"), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_bad_counts() {
+        assert!(Baseline::parse("bogus-rule 3 some/file.rs").is_err());
+        assert!(Baseline::parse("no-unwrap many some/file.rs").is_err());
+        assert!(Baseline::parse("no-unwrap 3").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let b = Baseline::parse("# header\n\nno-unwrap 1 a.rs\n").unwrap();
+        assert_eq!(b.budget("no-unwrap", "a.rs"), 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! `etsb-check`: a dependency-light, source-level static-analysis pass
+//! over the workspace, enforcing the project invariants that keep the
+//! paper's 10-repetition evaluation protocol reproducible and the
+//! library crates panic-free on malformed input.
+//!
+//! Enforced rules (each with an `// etsb: allow(<rule>)` escape hatch):
+//!
+//! * **`no-unwrap`** — no `unwrap()` / `expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in the non-test code of
+//!   library crates. Existing debt lives in a machine-readable baseline
+//!   file and may only ratchet down.
+//! * **`no-unseeded-rng`** — no `thread_rng()` / `from_entropy()`
+//!   anywhere; every generator must derive from
+//!   `SeedableRng::seed_from_u64`.
+//! * **`shape-assert`** — every two-operand tensor/NN op in
+//!   `crates/tensor` and `crates/nn` must carry a shape assertion whose
+//!   message names the op (`"op_name: ..."` convention), so mismatches
+//!   panic with actionable context.
+//! * **`doc-pub`** — public items in `etsb-core` and `etsb-tensor` must
+//!   have doc comments.
+//!
+//! The analysis is line-oriented over comment- and string-stripped
+//! source. It is intentionally heuristic — precise enough for this
+//! workspace's house style (enforced by `rustfmt`), simple enough to
+//! audit by reading one file.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod baseline;
+mod rules;
+mod strip;
+
+pub use baseline::Baseline;
+pub use strip::strip_comments_and_strings;
+
+/// Library crates in which panicking paths are forbidden (`no-unwrap`).
+pub const LIBRARY_CRATES: [&str; 7] = [
+    "tensor", "nn", "table", "datasets", "raha", "core", "repair",
+];
+
+/// Crates whose two-operand numeric ops must carry shape assertions.
+pub const SHAPE_CHECKED_CRATES: [&str; 2] = ["tensor", "nn"];
+
+/// Crates whose public items must be documented.
+pub const DOC_CHECKED_CRATES: [&str; 2] = ["core", "tensor"];
+
+/// One invariant enforced by the checker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Panicking call in non-test library-crate code.
+    NoUnwrap,
+    /// Randomness not derived from an explicit seed.
+    NoUnseededRng,
+    /// Two-operand tensor/NN op without an op-naming shape assertion.
+    ShapeAssert,
+    /// Public item without a doc comment.
+    DocPub,
+}
+
+impl Rule {
+    /// The rule's name as written in `// etsb: allow(<name>)` and in the
+    /// baseline file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoUnseededRng => "no-unseeded-rng",
+            Rule::ShapeAssert => "shape-assert",
+            Rule::DocPub => "doc-pub",
+        }
+    }
+
+    /// Parse a rule name; used by the allow-annotation parser.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "no-unwrap" => Some(Rule::NoUnwrap),
+            "no-unseeded-rng" => Some(Rule::NoUnseededRng),
+            "shape-assert" => Some(Rule::ShapeAssert),
+            "doc-pub" => Some(Rule::DocPub),
+            _ => None,
+        }
+    }
+
+    /// All rules, in report order.
+    pub fn all() -> [Rule; 4] {
+        [
+            Rule::NoUnwrap,
+            Rule::NoUnseededRng,
+            Rule::ShapeAssert,
+            Rule::DocPub,
+        ]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed source line (or item name) for the report.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// Result of checking a workspace tree against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Hard violations: not covered by an allow annotation and over the
+    /// baseline budget for their (rule, file).
+    pub violations: Vec<Finding>,
+    /// Findings absorbed by the baseline (pre-existing debt).
+    pub baselined: Vec<Finding>,
+    /// (rule, file) entries whose current count is below the baseline:
+    /// the baseline should be regenerated to lock in the progress.
+    pub ratchet_slack: Vec<(String, String, usize, usize)>,
+    /// (rule, file) baseline entries for files that no longer produce
+    /// findings at all (also regeneration candidates).
+    pub stale_entries: Vec<(String, String)>,
+}
+
+impl Report {
+    /// Whether the tree passes the check.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Scan one source file. `rel` is the workspace-relative path (used for
+/// crate attribution and reports).
+pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
+    let ctx = FileContext::classify(rel);
+    let stripped = strip_comments_and_strings(source);
+    let allows = rules::collect_allows(source);
+    let test_lines = rules::test_code_lines(source, &stripped);
+    let mut findings = Vec::new();
+    if ctx.check_unwrap {
+        rules::check_no_unwrap(rel, source, &stripped, &test_lines, &allows, &mut findings);
+    }
+    if ctx.check_rng {
+        rules::check_no_unseeded_rng(rel, source, &stripped, &allows, &mut findings);
+    }
+    if ctx.check_shapes {
+        rules::check_shape_asserts(rel, source, &stripped, &test_lines, &allows, &mut findings);
+    }
+    if ctx.check_docs {
+        rules::check_doc_pub(rel, source, &stripped, &test_lines, &allows, &mut findings);
+    }
+    findings
+}
+
+/// Which rules apply to a file, derived from its workspace-relative path.
+struct FileContext {
+    check_unwrap: bool,
+    check_rng: bool,
+    check_shapes: bool,
+    check_docs: bool,
+}
+
+impl FileContext {
+    fn classify(rel: &str) -> FileContext {
+        let rel = rel.replace('\\', "/");
+        let in_crate_src =
+            |krate: &str| rel.starts_with(&format!("crates/{krate}/src/")) && rel.ends_with(".rs");
+        let lib_src = LIBRARY_CRATES.iter().any(|c| in_crate_src(c));
+        // Seeded-randomness discipline covers everything that can run in
+        // an experiment: library code, binaries, integration tests and
+        // examples — a stray `thread_rng()` in a test breaks the
+        // 10-repetition protocol just as surely as one in `train.rs`.
+        let rng_scope =
+            rel.starts_with("crates/") || rel.starts_with("tests/") || rel.starts_with("examples/");
+        FileContext {
+            check_unwrap: lib_src,
+            check_rng: rng_scope && rel.ends_with(".rs"),
+            check_shapes: SHAPE_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
+            check_docs: DOC_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
+        }
+    }
+}
+
+/// Recursively collect the workspace `.rs` files subject to checking:
+/// everything under `crates/`, `tests/` and `examples/`, excluding
+/// `vendor/` (offline dependency stubs), `target/` and the checker's own
+/// fixture corpus.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = std::fs::read_to_string(&path)?;
+            out.push((rel, source));
+        }
+    }
+    Ok(())
+}
+
+/// Scan a whole tree and reconcile the findings against `baseline`.
+pub fn check_tree(sources: &[(String, String)], baseline: &Baseline) -> Report {
+    let mut findings: Vec<Finding> = Vec::new();
+    for (rel, source) in sources {
+        findings.extend(scan_source(rel, source));
+    }
+    reconcile(findings, baseline)
+}
+
+/// Split findings into hard violations and baselined debt, and compute
+/// the ratchet bookkeeping.
+pub fn reconcile(findings: Vec<Finding>, baseline: &Baseline) -> Report {
+    let mut report = Report::default();
+    let mut counts: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        counts
+            .entry((f.rule.name().to_string(), f.file.clone()))
+            .or_default()
+            .push(f);
+    }
+    for ((rule, file), group) in &counts {
+        let budget = baseline.budget(rule, file);
+        let current = group.len();
+        if current > budget {
+            // Everything beyond the budget is a hard violation; report
+            // the whole group so the offending sites are all visible.
+            report.violations.extend(group.iter().cloned());
+        } else {
+            report.baselined.extend(group.iter().cloned());
+            if current < budget {
+                report
+                    .ratchet_slack
+                    .push((rule.clone(), file.clone(), current, budget));
+            }
+        }
+    }
+    for (rule, file, budget) in baseline.entries() {
+        if budget > 0 && !counts.contains_key(&(rule.clone(), file.clone())) {
+            report.stale_entries.push((rule, file));
+        }
+    }
+    report
+}
+
+/// Regenerate baseline contents from a finding set: one entry per
+/// (rule, file) with the current count.
+pub fn baseline_from_findings(findings: &[Finding]) -> Baseline {
+    let mut b = Baseline::default();
+    for f in findings {
+        b.bump(f.rule.name(), &f.file);
+    }
+    b
+}
+
+/// Locate the workspace root: walk up from `start` to the first
+/// directory holding a `Cargo.toml` with a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

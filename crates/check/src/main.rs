@@ -1,0 +1,170 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p etsb-check                   # check, gated by the baseline
+//! cargo run -p etsb-check -- --update-baseline
+//! cargo run -p etsb-check -- --root DIR --baseline FILE
+//! cargo run -p etsb-check -- --list-baselined
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use etsb_check::{baseline_from_findings, check_tree, find_workspace_root, Baseline, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    list_baselined: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        update_baseline: false,
+        list_baselined: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory argument")?,
+                ));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline requires a file argument")?,
+                ));
+            }
+            "--update-baseline" => args.update_baseline = true,
+            "--list-baselined" => args.list_baselined = true,
+            "--help" | "-h" => {
+                println!(
+                    "etsb-check: workspace invariant linter\n\n\
+                     USAGE: etsb-check [--root DIR] [--baseline FILE] \
+                     [--update-baseline] [--list-baselined]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("etsb-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.clone().or_else(|| {
+        find_workspace_root(&std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "etsb-check: could not locate a workspace root (no Cargo.toml with [workspace])"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("check_baseline.txt"));
+
+    let sources = match etsb_check::workspace_sources(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("etsb-check: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    // A wrong --root (typo, CI misconfiguration) must not masquerade as a
+    // clean run: an empty scan means nothing was checked.
+    if sources.is_empty() {
+        eprintln!(
+            "etsb-check: no crate sources found under {} — wrong --root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    if args.update_baseline {
+        let findings: Vec<_> = sources
+            .iter()
+            .flat_map(|(rel, src)| etsb_check::scan_source(rel, src))
+            .collect();
+        let regenerated = baseline_from_findings(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, regenerated.to_text()) {
+            eprintln!("etsb-check: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "etsb-check: wrote {} ({} baselined sites across {} rules)",
+            baseline_path.display(),
+            findings.len(),
+            Rule::all()
+                .iter()
+                .filter(|r| regenerated.total(r.name()) > 0)
+                .count(),
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("etsb-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = check_tree(&sources, &baseline);
+
+    if args.list_baselined {
+        for f in &report.baselined {
+            println!("baselined: {f}");
+        }
+    }
+    for (rule, file, current, budget) in &report.ratchet_slack {
+        println!(
+            "note: {file} is below its `{rule}` baseline ({current} < {budget}); \
+             run with --update-baseline to ratchet down"
+        );
+    }
+    for (rule, file) in &report.stale_entries {
+        println!("note: baseline entry `{rule} {file}` matches no findings; regenerate to drop it");
+    }
+    if !report.violations.is_empty() {
+        for f in &report.violations {
+            eprintln!("error: {f}");
+        }
+        eprintln!(
+            "\netsb-check: {} violation(s) across {} rule(s); see above. \
+             Pre-existing debt is tracked in {} — new debt is not accepted.",
+            report.violations.len(),
+            {
+                let mut rules: Vec<_> = report.violations.iter().map(|f| f.rule).collect();
+                rules.sort();
+                rules.dedup();
+                rules.len()
+            },
+            baseline_path.display(),
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "etsb-check: clean ({} files scanned, {} baselined sites remaining)",
+        sources.len(),
+        report.baselined.len(),
+    );
+    ExitCode::SUCCESS
+}

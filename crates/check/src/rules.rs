@@ -1,0 +1,546 @@
+//! The rule passes. Each pass walks the stripped source (comments and
+//! string contents blanked — see [`crate::strip`]) so token matches are
+//! real code, while allow-annotations are read from the raw source.
+
+use crate::{Finding, Rule};
+use std::collections::HashSet;
+
+/// Per-line sets of rules disabled by `// etsb: allow(<rule>, ...)`.
+/// An annotation applies to its own line and to the line below it (so a
+/// comment-only line can shield the statement that follows).
+pub fn collect_allows(source: &str) -> Vec<HashSet<Rule>> {
+    let mut allows: Vec<HashSet<Rule>> = vec![HashSet::new(); source.lines().count()];
+    for (i, line) in source.lines().enumerate() {
+        let Some(comment) = line.split("//").nth(1).map(|c| line_comment_tail(line, c)) else {
+            continue;
+        };
+        let Some(idx) = comment.find("etsb: allow(") else {
+            continue;
+        };
+        let args = &comment[idx + "etsb: allow(".len()..];
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        for name in args[..close].split(',') {
+            if let Some(rule) = Rule::from_name(name.trim()) {
+                allows[i].insert(rule);
+            }
+        }
+    }
+    allows
+}
+
+/// The annotation must sit in a `//` comment; return everything after
+/// the first `//` of the raw line.
+fn line_comment_tail<'a>(line: &'a str, _after: &str) -> &'a str {
+    match line.find("//") {
+        Some(pos) => &line[pos..],
+        None => "",
+    }
+}
+
+/// Whether the finding at `line` (0-based) is shielded by an allow for
+/// `rule` on the same or the preceding line.
+fn allowed(allows: &[HashSet<Rule>], line: usize, rule: Rule) -> bool {
+    allows.get(line).is_some_and(|s| s.contains(&rule))
+        || (line > 0 && allows.get(line - 1).is_some_and(|s| s.contains(&rule)))
+}
+
+/// Mark lines that belong to `#[cfg(test)]`-gated items or `#[test]`
+/// functions: the no-unwrap / shape-assert / doc-pub rules skip them.
+pub fn test_code_lines(_source: &str, stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim_start();
+        if t.starts_with("#[cfg(test)]") || t.starts_with("#[test]") {
+            let end = item_end(&lines, i);
+            for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                *flag = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Index of the last line of the item starting at (or just after) the
+/// attribute on line `start`: scans to the `;` of a bodiless item or the
+/// matching `}` of its block.
+fn item_end(lines: &[&str], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut seen_open = false;
+    for (j, line) in lines.iter().enumerate().skip(start) {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    seen_open = true;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if seen_open && depth == 0 {
+                        return j;
+                    }
+                }
+                ';' if !seen_open && depth == 0 && j > start => return j,
+                _ => {}
+            }
+        }
+        // `#[cfg(test)] use foo;` on a single line.
+        if j == start && !seen_open && line.contains(';') {
+            return j;
+        }
+    }
+    lines.len().saturating_sub(1)
+}
+
+/// Tokens forbidden in non-test library-crate code, with the matcher
+/// used for each.
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Rule `no-unwrap`: panicking calls in non-test library code.
+pub fn check_no_unwrap(
+    rel: &str,
+    source: &str,
+    stripped: &str,
+    test_lines: &[bool],
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    for (i, line) in stripped.lines().enumerate() {
+        if test_lines.get(i).copied().unwrap_or(false) || allowed(allows, i, Rule::NoUnwrap) {
+            continue;
+        }
+        for token in PANIC_TOKENS {
+            for _ in 0..count_token(line, token) {
+                findings.push(Finding {
+                    rule: Rule::NoUnwrap,
+                    file: rel.to_string(),
+                    line: i + 1,
+                    snippet: raw_line(source, i),
+                });
+            }
+        }
+    }
+}
+
+/// Count non-overlapping occurrences of `token`, requiring that the
+/// match is not part of a longer identifier (so `.unwrap_or()` does not
+/// match `.unwrap`-style prefixes — exact tokens above already encode
+/// the closing delimiter, this guards the leading edge).
+fn count_token(line: &str, token: &str) -> usize {
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(token) {
+        let abs = from + pos;
+        let prev_ok = token.starts_with('.')
+            || abs == 0
+            || !line[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if prev_ok {
+            n += 1;
+        }
+        from = abs + token.len();
+    }
+    n
+}
+
+/// Rule `no-unseeded-rng`: all randomness must flow from an explicit
+/// seed; `thread_rng()` / `from_entropy()` make runs unrepeatable.
+pub fn check_no_unseeded_rng(
+    rel: &str,
+    source: &str,
+    stripped: &str,
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    for (i, line) in stripped.lines().enumerate() {
+        if allowed(allows, i, Rule::NoUnseededRng) {
+            continue;
+        }
+        for token in ["thread_rng(", "from_entropy("] {
+            for _ in 0..count_token(line, token) {
+                findings.push(Finding {
+                    rule: Rule::NoUnseededRng,
+                    file: rel.to_string(),
+                    line: i + 1,
+                    snippet: raw_line(source, i),
+                });
+            }
+        }
+    }
+}
+
+/// One parsed function in a shape-checked crate.
+struct FnInfo {
+    name: String,
+    sig_line: usize,
+    body_start: usize,
+    body_end: usize,
+    tensor_operands: usize,
+}
+
+/// Rule `shape-assert`: a function that consumes two or more tensor-like
+/// operands (`Matrix`, `&[f32]`, `Vec<f32>`, or a `Matrix` receiver)
+/// must carry a shape assertion whose message names the function
+/// (`"<name>: ..."`), so a mismatch panics with actionable context.
+pub fn check_shape_asserts(
+    rel: &str,
+    source: &str,
+    stripped: &str,
+    test_lines: &[bool],
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    let raw_lines: Vec<&str> = source.lines().collect();
+    for f in parse_fns(stripped) {
+        if f.tensor_operands < 2
+            || test_lines.get(f.sig_line).copied().unwrap_or(false)
+            || allowed(allows, f.sig_line, Rule::ShapeAssert)
+        {
+            continue;
+        }
+        let body = raw_lines[f.body_start..=f.body_end.min(raw_lines.len() - 1)].join("\n");
+        let names_op = body.contains(&format!("{}:", f.name));
+        let has_assert = body.contains("assert");
+        // Delegation pattern: the op passes its own name as a string
+        // literal to a shared checked kernel (e.g. `zip_with(other,
+        // "add", ..)`), which formats it into the assertion message.
+        let delegates = body.contains(&format!("\"{}\"", f.name));
+        if !((has_assert && names_op) || delegates) {
+            findings.push(Finding {
+                rule: Rule::ShapeAssert,
+                file: rel.to_string(),
+                line: f.sig_line + 1,
+                snippet: format!(
+                    "fn {} takes {} tensor operands but has no shape assertion naming it",
+                    f.name, f.tensor_operands
+                ),
+            });
+        }
+    }
+}
+
+/// Parse function signatures and body spans from stripped source,
+/// tracking `impl Matrix` receivers.
+fn parse_fns(stripped: &str) -> Vec<FnInfo> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut out = Vec::new();
+    let mut impl_stack: Vec<(usize, bool)> = Vec::new(); // (close_depth, is_matrix)
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim_start();
+        if t.starts_with("impl ") || t.starts_with("impl<") {
+            let is_matrix = impl_target(t) == Some("Matrix".to_string());
+            impl_stack.push((depth, is_matrix));
+        }
+        if let Some(fn_col) = fn_keyword_pos(t) {
+            let name: String = t[fn_col + 3..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            // Collect the signature until its opening `{` (or `;` for a
+            // trait method declaration).
+            let mut sig = String::new();
+            let mut j = i;
+            let mut body_start = None;
+            while j < lines.len() {
+                let line = lines[j];
+                if let Some(brace) = sig_terminator(line, &sig) {
+                    sig.push_str(&line[..brace]);
+                    if line.as_bytes().get(brace) == Some(&b'{') {
+                        body_start = Some(j);
+                    }
+                    break;
+                }
+                sig.push_str(line);
+                sig.push(' ');
+                j += 1;
+            }
+            if let Some(start) = body_start {
+                let end = item_end(&lines, start);
+                let in_matrix_impl = impl_stack.last().is_some_and(|&(_, m)| m);
+                out.push(FnInfo {
+                    tensor_operands: tensor_operands(&sig, in_matrix_impl),
+                    name,
+                    sig_line: i,
+                    body_start: start,
+                    body_end: end,
+                });
+                // Functions may contain nested closures but not nested
+                // `fn` items in this workspace; skip past the signature
+                // only, so inner `impl` blocks still register.
+            }
+        }
+        depth += lines[i].matches('{').count();
+        depth = depth.saturating_sub(lines[i].matches('}').count());
+        while let Some(&(open_depth, _)) = impl_stack.last() {
+            if depth <= open_depth && lines[i].contains('}') {
+                impl_stack.pop();
+            } else {
+                break;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Column of the `fn ` keyword on a trimmed line, if the line declares a
+/// function (`fn`, `pub fn`, `pub(crate) fn`, `const fn`, `unsafe fn`).
+fn fn_keyword_pos(t: &str) -> Option<usize> {
+    if t.starts_with("fn ") {
+        return Some(0);
+    }
+    for prefix in [
+        "pub fn ",
+        "pub(crate) fn ",
+        "pub(super) fn ",
+        "const fn ",
+        "pub const fn ",
+        "unsafe fn ",
+    ] {
+        if t.starts_with(prefix) {
+            return Some(prefix.len() - 3);
+        }
+    }
+    None
+}
+
+/// Position in `line` where the signature ends: the opening `{` or a
+/// terminating `;`, at paren depth 0 relative to `so_far`.
+fn sig_terminator(line: &str, so_far: &str) -> Option<usize> {
+    let mut depth = so_far.matches('(').count() as isize - so_far.matches(')').count() as isize;
+    for (k, c) in line.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            '{' | ';' if depth <= 0 => return Some(k),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The self-type of an `impl` line: `impl Matrix {` → `Matrix`,
+/// `impl Trait for Matrix {` → `Matrix`.
+fn impl_target(t: &str) -> Option<String> {
+    let mut rest = t.strip_prefix("impl")?;
+    if rest.starts_with('<') {
+        let mut depth = 0isize;
+        let mut after = rest.len();
+        for (k, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        after = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &rest[after..];
+    }
+    let rest = rest.trim_start();
+    let rest = match rest.find(" for ") {
+        Some(pos) => &rest[pos + 5..],
+        None => rest,
+    };
+    let name: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Count tensor-like operands in a signature's parameter list.
+fn tensor_operands(sig: &str, in_matrix_impl: bool) -> usize {
+    let params = match (sig.find('('), sig.rfind(')')) {
+        (Some(open), Some(close)) if close > open => &sig[open + 1..close],
+        _ => return 0,
+    };
+    let mut n = 0;
+    for param in split_params(params) {
+        let p = param.trim();
+        if p == "self" || p == "&self" || p == "&mut self" {
+            if in_matrix_impl {
+                n += 1;
+            }
+            continue;
+        }
+        let ty = p.split(':').nth(1).unwrap_or("").trim();
+        let base = ty.trim_start_matches('&').trim_start_matches("mut ").trim();
+        if base.starts_with("Matrix")
+            || base.starts_with("[f32]")
+            || base.starts_with("Vec<f32>")
+            || base.starts_with("[f32;")
+        {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Split a parameter list at top-level commas (angle brackets, brackets
+/// and parens nest).
+fn split_params(params: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0isize;
+    let mut start = 0;
+    for (k, c) in params.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(&params[start..k]);
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&params[start..]);
+    out
+}
+
+/// Item keywords that require documentation when `pub`.
+const DOC_ITEMS: [&str; 8] = [
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type",
+];
+
+/// Rule `doc-pub`: public items in the API crates must carry docs.
+pub fn check_doc_pub(
+    rel: &str,
+    source: &str,
+    stripped: &str,
+    test_lines: &[bool],
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let attr_lines = attribute_lines(&stripped_lines);
+    for (i, line) in stripped_lines.iter().enumerate() {
+        if test_lines.get(i).copied().unwrap_or(false) || allowed(allows, i, Rule::DocPub) {
+            continue;
+        }
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix("pub ") else {
+            continue;
+        };
+        let word = rest
+            .trim_start_matches("unsafe ")
+            .trim_start_matches("const ")
+            .trim_start_matches("async ")
+            .split_whitespace()
+            .next()
+            .unwrap_or("");
+        if !DOC_ITEMS.contains(&word) {
+            continue;
+        }
+        // `pub const fn` keeps `fn` as the item; `pub const NAME` keeps
+        // `const`. Both forms land in DOC_ITEMS, so either way this is a
+        // documentable public item.
+        if !has_doc_above(&raw_lines, &attr_lines, i) {
+            let name = rest
+                .split(['(', '<', '{', ':'])
+                .next()
+                .unwrap_or(rest)
+                .trim()
+                .trim_end_matches(';');
+            findings.push(Finding {
+                rule: Rule::DocPub,
+                file: rel.to_string(),
+                line: i + 1,
+                snippet: format!("undocumented public item: pub {name}"),
+            });
+        }
+    }
+}
+
+/// Mark lines occupied by (possibly multi-line) outer attributes.
+fn attribute_lines(stripped_lines: &[&str]) -> Vec<bool> {
+    let mut flags = vec![false; stripped_lines.len()];
+    let mut i = 0;
+    while i < stripped_lines.len() {
+        let t = stripped_lines[i].trim_start();
+        if t.starts_with("#[") || t.starts_with("#![") {
+            let mut depth = 0isize;
+            let mut j = i;
+            'outer: while j < stripped_lines.len() {
+                for c in stripped_lines[j].chars() {
+                    match c {
+                        '[' => depth += 1,
+                        ']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            for flag in flags.iter_mut().take(j + 1).skip(i) {
+                *flag = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// Whether the item starting at line `i` has a `///` or `#[doc` line
+/// directly above it (attributes between docs and item are fine).
+fn has_doc_above(raw_lines: &[&str], attr_lines: &[bool], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = raw_lines[j].trim_start();
+        if attr_lines.get(j).copied().unwrap_or(false) {
+            if t.contains("#[doc") {
+                return true;
+            }
+            continue;
+        }
+        if t.starts_with("///") || t.starts_with("//!") {
+            return true;
+        }
+        // Plain comments are transparent to the parser: a doc comment
+        // further up still attaches to the item through them.
+        if t.starts_with("//") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// The raw source line at 0-based index `i`, trimmed for reporting.
+fn raw_line(source: &str, i: usize) -> String {
+    source.lines().nth(i).unwrap_or("").trim().to_string()
+}

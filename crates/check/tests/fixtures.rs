@@ -1,0 +1,181 @@
+//! Fixture corpus for the checker: every rule must fire on its seeded
+//! violation file and stay silent on the clean file.
+//!
+//! The fixture sources live in `fixtures/` (excluded from workspace
+//! scans) and are scanned under synthetic library-crate paths so the
+//! path-based rule routing applies.
+
+use etsb_check::{check_tree, reconcile, scan_source, Baseline, Finding, Rule};
+
+fn scan(fixture: &str, rel: &str) -> Vec<Finding> {
+    scan_source(rel, fixture)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+    let mut rules: Vec<Rule> = findings.iter().map(|f| f.rule).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn no_unwrap_fixture_reports_every_panic_macro() {
+    let findings = scan(
+        include_str!("../fixtures/no_unwrap_violation.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    let unwraps: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::NoUnwrap)
+        .collect();
+    // unwrap, expect, panic!, todo!, unimplemented!, unreachable! — one each.
+    assert_eq!(unwraps.len(), 6, "findings: {findings:?}");
+    // The unwrap inside #[cfg(test)] is exempt.
+    assert!(
+        unwraps.iter().all(|f| f.line < 24),
+        "test code flagged: {unwraps:?}"
+    );
+}
+
+#[test]
+fn rng_fixture_reports_thread_rng_and_from_entropy_even_in_tests() {
+    let findings = scan(
+        include_str!("../fixtures/rng_violation.rs"),
+        "crates/datasets/src/fixture.rs",
+    );
+    let rng: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::NoUnseededRng)
+        .collect();
+    assert_eq!(rng.len(), 2, "findings: {findings:?}");
+    assert!(rng.iter().any(|f| f.snippet.contains("thread_rng")));
+    assert!(rng.iter().any(|f| f.snippet.contains("from_entropy")));
+}
+
+#[test]
+fn shape_fixture_reports_only_the_unasserted_op() {
+    let findings = scan(
+        include_str!("../fixtures/shape_violation.rs"),
+        "crates/tensor/src/fixture.rs",
+    );
+    let shapes: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::ShapeAssert)
+        .collect();
+    assert_eq!(shapes.len(), 1, "findings: {findings:?}");
+    assert!(
+        shapes[0].snippet.contains("bad_add"),
+        "wrong fn: {:?}",
+        shapes[0]
+    );
+}
+
+#[test]
+fn doc_fixture_reports_only_undocumented_pub_items() {
+    let findings = scan(
+        include_str!("../fixtures/doc_violation.rs"),
+        "crates/tensor/src/fixture.rs",
+    );
+    let docs: Vec<_> = findings.iter().filter(|f| f.rule == Rule::DocPub).collect();
+    assert_eq!(docs.len(), 2, "findings: {findings:?}");
+    assert!(docs.iter().any(|f| f.snippet.contains("undocumented_fn")));
+    assert!(docs.iter().any(|f| f.snippet.contains("Undocumented")));
+}
+
+#[test]
+fn clean_fixture_has_zero_false_positives() {
+    // Scanned under a path where every rule applies (tensor: unwrap +
+    // rng + shapes + docs).
+    let findings = scan(
+        include_str!("../fixtures/clean.rs"),
+        "crates/tensor/src/fixture.rs",
+    );
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn violation_fixtures_fail_check_tree_against_an_empty_baseline() {
+    for (fixture, rel) in [
+        (
+            include_str!("../fixtures/no_unwrap_violation.rs"),
+            "crates/core/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/rng_violation.rs"),
+            "crates/core/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/shape_violation.rs"),
+            "crates/tensor/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/doc_violation.rs"),
+            "crates/tensor/src/f.rs",
+        ),
+    ] {
+        let sources = vec![(rel.to_string(), fixture.to_string())];
+        let report = check_tree(&sources, &Baseline::default());
+        assert!(!report.is_clean(), "fixture {rel} passed unexpectedly");
+    }
+}
+
+#[test]
+fn baseline_absorbs_debt_but_rejects_growth() {
+    let source = include_str!("../fixtures/no_unwrap_violation.rs");
+    let findings: Vec<Finding> = scan(source, "crates/core/src/f.rs")
+        .into_iter()
+        .filter(|f| f.rule == Rule::NoUnwrap)
+        .collect();
+    let n = findings.len();
+
+    // Budget exactly matching the debt: clean.
+    let mut exact = Baseline::default();
+    for _ in 0..n {
+        exact.bump("no-unwrap", "crates/core/src/f.rs");
+    }
+    let report = reconcile(findings.clone(), &exact);
+    assert!(report.is_clean());
+    assert_eq!(report.baselined.len(), n);
+
+    // One-too-small budget: the whole group becomes violations (ratchet).
+    let mut small = Baseline::default();
+    for _ in 0..n - 1 {
+        small.bump("no-unwrap", "crates/core/src/f.rs");
+    }
+    let report = reconcile(findings.clone(), &small);
+    assert!(!report.is_clean());
+
+    // Over-generous budget: clean, but the slack is reported.
+    let mut large = exact.clone();
+    large.bump("no-unwrap", "crates/core/src/f.rs");
+    let report = reconcile(findings, &large);
+    assert!(report.is_clean());
+    assert_eq!(report.ratchet_slack.len(), 1);
+}
+
+#[test]
+fn allow_annotations_are_rule_specific() {
+    let source = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    // etsb: allow(no-unseeded-rng) -- wrong rule, must not suppress no-unwrap.
+    x.unwrap()
+}
+"#;
+    let findings = scan(source, "crates/core/src/f.rs");
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == Rule::NoUnwrap).count(),
+        1
+    );
+}
+
+#[test]
+fn rules_only_apply_to_their_crates() {
+    let source = "pub fn undocumented() { let x: Option<u32> = None; x.unwrap(); }\n";
+    // cli is not a library crate and not doc-checked: nothing fires
+    // except the rng rule's scope (which has no rng use here).
+    let findings = scan(source, "crates/cli/src/f.rs");
+    assert!(findings.is_empty(), "findings: {findings:?}");
+    // In core, no-unwrap fires; doc-pub fires too (core is doc-checked).
+    let findings = scan(source, "crates/core/src/f.rs");
+    assert_eq!(rules_of(&findings), vec![Rule::NoUnwrap, Rule::DocPub]);
+}

@@ -38,16 +38,24 @@ fn parse_flags(args: &[String], known: &[&str]) -> Result<HashMap<String, String
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got {flag:?}"))?;
         if !known.contains(&key) {
-            return Err(format!("unknown flag --{key} (known: {})", known.join(", ")));
+            return Err(format!(
+                "unknown flag --{key} (known: {})",
+                known.join(", ")
+            ));
         }
-        let value = iter.next().ok_or_else(|| format!("--{key} requires a value"))?;
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{key} requires a value"))?;
         map.insert(key.to_string(), value.clone());
     }
     Ok(map)
 }
 
 fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    flags.get(key).map(String::as_str).ok_or_else(|| format!("--{key} is required"))
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{key} is required"))
 }
 
 fn parse_or<T: std::str::FromStr>(
@@ -57,7 +65,9 @@ fn parse_or<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: {v:?}")),
     }
 }
 
@@ -82,7 +92,7 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         scale: parse_or(&flags, "scale", 1.0)?,
         seed: parse_or(&flags, "seed", 42u64)?,
     };
-    let pair = dataset.generate(&cfg);
+    let pair = dataset.generate(&cfg).expect("dataset generation");
     csv::write_file(&pair.dirty, required(&flags, "dirty")?).map_err(|e| e.to_string())?;
     csv::write_file(&pair.clean, required(&flags, "clean")?).map_err(|e| e.to_string())?;
     println!(
@@ -115,7 +125,16 @@ pub fn stats(args: &[String]) -> Result<(), String> {
 fn run_detection(
     frame: &CellFrame,
     flags: &HashMap<String, String>,
-) -> Result<(EncodedDataset, Vec<bool>, Metrics, AnyModel, ExperimentConfig), String> {
+) -> Result<
+    (
+        EncodedDataset,
+        Vec<bool>,
+        Metrics,
+        AnyModel,
+        ExperimentConfig,
+    ),
+    String,
+> {
     let model_kind = match flags.get("model").map(String::as_str) {
         None | Some("etsb") => ModelKind::Etsb,
         Some("tsb") => ModelKind::Tsb,
@@ -149,7 +168,14 @@ fn run_detection(
         cfg.train.epochs,
         model.n_weights()
     );
-    let history = train_model(&mut model, &data, &train_cells, &test_cells, &cfg.train, cfg.seed);
+    let history = train_model(
+        &mut model,
+        &data,
+        &train_cells,
+        &test_cells,
+        &cfg.train,
+        cfg.seed,
+    );
     eprintln!("best epoch {}", history.best_epoch);
 
     let preds = model.predict(&data, &test_cells);
@@ -170,7 +196,9 @@ fn run_detection(
 pub fn detect(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
-        &["dirty", "clean", "model", "sampler", "tuples", "epochs", "seed", "out", "save"],
+        &[
+            "dirty", "clean", "model", "sampler", "tuples", "epochs", "seed", "out", "save",
+        ],
     )?;
     let (_, _, frame) = load_pair(&flags)?;
     let (data, mask, metrics, model, cfg) = run_detection(&frame, &flags)?;
@@ -217,8 +245,10 @@ pub fn apply(args: &[String]) -> Result<(), String> {
     );
     if let Some(out) = flags.get("out") {
         let n_cols = dirty.n_cols();
-        let mut csv_text = String::from("tuple_id,attribute,value,flagged
-");
+        let mut csv_text = String::from(
+            "tuple_id,attribute,value,flagged
+",
+        );
         for (i, &m) in mask.iter().enumerate() {
             if m {
                 let (r, c) = (i / n_cols, i % n_cols);
@@ -314,7 +344,11 @@ mod tests {
 
     #[test]
     fn generate_rejects_unknown_dataset() {
-        let args = flags(&[("dataset", "nope"), ("dirty", "/tmp/x"), ("clean", "/tmp/y")]);
+        let args = flags(&[
+            ("dataset", "nope"),
+            ("dirty", "/tmp/x"),
+            ("clean", "/tmp/y"),
+        ]);
         assert!(generate(&args).is_err());
     }
 }

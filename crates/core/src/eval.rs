@@ -30,7 +30,13 @@ impl Metrics {
     /// # Panics
     /// If the slices differ in length or are empty.
     pub fn from_predictions(preds: &[bool], labels: &[bool]) -> Self {
-        assert_eq!(preds.len(), labels.len(), "Metrics: {} preds vs {} labels", preds.len(), labels.len());
+        assert_eq!(
+            preds.len(),
+            labels.len(),
+            "Metrics: {} preds vs {} labels",
+            preds.len(),
+            labels.len()
+        );
         assert!(!preds.is_empty(), "Metrics: empty evaluation");
         let (mut tp, mut fp, mut fn_, mut tn) = (0usize, 0usize, 0usize, 0usize);
         for (&p, &l) in preds.iter().zip(labels) {
@@ -50,58 +56,88 @@ impl Metrics {
         } else {
             tp as f64 / (tp + fp) as f64
         };
-        let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let recall = if tp + fn_ == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
         let accuracy = (tp + tn) as f64 / preds.len() as f64;
-        Self { tp, fp, fn_, tn, precision, recall, f1, accuracy }
+        Self {
+            tp,
+            fp,
+            fn_,
+            tn,
+            precision,
+            recall,
+            f1,
+            accuracy,
+        }
     }
 }
 
+/// Error: a mean/std aggregation was asked for zero samples.
+///
+/// Returned instead of silently producing `NaN` summaries, which used to
+/// flow into reports and CSVs unnoticed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmptySample;
+
+impl std::fmt::Display for EmptySample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("cannot summarize an empty sample (no runs to aggregate)")
+    }
+}
+
+impl std::error::Error for EmptySample {}
+
 /// Mean and (population) standard deviation of a sequence of values —
 /// the paper reports both for its 10-repetition protocol.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct Summary {
     /// Arithmetic mean.
     pub mean: f64,
     /// Population standard deviation.
     pub std: f64,
-    /// Number of values aggregated.
+    /// Number of values aggregated (always at least 1).
     pub n: usize,
 }
 
 impl Summary {
-    /// Summarize a slice of values.
-    pub fn of(values: &[f64]) -> Self {
+    /// Summarize a slice of values; an empty slice is an [`EmptySample`]
+    /// error, never a `NaN` summary.
+    pub fn of(values: &[f64]) -> Result<Self, EmptySample> {
         let n = values.len();
         if n == 0 {
-            return Self { mean: f64::NAN, std: f64::NAN, n: 0 };
+            return Err(EmptySample);
         }
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
-        Self { mean, std: var.sqrt(), n }
+        Ok(Self {
+            mean,
+            std: var.sqrt(),
+            n,
+        })
     }
 
     /// Half-width of the 95% normal confidence interval of the mean
     /// (`1.96 · std / sqrt(n)`) — used for the paper's Figure 6/7 bands.
     pub fn ci95(&self) -> f64 {
-        if self.n == 0 {
-            f64::NAN
-        } else {
-            1.96 * self.std / (self.n as f64).sqrt()
-        }
+        1.96 * self.std / (self.n.max(1) as f64).sqrt()
     }
 }
 
-/// Aggregate per-run metrics into (precision, recall, F1) summaries.
-pub fn aggregate(runs: &[Metrics]) -> (Summary, Summary, Summary) {
+/// Aggregate per-run metrics into (precision, recall, F1) summaries;
+/// an empty run set is an [`EmptySample`] error.
+pub fn aggregate(runs: &[Metrics]) -> Result<(Summary, Summary, Summary), EmptySample> {
     let p: Vec<f64> = runs.iter().map(|m| m.precision).collect();
     let r: Vec<f64> = runs.iter().map(|m| m.recall).collect();
     let f: Vec<f64> = runs.iter().map(|m| m.f1).collect();
-    (Summary::of(&p), Summary::of(&r), Summary::of(&f))
+    Ok((Summary::of(&p)?, Summary::of(&r)?, Summary::of(&f)?))
 }
 
 #[cfg(test)]
@@ -147,7 +183,7 @@ mod tests {
 
     #[test]
     fn summary_mean_std() {
-        let s = Summary::of(&[0.8, 0.9, 1.0]);
+        let s = Summary::of(&[0.8, 0.9, 1.0]).expect("non-empty");
         assert!((s.mean - 0.9).abs() < 1e-12);
         assert!((s.std - (2.0f64 / 300.0).sqrt()).abs() < 1e-9);
         assert_eq!(s.n, 3);
@@ -155,10 +191,9 @@ mod tests {
     }
 
     #[test]
-    fn summary_empty() {
-        let s = Summary::of(&[]);
-        assert!(s.mean.is_nan());
-        assert_eq!(s.n, 0);
+    fn summary_empty_is_an_error_not_nan() {
+        assert_eq!(Summary::of(&[]), Err(EmptySample));
+        assert!(aggregate(&[]).is_err());
     }
 
     #[test]
@@ -167,7 +202,7 @@ mod tests {
             Metrics::from_predictions(&[true, false], &[true, false]),
             Metrics::from_predictions(&[false, false], &[true, false]),
         ];
-        let (p, r, f) = aggregate(&runs);
+        let (p, r, f) = aggregate(&runs).expect("non-empty");
         assert_eq!(p.n, 2);
         assert!((r.mean - 0.5).abs() < 1e-12);
         assert!(f.mean < 1.0);

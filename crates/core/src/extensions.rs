@@ -17,9 +17,16 @@ use std::collections::{HashMap, HashSet};
 /// (discovered at `support`, e.g. 0.95). Raises recall on violated
 /// attribute dependencies at a small precision cost.
 pub fn fd_augmented(frame: &CellFrame, predictions: &[bool], support: f64) -> Vec<bool> {
-    assert_eq!(predictions.len(), frame.cells().len(), "fd_augmented: prediction length");
+    assert_eq!(
+        predictions.len(),
+        frame.cells().len(),
+        "fd_augmented: prediction length"
+    );
     use etsb_raha::strategies::Strategy as _;
-    let violations = etsb_raha::strategies::FdViolation { min_support: support }.run(frame);
+    let violations = etsb_raha::strategies::FdViolation {
+        min_support: support,
+    }
+    .run(frame);
     predictions
         .iter()
         .zip(&violations)
@@ -74,7 +81,11 @@ pub fn identify_record_key(frame: &CellFrame) -> Option<usize> {
                 groups.entry(v).or_default().push(t);
             }
         }
-        let covered: usize = groups.values().filter(|ts| ts.len() >= 2).map(Vec::len).sum();
+        let covered: usize = groups
+            .values()
+            .filter(|ts| ts.len() >= 2)
+            .map(Vec::len)
+            .sum();
         let coverage = covered as f64 / n_tuples as f64;
         let mut agreement_sum = 0.0f64;
         let mut agreement_n = 0usize;
@@ -115,7 +126,11 @@ pub fn duplicate_aware(
     key_attr: usize,
     min_group: usize,
 ) -> Vec<bool> {
-    assert_eq!(predictions.len(), frame.cells().len(), "duplicate_aware: prediction length");
+    assert_eq!(
+        predictions.len(),
+        frame.cells().len(),
+        "duplicate_aware: prediction length"
+    );
     let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
     for t in 0..frame.n_tuples() {
         let key = frame.tuple(t)[key_attr].value_x.as_str();
@@ -138,8 +153,7 @@ pub fn duplicate_aware(
             // Plurality arbitration: clean copies of a value agree
             // exactly while corruptions scatter, so the top value wins as
             // long as it is unambiguous and not a singleton.
-            let mut ranked: Vec<(&str, usize)> =
-                counts.iter().map(|(v, c)| (*v, *c)).collect();
+            let mut ranked: Vec<(&str, usize)> = counts.iter().map(|(v, c)| (*v, *c)).collect();
             ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
             let (majority, m_count) = ranked[0];
             if m_count < 2 || (ranked.len() > 1 && ranked[1].1 == m_count) {
@@ -166,8 +180,9 @@ pub fn duplicate_aware_auto(frame: &CellFrame, predictions: &[bool]) -> Vec<bool
 
 /// Distinct values of a column (used by tests and diagnostics).
 pub fn column_cardinality(frame: &CellFrame, attr: usize) -> usize {
-    let set: HashSet<&str> =
-        (0..frame.n_tuples()).map(|t| frame.tuple(t)[attr].value_x.as_str()).collect();
+    let set: HashSet<&str> = (0..frame.n_tuples())
+        .map(|t| frame.tuple(t)[attr].value_x.as_str())
+        .collect();
     set.len()
 }
 
@@ -182,7 +197,11 @@ mod tests {
         let mut dirty = Table::with_columns(&["city", "state"]);
         let mut clean = Table::with_columns(&["city", "state"]);
         for i in 0..40 {
-            let (c, s) = if i % 2 == 0 { ("rome", "IT") } else { ("paris", "FR") };
+            let (c, s) = if i % 2 == 0 {
+                ("rome", "IT")
+            } else {
+                ("paris", "FR")
+            };
             clean.push_row_strs(&[c, s]);
             if i == 6 {
                 dirty.push_row_strs(&[c, "FR"]);
@@ -193,13 +212,21 @@ mod tests {
         let frame = CellFrame::merge(&dirty, &clean).unwrap();
         let none = vec![false; frame.cells().len()];
         let augmented = fd_augmented(&frame, &none, 0.95);
-        assert!(augmented[frame.cell_index(6, 1)], "the violated state cell is flagged");
+        assert!(
+            augmented[frame.cell_index(6, 1)],
+            "the violated state cell is flagged"
+        );
         assert!(!augmented[frame.cell_index(0, 1)]);
     }
 
     #[test]
     fn identifies_the_flight_key_column() {
-        let pair = Dataset::Flights.generate(&GenConfig { scale: 0.1, seed: 1 });
+        let pair = Dataset::Flights
+            .generate(&GenConfig {
+                scale: 0.1,
+                seed: 1,
+            })
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
         let key = identify_record_key(&frame).expect("flights has a key");
         // Column 2 is the flight identifier.
@@ -212,7 +239,11 @@ mod tests {
         let mut dirty = Table::with_columns(&["flight", "dep"]);
         for src in 0..3 {
             for f in 0..10 {
-                let dep = if src == 2 && f == 0 { "2:26 p.m." } else { "2:46 p.m." };
+                let dep = if src == 2 && f == 0 {
+                    "2:26 p.m."
+                } else {
+                    "2:46 p.m."
+                };
                 dirty.push_row(vec![format!("UA-{f}"), dep.to_string()]);
             }
         }
@@ -227,7 +258,12 @@ mod tests {
     fn duplicate_aware_improves_flights_recall() {
         // The headline §5.7 claim: duplicate handling recovers the
         // invisible time-variation errors on Flights.
-        let pair = Dataset::Flights.generate(&GenConfig { scale: 0.1, seed: 2 });
+        let pair = Dataset::Flights
+            .generate(&GenConfig {
+                scale: 0.1,
+                seed: 2,
+            })
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
         let labels: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
         let none = vec![false; frame.cells().len()];

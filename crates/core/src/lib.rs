@@ -34,7 +34,7 @@
 //! use etsb_core::config::{ExperimentConfig, ModelKind, SamplerKind};
 //! use etsb_datasets::{Dataset, GenConfig};
 //!
-//! let pair = Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 });
+//! let pair = Dataset::Beers.generate(&GenConfig { scale: 0.1, seed: 1 }).expect("dataset generation");
 //! let cfg = ExperimentConfig {
 //!     model: ModelKind::Etsb,
 //!     sampler: SamplerKind::DiverSet,
@@ -46,15 +46,25 @@
 
 #![warn(missing_docs)]
 
+/// Experiment, model and training hyper-parameter records.
 pub mod config;
+/// Cell-text to padded character-tensor encoding.
 pub mod encode;
+/// Precision/recall/F1 metrics and multi-repetition aggregation.
 pub mod eval;
+/// Paper section 5 extensions: attribute embeddings and length features.
 pub mod extensions;
+/// The TSB/ETSB bidirectional RNN architectures.
 pub mod model;
+/// Model checkpoint serialization.
 pub mod persist;
+/// End-to-end experiment pipeline (`run_once` and friends).
 pub mod pipeline;
+/// The Rotom-style label-efficient sampling baseline.
 pub mod rotom;
+/// Training-set samplers (RandomSet, DiverSet, ...).
 pub mod sampling;
+/// Mini-batch training loop with early stopping.
 pub mod train;
 
 pub use config::{ExperimentConfig, ModelKind, SamplerKind, TrainConfig};

@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 type PathCache = (etsb_nn::EmbeddingCache, AnyStackedCache);
 
 /// The Enriched Two-Stacked Bidirectional RNN model.
+#[derive(Debug)]
 pub struct EtsbRnn {
     embedding: Embedding,
     rnn: AnyStacked,
@@ -39,8 +40,11 @@ impl EtsbRnn {
         let attr_embed_dim = n_attrs;
         let rnn = AnyStacked::new(cfg.cell, embed_dim, cfg.rnn_units, rng);
         let attr_rnn = AnyStacked::new(cfg.cell, attr_embed_dim, cfg.attr_rnn_units, rng);
-        let (char_dim, attr_dim, len_dim) =
-            (rnn.output_dim(), attr_rnn.output_dim(), cfg.length_dense_dim);
+        let (char_dim, attr_dim, len_dim) = (
+            rnn.output_dim(),
+            attr_rnn.output_dim(),
+            cfg.length_dense_dim,
+        );
         Self {
             embedding: Embedding::new(vocab, embed_dim, rng),
             rnn,
@@ -70,7 +74,12 @@ impl EtsbRnn {
         let (char_feat, rnn_cache) = self.rnn.forward(embedded);
         let (attr_embedded, attr_emb_cache) = self.attr_embedding.forward(&[attr]);
         let (attr_feat, attr_rnn_cache) = self.attr_rnn.forward(attr_embedded);
-        (char_feat, attr_feat, (emb_cache, rnn_cache), (attr_emb_cache, attr_rnn_cache))
+        (
+            char_feat,
+            attr_feat,
+            (emb_cache, rnn_cache),
+            (attr_emb_cache, attr_rnn_cache),
+        )
     }
 
     /// One gradient-accumulating training step; returns the batch loss.
@@ -96,8 +105,7 @@ impl EtsbRnn {
             attr_caches.push(ac);
         }
 
-        let labels: Vec<usize> =
-            batch.iter().map(|&c| usize::from(data.labels[c])).collect();
+        let labels: Vec<usize> = batch.iter().map(|&c| usize::from(data.labels[c])).collect();
         let (logits, head_cache) = self.head.forward_train(features);
         let loss = softmax_cross_entropy(&logits, &labels);
 
@@ -110,11 +118,15 @@ impl EtsbRnn {
             let g = grad_features.row(row);
             let grad_embedded = self.rnn.backward(rnn_cache, &g[..self.char_dim]);
             self.embedding.backward(emb_cache, &grad_embedded);
-            let grad_attr_embedded = self
-                .attr_rnn
-                .backward(attr_rnn_cache, &g[self.char_dim..self.char_dim + self.attr_dim]);
-            self.attr_embedding.backward(attr_emb_cache, &grad_attr_embedded);
-            grad_len.row_mut(row).copy_from_slice(&g[self.char_dim + self.attr_dim..]);
+            let grad_attr_embedded = self.attr_rnn.backward(
+                attr_rnn_cache,
+                &g[self.char_dim..self.char_dim + self.attr_dim],
+            );
+            self.attr_embedding
+                .backward(attr_emb_cache, &grad_attr_embedded);
+            grad_len
+                .row_mut(row)
+                .copy_from_slice(&g[self.char_dim + self.attr_dim..]);
         }
         let _ = self.len_dense.backward(&len_cache, &grad_len);
         loss.loss
@@ -160,7 +172,15 @@ impl EtsbRnn {
 
     /// Mutable parameters in the same order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        let Self { embedding, rnn, attr_embedding, attr_rnn, len_dense, head, .. } = self;
+        let Self {
+            embedding,
+            rnn,
+            attr_embedding,
+            attr_rnn,
+            len_dense,
+            head,
+            ..
+        } = self;
         let mut p = vec![embedding.param_mut()];
         p.extend(rnn.params_mut());
         p.push(attr_embedding.param_mut());
@@ -188,7 +208,13 @@ mod tests {
     use etsb_tensor::init::seeded_rng;
 
     fn small_cfg() -> TrainConfig {
-        TrainConfig { rnn_units: 6, attr_rnn_units: 3, head_dim: 6, length_dense_dim: 4, ..Default::default() }
+        TrainConfig {
+            rnn_units: 6,
+            attr_rnn_units: 3,
+            head_dim: 6,
+            length_dense_dim: 4,
+            ..Default::default()
+        }
     }
 
     #[test]

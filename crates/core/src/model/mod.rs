@@ -180,6 +180,7 @@ impl Head {
 // One model exists per experiment; the size difference between the
 // variants' inline headers is irrelevant next to their heap-owned weights.
 #[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
 pub enum AnyModel {
     /// Two-Stacked Bidirectional RNN.
     Tsb(TsbRnn),
@@ -189,7 +190,12 @@ pub enum AnyModel {
 
 impl AnyModel {
     /// Construct the requested architecture for a dataset's dictionaries.
-    pub fn new(kind: ModelKind, data: &EncodedDataset, cfg: &TrainConfig, rng: &mut StdRng) -> Self {
+    pub fn new(
+        kind: ModelKind,
+        data: &EncodedDataset,
+        cfg: &TrainConfig,
+        rng: &mut StdRng,
+    ) -> Self {
         match kind {
             ModelKind::Tsb => AnyModel::Tsb(TsbRnn::new(data, cfg, rng)),
             ModelKind::Etsb => AnyModel::Etsb(EtsbRnn::new(data, cfg, rng)),
@@ -217,7 +223,10 @@ impl AnyModel {
 
     /// Hard predictions at threshold 0.5.
     pub fn predict(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<bool> {
-        self.predict_probs(data, cells).into_iter().map(|p| p >= 0.5).collect()
+        self.predict_probs(data, cells)
+            .into_iter()
+            .map(|p| p >= 0.5)
+            .collect()
     }
 
     /// All parameters in stable order.
@@ -297,7 +306,10 @@ impl AnyModel {
         let count = buf.get_u64_le() as usize;
         let expected = self.params().len() + self.buffers().len();
         if count != expected {
-            return Err(CheckpointError::CountMismatch { snapshot: count, target: expected });
+            return Err(CheckpointError::CountMismatch {
+                snapshot: count,
+                target: expected,
+            });
         }
         // Decode everything before mutating so errors leave the model intact.
         let mut decoded = Vec::with_capacity(count);
@@ -427,7 +439,12 @@ mod tests {
     #[test]
     fn both_models_construct_and_count_weights() {
         let data = marked_dataset(30);
-        let cfg = TrainConfig { rnn_units: 8, attr_rnn_units: 4, head_dim: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            rnn_units: 8,
+            attr_rnn_units: 4,
+            head_dim: 8,
+            ..Default::default()
+        };
         let mut rng = seeded_rng(2);
         let tsb = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut rng);
         let etsb = AnyModel::new(ModelKind::Etsb, &data, &cfg, &mut rng);
@@ -439,7 +456,11 @@ mod tests {
     #[test]
     fn snapshot_round_trips() {
         let data = marked_dataset(20);
-        let cfg = TrainConfig { rnn_units: 4, head_dim: 4, ..Default::default() };
+        let cfg = TrainConfig {
+            rnn_units: 4,
+            head_dim: 4,
+            ..Default::default()
+        };
         let mut rng = seeded_rng(3);
         let mut model = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut rng);
         let snap = model.snapshot();
@@ -480,14 +501,23 @@ mod tests {
     #[test]
     fn models_overfit_marked_errors() {
         let data = marked_dataset(24);
-        let cfg = TrainConfig { rnn_units: 8, attr_rnn_units: 4, head_dim: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            rnn_units: 8,
+            attr_rnn_units: 4,
+            head_dim: 8,
+            ..Default::default()
+        };
         for kind in [ModelKind::Tsb, ModelKind::Etsb] {
             let mut rng = seeded_rng(4);
             let mut model = AnyModel::new(kind, &data, &cfg, &mut rng);
             let loss = overfit(&mut model, &data, 150);
             assert!(loss < 0.1, "{kind:?} failed to overfit: loss {loss}");
             let preds = model.predict(&data, &(0..data.n_cells()).collect::<Vec<_>>());
-            let correct = preds.iter().zip(&data.labels).filter(|(p, l)| *p == *l).count();
+            let correct = preds
+                .iter()
+                .zip(&data.labels)
+                .filter(|(p, l)| *p == *l)
+                .count();
             assert!(
                 correct as f64 / data.n_cells() as f64 > 0.95,
                 "{kind:?} train accuracy {correct}/{}",

@@ -9,6 +9,7 @@ use etsb_tensor::Matrix;
 use rand::rngs::StdRng;
 
 /// The Two-Stacked Bidirectional RNN model.
+#[derive(Debug)]
 pub struct TsbRnn {
     embedding: Embedding,
     rnn: AnyStacked,
@@ -49,8 +50,7 @@ impl TsbRnn {
             caches.push(cache);
         }
 
-        let labels: Vec<usize> =
-            batch.iter().map(|&c| usize::from(data.labels[c])).collect();
+        let labels: Vec<usize> = batch.iter().map(|&c| usize::from(data.labels[c])).collect();
         let (logits, head_cache) = self.head.forward_train(features);
         let loss = softmax_cross_entropy(&logits, &labels);
 
@@ -64,8 +64,9 @@ impl TsbRnn {
 
     /// Error probabilities (evaluation mode), parallel across cells.
     pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
-        let feats: Vec<Vec<f32>> =
-            parallel::parallel_map(cells.len(), |i| self.encode_one(&data.sequences[cells[i]]).0);
+        let feats: Vec<Vec<f32>> = parallel::parallel_map(cells.len(), |i| {
+            self.encode_one(&data.sequences[cells[i]]).0
+        });
         let feat_dim = self.rnn.output_dim();
         let mut features = Matrix::zeros(cells.len(), feat_dim);
         for (row, f) in feats.iter().enumerate() {
@@ -116,7 +117,11 @@ mod tests {
     use etsb_tensor::init::seeded_rng;
 
     fn small_cfg() -> TrainConfig {
-        TrainConfig { rnn_units: 6, head_dim: 6, ..Default::default() }
+        TrainConfig {
+            rnn_units: 6,
+            head_dim: 6,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl std::error::Error for PersistError {}
 
 /// A reloaded detector: the model plus everything needed to encode new
 /// data the way it was trained.
+#[derive(Debug)]
 pub struct LoadedDetector {
     /// The restored model.
     pub model: AnyModel,
@@ -131,7 +132,9 @@ pub fn save_detector(
 
 fn need(buf: &Bytes, n: usize, what: &str) -> Result<(), PersistError> {
     if buf.remaining() < n {
-        Err(PersistError::Malformed(format!("truncated while reading {what}")))
+        Err(PersistError::Malformed(format!(
+            "truncated while reading {what}"
+        )))
     } else {
         Ok(())
     }
@@ -150,13 +153,21 @@ pub fn load_detector(bytes: &[u8]) -> Result<LoadedDetector, PersistError> {
     let kind = match buf.get_u8() {
         0 => ModelKind::Tsb,
         1 => ModelKind::Etsb,
-        other => return Err(PersistError::Malformed(format!("unknown model kind {other}"))),
+        other => {
+            return Err(PersistError::Malformed(format!(
+                "unknown model kind {other}"
+            )))
+        }
     };
     let cell = match buf.get_u8() {
         0 => CellKind::Vanilla,
         1 => CellKind::Lstm,
         2 => CellKind::Gru,
-        other => return Err(PersistError::Malformed(format!("unknown cell kind {other}"))),
+        other => {
+            return Err(PersistError::Malformed(format!(
+                "unknown cell kind {other}"
+            )))
+        }
     };
     let mut train = TrainConfig {
         rnn_units: buf.get_u32_le() as usize,
@@ -208,7 +219,13 @@ pub fn load_detector(bytes: &[u8]) -> Result<LoadedDetector, PersistError> {
     let mut model = AnyModel::new(kind, &dims, &train, &mut seeded_rng(0));
     model.restore(&weights).map_err(PersistError::Weights)?;
 
-    Ok(LoadedDetector { model, kind, train, char_index, attr_index })
+    Ok(LoadedDetector {
+        model,
+        kind,
+        train,
+        char_index,
+        attr_index,
+    })
 }
 
 #[cfg(test)]

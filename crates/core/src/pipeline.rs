@@ -3,7 +3,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::encode::EncodedDataset;
-use crate::eval::{aggregate, Metrics, Summary};
+use crate::eval::{aggregate, EmptySample, Metrics, Summary};
 use crate::model::AnyModel;
 use crate::sampling;
 use crate::train::{train_model, History};
@@ -74,14 +74,58 @@ pub fn run_with_sample(
     let mut model = AnyModel::new(cfg.model, data, &cfg.train, &mut rng);
 
     let start = Instant::now();
-    let history = train_model(&mut model, data, &train_cells, &test_cells, &cfg.train, seed);
+    let history = train_model(
+        &mut model,
+        data,
+        &train_cells,
+        &test_cells,
+        &cfg.train,
+        seed,
+    );
     let train_time = start.elapsed();
 
     let preds = model.predict(data, &test_cells);
     let labels = data.labels_of(&test_cells);
     let metrics = Metrics::from_predictions(&preds, &labels);
     let _ = frame; // kept in the signature for symmetry / future use
-    RunResult { metrics, history, train_time, sample: sample.to_vec() }
+    RunResult {
+        metrics,
+        history,
+        train_time,
+        sample: sample.to_vec(),
+    }
+}
+
+/// Error from [`run_repeated`]: bad input tables, or zero repetitions.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The dirty/clean tables could not be merged into a cell frame.
+    Table(TableError),
+    /// `n_runs == 0`: there are no results to aggregate.
+    NoRuns(EmptySample),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Table(e) => write!(f, "pipeline: {e}"),
+            PipelineError::NoRuns(e) => write!(f, "pipeline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<TableError> for PipelineError {
+    fn from(e: TableError) -> Self {
+        PipelineError::Table(e)
+    }
+}
+
+impl From<EmptySample> for PipelineError {
+    fn from(e: EmptySample) -> Self {
+        PipelineError::NoRuns(e)
+    }
 }
 
 /// The paper's repeated protocol: `n_runs` repetitions with seeds
@@ -91,14 +135,21 @@ pub fn run_repeated(
     clean: &Table,
     cfg: &ExperimentConfig,
     n_runs: usize,
-) -> Result<RepeatedResult, TableError> {
+) -> Result<RepeatedResult, PipelineError> {
     let frame = CellFrame::merge(dirty, clean)?;
-    let runs: Vec<RunResult> =
-        (0..n_runs as u64).map(|rep| run_once_on_frame(&frame, cfg, rep)).collect();
+    let runs: Vec<RunResult> = (0..n_runs as u64)
+        .map(|rep| run_once_on_frame(&frame, cfg, rep))
+        .collect();
     let metrics: Vec<Metrics> = runs.iter().map(|r| r.metrics).collect();
-    let (precision, recall, f1) = aggregate(&metrics);
+    let (precision, recall, f1) = aggregate(&metrics)?;
     let secs: Vec<f64> = runs.iter().map(|r| r.train_time.as_secs_f64()).collect();
-    Ok(RepeatedResult { runs, precision, recall, f1, train_secs: Summary::of(&secs) })
+    Ok(RepeatedResult {
+        runs,
+        precision,
+        recall,
+        f1,
+        train_secs: Summary::of(&secs)?,
+    })
 }
 
 #[cfg(test)]

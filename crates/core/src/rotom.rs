@@ -34,11 +34,16 @@ pub struct RotomConfig {
 
 impl Default for RotomConfig {
     fn default() -> Self {
-        Self { augmentations_per_cell: 4, self_training: false, ssl_confidence: 0.95 }
+        Self {
+            augmentations_per_cell: 4,
+            self_training: false,
+            ssl_confidence: 0.95,
+        }
     }
 }
 
 /// The Rotom-style baseline detector.
+#[derive(Clone, Debug)]
 pub struct RotomDetector {
     /// Configuration.
     pub config: RotomConfig,
@@ -52,7 +57,13 @@ impl RotomDetector {
 
     /// Detect errors: train on the cells of `labeled_tuples` (augmented),
     /// predict every cell. Returns predictions in `frame.cells()` order.
-    pub fn detect(&self, frame: &CellFrame, data: &EncodedDataset, labeled_tuples: &[usize], seed: u64) -> Vec<bool> {
+    pub fn detect(
+        &self,
+        frame: &CellFrame,
+        data: &EncodedDataset,
+        labeled_tuples: &[usize],
+        seed: u64,
+    ) -> Vec<bool> {
         let mut rng = StdRng::seed_from_u64(seed);
         let n_attrs = data.n_attrs;
         let dim = NGRAM_DIM + n_attrs + 3;
@@ -135,7 +146,11 @@ impl RotomDetector {
 /// `d` so numeric columns do not look perpetually out-of-vocabulary).
 fn shape_trigrams(value: &str) -> Vec<u64> {
     let padded: Vec<char> = std::iter::once('^')
-        .chain(value.chars().map(|c| if c.is_ascii_digit() { 'd' } else { c }))
+        .chain(
+            value
+                .chars()
+                .map(|c| if c.is_ascii_digit() { 'd' } else { c }),
+        )
         .chain(std::iter::once('$'))
         .collect();
     padded
@@ -301,7 +316,10 @@ mod tests {
         let frame = marked_pair(120);
         let data = EncodedDataset::from_frame(&frame);
         let labeled: Vec<usize> = (0..16).collect();
-        let det = RotomDetector::new(RotomConfig { self_training: true, ..Default::default() });
+        let det = RotomDetector::new(RotomConfig {
+            self_training: true,
+            ..Default::default()
+        });
         let preds = det.detect(&frame, &data, &labeled, 4);
         assert_eq!(preds.len(), frame.cells().len());
     }

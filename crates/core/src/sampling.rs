@@ -186,10 +186,13 @@ mod tests {
 
     #[test]
     fn diver_set_is_deterministic_per_seed() {
-        let rows: Vec<Vec<String>> =
-            (0..50).map(|i| vec![format!("v{}", i % 7), format!("w{}", i % 3)]).collect();
-        let str_rows: Vec<Vec<&str>> =
-            rows.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+        let rows: Vec<Vec<String>> = (0..50)
+            .map(|i| vec![format!("v{}", i % 7), format!("w{}", i % 3)])
+            .collect();
+        let str_rows: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
         let refs: Vec<&[&str]> = str_rows.iter().map(|r| r.as_slice()).collect();
         let frame = frame_from_rows(&refs);
         assert_eq!(diver_set(&frame, 20, 5), diver_set(&frame, 20, 5));
@@ -198,11 +201,17 @@ mod tests {
     #[test]
     fn all_samplers_dispatch() {
         let rows: Vec<Vec<String>> = (0..40).map(|i| vec![format!("v{i}")]).collect();
-        let str_rows: Vec<Vec<&str>> =
-            rows.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+        let str_rows: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
         let refs: Vec<&[&str]> = str_rows.iter().map(|r| r.as_slice()).collect();
         let frame = frame_from_rows(&refs);
-        for kind in [SamplerKind::Random, SamplerKind::Raha, SamplerKind::DiverSet] {
+        for kind in [
+            SamplerKind::Random,
+            SamplerKind::Raha,
+            SamplerKind::DiverSet,
+        ] {
             let s = select(kind, &frame, 10, 1);
             assert_valid_sample(&s, 10, 40);
         }

@@ -57,15 +57,15 @@ pub fn train_model(
 
     // Fixed subsample for the learning curve (the final metrics in the
     // pipeline always use the full testset).
-    let curve_cells: Vec<usize> = if cfg.curve_subsample > 0 && test_cells.len() > cfg.curve_subsample
-    {
-        let mut shuffled = test_cells.to_vec();
-        shuffled.shuffle(&mut rng);
-        shuffled.truncate(cfg.curve_subsample);
-        shuffled
-    } else {
-        test_cells.to_vec()
-    };
+    let curve_cells: Vec<usize> =
+        if cfg.curve_subsample > 0 && test_cells.len() > cfg.curve_subsample {
+            let mut shuffled = test_cells.to_vec();
+            shuffled.shuffle(&mut rng);
+            shuffled.truncate(cfg.curve_subsample);
+            shuffled
+        } else {
+            test_cells.to_vec()
+        };
 
     let mut order = train_cells.to_vec();
     let mut history = History {

@@ -12,22 +12,26 @@ use proptest::prelude::*;
 /// are common).
 fn frame() -> impl Strategy<Value = CellFrame> {
     (2usize..40, 1usize..4).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0u8..6, cols),
-            rows,
+        proptest::collection::vec(proptest::collection::vec(0u8..6, cols), rows).prop_map(
+            move |data| {
+                let names: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
+                let mut t = Table::new(names);
+                for row in data {
+                    t.push_row(
+                        row.into_iter()
+                            .map(|v| {
+                                if v == 0 {
+                                    String::new()
+                                } else {
+                                    format!("v{v}")
+                                }
+                            })
+                            .collect(),
+                    );
+                }
+                CellFrame::merge(&t, &t).unwrap()
+            },
         )
-        .prop_map(move |data| {
-            let names: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
-            let mut t = Table::new(names);
-            for row in data {
-                t.push_row(
-                    row.into_iter()
-                        .map(|v| if v == 0 { String::new() } else { format!("v{v}") })
-                        .collect(),
-                );
-            }
-            CellFrame::merge(&t, &t).unwrap()
-        })
     })
 }
 
@@ -89,7 +93,7 @@ proptest! {
 
     #[test]
     fn summary_mean_within_range(vals in proptest::collection::vec(0.0f64..1.0, 1..30)) {
-        let s = Summary::of(&vals);
+        let s = Summary::of(&vals).expect("non-empty sample");
         let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = vals.iter().cloned().fold(0.0f64, f64::max);
         prop_assert!(s.mean >= min - 1e-12 && s.mean <= max + 1e-12);

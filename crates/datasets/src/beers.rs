@@ -7,8 +7,7 @@
 use crate::corrupt::{missing_value, ErrorKind, Injector};
 use crate::vocab;
 use crate::{Dataset, GenConfig};
-use etsb_table::Table;
-use rand::seq::SliceRandom;
+use etsb_table::{Table, TableError};
 use rand::Rng;
 
 const COLUMNS: [&str; 11] = [
@@ -25,24 +24,24 @@ const COLUMNS: [&str; 11] = [
     "state",
 ];
 
-pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
+pub(crate) fn generate(cfg: &GenConfig) -> Result<(Table, Table), TableError> {
     let mut rng = cfg.rng(Dataset::Beers);
     let n_rows = cfg.rows(Dataset::Beers.paper_rows());
 
     let mut clean = Table::with_columns(&COLUMNS);
     for i in 0..n_rows {
-        let (city, state) = *vocab::CITY_STATE.choose(&mut rng).expect("non-empty");
+        let (city, state) = *vocab::pick(&mut rng, vocab::CITY_STATE);
         let beer_name = format!(
             "{} {}",
-            vocab::BEER_WORDS.choose(&mut rng).expect("non-empty"),
-            vocab::BEER_NOUNS.choose(&mut rng).expect("non-empty")
+            vocab::pick(&mut rng, vocab::BEER_WORDS),
+            vocab::pick(&mut rng, vocab::BEER_NOUNS)
         );
         let brewery_name = format!(
             "{} {}",
-            vocab::BREWERY_WORDS.choose(&mut rng).expect("non-empty"),
-            vocab::BREWERY_SUFFIXES.choose(&mut rng).expect("non-empty")
+            vocab::pick(&mut rng, vocab::BREWERY_WORDS),
+            vocab::pick(&mut rng, vocab::BREWERY_SUFFIXES)
         );
-        let ounces = *["12.0", "16.0", "24.0", "32.0"].choose(&mut rng).expect("non-empty");
+        let ounces = *vocab::pick(&mut rng, &["12.0", "16.0", "24.0", "32.0"]);
         let abv = format!("0.0{}", rng.gen_range(30..99));
         let ibu = if rng.gen_bool(0.4) {
             "NaN".to_string() // IBU is genuinely missing for many beers.
@@ -53,7 +52,7 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
             i.to_string(),
             (1000 + i).to_string(),
             beer_name,
-            vocab::BEER_STYLES.choose(&mut rng).expect("non-empty").to_string(),
+            vocab::pick(&mut rng, vocab::BEER_STYLES).to_string(),
             ounces.to_string(),
             abv,
             ibu,
@@ -65,50 +64,63 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
     }
 
     let mut dirty = clean.clone();
-    let col = |name: &str| COLUMNS.iter().position(|c| *c == name).expect("known column");
-    let (c_ounces, c_abv, c_state, c_ibu, c_city) =
-        (col("ounces"), col("abv"), col("state"), col("ibu"), col("city"));
+    let col = |name: &str| {
+        COLUMNS
+            .iter()
+            .position(|c| *c == name)
+            .ok_or_else(|| TableError::UnknownColumn(name.to_string()))
+    };
+    let (c_ounces, c_abv, c_state, c_ibu, c_city) = (
+        col("ounces")?,
+        col("abv")?,
+        col("state")?,
+        col("ibu")?,
+        col("city")?,
+    );
 
     let mix = [
         (ErrorKind::FormattingIssue, 0.70),
         (ErrorKind::MissingValue, 0.20),
         (ErrorKind::ViolatedDependency, 0.10),
     ];
-    Injector::new(n_rows * COLUMNS.len(), Dataset::Beers.paper_error_rate(), &mix, &mut rng).run(
-        &mut dirty,
-        |kind, _r, c, old, rng| match kind {
-            ErrorKind::FormattingIssue => {
-                if c == c_ounces {
-                    Some(format!("{old} oz"))
-                } else if c == c_abv {
-                    Some(format!("{old}%"))
-                } else if c == c_ibu && old != "NaN" {
-                    // '45.0' → '45' (dropped decimal).
-                    old.strip_suffix(".0").map(str::to_string)
-                } else {
-                    None
-                }
+    Injector::new(
+        n_rows * COLUMNS.len(),
+        Dataset::Beers.paper_error_rate(),
+        &mix,
+        &mut rng,
+    )
+    .run(&mut dirty, |kind, _r, c, old, rng| match kind {
+        ErrorKind::FormattingIssue => {
+            if c == c_ounces {
+                Some(format!("{old} oz"))
+            } else if c == c_abv {
+                Some(format!("{old}%"))
+            } else if c == c_ibu && old != "NaN" {
+                // '45.0' → '45' (dropped decimal).
+                old.strip_suffix(".0").map(str::to_string)
+            } else {
+                None
             }
-            ErrorKind::MissingValue => {
-                if (c == c_state || c == c_city || c == c_ibu) && old != "NaN" {
-                    Some(missing_value(rng))
-                } else {
-                    None
-                }
+        }
+        ErrorKind::MissingValue => {
+            if (c == c_state || c == c_city || c == c_ibu) && old != "NaN" {
+                Some(missing_value(rng))
+            } else {
+                None
             }
-            ErrorKind::ViolatedDependency => {
-                if c == c_state {
-                    // A valid-looking but wrong state for the city.
-                    let (_, wrong) = vocab::CITY_STATE.choose(rng).expect("non-empty");
-                    (*wrong != old).then(|| wrong.to_string())
-                } else {
-                    None
-                }
+        }
+        ErrorKind::ViolatedDependency => {
+            if c == c_state {
+                // A valid-looking but wrong state for the city.
+                let (_, wrong) = vocab::pick(rng, vocab::CITY_STATE);
+                (*wrong != old).then(|| wrong.to_string())
+            } else {
+                None
             }
-            _ => None,
-        },
-    );
-    (dirty, clean)
+        }
+        _ => None,
+    });
+    Ok((dirty, clean))
 }
 
 #[cfg(test)]
@@ -118,8 +130,11 @@ mod tests {
 
     #[test]
     fn formatting_errors_present() {
-        let cfg = GenConfig { scale: 0.1, seed: 3 };
-        let (dirty, clean) = generate(&cfg);
+        let cfg = GenConfig {
+            scale: 0.1,
+            seed: 3,
+        };
+        let (dirty, clean) = generate(&cfg).expect("generate");
         let frame = CellFrame::merge(&dirty, &clean).unwrap();
         let oz_errors = frame
             .cells()
@@ -137,13 +152,18 @@ mod tests {
 
     #[test]
     fn clean_table_is_consistent_on_city_state() {
-        let cfg = GenConfig { scale: 0.05, seed: 4 };
-        let (_, clean) = generate(&cfg);
+        let cfg = GenConfig {
+            scale: 0.05,
+            seed: 4,
+        };
+        let (_, clean) = generate(&cfg).expect("generate");
         for row in clean.iter_rows() {
             let city = &row[9];
             let state = &row[10];
             assert!(
-                vocab::CITY_STATE.iter().any(|(c, s)| c == city && s == state),
+                vocab::CITY_STATE
+                    .iter()
+                    .any(|(c, s)| c == city && s == state),
                 "clean violates city/state FD: {city}/{state}"
             );
         }

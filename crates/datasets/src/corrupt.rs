@@ -39,6 +39,7 @@ impl ErrorKind {
 }
 
 /// Drives corruption of a clean table into a dirty copy.
+#[derive(Debug)]
 pub struct Injector<'a> {
     rng: &'a mut StdRng,
     /// (cell count to corrupt per kind) — derived from rate and mix.
@@ -53,7 +54,10 @@ impl<'a> Injector<'a> {
     /// # Panics
     /// If `rate` is outside `[0, 1]` or `mix` is empty / all-zero.
     pub fn new(n_cells: usize, rate: f64, mix: &[(ErrorKind, f64)], rng: &'a mut StdRng) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "Injector: rate {rate} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "Injector: rate {rate} outside [0,1]"
+        );
         assert!(!mix.is_empty(), "Injector: empty error mix");
         let total_w: f64 = mix.iter().map(|(_, w)| w).sum();
         assert!(total_w > 0.0, "Injector: zero-weight error mix");
@@ -183,7 +187,11 @@ pub fn x_typo(value: &str, rng: &mut StdRng) -> Option<String> {
         return None;
     }
     candidates.shuffle(rng);
-    let n = if candidates.len() >= 2 && rng.gen_bool(0.6) { 2 } else { 1 };
+    let n = if candidates.len() >= 2 && rng.gen_bool(0.6) {
+        2
+    } else {
+        1
+    };
     let mut out = chars;
     for &pos in candidates.iter().take(n) {
         out[pos] = 'x';

@@ -20,7 +20,10 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        Self { scale: 1.0, seed: 42 }
+        Self {
+            scale: 1.0,
+            seed: 42,
+        }
     }
 }
 
@@ -90,7 +93,9 @@ impl Dataset {
 
     /// Parse a (case-insensitive) dataset name.
     pub fn parse(name: &str) -> Option<Dataset> {
-        Dataset::ALL.into_iter().find(|d| d.name().eq_ignore_ascii_case(name))
+        Dataset::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name))
     }
 
     /// Paper row count (Table 2).
@@ -156,16 +161,24 @@ impl Dataset {
     }
 
     /// Generate the dirty/clean pair.
-    pub fn generate(self, cfg: &GenConfig) -> DatasetPair {
+    ///
+    /// Fails with [`etsb_table::TableError`] when a generator's column
+    /// plan is inconsistent with its declared schema (a bug surfaced as
+    /// an error rather than a panic, per the library-crate policy).
+    pub fn generate(self, cfg: &GenConfig) -> Result<DatasetPair, etsb_table::TableError> {
         let (dirty, clean) = match self {
-            Dataset::Beers => crate::beers::generate(cfg),
+            Dataset::Beers => crate::beers::generate(cfg)?,
             Dataset::Flights => crate::flights::generate(cfg),
             Dataset::Hospital => crate::hospital::generate(cfg),
-            Dataset::Movies => crate::movies::generate(cfg),
-            Dataset::Rayyan => crate::rayyan::generate(cfg),
+            Dataset::Movies => crate::movies::generate(cfg)?,
+            Dataset::Rayyan => crate::rayyan::generate(cfg)?,
             Dataset::Tax => crate::tax::generate(cfg),
         };
-        DatasetPair { dataset: self, dirty, clean }
+        Ok(DatasetPair {
+            dataset: self,
+            dirty,
+            clean,
+        })
     }
 }
 
@@ -192,16 +205,23 @@ mod tests {
     /// a factor of two of the paper's alphabet.
     #[test]
     fn generators_match_paper_statistics() {
-        let cfg = GenConfig { scale: 0.05, seed: 7 };
+        let cfg = GenConfig {
+            scale: 0.05,
+            seed: 7,
+        };
         for ds in Dataset::ALL {
-            let pair = ds.generate(&cfg);
+            let pair = ds.generate(&cfg).expect("dataset generation");
             let expect_rows = cfg.rows(ds.paper_rows());
             assert_eq!(
                 pair.dirty.shape(),
                 (expect_rows, ds.paper_cols()),
                 "{ds}: dirty shape"
             );
-            assert_eq!(pair.dirty.shape(), pair.clean.shape(), "{ds}: shape mismatch");
+            assert_eq!(
+                pair.dirty.shape(),
+                pair.clean.shape(),
+                "{ds}: shape mismatch"
+            );
             let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
             let stats = DatasetStats::of(&frame);
             let target = ds.paper_error_rate();
@@ -222,10 +242,13 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = GenConfig { scale: 0.03, seed: 99 };
+        let cfg = GenConfig {
+            scale: 0.03,
+            seed: 99,
+        };
         for ds in [Dataset::Beers, Dataset::Hospital] {
-            let a = ds.generate(&cfg);
-            let b = ds.generate(&cfg);
+            let a = ds.generate(&cfg).expect("dataset generation");
+            let b = ds.generate(&cfg).expect("dataset generation");
             assert_eq!(a.dirty, b.dirty, "{ds}: dirty differs across runs");
             assert_eq!(a.clean, b.clean, "{ds}: clean differs across runs");
         }
@@ -233,15 +256,28 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = Dataset::Beers.generate(&GenConfig { scale: 0.03, seed: 1 });
-        let b = Dataset::Beers.generate(&GenConfig { scale: 0.03, seed: 2 });
+        let a = Dataset::Beers
+            .generate(&GenConfig {
+                scale: 0.03,
+                seed: 1,
+            })
+            .expect("dataset generation");
+        let b = Dataset::Beers
+            .generate(&GenConfig {
+                scale: 0.03,
+                seed: 2,
+            })
+            .expect("dataset generation");
         assert_ne!(a.clean, b.clean);
     }
 
     #[test]
     fn scale_clamps_to_minimum() {
-        let cfg = GenConfig { scale: 0.00001, seed: 1 };
-        let pair = Dataset::Rayyan.generate(&cfg);
+        let cfg = GenConfig {
+            scale: 0.00001,
+            seed: 1,
+        };
+        let pair = Dataset::Rayyan.generate(&cfg).expect("dataset generation");
         assert_eq!(pair.dirty.n_rows(), 30);
     }
 }

@@ -12,7 +12,6 @@ use crate::vocab;
 use crate::{Dataset, GenConfig};
 use etsb_table::Table;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 const COLUMNS: [&str; 7] = [
@@ -45,7 +44,11 @@ fn perturb_time(value: &str, rng: &mut StdRng) -> Option<String> {
     let m: u32 = m.parse().ok()?;
     let total = h * 60 + m;
     let delta = rng.gen_range(1..=40);
-    let shifted = if rng.gen_bool(0.5) { total + delta } else { total.saturating_sub(delta) };
+    let shifted = if rng.gen_bool(0.5) {
+        total + delta
+    } else {
+        total.saturating_sub(delta)
+    };
     let nh = (shifted / 60).clamp(1, 12);
     let nm = shifted % 60;
     let candidate = format!("{nh}:{nm:02} {suffix}");
@@ -69,11 +72,11 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
     }
     let flights: Vec<Flight> = (0..n_flights)
         .map(|_| {
-            let airline = vocab::AIRLINES.choose(&mut rng).expect("non-empty");
-            let from = vocab::AIRPORTS.choose(&mut rng).expect("non-empty");
-            let mut to = vocab::AIRPORTS.choose(&mut rng).expect("non-empty");
+            let airline = vocab::pick(&mut rng, vocab::AIRLINES);
+            let from = vocab::pick(&mut rng, vocab::AIRPORTS);
+            let mut to = vocab::pick(&mut rng, vocab::AIRPORTS);
             while to == from {
-                to = vocab::AIRPORTS.choose(&mut rng).expect("non-empty");
+                to = vocab::pick(&mut rng, vocab::AIRPORTS);
             }
             let number = rng.gen_range(100..3000);
             let sched_dep = rng.gen_range(5 * 60..22 * 60);
@@ -93,7 +96,7 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
     let mut clean = Table::with_columns(&COLUMNS);
     for i in 0..n_rows {
         let f = &flights[i % n_flights];
-        let src = vocab::FLIGHT_SOURCES.choose(&mut rng).expect("non-empty");
+        let src = vocab::pick(&mut rng, vocab::FLIGHT_SOURCES);
         clean.push_row(vec![
             i.to_string(),
             src.to_string(),
@@ -113,27 +116,32 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
         (ErrorKind::FormattingIssue, 0.30),
         (ErrorKind::MissingValue, 0.30),
     ];
-    Injector::new(n_rows * COLUMNS.len(), Dataset::Flights.paper_error_rate(), &mix, &mut rng)
-        .run(&mut dirty, |kind, _r, c, old, rng| {
-            if !time_cols.contains(&c) {
-                return None;
+    Injector::new(
+        n_rows * COLUMNS.len(),
+        Dataset::Flights.paper_error_rate(),
+        &mix,
+        &mut rng,
+    )
+    .run(&mut dirty, |kind, _r, c, old, rng| {
+        if !time_cols.contains(&c) {
+            return None;
+        }
+        match kind {
+            // Source disagreement: a perfectly plausible time that is
+            // simply wrong — invisible to a character-level detector.
+            ErrorKind::ViolatedDependency => perturb_time(old, rng),
+            // '12/02/2011 6:55 a.m.' rather than '6:55 a.m.' — a very
+            // visible surface error.
+            ErrorKind::FormattingIssue => {
+                let month = rng.gen_range(1..=12);
+                let day = rng.gen_range(1..=28);
+                Some(format!("{month:02}/{day:02}/2011 {old}"))
             }
-            match kind {
-                // Source disagreement: a perfectly plausible time that is
-                // simply wrong — invisible to a character-level detector.
-                ErrorKind::ViolatedDependency => perturb_time(old, rng),
-                // '12/02/2011 6:55 a.m.' rather than '6:55 a.m.' — a very
-                // visible surface error.
-                ErrorKind::FormattingIssue => {
-                    let month = rng.gen_range(1..=12);
-                    let day = rng.gen_range(1..=28);
-                    Some(format!("{month:02}/{day:02}/2011 {old}"))
-                }
-                // Flights MVs are blanks ('' rather than '3:31 p.m.').
-                ErrorKind::MissingValue => Some(String::new()),
-                _ => None,
-            }
-        });
+            // Flights MVs are blanks ('' rather than '3:31 p.m.').
+            ErrorKind::MissingValue => Some(String::new()),
+            _ => None,
+        }
+    });
     (dirty, clean)
 }
 
@@ -164,7 +172,10 @@ mod tests {
 
     #[test]
     fn vad_errors_look_like_valid_times() {
-        let cfg = GenConfig { scale: 0.05, seed: 5 };
+        let cfg = GenConfig {
+            scale: 0.05,
+            seed: 5,
+        };
         let (dirty, clean) = generate(&cfg);
         let frame = CellFrame::merge(&dirty, &clean).unwrap();
         // Some errors must be plausible times (no date prefix, not empty).
@@ -183,7 +194,10 @@ mod tests {
 
     #[test]
     fn same_flight_reported_by_multiple_sources() {
-        let cfg = GenConfig { scale: 0.05, seed: 6 };
+        let cfg = GenConfig {
+            scale: 0.05,
+            seed: 6,
+        };
         let (_, clean) = generate(&cfg);
         let first_flight = clean.cell(0, 2);
         let repeats = clean.iter_rows().filter(|r| r[2] == first_flight).count();

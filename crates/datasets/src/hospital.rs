@@ -9,7 +9,6 @@ use crate::corrupt::{x_typo, ErrorKind, Injector};
 use crate::vocab;
 use crate::{Dataset, GenConfig};
 use etsb_table::Table;
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 const COLUMNS: [&str; 20] = [
@@ -69,7 +68,11 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
             phone.clone(),
             "acute care hospitals".to_string(),
             "voluntary non-profit - private".to_string(),
-            if h.is_multiple_of(3) { "yes".to_string() } else { "no".to_string() },
+            if h.is_multiple_of(3) {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
             condition.to_string(),
             format!("{}-{}", condition.split(' ').next().unwrap_or("m"), m + 1),
             vocab::HOSPITAL_MEASURES[m].to_string(),
@@ -81,27 +84,35 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
     }
 
     let mut dirty = clean.clone();
-    let mix = [(ErrorKind::Typo, 0.95), (ErrorKind::ViolatedDependency, 0.05)];
-    Injector::new(n_rows * COLUMNS.len(), Dataset::Hospital.paper_error_rate(), &mix, &mut rng)
-        .run(&mut dirty, |kind, _r, c, old, rng| match kind {
-            // The hallmark 'x' typo on any textual cell.
-            ErrorKind::Typo => x_typo(old, rng),
-            // Repeated hospital information that disagrees: swap in the
-            // metadata of a different hospital (looks perfectly valid).
-            ErrorKind::ViolatedDependency => match c {
-                1 => {
-                    let other = vocab::HOSPITAL_NAMES.choose(rng).expect("non-empty");
-                    (*other != old).then(|| other.to_string())
-                }
-                5 => {
-                    let (city, _) = vocab::CITY_STATE.choose(rng).expect("non-empty");
-                    let lc = city.to_lowercase();
-                    (lc != old).then_some(lc)
-                }
-                _ => None,
-            },
+    let mix = [
+        (ErrorKind::Typo, 0.95),
+        (ErrorKind::ViolatedDependency, 0.05),
+    ];
+    Injector::new(
+        n_rows * COLUMNS.len(),
+        Dataset::Hospital.paper_error_rate(),
+        &mix,
+        &mut rng,
+    )
+    .run(&mut dirty, |kind, _r, c, old, rng| match kind {
+        // The hallmark 'x' typo on any textual cell.
+        ErrorKind::Typo => x_typo(old, rng),
+        // Repeated hospital information that disagrees: swap in the
+        // metadata of a different hospital (looks perfectly valid).
+        ErrorKind::ViolatedDependency => match c {
+            1 => {
+                let other = vocab::pick(rng, vocab::HOSPITAL_NAMES);
+                (*other != old).then(|| other.to_string())
+            }
+            5 => {
+                let (city, _) = vocab::pick(rng, vocab::CITY_STATE);
+                let lc = city.to_lowercase();
+                (lc != old).then_some(lc)
+            }
             _ => None,
-        });
+        },
+        _ => None,
+    });
     (dirty, clean)
 }
 
@@ -112,7 +123,10 @@ mod tests {
 
     #[test]
     fn most_errors_contain_x() {
-        let cfg = GenConfig { scale: 0.2, seed: 8 };
+        let cfg = GenConfig {
+            scale: 0.2,
+            seed: 8,
+        };
         let (dirty, clean) = generate(&cfg);
         let frame = CellFrame::merge(&dirty, &clean).unwrap();
         let errors: Vec<_> = frame.cells().iter().filter(|c| c.label).collect();
@@ -128,9 +142,16 @@ mod tests {
     #[test]
     fn alphabet_is_small_like_the_paper() {
         // Hospital is all-lowercase: Table 2 reports just 46 distinct chars.
-        let cfg = GenConfig { scale: 0.1, seed: 9 };
+        let cfg = GenConfig {
+            scale: 0.1,
+            seed: 9,
+        };
         let (dirty, clean) = generate(&cfg);
         let frame = CellFrame::merge(&dirty, &clean).unwrap();
-        assert!(frame.distinct_chars() < 60, "alphabet {}", frame.distinct_chars());
+        assert!(
+            frame.distinct_chars() < 60,
+            "alphabet {}",
+            frame.distinct_chars()
+        );
     }
 }

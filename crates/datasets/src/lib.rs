@@ -25,7 +25,7 @@
 //!
 //! ```
 //! use etsb_datasets::{Dataset, GenConfig};
-//! let pair = Dataset::Beers.generate(&GenConfig { scale: 0.05, seed: 7 });
+//! let pair = Dataset::Beers.generate(&GenConfig { scale: 0.05, seed: 7 }).expect("dataset generation");
 //! assert_eq!(pair.dirty.shape(), pair.clean.shape());
 //! ```
 

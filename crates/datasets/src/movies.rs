@@ -10,8 +10,7 @@
 use crate::corrupt::{add_thousands_separators, missing_value, ErrorKind, Injector};
 use crate::vocab;
 use crate::{Dataset, GenConfig};
-use etsb_table::Table;
-use rand::seq::SliceRandom;
+use etsb_table::{Table, TableError};
 use rand::Rng;
 
 const COLUMNS: [&str; 17] = [
@@ -34,29 +33,40 @@ const COLUMNS: [&str; 17] = [
     "description",
 ];
 
-pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
+pub(crate) fn generate(cfg: &GenConfig) -> Result<(Table, Table), TableError> {
     let mut rng = cfg.rng(Dataset::Movies);
     let n_rows = cfg.rows(Dataset::Movies.paper_rows());
 
-    let languages = ["English", "French", "Spanish", "Japanese", "German", "Italian", "Korean"];
-    let countries = ["USA", "France", "Spain", "Japan", "Germany", "Italy", "South Korea", "UK"];
+    let languages = [
+        "English", "French", "Spanish", "Japanese", "German", "Italian", "Korean",
+    ];
+    let countries = [
+        "USA",
+        "France",
+        "Spain",
+        "Japan",
+        "Germany",
+        "Italy",
+        "South Korea",
+        "UK",
+    ];
 
     let mut clean = Table::with_columns(&COLUMNS);
     for i in 0..n_rows {
         let name = format!(
             "{} {} and {}",
-            vocab::MOVIE_WORDS.choose(&mut rng).expect("non-empty"),
-            vocab::MOVIE_NOUNS.choose(&mut rng).expect("non-empty"),
-            vocab::MOVIE_NOUNS.choose(&mut rng).expect("non-empty"),
+            vocab::pick(&mut rng, vocab::MOVIE_WORDS),
+            vocab::pick(&mut rng, vocab::MOVIE_NOUNS),
+            vocab::pick(&mut rng, vocab::MOVIE_NOUNS),
         );
         let year = rng.gen_range(1960..2021);
-        let creator = vocab::MOVIE_CREATORS.choose(&mut rng).expect("non-empty");
+        let creator = vocab::pick(&mut rng, vocab::MOVIE_CREATORS);
         let actors = format!(
             "{} {}, {} {}",
-            vocab::FIRST_NAMES.choose(&mut rng).expect("non-empty"),
-            vocab::LAST_NAMES.choose(&mut rng).expect("non-empty"),
-            vocab::FIRST_NAMES.choose(&mut rng).expect("non-empty"),
-            vocab::LAST_NAMES.choose(&mut rng).expect("non-empty"),
+            vocab::pick(&mut rng, vocab::FIRST_NAMES),
+            vocab::pick(&mut rng, vocab::LAST_NAMES),
+            vocab::pick(&mut rng, vocab::FIRST_NAMES),
+            vocab::pick(&mut rng, vocab::LAST_NAMES),
         );
         // Duration is genuinely missing for a share of titles: the §5.5
         // ambiguity ('NaN' correct in some rows, '96 min' in others).
@@ -73,12 +83,12 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
             format!(
                 "{} {} {year}",
                 rng.gen_range(1..29),
-                vocab::MONTHS_ABBR.choose(&mut rng).expect("non-empty")
+                vocab::pick(&mut rng, vocab::MONTHS_ABBR)
             ),
             format!(
                 "{} {}",
-                vocab::FIRST_NAMES.choose(&mut rng).expect("non-empty"),
-                vocab::LAST_NAMES.choose(&mut rng).expect("non-empty")
+                vocab::pick(&mut rng, vocab::FIRST_NAMES),
+                vocab::pick(&mut rng, vocab::LAST_NAMES)
             ),
             creator.to_string(),
             actors.clone(),
@@ -89,63 +99,79 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
             rng.gen_range(2..10).to_string(),
             rng.gen_range(1_000..900_000).to_string(),
             rng.gen_range(10..2_000).to_string(),
-            vocab::MOVIE_GENRES.choose(&mut rng).expect("non-empty").to_string(),
+            vocab::pick(&mut rng, vocab::MOVIE_GENRES).to_string(),
             format!(
                 "{}, {}",
-                vocab::CITY_STATE.choose(&mut rng).expect("non-empty").0,
+                vocab::pick(&mut rng, vocab::CITY_STATE).0,
                 countries[lang_idx.min(countries.len() - 1)]
             ),
-            format!("A {} story of love and betrayal.", vocab::MOVIE_GENRES.choose(&mut rng).expect("non-empty").to_lowercase()),
+            format!(
+                "A {} story of love and betrayal.",
+                vocab::pick(&mut rng, vocab::MOVIE_GENRES).to_lowercase()
+            ),
         ]);
     }
 
     let mut dirty = clean.clone();
-    let col = |name: &str| COLUMNS.iter().position(|c| *c == name).expect("known column");
+    let col = |name: &str| {
+        COLUMNS
+            .iter()
+            .position(|c| *c == name)
+            .ok_or_else(|| TableError::UnknownColumn(name.to_string()))
+    };
     let (c_name, c_creator, c_duration, c_rating_value, c_rating_count, c_year) = (
-        col("name"),
-        col("creator"),
-        col("duration"),
-        col("rating_value"),
-        col("rating_count"),
-        col("year"),
+        col("name")?,
+        col("creator")?,
+        col("duration")?,
+        col("rating_value")?,
+        col("rating_count")?,
+        col("year")?,
     );
 
-    let mix = [(ErrorKind::FormattingIssue, 0.65), (ErrorKind::MissingValue, 0.35)];
-    Injector::new(n_rows * COLUMNS.len(), Dataset::Movies.paper_error_rate(), &mix, &mut rng)
-        .run(&mut dirty, |kind, _r, c, old, rng| match kind {
-            ErrorKind::FormattingIssue => {
-                if c == c_name && old.contains(" and ") {
-                    Some(old.replacen(" and ", " & ", 1))
-                } else if c == c_rating_count {
-                    add_thousands_separators(old)
-                } else if c == c_rating_value {
-                    // '8' → '8.0'.
-                    crate::corrupt::add_decimal_suffix(old)
-                } else if c == c_year {
-                    // Several year indications instead of only one.
-                    let y: i32 = old.parse().ok()?;
-                    Some(format!("{y} {}", y + 1))
-                } else if c == c_creator && old.contains(", ") {
-                    // Truncated credit: keep only the part after the comma.
-                    old.split(", ").last().map(str::to_string)
-                } else {
-                    None
-                }
+    let mix = [
+        (ErrorKind::FormattingIssue, 0.65),
+        (ErrorKind::MissingValue, 0.35),
+    ];
+    Injector::new(
+        n_rows * COLUMNS.len(),
+        Dataset::Movies.paper_error_rate(),
+        &mix,
+        &mut rng,
+    )
+    .run(&mut dirty, |kind, _r, c, old, rng| match kind {
+        ErrorKind::FormattingIssue => {
+            if c == c_name && old.contains(" and ") {
+                Some(old.replacen(" and ", " & ", 1))
+            } else if c == c_rating_count {
+                add_thousands_separators(old)
+            } else if c == c_rating_value {
+                // '8' → '8.0'.
+                crate::corrupt::add_decimal_suffix(old)
+            } else if c == c_year {
+                // Several year indications instead of only one.
+                let y: i32 = old.parse().ok()?;
+                Some(format!("{y} {}", y + 1))
+            } else if c == c_creator && old.contains(", ") {
+                // Truncated credit: keep only the part after the comma.
+                old.split(", ").last().map(str::to_string)
+            } else {
+                None
             }
-            ErrorKind::MissingValue => {
-                if c == c_duration && old != "NaN" {
-                    Some("NaN".to_string())
-                } else if c == c_duration {
-                    None
-                } else if rng.gen_bool(0.5) {
-                    Some(missing_value(rng))
-                } else {
-                    None
-                }
+        }
+        ErrorKind::MissingValue => {
+            if c == c_duration && old != "NaN" {
+                Some("NaN".to_string())
+            } else if c == c_duration {
+                None
+            } else if rng.gen_bool(0.5) {
+                Some(missing_value(rng))
+            } else {
+                None
             }
-            _ => None,
-        });
-    (dirty, clean)
+        }
+        _ => None,
+    });
+    Ok((dirty, clean))
 }
 
 #[cfg(test)]
@@ -155,8 +181,11 @@ mod tests {
 
     #[test]
     fn nan_duration_is_sometimes_correct() {
-        let cfg = GenConfig { scale: 0.05, seed: 11 };
-        let (dirty, clean) = generate(&cfg);
+        let cfg = GenConfig {
+            scale: 0.05,
+            seed: 11,
+        };
+        let (dirty, clean) = generate(&cfg).expect("generate");
         let frame = CellFrame::merge(&dirty, &clean).unwrap();
         let c_dur = 10;
         let correct_nan = frame
@@ -175,11 +204,18 @@ mod tests {
 
     #[test]
     fn ampersand_and_comma_errors_exist() {
-        let cfg = GenConfig { scale: 0.05, seed: 12 };
-        let (dirty, clean) = generate(&cfg);
+        let cfg = GenConfig {
+            scale: 0.05,
+            seed: 12,
+        };
+        let (dirty, clean) = generate(&cfg).expect("generate");
         let frame = CellFrame::merge(&dirty, &clean).unwrap();
-        assert!(frame.cells().iter().any(|c| c.label && c.value_x.contains(" & ")));
-        assert!(frame.cells().iter().any(|c| c.label && c.value_x.contains(',')
+        assert!(frame
+            .cells()
+            .iter()
+            .any(|c| c.label && c.value_x.contains(" & ")));
+        assert!(frame.cells().iter().any(|c| c.label
+            && c.value_x.contains(',')
             && c.value_x.bytes().all(|b| b.is_ascii_digit() || b == b',')));
     }
 
@@ -187,9 +223,16 @@ mod tests {
     fn alphabet_is_large_like_the_paper() {
         // Movies has the biggest alphabet in Table 2 (135): accented names
         // and punctuation push the synthetic one up too.
-        let cfg = GenConfig { scale: 0.05, seed: 13 };
-        let (dirty, clean) = generate(&cfg);
+        let cfg = GenConfig {
+            scale: 0.05,
+            seed: 13,
+        };
+        let (dirty, clean) = generate(&cfg).expect("generate");
         let frame = CellFrame::merge(&dirty, &clean).unwrap();
-        assert!(frame.distinct_chars() > 70, "alphabet {}", frame.distinct_chars());
+        assert!(
+            frame.distinct_chars() > 70,
+            "alphabet {}",
+            frame.distinct_chars()
+        );
     }
 }

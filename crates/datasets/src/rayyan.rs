@@ -9,9 +9,8 @@
 use crate::corrupt::{missing_value, typo, ErrorKind, Injector};
 use crate::vocab;
 use crate::{Dataset, GenConfig};
-use etsb_table::Table;
+use etsb_table::{Table, TableError};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Encoding damage: replace one character with a mojibake sequence — the
@@ -44,7 +43,7 @@ const COLUMNS: [&str; 10] = [
     "article_language",
 ];
 
-pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
+pub(crate) fn generate(cfg: &GenConfig) -> Result<(Table, Table), TableError> {
     let mut rng = cfg.rng(Dataset::Rayyan);
     let n_rows = cfg.rows(Dataset::Rayyan.paper_rows());
 
@@ -53,10 +52,8 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
 
     let mut clean = Table::with_columns(&COLUMNS);
     for i in 0..n_rows {
-        let w = |rng: &mut rand::rngs::StdRng| {
-            vocab::ARTICLE_WORDS.choose(rng).expect("non-empty").to_string()
-        };
-        let deco = decorations.choose(&mut rng).expect("non-empty");
+        let w = |rng: &mut rand::rngs::StdRng| vocab::pick(rng, vocab::ARTICLE_WORDS).to_string();
+        let deco = vocab::pick(&mut rng, &decorations);
         let title = format!(
             "A {} {} of {} {} {deco} a {} study",
             w(&mut rng),
@@ -67,14 +64,20 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
         );
         let authors = format!(
             "{}, {}. and {}, {}.",
-            vocab::LAST_NAMES.choose(&mut rng).expect("non-empty"),
-            vocab::FIRST_NAMES.choose(&mut rng).expect("non-empty").chars().next().unwrap_or('A'),
-            vocab::LAST_NAMES.choose(&mut rng).expect("non-empty"),
-            vocab::FIRST_NAMES.choose(&mut rng).expect("non-empty").chars().next().unwrap_or('B'),
+            vocab::pick(&mut rng, vocab::LAST_NAMES),
+            vocab::pick(&mut rng, vocab::FIRST_NAMES)
+                .chars()
+                .next()
+                .unwrap_or('A'),
+            vocab::pick(&mut rng, vocab::LAST_NAMES),
+            vocab::pick(&mut rng, vocab::FIRST_NAMES)
+                .chars()
+                .next()
+                .unwrap_or('B'),
         );
-        let journal = vocab::JOURNALS.choose(&mut rng).expect("non-empty");
+        let journal = vocab::pick(&mut rng, vocab::JOURNALS);
         let day = rng.gen_range(1..=28);
-        let month = vocab::MONTHS_ABBR.choose(&mut rng).expect("non-empty");
+        let month = vocab::pick(&mut rng, vocab::MONTHS_ABBR);
         let p_start = rng.gen_range(1..900);
         clean.push_row(vec![
             (2_000_000 + i).to_string(),
@@ -85,20 +88,29 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
             rng.gen_range(1..12).to_string(),
             format!("{p_start}-{}", p_start + rng.gen_range(2..30)),
             authors,
-            journal.split(' ').map(|w| &w[..1.min(w.len())]).collect::<Vec<_>>().join(""),
-            languages.choose(&mut rng).expect("non-empty").to_string(),
+            journal
+                .split(' ')
+                .map(|w| &w[..1.min(w.len())])
+                .collect::<Vec<_>>()
+                .join(""),
+            vocab::pick(&mut rng, &languages).to_string(),
         ]);
     }
 
     let mut dirty = clean.clone();
-    let col = |name: &str| COLUMNS.iter().position(|c| *c == name).expect("known column");
+    let col = |name: &str| {
+        COLUMNS
+            .iter()
+            .position(|c| *c == name)
+            .ok_or_else(|| TableError::UnknownColumn(name.to_string()))
+    };
     let (c_title, c_journal, c_issn, c_issue, c_pages, c_volume) = (
-        col("article_title"),
-        col("journal_title"),
-        col("journal_issn"),
-        col("article_jissue"),
-        col("article_pagination"),
-        col("article_jvolume"),
+        col("article_title")?,
+        col("journal_title")?,
+        col("journal_issn")?,
+        col("article_jissue")?,
+        col("article_pagination")?,
+        col("article_jvolume")?,
     );
 
     let mix = [
@@ -107,54 +119,59 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
         (ErrorKind::MissingValue, 0.25),
         (ErrorKind::ViolatedDependency, 0.10),
     ];
-    Injector::new(n_rows * COLUMNS.len(), Dataset::Rayyan.paper_error_rate(), &mix, &mut rng)
-        .run(&mut dirty, |kind, _r, c, old, rng| match kind {
-            ErrorKind::FormattingIssue => {
-                if c == c_issn {
-                    // '22-Mar' → 'Mar-22' (the Excel-style date flip).
-                    let (day, month) = old.split_once('-')?;
-                    Some(format!("{month}-{day}"))
-                } else if c == c_pages {
-                    // '70-76' → '70-6' (truncated page range).
-                    let (start, end) = old.split_once('-')?;
-                    let shortened = &end[end.len().saturating_sub(1)..];
-                    let candidate = format!("{start}-{shortened}");
-                    (candidate != old).then_some(candidate)
-                } else {
-                    None
-                }
+    Injector::new(
+        n_rows * COLUMNS.len(),
+        Dataset::Rayyan.paper_error_rate(),
+        &mix,
+        &mut rng,
+    )
+    .run(&mut dirty, |kind, _r, c, old, rng| match kind {
+        ErrorKind::FormattingIssue => {
+            if c == c_issn {
+                // '22-Mar' → 'Mar-22' (the Excel-style date flip).
+                let (day, month) = old.split_once('-')?;
+                Some(format!("{month}-{day}"))
+            } else if c == c_pages {
+                // '70-76' → '70-6' (truncated page range).
+                let (start, end) = old.split_once('-')?;
+                let shortened = &end[end.len().saturating_sub(1)..];
+                let candidate = format!("{start}-{shortened}");
+                (candidate != old).then_some(candidate)
+            } else {
+                None
             }
-            ErrorKind::Typo => {
-                if c == c_title || c == c_journal {
-                    // §5.5: "mostly due to non-recognized special
-                    // characters" — encoding damage (mojibake), with a
-                    // minority of plain character typos.
-                    if rng.gen_bool(0.7) {
-                        mojibake(old, rng)
-                    } else {
-                        typo(old, rng)
-                    }
+        }
+        ErrorKind::Typo => {
+            if c == c_title || c == c_journal {
+                // §5.5: "mostly due to non-recognized special
+                // characters" — encoding damage (mojibake), with a
+                // minority of plain character typos.
+                if rng.gen_bool(0.7) {
+                    mojibake(old, rng)
                 } else {
-                    None
+                    typo(old, rng)
                 }
+            } else {
+                None
             }
-            ErrorKind::MissingValue => {
-                if c == c_issue || c == c_volume {
-                    Some(missing_value(rng))
-                } else {
-                    None
-                }
+        }
+        ErrorKind::MissingValue => {
+            if c == c_issue || c == c_volume {
+                Some(missing_value(rng))
+            } else {
+                None
             }
-            ErrorKind::ViolatedDependency => {
-                if c == c_journal {
-                    let other = vocab::JOURNALS.choose(rng).expect("non-empty");
-                    (*other != old).then(|| other.to_string())
-                } else {
-                    None
-                }
+        }
+        ErrorKind::ViolatedDependency => {
+            if c == c_journal {
+                let other = vocab::pick(rng, vocab::JOURNALS);
+                (*other != old).then(|| other.to_string())
+            } else {
+                None
             }
-        });
-    (dirty, clean)
+        }
+    });
+    Ok((dirty, clean))
 }
 
 #[cfg(test)]
@@ -164,23 +181,40 @@ mod tests {
 
     #[test]
     fn issn_flip_errors_present() {
-        let cfg = GenConfig { scale: 0.2, seed: 21 };
-        let (dirty, clean) = generate(&cfg);
+        let cfg = GenConfig {
+            scale: 0.2,
+            seed: 21,
+        };
+        let (dirty, clean) = generate(&cfg).expect("generate");
         let frame = CellFrame::merge(&dirty, &clean).unwrap();
         let flipped = frame
             .cells()
             .iter()
-            .filter(|c| c.label && c.attr == 3 && c.value_x.chars().next().is_some_and(|ch| ch.is_ascii_alphabetic()))
+            .filter(|c| {
+                c.label
+                    && c.attr == 3
+                    && c.value_x
+                        .chars()
+                        .next()
+                        .is_some_and(|ch| ch.is_ascii_alphabetic())
+            })
             .count();
         assert!(flipped > 0, "expected Mar-22 style flips");
     }
 
     #[test]
     fn special_characters_in_alphabet() {
-        let cfg = GenConfig { scale: 0.1, seed: 22 };
-        let (dirty, clean) = generate(&cfg);
+        let cfg = GenConfig {
+            scale: 0.1,
+            seed: 22,
+        };
+        let (dirty, clean) = generate(&cfg).expect("generate");
         let frame = CellFrame::merge(&dirty, &clean).unwrap();
         // Unicode decorations should push the alphabet near the paper's 101.
-        assert!(frame.distinct_chars() > 60, "alphabet {}", frame.distinct_chars());
+        assert!(
+            frame.distinct_chars() > 60,
+            "alphabet {}",
+            frame.distinct_chars()
+        );
     }
 }

@@ -12,7 +12,6 @@ use crate::vocab;
 use crate::{Dataset, GenConfig};
 use etsb_table::Table;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 const COLUMNS: [&str; 15] = [
@@ -54,31 +53,60 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
 
     let mut clean = Table::with_columns(&COLUMNS);
     for _ in 0..n_rows {
-        let (city, state) = *vocab::CITY_STATE.choose(&mut rng).expect("non-empty");
+        let (city, state) = *vocab::pick(&mut rng, vocab::CITY_STATE);
         let married = rng.gen_bool(0.5);
         let has_child = married && rng.gen_bool(0.5);
         let salary = rng.gen_range(20_000..200_000);
         clean.push_row(vec![
-            vocab::FIRST_NAMES.choose(&mut rng).expect("non-empty").to_uppercase(),
-            vocab::LAST_NAMES.choose(&mut rng).expect("non-empty").to_uppercase(),
-            if rng.gen_bool(0.5) { "M".to_string() } else { "F".to_string() },
+            vocab::pick(&mut rng, vocab::FIRST_NAMES).to_uppercase(),
+            vocab::pick(&mut rng, vocab::LAST_NAMES).to_uppercase(),
+            if rng.gen_bool(0.5) {
+                "M".to_string()
+            } else {
+                "F".to_string()
+            },
             rng.gen_range(200..990).to_string(),
-            format!("{}-{:04}", rng.gen_range(200..990), rng.gen_range(0..10_000)),
+            format!(
+                "{}-{:04}",
+                rng.gen_range(200..990),
+                rng.gen_range(0..10_000)
+            ),
             city.to_uppercase(),
             state.to_string(),
             format!("{:05}", rng.gen_range(1000..99_999)),
-            if married { "M".to_string() } else { "S".to_string() },
-            if has_child { "Y".to_string() } else { "N".to_string() },
+            if married {
+                "M".to_string()
+            } else {
+                "S".to_string()
+            },
+            if has_child {
+                "Y".to_string()
+            } else {
+                "N".to_string()
+            },
             salary.to_string(),
             rng.gen_range(2..9).to_string(),
             rng.gen_range(0..8000).to_string(),
-            if married { rng.gen_range(1000..9000).to_string() } else { "0".to_string() },
-            if has_child { rng.gen_range(500..4000).to_string() } else { "0".to_string() },
+            if married {
+                rng.gen_range(1000..9000).to_string()
+            } else {
+                "0".to_string()
+            },
+            if has_child {
+                rng.gen_range(500..4000).to_string()
+            } else {
+                "0".to_string()
+            },
         ]);
     }
 
     let mut dirty = clean.clone();
-    let col = |name: &str| COLUMNS.iter().position(|c| *c == name).expect("known column");
+    let col = |name: &str| {
+        COLUMNS
+            .iter()
+            .position(|c| *c == name)
+            .expect("known column")
+    };
     let (c_fname, c_lname, c_city, c_state, c_zip, c_rate, c_marital, c_child) = (
         col("f_name"),
         col("l_name"),
@@ -95,41 +123,51 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
         (ErrorKind::FormattingIssue, 0.40),
         (ErrorKind::ViolatedDependency, 0.20),
     ];
-    Injector::new(n_rows * COLUMNS.len(), Dataset::Tax.paper_error_rate(), &mix, &mut rng).run(
-        &mut dirty,
-        |kind, _r, c, old, rng| match kind {
-            ErrorKind::Typo => {
-                if c == c_fname || c == c_lname || c == c_city {
-                    name_typo(old, rng)
-                } else {
-                    None
-                }
+    Injector::new(
+        n_rows * COLUMNS.len(),
+        Dataset::Tax.paper_error_rate(),
+        &mix,
+        &mut rng,
+    )
+    .run(&mut dirty, |kind, _r, c, old, rng| match kind {
+        ErrorKind::Typo => {
+            if c == c_fname || c == c_lname || c == c_city {
+                name_typo(old, rng)
+            } else {
+                None
             }
-            ErrorKind::FormattingIssue => {
-                if c == c_zip {
-                    crate::corrupt::strip_leading_zero(old)
-                        .or_else(|| Some(format!("0{old}")))
-                } else if c == c_rate {
-                    add_decimal_suffix(old)
-                } else {
-                    None
-                }
+        }
+        ErrorKind::FormattingIssue => {
+            if c == c_zip {
+                crate::corrupt::strip_leading_zero(old).or_else(|| Some(format!("0{old}")))
+            } else if c == c_rate {
+                add_decimal_suffix(old)
+            } else {
+                None
             }
-            ErrorKind::ViolatedDependency => {
-                if c == c_state {
-                    let (_, wrong) = vocab::CITY_STATE.choose(rng).expect("non-empty");
-                    (*wrong != old).then(|| wrong.to_string())
-                } else if c == c_marital {
-                    Some(if old == "M" { "S".to_string() } else { "M".to_string() })
-                } else if c == c_child {
-                    Some(if old == "Y" { "N".to_string() } else { "Y".to_string() })
+        }
+        ErrorKind::ViolatedDependency => {
+            if c == c_state {
+                let (_, wrong) = vocab::pick(rng, vocab::CITY_STATE);
+                (*wrong != old).then(|| wrong.to_string())
+            } else if c == c_marital {
+                Some(if old == "M" {
+                    "S".to_string()
                 } else {
-                    None
-                }
+                    "M".to_string()
+                })
+            } else if c == c_child {
+                Some(if old == "Y" {
+                    "N".to_string()
+                } else {
+                    "Y".to_string()
+                })
+            } else {
+                None
             }
-            _ => None,
-        },
-    );
+        }
+        _ => None,
+    });
     (dirty, clean)
 }
 
@@ -149,7 +187,10 @@ mod tests {
 
     #[test]
     fn zip_errors_change_width() {
-        let cfg = GenConfig { scale: 0.01, seed: 31 };
+        let cfg = GenConfig {
+            scale: 0.01,
+            seed: 31,
+        };
         let (dirty, clean) = generate(&cfg);
         let frame = CellFrame::merge(&dirty, &clean).unwrap();
         let zip_errors = frame
@@ -158,12 +199,17 @@ mod tests {
             .filter(|c| c.label && c.attr == 7)
             .collect::<Vec<_>>();
         assert!(!zip_errors.is_empty());
-        assert!(zip_errors.iter().all(|c| c.value_x.len() != c.value_y.len()));
+        assert!(zip_errors
+            .iter()
+            .all(|c| c.value_x.len() != c.value_y.len()));
     }
 
     #[test]
     fn full_scale_row_count_honours_scale() {
-        let cfg = GenConfig { scale: 0.001, seed: 32 };
+        let cfg = GenConfig {
+            scale: 0.001,
+            seed: 32,
+        };
         let (dirty, _) = generate(&cfg);
         assert_eq!(dirty.n_rows(), 200);
     }

@@ -51,20 +51,98 @@ pub const CITY_STATE: &[(&str, &str)] = &[
 
 /// First names for Tax and Rayyan authors.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda", "William",
-    "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
-    "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony",
-    "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily",
-    "Andrew", "Donna", "Joshua", "Michelle", "Jun'ichi", "Kenji", "Akiko", "Wei", "Ling",
+    "James",
+    "Mary",
+    "John",
+    "Patricia",
+    "Robert",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "William",
+    "Elizabeth",
+    "David",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Nancy",
+    "Daniel",
+    "Lisa",
+    "Matthew",
+    "Betty",
+    "Anthony",
+    "Margaret",
+    "Mark",
+    "Sandra",
+    "Donald",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Paul",
+    "Emily",
+    "Andrew",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Jun'ichi",
+    "Kenji",
+    "Akiko",
+    "Wei",
+    "Ling",
 ];
 
 /// Last names for Tax and Rayyan authors.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores", "O'Brien", "O'Connor", "McDonald",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "O'Brien",
+    "O'Connor",
+    "McDonald",
 ];
 
 /// Beer style names (Beers dataset).
@@ -93,26 +171,49 @@ pub const BEER_STYLES: &[&str] = &[
 
 /// Brewery name fragments (combined pairwise).
 pub const BREWERY_WORDS: &[&str] = &[
-    "Anchor", "Cascade", "Summit", "Ironworks", "Granite", "River", "Harbor", "Canyon",
-    "Redwood", "Frontier", "Prairie", "Lighthouse", "Timber", "Copper", "Eagle", "Falcon",
-    "Juniper", "Alpine", "Mesa", "Bluff",
+    "Anchor",
+    "Cascade",
+    "Summit",
+    "Ironworks",
+    "Granite",
+    "River",
+    "Harbor",
+    "Canyon",
+    "Redwood",
+    "Frontier",
+    "Prairie",
+    "Lighthouse",
+    "Timber",
+    "Copper",
+    "Eagle",
+    "Falcon",
+    "Juniper",
+    "Alpine",
+    "Mesa",
+    "Bluff",
 ];
 
 /// Second half of brewery names.
-pub const BREWERY_SUFFIXES: &[&str] =
-    &["Brewing Company", "Brewery", "Beer Co.", "Brewing Co.", "Ales", "Brewhouse"];
+pub const BREWERY_SUFFIXES: &[&str] = &[
+    "Brewing Company",
+    "Brewery",
+    "Beer Co.",
+    "Brewing Co.",
+    "Ales",
+    "Brewhouse",
+];
 
 /// Beer name fragments.
 pub const BEER_WORDS: &[&str] = &[
-    "Hoppy", "Golden", "Amber", "Midnight", "Summer", "Winter", "Wild", "Lucky", "Rusty",
-    "Smoky", "Velvet", "Crimson", "Nordic", "Coastal", "Valley", "Sunset", "Harvest", "Frost",
-    "Thunder", "Quiet",
+    "Hoppy", "Golden", "Amber", "Midnight", "Summer", "Winter", "Wild", "Lucky", "Rusty", "Smoky",
+    "Velvet", "Crimson", "Nordic", "Coastal", "Valley", "Sunset", "Harvest", "Frost", "Thunder",
+    "Quiet",
 ];
 
 /// Nouns completing beer names.
 pub const BEER_NOUNS: &[&str] = &[
-    "Trail", "Fox", "Badger", "Session", "Anthem", "Harvest", "Haze", "Peak", "Drifter",
-    "Lantern", "Compass", "Meadow", "Falls", "Hollow", "Ridge", "Otter",
+    "Trail", "Fox", "Badger", "Session", "Anthem", "Harvest", "Haze", "Peak", "Drifter", "Lantern",
+    "Compass", "Meadow", "Falls", "Hollow", "Ridge", "Otter",
 ];
 
 /// Airline codes (Flights dataset).
@@ -126,11 +227,38 @@ pub const AIRPORTS: &[&str] = &[
 
 /// Flight-information sources (Flights dataset).
 pub const FLIGHT_SOURCES: &[&str] = &[
-    "aa", "airtravelcenter", "allegiantair", "boston", "businesstravellogue", "CO",
-    "dfw", "flightarrivals", "flightaware", "flightexplorer", "flightstats", "flightview",
-    "flightwise", "flylouisville", "flytecomm", "foxbusiness", "gofox", "helloflight",
-    "iad", "ifly", "mia", "mytripandmore", "orbitz", "ord", "panynj", "phl", "quicktrip",
-    "travelocity", "usatoday", "weather", "world-flight-tracker", "wunderground",
+    "aa",
+    "airtravelcenter",
+    "allegiantair",
+    "boston",
+    "businesstravellogue",
+    "CO",
+    "dfw",
+    "flightarrivals",
+    "flightaware",
+    "flightexplorer",
+    "flightstats",
+    "flightview",
+    "flightwise",
+    "flylouisville",
+    "flytecomm",
+    "foxbusiness",
+    "gofox",
+    "helloflight",
+    "iad",
+    "ifly",
+    "mia",
+    "mytripandmore",
+    "orbitz",
+    "ord",
+    "panynj",
+    "phl",
+    "quicktrip",
+    "travelocity",
+    "usatoday",
+    "weather",
+    "world-flight-tracker",
+    "wunderground",
 ];
 
 /// Hospital measure descriptions (Hospital dataset).
@@ -191,22 +319,74 @@ pub const HOSPITAL_CONDITIONS: &[&str] = &[
 
 /// Movie title fragments (Movies dataset).
 pub const MOVIE_WORDS: &[&str] = &[
-    "Midnight", "Crimson", "Forgotten", "Silent", "Electric", "Golden", "Shattered", "Hidden",
-    "Burning", "Frozen", "Savage", "Gentle", "Distant", "Broken", "Rising", "Falling",
-    "Eternal", "Final", "First", "Lost", "Lucky", "Paper", "Glass", "Iron", "Velvet", "Neon",
+    "Midnight",
+    "Crimson",
+    "Forgotten",
+    "Silent",
+    "Electric",
+    "Golden",
+    "Shattered",
+    "Hidden",
+    "Burning",
+    "Frozen",
+    "Savage",
+    "Gentle",
+    "Distant",
+    "Broken",
+    "Rising",
+    "Falling",
+    "Eternal",
+    "Final",
+    "First",
+    "Lost",
+    "Lucky",
+    "Paper",
+    "Glass",
+    "Iron",
+    "Velvet",
+    "Neon",
 ];
 
 /// Movie title nouns.
 pub const MOVIE_NOUNS: &[&str] = &[
-    "Empire", "Garden", "Promise", "Horizon", "Symphony", "Voyage", "Kingdom", "Echo",
-    "Shadow", "River", "Mirror", "Harvest", "Tempest", "Lantern", "Crossing", "Covenant",
-    "Reckoning", "Odyssey", "Carnival", "Labyrinth",
+    "Empire",
+    "Garden",
+    "Promise",
+    "Horizon",
+    "Symphony",
+    "Voyage",
+    "Kingdom",
+    "Echo",
+    "Shadow",
+    "River",
+    "Mirror",
+    "Harvest",
+    "Tempest",
+    "Lantern",
+    "Crossing",
+    "Covenant",
+    "Reckoning",
+    "Odyssey",
+    "Carnival",
+    "Labyrinth",
 ];
 
 /// Movie genres.
 pub const MOVIE_GENRES: &[&str] = &[
-    "Drama", "Comedy", "Action", "Thriller", "Romance", "Horror", "Science Fiction",
-    "Documentary", "Animation", "Crime", "Adventure", "Fantasy", "Mystery", "Western",
+    "Drama",
+    "Comedy",
+    "Action",
+    "Thriller",
+    "Romance",
+    "Horror",
+    "Science Fiction",
+    "Documentary",
+    "Animation",
+    "Crime",
+    "Adventure",
+    "Fantasy",
+    "Mystery",
+    "Western",
 ];
 
 /// Director/creator names (Movies dataset) — includes the multi-part
@@ -251,12 +431,46 @@ pub const JOURNALS: &[&str] = &[
 
 /// Scientific article title fragments (Rayyan dataset).
 pub const ARTICLE_WORDS: &[&str] = &[
-    "randomized", "controlled", "trial", "systematic", "review", "meta-analysis", "cohort",
-    "efficacy", "safety", "treatment", "intervention", "outcomes", "prevalence", "incidence",
-    "screening", "therapy", "diagnosis", "management", "prevention", "mortality", "morbidity",
-    "double-blind", "placebo", "follow-up", "risk", "factors",
+    "randomized",
+    "controlled",
+    "trial",
+    "systematic",
+    "review",
+    "meta-analysis",
+    "cohort",
+    "efficacy",
+    "safety",
+    "treatment",
+    "intervention",
+    "outcomes",
+    "prevalence",
+    "incidence",
+    "screening",
+    "therapy",
+    "diagnosis",
+    "management",
+    "prevention",
+    "mortality",
+    "morbidity",
+    "double-blind",
+    "placebo",
+    "follow-up",
+    "risk",
+    "factors",
 ];
 
 /// Month abbreviations used by Rayyan's date formats.
-pub const MONTHS_ABBR: &[&str] =
-    &["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+pub const MONTHS_ABBR: &[&str] = &[
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Uniformly pick one entry from a non-empty list.
+///
+/// Centralizes the generators' vocabulary sampling so the non-emptiness
+/// argument lives in exactly one place: every list in this module (and
+/// every ad-hoc list the generators pass) is a non-empty literal.
+pub fn pick<'a, T, R: rand::Rng>(rng: &mut R, list: &'a [T]) -> &'a T {
+    use rand::seq::SliceRandom;
+    // etsb: allow(no-unwrap) -- callers pass non-empty literal lists; see doc above.
+    list.choose(rng).expect("vocab::pick: empty list")
+}

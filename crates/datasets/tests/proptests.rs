@@ -13,7 +13,7 @@ proptest! {
     fn any_seed_produces_valid_pairs(seed in 0u64..10_000, ds_idx in 0usize..6) {
         let ds = Dataset::ALL[ds_idx];
         let cfg = GenConfig { scale: 0.02, seed };
-        let pair = ds.generate(&cfg);
+        let pair = ds.generate(&cfg).expect("dataset generation");
         prop_assert_eq!(pair.dirty.shape(), pair.clean.shape());
         prop_assert_eq!(pair.dirty.n_cols(), ds.paper_cols());
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
@@ -30,7 +30,7 @@ proptest! {
     #[test]
     fn scale_controls_row_count(scale in 0.01f64..0.2) {
         let cfg = GenConfig { scale, seed: 1 };
-        let pair = Dataset::Rayyan.generate(&cfg);
+        let pair = Dataset::Rayyan.generate(&cfg).expect("dataset generation");
         let expected = ((1000.0 * scale).round() as usize).max(30);
         prop_assert_eq!(pair.dirty.n_rows(), expected);
     }
@@ -38,7 +38,7 @@ proptest! {
     #[test]
     fn error_cells_differ_and_clean_cells_match(seed in 0u64..1000) {
         let cfg = GenConfig { scale: 0.03, seed };
-        let pair = Dataset::Beers.generate(&cfg);
+        let pair = Dataset::Beers.generate(&cfg).expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
         for cell in frame.cells() {
             if cell.label {
@@ -52,7 +52,7 @@ proptest! {
     #[test]
     fn hospital_errors_remain_x_marked(seed in 0u64..500) {
         let cfg = GenConfig { scale: 0.06, seed };
-        let pair = Dataset::Hospital.generate(&cfg);
+        let pair = Dataset::Hospital.generate(&cfg).expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
         let errors: Vec<_> = frame.cells().iter().filter(|c| c.label).collect();
         prop_assert!(!errors.is_empty());

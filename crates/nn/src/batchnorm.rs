@@ -60,7 +60,13 @@ impl BatchNorm {
     /// the running estimates.
     pub fn forward_train(&mut self, inputs: &Matrix) -> (Matrix, BatchNormCache) {
         let (n, d) = inputs.shape();
-        assert_eq!(d, self.dim(), "BatchNorm::forward_train: width {} != {}", d, self.dim());
+        assert_eq!(
+            d,
+            self.dim(),
+            "BatchNorm::forward_train: width {} != {}",
+            d,
+            self.dim()
+        );
         assert!(n > 0, "BatchNorm::forward_train: empty batch");
         let nf = n as f32;
 
@@ -106,13 +112,27 @@ impl BatchNorm {
             self.running_var[(0, j)] = m * self.running_var[(0, j)] + (1.0 - m) * var[j];
         }
 
-        (out, BatchNormCache { centered, inv_std, xhat })
+        out.assert_finite("batchnorm", "forward_train");
+        (
+            out,
+            BatchNormCache {
+                centered,
+                inv_std,
+                xhat,
+            },
+        )
     }
 
     /// Evaluation-mode forward using the running statistics.
     pub fn forward_eval(&self, inputs: &Matrix) -> Matrix {
         let (n, d) = inputs.shape();
-        assert_eq!(d, self.dim(), "BatchNorm::forward_eval: width {} != {}", d, self.dim());
+        assert_eq!(
+            d,
+            self.dim(),
+            "BatchNorm::forward_eval: width {} != {}",
+            d,
+            self.dim()
+        );
         let gamma = self.gamma.value.row(0);
         let beta = self.beta.value.row(0);
         let mut out = Matrix::zeros(n, d);
@@ -124,6 +144,7 @@ impl BatchNorm {
                 o[j] = gamma[j] * (row[j] - self.running_mean[(0, j)]) * inv + beta[j];
             }
         }
+        out.assert_finite("batchnorm", "forward_eval");
         out
     }
 
@@ -162,11 +183,15 @@ impl BatchNorm {
             let g = grad_in.row_mut(r);
             for j in 0..d {
                 let dxhat = dy[j] * gamma[j];
-                g[j] = cache.inv_std[j] / nf
-                    * (nf * dxhat - sum_dxhat[j] - xh[j] * sum_dxhat_xhat[j]);
+                g[j] =
+                    cache.inv_std[j] / nf * (nf * dxhat - sum_dxhat[j] - xh[j] * sum_dxhat_xhat[j]);
             }
         }
         let _ = &cache.centered; // kept for introspection/debugging
+        self.gamma
+            .grad
+            .assert_finite("batchnorm", "backward(gamma-grad)");
+        grad_in.assert_finite("batchnorm", "backward(grad-in)");
         grad_in
     }
 
@@ -195,7 +220,11 @@ mod tests {
             let col = y.col(j);
             assert!(mean(&col).abs() < 1e-5, "column {j} mean {}", mean(&col));
             // Population std ≈ 1 (slightly below because of eps).
-            assert!((stddev(&col) - 1.0).abs() < 0.05, "column {j} std {}", stddev(&col));
+            assert!(
+                (stddev(&col) - 1.0).abs() < 0.05,
+                "column {j} std {}",
+                stddev(&col)
+            );
         }
     }
 

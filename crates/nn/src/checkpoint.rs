@@ -37,9 +37,16 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Decode(e) => write!(f, "checkpoint decode: {e}"),
             CheckpointError::CountMismatch { snapshot, target } => {
-                write!(f, "checkpoint holds {snapshot} matrices, model has {target}")
+                write!(
+                    f,
+                    "checkpoint holds {snapshot} matrices, model has {target}"
+                )
             }
-            CheckpointError::ShapeMismatch { index, snapshot, target } => write!(
+            CheckpointError::ShapeMismatch {
+                index,
+                snapshot,
+                target,
+            } => write!(
                 f,
                 "checkpoint matrix {index} is {snapshot:?}, model expects {target:?}"
             ),
@@ -79,7 +86,10 @@ pub fn restore(snapshot: &Bytes, params: &mut [&mut Param]) -> Result<(), Checkp
     }
     let count = bytes::Buf::get_u64_le(&mut buf) as usize;
     if count != params.len() {
-        return Err(CheckpointError::CountMismatch { snapshot: count, target: params.len() });
+        return Err(CheckpointError::CountMismatch {
+            snapshot: count,
+            target: params.len(),
+        });
     }
     // Decode everything first so a mid-stream error leaves params intact.
     let mut decoded = Vec::with_capacity(count);

@@ -25,8 +25,16 @@ pub struct DenseCache {
 
 impl Dense {
     /// New dense layer with Glorot-uniform weights and zero bias.
-    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
-        assert!(input_dim > 0 && output_dim > 0, "Dense: dims must be positive");
+    pub fn new(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(
+            input_dim > 0 && output_dim > 0,
+            "Dense: dims must be positive"
+        );
         Self {
             w: Param::new(init::glorot_uniform(input_dim, output_dim, rng)),
             b: Param::new(Matrix::zeros(1, output_dim)),
@@ -61,7 +69,14 @@ impl Dense {
                 *o = self.activation.apply(*o + bi);
             }
         }
-        (out.clone(), DenseCache { inputs, outputs: out })
+        out.assert_finite("dense", "forward(activation)");
+        (
+            out.clone(),
+            DenseCache {
+                inputs,
+                outputs: out,
+            },
+        )
     }
 
     /// Backward a batch: accumulates weight/bias grads, returns the input
@@ -87,7 +102,10 @@ impl Dense {
         for r in 0..dz.rows() {
             etsb_tensor::add_assign(self.b.grad.row_mut(0), dz.row(r));
         }
-        dz.matmul_transposed(&self.w.value)
+        self.w.grad.assert_finite("dense", "backward(weight-grad)");
+        let grad_in = dz.matmul_transposed(&self.w.value);
+        grad_in.assert_finite("dense", "backward(grad-in)");
+        grad_in
     }
 
     /// Parameters in stable order.

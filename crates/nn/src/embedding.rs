@@ -31,7 +31,9 @@ impl Embedding {
     pub fn new(vocab_size: usize, dim: usize, rng: &mut StdRng) -> Self {
         assert!(vocab_size > 0, "Embedding: vocab_size must be positive");
         assert!(dim > 0, "Embedding: dim must be positive");
-        Self { weights: Param::new(init::glorot_uniform(vocab_size, dim, rng)) }
+        Self {
+            weights: Param::new(init::glorot_uniform(vocab_size, dim, rng)),
+        }
     }
 
     /// Vocabulary size (number of rows).
@@ -53,7 +55,10 @@ impl Embedding {
         let vocab = self.vocab_size();
         let mut out = Matrix::zeros(ids.len(), dim);
         for (row, &id) in ids.iter().enumerate() {
-            assert!(id < vocab, "Embedding: id {id} out of vocabulary (size {vocab})");
+            assert!(
+                id < vocab,
+                "Embedding: id {id} out of vocabulary (size {vocab})"
+            );
             out.row_mut(row).copy_from_slice(self.weights.value.row(id));
         }
         (out, EmbeddingCache { ids: ids.to_vec() })

@@ -28,7 +28,11 @@ impl GradCheck {
 pub fn check_scalar(analytic: f32, h: f32, mut loss_at: impl FnMut(f32) -> f32) -> GradCheck {
     let numeric = (loss_at(h) - loss_at(-h)) / (2.0 * h);
     let denom = 1.0_f32.max(analytic.abs()).max(numeric.abs());
-    GradCheck { analytic, numeric, relative_error: (analytic - numeric).abs() / denom }
+    GradCheck {
+        analytic,
+        numeric,
+        relative_error: (analytic - numeric).abs() / denom,
+    }
 }
 
 #[cfg(test)]

@@ -49,7 +49,10 @@ pub struct GruCache {
 impl GruCell {
     /// New cell with Glorot weights and zero bias.
     pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
-        assert!(input_dim > 0 && hidden > 0, "GruCell: dims must be positive");
+        assert!(
+            input_dim > 0 && hidden > 0,
+            "GruCell: dims must be positive"
+        );
         Self {
             wx: Param::new(init::glorot_uniform(input_dim, 3 * hidden, rng)),
             wh: Param::new(init::glorot_uniform(hidden, 3 * hidden, rng)),
@@ -77,7 +80,11 @@ impl Recurrence for GruCell {
     fn forward_seq(&self, inputs: Matrix) -> (Matrix, GruCache) {
         let t_max = inputs.rows();
         assert!(t_max > 0, "GruCell::forward_seq: empty sequence");
-        assert_eq!(inputs.cols(), self.input_dim(), "GruCell: input width mismatch");
+        assert_eq!(
+            inputs.cols(),
+            self.input_dim(),
+            "GruCell: input width mismatch"
+        );
         let h = self.hidden;
         let mut gates = Matrix::zeros(t_max, 3 * h);
         let mut hn_all = Matrix::zeros(t_max, h);
@@ -106,13 +113,25 @@ impl Recurrence for GruCell {
             h_prev.copy_from_slice(h_row);
         }
         let out = hidden.clone();
-        (out, GruCache { inputs, gates, hn: hn_all, hidden })
+        (
+            out,
+            GruCache {
+                inputs,
+                gates,
+                hn: hn_all,
+                hidden,
+            },
+        )
     }
 
     fn backward_seq(&mut self, cache: &GruCache, grad_out: &Matrix) -> Matrix {
         let t_max = cache.hidden.rows();
         let h = self.hidden;
-        assert_eq!(grad_out.shape(), (t_max, h), "GruCell::backward_seq: grad shape");
+        assert_eq!(
+            grad_out.shape(),
+            (t_max, h),
+            "GruCell::backward_seq: grad shape"
+        );
         let mut grad_inputs = Matrix::zeros(t_max, self.input_dim());
         let mut dh_carry = vec![0.0_f32; h];
         // Gradient w.r.t. the pre-activations feeding Wx (dz_x) and the
@@ -124,7 +143,11 @@ impl Recurrence for GruCell {
         for t in (0..t_max).rev() {
             let gates = cache.gates.row(t);
             let hn = cache.hn.row(t);
-            let h_prev: &[f32] = if t > 0 { cache.hidden.row(t - 1) } else { &zero };
+            let h_prev: &[f32] = if t > 0 {
+                cache.hidden.row(t - 1)
+            } else {
+                &zero
+            };
             let mut dh_prev_direct = vec![0.0_f32; h];
             for j in 0..h {
                 let (z, r, n) = (gates[j], gates[h + j], gates[2 * h + j]);
@@ -145,7 +168,9 @@ impl Recurrence for GruCell {
             if t > 0 {
                 self.wh.grad.add_outer(1.0, h_prev, &dz_h);
             }
-            grad_inputs.row_mut(t).copy_from_slice(&self.wx.value.matvec(&dz_x));
+            grad_inputs
+                .row_mut(t)
+                .copy_from_slice(&self.wx.value.matvec(&dz_x));
             dh_carry = self.wh.value.matvec(&dz_h);
             etsb_tensor::add_assign(&mut dh_carry, &dh_prev_direct);
         }

@@ -47,9 +47,9 @@ pub use batchnorm::{BatchNorm, BatchNormCache};
 pub use checkpoint::{restore, snapshot, CheckpointError};
 pub use dense::{Dense, DenseCache};
 pub use embedding::{Embedding, EmbeddingCache};
+pub use gru::{GruCache, GruCell};
 pub use loss::{binary_cross_entropy, softmax_cross_entropy, LossOutput};
+pub use lstm::{LstmCache, LstmCell};
 pub use optim::{Adam, Optimizer, Rmsprop, Sgd};
 pub use param::Param;
-pub use gru::{GruCache, GruCell};
-pub use lstm::{LstmCache, LstmCell};
 pub use rnn::{BiRnn, BiRnnCache, Recurrence, RnnCache, RnnCell, StackedBiRnn, StackedBiRnnCache};

@@ -27,13 +27,21 @@ pub struct LossOutput {
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> LossOutput {
     let (n, c) = logits.shape();
     assert!(n > 0, "softmax_cross_entropy: empty batch");
-    assert_eq!(labels.len(), n, "softmax_cross_entropy: {} labels for {n} rows", labels.len());
+    assert_eq!(
+        labels.len(),
+        n,
+        "softmax_cross_entropy: {} labels for {n} rows",
+        labels.len()
+    );
     let nf = n as f32;
 
     let mut probs = logits.clone();
     let mut loss = 0.0;
     for (r, &label) in labels.iter().enumerate() {
-        assert!(label < c, "softmax_cross_entropy: label {label} out of range for {c} classes");
+        assert!(
+            label < c,
+            "softmax_cross_entropy: label {label} out of range for {c} classes"
+        );
         let row = probs.row_mut(r);
         etsb_tensor::softmax_inplace(row);
         // Clamp avoids -inf when a probability underflows to exactly 0.
@@ -48,7 +56,14 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> LossOutput {
         etsb_tensor::scale(row, 1.0 / nf);
     }
 
-    LossOutput { loss, probs, grad_logits: grad }
+    etsb_tensor::sanitize::assert_finite("loss", "softmax_cross_entropy(loss)", &[loss]);
+    probs.assert_finite("loss", "softmax_cross_entropy(probs)");
+    grad.assert_finite("loss", "softmax_cross_entropy(grad-logits)");
+    LossOutput {
+        loss,
+        probs,
+        grad_logits: grad,
+    }
 }
 
 /// Plain binary cross-entropy on probabilities in `[0, 1]`.

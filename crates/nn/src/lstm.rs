@@ -47,7 +47,10 @@ pub struct LstmCache {
 impl LstmCell {
     /// New cell: Glorot input/recurrent weights, forget bias 1.
     pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
-        assert!(input_dim > 0 && hidden > 0, "LstmCell: dims must be positive");
+        assert!(
+            input_dim > 0 && hidden > 0,
+            "LstmCell: dims must be positive"
+        );
         let mut b = Matrix::zeros(1, 4 * hidden);
         for j in hidden..2 * hidden {
             b[(0, j)] = 1.0; // standard forget-gate bias init
@@ -79,7 +82,11 @@ impl Recurrence for LstmCell {
     fn forward_seq(&self, inputs: Matrix) -> (Matrix, LstmCache) {
         let t_max = inputs.rows();
         assert!(t_max > 0, "LstmCell::forward_seq: empty sequence");
-        assert_eq!(inputs.cols(), self.input_dim(), "LstmCell: input width mismatch");
+        assert_eq!(
+            inputs.cols(),
+            self.input_dim(),
+            "LstmCell: input width mismatch"
+        );
         let h = self.hidden;
         let mut gates = Matrix::zeros(t_max, 4 * h);
         let mut cells = Matrix::zeros(t_max, h);
@@ -114,13 +121,26 @@ impl Recurrence for LstmCell {
             c_prev.copy_from_slice(c_row);
         }
         let out = hidden.clone();
-        (out, LstmCache { inputs, gates, cells, tanh_cells, hidden })
+        (
+            out,
+            LstmCache {
+                inputs,
+                gates,
+                cells,
+                tanh_cells,
+                hidden,
+            },
+        )
     }
 
     fn backward_seq(&mut self, cache: &LstmCache, grad_out: &Matrix) -> Matrix {
         let t_max = cache.hidden.rows();
         let h = self.hidden;
-        assert_eq!(grad_out.shape(), (t_max, h), "LstmCell::backward_seq: grad shape");
+        assert_eq!(
+            grad_out.shape(),
+            (t_max, h),
+            "LstmCell::backward_seq: grad shape"
+        );
         let mut grad_inputs = Matrix::zeros(t_max, self.input_dim());
         let mut dh_carry = vec![0.0_f32; h];
         let mut dc_carry = vec![0.0_f32; h];
@@ -129,12 +149,15 @@ impl Recurrence for LstmCell {
             let gates = cache.gates.row(t);
             let tc = cache.tanh_cells.row(t);
             for j in 0..h {
-                let (i, f, g, o) =
-                    (gates[j], gates[h + j], gates[2 * h + j], gates[3 * h + j]);
+                let (i, f, g, o) = (gates[j], gates[h + j], gates[2 * h + j], gates[3 * h + j]);
                 let dh = grad_out.row(t)[j] + dh_carry[j];
                 let do_ = dh * tc[j];
                 let dc = dh * o * (1.0 - tc[j] * tc[j]) + dc_carry[j];
-                let c_prev = if t > 0 { cache.cells.row(t - 1)[j] } else { 0.0 };
+                let c_prev = if t > 0 {
+                    cache.cells.row(t - 1)[j]
+                } else {
+                    0.0
+                };
                 dz[j] = dc * g * i * (1.0 - i); // input gate
                 dz[h + j] = dc * c_prev * f * (1.0 - f); // forget gate
                 dz[2 * h + j] = dc * i * (1.0 - g * g); // candidate
@@ -146,7 +169,9 @@ impl Recurrence for LstmCell {
             if t > 0 {
                 self.wh.grad.add_outer(1.0, cache.hidden.row(t - 1), &dz);
             }
-            grad_inputs.row_mut(t).copy_from_slice(&self.wx.value.matvec(&dz));
+            grad_inputs
+                .row_mut(t)
+                .copy_from_slice(&self.wx.value.matvec(&dz));
             dh_carry = self.wh.value.matvec(&dz);
         }
         grad_inputs

@@ -26,7 +26,10 @@ pub trait Optimizer {
 /// Verify (and on first use, create) per-parameter state slots.
 fn sync_state(state: &mut Vec<Matrix>, params: &[&mut Param], what: &str) {
     if state.is_empty() {
-        *state = params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+        *state = params
+            .iter()
+            .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+            .collect();
         return;
     }
     assert_eq!(
@@ -42,6 +45,7 @@ fn sync_state(state: &mut Vec<Matrix>, params: &[&mut Param], what: &str) {
             p.value.shape(),
             "{what}: parameter shape changed between steps"
         );
+        p.grad.assert_finite(what, "step(gradient)");
     }
 }
 
@@ -60,7 +64,12 @@ pub struct Rmsprop {
 impl Rmsprop {
     /// New RMSprop optimizer with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Self { lr, rho: 0.9, eps: 1e-7, cache: Vec::new() }
+        Self {
+            lr,
+            rho: 0.9,
+            eps: 1e-7,
+            cache: Vec::new(),
+        }
     }
 }
 
@@ -105,12 +114,20 @@ pub struct Sgd {
 impl Sgd {
     /// New SGD optimizer.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// New SGD optimizer with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -155,7 +172,15 @@ pub struct Adam {
 impl Adam {
     /// New Adam optimizer with standard hyper-parameters.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 

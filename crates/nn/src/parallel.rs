@@ -87,7 +87,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("parallel_fold worker panicked")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_fold worker panicked"))
+            .collect::<Vec<_>>()
     });
     let mut iter = accs.into_iter();
     let first = iter.next().expect("at least one worker");

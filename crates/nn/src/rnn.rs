@@ -75,7 +75,10 @@ impl RnnCell {
     /// New cell with Glorot input weights and a near-identity recurrent
     /// matrix (see [`init::recurrent_init`]).
     pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
-        assert!(input_dim > 0 && hidden > 0, "RnnCell: dims must be positive");
+        assert!(
+            input_dim > 0 && hidden > 0,
+            "RnnCell: dims must be positive"
+        );
         Self {
             wx: Param::new(init::glorot_uniform(input_dim, hidden, rng)),
             wh: Param::new(init::recurrent_init(hidden, rng)),
@@ -150,7 +153,9 @@ impl RnnCell {
             if t > 0 {
                 self.wh.grad.add_outer(1.0, cache.hidden.row(t - 1), &dz);
             }
-            grad_inputs.row_mut(t).copy_from_slice(&self.wx.value.matvec(&dz));
+            grad_inputs
+                .row_mut(t)
+                .copy_from_slice(&self.wx.value.matvec(&dz));
             carry = self.wh.value.matvec(&dz);
         }
         grad_inputs
@@ -234,7 +239,10 @@ pub struct BiRnnCache<C: Recurrence = RnnCell> {
 impl<C: Recurrence> BiRnn<C> {
     /// New bidirectional layer with independently initialized cells.
     pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
-        Self { fwd: C::with_dims(input_dim, hidden, rng), bwd: C::with_dims(input_dim, hidden, rng) }
+        Self {
+            fwd: C::with_dims(input_dim, hidden, rng),
+            bwd: C::with_dims(input_dim, hidden, rng),
+        }
     }
 
     /// Per-direction hidden width (output width is twice this).
@@ -261,6 +269,7 @@ impl<C: Recurrence> BiRnn<C> {
             // reversed step T-1-t.
             out.row_mut(t)[h..].copy_from_slice(out_bwd.row(seq_len - 1 - t));
         }
+        out.assert_finite("birnn", "forward(recurrent-activation)");
         (out, BiRnnCache { fwd, bwd, seq_len })
     }
 
@@ -280,13 +289,16 @@ impl<C: Recurrence> BiRnn<C> {
         let mut grad_bwd = Matrix::zeros(t_max, h);
         for t in 0..t_max {
             grad_fwd.row_mut(t).copy_from_slice(&grad_out.row(t)[..h]);
-            grad_bwd.row_mut(t_max - 1 - t).copy_from_slice(&grad_out.row(t)[h..]);
+            grad_bwd
+                .row_mut(t_max - 1 - t)
+                .copy_from_slice(&grad_out.row(t)[h..]);
         }
         let gi_fwd = self.fwd.backward_seq(&cache.fwd, &grad_fwd);
         let gi_bwd_rev = self.bwd.backward_seq(&cache.bwd, &grad_bwd);
         let mut grad_inputs = gi_fwd;
         let gi_bwd = reverse_rows(&gi_bwd_rev);
         grad_inputs.add_assign(&gi_bwd);
+        grad_inputs.assert_finite("birnn", "backward(grad-in)");
         grad_inputs
     }
 
@@ -429,7 +441,10 @@ mod tests {
         // must produce the row-reversed, half-swapped output.
         let mut rng = seeded_rng(4);
         let b: BiRnn = BiRnn::new(3, 2, &mut rng);
-        let swapped = BiRnn { fwd: b.bwd.clone(), bwd: b.fwd.clone() };
+        let swapped = BiRnn {
+            fwd: b.bwd.clone(),
+            bwd: b.fwd.clone(),
+        };
         let x = Matrix::from_fn(6, 3, |i, j| ((i * 3 + j) as f32).sin());
         let (out, _) = b.forward(x.clone());
         let (out_rev, _) = swapped.forward(reverse_rows(&x));

@@ -1,0 +1,77 @@
+//! Sanitizer behaviour: with the `sanitize` feature a NaN injected into
+//! a weight matrix panics at the first op that touches it, attributing
+//! layer, op and offending index; without the feature the same forward
+//! pass completes silently (the hooks compile out).
+
+use etsb_nn::{Activation, Dense};
+use etsb_tensor::init::seeded_rng;
+use etsb_tensor::Matrix;
+
+fn poisoned_dense() -> Dense {
+    let mut rng = seeded_rng(7);
+    // Linear: f32::max in relu would silently wash the NaN out again.
+    let mut layer = Dense::new(4, 3, Activation::Linear, &mut rng);
+    layer.w.value.as_mut_slice()[5] = f32::NAN;
+    layer
+}
+
+fn forward_batch(layer: &Dense) -> Matrix {
+    let mut rng = seeded_rng(8);
+    let inputs = etsb_tensor::init::uniform(2, 4, 1.0, &mut rng);
+    layer.forward(inputs).0
+}
+
+#[cfg(feature = "sanitize")]
+mod enabled {
+    use super::*;
+    use etsb_nn::softmax_cross_entropy;
+
+    fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("string panic payload")
+    }
+
+    #[test]
+    fn nan_in_weight_matrix_panics_with_layer_and_op() {
+        let layer = poisoned_dense();
+        let err = std::panic::catch_unwind(|| forward_batch(&layer))
+            .expect_err("sanitize must panic on NaN weights");
+        let msg = panic_message(err);
+        assert!(msg.contains("sanitize:"), "not a sanitizer panic: {msg}");
+        assert!(msg.contains("matmul"), "op missing from: {msg}");
+        assert!(msg.contains("index"), "index missing from: {msg}");
+    }
+
+    #[test]
+    fn nan_logits_panic_inside_the_loss() {
+        let logits = Matrix::from_rows(&[&[0.3, f32::NAN]]);
+        let err = std::panic::catch_unwind(|| softmax_cross_entropy(&logits, &[0]))
+            .expect_err("sanitize must panic on NaN logits");
+        let msg = panic_message(err);
+        assert!(msg.contains("loss"), "layer missing from: {msg}");
+    }
+
+    #[test]
+    fn finite_training_step_is_unaffected() {
+        let mut rng = seeded_rng(9);
+        let layer = Dense::new(4, 3, Activation::Tanh, &mut rng);
+        let out = forward_batch(&layer);
+        assert_eq!(out.shape(), (2, 3));
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+mod disabled {
+    use super::*;
+
+    #[test]
+    fn hooks_compile_out_and_nan_flows_through() {
+        assert!(!etsb_tensor::sanitize::enabled());
+        // Same poisoned forward pass: must NOT panic without the feature;
+        // the NaN simply propagates into the output.
+        let out = forward_batch(&poisoned_dense());
+        assert!(out.as_slice().iter().any(|v| v.is_nan()));
+    }
+}

@@ -44,13 +44,24 @@ impl LogisticRegression {
     /// # Panics
     /// If `x` and `y` lengths differ, or any row width mismatches.
     pub fn fit(&mut self, x: &[Vec<f32>], y: &[bool]) {
-        assert_eq!(x.len(), y.len(), "LogisticRegression::fit: {} rows, {} labels", x.len(), y.len());
+        assert_eq!(
+            x.len(),
+            y.len(),
+            "LogisticRegression::fit: {} rows, {} labels",
+            x.len(),
+            y.len()
+        );
         if x.is_empty() {
             return;
         }
         let d = self.weights.len();
         for row in x {
-            assert_eq!(row.len(), d, "LogisticRegression::fit: row width {} != {d}", row.len());
+            assert_eq!(
+                row.len(),
+                d,
+                "LogisticRegression::fit: row width {} != {d}",
+                row.len()
+            );
         }
         // Optional class re-weighting: each class contributes half of the
         // total gradient mass regardless of its prevalence.
@@ -178,7 +189,10 @@ mod balance_tests {
         let mut balanced = LogisticRegression::new(1);
         balanced.balance_classes = true;
         balanced.fit(&x, &y);
-        assert!(balanced.predict(&[1.0]), "balanced model must flag the minority pattern");
+        assert!(
+            balanced.predict(&[1.0]),
+            "balanced model must flag the minority pattern"
+        );
         assert!(!balanced.predict(&[0.0]));
     }
 }

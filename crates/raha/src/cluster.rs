@@ -23,7 +23,11 @@ pub struct ColumnClustering {
 }
 
 /// Cluster every column's cells into at most `k` clusters.
-pub fn cluster_columns(frame: &CellFrame, features: &FeatureMatrix, k: usize) -> Vec<ColumnClustering> {
+pub fn cluster_columns(
+    frame: &CellFrame,
+    features: &FeatureMatrix,
+    k: usize,
+) -> Vec<ColumnClustering> {
     assert!(k >= 1, "cluster_columns: k must be at least 1");
     (0..frame.n_attrs())
         .map(|attr| cluster_one_column(frame, features, attr, k))
@@ -57,7 +61,10 @@ fn cluster_one_column(
     let p = patterns.len();
     if p <= k {
         // Every pattern is its own cluster.
-        return ColumnClustering { assignment: pattern_of_tuple, n_clusters: p };
+        return ColumnClustering {
+            assignment: pattern_of_tuple,
+            n_clusters: p,
+        };
     }
 
     // Agglomerative average linkage over patterns. `members[c]` lists the
@@ -119,7 +126,10 @@ fn cluster_one_column(
         .into_iter()
         .map(|pat| cluster_of_pattern[pat])
         .collect();
-    ColumnClustering { assignment, n_clusters: next }
+    ColumnClustering {
+        assignment,
+        n_clusters: next,
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +177,11 @@ mod tests {
         let (frame, fm) = setup();
         for k in 1..=4 {
             let c = &cluster_columns(&frame, &fm, k)[0];
-            assert!(c.n_clusters <= k, "k={k} produced {} clusters", c.n_clusters);
+            assert!(
+                c.n_clusters <= k,
+                "k={k} produced {} clusters",
+                c.n_clusters
+            );
             assert!(c.assignment.iter().all(|&a| a < c.n_clusters));
         }
     }

@@ -23,7 +23,10 @@ pub struct RahaConfig {
 
 impl Default for RahaConfig {
     fn default() -> Self {
-        Self { n_label_tuples: 20, clusters_per_column: 20 }
+        Self {
+            n_label_tuples: 20,
+            clusters_per_column: 20,
+        }
     }
 }
 
@@ -36,6 +39,7 @@ pub struct RahaDetector {
 
 /// Feature matrix + per-column clusterings for one dataset. Building this
 /// is the expensive part; sampling and detection reuse it.
+#[derive(Clone, Debug)]
 pub struct RahaModel {
     /// Per-cell strategy feature vectors.
     pub features: FeatureMatrix,

@@ -31,7 +31,10 @@ impl FeatureMatrix {
 
     /// Feature vector as f32 (for the classifier).
     pub fn row_f32(&self, cell: usize) -> Vec<f32> {
-        self.rows[cell].iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+        self.rows[cell]
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Hamming distance between two cells' feature vectors.
@@ -69,7 +72,11 @@ pub fn build_features(frame: &CellFrame, battery: &[Box<dyn Strategy>]) -> Featu
             row.push(flag);
         }
     }
-    FeatureMatrix { strategy_names: names, n_features: battery.len(), rows }
+    FeatureMatrix {
+        strategy_names: names,
+        n_features: battery.len(),
+        rows,
+    }
 }
 
 #[cfg(test)]

@@ -28,16 +28,30 @@ pub trait Strategy {
 /// population).
 pub fn default_battery() -> Vec<Box<dyn Strategy>> {
     vec![
-        Box::new(FrequencyOutlier { max_rel_freq: 0.005 }),
+        Box::new(FrequencyOutlier {
+            max_rel_freq: 0.005,
+        }),
         Box::new(FrequencyOutlier { max_rel_freq: 0.02 }),
         Box::new(FrequencyOutlier { max_rel_freq: 0.05 }),
         Box::new(FrequencyOutlier { max_rel_freq: 0.30 }),
         Box::new(GaussianOutlier { z_threshold: 2.0 }),
         Box::new(GaussianOutlier { z_threshold: 3.0 }),
-        Box::new(PatternShape { max_rel_freq: 0.01, collapse_runs: false }),
-        Box::new(PatternShape { max_rel_freq: 0.05, collapse_runs: true }),
-        Box::new(PatternShape { max_rel_freq: 0.30, collapse_runs: false }),
-        Box::new(PatternShape { max_rel_freq: 0.50, collapse_runs: true }),
+        Box::new(PatternShape {
+            max_rel_freq: 0.01,
+            collapse_runs: false,
+        }),
+        Box::new(PatternShape {
+            max_rel_freq: 0.05,
+            collapse_runs: true,
+        }),
+        Box::new(PatternShape {
+            max_rel_freq: 0.30,
+            collapse_runs: false,
+        }),
+        Box::new(PatternShape {
+            max_rel_freq: 0.50,
+            collapse_runs: true,
+        }),
         // NOTE: [`RareCharacter`] is intentionally *not* in the default
         // battery. The published Raha has no per-character detector, and
         // including one makes this baseline markedly stronger than the
@@ -53,6 +67,7 @@ pub fn default_battery() -> Vec<Box<dyn Strategy>> {
 
 /// Flags values whose relative frequency within their column is below a
 /// threshold (dBoost-style histogram outlier).
+#[derive(Clone, Copy, Debug)]
 pub struct FrequencyOutlier {
     /// Values rarer than this fraction of the column are suspicious.
     pub max_rel_freq: f64,
@@ -83,6 +98,7 @@ impl Strategy for FrequencyOutlier {
 /// Flags numeric outliers: in columns that are mostly parseable, values
 /// with |z-score| above a threshold, plus values that fail to parse at
 /// all.
+#[derive(Clone, Copy, Debug)]
 pub struct GaussianOutlier {
     /// z-score beyond which a value is suspicious.
     pub z_threshold: f64,
@@ -160,6 +176,7 @@ pub fn shape_of(value: &str, collapse_runs: bool) -> String {
 
 /// Flags values whose character-class *shape* is rare within the column
 /// (Wrangler-style pattern violation).
+#[derive(Clone, Copy, Debug)]
 pub struct PatternShape {
     /// Shapes rarer than this fraction of the column are suspicious.
     pub max_rel_freq: f64,
@@ -169,7 +186,11 @@ pub struct PatternShape {
 
 impl Strategy for PatternShape {
     fn name(&self) -> String {
-        format!("shape<{}{}", self.max_rel_freq, if self.collapse_runs { "+runs" } else { "" })
+        format!(
+            "shape<{}{}",
+            self.max_rel_freq,
+            if self.collapse_runs { "+runs" } else { "" }
+        )
     }
 
     fn run(&self, frame: &CellFrame) -> Vec<bool> {
@@ -194,6 +215,7 @@ impl Strategy for PatternShape {
 }
 
 /// Flags values containing a character that is rare within the column.
+#[derive(Clone, Copy, Debug)]
 pub struct RareCharacter {
     /// Characters occurring in fewer than this fraction of the column's
     /// values are suspicious.
@@ -227,6 +249,7 @@ impl Strategy for RareCharacter {
 }
 
 /// Flags canonical missing-value markers.
+#[derive(Clone, Copy, Debug)]
 pub struct MissingMarker;
 
 impl Strategy for MissingMarker {
@@ -254,6 +277,7 @@ impl Strategy for MissingMarker {
 /// checking): for every attribute pair `(A → B)` that holds on at least
 /// `min_support` of tuples, cells of `B` disagreeing with their group's
 /// majority are flagged.
+#[derive(Clone, Copy, Debug)]
 pub struct FdViolation {
     /// Minimum fraction of tuples on which a candidate FD must hold.
     pub min_support: f64,
@@ -327,6 +351,7 @@ impl Strategy for FdViolation {
 /// this substitution carries builtin domain dictionaries (US states,
 /// months, language codes) and flags values in columns that mostly match
 /// a domain but themselves do not.
+#[derive(Clone, Debug)]
 pub struct KnowledgeBase {
     domains: Vec<(String, HashSet<String>)>,
 }
@@ -349,8 +374,7 @@ impl KnowledgeBase {
         .iter()
         .map(|s| s.to_string())
         .collect();
-        let genders: HashSet<String> =
-            ["M", "F"].iter().map(|s| s.to_string()).collect();
+        let genders: HashSet<String> = ["M", "F"].iter().map(|s| s.to_string()).collect();
         Self {
             domains: vec![
                 ("us_states".to_string(), states),
@@ -414,7 +438,10 @@ mod tests {
 
     #[test]
     fn frequency_outlier_flags_rare_value() {
-        let rows: Vec<Vec<&str>> = (0..99).map(|_| vec!["common"]).chain([vec!["rare"]]).collect();
+        let rows: Vec<Vec<&str>> = (0..99)
+            .map(|_| vec!["common"])
+            .chain([vec!["rare"]])
+            .collect();
         let refs: Vec<&[&str]> = rows.iter().map(|r| r.as_slice()).collect();
         let frame = frame_from(&["a"], &refs);
         let flags = FrequencyOutlier { max_rel_freq: 0.02 }.run(&frame);
@@ -427,8 +454,10 @@ mod tests {
         let mut rows: Vec<Vec<String>> = (0..50).map(|i| vec![format!("{}", 100 + i)]).collect();
         rows.push(vec!["9999".to_string()]);
         rows.push(vec!["BER".to_string()]);
-        let str_rows: Vec<Vec<&str>> =
-            rows.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+        let str_rows: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
         let refs: Vec<&[&str]> = str_rows.iter().map(|r| r.as_slice()).collect();
         let frame = frame_from(&["n"], &refs);
         let flags = GaussianOutlier { z_threshold: 3.0 }.run(&frame);
@@ -451,14 +480,21 @@ mod tests {
         rows.push(vec!["12.0 oz"]);
         let refs: Vec<&[&str]> = rows.iter().map(|r| r.as_slice()).collect();
         let frame = frame_from(&["ounces"], &refs);
-        let flags = PatternShape { max_rel_freq: 0.05, collapse_runs: true }.run(&frame);
+        let flags = PatternShape {
+            max_rel_freq: 0.05,
+            collapse_runs: true,
+        }
+        .run(&frame);
         assert!(!flags[0]);
         assert!(flags[60]);
     }
 
     #[test]
     fn missing_marker_catches_all_spellings() {
-        let frame = frame_from(&["a"], &[&["NaN"], &[""], &["null"], &["N/A"], &["-"], &["ok"]]);
+        let frame = frame_from(
+            &["a"],
+            &[&["NaN"], &[""], &["null"], &["N/A"], &["-"], &["ok"]],
+        );
         let flags = MissingMarker.run(&frame);
         assert_eq!(flags, vec![true, true, true, true, true, false]);
     }

@@ -7,6 +7,7 @@ use etsb_table::CellFrame;
 use std::collections::{HashMap, HashSet};
 
 /// Discovered dependency `lhs → rhs` with its group majority table.
+#[derive(Clone, Debug)]
 struct Dependency {
     lhs: usize,
     rhs: usize,
@@ -15,6 +16,7 @@ struct Dependency {
 }
 
 /// FD-based repairer, fit on the predicted-clean portion of a frame.
+#[derive(Clone, Debug)]
 pub struct FdRepairer {
     deps: Vec<Dependency>,
 }
@@ -25,7 +27,11 @@ impl FdRepairer {
     pub fn fit(frame: &CellFrame, error_mask: &[bool], support: f64) -> Self {
         let n_attrs = frame.n_attrs();
         let n_tuples = frame.n_tuples();
-        assert_eq!(error_mask.len(), frame.cells().len(), "FdRepairer::fit: mask length");
+        assert_eq!(
+            error_mask.len(),
+            frame.cells().len(),
+            "FdRepairer::fit: mask length"
+        );
         let mut deps = Vec::new();
         if n_tuples < 10 {
             return Self { deps };
@@ -122,7 +128,11 @@ mod tests {
         let mut dirty = Table::with_columns(&["city", "state"]);
         let mut clean = Table::with_columns(&["city", "state"]);
         for i in 0..30 {
-            let (c, s) = if i % 2 == 0 { ("Rome", "IT") } else { ("Paris", "FR") };
+            let (c, s) = if i % 2 == 0 {
+                ("Rome", "IT")
+            } else {
+                ("Paris", "FR")
+            };
             clean.push_row_strs(&[c, s]);
             if i == 4 {
                 dirty.push_row_strs(&[c, "FR"]); // wrong state for Rome

@@ -53,7 +53,11 @@ pub fn normalize_to_shape(value: &str, target: &str) -> Option<String> {
         // Strip a trailing unit / annotation (after space or directly).
         value.split(' ').next().map(str::to_string),
         // Strip trailing non-alphanumeric marks ('0.061%', 'ARCHIE-*').
-        Some(value.trim_end_matches(|c: char| !c.is_alphanumeric()).to_string()),
+        Some(
+            value
+                .trim_end_matches(|c: char| !c.is_alphanumeric())
+                .to_string(),
+        ),
         // Remove thousands separators.
         Some(value.replace(',', "")),
         // Drop a spurious '.0' decimal.
@@ -104,7 +108,10 @@ mod tests {
             normalize_to_shape("Frankie & Johnny", "a_a_a").unwrap(),
             "Frankie and Johnny"
         );
-        assert_eq!(normalize_to_shape("1907", "dd")/* same collapsed shape */, None);
+        assert_eq!(
+            normalize_to_shape("1907", "dd"), /* same collapsed shape */
+            None
+        );
         assert_eq!(normalize_to_shape("45", "d.d").unwrap(), "45.0");
     }
 

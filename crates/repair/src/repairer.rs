@@ -36,6 +36,7 @@ pub struct Proposal {
 }
 
 /// Repairs flagged cells using only dirty data + the error mask.
+#[derive(Clone, Debug)]
 pub struct Repairer {
     fd: FdRepairer,
     typo: TypoCorrector,
@@ -49,7 +50,11 @@ pub struct Repairer {
 impl Repairer {
     /// Fit all strategies on the predicted-clean cells.
     pub fn fit(frame: &CellFrame, error_mask: &[bool]) -> Self {
-        assert_eq!(error_mask.len(), frame.cells().len(), "Repairer::fit: mask length");
+        assert_eq!(
+            error_mask.len(),
+            frame.cells().len(),
+            "Repairer::fit: mask length"
+        );
         let fd = FdRepairer::fit(frame, error_mask, 0.95);
         let typo = TypoCorrector::fit(frame, error_mask);
         let mut shapes = Vec::with_capacity(frame.n_attrs());
@@ -76,7 +81,12 @@ impl Repairer {
                 _ => None,
             });
         }
-        Self { fd, typo, shapes, majority }
+        Self {
+            fd,
+            typo,
+            shapes,
+            majority,
+        }
     }
 
     /// Number of functional dependencies backing the repairer.
@@ -166,7 +176,11 @@ pub struct RepairEvaluation {
 /// Evaluate proposals against the clean table. `frame` must be the merge
 /// of the dirty table the proposals were computed on and the ground
 /// truth.
-pub fn evaluate(frame: &CellFrame, error_mask: &[bool], proposals: &[Proposal]) -> RepairEvaluation {
+pub fn evaluate(
+    frame: &CellFrame,
+    error_mask: &[bool],
+    proposals: &[Proposal],
+) -> RepairEvaluation {
     let flagged = error_mask.iter().filter(|&&m| m).count();
     let mut correct = 0usize;
     let mut fixed_cells = std::collections::HashSet::new();
@@ -183,8 +197,10 @@ pub fn evaluate(frame: &CellFrame, error_mask: &[bool], proposals: &[Proposal]) 
     }
     let errors_before = frame.cells().iter().filter(|c| c.label).count();
     let mut errors_after = 0usize;
-    let proposal_map: std::collections::HashMap<(usize, usize), &Proposal> =
-        proposals.iter().map(|p| ((p.tuple_id, p.attr), p)).collect();
+    let proposal_map: std::collections::HashMap<(usize, usize), &Proposal> = proposals
+        .iter()
+        .map(|p| ((p.tuple_id, p.attr), p))
+        .collect();
     for cell in frame.cells() {
         let current = proposal_map
             .get(&(cell.tuple_id, cell.attr))
@@ -218,13 +234,17 @@ mod tests {
         let mut dirty = Table::with_columns(&["city", "state", "ounces"]);
         let mut clean = Table::with_columns(&["city", "state", "ounces"]);
         for i in 0..60 {
-            let (c, s) = if i % 2 == 0 { ("rome", "IT") } else { ("paris", "FR") };
+            let (c, s) = if i % 2 == 0 {
+                ("rome", "IT")
+            } else {
+                ("paris", "FR")
+            };
             clean.push_row_strs(&[c, s, "12.0"]);
             match i {
                 3 => dirty.push_row_strs(&[c, "IT", "12.0"]), // VAD: paris/IT
                 8 => dirty.push_row_strs(&[c, s, "12.0 oz"]), // format
                 11 => dirty.push_row_strs(&["parxs", s, "12.0"]), // typo
-                14 => dirty.push_row_strs(&[c, "", "12.0"]), // missing
+                14 => dirty.push_row_strs(&[c, "", "12.0"]),  // missing
                 _ => dirty.push_row_strs(&[c, s, "12.0"]),
             }
         }
@@ -306,7 +326,9 @@ mod tests {
         let proposals = repairer.propose_all(&frame, &mask);
         // The city/state table is saturated with dependencies, so the
         // highest-priority strategy handles every flagged cell.
-        assert!(proposals.iter().all(|p| p.strategy == RepairStrategy::Dependency));
+        assert!(proposals
+            .iter()
+            .all(|p| p.strategy == RepairStrategy::Dependency));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use etsb_table::CellFrame;
 use std::collections::HashMap;
 
 /// Per-column vocabulary of frequent clean values.
+#[derive(Clone, Debug)]
 pub struct TypoCorrector {
     /// Per attribute: (value, frequency), sorted by descending frequency.
     vocab: Vec<Vec<(String, u32)>>,
@@ -19,7 +20,11 @@ pub struct TypoCorrector {
 impl TypoCorrector {
     /// Build vocabularies from the predicted-clean cells.
     pub fn fit(frame: &CellFrame, error_mask: &[bool]) -> Self {
-        assert_eq!(error_mask.len(), frame.cells().len(), "TypoCorrector::fit: mask length");
+        assert_eq!(
+            error_mask.len(),
+            frame.cells().len(),
+            "TypoCorrector::fit: mask length"
+        );
         let mut counts: Vec<HashMap<&str, u32>> = vec![HashMap::new(); frame.n_attrs()];
         for (i, cell) in frame.cells().iter().enumerate() {
             if !error_mask[i] && !cell.value_x.is_empty() {
@@ -35,7 +40,11 @@ impl TypoCorrector {
                 v
             })
             .collect();
-        Self { vocab, max_distance: 2, min_frequency: 2 }
+        Self {
+            vocab,
+            max_distance: 2,
+            min_frequency: 2,
+        }
     }
 
     /// Nearest frequent clean value within `max_distance` edits; ties
@@ -76,7 +85,11 @@ mod tests {
         let mut dirty = Table::with_columns(&["city"]);
         let mut clean = Table::with_columns(&["city"]);
         for i in 0..40 {
-            let c = if i % 2 == 0 { "birmingham" } else { "montgomery" };
+            let c = if i % 2 == 0 {
+                "birmingham"
+            } else {
+                "montgomery"
+            };
             clean.push_row_strs(&[c]);
             if i == 6 {
                 dirty.push_row_strs(&["birmingxam"]);

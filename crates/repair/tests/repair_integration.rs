@@ -34,7 +34,14 @@ fn detect(frame: &CellFrame, data: &EncodedDataset, seed: u64) -> Vec<bool> {
     let (train_cells, test_cells) = data.split_by_tuples(&sample);
     let mut rng = seeded_rng(seed);
     let mut model = AnyModel::new(cfg.model, data, &cfg.train, &mut rng);
-    let _ = train_model(&mut model, data, &train_cells, &test_cells, &cfg.train, seed);
+    let _ = train_model(
+        &mut model,
+        data,
+        &train_cells,
+        &test_cells,
+        &cfg.train,
+        seed,
+    );
     let mut mask = vec![false; data.n_cells()];
     for (&cell, p) in test_cells.iter().zip(model.predict(data, &test_cells)) {
         mask[cell] = p;
@@ -47,7 +54,12 @@ fn detect(frame: &CellFrame, data: &EncodedDataset, seed: u64) -> Vec<bool> {
 
 #[test]
 fn detect_and_repair_reduces_hospital_errors() {
-    let pair = Dataset::Hospital.generate(&GenConfig { scale: 0.15, seed: 31 });
+    let pair = Dataset::Hospital
+        .generate(&GenConfig {
+            scale: 0.15,
+            seed: 31,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let data = EncodedDataset::from_frame(&frame);
     let mask = detect(&frame, &data, 7);
@@ -76,7 +88,12 @@ fn detect_and_repair_reduces_hospital_errors() {
 #[test]
 fn ground_truth_mask_gives_high_repair_precision_on_beers() {
     // With a perfect detector, the repairer's own quality is isolated.
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.08, seed: 32 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.08,
+            seed: 32,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let mask: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
 
@@ -102,7 +119,12 @@ fn ground_truth_mask_gives_high_repair_precision_on_beers() {
 
 #[test]
 fn repairer_never_touches_unflagged_cells() {
-    let pair = Dataset::Rayyan.generate(&GenConfig { scale: 0.05, seed: 33 });
+    let pair = Dataset::Rayyan
+        .generate(&GenConfig {
+            scale: 0.05,
+            seed: 33,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let mask: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
     let repairer = Repairer::fit(&frame, &mask);

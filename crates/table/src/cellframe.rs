@@ -61,7 +61,10 @@ impl CellFrame {
     /// Returns an error when the tables' shapes differ.
     pub fn merge(dirty: &Table, clean: &Table) -> Result<Self, TableError> {
         if dirty.shape() != clean.shape() {
-            return Err(TableError::ShapeMismatch { dirty: dirty.shape(), clean: clean.shape() });
+            return Err(TableError::ShapeMismatch {
+                dirty: dirty.shape(),
+                clean: clean.shape(),
+            });
         }
         let (n_rows, n_cols) = dirty.shape();
         let attrs: Vec<String> = clean.columns().to_vec();
@@ -105,7 +108,11 @@ impl CellFrame {
                 });
             }
         }
-        Ok(Self { attrs, n_tuples: n_rows, cells })
+        Ok(Self {
+            attrs,
+            n_tuples: n_rows,
+            cells,
+        })
     }
 
     /// Attribute (column) names.

@@ -12,14 +12,19 @@ use std::path::Path;
 pub fn parse(text: &str) -> Result<Table, TableError> {
     let records = parse_records(text)?;
     let mut iter = records.into_iter();
-    let (header, _) = iter
-        .next()
-        .ok_or(TableError::Csv { line: 1, message: "empty input".into() })?;
+    let (header, _) = iter.next().ok_or(TableError::Csv {
+        line: 1,
+        message: "empty input".into(),
+    })?;
     let mut table = Table::new(header);
     let width = table.n_cols();
     for (record, line) in iter {
         if record.len() != width {
-            return Err(TableError::RaggedRow { line, expected: width, found: record.len() });
+            return Err(TableError::RaggedRow {
+                line,
+                expected: width,
+                found: record.len(),
+            });
         }
         table.push_row(record);
     }
@@ -145,7 +150,10 @@ fn parse_records(text: &str) -> Result<Vec<(Vec<String>, usize)>, TableError> {
         }
     }
     if in_quotes {
-        return Err(TableError::Csv { line, message: "unterminated quoted field".into() });
+        return Err(TableError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
     }
     if any_content || !field.is_empty() || !record.is_empty() {
         record.push(field);
@@ -206,7 +214,14 @@ mod tests {
     #[test]
     fn ragged_row_is_an_error() {
         let err = parse("a,b\n1\n").unwrap_err();
-        assert!(matches!(err, TableError::RaggedRow { line: 2, expected: 2, found: 1 }));
+        assert!(matches!(
+            err,
+            TableError::RaggedRow {
+                line: 2,
+                expected: 2,
+                found: 1
+            }
+        ));
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl CharIndex {
     pub fn from_entries(entries: Vec<(char, usize)>) -> Self {
         let mut map = HashMap::with_capacity(entries.len());
         for (expected, (ch, idx)) in entries.into_iter().enumerate() {
-            assert_eq!(idx, expected + 1, "CharIndex::from_entries: non-contiguous index {idx}");
+            assert_eq!(
+                idx,
+                expected + 1,
+                "CharIndex::from_entries: non-contiguous index {idx}"
+            );
             map.insert(ch, idx);
         }
         Self { map }
@@ -96,7 +100,11 @@ impl CharIndex {
     /// trainset matrices; the models in this workspace use [`Self::encode`]
     /// instead and run sequences at true length.
     pub fn encode_padded(&self, value: &str, len: usize) -> Vec<usize> {
-        let mut out: Vec<usize> = value.chars().take(len).map(|ch| self.index_of(ch)).collect();
+        let mut out: Vec<usize> = value
+            .chars()
+            .take(len)
+            .map(|ch| self.index_of(ch))
+            .collect();
         out.resize(len, PAD_INDEX);
         out
     }
@@ -112,7 +120,9 @@ pub struct AttrIndex {
 impl AttrIndex {
     /// Build from a frame's attribute list.
     pub fn build(frame: &CellFrame) -> Self {
-        Self { names: frame.attrs().to_vec() }
+        Self {
+            names: frame.attrs().to_vec(),
+        }
     }
 
     /// Build from an explicit name list (model persistence).

@@ -36,7 +36,11 @@ impl std::fmt::Display for TableError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TableError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
-            TableError::RaggedRow { line, expected, found } => {
+            TableError::RaggedRow {
+                line,
+                expected,
+                found,
+            } => {
                 write!(f, "line {line}: expected {expected} fields, found {found}")
             }
             TableError::ShapeMismatch { dirty, clean } => write!(

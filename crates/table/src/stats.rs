@@ -24,8 +24,12 @@ impl DatasetStats {
     /// Compute statistics for a merged frame.
     pub fn of(frame: &CellFrame) -> Self {
         let empty_cells = frame.cells().iter().filter(|c| c.empty).count();
-        let max_value_len =
-            frame.cells().iter().map(|c| c.value_x.chars().count()).max().unwrap_or(0);
+        let max_value_len = frame
+            .cells()
+            .iter()
+            .map(|c| c.value_x.chars().count())
+            .max()
+            .unwrap_or(0);
         Self {
             n_rows: frame.n_tuples(),
             n_cols: frame.n_attrs(),

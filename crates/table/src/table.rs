@@ -26,7 +26,10 @@ impl Table {
                 "Table: duplicate column name {c:?}"
             );
         }
-        Self { columns, rows: Vec::new() }
+        Self {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Convenience constructor from string slices.

@@ -25,7 +25,10 @@ mod matrix;
 mod ops;
 mod serialize;
 
+/// Seeded weight-initialization schemes (uniform, Glorot, recurrent).
 pub mod init;
+/// NaN/Inf detection hooks, active under the `sanitize` feature.
+pub mod sanitize;
 
 pub use matrix::Matrix;
 pub use ops::{

@@ -18,12 +18,20 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// The `n x n` identity matrix.
@@ -55,10 +63,19 @@ impl Matrix {
         let c = rows.first().map_or(0, |row| row.len());
         let mut data = Vec::with_capacity(r * c);
         for row in rows {
-            assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows ({} vs {c})", row.len());
+            assert_eq!(
+                row.len(),
+                c,
+                "Matrix::from_rows: ragged rows ({} vs {c})",
+                row.len()
+            );
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build a matrix by evaluating `f(row, col)` for every element.
@@ -74,12 +91,20 @@ impl Matrix {
 
     /// A 1 x n row vector.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// An n x 1 column vector.
     pub fn col_vector(values: &[f32]) -> Self {
-        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -132,20 +157,32 @@ impl Matrix {
     /// Read-only view of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
-        debug_assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        debug_assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable view of row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        debug_assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        debug_assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Copy of column `c`.
     pub fn col(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.cols, "col {c} out of bounds for {} cols", self.cols);
+        assert!(
+            c < self.cols,
+            "col {c} out of bounds for {} cols",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -182,6 +219,7 @@ impl Matrix {
                 }
             }
         }
+        crate::sanitize::assert_finite("tensor", "matmul", &out.data);
         out
     }
 
@@ -200,6 +238,7 @@ impl Matrix {
                 *o = crate::ops::dot(a_row, other.row(j));
             }
         }
+        crate::sanitize::assert_finite("tensor", "matmul_transposed", &out.data);
         out
     }
 
@@ -224,6 +263,7 @@ impl Matrix {
                 }
             }
         }
+        crate::sanitize::assert_finite("tensor", "transposed_matmul", &out.data);
         out
     }
 
@@ -237,7 +277,9 @@ impl Matrix {
             self.cols,
             v.len()
         );
-        (0..self.rows).map(|i| crate::ops::dot(self.row(i), v)).collect()
+        (0..self.rows)
+            .map(|i| crate::ops::dot(self.row(i), v))
+            .collect()
     }
 
     /// Vector–matrix product `v @ self` (i.e. `self.T @ v`), transpose-free.
@@ -265,8 +307,20 @@ impl Matrix {
     /// Rank-1 update `self += alpha * a b^T`; the outer-product accumulation
     /// at the heart of every weight-gradient in `etsb-nn`.
     pub fn add_outer(&mut self, alpha: f32, a: &[f32], b: &[f32]) {
-        assert_eq!(self.rows, a.len(), "add_outer: rows {} vs a len {}", self.rows, a.len());
-        assert_eq!(self.cols, b.len(), "add_outer: cols {} vs b len {}", self.cols, b.len());
+        assert_eq!(
+            self.rows,
+            a.len(),
+            "add_outer: rows {} vs a len {}",
+            self.rows,
+            a.len()
+        );
+        assert_eq!(
+            self.cols,
+            b.len(),
+            "add_outer: cols {} vs b len {}",
+            self.cols,
+            b.len()
+        );
         for (i, &ai) in a.iter().enumerate() {
             if ai == 0.0 {
                 continue;
@@ -293,6 +347,7 @@ impl Matrix {
         self.zip_with(other, "hadamard", |a, b| a * b)
     }
 
+    // etsb: allow(shape-assert) -- shared kernel; the assertion below names the *caller's* op.
     fn zip_with(&self, other: &Matrix, op: &str, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(
             self.shape(),
@@ -301,8 +356,17 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place element-wise `self += other`.
@@ -392,7 +456,18 @@ impl Matrix {
         self.data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
     }
 
+    /// Sanitizer hook: panic if any element is NaN/Inf, attributing the
+    /// failure to `layer` and `op`. A no-op unless the crate is built
+    /// with the `sanitize` feature; returns `self` for chaining.
+    #[inline]
+    pub fn assert_finite(&self, layer: &str, op: &str) -> &Matrix {
+        crate::sanitize::assert_finite(layer, op, &self.data);
+        self
+    }
+
     /// True when every element of `self` is within `tol` of `other`.
+    /// A shape mismatch is an ordinary `false`, never a panic.
+    // etsb: allow(shape-assert) -- predicate by contract: mismatched shapes compare unequal.
     pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
         self.shape() == other.shape()
             && self
@@ -408,7 +483,10 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -416,7 +494,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -473,14 +554,18 @@ mod tests {
     fn matmul_transposed_agrees_with_explicit_transpose() {
         let a = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32);
         let b = Matrix::from_fn(5, 4, |i, j| (i as f32) - (j as f32) * 0.5);
-        assert!(a.matmul_transposed(&b).approx_eq(&a.matmul(&b.transpose()), 1e-6));
+        assert!(a
+            .matmul_transposed(&b)
+            .approx_eq(&a.matmul(&b.transpose()), 1e-6));
     }
 
     #[test]
     fn transposed_matmul_agrees_with_explicit_transpose() {
         let a = Matrix::from_fn(4, 3, |i, j| (i + j) as f32 * 0.25);
         let b = Matrix::from_fn(4, 5, |i, j| (i as f32) * 0.1 + j as f32);
-        assert!(a.transposed_matmul(&b).approx_eq(&a.transpose().matmul(&b), 1e-6));
+        assert!(a
+            .transposed_matmul(&b)
+            .approx_eq(&a.transpose().matmul(&b), 1e-6));
     }
 
     #[test]
@@ -494,7 +579,10 @@ mod tests {
     fn add_outer_accumulates_outer_product() {
         let mut m = Matrix::zeros(2, 3);
         m.add_outer(2.0, &[1.0, 3.0], &[1.0, 0.0, -1.0]);
-        assert_eq!(m, Matrix::from_rows(&[&[2.0, 0.0, -2.0], &[6.0, 0.0, -6.0]]));
+        assert_eq!(
+            m,
+            Matrix::from_rows(&[&[2.0, 0.0, -2.0], &[6.0, 0.0, -6.0]])
+        );
     }
 
     #[test]

@@ -7,7 +7,13 @@
 /// If the slices have different lengths.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     // Manual 4-way unroll: gives the optimizer independent accumulation
     // chains without needing `-C target-cpu` flags.
     let mut acc = [0.0_f32; 4];
@@ -29,7 +35,13 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// `y += alpha * x`.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
@@ -38,12 +50,26 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
 /// `y += x`.
 #[inline]
 pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "add_assign: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     axpy(1.0, x, y);
 }
 
 /// `y -= x`.
 #[inline]
 pub fn sub_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "sub_assign: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     axpy(-1.0, x, y);
 }
 
@@ -134,7 +160,9 @@ pub fn stddev(x: &[f32]) -> f32 {
 /// Largest absolute element-wise difference between two slices.
 pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
-    a.iter().zip(b).fold(0.0_f32, |m, (&x, &y)| m.max((x - y).abs()))
+    a.iter()
+        .zip(b)
+        .fold(0.0_f32, |m, (&x, &y)| m.max((x - y).abs()))
 }
 
 #[cfg(test)]

@@ -30,7 +30,10 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::Truncated { needed, available } => {
-                write!(f, "truncated matrix buffer: need {needed} bytes, have {available}")
+                write!(
+                    f,
+                    "truncated matrix buffer: need {needed} bytes, have {available}"
+                )
             }
             DecodeError::Oversized { rows, cols } => {
                 write!(f, "implausible matrix header {rows}x{cols}")
@@ -58,7 +61,10 @@ pub fn encode_matrix(m: &Matrix, buf: &mut BytesMut) {
 /// Decode one matrix from the front of `buf`, advancing it.
 pub fn decode_matrix(buf: &mut Bytes) -> Result<Matrix, DecodeError> {
     if buf.remaining() < 16 {
-        return Err(DecodeError::Truncated { needed: 16, available: buf.remaining() });
+        return Err(DecodeError::Truncated {
+            needed: 16,
+            available: buf.remaining(),
+        });
     }
     let rows = buf.get_u64_le();
     let cols = buf.get_u64_le();
@@ -68,7 +74,10 @@ pub fn decode_matrix(buf: &mut Bytes) -> Result<Matrix, DecodeError> {
     };
     let needed = elems as usize * 4;
     if buf.remaining() < needed {
-        return Err(DecodeError::Truncated { needed, available: buf.remaining() });
+        return Err(DecodeError::Truncated {
+            needed,
+            available: buf.remaining(),
+        });
     }
     let mut data = Vec::with_capacity(elems as usize);
     for _ in 0..elems {
@@ -107,7 +116,10 @@ mod tests {
     #[test]
     fn truncated_header() {
         let mut bytes = Bytes::from_static(&[0u8; 8]);
-        assert!(matches!(decode_matrix(&mut bytes), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(
+            decode_matrix(&mut bytes),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -117,7 +129,10 @@ mod tests {
         encode_matrix(&m, &mut buf);
         let full = buf.freeze();
         let mut cut = full.slice(0..full.len() - 4);
-        assert!(matches!(decode_matrix(&mut cut), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(
+            decode_matrix(&mut cut),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -126,7 +141,10 @@ mod tests {
         buf.put_u64_le(u64::MAX);
         buf.put_u64_le(2);
         let mut bytes = buf.freeze();
-        assert!(matches!(decode_matrix(&mut bytes), Err(DecodeError::Oversized { .. })));
+        assert!(matches!(
+            decode_matrix(&mut bytes),
+            Err(DecodeError::Oversized { .. })
+        ));
     }
 
     #[test]

@@ -22,7 +22,12 @@ use etsb_tensor::init::seeded_rng;
 fn demo_pair() -> (Table, Table) {
     let mut clean = Table::with_columns(&["age", "salary", "zip", "city"]);
     let mut dirty = Table::with_columns(&["age", "salary", "zip", "city"]);
-    let cities = [("8000", "Zurich"), ("00100", "Rome"), ("75000", "Paris"), ("10115", "Berlin")];
+    let cities = [
+        ("8000", "Zurich"),
+        ("00100", "Rome"),
+        ("75000", "Paris"),
+        ("10115", "Berlin"),
+    ];
     for i in 0..120 {
         let age = format!("{}", 21 + (i % 45));
         let salary = format!("{}", 52_000 + (i % 50) * 1000);
@@ -30,7 +35,12 @@ fn demo_pair() -> (Table, Table) {
         clean.push_row(vec![age.clone(), salary.clone(), zip.into(), city.into()]);
         // Inject Table-1 style errors into every 6th tuple.
         match i % 18 {
-            0 => dirty.push_row(vec![age, format!("{},000", &salary[..2]), zip.into(), city.into()]),
+            0 => dirty.push_row(vec![
+                age,
+                format!("{},000", &salary[..2]),
+                zip.into(),
+                city.into(),
+            ]),
             6 => dirty.push_row(vec![age, salary, zip.into(), "NaN".into()]),
             12 => dirty.push_row(vec![age, salary, "BER".into(), city.into()]),
             _ => dirty.push_row(vec![age, salary, zip.into(), city.into()]),
@@ -52,7 +62,11 @@ fn main() {
         let cpath = dir.join("etsb_demo_clean.csv");
         csv::write_file(&dirty, &dpath).expect("writable temp dir");
         csv::write_file(&clean, &cpath).expect("writable temp dir");
-        println!("no CSVs given; wrote a demo pair to {} / {}", dpath.display(), cpath.display());
+        println!(
+            "no CSVs given; wrote a demo pair to {} / {}",
+            dpath.display(),
+            cpath.display()
+        );
         (dirty, clean)
     };
 
@@ -73,7 +87,11 @@ fn main() {
     println!("DiverSet selected tuples {sample:?}");
 
     // Train ETSB-RNN (§4.3.2) with a shortened schedule.
-    let cfg = TrainConfig { epochs: 60, eval_every: 15, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 60,
+        eval_every: 15,
+        ..Default::default()
+    };
     let mut model = AnyModel::new(ModelKind::Etsb, &data, &cfg, &mut seeded_rng(1));
     let history = train_model(&mut model, &data, &train_cells, &test_cells, &cfg, 1);
     println!(
@@ -85,7 +103,10 @@ fn main() {
     let preds = model.predict(&data, &test_cells);
     let labels = data.labels_of(&test_cells);
     let m = Metrics::from_predictions(&preds, &labels);
-    println!("precision {:.3}  recall {:.3}  F1 {:.3}", m.precision, m.recall, m.f1);
+    println!(
+        "precision {:.3}  recall {:.3}  F1 {:.3}",
+        m.precision, m.recall, m.f1
+    );
 
     // Show what the model flags.
     println!("\nfirst detections on held-out cells:");
@@ -93,7 +114,11 @@ fn main() {
     for (&cell_idx, &flagged) in test_cells.iter().zip(&preds) {
         if flagged && shown < 8 {
             let cell = &frame.cells()[cell_idx];
-            let verdict = if cell.label { "true error" } else { "false alarm" };
+            let verdict = if cell.label {
+                "true error"
+            } else {
+                "false alarm"
+            };
             println!(
                 "  tuple {:>3} {:<8} value {:?} ({verdict}, truth {:?})",
                 cell.tuple_id,

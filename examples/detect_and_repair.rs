@@ -20,7 +20,12 @@ fn main() {
         .nth(1)
         .map(|s| Dataset::parse(&s).expect("dataset name"))
         .unwrap_or(Dataset::Hospital);
-    let pair = dataset.generate(&GenConfig { scale: 0.15, seed: 11 });
+    let pair = dataset
+        .generate(&GenConfig {
+            scale: 0.15,
+            seed: 11,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
     let data = EncodedDataset::from_frame(&frame);
     println!(
@@ -35,14 +40,25 @@ fn main() {
         model: ModelKind::Etsb,
         sampler: SamplerKind::DiverSet,
         n_label_tuples: 20,
-        train: TrainConfig { epochs: 50, eval_every: 25, ..Default::default() },
+        train: TrainConfig {
+            epochs: 50,
+            eval_every: 25,
+            ..Default::default()
+        },
         seed: 3,
     };
     let sample = sampling::diver_set(&frame, cfg.n_label_tuples, cfg.seed);
     let (train_cells, test_cells) = data.split_by_tuples(&sample);
     let mut model = AnyModel::new(cfg.model, &data, &cfg.train, &mut seeded_rng(cfg.seed));
     println!("training ETSB-RNN ({} epochs)...", cfg.train.epochs);
-    let _ = train_model(&mut model, &data, &train_cells, &test_cells, &cfg.train, cfg.seed);
+    let _ = train_model(
+        &mut model,
+        &data,
+        &train_cells,
+        &test_cells,
+        &cfg.train,
+        cfg.seed,
+    );
 
     let mut mask = vec![false; data.n_cells()];
     for (&cell, p) in test_cells.iter().zip(model.predict(&data, &test_cells)) {
@@ -51,11 +67,17 @@ fn main() {
     for &cell in &train_cells {
         mask[cell] = data.labels[cell]; // the user labelled these herself
     }
-    println!("detector flagged {} cells", mask.iter().filter(|&&m| m).count());
+    println!(
+        "detector flagged {} cells",
+        mask.iter().filter(|&&m| m).count()
+    );
 
     // --- Repair -------------------------------------------------------
     let repairer = Repairer::fit(&frame, &mask);
-    println!("discovered {} approximate functional dependencies", repairer.n_dependencies());
+    println!(
+        "discovered {} approximate functional dependencies",
+        repairer.n_dependencies()
+    );
     let proposals = repairer.propose_all(&frame, &mask);
     let eval = evaluate(&frame, &mask, &proposals);
     println!(

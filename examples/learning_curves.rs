@@ -25,7 +25,12 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| format!("learning_curves_{}.csv", dataset.name().to_lowercase()));
 
-    let pair = dataset.generate(&GenConfig { scale: 0.1, seed: 9 });
+    let pair = dataset
+        .generate(&GenConfig {
+            scale: 0.1,
+            seed: 9,
+        })
+        .expect("dataset generation");
     let mut csv = String::from("model,epoch,train_loss,train_acc,test_acc,is_best\n");
 
     for model in [ModelKind::Tsb, ModelKind::Etsb] {
@@ -33,7 +38,11 @@ fn main() {
             model,
             sampler: SamplerKind::DiverSet,
             n_label_tuples: 20,
-            train: TrainConfig { epochs: 60, eval_every: 1, ..Default::default() },
+            train: TrainConfig {
+                epochs: 60,
+                eval_every: 1,
+                ..Default::default()
+            },
             seed: 3,
         };
         println!("training {} on {dataset}...", model.name());

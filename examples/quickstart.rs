@@ -17,7 +17,12 @@ use etsb_datasets::{Dataset, GenConfig};
 fn main() {
     // 1. Get a dirty/clean table pair. Swap this for your own CSVs —
     //    see the `custom_dataset` example.
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.15, seed: 7 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.15,
+            seed: 7,
+        })
+        .expect("dataset generation");
     println!(
         "dataset: {} ({} rows x {} cols)",
         pair.dataset,
@@ -32,7 +37,11 @@ fn main() {
         model: ModelKind::Etsb,
         sampler: SamplerKind::DiverSet,
         n_label_tuples: 20,
-        train: TrainConfig { epochs: 40, eval_every: 10, ..Default::default() },
+        train: TrainConfig {
+            epochs: 40,
+            eval_every: 10,
+            ..Default::default()
+        },
         seed: 42,
     };
 

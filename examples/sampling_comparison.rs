@@ -26,7 +26,12 @@ fn main() {
         .unwrap_or(Dataset::Beers);
     let runs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
 
-    let pair = dataset.generate(&GenConfig { scale: 0.1, seed: 5 });
+    let pair = dataset
+        .generate(&GenConfig {
+            scale: 0.1,
+            seed: 5,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
     let data = EncodedDataset::from_frame(&frame);
     println!(
@@ -40,7 +45,11 @@ fn main() {
         "sampler", "values", "errors", "F1", "±"
     );
 
-    for kind in [SamplerKind::Random, SamplerKind::Raha, SamplerKind::DiverSet] {
+    for kind in [
+        SamplerKind::Random,
+        SamplerKind::Raha,
+        SamplerKind::DiverSet,
+    ] {
         let mut f1s = Vec::new();
         let mut values = Vec::new();
         let mut errors = Vec::new();
@@ -78,9 +87,9 @@ fn main() {
             let result = run_with_sample(&frame, &data, &sample, &cfg, 100 + rep);
             f1s.push(result.metrics.f1);
         }
-        let f1 = etsb_core::eval::Summary::of(&f1s);
-        let v = etsb_core::eval::Summary::of(&values);
-        let e = etsb_core::eval::Summary::of(&errors);
+        let f1 = etsb_core::eval::Summary::of(&f1s).expect("runs");
+        let v = etsb_core::eval::Summary::of(&values).expect("runs");
+        let e = etsb_core::eval::Summary::of(&errors).expect("runs");
         println!(
             "{:<10} {:>8.1} {:>8.1} {:>8.3} {:>8.3}",
             kind.name(),

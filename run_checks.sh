@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full verification gate for the workspace. Run before every push.
+#
+#   ./run_checks.sh          # everything
+#   ./run_checks.sh fast     # skip the test suites (format/lint/check only)
+#
+# Gates, in order:
+#   1. cargo fmt --check               -- formatting drift
+#   2. cargo clippy -D warnings        -- compiler + clippy lint floor
+#   3. etsb-check                      -- project-specific invariants
+#                                         (panic discipline, seeded RNG,
+#                                         shape asserts, doc coverage;
+#                                         ratchets via check_baseline.txt)
+#   4. cargo test (default features)   -- tier-1 suite
+#   5. cargo test --features sanitize  -- suite again with numeric
+#                                         NaN/Inf sanitizer hooks live
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "etsb-check (static invariants)"
+cargo run -q -p etsb-check
+
+if [[ "${1:-}" != "fast" ]]; then
+    step "cargo test --workspace"
+    cargo test -q --workspace
+
+    step "cargo test --workspace --features sanitize"
+    cargo test -q --workspace --features sanitize
+fi
+
+printf '\nAll checks passed.\n'

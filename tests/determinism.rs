@@ -30,7 +30,12 @@ fn tiny_cfg() -> ExperimentConfig {
 
 #[test]
 fn identical_seeds_reproduce_identical_runs() {
-    let pair = Dataset::Rayyan.generate(&GenConfig { scale: 0.05, seed: 11 });
+    let pair = Dataset::Rayyan
+        .generate(&GenConfig {
+            scale: 0.05,
+            seed: 11,
+        })
+        .expect("dataset generation");
     let a = run_once(&pair.dirty, &pair.clean, &tiny_cfg(), 0).unwrap();
     let b = run_once(&pair.dirty, &pair.clean, &tiny_cfg(), 0).unwrap();
     assert_eq!(a.sample, b.sample);
@@ -41,7 +46,12 @@ fn identical_seeds_reproduce_identical_runs() {
 
 #[test]
 fn different_reps_differ() {
-    let pair = Dataset::Rayyan.generate(&GenConfig { scale: 0.05, seed: 11 });
+    let pair = Dataset::Rayyan
+        .generate(&GenConfig {
+            scale: 0.05,
+            seed: 11,
+        })
+        .expect("dataset generation");
     let a = run_once(&pair.dirty, &pair.clean, &tiny_cfg(), 0).unwrap();
     let b = run_once(&pair.dirty, &pair.clean, &tiny_cfg(), 1).unwrap();
     // Different repetition → different sample (with overwhelming
@@ -53,9 +63,18 @@ fn different_reps_differ() {
 fn samplers_are_deterministic_across_processes_conceptually() {
     // The samplers take explicit seeds, so the same inputs must give the
     // same outputs — repeatedly, and for every algorithm.
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.03, seed: 12 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.03,
+            seed: 12,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
-    for kind in [SamplerKind::Random, SamplerKind::Raha, SamplerKind::DiverSet] {
+    for kind in [
+        SamplerKind::Random,
+        SamplerKind::Raha,
+        SamplerKind::DiverSet,
+    ] {
         let a = sampling::select(kind, &frame, 15, 77);
         let b = sampling::select(kind, &frame, 15, 77);
         assert_eq!(a, b, "{kind:?} not deterministic");
@@ -65,7 +84,12 @@ fn samplers_are_deterministic_across_processes_conceptually() {
 #[test]
 fn generator_determinism_extends_to_csv_round_trip() {
     // Serialize → parse → regenerate: everything must line up.
-    let pair = Dataset::Hospital.generate(&GenConfig { scale: 0.05, seed: 13 });
+    let pair = Dataset::Hospital
+        .generate(&GenConfig {
+            scale: 0.05,
+            seed: 13,
+        })
+        .expect("dataset generation");
     let text = etsb_table::csv::to_string(&pair.dirty);
     let parsed = etsb_table::csv::parse(&text).unwrap();
     assert_eq!(parsed, pair.dirty);

@@ -34,7 +34,14 @@ fn full_table_mask(frame: &CellFrame, data: &EncodedDataset, cfg: &ExperimentCon
     let sample = sampling::diver_set(frame, cfg.n_label_tuples, cfg.seed);
     let (train_cells, test_cells) = data.split_by_tuples(&sample);
     let mut model = AnyModel::new(cfg.model, data, &cfg.train, &mut seeded_rng(cfg.seed));
-    let _ = train_model(&mut model, data, &train_cells, &test_cells, &cfg.train, cfg.seed);
+    let _ = train_model(
+        &mut model,
+        data,
+        &train_cells,
+        &test_cells,
+        &cfg.train,
+        cfg.seed,
+    );
     let mut mask = vec![false; data.n_cells()];
     for (&cell, p) in test_cells.iter().zip(model.predict(data, &test_cells)) {
         mask[cell] = p;
@@ -49,7 +56,12 @@ fn full_table_mask(frame: &CellFrame, data: &EncodedDataset, cfg: &ExperimentCon
 fn duplicate_arbitration_lifts_flights_recall_over_the_model_alone() {
     // The §5.7 headline: the model alone misses source-conflict times;
     // adding duplicate-record arbitration must raise recall.
-    let pair = Dataset::Flights.generate(&GenConfig { scale: 0.1, seed: 21 });
+    let pair = Dataset::Flights
+        .generate(&GenConfig {
+            scale: 0.1,
+            seed: 21,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let data = EncodedDataset::from_frame(&frame);
     let labels: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
@@ -76,7 +88,12 @@ fn duplicate_arbitration_lifts_flights_recall_over_the_model_alone() {
 
 #[test]
 fn fd_augmentation_never_lowers_recall() {
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.05, seed: 22 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.05,
+            seed: 22,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let labels: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
     let none = vec![false; frame.cells().len()];
@@ -86,14 +103,20 @@ fn fd_augmentation_never_lowers_recall() {
     // interesting check is that the FD signal alone is high-precision.
     let flagged = augmented.iter().filter(|&&f| f).count();
     if flagged > 0 {
-        assert!(m.precision > 0.5, "FD violations should be precise: {:.2}", m.precision);
+        assert!(
+            m.precision > 0.5,
+            "FD violations should be precise: {:.2}",
+            m.precision
+        );
     }
 }
 
 #[test]
 fn key_detection_is_stable_across_seeds() {
     for seed in [1, 2, 3] {
-        let pair = Dataset::Flights.generate(&GenConfig { scale: 0.08, seed });
+        let pair = Dataset::Flights
+            .generate(&GenConfig { scale: 0.08, seed })
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
         let key = identify_record_key(&frame).expect("flights key");
         assert_eq!(frame.attrs()[key], "flight", "seed {seed}");
@@ -102,14 +125,26 @@ fn key_detection_is_stable_across_seeds() {
 
 #[test]
 fn trained_detector_round_trips_through_persistence_on_real_data() {
-    let pair = Dataset::Hospital.generate(&GenConfig { scale: 0.06, seed: 23 });
+    let pair = Dataset::Hospital
+        .generate(&GenConfig {
+            scale: 0.06,
+            seed: 23,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let data = EncodedDataset::from_frame(&frame);
     let cfg = small_cfg();
     let sample = sampling::diver_set(&frame, cfg.n_label_tuples, cfg.seed);
     let (train_cells, test_cells) = data.split_by_tuples(&sample);
     let mut model = AnyModel::new(cfg.model, &data, &cfg.train, &mut seeded_rng(cfg.seed));
-    let _ = train_model(&mut model, &data, &train_cells, &test_cells, &cfg.train, cfg.seed);
+    let _ = train_model(
+        &mut model,
+        &data,
+        &train_cells,
+        &test_cells,
+        &cfg.train,
+        cfg.seed,
+    );
 
     let saved = save_detector(&model, cfg.model, &cfg.train, &data);
     let loaded = load_detector(&saved).unwrap();
@@ -118,6 +153,9 @@ fn trained_detector_round_trips_through_persistence_on_real_data() {
     let direct = model.predict(&data, &test_cells);
     let via_apply = loaded.apply(&pair.dirty).unwrap();
     for (&cell, &expected) in test_cells.iter().zip(&direct) {
-        assert_eq!(via_apply[cell], expected, "cell {cell} diverged after reload");
+        assert_eq!(
+            via_apply[cell], expected,
+            "cell {cell} diverged after reload"
+        );
     }
 }

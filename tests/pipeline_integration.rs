@@ -32,7 +32,12 @@ fn fast_cfg(model: ModelKind) -> ExperimentConfig {
 fn hospital_end_to_end_reaches_high_f1() {
     // Hospital is the paper's easiest dataset (x-marked typos, F1 0.97);
     // even a miniature model should detect most of them.
-    let pair = Dataset::Hospital.generate(&GenConfig { scale: 0.15, seed: 3 });
+    let pair = Dataset::Hospital
+        .generate(&GenConfig {
+            scale: 0.15,
+            seed: 3,
+        })
+        .expect("dataset generation");
     let result = run_once(&pair.dirty, &pair.clean, &fast_cfg(ModelKind::Tsb), 0).unwrap();
     assert!(
         result.metrics.f1 > 0.55,
@@ -45,7 +50,12 @@ fn hospital_end_to_end_reaches_high_f1() {
 
 #[test]
 fn beers_end_to_end_with_etsb() {
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.08, seed: 4 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.08,
+            seed: 4,
+        })
+        .expect("dataset generation");
     let result = run_once(&pair.dirty, &pair.clean, &fast_cfg(ModelKind::Etsb), 0).unwrap();
     assert!(
         result.metrics.f1 > 0.5,
@@ -64,7 +74,9 @@ fn every_dataset_runs_through_the_pipeline() {
     cfg.train.eval_every = 4;
     for ds in Dataset::ALL {
         let scale = 40.0 / ds.paper_rows() as f64; // ~40 rows each
-        let pair = ds.generate(&GenConfig { scale, seed: 5 });
+        let pair = ds
+            .generate(&GenConfig { scale, seed: 5 })
+            .expect("dataset generation");
         let result = run_once(&pair.dirty, &pair.clean, &cfg, 0)
             .unwrap_or_else(|e| panic!("{ds}: pipeline failed: {e}"));
         assert!(result.metrics.f1.is_finite(), "{ds}: non-finite F1");
@@ -74,13 +86,22 @@ fn every_dataset_runs_through_the_pipeline() {
 
 #[test]
 fn repeated_runs_have_plausible_spread() {
-    let pair = Dataset::Hospital.generate(&GenConfig { scale: 0.08, seed: 6 });
+    let pair = Dataset::Hospital
+        .generate(&GenConfig {
+            scale: 0.08,
+            seed: 6,
+        })
+        .expect("dataset generation");
     let mut cfg = fast_cfg(ModelKind::Tsb);
     cfg.train.epochs = 8;
     let rep = run_repeated(&pair.dirty, &pair.clean, &cfg, 3).unwrap();
     assert_eq!(rep.runs.len(), 3);
     // Standard deviation exists and is bounded.
-    assert!(rep.f1.std >= 0.0 && rep.f1.std < 0.5, "std {:.3}", rep.f1.std);
+    assert!(
+        rep.f1.std >= 0.0 && rep.f1.std < 0.5,
+        "std {:.3}",
+        rep.f1.std
+    );
     // Each run used a different sample (seeds differ).
     assert_ne!(rep.runs[0].sample, rep.runs[1].sample);
 }
@@ -89,7 +110,12 @@ fn repeated_runs_have_plausible_spread() {
 fn trainset_size_matches_paper_formula() {
     // §5.2: "for the dataset Beers we got a trainset of size 220, i.e.
     // 20 tuples x 11 attributes, and a testset of 26,290".
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.05, seed: 7 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.05,
+            seed: 7,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let data = etsb_core::EncodedDataset::from_frame(&frame);
     let sample = etsb_core::sampling::diver_set(&frame, 20, 1);
@@ -101,7 +127,12 @@ fn trainset_size_matches_paper_formula() {
 #[test]
 fn dataset_stats_align_with_table2_metadata() {
     for ds in [Dataset::Beers, Dataset::Hospital, Dataset::Rayyan] {
-        let pair = ds.generate(&GenConfig { scale: 0.1, seed: 8 });
+        let pair = ds
+            .generate(&GenConfig {
+                scale: 0.1,
+                seed: 8,
+            })
+            .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
         let stats = DatasetStats::of(&frame);
         assert_eq!(stats.n_cols, ds.paper_cols(), "{ds}");

@@ -10,7 +10,9 @@ use etsb_raha::{strategies, RahaConfig, RahaDetector};
 use etsb_table::CellFrame;
 
 fn run_raha(ds: Dataset, scale: f64, seed: u64) -> Metrics {
-    let pair = ds.generate(&GenConfig { scale, seed });
+    let pair = ds
+        .generate(&GenConfig { scale, seed })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let detector = RahaDetector::new(RahaConfig::default());
     let model = detector.fit(&frame);
@@ -23,17 +25,31 @@ fn run_raha(ds: Dataset, scale: f64, seed: u64) -> Metrics {
 #[test]
 fn raha_detects_beers_formatting_errors() {
     let m = run_raha(Dataset::Beers, 0.1, 1);
-    assert!(m.f1 > 0.4, "Beers F1 {:.2} (p={:.2}, r={:.2})", m.f1, m.precision, m.recall);
+    assert!(
+        m.f1 > 0.4,
+        "Beers F1 {:.2} (p={:.2}, r={:.2})",
+        m.f1,
+        m.precision,
+        m.recall
+    );
 }
 
 #[test]
 fn raha_finds_signal_on_every_dataset() {
-    for ds in [Dataset::Beers, Dataset::Hospital, Dataset::Movies, Dataset::Rayyan] {
+    for ds in [
+        Dataset::Beers,
+        Dataset::Hospital,
+        Dataset::Movies,
+        Dataset::Rayyan,
+    ] {
         let scale = (120.0 / ds.paper_rows() as f64).min(0.2);
         let m = run_raha(ds, scale, 2);
         // We only require sane, finite metrics here; per-dataset quality is
         // asserted by the focused tests and the Table 3 bench.
-        assert!(m.f1.is_finite() && m.precision.is_finite(), "{ds}: broken metrics");
+        assert!(
+            m.f1.is_finite() && m.precision.is_finite(),
+            "{ds}: broken metrics"
+        );
     }
 }
 
@@ -45,11 +61,20 @@ fn strategies_fire_more_on_dirty_cells_of_regular_columns() {
     // frequency strategies legitimately fire on every value of
     // unique-value columns like ids — which is exactly why Raha trains a
     // classifier per column instead of thresholding votes.
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.08, seed: 3 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.08,
+            seed: 3,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let battery = strategies::default_battery();
     let features = etsb_raha::build_features(&frame, &battery);
-    let ounces = frame.attrs().iter().position(|a| a == "ounces").expect("beers has ounces");
+    let ounces = frame
+        .attrs()
+        .iter()
+        .position(|a| a == "ounces")
+        .expect("beers has ounces");
     let (mut dirty_votes, mut dirty_n, mut clean_votes, mut clean_n) = (0.0, 0, 0.0, 0);
     for (i, cell) in frame.cells().iter().enumerate() {
         if cell.attr != ounces {
@@ -66,7 +91,10 @@ fn strategies_fire_more_on_dirty_cells_of_regular_columns() {
     }
     let dirty_mean = dirty_votes / dirty_n.max(1) as f64;
     let clean_mean = clean_votes / clean_n.max(1) as f64;
-    assert!(dirty_n > 0 && clean_n > 0, "need both classes in the ounces column");
+    assert!(
+        dirty_n > 0 && clean_n > 0,
+        "need both classes in the ounces column"
+    );
     assert!(
         dirty_mean > clean_mean * 1.5,
         "ounces votes: dirty {dirty_mean:.2} vs clean {clean_mean:.2}"
@@ -75,7 +103,12 @@ fn strategies_fire_more_on_dirty_cells_of_regular_columns() {
 
 #[test]
 fn raha_set_differs_from_random_but_is_valid() {
-    let pair = Dataset::Movies.generate(&GenConfig { scale: 0.02, seed: 4 });
+    let pair = Dataset::Movies
+        .generate(&GenConfig {
+            scale: 0.02,
+            seed: 4,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let detector = RahaDetector::default();
     let model = detector.fit(&frame);

@@ -28,7 +28,12 @@ fn cfg(epochs: usize) -> TrainConfig {
 
 #[test]
 fn train_accuracy_improves_over_epochs() {
-    let pair = Dataset::Hospital.generate(&GenConfig { scale: 0.08, seed: 21 });
+    let pair = Dataset::Hospital
+        .generate(&GenConfig {
+            scale: 0.08,
+            seed: 21,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let data = EncodedDataset::from_frame(&frame);
     let sample = etsb_core::sampling::diver_set(&frame, 20, 1);
@@ -39,7 +44,10 @@ fn train_accuracy_improves_over_epochs() {
 
     let early: f32 = history.train_acc[..5].iter().sum::<f32>() / 5.0;
     let late: f32 = history.train_acc[25..].iter().sum::<f32>() / 5.0;
-    assert!(late >= early, "train accuracy regressed: {early:.3} -> {late:.3}");
+    assert!(
+        late >= early,
+        "train accuracy regressed: {early:.3} -> {late:.3}"
+    );
     // The paper reports near-perfect train accuracy ("almost a perfect
     // result for the train-accuracy"); on this easy dataset with 30
     // epochs we expect at least 0.9.
@@ -48,7 +56,12 @@ fn train_accuracy_improves_over_epochs() {
 
 #[test]
 fn checkpoint_restores_best_loss_epoch_weights() {
-    let pair = Dataset::Rayyan.generate(&GenConfig { scale: 0.06, seed: 22 });
+    let pair = Dataset::Rayyan
+        .generate(&GenConfig {
+            scale: 0.06,
+            seed: 22,
+        })
+        .expect("dataset generation");
     let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
     let data = EncodedDataset::from_frame(&frame);
     let sample = etsb_core::sampling::diver_set(&frame, 15, 1);
@@ -58,14 +71,20 @@ fn checkpoint_restores_best_loss_epoch_weights() {
     let history = train_model(&mut model, &data, &train, &test, &tc, 3);
 
     // The recorded best epoch has the minimum train loss.
-    let min = history.train_loss.iter().cloned().fold(f32::INFINITY, f32::min);
+    let min = history
+        .train_loss
+        .iter()
+        .cloned()
+        .fold(f32::INFINITY, f32::min);
     assert_eq!(history.train_loss[history.best_epoch], min);
     // And the restored model performs on the trainset like a converged
     // model, not like the random init (accuracy above the base rate).
     let acc = accuracy(&model, &data, &train);
-    let base = 1.0
-        - train.iter().filter(|&&c| data.labels[c]).count() as f32 / train.len() as f32;
-    assert!(acc + 0.05 >= base, "restored accuracy {acc:.3} below base rate {base:.3}");
+    let base = 1.0 - train.iter().filter(|&&c| data.labels[c]).count() as f32 / train.len() as f32;
+    assert!(
+        acc + 0.05 >= base,
+        "restored accuracy {acc:.3} below base rate {base:.3}"
+    );
 }
 
 #[test]
@@ -92,7 +111,11 @@ fn etsb_uses_attribute_signal_on_attribute_dependent_errors() {
         model: ModelKind::Etsb,
         sampler: SamplerKind::DiverSet,
         n_label_tuples: 16,
-        train: cfg(40),
+        // The DiverSet sample holds exactly one dirty tuple (all dirty rows
+        // share a value profile), so the separating signal is a single
+        // positive cell: the run must train to convergence or the outcome
+        // is init luck. 80 epochs reaches ~1e-3 train loss on every seed.
+        train: cfg(80),
         seed: 5,
     };
     let result = etsb_core::pipeline::run_once_on_frame(&frame, &exp, 0);
@@ -106,7 +129,12 @@ fn etsb_uses_attribute_signal_on_attribute_dependent_errors() {
 #[test]
 fn learning_curves_are_recorded_for_figures() {
     // The fig6/fig7 benches consume History; assert its invariants here.
-    let pair = Dataset::Beers.generate(&GenConfig { scale: 0.03, seed: 23 });
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.03,
+            seed: 23,
+        })
+        .expect("dataset generation");
     let exp = ExperimentConfig {
         model: ModelKind::Tsb,
         sampler: SamplerKind::DiverSet,

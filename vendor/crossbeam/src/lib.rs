@@ -1,0 +1,91 @@
+//! Offline vendored subset of `crossbeam`.
+//!
+//! Only `crossbeam::channel::unbounded` is consumed (by the
+//! data-parallel evaluation helpers in `etsb-nn`), so this vendored
+//! version delegates to `std::sync::mpsc`, which provides the same
+//! unbounded MPSC semantics for that use.
+
+/// Multi-producer single-consumer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half; cloneable for fan-in from worker threads.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when the receiving half has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Send `value`; fails only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half; iterate to drain until all senders drop.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking iterator over received values.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    /// Channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_preserves_all_messages() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        tx.send(w * 25 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<usize> = rx.into_iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+}

@@ -1,0 +1,557 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Implements the surface the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, numeric range
+//! strategies, tuple strategies, `collection::vec`, a character-class
+//! regex string generator, `any::<T>()`, the `proptest!` macro and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! deterministic case index instead of a minimized input), and the case
+//! stream is a pure function of the test name and case index, so
+//! failures reproduce exactly across runs and machines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, Standard};
+
+#[doc(hidden)]
+pub use rand;
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a over the test name: decorrelates the RNG streams of different
+/// properties while keeping each stream stable across runs.
+pub fn seed_for(test_name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Generator of test-case values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// Type of value the strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds
+    /// from it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+impl<T: SampleUniform + Clone> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + Clone> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Strategy that always yields a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical strategy, mirroring `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Construct the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy behind [`any`]: samples the type's canonical distribution.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+
+            fn arbitrary() -> Any<$t> {
+                Any { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub trait IntoSizeRange {
+        /// Draw a concrete length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy yielding vectors of `element`-generated values.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of values from `element`, with length drawn from `len`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// String strategies, mirroring `proptest::string`.
+pub mod string {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Error from an unsupported or malformed pattern.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One regex atom: the characters it may yield and its repetition.
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy yielding strings matching a character-class regex.
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.gen_range(atom.min..=atom.max);
+                for _ in 0..n {
+                    out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Build a string strategy from a regex. Supports the subset the
+    /// workspace uses: literal characters, escapes, character classes
+    /// with ranges, and `{m}` / `{m,n}` quantifiers.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms: Vec<Atom> = Vec::new();
+        while let Some(c) = chars.next() {
+            let choices = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => vec![unescape(
+                    chars
+                        .next()
+                        .ok_or_else(|| Error("dangling escape".into()))?,
+                )],
+                '{' | '}' | ']' => return Err(Error(format!("unexpected `{c}`"))),
+                c => vec![c],
+            };
+            let (min, max) = parse_quantifier(&mut chars)?;
+            atoms.push(Atom { choices, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            c => c,
+        }
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<Vec<char>, Error> {
+        let mut members: Vec<char> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars
+                .next()
+                .ok_or_else(|| Error("unterminated class".into()))?;
+            match c {
+                ']' => {
+                    members.extend(pending.take());
+                    break;
+                }
+                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                    let lo = pending.take().expect("checked above");
+                    let hi = match chars.next() {
+                        Some('\\') => unescape(
+                            chars
+                                .next()
+                                .ok_or_else(|| Error("dangling escape".into()))?,
+                        ),
+                        Some(c) => c,
+                        None => return Err(Error("unterminated class".into())),
+                    };
+                    if (hi as u32) < (lo as u32) {
+                        return Err(Error(format!("inverted range {lo}-{hi}")));
+                    }
+                    members.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                }
+                '\\' => {
+                    members.extend(pending.take());
+                    pending = Some(unescape(
+                        chars
+                            .next()
+                            .ok_or_else(|| Error("dangling escape".into()))?,
+                    ));
+                }
+                c => {
+                    members.extend(pending.take());
+                    pending = Some(c);
+                }
+            }
+        }
+        if members.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(members)
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<(usize, usize), Error> {
+        if chars.peek() != Some(&'{') {
+            return Ok((1, 1));
+        }
+        chars.next();
+        let mut body = String::new();
+        loop {
+            match chars.next() {
+                Some('}') => break,
+                Some(c) => body.push(c),
+                None => return Err(Error("unterminated quantifier".into())),
+            }
+        }
+        let parse = |s: &str| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| Error(format!("bad quantifier bound `{s}`")))
+        };
+        match body.split_once(',') {
+            Some((lo, hi)) => {
+                let (lo, hi) = (parse(lo)?, parse(hi)?);
+                if hi < lo {
+                    return Err(Error(format!("inverted quantifier {{{lo},{hi}}}")));
+                }
+                Ok((lo, hi))
+            }
+            None => {
+                let n = parse(&body)?;
+                Ok((n, n))
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert a condition inside a property, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality inside a property, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Assert inequality inside a property, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Define property tests, mirroring the `proptest!` macro. Each property
+/// runs `cases` deterministic cases; the case index is printed on panic
+/// via the standard assertion message's source location.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..u64::from(__config.cases) {
+                    let mut __rng =
+                        <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                            $crate::seed_for(stringify!($name), __case),
+                        );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::string::string_regex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = (1usize..5, -1.0f32..1.0).prop_map(|(n, x)| (n * 2, x));
+        for _ in 0..200 {
+            let (n, x) = strat.generate(&mut rng);
+            assert!((2..10).contains(&n) && n % 2 == 0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let strat = crate::collection::vec(0u8..10, 3usize..7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 10));
+        }
+    }
+
+    #[test]
+    fn string_regex_matches_class_and_quantifier() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let strat = string_regex("[a-c]{2,4}").unwrap();
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "bad length: {s:?}");
+            assert!(
+                s.chars().all(|c| ('a'..='c').contains(&c)),
+                "bad char: {s:?}"
+            );
+        }
+        // The table-crate pattern: space-to-tilde range, unicode, quote, newline.
+        let strat = string_regex("[ -~äöüé日,\"\n]{0,12}").unwrap();
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+        }
+    }
+
+    #[test]
+    fn string_regex_rejects_garbage() {
+        assert!(string_regex("[a-").is_err());
+        assert!(string_regex("a{2").is_err());
+        assert!(string_regex("[z-a]").is_err());
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategy() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let strat = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..5, n));
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0usize..10, b in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b as usize <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on result and config
+//! structs so downstream consumers can plug in a real serializer, but no
+//! code in-tree ever drives the serde data model (persistence uses the
+//! compact binary format in `etsb-tensor::serialize`). With crates.io
+//! unreachable from the build container, these marker traits and a
+//! matching derive are all the workspace needs to compile.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types whose serialized form is defined by the workspace.
+///
+/// The vendored trait carries no methods; deriving it records intent and
+/// keeps signatures source-compatible with upstream serde.
+pub trait Serialize {}
+
+/// Marker for types that can be reconstructed from serialized form.
+///
+/// See [`Serialize`] for why the vendored trait carries no methods.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,164 @@
+//! Derive macros for the vendored `serde` marker traits.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote`, which are
+//! unreachable offline). The macros locate the `struct`/`enum` name and
+//! its generic parameters by token inspection and emit an empty trait
+//! impl — sufficient because the vendored traits carry no methods.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name plus generic parameter lists extracted from a type definition.
+struct TypeHeader {
+    name: String,
+    /// Parameter list with bounds, e.g. `<T: Clone, const N: usize>`.
+    params: String,
+    /// Argument list without bounds, e.g. `<T, N>`.
+    args: String,
+}
+
+/// Scan the item's tokens for `struct`/`enum`, returning the type name and
+/// its generics (bounds stripped for the argument position).
+fn parse_header(input: TokenStream) -> TypeHeader {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if *id.to_string() == *"struct" || *id.to_string() == *"enum" => {
+                break;
+            }
+            // Skip attribute bodies and doc comments wholesale.
+            _ => i += 1,
+        }
+    }
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name after struct/enum, found {other:?}"),
+    };
+    // Generics: a `<` punct immediately after the name.
+    let mut params = String::new();
+    let mut args = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+        if p.as_char() == '<' {
+            let mut depth = 1usize;
+            let mut j = i + 3;
+            let mut raw: Vec<TokenTree> = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                if let TokenTree::Punct(p) = &tokens[j] {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                raw.push(tokens[j].clone());
+                j += 1;
+            }
+            params = format!("<{}>", tokens_to_string(&raw));
+            args = format!("<{}>", strip_bounds(&raw));
+        }
+    }
+    TypeHeader { name, params, args }
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Reduce `T: Clone + Send, 'a, const N: usize` to `T, 'a, N` for the
+/// argument position of the emitted impl.
+fn strip_bounds(tokens: &[TokenTree]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut current: Vec<String> = Vec::new();
+    let mut in_bounds = false;
+    let mut is_const = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' || p.as_char() == '(' => {
+                depth += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' || p.as_char() == ')' => {
+                depth = depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if let Some(first) = param_name(&current, is_const) {
+                    out.push(first);
+                }
+                current.clear();
+                in_bounds = false;
+                is_const = false;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 0 => {
+                in_bounds = true;
+                continue;
+            }
+            TokenTree::Ident(id) if depth == 0 && !in_bounds && id.to_string() == "const" => {
+                is_const = true;
+                continue;
+            }
+            _ => {}
+        }
+        if !in_bounds {
+            current.push(t.to_string());
+        }
+    }
+    if let Some(first) = param_name(&current, is_const) {
+        out.push(first);
+    }
+    out.join(", ")
+}
+
+/// First meaningful token of a generic parameter: the name (with a
+/// leading `'` glued back on for lifetimes).
+fn param_name(parts: &[String], _is_const: bool) -> Option<String> {
+    if parts.is_empty() {
+        return None;
+    }
+    if parts[0] == "'" && parts.len() > 1 {
+        return Some(format!("'{}", parts[1]));
+    }
+    Some(parts[0].clone())
+}
+
+/// Derive the vendored `serde::Serialize` marker for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let h = parse_header(input);
+    format!(
+        "impl {params} serde::Serialize for {name} {args} {{}}",
+        params = h.params,
+        name = h.name,
+        args = h.args
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl must parse")
+}
+
+/// Derive the vendored `serde::Deserialize` marker for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let h = parse_header(input);
+    let params = if h.params.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {}", &h.params[1..])
+    };
+    format!(
+        "impl {params} serde::Deserialize<'de> for {name} {args} {{}}",
+        params = params,
+        name = h.name,
+        args = h.args
+    )
+    .parse()
+    .expect("derive(Deserialize): generated impl must parse")
+}
