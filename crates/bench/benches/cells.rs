@@ -3,7 +3,7 @@
 //! and backward.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use etsb_nn::{GruCell, LstmCell, Recurrence, RnnCell};
+use etsb_nn::{grad_buffer_for, GruCell, LstmCell, Recurrence, RnnCell};
 use etsb_tensor::{init, Matrix};
 
 const INPUT_DIM: usize = 86; // Beers alphabet
@@ -40,22 +40,25 @@ fn bench_backward(c: &mut Criterion) {
     let x = input();
     let grad = Matrix::full(SEQ_LEN, HIDDEN, 1.0);
 
-    let mut rnn = RnnCell::new(INPUT_DIM, HIDDEN, &mut rng);
+    let rnn = RnnCell::new(INPUT_DIM, HIDDEN, &mut rng);
     let (_, rnn_cache) = rnn.forward_seq(x.clone());
+    let mut rnn_grads = grad_buffer_for(&rnn.params());
     group.bench_with_input(BenchmarkId::from_parameter("rnn"), &(), |b, _| {
-        b.iter(|| black_box(rnn.backward_seq(&rnn_cache, &grad)))
+        b.iter(|| black_box(rnn.backward_seq(&rnn_cache, &grad, rnn_grads.slots_mut())))
     });
 
-    let mut lstm = LstmCell::new(INPUT_DIM, HIDDEN, &mut rng);
+    let lstm = LstmCell::new(INPUT_DIM, HIDDEN, &mut rng);
     let (_, lstm_cache) = lstm.forward_seq(x.clone());
+    let mut lstm_grads = grad_buffer_for(&lstm.params());
     group.bench_with_input(BenchmarkId::from_parameter("lstm"), &(), |b, _| {
-        b.iter(|| black_box(lstm.backward_seq(&lstm_cache, &grad)))
+        b.iter(|| black_box(lstm.backward_seq(&lstm_cache, &grad, lstm_grads.slots_mut())))
     });
 
-    let mut gru = GruCell::new(INPUT_DIM, HIDDEN, &mut rng);
+    let gru = GruCell::new(INPUT_DIM, HIDDEN, &mut rng);
     let (_, gru_cache) = gru.forward_seq(x.clone());
+    let mut gru_grads = grad_buffer_for(&gru.params());
     group.bench_with_input(BenchmarkId::from_parameter("gru"), &(), |b, _| {
-        b.iter(|| black_box(gru.backward_seq(&gru_cache, &grad)))
+        b.iter(|| black_box(gru.backward_seq(&gru_cache, &grad, gru_grads.slots_mut())))
     });
     group.finish();
 }

@@ -24,13 +24,14 @@ fn bench_stacked_birnn_backward(c: &mut Criterion) {
     let mut group = c.benchmark_group("stacked_birnn_backward");
     let mut rng = init::seeded_rng(2);
     let embed_dim = 86;
-    let mut net: StackedBiRnn = StackedBiRnn::new(embed_dim, 64, &mut rng);
+    let net: StackedBiRnn = StackedBiRnn::new(embed_dim, 64, &mut rng);
+    let mut grads = etsb_nn::grad_buffer_for(&net.params());
     for &len in &[16usize, 64] {
         let input = init::glorot_uniform(len, embed_dim, &mut rng);
         let (out, cache) = net.forward(input.clone());
         let grad = vec![1.0f32; out.len()];
         group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
-            b.iter(|| black_box(net.backward(&cache, &grad)))
+            b.iter(|| black_box(net.backward(&cache, &grad, grads.slots_mut())))
         });
     }
     group.finish();

@@ -1,0 +1,70 @@
+//! Benchmarks one gradient-accumulating `train_batch` step of ETSB-RNN at
+//! the paper's layer sizes, sequential vs sharded across all cores — the
+//! speedup behind the parallel gradient-buffer refactor. The merge order
+//! is fixed, so both configurations produce bitwise-identical gradients
+//! (asserted in `tests/determinism.rs`); this bench measures the time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use etsb_core::config::{ModelKind, TrainConfig};
+use etsb_core::encode::EncodedDataset;
+use etsb_core::model::AnyModel;
+use etsb_nn::parallel::set_worker_override;
+use etsb_table::{CellFrame, Table};
+use etsb_tensor::init::seeded_rng;
+
+const BATCH: usize = 128;
+
+/// Synthetic two-column frame with value lengths and an alphabet in the
+/// range of the paper's datasets.
+fn frame() -> CellFrame {
+    let mut dirty = Table::with_columns(&["code", "city"]);
+    let mut clean = Table::with_columns(&["code", "city"]);
+    for i in 0..BATCH {
+        let code = format!(
+            "{:06}-{}",
+            i * 37 % 999_983,
+            (b'a' + (i % 26) as u8) as char
+        );
+        let city = format!("City of Example Number {}", i % 40);
+        if i % 5 == 0 {
+            dirty.push_row(vec![city.clone(), code.clone()]);
+        } else {
+            dirty.push_row(vec![code.clone(), city.clone()]);
+        }
+        clean.push_row(vec![code, city]);
+    }
+    CellFrame::merge(&dirty, &clean).expect("same-shape tables")
+}
+
+fn bench_train_batch(c: &mut Criterion) {
+    let frame = frame();
+    let data = EncodedDataset::from_frame(&frame);
+    let cfg = TrainConfig {
+        rnn_units: 64,
+        attr_rnn_units: 8,
+        head_dim: 32,
+        length_dense_dim: 64,
+        embed_dim: Some(64),
+        ..TrainConfig::default()
+    };
+    let batch: Vec<usize> = (0..data.n_cells().min(BATCH)).collect();
+
+    let mut group = c.benchmark_group("etsb_train_batch_128");
+    group.sample_size(10);
+    for (name, workers) in [("sequential", 1usize), ("parallel", 0usize)] {
+        let mut model = AnyModel::new(ModelKind::Etsb, &data, &cfg, &mut seeded_rng(11));
+        let mut grads = model.grad_buffer();
+        set_worker_override(workers);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                grads.zero();
+                black_box(model.train_batch(&data, &batch, &mut grads))
+            })
+        });
+    }
+    set_worker_override(0);
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_batch);
+criterion_main!(benches);

@@ -24,7 +24,9 @@ fn main() {
             .generate(&gen_config(&args, ds))
             .expect("dataset generation");
         let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
-        let cfg = experiment_config(&args, ModelKind::Etsb);
+        let mut cfg = experiment_config(&args, ModelKind::Etsb);
+        // Figure 7 plots the train-accuracy curve, so pay for tracking it.
+        cfg.train.track_train_acc = true;
         let mut train_series: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
         let mut test_series: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
         eprintln!("[{ds}] ETSB-RNN x{}...", args.runs);

@@ -149,6 +149,9 @@ pub fn gen_config(args: &BenchArgs, ds: Dataset) -> GenConfig {
 pub fn experiment_config(args: &BenchArgs, model: ModelKind) -> ExperimentConfig {
     let mut train = TrainConfig {
         eval_every: 5,
+        // Per-epoch trainset accuracy is a pure evaluation cost; only the
+        // fig7 overfitting curves need it and opt back in.
+        track_train_acc: false,
         ..TrainConfig::default()
     };
     if let Some(e) = args.epochs {
@@ -291,5 +294,6 @@ mod tests {
         let cfg = experiment_config(&args, ModelKind::Etsb);
         assert_eq!(cfg.train.epochs, 120);
         assert_eq!(cfg.n_label_tuples, 20);
+        assert!(!cfg.train.track_train_acc, "benches skip train-acc curves");
     }
 }

@@ -97,6 +97,15 @@ pub struct TrainConfig {
     pub curve_subsample: usize,
     /// Recurrent cell for both bidirectional stacks (paper: vanilla).
     pub cell: CellKind,
+    /// Record full-trainset accuracy after every epoch (needed for the
+    /// paper's Figure 7 curves, but a pure evaluation cost — benches and
+    /// throughput-sensitive runs turn it off).
+    #[serde(default = "default_track_train_acc")]
+    pub track_train_acc: bool,
+}
+
+fn default_track_train_acc() -> bool {
+    true
 }
 
 impl Default for TrainConfig {
@@ -113,6 +122,7 @@ impl Default for TrainConfig {
             eval_every: 1,
             curve_subsample: 2000,
             cell: CellKind::Vanilla,
+            track_train_acc: default_track_train_acc(),
         }
     }
 }

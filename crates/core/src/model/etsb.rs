@@ -9,7 +9,7 @@ use super::{AnyStacked, AnyStackedCache, Head};
 use crate::config::TrainConfig;
 use crate::encode::EncodedDataset;
 use etsb_nn::{parallel, softmax_cross_entropy, Activation, Dense, Embedding, Param};
-use etsb_tensor::Matrix;
+use etsb_tensor::{GradBuffer, Matrix};
 use rand::rngs::StdRng;
 
 /// A per-path forward cache: embedding lookup + recurrent stack.
@@ -83,20 +83,36 @@ impl EtsbRnn {
     }
 
     /// One gradient-accumulating training step; returns the batch loss.
-    pub fn train_batch(&mut self, data: &EncodedDataset, batch: &[usize]) -> f32 {
+    ///
+    /// `grads` has 34 slots in [`EtsbRnn::params`] order: char path
+    /// (1 + 12), attribute path (1 + 12), length dense (2), head (6).
+    /// Per-sample sequence paths (char + attribute) shard across threads;
+    /// the batch-coupled length dense and head stay on merged batch
+    /// matrices. Per-thread accumulators merge in a fixed shard order, so
+    /// the result is bitwise-identical for any worker count.
+    pub fn train_batch(
+        &mut self,
+        data: &EncodedDataset,
+        batch: &[usize],
+        grads: &mut GradBuffer,
+    ) -> f32 {
         assert!(!batch.is_empty(), "EtsbRnn::train_batch: empty batch");
+        assert_eq!(grads.len(), 34, "EtsbRnn::train_batch: gradient slot count");
         let n = batch.len();
         let mut features = Matrix::zeros(n, self.feature_dim());
-        let mut char_caches = Vec::with_capacity(n);
-        let mut attr_caches = Vec::with_capacity(n);
 
         // Length path (batched).
         let len_inputs = Matrix::from_fn(n, 1, |r, _| data.length_norms[batch[r]]);
         let (len_feats, len_cache) = self.len_dense.forward(len_inputs);
 
-        for (row, &cell) in batch.iter().enumerate() {
-            let (char_feat, attr_feat, cc, ac) =
-                self.encode_seq_paths(&data.sequences[cell], data.attr_ids[cell]);
+        // Per-sample sequence paths are independent: shard them.
+        let encoded = parallel::parallel_map(n, |i| {
+            let cell = batch[i];
+            self.encode_seq_paths(&data.sequences[cell], data.attr_ids[cell])
+        });
+        let mut char_caches = Vec::with_capacity(n);
+        let mut attr_caches = Vec::with_capacity(n);
+        for (row, (char_feat, attr_feat, cc, ac)) in encoded.into_iter().enumerate() {
             let out = features.row_mut(row);
             out[..self.char_dim].copy_from_slice(&char_feat);
             out[self.char_dim..self.char_dim + self.attr_dim].copy_from_slice(&attr_feat);
@@ -109,26 +125,60 @@ impl EtsbRnn {
         let (logits, head_cache) = self.head.forward_train(features);
         let loss = softmax_cross_entropy(&logits, &labels);
 
-        let grad_features = self.head.backward(&head_cache, &loss.grad_logits);
-        // Split the gradient back into the three paths.
+        let grad_features = self.head.backward(
+            &head_cache,
+            &loss.grad_logits,
+            &mut grads.slots_mut()[28..34],
+        );
+
+        // Sequence-path backward shards over per-sample work; each thread
+        // fills its own buffer over slots 0..26 (char path then attribute
+        // path), merged deterministically in shard order.
+        let seq_shapes: Vec<(usize, usize)> = self.params()[..26]
+            .iter()
+            .map(|p| p.value.shape())
+            .collect();
+        let (char_dim, attr_dim) = (self.char_dim, self.attr_dim);
+        let seq_grads = parallel::parallel_fold(
+            n,
+            || GradBuffer::from_shapes(seq_shapes.iter().copied()),
+            |acc, i| {
+                let (char_part, attr_part) = acc.slots_mut().split_at_mut(13);
+                let (emb_slot, rnn_slots) = char_part.split_at_mut(1);
+                let (attr_emb_slot, attr_rnn_slots) = attr_part.split_at_mut(1);
+                let (emb_cache, rnn_cache) = &char_caches[i];
+                let (attr_emb_cache, attr_rnn_cache) = &attr_caches[i];
+                let g = grad_features.row(i);
+                let grad_embedded = self.rnn.backward(rnn_cache, &g[..char_dim], rnn_slots);
+                self.embedding
+                    .backward(emb_cache, &grad_embedded, &mut emb_slot[0]);
+                let grad_attr_embedded = self.attr_rnn.backward(
+                    attr_rnn_cache,
+                    &g[char_dim..char_dim + attr_dim],
+                    attr_rnn_slots,
+                );
+                self.attr_embedding.backward(
+                    attr_emb_cache,
+                    &grad_attr_embedded,
+                    &mut attr_emb_slot[0],
+                );
+            },
+            |a, b| a.merge(&b),
+        );
+        for (slot, merged) in grads.slots_mut()[..26].iter_mut().zip(seq_grads.slots()) {
+            slot.add_assign(merged);
+        }
+
+        // Length path gradient on the merged batch matrix (slots 26..28).
         let mut grad_len = Matrix::zeros(n, self.len_dim);
-        for (row, ((emb_cache, rnn_cache), (attr_emb_cache, attr_rnn_cache))) in
-            char_caches.iter().zip(&attr_caches).enumerate()
-        {
-            let g = grad_features.row(row);
-            let grad_embedded = self.rnn.backward(rnn_cache, &g[..self.char_dim]);
-            self.embedding.backward(emb_cache, &grad_embedded);
-            let grad_attr_embedded = self.attr_rnn.backward(
-                attr_rnn_cache,
-                &g[self.char_dim..self.char_dim + self.attr_dim],
-            );
-            self.attr_embedding
-                .backward(attr_emb_cache, &grad_attr_embedded);
+        for row in 0..n {
             grad_len
                 .row_mut(row)
-                .copy_from_slice(&g[self.char_dim + self.attr_dim..]);
+                .copy_from_slice(&grad_features.row(row)[self.char_dim + self.attr_dim..]);
         }
-        let _ = self.len_dense.backward(&len_cache, &grad_len);
+        let _ = self
+            .len_dense
+            .backward(&len_cache, &grad_len, &mut grads.slots_mut()[26..28]);
         loss.loss
     }
 
@@ -245,22 +295,18 @@ mod tests {
 
     #[test]
     fn train_batch_reduces_loss() {
-        use etsb_nn::{Optimizer, Rmsprop};
+        use etsb_nn::{grad_buffer_for, Optimizer, Rmsprop};
         let data = marked_dataset(30);
         let mut model = EtsbRnn::new(&data, &small_cfg(), &mut seeded_rng(3));
         let batch: Vec<usize> = (0..data.n_cells()).collect();
         let mut opt = Rmsprop::new(3e-3);
-        let first = model.train_batch(&data, &batch);
-        for p in model.params_mut() {
-            p.zero_grad();
-        }
+        let mut grads = grad_buffer_for(&model.params());
+        let first = model.train_batch(&data, &batch, &mut grads);
         let mut last = first;
         for _ in 0..60 {
-            last = model.train_batch(&data, &batch);
-            opt.step(&mut model.params_mut());
-            for p in model.params_mut() {
-                p.zero_grad();
-            }
+            grads.zero();
+            last = model.train_batch(&data, &batch, &mut grads);
+            opt.step(&mut model.params_mut(), &grads);
         }
         assert!(last < first * 0.5, "loss {first} -> {last}");
     }

@@ -74,11 +74,19 @@ impl AnyStacked {
         }
     }
 
-    pub(crate) fn backward(&mut self, cache: &AnyStackedCache, grad_out: &[f32]) -> Matrix {
+    /// Backward on `&self`: parameter gradients accumulate into `grads`
+    /// (one slot per parameter, [`AnyStacked::params`] order), so batches
+    /// can shard across threads with per-thread buffers.
+    pub(crate) fn backward(
+        &self,
+        cache: &AnyStackedCache,
+        grad_out: &[f32],
+        grads: &mut [Matrix],
+    ) -> Matrix {
         match (self, cache) {
-            (AnyStacked::Vanilla(n), AnyStackedCache::Vanilla(c)) => n.backward(c, grad_out),
-            (AnyStacked::Lstm(n), AnyStackedCache::Lstm(c)) => n.backward(c, grad_out),
-            (AnyStacked::Gru(n), AnyStackedCache::Gru(c)) => n.backward(c, grad_out),
+            (AnyStacked::Vanilla(n), AnyStackedCache::Vanilla(c)) => n.backward(c, grad_out, grads),
+            (AnyStacked::Lstm(n), AnyStackedCache::Lstm(c)) => n.backward(c, grad_out, grads),
+            (AnyStacked::Gru(n), AnyStackedCache::Gru(c)) => n.backward(c, grad_out, grads),
             _ => panic!("AnyStacked::backward: cache kind does not match cell kind"),
         }
     }
@@ -142,11 +150,21 @@ impl Head {
         logits
     }
 
-    /// Backward through the head; returns the feature gradient.
-    pub(crate) fn backward(&mut self, cache: &HeadCache, grad_logits: &Matrix) -> Matrix {
-        let g = self.out.backward(&cache.out, grad_logits);
-        let g = self.bn.backward(&cache.bn, &g);
-        self.dense.backward(&cache.dense, &g)
+    /// Backward through the head, accumulating into `grads` (6 slots in
+    /// [`Head::params`] order: dense w/b, bn γ/β, out w/b); returns the
+    /// feature gradient.
+    pub(crate) fn backward(
+        &self,
+        cache: &HeadCache,
+        grad_logits: &Matrix,
+        grads: &mut [Matrix],
+    ) -> Matrix {
+        assert_eq!(grads.len(), 6, "Head::backward: expected 6 gradient slots");
+        let (dense_g, rest) = grads.split_at_mut(2);
+        let (bn_g, out_g) = rest.split_at_mut(2);
+        let g = self.out.backward(&cache.out, grad_logits, out_g);
+        let g = self.bn.backward(&cache.bn, &g, bn_g);
+        self.dense.backward(&cache.dense, &g, dense_g)
     }
 
     pub(crate) fn params(&self) -> Vec<&Param> {
@@ -203,13 +221,27 @@ impl AnyModel {
     }
 
     /// One training step over a batch of cell indices: forward, loss,
-    /// backward (gradients *accumulate*; the caller owns `zero_grad` and
-    /// the optimizer step). Returns the mean batch loss.
-    pub fn train_batch(&mut self, data: &EncodedDataset, batch: &[usize]) -> f32 {
+    /// backward. Gradients *accumulate* into `grads` (shaped by
+    /// [`AnyModel::grad_buffer`]; the caller owns zeroing and the
+    /// optimizer step). Per-sample sequence paths shard across threads
+    /// with a fixed, worker-independent merge order, so results are
+    /// bitwise-identical for any thread count. Returns the mean batch
+    /// loss.
+    pub fn train_batch(
+        &mut self,
+        data: &EncodedDataset,
+        batch: &[usize],
+        grads: &mut etsb_tensor::GradBuffer,
+    ) -> f32 {
         match self {
-            AnyModel::Tsb(m) => m.train_batch(data, batch),
-            AnyModel::Etsb(m) => m.train_batch(data, batch),
+            AnyModel::Tsb(m) => m.train_batch(data, batch, grads),
+            AnyModel::Etsb(m) => m.train_batch(data, batch, grads),
         }
+    }
+
+    /// A zeroed gradient buffer matching this model's parameter list.
+    pub fn grad_buffer(&self) -> etsb_tensor::GradBuffer {
+        etsb_nn::grad_buffer_for(&self.params())
     }
 
     /// Error probability (class-1 softmax output) per requested cell,
@@ -242,13 +274,6 @@ impl AnyModel {
         match self {
             AnyModel::Tsb(m) => m.params_mut(),
             AnyModel::Etsb(m) => m.params_mut(),
-        }
-    }
-
-    /// Zero every gradient accumulator.
-    pub fn zero_grad(&mut self) {
-        for p in self.params_mut() {
-            p.zero_grad();
         }
     }
 
@@ -335,14 +360,57 @@ impl AnyModel {
                 }
             }
         }
+        let n_params = self.params().len();
         let mut iter = decoded.into_iter();
-        for p in self.params_mut() {
-            p.value = iter.next().expect("counted above");
+        for (p, m) in self
+            .params_mut()
+            .into_iter()
+            .zip(iter.by_ref().take(n_params))
+        {
+            p.value = m;
         }
-        for b in self.buffers_mut() {
-            *b = iter.next().expect("counted above");
+        for (b, m) in self.buffers_mut().into_iter().zip(iter) {
+            *b = m;
         }
         Ok(())
+    }
+
+    /// Clone the full evaluation-relevant state (parameter values followed
+    /// by buffers) as plain matrices — an in-memory, infallible
+    /// alternative to [`AnyModel::snapshot`] for the trainer's
+    /// best-epoch checkpoint.
+    pub fn clone_state(&self) -> Vec<Matrix> {
+        self.params()
+            .iter()
+            .map(|p| p.value.clone())
+            .chain(self.buffers().iter().map(|b| (*b).clone()))
+            .collect()
+    }
+
+    /// Restore state captured by [`AnyModel::clone_state`] on the same
+    /// model.
+    ///
+    /// # Panics
+    /// If `state` does not match this model's parameter/buffer layout.
+    pub fn load_state(&mut self, state: &[Matrix]) {
+        let n_params = self.params().len();
+        assert_eq!(
+            state.len(),
+            n_params + self.buffers().len(),
+            "AnyModel::load_state: state matrix count"
+        );
+        for (p, m) in self.params_mut().into_iter().zip(&state[..n_params]) {
+            assert_eq!(
+                p.value.shape(),
+                m.shape(),
+                "AnyModel::load_state: parameter shape"
+            );
+            p.value = m.clone();
+        }
+        for (b, m) in self.buffers_mut().into_iter().zip(&state[n_params..]) {
+            assert_eq!(b.shape(), m.shape(), "AnyModel::load_state: buffer shape");
+            *b = m.clone();
+        }
     }
 }
 
@@ -375,11 +443,12 @@ pub(crate) mod test_support {
         use etsb_nn::{Optimizer, Rmsprop};
         let all: Vec<usize> = (0..data.n_cells()).collect();
         let mut opt = Rmsprop::new(5e-3);
+        let mut grads = model.grad_buffer();
         let mut last = f32::INFINITY;
         for _ in 0..epochs {
-            model.zero_grad();
-            last = model.train_batch(data, &all);
-            opt.step(&mut model.params_mut());
+            grads.zero();
+            last = model.train_batch(data, &all, &mut grads);
+            opt.step(&mut model.params_mut(), &grads);
         }
         last
     }
@@ -407,12 +476,13 @@ mod tests {
         let mut work = head.clone();
         let (logits, cache) = work.forward_train(x.clone());
         let loss = etsb_nn::softmax_cross_entropy(&logits, &labels);
-        let grad_x = work.backward(&cache, &loss.grad_logits);
+        let mut grads = etsb_nn::grad_buffer_for(&work.params());
+        let grad_x = work.backward(&cache, &loss.grad_logits, grads.slots_mut());
 
         let h = 1e-2_f32;
         // One coordinate from each parameter bank.
         for pi in 0..work.params().len() {
-            let analytic = work.params()[pi].grad[(0, 0)];
+            let analytic = grads.slot(pi)[(0, 0)];
             let mut plus = head.clone();
             plus.params_mut()[pi].value[(0, 0)] += h;
             let mut minus = head.clone();

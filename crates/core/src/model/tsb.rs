@@ -5,7 +5,7 @@ use super::{AnyStacked, AnyStackedCache, Head};
 use crate::config::TrainConfig;
 use crate::encode::EncodedDataset;
 use etsb_nn::{parallel, softmax_cross_entropy, Embedding, Param};
-use etsb_tensor::Matrix;
+use etsb_tensor::{GradBuffer, Matrix};
 use rand::rngs::StdRng;
 
 /// The Two-Stacked Bidirectional RNN model.
@@ -39,13 +39,29 @@ impl TsbRnn {
     }
 
     /// One gradient-accumulating training step; returns the batch loss.
-    pub fn train_batch(&mut self, data: &EncodedDataset, batch: &[usize]) -> f32 {
+    ///
+    /// `grads` has 19 slots in [`TsbRnn::params`] order: embedding (1),
+    /// RNN (12), head (6). Per-sample forward/backward passes shard
+    /// across threads; the batch-coupled head (BatchNorm statistics)
+    /// stays on the merged feature matrix. Per-thread accumulators merge
+    /// in a fixed shard order, so the result is bitwise-identical for any
+    /// worker count.
+    pub fn train_batch(
+        &mut self,
+        data: &EncodedDataset,
+        batch: &[usize],
+        grads: &mut GradBuffer,
+    ) -> f32 {
         assert!(!batch.is_empty(), "TsbRnn::train_batch: empty batch");
+        assert_eq!(grads.len(), 19, "TsbRnn::train_batch: gradient slot count");
         let feat_dim = self.rnn.output_dim();
+
+        // Per-sample forward passes are independent: shard them.
+        let encoded =
+            parallel::parallel_map(batch.len(), |i| self.encode_one(&data.sequences[batch[i]]));
         let mut features = Matrix::zeros(batch.len(), feat_dim);
         let mut caches = Vec::with_capacity(batch.len());
-        for (row, &cell) in batch.iter().enumerate() {
-            let (feat, cache) = self.encode_one(&data.sequences[cell]);
+        for (row, (feat, cache)) in encoded.into_iter().enumerate() {
             features.row_mut(row).copy_from_slice(&feat);
             caches.push(cache);
         }
@@ -54,10 +70,35 @@ impl TsbRnn {
         let (logits, head_cache) = self.head.forward_train(features);
         let loss = softmax_cross_entropy(&logits, &labels);
 
-        let grad_features = self.head.backward(&head_cache, &loss.grad_logits);
-        for (row, (emb_cache, rnn_cache)) in caches.iter().enumerate() {
-            let grad_embedded = self.rnn.backward(rnn_cache, grad_features.row(row));
-            self.embedding.backward(emb_cache, &grad_embedded);
+        let grad_features = self.head.backward(
+            &head_cache,
+            &loss.grad_logits,
+            &mut grads.slots_mut()[13..19],
+        );
+
+        // Per-sample backward passes shard too, each thread accumulating
+        // into its own buffer over the sequence-path slots (embedding +
+        // RNN), merged deterministically in shard order.
+        let seq_shapes: Vec<(usize, usize)> = self.params()[..13]
+            .iter()
+            .map(|p| p.value.shape())
+            .collect();
+        let seq_grads = parallel::parallel_fold(
+            batch.len(),
+            || GradBuffer::from_shapes(seq_shapes.iter().copied()),
+            |acc, i| {
+                let (emb_slot, rnn_slots) = acc.slots_mut().split_at_mut(1);
+                let (emb_cache, rnn_cache) = &caches[i];
+                let grad_embedded = self
+                    .rnn
+                    .backward(rnn_cache, grad_features.row(i), rnn_slots);
+                self.embedding
+                    .backward(emb_cache, &grad_embedded, &mut emb_slot[0]);
+            },
+            |a, b| a.merge(&b),
+        );
+        for (slot, merged) in grads.slots_mut()[..13].iter_mut().zip(seq_grads.slots()) {
+            slot.add_assign(merged);
         }
         loss.loss
     }
@@ -136,22 +177,18 @@ mod tests {
 
     #[test]
     fn train_batch_reduces_loss() {
-        use etsb_nn::{Optimizer, Rmsprop};
+        use etsb_nn::{grad_buffer_for, Optimizer, Rmsprop};
         let data = marked_dataset(30);
         let mut model = TsbRnn::new(&data, &small_cfg(), &mut seeded_rng(2));
         let batch: Vec<usize> = (0..data.n_cells()).collect();
         let mut opt = Rmsprop::new(3e-3);
-        let first = model.train_batch(&data, &batch);
-        for p in model.params_mut() {
-            p.zero_grad();
-        }
+        let mut grads = grad_buffer_for(&model.params());
+        let first = model.train_batch(&data, &batch, &mut grads);
         let mut last = first;
         for _ in 0..60 {
-            last = model.train_batch(&data, &batch);
-            opt.step(&mut model.params_mut());
-            for p in model.params_mut() {
-                p.zero_grad();
-            }
+            grads.zero();
+            last = model.train_batch(&data, &batch, &mut grads);
+            opt.step(&mut model.params_mut(), &grads);
         }
         assert!(last < first * 0.5, "loss {first} -> {last}");
     }
@@ -160,10 +197,11 @@ mod tests {
     fn gradient_accumulates_across_calls() {
         let data = marked_dataset(12);
         let mut model = TsbRnn::new(&data, &small_cfg(), &mut seeded_rng(3));
-        let _ = model.train_batch(&data, &[0, 1]);
-        let g1 = model.params()[0].grad.frobenius_norm();
-        let _ = model.train_batch(&data, &[0, 1]);
-        let g2 = model.params()[0].grad.frobenius_norm();
+        let mut grads = etsb_nn::grad_buffer_for(&model.params());
+        let _ = model.train_batch(&data, &[0, 1], &mut grads);
+        let g1 = grads.slot(0).frobenius_norm();
+        let _ = model.train_batch(&data, &[0, 1], &mut grads);
+        let g2 = grads.slot(0).frobenius_norm();
         assert!(g2 > g1, "gradients should accumulate: {g1} -> {g2}");
     }
 

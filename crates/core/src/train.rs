@@ -17,12 +17,15 @@ use serde::Serialize;
 pub struct History {
     /// Mean batch loss per epoch.
     pub train_loss: Vec<f32>,
-    /// Trainset accuracy per epoch (evaluation mode).
+    /// Trainset accuracy per epoch (evaluation mode). Empty when
+    /// [`TrainConfig::track_train_acc`] is off.
     pub train_acc: Vec<f32>,
     /// Testset accuracy at each entry of `eval_epochs` (on the curve
-    /// subsample when configured).
+    /// subsample when configured). Entries exist only when the test/curve
+    /// set is non-empty — never NaN.
     pub test_acc: Vec<f32>,
-    /// Epochs at which `test_acc` was measured.
+    /// Epochs at which `test_acc` was measured, ascending. Always
+    /// includes `best_epoch` when any accuracy could be measured.
     pub eval_epochs: Vec<usize>,
     /// Epoch whose weights were checkpointed (lowest train loss).
     pub best_epoch: usize,
@@ -76,16 +79,17 @@ pub fn train_model(
         best_epoch: 0,
     };
     let mut best_loss = f32::INFINITY;
-    let mut best_snapshot = model.snapshot();
+    let mut best_state = model.clone_state();
+    let mut grads = model.grad_buffer();
 
     for epoch in 0..cfg.epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut n_batches = 0usize;
         for batch in order.chunks(batch_size) {
-            model.zero_grad();
-            epoch_loss += model.train_batch(data, batch);
-            opt.step(&mut model.params_mut());
+            grads.zero();
+            epoch_loss += model.train_batch(data, batch, &mut grads);
+            opt.step(&mut model.params_mut(), &grads);
             n_batches += 1;
         }
         epoch_loss /= n_batches.max(1) as f32;
@@ -94,31 +98,43 @@ pub fn train_model(
         // The paper's callback: keep the weights of the best train loss.
         if epoch_loss < best_loss {
             best_loss = epoch_loss;
-            best_snapshot = model.snapshot();
+            best_state = model.clone_state();
             history.best_epoch = epoch;
         }
 
-        history.train_acc.push(accuracy(model, data, train_cells));
+        if cfg.track_train_acc {
+            if let Some(acc) = accuracy(model, data, train_cells) {
+                history.train_acc.push(acc);
+            }
+        }
         if epoch % cfg.eval_every.max(1) == 0 || epoch + 1 == cfg.epochs {
-            history.eval_epochs.push(epoch);
-            history.test_acc.push(if curve_cells.is_empty() {
-                f32::NAN
-            } else {
-                accuracy(model, data, &curve_cells)
-            });
+            if let Some(acc) = accuracy(model, data, &curve_cells) {
+                history.eval_epochs.push(epoch);
+                history.test_acc.push(acc);
+            }
         }
     }
 
-    model
-        .restore(&best_snapshot)
-        .expect("restoring a snapshot of the same model cannot fail");
+    model.load_state(&best_state);
+    // The best epoch may fall between eval points; measure it now on the
+    // restored weights so `test_acc_at_best` always has an answer.
+    if !history.eval_epochs.contains(&history.best_epoch) {
+        if let Some(acc) = accuracy(model, data, &curve_cells) {
+            let pos = history
+                .eval_epochs
+                .partition_point(|&e| e < history.best_epoch);
+            history.eval_epochs.insert(pos, history.best_epoch);
+            history.test_acc.insert(pos, acc);
+        }
+    }
     history
 }
 
-/// Evaluation-mode accuracy over a cell set.
-pub fn accuracy(model: &AnyModel, data: &EncodedDataset, cells: &[usize]) -> f32 {
+/// Evaluation-mode accuracy over a cell set; `None` when `cells` is empty
+/// (there is nothing to measure).
+pub fn accuracy(model: &AnyModel, data: &EncodedDataset, cells: &[usize]) -> Option<f32> {
     if cells.is_empty() {
-        return f32::NAN;
+        return None;
     }
     let preds = model.predict(data, cells);
     let correct = preds
@@ -126,7 +142,7 @@ pub fn accuracy(model: &AnyModel, data: &EncodedDataset, cells: &[usize]) -> f32
         .zip(cells)
         .filter(|(p, &c)| **p == data.labels[c])
         .count();
-    correct as f32 / cells.len() as f32
+    Some(correct as f32 / cells.len() as f32)
 }
 
 #[cfg(test)]
@@ -167,7 +183,9 @@ mod tests {
             (history.train_loss.first(), history.train_loss.last())
         );
         // Best-epoch weights are restored: train accuracy is high.
-        assert!(accuracy(&model, &data, &train) > 0.85);
+        assert!(accuracy(&model, &data, &train).unwrap() > 0.85);
+        // Empty cell sets have no accuracy.
+        assert_eq!(accuracy(&model, &data, &[]), None);
     }
 
     #[test]
@@ -182,14 +200,52 @@ mod tests {
         assert_eq!(history.train_acc.len(), cfg.epochs);
         assert_eq!(history.eval_epochs.len(), history.test_acc.len());
         assert!(history.best_epoch < cfg.epochs);
-        // eval_every = 5 → epochs 0,5,10,15,20,24.
-        assert_eq!(history.eval_epochs, vec![0, 5, 10, 15, 20, 24]);
+        // eval_every = 5 → epochs 0,5,10,15,20,24, plus the best epoch if
+        // it fell between eval points; the list stays sorted and unique.
+        for e in [0, 5, 10, 15, 20, 24] {
+            assert!(history.eval_epochs.contains(&e), "missing epoch {e}");
+        }
+        assert!(history.eval_epochs.windows(2).all(|w| w[0] < w[1]));
+        // The best epoch is always measured, so this never comes back None.
+        assert!(history.test_acc_at_best().is_some());
         let best = history
             .train_loss
             .iter()
             .cloned()
             .fold(f32::INFINITY, f32::min);
         assert_eq!(history.train_loss[history.best_epoch], best);
+    }
+
+    #[test]
+    fn track_train_acc_off_skips_train_curve() {
+        let data = marked_dataset(30);
+        let mut cfg = quick_cfg();
+        cfg.epochs = 4;
+        cfg.track_train_acc = false;
+        let mut rng = seeded_rng(6);
+        let mut model = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut rng);
+        let train: Vec<usize> = (0..20).collect();
+        let test: Vec<usize> = (20..data.n_cells()).collect();
+        let history = train_model(&mut model, &data, &train, &test, &cfg, 13);
+        assert!(history.train_acc.is_empty());
+        assert_eq!(history.train_loss.len(), 4);
+        assert!(!history.test_acc.is_empty());
+    }
+
+    #[test]
+    fn empty_testset_yields_no_eval_entries() {
+        let data = marked_dataset(30);
+        let mut cfg = quick_cfg();
+        cfg.epochs = 3;
+        let mut rng = seeded_rng(7);
+        let mut model = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut rng);
+        let train: Vec<usize> = (0..data.n_cells()).collect();
+        let history = train_model(&mut model, &data, &train, &[], &cfg, 14);
+        // No test cells → no curve entries, and crucially no NaN padding.
+        assert!(history.test_acc.is_empty());
+        assert!(history.eval_epochs.is_empty());
+        assert!(history.test_acc.iter().all(|a| a.is_finite()));
+        assert_eq!(history.test_acc_at_best(), None);
     }
 
     #[test]

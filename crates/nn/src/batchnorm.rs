@@ -149,10 +149,21 @@ impl BatchNorm {
     }
 
     /// Backward through the training-mode normalization. Accumulates γ/β
-    /// gradients and returns the input gradient.
-    pub fn backward(&mut self, cache: &BatchNormCache, grad_out: &Matrix) -> Matrix {
+    /// gradients into `grads` (slots `[gamma, beta]` in
+    /// [`BatchNorm::params`] order) and returns the input gradient.
+    pub fn backward(
+        &self,
+        cache: &BatchNormCache,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+    ) -> Matrix {
         let (n, d) = cache.xhat.shape();
         assert_eq!(grad_out.shape(), (n, d), "BatchNorm::backward: grad shape");
+        assert_eq!(
+            grads.len(),
+            2,
+            "BatchNorm::backward: expected 2 slots (gamma, beta)"
+        );
         let nf = n as f32;
         let gamma = self.gamma.value.row(0);
 
@@ -172,8 +183,9 @@ impl BatchNorm {
                 sum_dxhat_xhat[j] += dxhat * xh[j];
             }
         }
-        etsb_tensor::add_assign(self.gamma.grad.row_mut(0), &dgamma);
-        etsb_tensor::add_assign(self.beta.grad.row_mut(0), &dbeta);
+        let (ggamma, gbeta) = grads.split_at_mut(1);
+        etsb_tensor::add_assign(ggamma[0].row_mut(0), &dgamma);
+        etsb_tensor::add_assign(gbeta[0].row_mut(0), &dbeta);
 
         // dx = (inv_std / N) * (N*dxhat - Σdxhat - xhat * Σ(dxhat·xhat))
         let mut grad_in = Matrix::zeros(n, d);
@@ -188,9 +200,7 @@ impl BatchNorm {
             }
         }
         let _ = &cache.centered; // kept for introspection/debugging
-        self.gamma
-            .grad
-            .assert_finite("batchnorm", "backward(gamma-grad)");
+        ggamma[0].assert_finite("batchnorm", "backward(gamma-grad)");
         grad_in.assert_finite("batchnorm", "backward(grad-in)");
         grad_in
     }
@@ -274,12 +284,13 @@ mod tests {
 
         let mut work = bn.clone();
         let (_, cache) = work.forward_train(&x);
-        let grad_in = work.backward(&cache, &weights);
+        let mut grads = crate::param::grad_buffer_for(&work.params());
+        let grad_in = work.backward(&cache, &weights, grads.slots_mut());
 
         let h = 1e-3_f32;
         // Parameter gradients.
         for (pi, coords) in [(0usize, (0usize, 1usize)), (1, (0, 2))] {
-            let analytic = work.params()[pi].grad[coords];
+            let analytic = grads.slot(pi)[coords];
             let mut plus = bn.clone();
             plus.params_mut()[pi].value[coords] += h;
             let mut minus = bn.clone();

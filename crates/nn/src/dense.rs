@@ -79,9 +79,10 @@ impl Dense {
         )
     }
 
-    /// Backward a batch: accumulates weight/bias grads, returns the input
+    /// Backward a batch: accumulates weight/bias grads into `grads`
+    /// (slots `[w, b]` in [`Dense::params`] order), returns the input
     /// gradient (`N x input_dim`).
-    pub fn backward(&mut self, cache: &DenseCache, grad_out: &Matrix) -> Matrix {
+    pub fn backward(&self, cache: &DenseCache, grad_out: &Matrix, grads: &mut [Matrix]) -> Matrix {
         assert_eq!(
             grad_out.shape(),
             cache.outputs.shape(),
@@ -89,6 +90,9 @@ impl Dense {
             grad_out.shape(),
             cache.outputs.shape()
         );
+        assert_eq!(grads.len(), 2, "Dense::backward: expected 2 slots (w, b)");
+        let (gw, gb) = grads.split_at_mut(1);
+        let (gw, gb) = (&mut gw[0], &mut gb[0]);
         // dz = grad_out * act'(y)
         let mut dz = grad_out.clone();
         for r in 0..dz.rows() {
@@ -98,11 +102,11 @@ impl Dense {
             }
         }
         // dW = X^T dz ; db = column sums of dz ; dX = dz W^T
-        self.w.grad.add_assign(&cache.inputs.transposed_matmul(&dz));
+        gw.add_assign(&cache.inputs.transposed_matmul(&dz));
         for r in 0..dz.rows() {
-            etsb_tensor::add_assign(self.b.grad.row_mut(0), dz.row(r));
+            etsb_tensor::add_assign(gb.row_mut(0), dz.row(r));
         }
-        self.w.grad.assert_finite("dense", "backward(weight-grad)");
+        gw.assert_finite("dense", "backward(weight-grad)");
         let grad_in = dz.matmul_transposed(&self.w.value);
         grad_in.assert_finite("dense", "backward(grad-in)");
         grad_in
@@ -147,18 +151,19 @@ mod tests {
     fn gradient_check_all_activations() {
         for act in [Activation::Linear, Activation::Tanh, Activation::Relu] {
             let mut rng = seeded_rng(3);
-            let mut layer = Dense::new(3, 2, act, &mut rng);
+            let layer = Dense::new(3, 2, act, &mut rng);
             let x = Matrix::from_fn(4, 3, |i, j| ((i * 3 + j) as f32 * 0.31).sin());
 
             let loss = |l: &Dense| l.forward(x.clone()).0.sum();
 
             let (out, cache) = layer.forward(x.clone());
             let ones = Matrix::full(out.rows(), out.cols(), 1.0);
-            let grad_in = layer.backward(&cache, &ones);
+            let mut grads = crate::param::grad_buffer_for(&layer.params());
+            let grad_in = layer.backward(&cache, &ones, grads.slots_mut());
 
             let h = 1e-3_f32;
             for (pi, coords) in [(0usize, (1usize, 1usize)), (1, (0, 0))] {
-                let analytic = layer.params()[pi].grad[coords];
+                let analytic = grads.slot(pi)[coords];
                 let mut plus = layer.clone();
                 plus.params_mut()[pi].value[coords] += h;
                 let mut minus = layer.clone();

@@ -65,15 +65,21 @@ impl Embedding {
     }
 
     /// Accumulate gradients for the rows selected in the cached forward
-    /// pass. `grad_out` must be `len(ids) x dim`.
-    pub fn backward(&mut self, cache: &EmbeddingCache, grad_out: &Matrix) {
+    /// pass into `grad` (a `vocab_size x dim` slot). `grad_out` must be
+    /// `len(ids) x dim`.
+    pub fn backward(&self, cache: &EmbeddingCache, grad_out: &Matrix, grad: &mut Matrix) {
         assert_eq!(
             grad_out.shape(),
             (cache.ids.len(), self.dim()),
             "Embedding::backward: gradient shape mismatch"
         );
+        assert_eq!(
+            grad.shape(),
+            self.weights.value.shape(),
+            "Embedding::backward: gradient slot shape mismatch"
+        );
         for (row, &id) in cache.ids.iter().enumerate() {
-            etsb_tensor::add_assign(self.weights.grad.row_mut(id), grad_out.row(row));
+            etsb_tensor::add_assign(grad.row_mut(id), grad_out.row(row));
         }
     }
 
@@ -107,12 +113,13 @@ mod tests {
     #[test]
     fn backward_accumulates_repeated_ids() {
         let mut rng = seeded_rng(2);
-        let mut emb = Embedding::new(4, 2, &mut rng);
+        let emb = Embedding::new(4, 2, &mut rng);
         let (_, cache) = emb.forward(&[1, 1]);
-        let grad = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, 0.5]]);
-        emb.backward(&cache, &grad);
-        assert_eq!(emb.param().grad.row(1), &[3.0, 1.0]);
-        assert_eq!(emb.param().grad.row(0), &[0.0, 0.0]);
+        let grad_out = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, 0.5]]);
+        let mut grad = Matrix::zeros(4, 2);
+        emb.backward(&cache, &grad_out, &mut grad);
+        assert_eq!(grad.row(1), &[3.0, 1.0]);
+        assert_eq!(grad.row(0), &[0.0, 0.0]);
     }
 
     #[test]

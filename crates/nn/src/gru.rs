@@ -11,7 +11,7 @@
 //!
 //! Gate layout in the fused weight matrices: `[z, r, n]`.
 
-use crate::rnn::Recurrence;
+use crate::rnn::{split_cell_grads, Recurrence};
 use crate::Param;
 use etsb_tensor::{init, Matrix};
 use rand::rngs::StdRng;
@@ -124,7 +124,7 @@ impl Recurrence for GruCell {
         )
     }
 
-    fn backward_seq(&mut self, cache: &GruCache, grad_out: &Matrix) -> Matrix {
+    fn backward_seq(&self, cache: &GruCache, grad_out: &Matrix, grads: &mut [Matrix]) -> Matrix {
         let t_max = cache.hidden.rows();
         let h = self.hidden;
         assert_eq!(
@@ -132,6 +132,7 @@ impl Recurrence for GruCell {
             (t_max, h),
             "GruCell::backward_seq: grad shape"
         );
+        let (gwx, gwh, gb) = split_cell_grads(grads, "GruCell::backward_seq");
         let mut grad_inputs = Matrix::zeros(t_max, self.input_dim());
         let mut dh_carry = vec![0.0_f32; h];
         // Gradient w.r.t. the pre-activations feeding Wx (dz_x) and the
@@ -163,10 +164,10 @@ impl Recurrence for GruCell {
                 dz_h[2 * h + j] = dn * r;
                 dh_prev_direct[j] = dh * z;
             }
-            etsb_tensor::add_assign(self.b.grad.row_mut(0), &dz_x);
-            self.wx.grad.add_outer(1.0, cache.inputs.row(t), &dz_x);
+            etsb_tensor::add_assign(gb.row_mut(0), &dz_x);
+            gwx.add_outer(1.0, cache.inputs.row(t), &dz_x);
             if t > 0 {
-                self.wh.grad.add_outer(1.0, h_prev, &dz_h);
+                gwh.add_outer(1.0, h_prev, &dz_h);
             }
             grad_inputs
                 .row_mut(t)
@@ -214,21 +215,22 @@ mod tests {
     /// including the reset-gate path.
     #[test]
     fn gradient_check() {
-        let mut cell = GruCell::new(2, 3, &mut seeded_rng(3));
+        let cell = GruCell::new(2, 3, &mut seeded_rng(3));
         let x = Matrix::from_fn(4, 2, |i, j| ((i * 2 + j) as f32 * 0.77).sin() * 0.6);
 
         let loss = |c: &GruCell, x: &Matrix| c.forward_seq(x.clone()).0.sum();
 
         let (out, cache) = cell.forward_seq(x.clone());
         let ones = Matrix::full(out.rows(), out.cols(), 1.0);
-        let grad_in = cell.backward_seq(&cache, &ones);
+        let mut grads = crate::param::grad_buffer_for(&cell.params());
+        let grad_in = cell.backward_seq(&cache, &ones, grads.slots_mut());
 
         let h = 1e-3_f32;
         for pi in 0..3 {
             let cols = cell.params()[pi].value.cols();
             for block in 0..3 {
                 let coords = (0, block * (cols / 3) + 1);
-                let analytic = cell.params()[pi].grad[coords];
+                let analytic = grads.slot(pi)[coords];
                 let mut plus = cell.clone();
                 plus.params_mut()[pi].value[coords] += h;
                 let mut minus = cell.clone();
@@ -259,8 +261,8 @@ mod tests {
         let x = Matrix::from_fn(5, 3, |i, j| (i as f32 + j as f32) * 0.1);
         let (out, cache) = net.forward(x);
         assert_eq!(out.len(), 8);
-        let mut net = net;
-        let grad = net.backward(&cache, &[1.0; 8]);
+        let mut grads = crate::param::grad_buffer_for(&net.params());
+        let grad = net.backward(&cache, &[1.0; 8], grads.slots_mut());
         assert_eq!(grad.shape(), (5, 3));
     }
 }

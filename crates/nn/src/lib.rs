@@ -21,9 +21,13 @@
 //!   test-suite to prove every `backward` agrees with its `forward`.
 //!
 //! Layers follow a *cache-out* convention: `forward` returns the output
-//! plus an explicit cache value, and `backward` consumes that cache. This
-//! keeps layers free of hidden mutable state, so the same layer object can
-//! evaluate many samples concurrently during (read-only) inference.
+//! plus an explicit cache value, and `backward` consumes that cache while
+//! accumulating parameter gradients into an explicit [`GradBuffer`] (see
+//! [`grad_buffer_for`]) rather than into the layer itself. Layers are
+//! therefore free of hidden mutable state: the same layer object can
+//! evaluate many samples concurrently during inference *and* run backward
+//! passes on `&self` across threads, each thread filling its own buffer,
+//! merged deterministically afterwards (see [`parallel`]).
 
 #![warn(missing_docs)]
 
@@ -47,9 +51,10 @@ pub use batchnorm::{BatchNorm, BatchNormCache};
 pub use checkpoint::{restore, snapshot, CheckpointError};
 pub use dense::{Dense, DenseCache};
 pub use embedding::{Embedding, EmbeddingCache};
+pub use etsb_tensor::GradBuffer;
 pub use gru::{GruCache, GruCell};
 pub use loss::{binary_cross_entropy, softmax_cross_entropy, LossOutput};
 pub use lstm::{LstmCache, LstmCell};
 pub use optim::{Adam, Optimizer, Rmsprop, Sgd};
-pub use param::Param;
+pub use param::{grad_buffer_for, Param};
 pub use rnn::{BiRnn, BiRnnCache, Recurrence, RnnCache, RnnCell, StackedBiRnn, StackedBiRnnCache};

@@ -8,7 +8,7 @@
 //!
 //! Gate layout in the fused weight matrices: `[input, forget, cell, output]`.
 
-use crate::rnn::Recurrence;
+use crate::rnn::{split_cell_grads, Recurrence};
 use crate::Param;
 use etsb_tensor::{init, Matrix};
 use rand::rngs::StdRng;
@@ -133,7 +133,7 @@ impl Recurrence for LstmCell {
         )
     }
 
-    fn backward_seq(&mut self, cache: &LstmCache, grad_out: &Matrix) -> Matrix {
+    fn backward_seq(&self, cache: &LstmCache, grad_out: &Matrix, grads: &mut [Matrix]) -> Matrix {
         let t_max = cache.hidden.rows();
         let h = self.hidden;
         assert_eq!(
@@ -141,6 +141,7 @@ impl Recurrence for LstmCell {
             (t_max, h),
             "LstmCell::backward_seq: grad shape"
         );
+        let (gwx, gwh, gb) = split_cell_grads(grads, "LstmCell::backward_seq");
         let mut grad_inputs = Matrix::zeros(t_max, self.input_dim());
         let mut dh_carry = vec![0.0_f32; h];
         let mut dc_carry = vec![0.0_f32; h];
@@ -164,10 +165,10 @@ impl Recurrence for LstmCell {
                 dz[3 * h + j] = do_ * o * (1.0 - o); // output gate
                 dc_carry[j] = dc * f;
             }
-            etsb_tensor::add_assign(self.b.grad.row_mut(0), &dz);
-            self.wx.grad.add_outer(1.0, cache.inputs.row(t), &dz);
+            etsb_tensor::add_assign(gb.row_mut(0), &dz);
+            gwx.add_outer(1.0, cache.inputs.row(t), &dz);
             if t > 0 {
-                self.wh.grad.add_outer(1.0, cache.hidden.row(t - 1), &dz);
+                gwh.add_outer(1.0, cache.hidden.row(t - 1), &dz);
             }
             grad_inputs
                 .row_mut(t)
@@ -223,14 +224,15 @@ mod tests {
     /// Central-difference gradient check through the full LSTM BPTT.
     #[test]
     fn gradient_check() {
-        let mut cell = LstmCell::new(2, 3, &mut seeded_rng(4));
+        let cell = LstmCell::new(2, 3, &mut seeded_rng(4));
         let x = Matrix::from_fn(4, 2, |i, j| ((i * 2 + j) as f32 * 0.63).cos() * 0.5);
 
         let loss = |c: &LstmCell, x: &Matrix| c.forward_seq(x.clone()).0.sum();
 
         let (out, cache) = cell.forward_seq(x.clone());
         let ones = Matrix::full(out.rows(), out.cols(), 1.0);
-        let grad_in = cell.backward_seq(&cache, &ones);
+        let mut grads = crate::param::grad_buffer_for(&cell.params());
+        let grad_in = cell.backward_seq(&cache, &ones, grads.slots_mut());
 
         let h = 1e-3_f32;
         // Sample coordinates from each gate block of each parameter.
@@ -238,7 +240,7 @@ mod tests {
             let cols = cell.params()[pi].value.cols();
             for block in 0..4 {
                 let coords = (0, block * (cols / 4) + 1);
-                let analytic = cell.params()[pi].grad[coords];
+                let analytic = grads.slot(pi)[coords];
                 let mut plus = cell.clone();
                 plus.params_mut()[pi].value[coords] += h;
                 let mut minus = cell.clone();

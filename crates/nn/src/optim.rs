@@ -5,16 +5,19 @@
 //! *position* of the parameter in the slice passed to `step`. Models must
 //! therefore always present their parameters in the same order — every
 //! layer in this workspace exposes `params_mut()` with a documented stable
-//! order, and the optimizer cross-checks shapes on every step.
+//! order, and the optimizer cross-checks shapes on every step. Gradients
+//! arrive in a [`GradBuffer`] with the same slot order (see
+//! [`crate::grad_buffer_for`]).
 
 use crate::Param;
-use etsb_tensor::Matrix;
+use etsb_tensor::{GradBuffer, Matrix};
 
 /// A gradient-descent style optimizer.
 pub trait Optimizer {
-    /// Apply one update using the accumulated gradients, then leave the
-    /// gradients untouched (callers decide when to `zero_grad`).
-    fn step(&mut self, params: &mut [&mut Param]);
+    /// Apply one update from `grads` (slot `i` holds the gradient of
+    /// `params[i]`), leaving the gradients untouched (callers decide when
+    /// to re-zero the buffer).
+    fn step(&mut self, params: &mut [&mut Param], grads: &GradBuffer);
 
     /// Learning rate currently in effect.
     fn learning_rate(&self) -> f32;
@@ -23,14 +26,21 @@ pub trait Optimizer {
     fn set_learning_rate(&mut self, lr: f32);
 }
 
-/// Verify (and on first use, create) per-parameter state slots.
-fn sync_state(state: &mut Vec<Matrix>, params: &[&mut Param], what: &str) {
+/// Verify (and on first use, create) per-parameter state slots; also
+/// cross-check the gradient buffer against the parameter list.
+fn sync_state(state: &mut Vec<Matrix>, params: &[&mut Param], grads: &GradBuffer, what: &str) {
+    assert_eq!(
+        grads.len(),
+        params.len(),
+        "{what}: gradient slot count {} != parameter count {}",
+        grads.len(),
+        params.len()
+    );
     if state.is_empty() {
         *state = params
             .iter()
             .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
             .collect();
-        return;
     }
     assert_eq!(
         state.len(),
@@ -39,13 +49,18 @@ fn sync_state(state: &mut Vec<Matrix>, params: &[&mut Param], what: &str) {
         state.len(),
         params.len()
     );
-    for (s, p) in state.iter().zip(params.iter()) {
+    for ((s, p), g) in state.iter().zip(params.iter()).zip(grads.slots()) {
         assert_eq!(
             s.shape(),
             p.value.shape(),
             "{what}: parameter shape changed between steps"
         );
-        p.grad.assert_finite(what, "step(gradient)");
+        assert_eq!(
+            g.shape(),
+            p.value.shape(),
+            "{what}: gradient slot shape does not match its parameter"
+        );
+        g.assert_finite(what, "step(gradient)");
     }
 }
 
@@ -80,10 +95,10 @@ impl Default for Rmsprop {
 }
 
 impl Optimizer for Rmsprop {
-    fn step(&mut self, params: &mut [&mut Param]) {
-        sync_state(&mut self.cache, params, "Rmsprop");
-        for (p, cache) in params.iter_mut().zip(&mut self.cache) {
-            let g = p.grad.as_slice();
+    fn step(&mut self, params: &mut [&mut Param], grads: &GradBuffer) {
+        sync_state(&mut self.cache, params, grads, "Rmsprop");
+        for ((p, grad), cache) in params.iter_mut().zip(grads.slots()).zip(&mut self.cache) {
+            let g = grad.as_slice();
             let v = p.value.as_mut_slice();
             let c = cache.as_mut_slice();
             for i in 0..g.len() {
@@ -132,10 +147,10 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: &mut [&mut Param]) {
-        sync_state(&mut self.velocity, params, "Sgd");
-        for (p, vel) in params.iter_mut().zip(&mut self.velocity) {
-            let g = p.grad.as_slice();
+    fn step(&mut self, params: &mut [&mut Param], grads: &GradBuffer) {
+        sync_state(&mut self.velocity, params, grads, "Sgd");
+        for ((p, grad), vel) in params.iter_mut().zip(grads.slots()).zip(&mut self.velocity) {
+            let g = grad.as_slice();
             let v = p.value.as_mut_slice();
             let m = vel.as_mut_slice();
             for i in 0..g.len() {
@@ -185,14 +200,19 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, params: &mut [&mut Param]) {
-        sync_state(&mut self.m, params, "Adam(m)");
-        sync_state(&mut self.v, params, "Adam(v)");
+    fn step(&mut self, params: &mut [&mut Param], grads: &GradBuffer) {
+        sync_state(&mut self.m, params, grads, "Adam(m)");
+        sync_state(&mut self.v, params, grads, "Adam(v)");
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
-            let g = p.grad.as_slice();
+        for (((p, grad), m), v) in params
+            .iter_mut()
+            .zip(grads.slots())
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
+            let g = grad.as_slice();
             let w = p.value.as_mut_slice();
             let m = m.as_mut_slice();
             let vv = v.as_mut_slice();
@@ -222,11 +242,12 @@ mod tests {
     /// Minimize f(w) = (w - 3)² with each optimizer; all must converge.
     fn converges(mut opt: impl Optimizer, iters: usize, tol: f32) {
         let mut p = Param::new(Matrix::zeros(1, 1));
+        let mut grads = GradBuffer::from_shapes([(1, 1)]);
         for _ in 0..iters {
             let w = p.value[(0, 0)];
-            p.grad[(0, 0)] = 2.0 * (w - 3.0);
-            opt.step(&mut [&mut p]);
-            p.zero_grad();
+            grads.zero();
+            grads.slot_mut(0)[(0, 0)] = 2.0 * (w - 3.0);
+            opt.step(&mut [&mut p], &grads);
         }
         assert!(
             (p.value[(0, 0)] - 3.0).abs() < tol,
@@ -261,8 +282,10 @@ mod tests {
         // at roughly lr per step (the point of RMSprop).
         let mut opt = Rmsprop::new(0.01);
         let mut p = Param::new(Matrix::zeros(1, 2));
-        p.grad = Matrix::from_rows(&[&[100.0, 0.01]]);
-        opt.step(&mut [&mut p]);
+        let mut grads = GradBuffer::from_shapes([(1, 2)]);
+        grads.slot_mut(0)[(0, 0)] = 100.0;
+        grads.slot_mut(0)[(0, 1)] = 0.01;
+        opt.step(&mut [&mut p], &grads);
         let d0 = -p.value[(0, 0)];
         let d1 = -p.value[(0, 1)];
         // update = lr * g / (sqrt(0.1 g²) + eps) ≈ lr / sqrt(0.1)
@@ -275,8 +298,19 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         let mut a = Param::new(Matrix::zeros(1, 1));
         let mut b = Param::new(Matrix::zeros(1, 1));
-        opt.step(&mut [&mut a]);
-        opt.step(&mut [&mut a, &mut b]);
+        let one = GradBuffer::from_shapes([(1, 1)]);
+        let two = GradBuffer::from_shapes([(1, 1), (1, 1)]);
+        opt.step(&mut [&mut a], &one);
+        opt.step(&mut [&mut a, &mut b], &two);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient slot count")]
+    fn mismatched_grad_buffer_panics() {
+        let mut opt = Sgd::new(0.1);
+        let mut a = Param::new(Matrix::zeros(1, 1));
+        let empty = GradBuffer::from_shapes(std::iter::empty());
+        opt.step(&mut [&mut a], &empty);
     }
 
     #[test]
@@ -285,8 +319,9 @@ mod tests {
         opt.set_learning_rate(0.5);
         assert_eq!(opt.learning_rate(), 0.5);
         let mut p = Param::new(Matrix::zeros(1, 1));
-        p.grad[(0, 0)] = 1.0;
-        opt.step(&mut [&mut p]);
+        let mut grads = GradBuffer::from_shapes([(1, 1)]);
+        grads.slot_mut(0)[(0, 0)] = 1.0;
+        opt.step(&mut [&mut p], &grads);
         assert!((p.value[(0, 0)] + 0.5).abs() < 1e-6);
     }
 }

@@ -1,19 +1,73 @@
 //! Data-parallel helpers.
 //!
-//! Model inference in this workspace is read-only (layers carry no hidden
-//! mutable state thanks to the cache-out convention), so evaluating a test
-//! set parallelizes embarrassingly: shard the sample indices across
-//! threads, run the shared model by reference, concatenate results in
-//! order.
+//! Model inference and gradient accumulation in this workspace are safe to
+//! shard: layers carry no hidden mutable state (cache-out convention) and
+//! backward passes write into explicit [`etsb_tensor::GradBuffer`]s, so
+//! threads share the model immutably and combine results afterwards.
+//!
+//! # Determinism contract
+//!
+//! [`parallel_map`] concatenates per-worker chunks in worker order, so its
+//! output never depends on scheduling. [`parallel_fold`] goes further: the
+//! item range is cut into a **fixed number of shards** ([`fold_shards`])
+//! that depends only on the item count — never on the worker count — each
+//! shard fills its own accumulator, and shard accumulators are merged in
+//! shard-index order. The exact same float additions happen in the exact
+//! same order whether the shards run on one thread or thirty-two, so
+//! training results are bitwise-identical for a given seed regardless of
+//! `ETSB_WORKERS` / core count.
 
-use crossbeam::channel;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Number of worker threads to use: the available parallelism, capped so
+/// Fixed shard count cap for [`parallel_fold`]: enough slack for any
+/// realistic core count while keeping per-shard merge cost trivial.
+const MAX_FOLD_SHARDS: usize = 16;
+
+/// Below this many items the helpers stay on the calling thread (the
+/// fixed shard structure keeps results identical either way).
+const SPAWN_THRESHOLD: usize = 64;
+
+/// Process-wide worker-count override (0 = automatic). Takes precedence
+/// over the `ETSB_WORKERS` environment variable.
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force a specific worker count for every subsequent parallel helper
+/// call; `0` restores automatic selection. Intended for benchmarks and
+/// determinism tests; results do not depend on this by construction.
+pub fn set_worker_override(workers: usize) {
+    WORKER_OVERRIDE.store(workers, Ordering::SeqCst);
+}
+
+/// Configured parallelism: the override if set, else the `ETSB_WORKERS`
+/// environment variable if set to a positive integer, else the machine's
+/// available parallelism.
+fn configured_workers() -> usize {
+    let forced = WORKER_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("ETSB_WORKERS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Number of worker threads to use: the configured parallelism, capped so
 /// tiny workloads do not pay spawn overhead.
 pub fn worker_count(items: usize) -> usize {
-    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
-    cores.min(items.max(1)).min(32)
+    configured_workers().min(items.max(1)).min(32)
+}
+
+/// Number of fold shards for `n` items: a pure function of `n` (never of
+/// the worker count), so the shard boundaries — and therefore the float
+/// summation order — are identical on every machine.
+pub fn fold_shards(n: usize) -> usize {
+    n.min(MAX_FOLD_SHARDS)
 }
 
 /// Apply `f` to every index in `0..n` across threads, returning results in
@@ -24,77 +78,97 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let workers = worker_count(n);
-    if workers <= 1 || n < 64 {
+    if workers <= 1 || n < SPAWN_THRESHOLD {
         return (0..n).map(f).collect();
     }
-    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    let chunk = n.div_ceil(workers);
     std::thread::scope(|scope| {
-        let chunk = n.div_ceil(workers);
-        for w in 0..workers {
-            let tx = tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                let start = w * chunk;
-                let end = ((w + 1) * chunk).min(n);
-                for i in start..end {
-                    // The receiver outlives every sender inside the scope.
-                    let _ = tx.send((i, f(i)));
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    let start = w * chunk;
+                    let end = ((w + 1) * chunk).min(n);
+                    (start..end).map(f).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        // Chunks cover contiguous index ranges in worker order, so
+        // concatenation restores index order exactly.
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk) => out.extend(chunk),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
         }
-        drop(tx);
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        for (i, v) in rx {
-            slots[i] = Some(v);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("parallel_map: worker dropped an index"))
-            .collect()
+        out
     })
 }
 
-/// Fold `f` over `0..n` across threads, merging per-thread accumulators
-/// with `merge`. Used for sharded gradient accumulation.
+/// Fold `f` over `0..n` with deterministic sharding: the range is cut into
+/// [`fold_shards`]`(n)` fixed shards, each shard folds into its own fresh
+/// accumulator from `init`, and shard accumulators are combined with
+/// `merge` in shard-index order. Returns `init()` untouched when `n == 0`.
+///
+/// Used for sharded gradient accumulation: `merge` sees the exact same
+/// operands in the exact same order for every worker count.
 pub fn parallel_fold<A, F, M>(n: usize, init: impl Fn() -> A + Sync, f: F, merge: M) -> A
 where
     A: Send,
     F: Fn(&mut A, usize) + Sync,
-    M: Fn(A, A) -> A,
+    M: Fn(&mut A, A),
 {
-    let workers = worker_count(n);
-    if workers <= 1 || n < 64 {
+    let shards = fold_shards(n);
+    if shards == 0 {
+        return init();
+    }
+    let chunk = n.div_ceil(shards);
+    let run_shard = |s: usize| {
         let mut acc = init();
-        for i in 0..n {
+        let start = s * chunk;
+        let end = ((s + 1) * chunk).min(n);
+        for i in start..end {
             f(&mut acc, i);
         }
-        return acc;
-    }
-    let accs = std::thread::scope(|scope| {
-        let chunk = n.div_ceil(workers);
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let f = &f;
-                let init = &init;
-                scope.spawn(move || {
-                    let mut acc = init();
-                    let start = w * chunk;
-                    let end = ((w + 1) * chunk).min(n);
-                    for i in start..end {
-                        f(&mut acc, i);
-                    }
-                    acc
+        acc
+    };
+    let workers = worker_count(shards);
+    let accs: Vec<A> = if workers <= 1 || n < SPAWN_THRESHOLD {
+        (0..shards).map(run_shard).collect()
+    } else {
+        let per_worker = shards.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let run_shard = &run_shard;
+                    scope.spawn(move || {
+                        let start = w * per_worker;
+                        let end = ((w + 1) * per_worker).min(shards);
+                        (start..end).map(run_shard).collect::<Vec<A>>()
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel_fold worker panicked"))
-            .collect::<Vec<_>>()
-    });
+                .collect();
+            let mut out = Vec::with_capacity(shards);
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => out.extend(part),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            out
+        })
+    };
     let mut iter = accs.into_iter();
-    let first = iter.next().expect("at least one worker");
-    iter.fold(first, merge)
+    // shards >= 1 here, so the first accumulator always exists.
+    let mut total = match iter.next() {
+        Some(first) => first,
+        None => init(),
+    };
+    for acc in iter {
+        merge(&mut total, acc);
+    }
+    total
 }
 
 #[cfg(test)]
@@ -118,13 +192,56 @@ mod tests {
 
     #[test]
     fn fold_sums_correctly() {
-        let total = parallel_fold(10_000, || 0u64, |acc, i| *acc += i as u64, |a, b| a + b);
+        let total = parallel_fold(10_000, || 0u64, |acc, i| *acc += i as u64, |a, b| *a += b);
         assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn fold_empty_range_returns_init() {
+        let total = parallel_fold(0, || 42u64, |_, _| {}, |a, b| *a += b);
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn fold_shard_structure_is_worker_independent() {
+        // Merge order is observable through a non-commutative fold: collect
+        // (shard-local) index lists and concatenate at merge time.
+        let run = || {
+            parallel_fold(
+                200,
+                Vec::<usize>::new,
+                |acc, i| acc.push(i),
+                |a, mut b| a.append(&mut b),
+            )
+        };
+        set_worker_override(1);
+        let serial = run();
+        set_worker_override(4);
+        let parallel = run();
+        set_worker_override(0);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_shards_depend_only_on_item_count() {
+        assert_eq!(fold_shards(0), 0);
+        assert_eq!(fold_shards(5), 5);
+        assert_eq!(fold_shards(64), MAX_FOLD_SHARDS);
+        assert_eq!(fold_shards(1_000_000), MAX_FOLD_SHARDS);
     }
 
     #[test]
     fn worker_count_bounds() {
         assert_eq!(worker_count(0), 1);
         assert!(worker_count(1_000_000) <= 32);
+    }
+
+    #[test]
+    fn worker_override_forces_count() {
+        set_worker_override(2);
+        assert_eq!(worker_count(1_000_000), 2);
+        set_worker_override(0);
+        assert!(worker_count(1_000_000) >= 1);
     }
 }

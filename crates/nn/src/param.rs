@@ -1,32 +1,25 @@
-//! Trainable parameter: a weight matrix paired with its gradient
-//! accumulator.
+//! Trainable parameter and the gradient-buffer plumbing around it.
+//!
+//! Parameters hold *weights only*: gradients live in an explicit, separate
+//! [`GradBuffer`] with one slot per parameter (same stable order as the
+//! model's `params()`), so backward passes can run on `&self` and shard
+//! across threads, accumulating into per-thread buffers that merge
+//! deterministically.
 
-use etsb_tensor::Matrix;
+use etsb_tensor::{GradBuffer, Matrix};
 
-/// A trainable parameter.
-///
-/// `grad` always has the same shape as `value`; `backward` passes
-/// *accumulate* into it (so one optimizer step can integrate gradients
-/// from every sample of a mini-batch) and the trainer clears it between
-/// steps with [`Param::zero_grad`].
+/// A trainable parameter (weights only; see [`grad_buffer_for`] for the
+/// matching gradient storage).
 #[derive(Clone, Debug)]
 pub struct Param {
     /// Current weight values.
     pub value: Matrix,
-    /// Accumulated gradient of the loss w.r.t. `value`.
-    pub grad: Matrix,
 }
 
 impl Param {
-    /// Wrap an initialized weight matrix with a zeroed gradient.
+    /// Wrap an initialized weight matrix.
     pub fn new(value: Matrix) -> Self {
-        let grad = Matrix::zeros(value.rows(), value.cols());
-        Self { value, grad }
-    }
-
-    /// Reset the gradient accumulator to zero, keeping its allocation.
-    pub fn zero_grad(&mut self) {
-        self.grad.fill_zero();
+        Self { value }
     }
 
     /// Number of scalar weights.
@@ -40,23 +33,31 @@ impl Param {
     }
 }
 
+/// Build a zeroed [`GradBuffer`] with one slot per parameter, shaped to
+/// match. Slot `i` accumulates the gradient of `params[i]`.
+pub fn grad_buffer_for(params: &[&Param]) -> GradBuffer {
+    GradBuffer::from_shapes(params.iter().map(|p| p.value.shape()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn new_zeroes_grad_with_matching_shape() {
+    fn param_reports_size() {
         let p = Param::new(Matrix::full(3, 4, 1.5));
-        assert_eq!(p.grad.shape(), (3, 4));
-        assert_eq!(p.grad.sum(), 0.0);
         assert_eq!(p.len(), 12);
+        assert!(!p.is_empty());
     }
 
     #[test]
-    fn zero_grad_clears_accumulation() {
-        let mut p = Param::new(Matrix::zeros(2, 2));
-        p.grad.as_mut_slice().fill(3.0);
-        p.zero_grad();
-        assert_eq!(p.grad.sum(), 0.0);
+    fn grad_buffer_matches_param_shapes() {
+        let a = Param::new(Matrix::zeros(2, 3));
+        let b = Param::new(Matrix::zeros(1, 5));
+        let g = grad_buffer_for(&[&a, &b]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.slot(0).shape(), (2, 3));
+        assert_eq!(g.slot(1).shape(), (1, 5));
+        assert_eq!(g.slot(0).sum() + g.slot(1).sum(), 0.0);
     }
 }

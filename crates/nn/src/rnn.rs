@@ -19,6 +19,23 @@ use crate::Param;
 use etsb_tensor::{init, Matrix};
 use rand::rngs::StdRng;
 
+/// Split a recurrent cell's 3-slot gradient slice into `(wx, wh, b)`,
+/// matching the `params()` order every cell in this crate uses.
+pub(crate) fn split_cell_grads<'g>(
+    grads: &'g mut [Matrix],
+    what: &str,
+) -> (&'g mut Matrix, &'g mut Matrix, &'g mut Matrix) {
+    assert_eq!(
+        grads.len(),
+        3,
+        "{what}: expected 3 gradient slots (wx, wh, b), got {}",
+        grads.len()
+    );
+    let (gwx, tail) = grads.split_at_mut(1);
+    let (gwh, gb) = tail.split_at_mut(1);
+    (&mut gwx[0], &mut gwh[0], &mut gb[0])
+}
+
 /// A recurrent cell usable inside [`BiRnn`] / [`StackedBiRnn`]: vanilla
 /// ([`RnnCell`], the paper's choice), [`crate::LstmCell`] or
 /// [`crate::GruCell`] (the heavier alternatives §2 argues against).
@@ -39,9 +56,10 @@ pub trait Recurrence: Clone {
     /// `T x hidden` output sequence.
     fn forward_seq(&self, inputs: Matrix) -> (Matrix, Self::Cache);
 
-    /// BPTT: gradients on every output step (`T x hidden`) in,
-    /// accumulated parameter gradients + input gradients out.
-    fn backward_seq(&mut self, cache: &Self::Cache, grad_out: &Matrix) -> Matrix;
+    /// BPTT: gradients on every output step (`T x hidden`) in, parameter
+    /// gradients accumulated into `grads` (one slot per parameter, in
+    /// [`Recurrence::params`] order) + input gradients out.
+    fn backward_seq(&self, cache: &Self::Cache, grad_out: &Matrix, grads: &mut [Matrix]) -> Matrix;
 
     /// Parameters in a stable order.
     fn params(&self) -> Vec<&Param>;
@@ -124,9 +142,10 @@ impl RnnCell {
     }
 
     /// BPTT. `grad_hidden` is `dL/dh_t` for every step (`T x hidden`);
-    /// parameter gradients accumulate into the cell, and the gradient with
-    /// respect to the inputs (`T x input_dim`) is returned.
-    pub fn backward(&mut self, cache: &RnnCache, grad_hidden: &Matrix) -> Matrix {
+    /// parameter gradients accumulate into `grads` (slots `wx, wh, b`),
+    /// and the gradient with respect to the inputs (`T x input_dim`) is
+    /// returned.
+    pub fn backward(&self, cache: &RnnCache, grad_hidden: &Matrix, grads: &mut [Matrix]) -> Matrix {
         let t_max = cache.hidden.rows();
         let h = self.hidden_dim();
         assert_eq!(
@@ -136,6 +155,7 @@ impl RnnCell {
             grad_hidden.shape(),
             (t_max, h)
         );
+        let (gwx, gwh, gb) = split_cell_grads(grads, "RnnCell::backward");
         let mut grad_inputs = Matrix::zeros(t_max, self.input_dim());
         let mut carry = vec![0.0_f32; h]; // dL/dh_t arriving from step t+1
         for t in (0..t_max).rev() {
@@ -148,10 +168,10 @@ impl RnnCell {
                 .zip(h_t)
                 .map(|((&g, &c), &ht)| (g + c) * (1.0 - ht * ht))
                 .collect();
-            etsb_tensor::add_assign(self.b.grad.row_mut(0), &dz);
-            self.wx.grad.add_outer(1.0, cache.inputs.row(t), &dz);
+            etsb_tensor::add_assign(gb.row_mut(0), &dz);
+            gwx.add_outer(1.0, cache.inputs.row(t), &dz);
             if t > 0 {
-                self.wh.grad.add_outer(1.0, cache.hidden.row(t - 1), &dz);
+                gwh.add_outer(1.0, cache.hidden.row(t - 1), &dz);
             }
             grad_inputs
                 .row_mut(t)
@@ -192,8 +212,8 @@ impl Recurrence for RnnCell {
         (cache.hidden.clone(), cache)
     }
 
-    fn backward_seq(&mut self, cache: &RnnCache, grad_out: &Matrix) -> Matrix {
-        self.backward(cache, grad_out)
+    fn backward_seq(&self, cache: &RnnCache, grad_out: &Matrix, grads: &mut [Matrix]) -> Matrix {
+        self.backward(cache, grad_out, grads)
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -274,8 +294,15 @@ impl<C: Recurrence> BiRnn<C> {
     }
 
     /// Backward through both directions; `grad_out` is `T x 2·hidden` in
-    /// output layout. Returns `T x input_dim` input gradients.
-    pub fn backward(&mut self, cache: &BiRnnCache<C>, grad_out: &Matrix) -> Matrix {
+    /// output layout, `grads` holds one slot per parameter in [`BiRnn::params`]
+    /// order (fwd cell then bwd cell). Returns `T x input_dim` input
+    /// gradients.
+    pub fn backward(
+        &self,
+        cache: &BiRnnCache<C>,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+    ) -> Matrix {
         let t_max = cache.seq_len;
         let h = self.hidden_dim();
         assert_eq!(
@@ -285,6 +312,13 @@ impl<C: Recurrence> BiRnn<C> {
             grad_out.shape(),
             (t_max, 2 * h)
         );
+        let n_fwd = self.fwd.params().len();
+        assert_eq!(
+            grads.len(),
+            n_fwd + self.bwd.params().len(),
+            "BiRnn::backward: gradient slot count"
+        );
+        let (grads_fwd, grads_bwd) = grads.split_at_mut(n_fwd);
         let mut grad_fwd = Matrix::zeros(t_max, h);
         let mut grad_bwd = Matrix::zeros(t_max, h);
         for t in 0..t_max {
@@ -293,8 +327,8 @@ impl<C: Recurrence> BiRnn<C> {
                 .row_mut(t_max - 1 - t)
                 .copy_from_slice(&grad_out.row(t)[h..]);
         }
-        let gi_fwd = self.fwd.backward_seq(&cache.fwd, &grad_fwd);
-        let gi_bwd_rev = self.bwd.backward_seq(&cache.bwd, &grad_bwd);
+        let gi_fwd = self.fwd.backward_seq(&cache.fwd, &grad_fwd, grads_fwd);
+        let gi_bwd_rev = self.bwd.backward_seq(&cache.bwd, &grad_bwd, grads_bwd);
         let mut grad_inputs = gi_fwd;
         let gi_bwd = reverse_rows(&gi_bwd_rev);
         grad_inputs.add_assign(&gi_bwd);
@@ -370,17 +404,31 @@ impl<C: Recurrence> StackedBiRnn<C> {
         (out, StackedBiRnnCache { l1, l2, seq_len })
     }
 
-    /// Backward from a gradient on the final feature vector.
-    /// Returns the gradient with respect to the input sequence.
-    pub fn backward(&mut self, cache: &StackedBiRnnCache<C>, grad_out: &[f32]) -> Matrix {
+    /// Backward from a gradient on the final feature vector; `grads` holds
+    /// one slot per parameter in [`StackedBiRnn::params`] order (layer1
+    /// then layer2). Returns the gradient with respect to the input
+    /// sequence.
+    pub fn backward(
+        &self,
+        cache: &StackedBiRnnCache<C>,
+        grad_out: &[f32],
+        grads: &mut [Matrix],
+    ) -> Matrix {
         let h = self.layer2.hidden_dim();
         assert_eq!(grad_out.len(), 2 * h, "StackedBiRnn::backward: grad width");
+        let n_l1 = self.layer1.params().len();
+        assert_eq!(
+            grads.len(),
+            n_l1 + self.layer2.params().len(),
+            "StackedBiRnn::backward: gradient slot count"
+        );
+        let (grads_l1, grads_l2) = grads.split_at_mut(n_l1);
         let t_max = cache.seq_len;
         let mut grad_seq2 = Matrix::zeros(t_max, 2 * h);
         grad_seq2.row_mut(t_max - 1)[..h].copy_from_slice(&grad_out[..h]);
         grad_seq2.row_mut(0)[h..].copy_from_slice(&grad_out[h..]);
-        let grad_seq1 = self.layer2.backward(&cache.l2, &grad_seq2);
-        self.layer1.backward(&cache.l1, &grad_seq1)
+        let grad_seq1 = self.layer2.backward(&cache.l2, &grad_seq2, grads_l2);
+        self.layer1.backward(&cache.l1, &grad_seq1, grads_l1)
     }
 
     /// All parameters (layer1 then layer2, each fwd then bwd).
@@ -471,19 +519,20 @@ mod tests {
     #[test]
     fn rnn_cell_gradient_check() {
         let mut rng = seeded_rng(6);
-        let mut cell = RnnCell::new(2, 3, &mut rng);
+        let cell = RnnCell::new(2, 3, &mut rng);
         let inputs = Matrix::from_fn(4, 2, |i, j| ((i + j) as f32 * 0.7).sin() * 0.5);
 
         let loss = |c: &RnnCell| c.forward(inputs.clone()).hidden.sum();
 
         let cache = cell.forward(inputs.clone());
         let ones = Matrix::full(4, 3, 1.0);
-        let grad_inputs = cell.backward(&cache, &ones);
+        let mut grads = crate::param::grad_buffer_for(&cell.params());
+        let grad_inputs = cell.backward(&cache, &ones, grads.slots_mut());
 
         let h = 1e-3_f32;
         // Check a selection of weights in each parameter.
         for (pi, coords) in [(0, (1, 2)), (1, (0, 1)), (2, (0, 2))] {
-            let analytic = cell.params()[pi].grad[coords];
+            let analytic = grads.slot(pi)[coords];
             let mut plus = cell.clone();
             plus.params_mut()[pi].value[coords] += h;
             let mut minus = cell.clone();
@@ -511,18 +560,19 @@ mod tests {
     #[test]
     fn stacked_birnn_gradient_check() {
         let mut rng = seeded_rng(7);
-        let mut net = StackedBiRnn::new(2, 2, &mut rng);
+        let net = StackedBiRnn::new(2, 2, &mut rng);
         let inputs = Matrix::from_fn(3, 2, |i, j| ((i * 2 + j) as f32 * 0.9).cos() * 0.4);
 
         let loss = |n: &StackedBiRnn| n.forward(inputs.clone()).0.iter().sum::<f32>();
 
         let (out, cache) = net.forward(inputs.clone());
-        let grad_inputs = net.backward(&cache, &vec![1.0; out.len()]);
+        let mut grads = crate::param::grad_buffer_for(&net.params());
+        let grad_inputs = net.backward(&cache, &vec![1.0; out.len()], grads.slots_mut());
 
         let h = 1e-3_f32;
         // One weight from every cell of both layers.
         for pi in 0..12 {
-            let analytic = net.params()[pi].grad[(0, 0)];
+            let analytic = grads.slot(pi)[(0, 0)];
             let mut plus = net.clone();
             plus.params_mut()[pi].value[(0, 0)] += h;
             let mut minus = net.clone();

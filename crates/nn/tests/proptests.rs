@@ -3,19 +3,21 @@
 //! behaviour on random quadratics.
 
 use etsb_nn::{
-    Activation, Dense, GruCell, LstmCell, Optimizer, Param, Recurrence, Rmsprop, RnnCell, Sgd,
+    grad_buffer_for, Activation, Dense, GradBuffer, GruCell, LstmCell, Optimizer, Param,
+    Recurrence, Rmsprop, RnnCell, Sgd,
 };
 use etsb_tensor::{init::seeded_rng, Matrix};
 use proptest::prelude::*;
 
 /// Check one random weight coordinate of a cell against central
 /// differences of the sum-of-outputs loss.
-fn cell_gradcheck<C: Recurrence>(mut cell: C, inputs: Matrix, param_idx: usize) -> (f32, f32) {
+fn cell_gradcheck<C: Recurrence>(cell: C, inputs: Matrix, param_idx: usize) -> (f32, f32) {
     let loss = |c: &C, x: &Matrix| c.forward_seq(x.clone()).0.sum();
     let (out, cache) = cell.forward_seq(inputs.clone());
     let ones = Matrix::full(out.rows(), out.cols(), 1.0);
-    let _ = cell.backward_seq(&cache, &ones);
-    let analytic = cell.params()[param_idx].grad[(0, 0)];
+    let mut grads = grad_buffer_for(&cell.params());
+    let _ = cell.backward_seq(&cache, &ones, grads.slots_mut());
+    let analytic = grads.slot(param_idx)[(0, 0)];
     let h = 1e-3_f32;
     let mut plus = cell.clone();
     plus.params_mut()[param_idx].value[(0, 0)] += h;
@@ -86,12 +88,13 @@ proptest! {
     ) {
         let mut rng = seeded_rng(seed);
         for act in [Activation::Linear, Activation::Tanh, Activation::Relu] {
-            let mut layer = Dense::new(input_dim, output_dim, act, &mut rng);
+            let layer = Dense::new(input_dim, output_dim, act, &mut rng);
             let x = Matrix::from_fn(rows, input_dim, |i, j| ((seed as f32 + (i + j) as f32) * 0.39).sin());
             let (out, cache) = layer.forward(x.clone());
             let ones = Matrix::full(out.rows(), out.cols(), 1.0);
-            let _ = layer.backward(&cache, &ones);
-            let analytic = layer.params()[0].grad[(0, 0)];
+            let mut grads = grad_buffer_for(&layer.params());
+            let _ = layer.backward(&cache, &ones, grads.slots_mut());
+            let analytic = grads.slot(0)[(0, 0)];
             let h = 1e-3_f32;
             let loss = |l: &Dense, x: &Matrix| l.forward(x.clone()).0.sum();
             let mut plus = layer.clone();
@@ -111,19 +114,20 @@ proptest! {
         // f(w) = curvature (w - target)²; both optimizers must reduce f.
         for mode in 0..2 {
             let mut p = Param::new(Matrix::zeros(1, 1));
+            let mut grads = GradBuffer::from_shapes([(1, 1)]);
             let f = |w: f32| curvature * (w - target) * (w - target);
             let initial = f(p.value[(0, 0)]);
             let mut sgd = Sgd::new(0.05 / curvature);
             let mut rms = Rmsprop::new(0.05);
             for _ in 0..200 {
                 let w = p.value[(0, 0)];
-                p.grad[(0, 0)] = 2.0 * curvature * (w - target);
+                grads.zero();
+                grads.slot_mut(0)[(0, 0)] = 2.0 * curvature * (w - target);
                 if mode == 0 {
-                    sgd.step(&mut [&mut p]);
+                    sgd.step(&mut [&mut p], &grads);
                 } else {
-                    rms.step(&mut [&mut p]);
+                    rms.step(&mut [&mut p], &grads);
                 }
-                p.zero_grad();
             }
             // RMSprop's adaptive step keeps a steady-state wiggle of
             // roughly ±lr around the optimum, so "converged" means

@@ -1,0 +1,134 @@
+//! Mergeable gradient storage for data-parallel training.
+//!
+//! A [`GradBuffer`] holds one gradient matrix ("slot") per trainable
+//! parameter, in the same stable order the model reports its parameters.
+//! Backward passes accumulate into a buffer instead of into the layers
+//! themselves, so a mini-batch can be sharded across threads: each shard
+//! fills its own buffer and the shards are [`GradBuffer::merge`]d in a
+//! fixed order, keeping results bitwise-deterministic for a given seed
+//! regardless of worker count.
+
+use crate::Matrix;
+
+/// Per-parameter gradient accumulators, mergeable across shards.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GradBuffer {
+    slots: Vec<Matrix>,
+}
+
+impl GradBuffer {
+    /// New buffer with one zeroed slot per `(rows, cols)` shape.
+    pub fn from_shapes(shapes: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        Self {
+            slots: shapes
+                .into_iter()
+                .map(|(r, c)| Matrix::zeros(r, c))
+                .collect(),
+        }
+    }
+
+    /// Reset every slot to zero, keeping allocations.
+    pub fn zero(&mut self) {
+        for s in &mut self.slots {
+            s.fill_zero();
+        }
+    }
+
+    /// Element-wise add `other` into `self` (shard reduction).
+    ///
+    /// # Panics
+    /// If the buffers have different arity or slot shapes.
+    pub fn merge(&mut self, other: &GradBuffer) {
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "GradBuffer::merge: arity {} != {}",
+            self.slots.len(),
+            other.slots.len()
+        );
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            a.add_assign(b);
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the buffer has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Slot `i` (same index as the corresponding parameter).
+    pub fn slot(&self, i: usize) -> &Matrix {
+        &self.slots[i]
+    }
+
+    /// Mutable slot `i`.
+    pub fn slot_mut(&mut self, i: usize) -> &mut Matrix {
+        &mut self.slots[i]
+    }
+
+    /// All slots in parameter order.
+    pub fn slots(&self) -> &[Matrix] {
+        &self.slots
+    }
+
+    /// All slots, mutably (for splitting across layer backward calls).
+    pub fn slots_mut(&mut self) -> &mut [Matrix] {
+        &mut self.slots
+    }
+
+    /// Sanitizer hook: assert every slot is finite (active under the
+    /// `sanitize` feature, no-op otherwise).
+    pub fn assert_finite(&self, layer: &str, op: &str) {
+        for s in &self.slots {
+            s.assert_finite(layer, op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_shapes_allocates_zeroed_slots() {
+        let g = GradBuffer::from_shapes([(2, 3), (1, 4)]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.slot(0).shape(), (2, 3));
+        assert_eq!(g.slot(1).shape(), (1, 4));
+        assert_eq!(g.slot(0).sum(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = GradBuffer::from_shapes([(1, 2)]);
+        let mut b = GradBuffer::from_shapes([(1, 2)]);
+        a.slot_mut(0)[(0, 0)] = 1.0;
+        b.slot_mut(0)[(0, 0)] = 2.0;
+        b.slot_mut(0)[(0, 1)] = 5.0;
+        a.merge(&b);
+        assert_eq!(a.slot(0)[(0, 0)], 3.0);
+        assert_eq!(a.slot(0)[(0, 1)], 5.0);
+    }
+
+    #[test]
+    fn zero_clears_but_keeps_shape() {
+        let mut g = GradBuffer::from_shapes([(2, 2)]);
+        g.slot_mut(0).as_mut_slice().fill(7.0);
+        g.zero();
+        assert_eq!(g.slot(0).sum(), 0.0);
+        assert_eq!(g.slot(0).shape(), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn merge_rejects_mismatched_arity() {
+        let mut a = GradBuffer::from_shapes([(1, 1)]);
+        let b = GradBuffer::from_shapes([(1, 1), (1, 1)]);
+        a.merge(&b);
+    }
+}

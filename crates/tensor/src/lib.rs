@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+mod grad;
 mod matrix;
 mod ops;
 mod serialize;
@@ -30,6 +31,7 @@ pub mod init;
 /// NaN/Inf detection hooks, active under the `sanitize` feature.
 pub mod sanitize;
 
+pub use grad::GradBuffer;
 pub use matrix::Matrix;
 pub use ops::{
     add_assign, argmax, axpy, dot, l2_norm, max_abs_diff, mean, relu_inplace, scale,

@@ -14,6 +14,9 @@
 #   4. cargo test (default features)   -- tier-1 suite
 #   5. cargo test --features sanitize  -- suite again with numeric
 #                                         NaN/Inf sanitizer hooks live
+#   6. determinism under ETSB_WORKERS=2 -- sharded backward must stay
+#                                         bitwise-identical when the
+#                                         worker count is forced
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,6 +37,9 @@ if [[ "${1:-}" != "fast" ]]; then
 
     step "cargo test --workspace --features sanitize"
     cargo test -q --workspace --features sanitize
+
+    step "determinism with 2 forced workers"
+    ETSB_WORKERS=2 cargo test -q -p etsb-core --test determinism
 fi
 
 printf '\nAll checks passed.\n'

@@ -81,6 +81,96 @@ fn samplers_are_deterministic_across_processes_conceptually() {
     }
 }
 
+/// The tentpole guarantee of the gradient-buffer refactor: per-sample
+/// backward passes shard across threads, but shard accumulators merge in
+/// a fixed order, so the worker count cannot change a single bit of the
+/// result. Run the full training loop single-threaded and with four
+/// workers and demand identical loss curves and identical final weights.
+#[test]
+fn training_is_bitwise_identical_across_worker_counts() {
+    use etsb_core::encode::EncodedDataset;
+    use etsb_core::model::AnyModel;
+    use etsb_core::train::train_model;
+    use etsb_nn::parallel::set_worker_override;
+    use etsb_tensor::init::seeded_rng;
+
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.03,
+            seed: 14,
+        })
+        .expect("dataset generation");
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+    let data = EncodedDataset::from_frame(&frame);
+    let sample = sampling::diver_set(&frame, 10, 3);
+    let (train, test) = data.split_by_tuples(&sample);
+    let cfg = tiny_cfg().train;
+
+    let run = |workers: usize| {
+        set_worker_override(workers);
+        let mut model = AnyModel::new(ModelKind::Etsb, &data, &cfg, &mut seeded_rng(31));
+        let history = train_model(&mut model, &data, &train, &test, &cfg, 17);
+        set_worker_override(0);
+        let weights: Vec<Vec<f32>> = model
+            .params()
+            .iter()
+            .map(|p| p.value.as_slice().to_vec())
+            .collect();
+        (history, weights)
+    };
+
+    let (h1, w1) = run(1);
+    let (h4, w4) = run(4);
+    assert_eq!(
+        h1.train_loss, h4.train_loss,
+        "loss curve depends on worker count"
+    );
+    assert_eq!(h1.test_acc, h4.test_acc);
+    assert_eq!(h1.best_epoch, h4.best_epoch);
+    for (i, (a, b)) in w1.iter().zip(&w4).enumerate() {
+        assert!(
+            a == b,
+            "weights of param {i} differ between 1 and 4 workers"
+        );
+    }
+}
+
+/// Exercises the sharded backward path under forced multi-threading; with
+/// `--features sanitize` the per-layer NaN/Inf hooks run inside the
+/// worker threads, which is exactly what `run_checks.sh` relies on.
+#[test]
+fn parallel_backward_stays_finite() {
+    use etsb_core::encode::EncodedDataset;
+    use etsb_core::model::AnyModel;
+    use etsb_nn::parallel::set_worker_override;
+    use etsb_tensor::init::seeded_rng;
+
+    let pair = Dataset::Flights
+        .generate(&GenConfig {
+            scale: 0.05,
+            seed: 15,
+        })
+        .expect("dataset generation");
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+    let data = EncodedDataset::from_frame(&frame);
+    let cfg = tiny_cfg().train;
+    let mut model = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut seeded_rng(5));
+    let batch: Vec<usize> = (0..data.n_cells().min(96)).collect();
+    let mut grads = model.grad_buffer();
+
+    set_worker_override(3);
+    let loss = model.train_batch(&data, &batch, &mut grads);
+    set_worker_override(0);
+
+    assert!(loss.is_finite(), "batch loss not finite: {loss}");
+    for i in 0..grads.len() {
+        assert!(
+            grads.slot(i).as_slice().iter().all(|v| v.is_finite()),
+            "gradient slot {i} contains non-finite values"
+        );
+    }
+}
+
 #[test]
 fn generator_determinism_extends_to_csv_round_trip() {
     // Serialize → parse → regenerate: everything must line up.
