@@ -8,27 +8,24 @@
 //! cargo run --release -p etsb-bench --bin ablation_cells -- --runs 2 --dataset beers
 //! ```
 
-use etsb_bench::{experiment_config, fmt, gen_config, maybe_write, parse_args};
+use etsb_bench::harness::{footnote, prepare_dataset, progress, ConsoleTable};
+use etsb_bench::{experiment_config, fmt, parse_args, write_outputs};
 use etsb_core::config::{CellKind, ModelKind};
 use etsb_core::eval::{aggregate, Metrics, Summary};
 use etsb_core::pipeline::{run_once_on_frame, RunResult};
-use etsb_table::CellFrame;
 
 fn main() {
     let args = parse_args();
     let cells = [CellKind::Vanilla, CellKind::Lstm, CellKind::Gru];
-    println!(
-        "{:<10} {:<6} {:>7} {:>8} {:>10} {:>8}",
-        "dataset", "cell", "F1", "F1 S.D.", "train[s]", "weights"
-    );
+    let table = ConsoleTable::new(&[-10, -6, 7, 8, 10, 8]);
+    table.row(&["dataset", "cell", "F1", "F1 S.D.", "train[s]", "weights"]);
     let mut csv = String::from("dataset,cell,f1_mean,f1_sd,train_secs,n\n");
+    let mut datasets = Vec::new();
     for &ds in &args.datasets {
-        let pair = ds
-            .generate(&gen_config(&args, ds))
-            .expect("dataset generation");
-        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        let (frame, info) = prepare_dataset(&args, ds);
+        datasets.push(info);
         for cell in cells {
-            eprintln!("[{ds}] {} x{}...", cell.name(), args.runs);
+            progress(ds, format!("{} x{}...", cell.name(), args.runs));
             let mut cfg = experiment_config(&args, ModelKind::Tsb);
             cfg.train.cell = cell;
             let runs: Vec<RunResult> = (0..args.runs as u64)
@@ -43,15 +40,14 @@ fn main() {
                     .collect::<Vec<_>>(),
             )
             .expect("at least one run");
-            println!(
-                "{:<10} {:<6} {:>7} {:>8} {:>10.1} {:>8}",
-                ds.name(),
-                cell.name(),
+            table.row(&[
+                ds.name().to_string(),
+                cell.name().to_string(),
                 fmt(f1.mean),
                 fmt(f1.std),
-                secs.mean,
-                "-"
-            );
+                format!("{:.1}", secs.mean),
+                "-".to_string(),
+            ]);
             csv.push_str(&format!(
                 "{},{},{:.4},{:.4},{:.2},{}\n",
                 ds.name(),
@@ -63,6 +59,7 @@ fn main() {
             ));
         }
     }
-    println!("\n(the paper's claim: vanilla matches gated cells at lower training cost)");
-    maybe_write(&args.out, &csv);
+    footnote("the paper's claim: vanilla matches gated cells at lower training cost");
+    let cfg = experiment_config(&args, ModelKind::Tsb);
+    write_outputs(&args, &cfg, datasets, &csv);
 }

@@ -11,25 +11,22 @@
 //! cargo run --release -p etsb-bench --bin ablation_extensions -- --dataset flights --runs 2
 //! ```
 
-use etsb_bench::{experiment_config, fmt, gen_config, maybe_write, parse_args};
+use etsb_bench::harness::{prepare_dataset, progress, ConsoleTable};
+use etsb_bench::{experiment_config, fmt, parse_args, write_outputs};
 use etsb_core::config::ModelKind;
 use etsb_core::eval::{aggregate, Metrics};
 use etsb_core::extensions::{duplicate_aware_auto, fd_augmented};
 use etsb_core::{sampling, EncodedDataset};
-use etsb_table::CellFrame;
 
 fn main() {
     let args = parse_args();
-    println!(
-        "{:<10} {:<12} {:>6} {:>6} {:>6} {:>8}",
-        "dataset", "condition", "P", "R", "F1", "F1 S.D."
-    );
+    let table = ConsoleTable::new(&[-10, -12, 6, 6, 6, 8]);
+    table.row(&["dataset", "condition", "P", "R", "F1", "F1 S.D."]);
     let mut csv = String::from("dataset,condition,precision,recall,f1_mean,f1_sd,n\n");
+    let mut datasets = Vec::new();
     for &ds in &args.datasets {
-        let pair = ds
-            .generate(&gen_config(&args, ds))
-            .expect("dataset generation");
-        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        let (frame, info) = prepare_dataset(&args, ds);
+        datasets.push(info);
         let data = EncodedDataset::from_frame(&frame);
         let labels: Vec<bool> = frame.cells().iter().map(|c| c.label).collect();
         let cfg = experiment_config(&args, ModelKind::Etsb);
@@ -37,7 +34,7 @@ fn main() {
         // Collect raw per-run predictions once; each condition reuses them.
         let mut per_condition: Vec<Vec<Metrics>> = vec![Vec::new(); 4];
         for rep in 0..args.runs as u64 {
-            eprintln!("[{ds}] ETSB-RNN run {rep}...");
+            progress(ds, format!("ETSB-RNN run {rep}..."));
             let seed = cfg.seed.wrapping_add(rep);
             let sample = sampling::diver_set(&frame, cfg.n_label_tuples, seed);
             // Full-table prediction mask: the model's output on test
@@ -79,15 +76,14 @@ fn main() {
             .zip(&per_condition)
         {
             let (p, r, f1) = aggregate(metrics).expect("at least one run");
-            println!(
-                "{:<10} {:<12} {:>6} {:>6} {:>6} {:>8}",
-                ds.name(),
-                name,
+            table.row(&[
+                ds.name().to_string(),
+                name.to_string(),
                 fmt(p.mean),
                 fmt(r.mean),
                 fmt(f1.mean),
-                fmt(f1.std)
-            );
+                fmt(f1.std),
+            ]);
             csv.push_str(&format!(
                 "{},{},{:.4},{:.4},{:.4},{:.4},{}\n",
                 ds.name(),
@@ -100,5 +96,6 @@ fn main() {
             ));
         }
     }
-    maybe_write(&args.out, &csv);
+    let cfg = experiment_config(&args, ModelKind::Etsb);
+    write_outputs(&args, &cfg, datasets, &csv);
 }

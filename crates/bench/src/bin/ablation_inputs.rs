@@ -13,7 +13,8 @@
 //! cargo run --release -p etsb-bench --bin ablation_inputs -- --runs 3
 //! ```
 
-use etsb_bench::{experiment_config, fmt, gen_config, maybe_write, parse_args};
+use etsb_bench::harness::{footnote, prepare_dataset, progress, ConsoleTable};
+use etsb_bench::{experiment_config, fmt, parse_args, write_outputs};
 use etsb_core::config::ModelKind;
 use etsb_core::eval::{aggregate, Metrics, Summary};
 use etsb_core::pipeline::run_with_sample;
@@ -77,20 +78,17 @@ fn run_condition(
 
 fn main() {
     let args = parse_args();
-    println!(
-        "{:<10} {:>9} {:>11} {:>10} {:>9}",
-        "dataset", "TSB", "ETSB-attr", "ETSB-len", "ETSB"
-    );
+    let table = ConsoleTable::new(&[-10, 9, 11, 10, 9]);
+    table.row(&["dataset", "TSB", "ETSB-attr", "ETSB-len", "ETSB"]);
     let mut csv = String::from("dataset,condition,f1_mean,f1_sd,n\n");
+    let mut datasets = Vec::new();
     for &ds in &args.datasets {
-        let pair = ds
-            .generate(&gen_config(&args, ds))
-            .expect("dataset generation");
-        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        let (frame, info) = prepare_dataset(&args, ds);
+        datasets.push(info);
         let data = EncodedDataset::from_frame(&frame);
         let mut row = Vec::new();
         for cond in Condition::ALL {
-            eprintln!("[{ds}] {} x{}...", cond.name(), args.runs);
+            progress(ds, format!("{} x{}...", cond.name(), args.runs));
             let f1 = run_condition(cond, &frame, &data, &args);
             csv.push_str(&format!(
                 "{},{},{:.4},{:.4},{}\n",
@@ -102,15 +100,15 @@ fn main() {
             ));
             row.push(f1);
         }
-        println!(
-            "{:<10} {:>9} {:>11} {:>10} {:>9}",
-            ds.name(),
+        table.row(&[
+            ds.name().to_string(),
             fmt(row[0].mean),
             fmt(row[1].mean),
             fmt(row[2].mean),
-            fmt(row[3].mean)
-        );
+            fmt(row[3].mean),
+        ]);
     }
-    println!("\n(F1 means; ETSB-attr/-len feed a constant through that input path)");
-    maybe_write(&args.out, &csv);
+    footnote("F1 means; ETSB-attr/-len feed a constant through that input path");
+    let cfg = experiment_config(&args, ModelKind::Etsb);
+    write_outputs(&args, &cfg, datasets, &csv);
 }

@@ -6,11 +6,11 @@
 //! cargo run --release -p etsb-bench --bin ablation_sampling -- --runs 3
 //! ```
 
-use etsb_bench::{experiment_config, fmt, gen_config, maybe_write, parse_args};
+use etsb_bench::harness::{prepare_dataset, progress, ConsoleTable};
+use etsb_bench::{experiment_config, fmt, parse_args, write_outputs};
 use etsb_core::config::{ModelKind, SamplerKind};
 use etsb_core::eval::{aggregate, Metrics};
 use etsb_core::pipeline::run_once_on_frame;
-use etsb_table::CellFrame;
 
 fn main() {
     let args = parse_args();
@@ -19,19 +19,24 @@ fn main() {
         SamplerKind::Raha,
         SamplerKind::DiverSet,
     ];
-    println!(
-        "{:<10} {:>11} {:>8} {:>11} {:>8} {:>11} {:>8}",
-        "dataset", "Random F1", "S.D.", "Raha F1", "S.D.", "DiverSet F1", "S.D."
-    );
+    let table = ConsoleTable::new(&[-10, 11, 8, 11, 8, 11, 8]);
+    table.row(&[
+        "dataset",
+        "Random F1",
+        "S.D.",
+        "Raha F1",
+        "S.D.",
+        "DiverSet F1",
+        "S.D.",
+    ]);
     let mut csv = String::from("dataset,sampler,f1_mean,f1_sd,n\n");
+    let mut datasets = Vec::new();
     for &ds in &args.datasets {
-        let pair = ds
-            .generate(&gen_config(&args, ds))
-            .expect("dataset generation");
-        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        let (frame, info) = prepare_dataset(&args, ds);
+        datasets.push(info);
         let mut cells = Vec::new();
         for sampler in samplers {
-            eprintln!("[{ds}] {} x{}...", sampler.name(), args.runs);
+            progress(ds, format!("{} x{}...", sampler.name(), args.runs));
             let mut cfg = experiment_config(&args, ModelKind::Tsb);
             cfg.sampler = sampler;
             let metrics: Vec<Metrics> = (0..args.runs as u64)
@@ -48,16 +53,16 @@ fn main() {
                 f1.n
             ));
         }
-        println!(
-            "{:<10} {:>11} {:>8} {:>11} {:>8} {:>11} {:>8}",
-            ds.name(),
+        table.row(&[
+            ds.name().to_string(),
             fmt(cells[0].mean),
             fmt(cells[0].std),
             fmt(cells[1].mean),
             fmt(cells[1].std),
             fmt(cells[2].mean),
-            fmt(cells[2].std)
-        );
+            fmt(cells[2].std),
+        ]);
     }
-    maybe_write(&args.out, &csv);
+    let cfg = experiment_config(&args, ModelKind::Tsb);
+    write_outputs(&args, &cfg, datasets, &csv);
 }

@@ -10,25 +10,24 @@
 //! selected epochs are emitted as rows with `epoch = -1 - best_epoch`
 //! markers in a second block (`dataset,model,run,best_epoch,test_acc`).
 
-use etsb_bench::{experiment_config, gen_config, maybe_write, parse_args};
+use etsb_bench::harness::{prepare_dataset, progress, ConsoleTable};
+use etsb_bench::{experiment_config, parse_args, write_outputs};
 use etsb_core::config::ModelKind;
 use etsb_core::eval::Summary;
 use etsb_core::pipeline::run_once_on_frame;
-use etsb_table::CellFrame;
 use std::collections::BTreeMap;
 
 fn main() {
     let args = parse_args();
     let mut csv = String::from("dataset,model,epoch,mean_test_acc,ci95,n_runs\n");
     let mut markers = String::from("dataset,model,run,best_epoch,test_acc_at_best\n");
+    let mut datasets = Vec::new();
 
     for &ds in &args.datasets {
-        let pair = ds
-            .generate(&gen_config(&args, ds))
-            .expect("dataset generation");
-        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        let (frame, info) = prepare_dataset(&args, ds);
+        datasets.push(info);
         for kind in [ModelKind::Tsb, ModelKind::Etsb] {
-            eprintln!("[{ds}] {} x{}...", kind.name(), args.runs);
+            progress(ds, format!("{} x{}...", kind.name(), args.runs));
             let cfg = experiment_config(&args, kind);
             // epoch → accuracy across runs.
             let mut series: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
@@ -50,10 +49,15 @@ fn main() {
                 ));
             }
             println!("\n{} / {}:", ds.name(), kind.name());
-            println!("{:>6} {:>10} {:>8}", "epoch", "test acc", "ci95");
+            let table = ConsoleTable::new(&[6, 10, 8]);
+            table.row(&["epoch", "test acc", "ci95"]);
             for (epoch, accs) in &series {
                 let s = Summary::of(accs).expect("at least one run");
-                println!("{:>6} {:>10.4} {:>8.4}", epoch, s.mean, s.ci95());
+                table.row(&[
+                    epoch.to_string(),
+                    format!("{:.4}", s.mean),
+                    format!("{:.4}", s.ci95()),
+                ]);
                 csv.push_str(&format!(
                     "{},{},{},{:.4},{:.4},{}\n",
                     ds.name(),
@@ -68,7 +72,8 @@ fn main() {
     }
     csv.push('\n');
     csv.push_str(&markers);
-    maybe_write(&args.out, &csv);
+    let cfg = experiment_config(&args, ModelKind::Etsb);
+    write_outputs(&args, &cfg, datasets, &csv);
     if args.out.is_none() {
         eprintln!("\n(pass --out fig6.csv to save the plottable series)");
     }

@@ -6,11 +6,11 @@
 //! cargo run --release -p etsb-bench --bin fig7 -- --runs 3 --out fig7.csv
 //! ```
 
-use etsb_bench::{experiment_config, gen_config, maybe_write, parse_args};
+use etsb_bench::harness::{footnote, prepare_dataset, progress, ConsoleTable};
+use etsb_bench::{experiment_config, parse_args, write_outputs};
 use etsb_core::config::ModelKind;
 use etsb_core::eval::Summary;
 use etsb_core::pipeline::run_once_on_frame;
-use etsb_table::CellFrame;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -18,18 +18,17 @@ fn main() {
     let mut csv =
         String::from("dataset,epoch,mean_train_acc,train_ci95,mean_test_acc,test_ci95,n_runs\n");
     let mut markers = String::from("dataset,run,best_epoch,train_acc_at_best,test_acc_at_best\n");
+    let mut datasets = Vec::new();
 
     for &ds in &args.datasets {
-        let pair = ds
-            .generate(&gen_config(&args, ds))
-            .expect("dataset generation");
-        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        let (frame, info) = prepare_dataset(&args, ds);
+        datasets.push(info);
         let mut cfg = experiment_config(&args, ModelKind::Etsb);
         // Figure 7 plots the train-accuracy curve, so pay for tracking it.
         cfg.train.track_train_acc = true;
         let mut train_series: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
         let mut test_series: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
-        eprintln!("[{ds}] ETSB-RNN x{}...", args.runs);
+        progress(ds, format!("ETSB-RNN x{}...", args.runs));
         for rep in 0..args.runs as u64 {
             let result = run_once_on_frame(&frame, &cfg, rep);
             let h = &result.history;
@@ -54,21 +53,18 @@ fn main() {
             ));
         }
         println!("\n{} (ETSB-RNN):", ds.name());
-        println!(
-            "{:>6} {:>11} {:>11} {:>8}",
-            "epoch", "train acc", "test acc", "gap"
-        );
+        let table = ConsoleTable::new(&[6, 11, 11, 8]);
+        table.row(&["epoch", "train acc", "test acc", "gap"]);
         for (&epoch, test_accs) in &test_series {
             let test = Summary::of(test_accs).expect("at least one run");
             let train = Summary::of(train_series.get(&epoch).expect("train acc every epoch"))
                 .expect("at least one run");
-            println!(
-                "{:>6} {:>11.4} {:>11.4} {:>8.4}",
-                epoch,
-                train.mean,
-                test.mean,
-                train.mean - test.mean
-            );
+            table.row(&[
+                epoch.to_string(),
+                format!("{:.4}", train.mean),
+                format!("{:.4}", test.mean),
+                format!("{:.4}", train.mean - test.mean),
+            ]);
             csv.push_str(&format!(
                 "{},{},{:.4},{:.4},{:.4},{:.4},{}\n",
                 ds.name(),
@@ -83,9 +79,11 @@ fn main() {
     }
     csv.push('\n');
     csv.push_str(&markers);
-    maybe_write(&args.out, &csv);
-    println!(
-        "\n(the paper's no-overfitting claim = small, shrinking train/test gap; \
-         Flights is the outlier with a persistently large gap)"
+    let mut cfg = experiment_config(&args, ModelKind::Etsb);
+    cfg.train.track_train_acc = true;
+    write_outputs(&args, &cfg, datasets, &csv);
+    footnote(
+        "the paper's no-overfitting claim = small, shrinking train/test gap; \
+         Flights is the outlier with a persistently large gap",
     );
 }

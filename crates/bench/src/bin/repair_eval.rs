@@ -12,28 +12,32 @@
 //! cargo run --release -p etsb-bench --bin repair_eval -- --runs 1
 //! ```
 
-use etsb_bench::{experiment_config, gen_config, maybe_write, parse_args};
+use etsb_bench::harness::{prepare_dataset, progress, ConsoleTable};
+use etsb_bench::{experiment_config, parse_args, write_outputs};
 use etsb_core::config::ModelKind;
 use etsb_core::model::AnyModel;
 use etsb_core::train::train_model;
 use etsb_core::{sampling, EncodedDataset};
 use etsb_repair::{evaluate, Repairer};
-use etsb_table::CellFrame;
 
 fn main() {
     let args = parse_args();
-    println!(
-        "{:<10} {:<7} {:>9} {:>9} {:>10} {:>14}",
-        "dataset", "mask", "proposed", "correct", "precision", "errors (→)"
-    );
+    let table = ConsoleTable::new(&[-10, -7, 9, 9, 10, 14]);
+    table.row(&[
+        "dataset",
+        "mask",
+        "proposed",
+        "correct",
+        "precision",
+        "errors (→)",
+    ]);
     let mut csv = String::from(
         "dataset,mask,flagged,proposed,correct,repair_precision,errors_before,errors_after\n",
     );
+    let mut datasets = Vec::new();
     for &ds in &args.datasets {
-        let pair = ds
-            .generate(&gen_config(&args, ds))
-            .expect("dataset generation");
-        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        let (frame, info) = prepare_dataset(&args, ds);
+        datasets.push(info);
         let data = EncodedDataset::from_frame(&frame);
 
         // Oracle mask.
@@ -41,7 +45,7 @@ fn main() {
 
         // ETSB mask (one training run).
         let cfg = experiment_config(&args, ModelKind::Etsb);
-        eprintln!("[{ds}] training ETSB-RNN for the detector mask...");
+        progress(ds, "training ETSB-RNN for the detector mask...");
         let sample = sampling::diver_set(&frame, cfg.n_label_tuples, cfg.seed);
         let (train_cells, test_cells) = data.split_by_tuples(&sample);
         let mut rng = etsb_tensor::init::seeded_rng(cfg.seed);
@@ -66,16 +70,14 @@ fn main() {
             let repairer = Repairer::fit(&frame, mask);
             let proposals = repairer.propose_all(&frame, mask);
             let eval = evaluate(&frame, mask, &proposals);
-            println!(
-                "{:<10} {:<7} {:>9} {:>9} {:>10.2} {:>6} → {:<6}",
-                ds.name(),
-                name,
-                eval.proposed,
-                eval.correct,
-                eval.repair_precision,
-                eval.errors_before,
-                eval.errors_after
-            );
+            table.row(&[
+                ds.name().to_string(),
+                name.to_string(),
+                eval.proposed.to_string(),
+                eval.correct.to_string(),
+                format!("{:.2}", eval.repair_precision),
+                format!("{} → {}", eval.errors_before, eval.errors_after),
+            ]);
             csv.push_str(&format!(
                 "{},{},{},{},{},{:.4},{},{}\n",
                 ds.name(),
@@ -89,5 +91,6 @@ fn main() {
             ));
         }
     }
-    maybe_write(&args.out, &csv);
+    let cfg = experiment_config(&args, ModelKind::Etsb);
+    write_outputs(&args, &cfg, datasets, &csv);
 }

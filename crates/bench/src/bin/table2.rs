@@ -6,37 +6,43 @@
 //! cargo run --release -p etsb-bench --bin table2 [-- --scale 1.0]
 //! ```
 
-use etsb_bench::{gen_config, maybe_write, parse_args};
-use etsb_table::{stats::DatasetStats, CellFrame};
+use etsb_bench::harness::{prepare_dataset, ConsoleTable};
+use etsb_bench::{experiment_config, parse_args, write_outputs};
+use etsb_core::config::ModelKind;
+use etsb_table::stats::DatasetStats;
 
 fn main() {
     let args = parse_args();
-    println!(
-        "{:<10} {:>12} {:>7} {:>7} {:>7} {:>7} {:<16}",
-        "Name", "Size", "ErrRate", "(paper)", "Chars", "(paper)", "Error Types"
-    );
+    let mut datasets = Vec::new();
+    let table = ConsoleTable::new(&[-10, 12, 7, 7, 7, 7, -16]);
+    table.row(&[
+        "Name",
+        "Size",
+        "ErrRate",
+        "(paper)",
+        "Chars",
+        "(paper)",
+        "Error Types",
+    ]);
     let mut csv = String::from(
         "dataset,rows,cols,error_rate,paper_error_rate,chars,paper_chars,error_types\n",
     );
     for ds in &args.datasets {
         let ds = *ds;
-        let pair = ds
-            .generate(&gen_config(&args, ds))
-            .expect("dataset generation");
-        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        let (frame, info) = prepare_dataset(&args, ds);
+        datasets.push(info);
         let stats = DatasetStats::of(&frame);
         let kinds: Vec<&str> = ds.error_kinds().iter().map(|k| k.code()).collect();
         let kinds = kinds.join(", ");
-        println!(
-            "{:<10} {:>12} {:>7.2} {:>7.2} {:>7} {:>7} {:<16}",
-            ds.name(),
+        table.row(&[
+            ds.name().to_string(),
             format!("{}x{}", stats.n_rows, stats.n_cols),
-            stats.error_rate,
-            ds.paper_error_rate(),
-            stats.distinct_chars,
-            ds.paper_distinct_chars(),
-            kinds
-        );
+            format!("{:.2}", stats.error_rate),
+            format!("{:.2}", ds.paper_error_rate()),
+            stats.distinct_chars.to_string(),
+            ds.paper_distinct_chars().to_string(),
+            kinds.clone(),
+        ]);
         csv.push_str(&format!(
             "{},{},{},{:.4},{:.2},{},{},\"{}\"\n",
             ds.name(),
@@ -52,5 +58,6 @@ fn main() {
     println!("\n(paper sizes: Beers 2410x11, Flights 2376x7, Hospital 1000x20,");
     println!(" Movies 7390x17, Rayyan 1000x10, Tax 200000x15 — Tax defaults to");
     println!(" scale 0.025 here; pass --scale 1.0 for the full row count)");
-    maybe_write(&args.out, &csv);
+    let cfg = experiment_config(&args, ModelKind::Etsb);
+    write_outputs(&args, &cfg, datasets, &csv);
 }

@@ -11,8 +11,9 @@
 //! comparison systems (the paper quotes their original publications);
 //! the `paper` column prints the published F1 for reference.
 
-use etsb_bench::harness::{points_to_csv, run_comparison, System};
-use etsb_bench::{fmt, maybe_write, paper, parse_args};
+use etsb_bench::harness::{footnote, points_to_csv, run_comparison, section, ConsoleTable, System};
+use etsb_bench::{experiment_config, fmt, paper, parse_args, write_outputs};
+use etsb_core::config::ModelKind;
 use etsb_datasets::Dataset;
 
 fn paper_f1(system: System, ds: Dataset) -> f64 {
@@ -27,26 +28,24 @@ fn paper_f1(system: System, ds: Dataset) -> f64 {
 
 fn main() {
     let args = parse_args();
-    let points = run_comparison(&args, &System::ALL);
+    let (points, datasets) = run_comparison(&args, &System::ALL);
 
+    let table = ConsoleTable::new(&[-12, 6, 6, 6, 7, 9]);
     for &ds in &args.datasets {
-        println!("\n=== {ds} ===");
-        println!(
-            "{:<12} {:>6} {:>6} {:>6} {:>7} {:>9}",
-            "system", "P", "R", "F1", "F1 S.D.", "paper F1"
-        );
+        section(ds);
+        table.row(&["system", "P", "R", "F1", "F1 S.D.", "paper F1"]);
         for p in points.iter().filter(|p| p.dataset == ds) {
-            println!(
-                "{:<12} {:>6} {:>6} {:>6} {:>7} {:>9}",
-                p.system.name(),
+            table.row(&[
+                p.system.name().to_string(),
                 fmt(p.precision.mean),
                 fmt(p.recall.mean),
                 fmt(p.f1.mean),
                 fmt(p.f1.std),
                 fmt(paper_f1(p.system, ds)),
-            );
+            ]);
         }
     }
-    println!("\n(* = reimplementation; paper rows quote the original publications)");
-    maybe_write(&args.out, &points_to_csv(&points));
+    footnote("* = reimplementation; paper rows quote the original publications");
+    let cfg = experiment_config(&args, ModelKind::Etsb);
+    write_outputs(&args, &cfg, datasets, &points_to_csv(&points));
 }

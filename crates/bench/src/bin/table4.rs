@@ -6,23 +6,22 @@
 //! cargo run --release -p etsb-bench --bin table4 -- --runs 3
 //! ```
 
-use etsb_bench::harness::{run_comparison, System};
-use etsb_bench::{fmt, maybe_write, parse_args};
+use etsb_bench::harness::{footnote, run_comparison, ConsoleTable, System};
+use etsb_bench::{experiment_config, fmt, parse_args, write_outputs};
+use etsb_core::config::ModelKind;
 use etsb_core::eval::Summary;
 use etsb_datasets::Dataset;
 
 fn main() {
     let args = parse_args();
-    let points = run_comparison(&args, &System::ALL);
+    let (points, datasets) = run_comparison(&args, &System::ALL);
 
     println!(
         "\n{:<12} {:>18} {:>18}",
         "system", "without Flights", "with Flights"
     );
-    println!(
-        "{:<12} {:>9} {:>8} {:>9} {:>8}",
-        "", "AVG", "S.D.", "AVG", "S.D."
-    );
+    let table = ConsoleTable::new(&[-12, 9, 8, 9, 8]);
+    table.row(&["", "AVG", "S.D.", "AVG", "S.D."]);
     let mut csv = String::from("system,scope,avg_f1,sd_f1,n_datasets\n");
     for system in System::ALL {
         let f1_of = |include_flights: bool| {
@@ -37,14 +36,13 @@ fn main() {
         };
         let without = f1_of(false);
         let with = f1_of(true);
-        println!(
-            "{:<12} {:>9} {:>8} {:>9} {:>8}",
-            system.name(),
+        table.row(&[
+            system.name().to_string(),
             fmt(without.mean),
             fmt(without.std),
             fmt(with.mean),
-            fmt(with.std)
-        );
+            fmt(with.std),
+        ]);
         csv.push_str(&format!(
             "{},without_flights,{:.4},{:.4},{}\n{},with_flights,{:.4},{:.4},{}\n",
             system.name(),
@@ -57,9 +55,10 @@ fn main() {
             with.n
         ));
     }
-    println!(
-        "\n(paper: Raha 0.85/0.85, Rotom 0.90/n-a, Rotom+SSL 0.86/n-a, \
-         TSB 0.89/0.85, ETSB 0.91/0.88)"
+    footnote(
+        "paper: Raha 0.85/0.85, Rotom 0.90/n-a, Rotom+SSL 0.86/n-a, \
+         TSB 0.89/0.85, ETSB 0.91/0.88",
     );
-    maybe_write(&args.out, &csv);
+    let cfg = experiment_config(&args, ModelKind::Etsb);
+    write_outputs(&args, &cfg, datasets, &csv);
 }

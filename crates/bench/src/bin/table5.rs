@@ -8,24 +8,35 @@
 //! cargo run --release -p etsb-bench --bin table5 -- --runs 3
 //! ```
 
-use etsb_bench::{experiment_config, gen_config, maybe_write, paper, parse_args};
+use etsb_bench::harness::{progress, ConsoleTable};
+use etsb_bench::{experiment_config, gen_config, paper, parse_args, write_outputs};
 use etsb_core::config::ModelKind;
+use etsb_core::manifest::DatasetInfo;
 use etsb_core::pipeline::run_repeated;
 
 fn main() {
     let args = parse_args();
-    println!(
-        "{:<10} {:>10} {:>7} {:>10} {:>7} {:>8} {:>14}",
-        "Name", "TSB[s]", "S.D.", "ETSB[s]", "S.D.", "ratio", "paper ratio"
-    );
+    let table = ConsoleTable::new(&[-10, 10, 7, 10, 7, 8, 14]);
+    table.row(&[
+        "Name",
+        "TSB[s]",
+        "S.D.",
+        "ETSB[s]",
+        "S.D.",
+        "ratio",
+        "paper ratio",
+    ]);
     let mut csv = String::from("dataset,tsb_secs,tsb_sd,etsb_secs,etsb_sd\n");
+    let mut datasets = Vec::new();
     let mut totals = (0.0f64, 0.0f64, 0usize);
     for &ds in &args.datasets {
         let pair = ds
             .generate(&gen_config(&args, ds))
             .expect("dataset generation");
+        datasets.push(DatasetInfo::from_shape(ds.name(), pair.dirty.shape()));
         let mut secs = Vec::new();
         for kind in [ModelKind::Tsb, ModelKind::Etsb] {
+            progress(ds, format!("timing {} x{}...", kind.name(), args.runs));
             let cfg = experiment_config(&args, kind);
             let rep =
                 run_repeated(&pair.dirty, &pair.clean, &cfg, args.runs).expect("generated pair");
@@ -33,16 +44,15 @@ fn main() {
         }
         let (tsb, etsb) = (secs[0], secs[1]);
         let (p_tsb, p_etsb) = paper::train_secs(ds);
-        println!(
-            "{:<10} {:>10.1} {:>7.1} {:>10.1} {:>7.1} {:>8.2} {:>14.2}",
-            ds.name(),
-            tsb.mean,
-            tsb.std,
-            etsb.mean,
-            etsb.std,
-            etsb.mean / tsb.mean,
-            p_etsb / p_tsb
-        );
+        table.row(&[
+            ds.name().to_string(),
+            format!("{:.1}", tsb.mean),
+            format!("{:.1}", tsb.std),
+            format!("{:.1}", etsb.mean),
+            format!("{:.1}", etsb.std),
+            format!("{:.2}", etsb.mean / tsb.mean),
+            format!("{:.2}", p_etsb / p_tsb),
+        ]);
         csv.push_str(&format!(
             "{},{:.2},{:.2},{:.2},{:.2}\n",
             ds.name(),
@@ -56,13 +66,16 @@ fn main() {
         totals.2 += 1;
     }
     if totals.2 > 0 {
-        println!(
-            "{:<10} {:>10.1} {:>7} {:>10.1}  (paper AVG: 183 / 191 s on Colab GPUs)",
-            "AVG",
-            totals.0 / totals.2 as f64,
-            "",
-            totals.1 / totals.2 as f64
-        );
+        table.row(&[
+            "AVG".to_string(),
+            format!("{:.1}", totals.0 / totals.2 as f64),
+            String::new(),
+            format!("{:.1}", totals.1 / totals.2 as f64),
+            String::new(),
+            String::new(),
+            "(paper AVG: 183 / 191 s)".to_string(),
+        ]);
     }
-    maybe_write(&args.out, &csv);
+    let cfg = experiment_config(&args, ModelKind::Etsb);
+    write_outputs(&args, &cfg, datasets, &csv);
 }

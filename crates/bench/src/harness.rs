@@ -1,16 +1,99 @@
-//! Shared experiment driver for the Table 3/4 binaries: runs every
-//! system (Raha, Rotom, Rotom+SSL, TSB-RNN, ETSB-RNN) over the requested
-//! datasets with the paper's repeated-runs protocol.
+//! Shared experiment driver and console plumbing for the bench binaries:
+//! runs every system (Raha, Rotom, Rotom+SSL, TSB-RNN, ETSB-RNN) over the
+//! requested datasets with the paper's repeated-runs protocol, and owns
+//! the progress / table / output formatting every bin used to hand-roll.
 
 use crate::{experiment_config, gen_config, BenchArgs};
 use etsb_core::config::ModelKind;
 use etsb_core::eval::{aggregate, Metrics, Summary};
+use etsb_core::manifest::DatasetInfo;
 use etsb_core::pipeline::run_once_on_frame;
 use etsb_core::rotom::{RotomConfig, RotomDetector};
 use etsb_core::EncodedDataset;
 use etsb_datasets::Dataset;
 use etsb_raha::RahaDetector;
 use etsb_table::CellFrame;
+
+/// Progress note on stderr — `[dataset] message` — mirrored into the
+/// trace as an `event` when tracing is enabled.
+pub fn progress(scope: impl std::fmt::Display, message: impl std::fmt::Display) {
+    eprintln!("[{scope}] {message}");
+    if etsb_obs::enabled() {
+        etsb_obs::emit(
+            "event",
+            vec![
+                ("name", etsb_obs::FieldValue::from("progress")),
+                ("scope", etsb_obs::FieldValue::from(scope.to_string())),
+                ("message", etsb_obs::FieldValue::from(message.to_string())),
+            ],
+        );
+    }
+}
+
+/// Section header on stdout: a blank line and `=== title ===`.
+pub fn section(title: impl std::fmt::Display) {
+    println!("\n=== {title} ===");
+}
+
+/// Footnote on stdout: a blank line and the note in parentheses.
+pub fn footnote(note: impl std::fmt::Display) {
+    println!("\n({note})");
+}
+
+/// Fixed-width console table. Column widths are signed: negative widths
+/// left-align (labels), positive widths right-align (numbers) — the
+/// convention every bench table shares.
+#[derive(Clone, Debug)]
+pub struct ConsoleTable {
+    cols: Vec<isize>,
+}
+
+impl ConsoleTable {
+    /// Table with the given signed column widths.
+    pub fn new(cols: &[isize]) -> ConsoleTable {
+        ConsoleTable {
+            cols: cols.to_vec(),
+        }
+    }
+
+    /// Format one row. Cells beyond the column spec pass through
+    /// unpadded (used for trailing annotations).
+    pub fn line<S: AsRef<str>>(&self, cells: &[S]) -> String {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match self.cols.get(i) {
+                Some(&w) if w < 0 => {
+                    out.push_str(&format!("{:<width$}", cell.as_ref(), width = (-w) as usize));
+                }
+                Some(&w) => {
+                    out.push_str(&format!("{:>width$}", cell.as_ref(), width = w as usize));
+                }
+                None => out.push_str(cell.as_ref()),
+            }
+        }
+        // Left-aligned final columns pad with trailing spaces; trim them.
+        out.trim_end().to_string()
+    }
+
+    /// Print one row to stdout.
+    pub fn row<S: AsRef<str>>(&self, cells: &[S]) {
+        println!("{}", self.line(cells));
+    }
+}
+
+/// Generate and merge one dataset under these args, with a progress
+/// note; returns the frame plus its shape record for the run manifest.
+pub fn prepare_dataset(args: &BenchArgs, ds: Dataset) -> (CellFrame, DatasetInfo) {
+    let cfg = gen_config(args, ds);
+    progress(ds, format!("generating (scale {})...", cfg.scale));
+    let pair = ds.generate(&cfg).expect("dataset generation");
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+    let info = DatasetInfo::from_shape(ds.name(), pair.dirty.shape());
+    (frame, info)
+}
 
 /// Systems compared in Table 3, in the paper's row order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,20 +189,16 @@ pub fn run_system(
     aggregate(&metrics).expect("at least one run")
 }
 
-/// Run every requested system over every requested dataset.
-pub fn run_comparison(args: &BenchArgs, systems: &[System]) -> Vec<Point> {
+/// Run every requested system over every requested dataset; returns the
+/// measurements plus the dataset shape records for the run manifest.
+pub fn run_comparison(args: &BenchArgs, systems: &[System]) -> (Vec<Point>, Vec<DatasetInfo>) {
     let mut points = Vec::new();
+    let mut infos = Vec::new();
     for &ds in &args.datasets {
-        eprintln!(
-            "[{ds}] generating (scale {})...",
-            gen_config(args, ds).scale
-        );
-        let pair = ds
-            .generate(&gen_config(args, ds))
-            .expect("dataset generation");
-        let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("generated pair");
+        let (frame, info) = prepare_dataset(args, ds);
+        infos.push(info);
         for &system in systems {
-            eprintln!("[{ds}] running {} x{}...", system.name(), args.runs);
+            progress(ds, format!("running {} x{}...", system.name(), args.runs));
             let (precision, recall, f1) = run_system(system, &frame, args, args.runs);
             points.push(Point {
                 system,
@@ -130,7 +209,7 @@ pub fn run_comparison(args: &BenchArgs, systems: &[System]) -> Vec<Point> {
             });
         }
     }
-    points
+    (points, infos)
 }
 
 /// Serialize points as CSV (`system,dataset,metric,mean,std,n`).

@@ -58,7 +58,12 @@ impl Default for BenchArgs {
 }
 
 /// Parse `std::env::args()`. Unknown flags abort with usage help.
+/// Also initializes the trace sink from `ETSB_TRACE`, so every bench
+/// binary honors the tracing environment without extra wiring.
 pub fn parse_args() -> BenchArgs {
+    if let Err(e) = etsb_obs::init_from_env() {
+        die(&e);
+    }
     let mut args = BenchArgs::default();
     let mut iter = std::env::args().skip(1);
     let mut datasets: Vec<Dataset> = Vec::new();
@@ -171,6 +176,27 @@ pub fn maybe_write(out: &Option<String>, contents: &str) {
     if let Some(path) = out {
         std::fs::write(path, contents).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         println!("\nwrote {path}");
+    }
+}
+
+/// Write the results CSV (if `--out` was given) plus a run-manifest
+/// sidecar (`<out stem>.manifest.json`) recording this invocation's
+/// provenance: seed, config, resolved workers, version, features and the
+/// datasets (with cell counts) it ran over.
+pub fn write_outputs(
+    args: &BenchArgs,
+    cfg: &ExperimentConfig,
+    datasets: Vec<etsb_core::DatasetInfo>,
+    csv: &str,
+) {
+    maybe_write(&args.out, csv);
+    if let Some(path) = &args.out {
+        let manifest = etsb_core::RunManifest::new(cfg, args.runs, datasets);
+        let mpath = etsb_core::RunManifest::sidecar_path(path);
+        manifest
+            .write(&mpath)
+            .unwrap_or_else(|e| die(&format!("writing {mpath}: {e}")));
+        println!("wrote {mpath}");
     }
 }
 

@@ -1,0 +1,24 @@
+//! Fixture: stdio macros in library code — every one below must fire
+//! `no-print`, except the test-gated and allow-annotated sites.
+
+/// Reports through stdout — forbidden in a library crate.
+pub fn chatty(loss: f32) {
+    println!("loss = {loss}");
+    eprintln!("loss = {loss}");
+    print!("{loss}");
+    eprint!("{loss}");
+}
+
+/// Shielded by an allow annotation: not a finding.
+pub fn sanctioned() {
+    // etsb: allow(no-print) -- fixture-sanctioned diagnostic.
+    println!("allowed");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_output_is_exempt() {
+        println!("test diagnostics are fine");
+    }
+}

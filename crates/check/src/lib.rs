@@ -18,6 +18,10 @@
 //!   panic with actionable context.
 //! * **`doc-pub`** — public items in `etsb-core` and `etsb-tensor` must
 //!   have doc comments.
+//! * **`no-print`** — no `println!` / `eprintln!` / `print!` /
+//!   `eprint!` in the non-test code of library crates: libraries report
+//!   through return values and the `etsb-obs` tracing layer, never by
+//!   writing to the process's stdio directly.
 //!
 //! The analysis is line-oriented over comment- and string-stripped
 //! source. It is intentionally heuristic — precise enough for this
@@ -46,6 +50,11 @@ pub const SHAPE_CHECKED_CRATES: [&str; 2] = ["tensor", "nn"];
 /// Crates whose public items must be documented.
 pub const DOC_CHECKED_CRATES: [&str; 2] = ["core", "tensor"];
 
+/// Crates in which direct stdio output is forbidden (`no-print`) — the
+/// library crates. Binaries (`cli`, `bench`, `check`) and the obs sinks
+/// (whose job is writing to stderr) stay exempt.
+pub const PRINT_CHECKED_CRATES: [&str; 7] = LIBRARY_CRATES;
+
 /// One invariant enforced by the checker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
@@ -57,6 +66,8 @@ pub enum Rule {
     ShapeAssert,
     /// Public item without a doc comment.
     DocPub,
+    /// Direct stdio output in non-test library-crate code.
+    NoPrint,
 }
 
 impl Rule {
@@ -68,6 +79,7 @@ impl Rule {
             Rule::NoUnseededRng => "no-unseeded-rng",
             Rule::ShapeAssert => "shape-assert",
             Rule::DocPub => "doc-pub",
+            Rule::NoPrint => "no-print",
         }
     }
 
@@ -78,17 +90,19 @@ impl Rule {
             "no-unseeded-rng" => Some(Rule::NoUnseededRng),
             "shape-assert" => Some(Rule::ShapeAssert),
             "doc-pub" => Some(Rule::DocPub),
+            "no-print" => Some(Rule::NoPrint),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 4] {
+    pub fn all() -> [Rule; 5] {
         [
             Rule::NoUnwrap,
             Rule::NoUnseededRng,
             Rule::ShapeAssert,
             Rule::DocPub,
+            Rule::NoPrint,
         ]
     }
 }
@@ -165,6 +179,9 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
     if ctx.check_docs {
         rules::check_doc_pub(rel, source, &stripped, &test_lines, &allows, &mut findings);
     }
+    if ctx.check_print {
+        rules::check_no_print(rel, source, &stripped, &test_lines, &allows, &mut findings);
+    }
     findings
 }
 
@@ -174,6 +191,7 @@ struct FileContext {
     check_rng: bool,
     check_shapes: bool,
     check_docs: bool,
+    check_print: bool,
 }
 
 impl FileContext {
@@ -193,6 +211,7 @@ impl FileContext {
             check_rng: rng_scope && rel.ends_with(".rs"),
             check_shapes: SHAPE_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
             check_docs: DOC_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
+            check_print: PRINT_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
         }
     }
 }

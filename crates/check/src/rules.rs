@@ -158,6 +158,36 @@ fn count_token(line: &str, token: &str) -> usize {
     n
 }
 
+/// Stdio macros forbidden in non-test library-crate code.
+const PRINT_TOKENS: [&str; 4] = ["println!(", "eprintln!(", "print!(", "eprint!("];
+
+/// Rule `no-print`: libraries must not write to the process's stdio —
+/// they report through return values and the `etsb-obs` tracing layer.
+pub fn check_no_print(
+    rel: &str,
+    source: &str,
+    stripped: &str,
+    test_lines: &[bool],
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    for (i, line) in stripped.lines().enumerate() {
+        if test_lines.get(i).copied().unwrap_or(false) || allowed(allows, i, Rule::NoPrint) {
+            continue;
+        }
+        for token in PRINT_TOKENS {
+            for _ in 0..count_token(line, token) {
+                findings.push(Finding {
+                    rule: Rule::NoPrint,
+                    file: rel.to_string(),
+                    line: i + 1,
+                    snippet: raw_line(source, i),
+                });
+            }
+        }
+    }
+}
+
 /// Rule `no-unseeded-rng`: all randomness must flow from an explicit
 /// seed; `thread_rng()` / `from_entropy()` make runs unrepeatable.
 pub fn check_no_unseeded_rng(

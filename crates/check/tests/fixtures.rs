@@ -83,6 +83,34 @@ fn doc_fixture_reports_only_undocumented_pub_items() {
 }
 
 #[test]
+fn print_fixture_reports_every_stdio_macro() {
+    let findings = scan(
+        include_str!("../fixtures/print_violation.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    let prints: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::NoPrint)
+        .collect();
+    // println!, eprintln!, print!, eprint! — one each; the allow-shielded
+    // and #[cfg(test)] sites are exempt.
+    assert_eq!(prints.len(), 4, "findings: {findings:?}");
+    assert!(
+        prints.iter().all(|f| f.line < 12),
+        "exempt site flagged: {prints:?}"
+    );
+    // The same source in a binary crate is out of scope entirely.
+    let findings = scan(
+        include_str!("../fixtures/print_violation.rs"),
+        "crates/cli/src/fixture.rs",
+    );
+    assert!(
+        findings.iter().all(|f| f.rule != Rule::NoPrint),
+        "no-print fired outside the library crates: {findings:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_has_zero_false_positives() {
     // Scanned under a path where every rule applies (tensor: unwrap +
     // rng + shapes + docs).
@@ -111,6 +139,10 @@ fn violation_fixtures_fail_check_tree_against_an_empty_baseline() {
         (
             include_str!("../fixtures/doc_violation.rs"),
             "crates/tensor/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/print_violation.rs"),
+            "crates/core/src/f.rs",
         ),
     ] {
         let sources = vec![(rel.to_string(), fixture.to_string())];

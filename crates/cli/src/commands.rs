@@ -4,7 +4,7 @@ use etsb_core::config::{ExperimentConfig, ModelKind, SamplerKind, TrainConfig};
 use etsb_core::model::AnyModel;
 use etsb_core::persist::{load_detector, save_detector};
 use etsb_core::train::train_model;
-use etsb_core::{sampling, EncodedDataset, Metrics};
+use etsb_core::{sampling, DatasetInfo, EncodedDataset, Metrics, RunManifest};
 use etsb_datasets::{Dataset, GenConfig};
 use etsb_repair::{evaluate, Repairer};
 use etsb_table::{csv, CellFrame, Table};
@@ -22,7 +22,9 @@ commands:
             print Table-2 style statistics for a dataset pair
   detect    --dirty FILE --clean FILE [--model tsb|etsb] [--sampler random|raha|diverset]
             [--tuples N] [--epochs N] [--seed N] [--out FILE] [--save FILE]
-            train the detector and report precision/recall/F1
+            [--manifest FILE]
+            train the detector and report precision/recall/F1; --manifest
+            writes a JSON provenance record of the invocation
   apply     --model FILE --dirty FILE [--out FILE]
             apply a saved detector to new dirty data (no ground truth)
   repair    --dirty FILE --clean FILE [--epochs N] [--seed N] [--out FILE]
@@ -198,10 +200,20 @@ pub fn detect(args: &[String]) -> Result<(), String> {
         args,
         &[
             "dirty", "clean", "model", "sampler", "tuples", "epochs", "seed", "out", "save",
+            "manifest",
         ],
     )?;
     let (_, _, frame) = load_pair(&flags)?;
     let (data, mask, metrics, model, cfg) = run_detection(&frame, &flags)?;
+    if let Some(path) = flags.get("manifest") {
+        let info = DatasetInfo::from_shape(
+            required(&flags, "dirty")?,
+            (frame.n_tuples(), frame.n_attrs()),
+        );
+        let manifest = RunManifest::new(&cfg, 1, vec![info]);
+        manifest.write(path).map_err(|e| e.to_string())?;
+        println!("wrote run manifest to {path}");
+    }
     if let Some(path) = flags.get("save") {
         let bytes = save_detector(&model, cfg.model, &cfg.train, &data);
         std::fs::write(path, bytes).map_err(|e| e.to_string())?;

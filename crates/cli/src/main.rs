@@ -17,6 +17,10 @@ mod commands;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    if let Err(e) = etsb_obs::init_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{}", commands::USAGE);

@@ -54,6 +54,8 @@ pub mod encode;
 pub mod eval;
 /// Paper section 5 extensions: attribute embeddings and length features.
 pub mod extensions;
+/// Run manifests: recorded provenance (seed, config, workers, version).
+pub mod manifest;
 /// The TSB/ETSB bidirectional RNN architectures.
 pub mod model;
 /// Model checkpoint serialization.
@@ -70,4 +72,5 @@ pub mod train;
 pub use config::{ExperimentConfig, ModelKind, SamplerKind, TrainConfig};
 pub use encode::EncodedDataset;
 pub use eval::{aggregate, Metrics, Summary};
+pub use manifest::{DatasetInfo, RunManifest};
 pub use pipeline::{run_once, run_repeated, RepeatedResult, RunResult};

@@ -1,0 +1,237 @@
+//! Run manifests: recorded provenance for reproducible sweeps.
+//!
+//! A [`RunManifest`] captures everything needed to re-run an experiment
+//! invocation exactly — seed, full [`ExperimentConfig`], resolved worker
+//! count, crate version, compiled features and the datasets (with cell
+//! counts) it ran over. Bench bins write one next to each
+//! `results_*.csv`; the CLI exposes it via `--manifest`. The JSON shape
+//! is validated by the `trace_lint` bin in `etsb-obs` against
+//! [`etsb_obs::MANIFEST_REQUIRED_KEYS`].
+
+use crate::config::ExperimentConfig;
+use etsb_obs::json::Value;
+
+/// Shape facts for one dataset covered by a run.
+#[derive(Clone, Debug)]
+pub struct DatasetInfo {
+    /// Dataset display name (e.g. `hospital`).
+    pub name: String,
+    /// Tuple (row) count.
+    pub rows: usize,
+    /// Attribute (column) count.
+    pub cols: usize,
+    /// Total cell count (`rows * cols`).
+    pub cells: usize,
+}
+
+impl DatasetInfo {
+    /// Info from a name and a `(rows, cols)` table shape.
+    pub fn from_shape(name: &str, shape: (usize, usize)) -> DatasetInfo {
+        DatasetInfo {
+            name: name.to_string(),
+            rows: shape.0,
+            cols: shape.1,
+            cells: shape.0 * shape.1,
+        }
+    }
+
+    fn to_json_value(&self) -> Value {
+        Value::obj([
+            ("name".to_string(), Value::from(self.name.as_str())),
+            ("rows".to_string(), Value::from(self.rows)),
+            ("cols".to_string(), Value::from(self.cols)),
+            ("cells".to_string(), Value::from(self.cells)),
+        ])
+    }
+}
+
+/// Provenance record for one experiment invocation.
+#[derive(Clone, Debug)]
+pub struct RunManifest {
+    /// Base seed (repetition `i` uses `seed + i`).
+    pub seed: u64,
+    /// Number of repetitions.
+    pub runs: usize,
+    /// The full experiment configuration.
+    pub config: ExperimentConfig,
+    /// Resolved worker configuration (`ETSB_WORKERS` / override /
+    /// available parallelism) at manifest creation time.
+    pub workers: usize,
+    /// Workspace crate version.
+    pub version: String,
+    /// Compiled feature flags that affect numerics or diagnostics.
+    pub features: Vec<String>,
+    /// Datasets the invocation runs over.
+    pub datasets: Vec<DatasetInfo>,
+}
+
+impl RunManifest {
+    /// Build a manifest for `runs` repetitions of `config` over
+    /// `datasets`, capturing worker count, version and features from the
+    /// running process.
+    pub fn new(config: &ExperimentConfig, runs: usize, datasets: Vec<DatasetInfo>) -> RunManifest {
+        let mut features = Vec::new();
+        if etsb_tensor::sanitize::enabled() {
+            features.push("sanitize".to_string());
+        }
+        RunManifest {
+            seed: config.seed,
+            runs,
+            config: config.clone(),
+            workers: etsb_nn::parallel::resolved_workers(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            features,
+            datasets,
+        }
+    }
+
+    /// The manifest as a JSON value (stable, alphabetical key order).
+    pub fn to_json_value(&self) -> Value {
+        let train = &self.config.train;
+        let train_json = Value::obj([
+            ("epochs".to_string(), Value::from(train.epochs)),
+            (
+                "batch_divisor".to_string(),
+                Value::from(train.batch_divisor),
+            ),
+            (
+                "learning_rate".to_string(),
+                Value::from(f64::from(train.learning_rate)),
+            ),
+            ("rnn_units".to_string(), Value::from(train.rnn_units)),
+            (
+                "attr_rnn_units".to_string(),
+                Value::from(train.attr_rnn_units),
+            ),
+            ("head_dim".to_string(), Value::from(train.head_dim)),
+            (
+                "length_dense_dim".to_string(),
+                Value::from(train.length_dense_dim),
+            ),
+            (
+                "embed_dim".to_string(),
+                match train.embed_dim {
+                    Some(d) => Value::from(d),
+                    None => Value::Null,
+                },
+            ),
+            ("eval_every".to_string(), Value::from(train.eval_every)),
+            (
+                "curve_subsample".to_string(),
+                Value::from(train.curve_subsample),
+            ),
+            ("cell".to_string(), Value::from(train.cell.name())),
+            (
+                "track_train_acc".to_string(),
+                Value::from(train.track_train_acc),
+            ),
+        ]);
+        let config_json = Value::obj([
+            ("model".to_string(), Value::from(self.config.model.name())),
+            (
+                "sampler".to_string(),
+                Value::from(self.config.sampler.name()),
+            ),
+            (
+                "n_label_tuples".to_string(),
+                Value::from(self.config.n_label_tuples),
+            ),
+            ("train".to_string(), train_json),
+            ("seed".to_string(), Value::from(self.config.seed)),
+        ]);
+        Value::obj([
+            ("seed".to_string(), Value::from(self.seed)),
+            ("runs".to_string(), Value::from(self.runs)),
+            ("config".to_string(), config_json),
+            ("workers".to_string(), Value::from(self.workers)),
+            ("version".to_string(), Value::from(self.version.as_str())),
+            (
+                "features".to_string(),
+                Value::Arr(
+                    self.features
+                        .iter()
+                        .map(|f| Value::from(f.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "datasets".to_string(),
+                Value::Arr(
+                    self.datasets
+                        .iter()
+                        .map(DatasetInfo::to_json_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The manifest as a JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Write the manifest to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+
+    /// The conventional manifest path for a results CSV: `results.csv`
+    /// → `results.manifest.json` (non-`.csv` paths just gain the
+    /// suffix).
+    pub fn sidecar_path(csv_path: &str) -> String {
+        let stem = csv_path.strip_suffix(".csv").unwrap_or(csv_path);
+        format!("{stem}.manifest.json")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_obs::json;
+
+    fn sample() -> RunManifest {
+        RunManifest::new(
+            &ExperimentConfig::default(),
+            10,
+            vec![DatasetInfo::from_shape("hospital", (1000, 20))],
+        )
+    }
+
+    #[test]
+    fn manifest_carries_every_required_key() {
+        let parsed = json::parse(&sample().to_json()).expect("manifest JSON parses");
+        for key in etsb_obs::MANIFEST_REQUIRED_KEYS {
+            assert!(parsed.get(key).is_some(), "missing required key {key}");
+        }
+        let datasets = match parsed.get("datasets") {
+            Some(json::Value::Arr(items)) => items,
+            other => panic!("datasets not an array: {other:?}"),
+        };
+        assert_eq!(datasets.len(), 1);
+        assert_eq!(
+            datasets[0].get("cells").and_then(json::Value::as_f64),
+            Some(20_000.0)
+        );
+        assert_eq!(
+            parsed
+                .get("config")
+                .and_then(|c| c.get("model"))
+                .and_then(json::Value::as_str),
+            Some("ETSB-RNN")
+        );
+        assert!(parsed
+            .get("workers")
+            .and_then(json::Value::as_f64)
+            .is_some_and(|w| w >= 1.0));
+    }
+
+    #[test]
+    fn sidecar_path_replaces_csv_suffix() {
+        assert_eq!(
+            RunManifest::sidecar_path("out/results_table3.csv"),
+            "out/results_table3.manifest.json"
+        );
+        assert_eq!(RunManifest::sidecar_path("plain"), "plain.manifest.json");
+    }
+}

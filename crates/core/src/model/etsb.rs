@@ -99,6 +99,7 @@ impl EtsbRnn {
         assert!(!batch.is_empty(), "EtsbRnn::train_batch: empty batch");
         assert_eq!(grads.len(), 34, "EtsbRnn::train_batch: gradient slot count");
         let n = batch.len();
+        let forward_span = etsb_obs::obs_span!("forward", "samples" => n);
         let mut features = Matrix::zeros(n, self.feature_dim());
 
         // Length path (batched).
@@ -124,7 +125,9 @@ impl EtsbRnn {
         let labels: Vec<usize> = batch.iter().map(|&c| usize::from(data.labels[c])).collect();
         let (logits, head_cache) = self.head.forward_train(features);
         let loss = softmax_cross_entropy(&logits, &labels);
+        drop(forward_span);
 
+        let _backward_span = etsb_obs::span("backward");
         let grad_features = self.head.backward(
             &head_cache,
             &loss.grad_logits,

@@ -56,6 +56,7 @@ impl TsbRnn {
         assert_eq!(grads.len(), 19, "TsbRnn::train_batch: gradient slot count");
         let feat_dim = self.rnn.output_dim();
 
+        let forward_span = etsb_obs::obs_span!("forward", "samples" => batch.len());
         // Per-sample forward passes are independent: shard them.
         let encoded =
             parallel::parallel_map(batch.len(), |i| self.encode_one(&data.sequences[batch[i]]));
@@ -69,7 +70,9 @@ impl TsbRnn {
         let labels: Vec<usize> = batch.iter().map(|&c| usize::from(data.labels[c])).collect();
         let (logits, head_cache) = self.head.forward_train(features);
         let loss = softmax_cross_entropy(&logits, &labels);
+        drop(forward_span);
 
+        let _backward_span = etsb_obs::span("backward");
         let grad_features = self.head.backward(
             &head_cache,
             &loss.grad_logits,

@@ -9,7 +9,7 @@ use crate::sampling;
 use crate::train::{train_model, History};
 use etsb_table::{CellFrame, Table, TableError};
 use etsb_tensor::init::seeded_rng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Result of one experiment repetition.
 #[derive(Debug)]
@@ -18,7 +18,10 @@ pub struct RunResult {
     pub metrics: Metrics,
     /// Per-epoch training history (Figures 6–7 material).
     pub history: History,
-    /// Wall-clock time of the training loop only (Table 5 material).
+    /// Wall-clock time of the training work only (Table 5 material):
+    /// shuffling, batch updates, optimizer steps and checkpointing.
+    /// Mid-training curve evaluations (`eval_every` passes,
+    /// `track_train_acc`) are excluded — see [`History::train_duration`].
     pub train_time: Duration,
     /// The labelled tuples the sampler selected.
     pub sample: Vec<usize>,
@@ -54,9 +57,24 @@ pub fn run_once(
 
 /// Like [`run_once`], for callers that already merged the frame.
 pub fn run_once_on_frame(frame: &CellFrame, cfg: &ExperimentConfig, rep: u64) -> RunResult {
+    let _rep_span = etsb_obs::obs_span!("repetition", "rep" => rep as i64);
     let seed = cfg.seed.wrapping_add(rep);
-    let data = EncodedDataset::from_frame(frame);
-    let sample = sampling::select(cfg.sampler, frame, cfg.n_label_tuples, seed);
+    let data = {
+        let _span = etsb_obs::obs_span!(
+            "data_prep",
+            "tuples" => frame.n_tuples(),
+            "attrs" => frame.n_attrs(),
+        );
+        EncodedDataset::from_frame(frame)
+    };
+    let sample = {
+        let _span = etsb_obs::obs_span!(
+            "sampling",
+            "sampler" => cfg.sampler.name(),
+            "budget" => cfg.n_label_tuples,
+        );
+        sampling::select(cfg.sampler, frame, cfg.n_label_tuples, seed)
+    };
     run_with_sample(frame, &data, &sample, cfg, seed)
 }
 
@@ -73,7 +91,6 @@ pub fn run_with_sample(
     let mut rng = seeded_rng(seed);
     let mut model = AnyModel::new(cfg.model, data, &cfg.train, &mut rng);
 
-    let start = Instant::now();
     let history = train_model(
         &mut model,
         data,
@@ -82,11 +99,19 @@ pub fn run_with_sample(
         &cfg.train,
         seed,
     );
-    let train_time = start.elapsed();
+    // Training time is accounted inside the loop itself, so mid-training
+    // curve evaluations never inflate the Table-5 numbers.
+    let train_time = history.train_duration;
 
+    let _eval_span = etsb_obs::obs_span!("final_eval", "test_cells" => test_cells.len());
     let preds = model.predict(data, &test_cells);
     let labels = data.labels_of(&test_cells);
     let metrics = Metrics::from_predictions(&preds, &labels);
+    if etsb_obs::enabled() {
+        etsb_obs::gauge("precision", metrics.precision);
+        etsb_obs::gauge("recall", metrics.recall);
+        etsb_obs::gauge("f1", metrics.f1);
+    }
     let _ = frame; // kept in the signature for symmetry / future use
     RunResult {
         metrics,

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::time::{Duration, Instant};
 
 /// Per-epoch training history.
 #[derive(Clone, Debug, Serialize)]
@@ -29,6 +30,12 @@ pub struct History {
     pub eval_epochs: Vec<usize>,
     /// Epoch whose weights were checkpointed (lowest train loss).
     pub best_epoch: usize,
+    /// Wall-clock time of the training work only: shuffling, batch
+    /// forward/backward, optimizer steps and checkpointing. Excludes
+    /// every mid-training accuracy evaluation (`track_train_acc`,
+    /// `eval_every` curve passes, the post-loop best-epoch backfill), so
+    /// Table-5 timings measure training, not curve plotting.
+    pub train_duration: Duration,
 }
 
 impl History {
@@ -77,48 +84,79 @@ pub fn train_model(
         test_acc: Vec::new(),
         eval_epochs: Vec::new(),
         best_epoch: 0,
+        train_duration: Duration::ZERO,
     };
     let mut best_loss = f32::INFINITY;
     let mut best_state = model.clone_state();
     let mut grads = model.grad_buffer();
 
+    let _train_span = etsb_obs::obs_span!(
+        "train",
+        "epochs" => cfg.epochs,
+        "train_cells" => train_cells.len(),
+        "batch_size" => batch_size,
+    );
     for epoch in 0..cfg.epochs {
+        let epoch_span = etsb_obs::obs_span!("epoch", "epoch" => epoch);
+        // Training-only clock: everything up to the checkpoint decision
+        // counts; the accuracy evaluations below do not.
+        let train_start = Instant::now();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut n_batches = 0usize;
         for batch in order.chunks(batch_size) {
             grads.zero();
             epoch_loss += model.train_batch(data, batch, &mut grads);
+            if etsb_obs::enabled() {
+                etsb_obs::gauge("grad_global_norm", grads.global_norm());
+            }
+            let _opt_span = etsb_obs::span("optimizer");
             opt.step(&mut model.params_mut(), &grads);
             n_batches += 1;
         }
         epoch_loss /= n_batches.max(1) as f32;
         history.train_loss.push(epoch_loss);
+        if etsb_obs::enabled() {
+            etsb_obs::gauge("train_loss", f64::from(epoch_loss));
+        }
 
         // The paper's callback: keep the weights of the best train loss.
         if epoch_loss < best_loss {
             best_loss = epoch_loss;
             best_state = model.clone_state();
             history.best_epoch = epoch;
+            etsb_obs::obs_event!(
+                "checkpoint",
+                "epoch" => epoch,
+                "loss" => f64::from(epoch_loss),
+            );
         }
+        history.train_duration += train_start.elapsed();
 
         if cfg.track_train_acc {
+            let _eval_span = etsb_obs::span("eval_train_acc");
             if let Some(acc) = accuracy(model, data, train_cells) {
                 history.train_acc.push(acc);
             }
         }
         if epoch % cfg.eval_every.max(1) == 0 || epoch + 1 == cfg.epochs {
+            let _eval_span = etsb_obs::span("eval_curve");
             if let Some(acc) = accuracy(model, data, &curve_cells) {
                 history.eval_epochs.push(epoch);
                 history.test_acc.push(acc);
             }
         }
+        drop(epoch_span);
     }
 
+    let restore_start = Instant::now();
     model.load_state(&best_state);
+    history.train_duration += restore_start.elapsed();
     // The best epoch may fall between eval points; measure it now on the
-    // restored weights so `test_acc_at_best` always has an answer.
+    // restored weights so `test_acc_at_best` always has an answer. This is
+    // curve backfill, not training: it stays off the training clock.
     if !history.eval_epochs.contains(&history.best_epoch) {
+        let _eval_span = etsb_obs::span("eval_backfill");
         if let Some(acc) = accuracy(model, data, &curve_cells) {
             let pos = history
                 .eval_epochs

@@ -91,6 +91,7 @@ impl<'a> Injector<'a> {
         dirty: &mut Table,
         mut corrupt: impl FnMut(ErrorKind, usize, usize, &str, &mut StdRng) -> Option<String>,
     ) -> Vec<(ErrorKind, usize)> {
+        let _span = etsb_obs::span("corrupt");
         let (n_rows, n_cols) = dirty.shape();
         let mut untouched: Vec<(usize, usize)> = (0..n_rows)
             .flat_map(|r| (0..n_cols).map(move |c| (r, c)))
@@ -119,6 +120,18 @@ impl<'a> Injector<'a> {
                 untouched.insert(at, cell);
             }
             applied.push((kind, done));
+        }
+        if etsb_obs::enabled() {
+            for (kind, done) in &applied {
+                etsb_obs::emit(
+                    "counter",
+                    vec![
+                        ("name", etsb_obs::FieldValue::from("corrupt_applied")),
+                        ("kind", etsb_obs::FieldValue::from(kind.code())),
+                        ("value", etsb_obs::FieldValue::from(*done)),
+                    ],
+                );
+            }
         }
         applied
     }

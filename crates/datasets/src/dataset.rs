@@ -166,6 +166,12 @@ impl Dataset {
     /// plan is inconsistent with its declared schema (a bug surfaced as
     /// an error rather than a panic, per the library-crate policy).
     pub fn generate(self, cfg: &GenConfig) -> Result<DatasetPair, etsb_table::TableError> {
+        let _span = etsb_obs::obs_span!(
+            "dataset.generate",
+            "dataset" => self.name(),
+            "scale" => cfg.scale,
+            "seed" => cfg.seed,
+        );
         let (dirty, clean) = match self {
             Dataset::Beers => crate::beers::generate(cfg)?,
             Dataset::Flights => crate::flights::generate(cfg),
@@ -174,6 +180,16 @@ impl Dataset {
             Dataset::Rayyan => crate::rayyan::generate(cfg)?,
             Dataset::Tax => crate::tax::generate(cfg),
         };
+        if etsb_obs::enabled() {
+            let (rows, cols) = dirty.shape();
+            etsb_obs::obs_event!(
+                "dataset.shape",
+                "dataset" => self.name(),
+                "rows" => rows,
+                "cols" => cols,
+                "cells" => rows * cols,
+            );
+        }
         Ok(DatasetPair {
             dataset: self,
             dirty,

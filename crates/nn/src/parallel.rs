@@ -63,6 +63,13 @@ pub fn worker_count(items: usize) -> usize {
     configured_workers().min(items.max(1)).min(32)
 }
 
+/// The resolved process-wide worker configuration (override, else
+/// `ETSB_WORKERS`, else available parallelism) before per-call capping.
+/// Recorded in run manifests so a sweep's parallelism is reproducible.
+pub fn resolved_workers() -> usize {
+    configured_workers()
+}
+
 /// Number of fold shards for `n` items: a pure function of `n` (never of
 /// the worker count), so the shard boundaries — and therefore the float
 /// summation order — are identical on every machine.
@@ -124,6 +131,29 @@ where
         return init();
     }
     let chunk = n.div_ceil(shards);
+    let workers = worker_count(shards);
+    // Coordinating-thread instrumentation only: worker threads never touch
+    // the span stack, so the trace stays deterministic and the fold's
+    // float-summation order is untouched.
+    let _fold_span = etsb_obs::obs_span!(
+        "parallel_fold",
+        "items" => n,
+        "shards" => shards,
+        "workers" => workers,
+    );
+    if etsb_obs::enabled() {
+        for s in 0..shards {
+            let count = ((s + 1) * chunk).min(n) - (s * chunk).min(n);
+            etsb_obs::emit(
+                "counter",
+                vec![
+                    ("name", etsb_obs::FieldValue::from("shard_items")),
+                    ("shard", etsb_obs::FieldValue::from(s)),
+                    ("value", etsb_obs::FieldValue::from(count)),
+                ],
+            );
+        }
+    }
     let run_shard = |s: usize| {
         let mut acc = init();
         let start = s * chunk;
@@ -133,7 +163,6 @@ where
         }
         acc
     };
-    let workers = worker_count(shards);
     let accs: Vec<A> = if workers <= 1 || n < SPAWN_THRESHOLD {
         (0..shards).map(run_shard).collect()
     } else {
@@ -159,6 +188,7 @@ where
             out
         })
     };
+    let _merge_span = etsb_obs::span("merge");
     let mut iter = accs.into_iter();
     // shards >= 1 here, so the first accumulator always exists.
     let mut total = match iter.next() {

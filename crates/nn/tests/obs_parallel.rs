@@ -1,0 +1,74 @@
+//! Tracing under the sharded fold: instrumentation must come from the
+//! coordinating thread only (well-formed nesting, fixed shard counters)
+//! and must not change the fold's result for any worker count.
+//!
+//! Kept to a single `#[test]` because the obs sink is process-global.
+
+use etsb_nn::parallel::{fold_shards, parallel_fold, set_worker_override};
+use etsb_obs::{set_sink, CaptureSink, FieldValue};
+
+fn fold_sum(n: usize) -> f64 {
+    parallel_fold(
+        n,
+        || 0.0f64,
+        |acc, i| *acc += (i as f64).sqrt(),
+        |a, b| *a += b,
+    )
+}
+
+#[test]
+fn parallel_fold_traces_from_the_coordinating_thread_only() {
+    const N: usize = 400;
+    let expected = fold_sum(N); // tracing off, default workers
+
+    let (sink, buffer) = CaptureSink::new();
+    set_sink(Some(Box::new(sink)));
+    set_worker_override(2);
+    let traced = fold_sum(N);
+    set_worker_override(0);
+    set_sink(None);
+
+    assert_eq!(traced, expected, "tracing changed the fold result");
+
+    let events = buffer.lock().expect("capture buffer").clone();
+    let kinds: Vec<(&str, String)> = events.iter().map(|e| (e.kind, e.span.clone())).collect();
+
+    // Well-formed nesting, emitted in coordinator order: fold opens,
+    // shard counters land inside it, merge opens and closes inside it.
+    let shards = fold_shards(N);
+    let mut want = vec![("span_start", "parallel_fold".to_string())];
+    want.extend(std::iter::repeat_n(
+        ("counter", "parallel_fold".to_string()),
+        shards,
+    ));
+    want.push(("span_start", "parallel_fold.merge".to_string()));
+    want.push(("span_end", "parallel_fold.merge".to_string()));
+    want.push(("span_end", "parallel_fold".to_string()));
+    assert_eq!(kinds, want, "events: {events:?}");
+
+    // The shard counters describe the fixed shard structure exactly:
+    // every item is counted once, shard ids ascend from 0.
+    let mut total = 0u64;
+    for (i, e) in events.iter().filter(|e| e.kind == "counter").enumerate() {
+        let field = |name: &str| {
+            e.fields.iter().find_map(|(k, v)| match v {
+                FieldValue::U64(n) if *k == name => Some(*n),
+                _ => None,
+            })
+        };
+        assert_eq!(field("shard"), Some(i as u64));
+        total += field("value").expect("shard counter carries value");
+    }
+    assert_eq!(total, N as u64, "shard counters must cover every item");
+
+    // The worker count recorded on the span is the forced override.
+    let start = &events[0];
+    assert!(
+        start
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "workers" && *v == FieldValue::U64(2)),
+        "span fields: {:?}",
+        start.fields
+    );
+}

@@ -1,0 +1,108 @@
+//! Event sinks: where trace events go once the layer is enabled.
+//!
+//! Three implementations cover every consumer: [`JsonlSink`] writes one
+//! JSON object per line for machine analysis, [`StderrSink`] renders a
+//! human-readable live feed, and [`CaptureSink`] buffers events in memory
+//! for tests. All sinks receive events behind the global mutex in
+//! [`crate::set_sink`], so implementations need no internal locking.
+
+use crate::{Event, FieldValue};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Receiver of trace events. `emit` runs under the global sink lock and
+/// behind a panic barrier: a panicking sink disables tracing instead of
+/// unwinding into training code.
+pub trait Sink: Send {
+    /// Record one event.
+    fn emit(&mut self, event: &Event);
+}
+
+/// JSONL sink: one event per line, stable schema
+/// `{"ts_rel_us":…,"span":…,"kind":…,"fields":{…}}`, flushed per event so
+/// the file is complete even if the process aborts.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the trace file at `path`.
+    pub fn create(path: &str) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&mut self, event: &Event) {
+        // I/O failures must not unwind into instrumented code; a broken
+        // pipe or full disk silently drops the remaining events.
+        let _ = self.out.write_all(event.to_json_line().as_bytes());
+        let _ = self.out.write_all(b"\n");
+        let _ = self.out.flush();
+    }
+}
+
+/// Human-readable sink on standard error:
+/// `[   1.234ms] kind span key=value …`.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&mut self, event: &Event) {
+        let mut line = format!(
+            "[{:>10.3}ms] {:<10} {}",
+            event.ts_rel_us as f64 / 1000.0,
+            event.kind,
+            event.span
+        );
+        for (key, value) in &event.fields {
+            line.push(' ');
+            line.push_str(key);
+            line.push('=');
+            match value {
+                FieldValue::U64(n) => line.push_str(&n.to_string()),
+                FieldValue::I64(n) => line.push_str(&n.to_string()),
+                FieldValue::F64(n) => {
+                    let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{n:.6}"));
+                }
+                FieldValue::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+                FieldValue::Str(s) => line.push_str(s),
+            }
+        }
+        // Locked, buffered single write so parallel threads do not
+        // interleave mid-line; failures are dropped, not propagated.
+        let stderr = std::io::stderr();
+        let mut handle = stderr.lock();
+        let _ = writeln!(handle, "{line}");
+    }
+}
+
+/// In-memory sink for tests: clones every event into a shared buffer.
+#[derive(Debug)]
+pub struct CaptureSink {
+    buffer: Arc<Mutex<Vec<Event>>>,
+}
+
+impl CaptureSink {
+    /// New sink plus the shared handle tests read events from.
+    pub fn new() -> (CaptureSink, Arc<Mutex<Vec<Event>>>) {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        (
+            CaptureSink {
+                buffer: Arc::clone(&buffer),
+            },
+            buffer,
+        )
+    }
+}
+
+impl Sink for CaptureSink {
+    fn emit(&mut self, event: &Event) {
+        if let Ok(mut buf) = self.buffer.lock() {
+            buf.push(event.clone());
+        }
+    }
+}

@@ -88,6 +88,22 @@ impl GradBuffer {
             s.assert_finite(layer, op);
         }
     }
+
+    /// Global L2 norm over every element of every slot, accumulated in
+    /// f64 slot by slot so the result does not depend on slot layout.
+    /// Used as a per-merge training-health gauge by the obs layer.
+    pub fn global_norm(&self) -> f64 {
+        let sum_sq: f64 = self
+            .slots
+            .iter()
+            .flat_map(|s| s.as_slice())
+            .map(|&v| {
+                let v = v as f64;
+                v * v
+            })
+            .sum();
+        sum_sq.sqrt()
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +138,15 @@ mod tests {
         g.zero();
         assert_eq!(g.slot(0).sum(), 0.0);
         assert_eq!(g.slot(0).shape(), (2, 2));
+    }
+
+    #[test]
+    fn global_norm_spans_all_slots() {
+        let mut g = GradBuffer::from_shapes([(1, 2), (2, 1)]);
+        g.slot_mut(0)[(0, 0)] = 3.0;
+        g.slot_mut(1)[(1, 0)] = 4.0;
+        assert!((g.global_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(GradBuffer::from_shapes([(2, 2)]).global_norm(), 0.0);
     }
 
     #[test]

@@ -17,6 +17,15 @@
 pub fn assert_finite(layer: &str, op: &str, data: &[f32]) {
     for (i, &v) in data.iter().enumerate() {
         if !v.is_finite() {
+            // Record the hit in the trace before unwinding, so a run that
+            // dies mid-sweep still shows where the numbers went bad.
+            etsb_obs::obs_event!(
+                "sanitize.hit",
+                "layer" => layer,
+                "op" => op,
+                "index" => i,
+                "value" => v as f64,
+            );
             // etsb: allow(no-unwrap) -- panicking with diagnostics is this hook's contract.
             panic!("sanitize: non-finite value {v} at flat index {i} (layer `{layer}`, op `{op}`)");
         }

@@ -17,6 +17,9 @@
 #   6. determinism under ETSB_WORKERS=2 -- sharded backward must stay
 #                                         bitwise-identical when the
 #                                         worker count is forced
+#   7. trace + manifest schema          -- tiny hospital pipeline with
+#                                         ETSB_TRACE=jsonl:... and
+#                                         --manifest, gated by trace_lint
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -40,6 +43,17 @@ if [[ "${1:-}" != "fast" ]]; then
 
     step "determinism with 2 forced workers"
     ETSB_WORKERS=2 cargo test -q -p etsb-core --test determinism
+
+    step "trace + manifest schema (tiny hospital pipeline through trace_lint)"
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' EXIT
+    cargo run -q -p etsb-cli -- generate --dataset hospital --scale 0.03 --seed 7 \
+        --dirty "$tmpdir/dirty.csv" --clean "$tmpdir/clean.csv"
+    ETSB_TRACE="jsonl:$tmpdir/trace.jsonl" cargo run -q -p etsb-cli -- detect \
+        --dirty "$tmpdir/dirty.csv" --clean "$tmpdir/clean.csv" \
+        --tuples 5 --epochs 3 --manifest "$tmpdir/manifest.json"
+    cargo run -q -p etsb-obs --bin trace_lint -- \
+        --trace "$tmpdir/trace.jsonl" --manifest "$tmpdir/manifest.json"
 fi
 
 printf '\nAll checks passed.\n'

@@ -171,6 +171,73 @@ fn parallel_backward_stays_finite() {
     }
 }
 
+/// The observability layer's core promise: tracing must never perturb
+/// results. Run the same training twice — once with tracing off, once
+/// with a live JSONL sink and two forced workers — and demand bitwise
+/// identity, then check the trace itself is well-formed JSONL.
+#[test]
+fn training_is_bitwise_identical_with_tracing_on() {
+    use etsb_core::encode::EncodedDataset;
+    use etsb_core::model::AnyModel;
+    use etsb_core::train::train_model;
+    use etsb_nn::parallel::set_worker_override;
+    use etsb_tensor::init::seeded_rng;
+
+    let pair = Dataset::Rayyan
+        .generate(&GenConfig {
+            scale: 0.05,
+            seed: 16,
+        })
+        .expect("dataset generation");
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+    let data = EncodedDataset::from_frame(&frame);
+    let sample = sampling::diver_set(&frame, 10, 4);
+    let (train, test) = data.split_by_tuples(&sample);
+    let cfg = tiny_cfg().train;
+
+    let run = || {
+        let mut model = AnyModel::new(ModelKind::Etsb, &data, &cfg, &mut seeded_rng(41));
+        let history = train_model(&mut model, &data, &train, &test, &cfg, 23);
+        let weights: Vec<Vec<f32>> = model
+            .params()
+            .iter()
+            .map(|p| p.value.as_slice().to_vec())
+            .collect();
+        (history, weights)
+    };
+
+    let (h_off, w_off) = run();
+
+    let path = std::env::temp_dir().join("etsb_determinism_trace.jsonl");
+    let path = path.to_str().expect("utf-8 temp path");
+    let sink = etsb_obs::JsonlSink::create(path).expect("temp trace file");
+    etsb_obs::set_sink(Some(Box::new(sink)));
+    set_worker_override(2);
+    let (h_on, w_on) = run();
+    set_worker_override(0);
+    etsb_obs::set_sink(None);
+
+    assert_eq!(
+        h_off.train_loss, h_on.train_loss,
+        "tracing changed the loss curve"
+    );
+    assert_eq!(h_off.test_acc, h_on.test_acc);
+    assert_eq!(h_off.best_epoch, h_on.best_epoch);
+    for (i, (a, b)) in w_off.iter().zip(&w_on).enumerate() {
+        assert!(a == b, "weights of param {i} differ with tracing on");
+    }
+
+    let text = std::fs::read_to_string(path).expect("trace file readable");
+    std::fs::remove_file(path).ok();
+    assert!(!text.is_empty(), "tracing produced no events");
+    for line in text.lines() {
+        let parsed = etsb_obs::json::parse(line).expect("valid JSONL trace line");
+        for key in ["ts_rel_us", "span", "kind", "fields"] {
+            assert!(parsed.get(key).is_some(), "missing {key} in {line}");
+        }
+    }
+}
+
 #[test]
 fn generator_determinism_extends_to_csv_round_trip() {
     // Serialize → parse → regenerate: everything must line up.

@@ -126,6 +126,53 @@ fn etsb_uses_attribute_signal_on_attribute_dependent_errors() {
     );
 }
 
+/// Regression guard for the Table-5 timing bug: `train_duration` (and
+/// therefore `RunResult::train_time`) must clock the training work only.
+/// With a tiny trainset, a large testset and an evaluation every epoch,
+/// curve evaluation dominates the wall-clock — so a correct training
+/// clock reads well under half of the whole call.
+#[test]
+fn train_duration_excludes_curve_evaluations() {
+    use std::time::Instant;
+
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.1,
+            seed: 24,
+        })
+        .expect("dataset generation");
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+    let data = EncodedDataset::from_frame(&frame);
+    // 4 labelled tuples → ~44 train cells against ~2600 test cells.
+    let sample = etsb_core::sampling::diver_set(&frame, 4, 1);
+    let (train, test) = data.split_by_tuples(&sample);
+    let tc = TrainConfig {
+        eval_every: 1,
+        curve_subsample: 0, // evaluate the full testset every epoch
+        ..cfg(6)
+    };
+    let mut model = AnyModel::new(ModelKind::Tsb, &data, &tc, &mut seeded_rng(4));
+
+    let wall_start = Instant::now();
+    let history = train_model(&mut model, &data, &train, &test, &tc, 5);
+    let wall = wall_start.elapsed();
+
+    assert!(
+        history.train_duration <= wall,
+        "training clock exceeds the call's wall-clock"
+    );
+    assert!(
+        history.train_duration > std::time::Duration::ZERO,
+        "training clock recorded nothing"
+    );
+    assert!(
+        history.train_duration < wall / 2,
+        "train_duration {:?} should exclude the dominant eval cost (wall {:?})",
+        history.train_duration,
+        wall
+    );
+}
+
 #[test]
 fn learning_curves_are_recorded_for_figures() {
     // The fig6/fig7 benches consume History; assert its invariants here.
