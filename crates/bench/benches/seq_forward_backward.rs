@@ -1,0 +1,76 @@
+//! The sequence hot path, end to end: one sample through the paper's
+//! two-stacked BiRNN (64 units/direction), forward *and* backward — the
+//! unit of work the training loop repeats per cell per epoch.
+//!
+//! Three arms per length: `prechange` is the frozen pre-workspace
+//! implementation ([`etsb_bench::hotpath_baseline`]), `naive` is the
+//! current allocating reference path (fresh cache and intermediate
+//! matrices every call), `workspace` is the `_into` path reusing a
+//! per-worker [`etsb_tensor::Workspace`] and cache. `naive` and
+//! `workspace` produce bitwise-identical numbers; the delta is pure
+//! allocator and kernel time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use etsb_bench::hotpath_baseline;
+use etsb_nn::{RnnCell, StackedBiRnn, StackedBiRnnCache};
+use etsb_tensor::{init, Matrix, Workspace};
+
+const LENGTHS: [usize; 3] = [8, 32, 128];
+const EMBED_DIM: usize = 86; // Beers alphabet
+const HIDDEN: usize = 64;
+
+fn bench_seq_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_forward_backward");
+    let mut rng = init::seeded_rng(1);
+    let net: StackedBiRnn<RnnCell> = StackedBiRnn::new(EMBED_DIM, HIDDEN, &mut rng);
+    let mut grads = etsb_nn::grad_buffer_for(&net.params());
+    let grad_out = vec![1.0_f32; net.output_dim()];
+
+    for &len in &LENGTHS {
+        let input = init::glorot_uniform(len, EMBED_DIM, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("prechange", len), &len, |b, _| {
+            b.iter(|| {
+                let (out, cache) = hotpath_baseline::forward(&net, input.clone());
+                black_box(&out);
+                black_box(hotpath_baseline::backward(
+                    &net,
+                    &cache,
+                    &grad_out,
+                    grads.slots_mut(),
+                ))
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("naive", len), &len, |b, _| {
+            b.iter(|| {
+                let (out, cache) = net.forward(input.clone());
+                black_box(&out);
+                black_box(net.backward(&cache, &grad_out, grads.slots_mut()))
+            })
+        });
+
+        let mut ws = Workspace::new();
+        let mut cache = StackedBiRnnCache::<RnnCell>::default();
+        let mut feat = vec![0.0_f32; net.output_dim()];
+        let mut grad_inputs = Matrix::default();
+        group.bench_with_input(BenchmarkId::new("workspace", len), &len, |b, _| {
+            b.iter(|| {
+                net.forward_into(&input, &mut feat, &mut cache, &mut ws);
+                black_box(&feat);
+                net.backward_into(
+                    &cache,
+                    &grad_out,
+                    grads.slots_mut(),
+                    &mut grad_inputs,
+                    &mut ws,
+                );
+                black_box(&grad_inputs);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_forward_backward);
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! Machine-readable hot-path benchmark summary.
+//!
+//! Times the sequence hot path (single-sample StackedBiRnn forward +
+//! backward, 64 units/direction) on three arms — the frozen pre-change
+//! implementation ([`etsb_bench::hotpath_baseline`]), the current
+//! allocating reference path, and the workspace `_into` path — then
+//! writes `BENCH_hotpath.json`: a
+//! JSON array of `{"bench": ..., "mean_ns": ..., "samples": ...}`
+//! entries that `run_checks.sh` schema-validates and CI can trend.
+//! Arms are interleaved round by round and `mean_ns` is an
+//! interquartile mean, so background load perturbs the reported
+//! speedups as little as possible.
+//!
+//! ```text
+//! cargo run --release -p etsb-bench --bin bench_summary              # full run
+//! cargo run --release -p etsb-bench --bin bench_summary -- --smoke  # 3 samples
+//! cargo run --release -p etsb-bench --bin bench_summary -- --validate BENCH_hotpath.json
+//! ```
+
+use etsb_bench::hotpath_baseline;
+use etsb_nn::{RnnCell, StackedBiRnn, StackedBiRnnCache};
+use etsb_obs::json::{self, Value};
+use etsb_tensor::{init, Matrix, Workspace};
+use std::time::Instant;
+
+const LENGTHS: [usize; 3] = [8, 32, 128];
+const EMBED_DIM: usize = 86; // Beers alphabet
+const HIDDEN: usize = 64;
+const DEFAULT_SAMPLES: usize = 20;
+const OUT_FILE: &str = "BENCH_hotpath.json";
+
+struct BenchResult {
+    bench: String,
+    mean_ns: f64,
+    samples: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--validate") => {
+            let path = args.get(1).map(String::as_str).unwrap_or(OUT_FILE);
+            match validate(path) {
+                Ok(n) => println!("{path}: {n} benchmark entr(y/ies), schema ok"),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("--smoke") => run(3),
+        None => run(DEFAULT_SAMPLES),
+        Some(other) => {
+            eprintln!("error: unknown flag {other} (try --smoke or --validate PATH)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run every benchmark, print a human summary (including the
+/// workspace-vs-naive speedup per length) and write [`OUT_FILE`].
+fn run(samples: usize) {
+    let mut rng = init::seeded_rng(1);
+    let net: StackedBiRnn<RnnCell> = StackedBiRnn::new(EMBED_DIM, HIDDEN, &mut rng);
+    let mut grads = etsb_nn::grad_buffer_for(&net.params());
+    let grad_out = vec![1.0_f32; net.output_dim()];
+
+    let mut results: Vec<BenchResult> = Vec::new();
+    for &len in &LENGTHS {
+        let input = init::glorot_uniform(len, EMBED_DIM, &mut rng);
+
+        let mut ws = Workspace::new();
+        let mut cache = StackedBiRnnCache::<RnnCell>::default();
+        let mut feat = vec![0.0_f32; net.output_dim()];
+        let mut grad_inputs = Matrix::default();
+        // Warm the workspace buffer pool so its arm measures steady state.
+        net.forward_into(&input, &mut feat, &mut cache, &mut ws);
+        net.backward_into(
+            &cache,
+            &grad_out,
+            grads.slots_mut(),
+            &mut grad_inputs,
+            &mut ws,
+        );
+
+        // The three arms are interleaved round by round so a background
+        // load spike lands on all of them, not just whichever arm owned
+        // that window — the speedup ratio stays honest on a noisy box.
+        let mut pre_ns = Vec::with_capacity(samples);
+        let mut naive_ns = Vec::with_capacity(samples);
+        let mut ws_ns = Vec::with_capacity(samples);
+        for round in 0..=samples {
+            let t = Instant::now();
+            let (out, bcache) = hotpath_baseline::forward(&net, input.clone());
+            std::hint::black_box(&out);
+            std::hint::black_box(hotpath_baseline::backward(
+                &net,
+                &bcache,
+                &grad_out,
+                grads.slots_mut(),
+            ));
+            let pre = t.elapsed().as_nanos() as f64;
+
+            let t = Instant::now();
+            let (out, acache) = net.forward(input.clone());
+            std::hint::black_box(&out);
+            std::hint::black_box(net.backward(&acache, &grad_out, grads.slots_mut()));
+            let naive = t.elapsed().as_nanos() as f64;
+
+            let t = Instant::now();
+            net.forward_into(&input, &mut feat, &mut cache, &mut ws);
+            std::hint::black_box(&feat);
+            net.backward_into(
+                &cache,
+                &grad_out,
+                grads.slots_mut(),
+                &mut grad_inputs,
+                &mut ws,
+            );
+            std::hint::black_box(&grad_inputs);
+            let wsn = t.elapsed().as_nanos() as f64;
+
+            // Round 0 is the warm-up pass; discard it.
+            if round > 0 {
+                pre_ns.push(pre);
+                naive_ns.push(naive);
+                ws_ns.push(wsn);
+            }
+        }
+        let prechange = trimmed_mean(&mut pre_ns);
+        let naive = trimmed_mean(&mut naive_ns);
+        let workspace = trimmed_mean(&mut ws_ns);
+
+        println!(
+            "seq_forward_backward/{len:<4} prechange {prechange:>12.0} ns   naive {naive:>12.0} ns   workspace {workspace:>12.0} ns   speedup(vs prechange) {:>5.2}x",
+            prechange / workspace
+        );
+        results.push(BenchResult {
+            bench: format!("seq_forward_backward/prechange/{len}"),
+            mean_ns: prechange,
+            samples,
+        });
+        results.push(BenchResult {
+            bench: format!("seq_forward_backward/naive/{len}"),
+            mean_ns: naive,
+            samples,
+        });
+        results.push(BenchResult {
+            bench: format!("seq_forward_backward/workspace/{len}"),
+            mean_ns: workspace,
+            samples,
+        });
+    }
+
+    let entries: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            Value::obj([
+                ("bench".to_string(), Value::Str(r.bench.clone())),
+                ("mean_ns".to_string(), Value::Num(r.mean_ns)),
+                ("samples".to_string(), Value::Num(r.samples as f64)),
+            ])
+        })
+        .collect();
+    let text = Value::Arr(entries).to_json();
+    if let Err(e) = std::fs::write(OUT_FILE, text) {
+        eprintln!("error: writing {OUT_FILE}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {OUT_FILE}");
+}
+
+/// Interquartile mean of the samples: drops the fastest and slowest
+/// quarter, averages the middle half. Robust to one-off scheduler or
+/// frequency-scaling spikes while still being a mean, not a single
+/// order statistic.
+fn trimmed_mean(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "trimmed_mean of empty sample set");
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = samples.len() / 4;
+    let mid = &samples[q..samples.len() - q];
+    mid.iter().sum::<f64>() / mid.len() as f64
+}
+
+/// Schema-check a summary file: a non-empty JSON array whose entries
+/// carry a string `bench`, a positive finite `mean_ns` and a positive
+/// integer `samples`.
+fn validate(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value = json::parse(&text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let Value::Arr(entries) = value else {
+        return Err("top-level value is not an array".into());
+    };
+    if entries.is_empty() {
+        return Err("no benchmark entries".into());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        let bench = entry
+            .get("bench")
+            .and_then(Value::as_str)
+            .ok_or(format!("entry {i}: missing string field 'bench'"))?;
+        let mean_ns = entry.get("mean_ns").and_then(Value::as_f64).ok_or(format!(
+            "entry {i} ({bench}): missing number field 'mean_ns'"
+        ))?;
+        if !mean_ns.is_finite() || mean_ns <= 0.0 {
+            return Err(format!(
+                "entry {i} ({bench}): mean_ns {mean_ns} not positive"
+            ));
+        }
+        let samples = entry.get("samples").and_then(Value::as_f64).ok_or(format!(
+            "entry {i} ({bench}): missing number field 'samples'"
+        ))?;
+        if samples < 1.0 || samples.fract() != 0.0 {
+            return Err(format!(
+                "entry {i} ({bench}): samples {samples} not a positive integer"
+            ));
+        }
+    }
+    Ok(entries.len())
+}

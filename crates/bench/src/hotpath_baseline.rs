@@ -1,0 +1,284 @@
+//! Frozen copy of the pre-workspace sequence hot path.
+//!
+//! This module replicates, line for line, the [`StackedBiRnn`] forward and
+//! backward passes *and* the tensor kernels they sat on before the
+//! workspace/zero-allocation rewrite: per-step `vecmat`/`matvec` with a
+//! fresh `Vec` per call, per-step `add_outer` weight-gradient updates, a
+//! scalar (non-unrolled) `vecmat` loop and a 4-chain `dot`. It exists so
+//! `seq_forward_backward` and `bench_summary` can report the speedup of
+//! the current hot path against the code it replaced, measured in the
+//! same binary under the same machine load — a cross-build comparison
+//! would be at the mercy of background noise.
+//!
+//! Only the vanilla-RNN configuration the paper trains (and the benches
+//! time) is replicated; do not use this for anything but benchmarks.
+
+use etsb_nn::{RnnCell, StackedBiRnn};
+use etsb_tensor::Matrix;
+
+/// Pre-change `dot`: four independent accumulation chains.
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0_f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let k = i * 4;
+        acc[0] += a[k] * b[k];
+        acc[1] += a[k + 1] * b[k + 1];
+        acc[2] += a[k + 2] * b[k + 2];
+        acc[3] += a[k + 3] * b[k + 3];
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for k in chunks * 4..a.len() {
+        sum += a[k] * b[k];
+    }
+    sum
+}
+
+/// Pre-change `vecmat`: scalar row-accumulation, fresh output vector.
+fn vecmat(m: &Matrix, v: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; m.cols()];
+    for (k, &vk) in v.iter().enumerate() {
+        if vk == 0.0 {
+            continue;
+        }
+        for (o, &x) in out.iter_mut().zip(m.row(k)) {
+            *o += vk * x;
+        }
+    }
+    out
+}
+
+/// Pre-change `matvec`: one `dot` per row, fresh output vector.
+fn matvec(m: &Matrix, v: &[f32]) -> Vec<f32> {
+    (0..m.rows()).map(|i| dot(m.row(i), v)).collect()
+}
+
+/// Pre-change `add_outer` (alpha = 1): scalar rank-1 update.
+fn add_outer(out: &mut Matrix, a: &[f32], b: &[f32]) {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0.0 {
+            continue;
+        }
+        for (o, &bj) in out.row_mut(i).iter_mut().zip(b) {
+            *o += ai * bj;
+        }
+    }
+}
+
+fn reverse_rows(m: &Matrix) -> Matrix {
+    let (rows, cols) = m.shape();
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        out.row_mut(rows - 1 - r).copy_from_slice(m.row(r));
+    }
+    out
+}
+
+/// Pre-change per-cell cache (inputs + hidden states).
+#[derive(Debug)]
+struct CellCache {
+    inputs: Matrix,
+    hidden: Matrix,
+}
+
+fn cell_forward(cell: &RnnCell, inputs: Matrix) -> CellCache {
+    let t_max = inputs.rows();
+    let h = cell.wh.value.rows();
+    let mut hidden = Matrix::zeros(t_max, h);
+    let mut prev = vec![0.0_f32; h];
+    for t in 0..t_max {
+        let mut z = vecmat(&cell.wx.value, inputs.row(t));
+        let rec = vecmat(&cell.wh.value, &prev);
+        for ((zi, &ri), &bi) in z.iter_mut().zip(&rec).zip(cell.b.value.row(0)) {
+            *zi = (*zi + ri + bi).tanh();
+        }
+        hidden.row_mut(t).copy_from_slice(&z);
+        prev = z;
+    }
+    CellCache { inputs, hidden }
+}
+
+fn cell_backward(
+    cell: &RnnCell,
+    cache: &CellCache,
+    grad_hidden: &Matrix,
+    grads: &mut [Matrix],
+) -> Matrix {
+    let t_max = cache.hidden.rows();
+    let h = cell.wh.value.rows();
+    let (gwx, tail) = grads.split_at_mut(1);
+    let (gwh, gb) = tail.split_at_mut(1);
+    let (gwx, gwh, gb) = (&mut gwx[0], &mut gwh[0], &mut gb[0]);
+    let mut grad_inputs = Matrix::zeros(t_max, cell.wx.value.rows());
+    let mut carry = vec![0.0_f32; h];
+    for t in (0..t_max).rev() {
+        let h_t = cache.hidden.row(t);
+        let dz: Vec<f32> = grad_hidden
+            .row(t)
+            .iter()
+            .zip(&carry)
+            .zip(h_t)
+            .map(|((&g, &c), &ht)| (g + c) * (1.0 - ht * ht))
+            .collect();
+        etsb_tensor::add_assign(gb.row_mut(0), &dz);
+        add_outer(gwx, cache.inputs.row(t), &dz);
+        if t > 0 {
+            add_outer(gwh, cache.hidden.row(t - 1), &dz);
+        }
+        grad_inputs
+            .row_mut(t)
+            .copy_from_slice(&matvec(&cell.wx.value, &dz));
+        carry = matvec(&cell.wh.value, &dz);
+    }
+    grad_inputs
+}
+
+/// Cache for one pre-change bidirectional layer.
+#[derive(Debug)]
+struct BiCache {
+    fwd: CellCache,
+    bwd: CellCache,
+    seq_len: usize,
+}
+
+fn bi_forward(fwd: &RnnCell, bwd: &RnnCell, inputs: Matrix) -> (Matrix, BiCache) {
+    let seq_len = inputs.rows();
+    let reversed = reverse_rows(&inputs);
+    let fwd_cache = cell_forward(fwd, inputs);
+    let out_fwd = fwd_cache.hidden.clone();
+    let bwd_cache = cell_forward(bwd, reversed);
+    let out_bwd = bwd_cache.hidden.clone();
+    let h = fwd.wh.value.rows();
+    let mut out = Matrix::zeros(seq_len, 2 * h);
+    for t in 0..seq_len {
+        out.row_mut(t)[..h].copy_from_slice(out_fwd.row(t));
+        out.row_mut(t)[h..].copy_from_slice(out_bwd.row(seq_len - 1 - t));
+    }
+    (
+        out,
+        BiCache {
+            fwd: fwd_cache,
+            bwd: bwd_cache,
+            seq_len,
+        },
+    )
+}
+
+fn bi_backward(
+    fwd: &RnnCell,
+    bwd: &RnnCell,
+    cache: &BiCache,
+    grad_out: &Matrix,
+    grads: &mut [Matrix],
+) -> Matrix {
+    let t_max = cache.seq_len;
+    let h = fwd.wh.value.rows();
+    let (grads_fwd, grads_bwd) = grads.split_at_mut(3);
+    let mut grad_fwd = Matrix::zeros(t_max, h);
+    let mut grad_bwd = Matrix::zeros(t_max, h);
+    for t in 0..t_max {
+        grad_fwd.row_mut(t).copy_from_slice(&grad_out.row(t)[..h]);
+        grad_bwd
+            .row_mut(t_max - 1 - t)
+            .copy_from_slice(&grad_out.row(t)[h..]);
+    }
+    let gi_fwd = cell_backward(fwd, &cache.fwd, &grad_fwd, grads_fwd);
+    let gi_bwd_rev = cell_backward(bwd, &cache.bwd, &grad_bwd, grads_bwd);
+    let mut grad_inputs = gi_fwd;
+    let gi_bwd = reverse_rows(&gi_bwd_rev);
+    grad_inputs.add_assign(&gi_bwd);
+    grad_inputs
+}
+
+/// Opaque cache from [`forward`].
+#[derive(Debug)]
+pub struct Cache {
+    l1: BiCache,
+    l2: BiCache,
+    seq_len: usize,
+}
+
+/// The pre-change [`StackedBiRnn::forward`] on the current network's
+/// weights: same math, the old allocation pattern and the old kernels.
+pub fn forward(net: &StackedBiRnn<RnnCell>, inputs: Matrix) -> (Vec<f32>, Cache) {
+    let seq_len = inputs.rows();
+    let (seq1, l1) = bi_forward(&net.layer1.fwd, &net.layer1.bwd, inputs);
+    let (seq2, l2) = bi_forward(&net.layer2.fwd, &net.layer2.bwd, seq1);
+    let h = net.layer2.fwd.wh.value.rows();
+    let t_last = seq_len - 1;
+    let mut out = vec![0.0_f32; 2 * h];
+    out[..h].copy_from_slice(&seq2.row(t_last)[..h]);
+    out[h..].copy_from_slice(&seq2.row(0)[h..]);
+    (out, Cache { l1, l2, seq_len })
+}
+
+/// The pre-change [`StackedBiRnn::backward`] companion of [`forward`].
+pub fn backward(
+    net: &StackedBiRnn<RnnCell>,
+    cache: &Cache,
+    grad_out: &[f32],
+    grads: &mut [Matrix],
+) -> Matrix {
+    let h = net.layer2.fwd.wh.value.rows();
+    let (grads_l1, grads_l2) = grads.split_at_mut(6);
+    let t_max = cache.seq_len;
+    let mut grad_seq2 = Matrix::zeros(t_max, 2 * h);
+    grad_seq2.row_mut(t_max - 1)[..h].copy_from_slice(&grad_out[..h]);
+    grad_seq2.row_mut(0)[h..].copy_from_slice(&grad_out[h..]);
+    let grad_seq1 = bi_backward(
+        &net.layer2.fwd,
+        &net.layer2.bwd,
+        &cache.l2,
+        &grad_seq2,
+        grads_l2,
+    );
+    bi_backward(
+        &net.layer1.fwd,
+        &net.layer1.bwd,
+        &cache.l1,
+        &grad_seq1,
+        grads_l1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsb_tensor::init;
+
+    /// The baseline must stay a faithful replica: same math as the current
+    /// hot path (tiny float drift from the different reduction orders is
+    /// all that may separate them).
+    #[test]
+    fn baseline_matches_current_hot_path() {
+        let mut rng = init::seeded_rng(11);
+        let net: StackedBiRnn<RnnCell> = StackedBiRnn::new(9, 6, &mut rng);
+        let input = init::glorot_uniform(13, 9, &mut rng);
+
+        let (out_new, cache_new) = net.forward(input.clone());
+        let (out_old, cache_old) = forward(&net, input);
+        assert!(
+            etsb_tensor::max_abs_diff(&out_new, &out_old) < 1e-5,
+            "baseline forward drifted from the current implementation"
+        );
+
+        let grad_out = vec![1.0_f32; out_new.len()];
+        let mut grads_new = etsb_nn::grad_buffer_for(&net.params());
+        let gi_new = net.backward(&cache_new, &grad_out, grads_new.slots_mut());
+        let mut grads_old = etsb_nn::grad_buffer_for(&net.params());
+        let gi_old = backward(&net, &cache_old, &grad_out, grads_old.slots_mut());
+        assert!(
+            etsb_tensor::max_abs_diff(gi_new.as_slice(), gi_old.as_slice()) < 1e-4,
+            "baseline input grads drifted from the current implementation"
+        );
+        for s in 0..grads_new.len() {
+            assert!(
+                etsb_tensor::max_abs_diff(
+                    grads_new.slot(s).as_slice(),
+                    grads_old.slot(s).as_slice()
+                ) < 1e-4,
+                "baseline grad slot {s} drifted from the current implementation"
+            );
+        }
+    }
+}

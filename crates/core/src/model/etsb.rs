@@ -8,12 +8,26 @@
 use super::{AnyStacked, AnyStackedCache, Head};
 use crate::config::TrainConfig;
 use crate::encode::EncodedDataset;
-use etsb_nn::{parallel, softmax_cross_entropy, Activation, Dense, Embedding, Param};
-use etsb_tensor::{GradBuffer, Matrix};
+use etsb_nn::{
+    parallel, softmax_cross_entropy, Activation, Dense, Embedding, EmbeddingCache, Param,
+};
+use etsb_tensor::{GradBuffer, Matrix, Workspace};
 use rand::rngs::StdRng;
 
 /// A per-path forward cache: embedding lookup + recurrent stack.
-type PathCache = (etsb_nn::EmbeddingCache, AnyStackedCache);
+type PathCache = (EmbeddingCache, AnyStackedCache);
+
+/// Worker-local scratch for the inference path: one bundle per worker
+/// thread, recycled across the cells that worker scores.
+struct PredictScratch {
+    ws: Workspace,
+    rnn_cache: AnyStackedCache,
+    attr_rnn_cache: AnyStackedCache,
+    emb_cache: EmbeddingCache,
+    attr_emb_cache: EmbeddingCache,
+    embedded: Matrix,
+    attr_embedded: Matrix,
+}
 
 /// The Enriched Two-Stacked Bidirectional RNN model.
 #[derive(Debug)]
@@ -64,22 +78,77 @@ impl EtsbRnn {
     }
 
     /// Character + attribute features for one cell (the length path runs
-    /// batched because it is a plain dense layer).
-    fn encode_seq_paths(
+    /// batched because it is a plain dense layer). Scratch comes from the
+    /// worker-local workspace; the returned caches are fresh because the
+    /// backward pass needs them after the forward barrier.
+    fn encode_seq_paths_into(
         &self,
         seq: &[usize],
         attr: usize,
+        ws: &mut Workspace,
+        embedded: &mut Matrix,
+        attr_embedded: &mut Matrix,
     ) -> (Vec<f32>, Vec<f32>, PathCache, PathCache) {
-        let (embedded, emb_cache) = self.embedding.forward(seq);
-        let (char_feat, rnn_cache) = self.rnn.forward(embedded);
-        let (attr_embedded, attr_emb_cache) = self.attr_embedding.forward(&[attr]);
-        let (attr_feat, attr_rnn_cache) = self.attr_rnn.forward(attr_embedded);
+        let mut emb_cache = EmbeddingCache::default();
+        self.embedding.forward_into(seq, embedded, &mut emb_cache);
+        let mut rnn_cache = self.rnn.empty_cache();
+        let mut char_feat = vec![0.0_f32; self.char_dim];
+        self.rnn
+            .forward_into(embedded, &mut char_feat, &mut rnn_cache, ws);
+        let mut attr_emb_cache = EmbeddingCache::default();
+        self.attr_embedding
+            .forward_into(&[attr], attr_embedded, &mut attr_emb_cache);
+        let mut attr_rnn_cache = self.attr_rnn.empty_cache();
+        let mut attr_feat = vec![0.0_f32; self.attr_dim];
+        self.attr_rnn
+            .forward_into(attr_embedded, &mut attr_feat, &mut attr_rnn_cache, ws);
         (
             char_feat,
             attr_feat,
             (emb_cache, rnn_cache),
             (attr_emb_cache, attr_rnn_cache),
         )
+    }
+
+    /// Both sequence-path feature vectors for one cell, inference mode:
+    /// every cache is worker-local and recycled.
+    fn encode_features_into(
+        &self,
+        seq: &[usize],
+        attr: usize,
+        state: &mut PredictScratch,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let PredictScratch {
+            ws,
+            rnn_cache,
+            attr_rnn_cache,
+            emb_cache,
+            attr_emb_cache,
+            embedded,
+            attr_embedded,
+        } = state;
+        self.embedding.forward_into(seq, embedded, emb_cache);
+        let mut char_feat = vec![0.0_f32; self.char_dim];
+        self.rnn
+            .forward_into(embedded, &mut char_feat, rnn_cache, ws);
+        self.attr_embedding
+            .forward_into(&[attr], attr_embedded, attr_emb_cache);
+        let mut attr_feat = vec![0.0_f32; self.attr_dim];
+        self.attr_rnn
+            .forward_into(attr_embedded, &mut attr_feat, attr_rnn_cache, ws);
+        (char_feat, attr_feat)
+    }
+
+    fn predict_scratch(&self) -> PredictScratch {
+        PredictScratch {
+            ws: Workspace::new(),
+            rnn_cache: self.rnn.empty_cache(),
+            attr_rnn_cache: self.attr_rnn.empty_cache(),
+            emb_cache: EmbeddingCache::default(),
+            attr_emb_cache: EmbeddingCache::default(),
+            embedded: Matrix::default(),
+            attr_embedded: Matrix::default(),
+        }
     }
 
     /// One gradient-accumulating training step; returns the batch loss.
@@ -106,11 +175,24 @@ impl EtsbRnn {
         let len_inputs = Matrix::from_fn(n, 1, |r, _| data.length_norms[batch[r]]);
         let (len_feats, len_cache) = self.len_dense.forward(len_inputs);
 
-        // Per-sample sequence paths are independent: shard them.
-        let encoded = parallel::parallel_map(n, |i| {
-            let cell = batch[i];
-            self.encode_seq_paths(&data.sequences[cell], data.attr_ids[cell])
-        });
+        // Per-sample sequence paths are independent: shard them, each
+        // worker reusing one workspace + embedding buffers across its
+        // samples (zero-on-acquire scratch keeps results identical to the
+        // allocating path bit for bit).
+        let encoded = parallel::parallel_map_with(
+            n,
+            || (Workspace::new(), Matrix::default(), Matrix::default()),
+            |(ws, embedded, attr_embedded), i| {
+                let cell = batch[i];
+                self.encode_seq_paths_into(
+                    &data.sequences[cell],
+                    data.attr_ids[cell],
+                    ws,
+                    embedded,
+                    attr_embedded,
+                )
+            },
+        );
         let mut char_caches = Vec::with_capacity(n);
         let mut attr_caches = Vec::with_capacity(n);
         for (row, (char_feat, attr_feat, cc, ac)) in encoded.into_iter().enumerate() {
@@ -142,31 +224,41 @@ impl EtsbRnn {
             .map(|p| p.value.shape())
             .collect();
         let (char_dim, attr_dim) = (self.char_dim, self.attr_dim);
-        let seq_grads = parallel::parallel_fold(
+        let (seq_grads, ..) = parallel::parallel_fold(
             n,
-            || GradBuffer::from_shapes(seq_shapes.iter().copied()),
-            |acc, i| {
+            || {
+                (
+                    GradBuffer::from_shapes(seq_shapes.iter().copied()),
+                    Workspace::new(),
+                    Matrix::default(),
+                    Matrix::default(),
+                )
+            },
+            |(acc, ws, grad_embedded, grad_attr_embedded), i| {
                 let (char_part, attr_part) = acc.slots_mut().split_at_mut(13);
                 let (emb_slot, rnn_slots) = char_part.split_at_mut(1);
                 let (attr_emb_slot, attr_rnn_slots) = attr_part.split_at_mut(1);
                 let (emb_cache, rnn_cache) = &char_caches[i];
                 let (attr_emb_cache, attr_rnn_cache) = &attr_caches[i];
                 let g = grad_features.row(i);
-                let grad_embedded = self.rnn.backward(rnn_cache, &g[..char_dim], rnn_slots);
+                self.rnn
+                    .backward_into(rnn_cache, &g[..char_dim], rnn_slots, grad_embedded, ws);
                 self.embedding
-                    .backward(emb_cache, &grad_embedded, &mut emb_slot[0]);
-                let grad_attr_embedded = self.attr_rnn.backward(
+                    .backward(emb_cache, grad_embedded, &mut emb_slot[0]);
+                self.attr_rnn.backward_into(
                     attr_rnn_cache,
                     &g[char_dim..char_dim + attr_dim],
                     attr_rnn_slots,
+                    grad_attr_embedded,
+                    ws,
                 );
                 self.attr_embedding.backward(
                     attr_emb_cache,
-                    &grad_attr_embedded,
+                    grad_attr_embedded,
                     &mut attr_emb_slot[0],
                 );
             },
-            |a, b| a.merge(&b),
+            |a, b| a.0.merge(&b.0),
         );
         for (slot, merged) in grads.slots_mut()[..26].iter_mut().zip(seq_grads.slots()) {
             slot.add_assign(merged);
@@ -185,13 +277,18 @@ impl EtsbRnn {
         loss.loss
     }
 
-    /// Error probabilities (evaluation mode), parallel across cells.
+    /// Error probabilities (evaluation mode), parallel across cells, each
+    /// worker reusing one scratch bundle (workspace + caches) so a warmed
+    /// worker allocates nothing per cell beyond its feature vectors.
     pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
-        let seq_feats: Vec<(Vec<f32>, Vec<f32>)> = parallel::parallel_map(cells.len(), |i| {
-            let cell = cells[i];
-            let (c, a, _, _) = self.encode_seq_paths(&data.sequences[cell], data.attr_ids[cell]);
-            (c, a)
-        });
+        let seq_feats: Vec<(Vec<f32>, Vec<f32>)> = parallel::parallel_map_with(
+            cells.len(),
+            || self.predict_scratch(),
+            |scratch, i| {
+                let cell = cells[i];
+                self.encode_features_into(&data.sequences[cell], data.attr_ids[cell], scratch)
+            },
+        );
         let n = cells.len();
         let len_inputs = Matrix::from_fn(n, 1, |r, _| data.length_norms[cells[r]]);
         let (len_feats, _) = self.len_dense.forward(len_inputs);
@@ -202,7 +299,7 @@ impl EtsbRnn {
             out[self.char_dim..self.char_dim + self.attr_dim].copy_from_slice(attr_feat);
             out[self.char_dim + self.attr_dim..].copy_from_slice(len_feats.row(row));
         }
-        let logits = self.head.forward_eval(features);
+        let logits = self.head.forward_eval(&features);
         (0..n)
             .map(|r| {
                 let mut row = logits.row(r).to_vec();

@@ -13,8 +13,16 @@ use etsb_nn::{
     Activation, BatchNorm, BatchNormCache, Dense, DenseCache, GruCell, LstmCell, Param, RnnCell,
     StackedBiRnn, StackedBiRnnCache,
 };
-use etsb_tensor::Matrix;
+use etsb_tensor::{Matrix, Workspace};
 use rand::rngs::StdRng;
+
+/// A cache built by one cell kind was handed to another — an internal
+/// invariant violation (caches are created by [`AnyStacked::empty_cache`]
+/// or [`AnyStacked::forward`] on the same instance), never a data error.
+fn cache_mismatch() -> ! {
+    // etsb: allow(no-unwrap) -- internal invariant: cache variants are produced by this enum
+    panic!("AnyStacked: cache kind does not match cell kind")
+}
 
 /// A two-stacked bidirectional encoder over any supported recurrent cell,
 /// dispatched at runtime so [`crate::config::TrainConfig::cell`] can swap
@@ -57,37 +65,60 @@ impl AnyStacked {
         }
     }
 
-    pub(crate) fn forward(&self, inputs: Matrix) -> (Vec<f32>, AnyStackedCache) {
+    /// A reusable cache matching this instance's cell kind, for the
+    /// allocation-free `_into` paths. Its buffers grow on first use and
+    /// are recycled across samples.
+    pub(crate) fn empty_cache(&self) -> AnyStackedCache {
         match self {
-            AnyStacked::Vanilla(n) => {
-                let (out, c) = n.forward(inputs);
-                (out, AnyStackedCache::Vanilla(c))
+            AnyStacked::Vanilla(_) => AnyStackedCache::Vanilla(Default::default()),
+            AnyStacked::Lstm(_) => AnyStackedCache::Lstm(Default::default()),
+            AnyStacked::Gru(_) => AnyStackedCache::Gru(Default::default()),
+        }
+    }
+
+    /// Allocation-free forward: the feature vector lands in `out`, the
+    /// cache and workspace buffers are recycled across samples. Bitwise
+    /// identical to [`AnyStacked::forward`].
+    pub(crate) fn forward_into(
+        &self,
+        inputs: &Matrix,
+        out: &mut [f32],
+        cache: &mut AnyStackedCache,
+        ws: &mut Workspace,
+    ) {
+        match (self, cache) {
+            (AnyStacked::Vanilla(n), AnyStackedCache::Vanilla(c)) => {
+                n.forward_into(inputs, out, c, ws);
             }
-            AnyStacked::Lstm(n) => {
-                let (out, c) = n.forward(inputs);
-                (out, AnyStackedCache::Lstm(c))
-            }
-            AnyStacked::Gru(n) => {
-                let (out, c) = n.forward(inputs);
-                (out, AnyStackedCache::Gru(c))
-            }
+            (AnyStacked::Lstm(n), AnyStackedCache::Lstm(c)) => n.forward_into(inputs, out, c, ws),
+            (AnyStacked::Gru(n), AnyStackedCache::Gru(c)) => n.forward_into(inputs, out, c, ws),
+            _ => cache_mismatch(),
         }
     }
 
     /// Backward on `&self`: parameter gradients accumulate into `grads`
     /// (one slot per parameter, [`AnyStacked::params`] order), so batches
-    /// can shard across threads with per-thread buffers.
-    pub(crate) fn backward(
+    /// can shard across threads with per-thread buffers. Input-sequence
+    /// gradients land in `grad_inputs`.
+    pub(crate) fn backward_into(
         &self,
         cache: &AnyStackedCache,
         grad_out: &[f32],
         grads: &mut [Matrix],
-    ) -> Matrix {
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
         match (self, cache) {
-            (AnyStacked::Vanilla(n), AnyStackedCache::Vanilla(c)) => n.backward(c, grad_out, grads),
-            (AnyStacked::Lstm(n), AnyStackedCache::Lstm(c)) => n.backward(c, grad_out, grads),
-            (AnyStacked::Gru(n), AnyStackedCache::Gru(c)) => n.backward(c, grad_out, grads),
-            _ => panic!("AnyStacked::backward: cache kind does not match cell kind"),
+            (AnyStacked::Vanilla(n), AnyStackedCache::Vanilla(c)) => {
+                n.backward_into(c, grad_out, grads, grad_inputs, ws);
+            }
+            (AnyStacked::Lstm(n), AnyStackedCache::Lstm(c)) => {
+                n.backward_into(c, grad_out, grads, grad_inputs, ws);
+            }
+            (AnyStacked::Gru(n), AnyStackedCache::Gru(c)) => {
+                n.backward_into(c, grad_out, grads, grad_inputs, ws);
+            }
+            _ => cache_mismatch(),
         }
     }
 
@@ -143,8 +174,12 @@ impl Head {
     }
 
     /// Evaluation-mode forward (running statistics in the BatchNorm).
-    pub(crate) fn forward_eval(&self, features: Matrix) -> Matrix {
-        let (h, _) = self.dense.forward(features);
+    /// Borrows the feature matrix; every stage is row-independent, so
+    /// logits for a cell do not depend on which other cells share the
+    /// batch — the property the memoized predict path relies on.
+    pub(crate) fn forward_eval(&self, features: &Matrix) -> Matrix {
+        let mut h = Matrix::default();
+        self.dense.forward_eval_into(features, &mut h);
         let n = self.bn.forward_eval(&h);
         let (logits, _) = self.out.forward(n);
         logits
@@ -246,7 +281,53 @@ impl AnyModel {
 
     /// Error probability (class-1 softmax output) per requested cell,
     /// evaluation mode, parallel across cells.
+    ///
+    /// Duplicate cells are memoized: cells sharing a [`memo_key`] (same
+    /// attribute, same character sequence, same normalized length — i.e.
+    /// every model input) run the network once and share the probability.
+    /// Real tables repeat values heavily, so this skips most of the
+    /// forward passes without changing a single bit of the output: the
+    /// evaluation head is row-independent, so a representative's
+    /// probability is identical whichever batch it is computed in.
     pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
+        use std::collections::HashMap;
+        let mut slot_of: HashMap<(usize, u32, &[usize]), usize> = HashMap::new();
+        let mut reps: Vec<usize> = Vec::new();
+        // Representative index per requested cell, first-encounter order.
+        let assignment: Vec<usize> = cells
+            .iter()
+            .map(|&cell| {
+                *slot_of.entry(memo_key(data, cell)).or_insert_with(|| {
+                    reps.push(cell);
+                    reps.len() - 1
+                })
+            })
+            .collect();
+        if etsb_obs::enabled() {
+            etsb_obs::emit(
+                "counter",
+                vec![
+                    ("name", etsb_obs::FieldValue::from("predict_cells")),
+                    ("value", etsb_obs::FieldValue::from(cells.len())),
+                ],
+            );
+            etsb_obs::emit(
+                "counter",
+                vec![
+                    ("name", etsb_obs::FieldValue::from("predict_unique")),
+                    ("value", etsb_obs::FieldValue::from(reps.len())),
+                ],
+            );
+        }
+        let unique = self.predict_probs_direct(data, &reps);
+        assignment.into_iter().map(|slot| unique[slot]).collect()
+    }
+
+    /// The un-memoized prediction path: one forward pass per requested
+    /// cell, duplicates and all. [`AnyModel::predict_probs`] reduces to
+    /// this on the deduplicated representatives; tests compare the two
+    /// for bitwise equality.
+    pub fn predict_probs_direct(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
         match self {
             AnyModel::Tsb(m) => m.predict_probs(data, cells),
             AnyModel::Etsb(m) => m.predict_probs(data, cells),
@@ -412,6 +493,19 @@ impl AnyModel {
             *b = m.clone();
         }
     }
+}
+
+/// The memoization key for one cell: every input either architecture
+/// reads. Two cells with equal keys are indistinguishable to the models
+/// — same attribute embedding id, same normalized-length scalar (compared
+/// by bit pattern, so `-0.0 != 0.0` and NaNs never merge), same character
+/// sequence — so they necessarily score the same probability.
+pub fn memo_key(data: &EncodedDataset, cell: usize) -> (usize, u32, &[usize]) {
+    (
+        data.attr_ids[cell],
+        data.length_norms[cell].to_bits(),
+        data.sequences[cell].as_slice(),
+    )
 }
 
 #[cfg(test)]

@@ -4,9 +4,18 @@
 use super::{AnyStacked, AnyStackedCache, Head};
 use crate::config::TrainConfig;
 use crate::encode::EncodedDataset;
-use etsb_nn::{parallel, softmax_cross_entropy, Embedding, Param};
-use etsb_tensor::{GradBuffer, Matrix};
+use etsb_nn::{parallel, softmax_cross_entropy, Embedding, EmbeddingCache, Param};
+use etsb_tensor::{GradBuffer, Matrix, Workspace};
 use rand::rngs::StdRng;
+
+/// Worker-local scratch for the inference path: one bundle per worker
+/// thread, recycled across the cells that worker scores.
+struct PredictScratch {
+    ws: Workspace,
+    rnn_cache: AnyStackedCache,
+    emb_cache: EmbeddingCache,
+    embedded: Matrix,
+}
 
 /// The Two-Stacked Bidirectional RNN model.
 #[derive(Debug)]
@@ -31,11 +40,48 @@ impl TsbRnn {
         }
     }
 
-    /// Encode one cell's character sequence into the RNN feature vector.
-    fn encode_one(&self, seq: &[usize]) -> (Vec<f32>, (etsb_nn::EmbeddingCache, AnyStackedCache)) {
-        let (embedded, emb_cache) = self.embedding.forward(seq);
-        let (feat, rnn_cache) = self.rnn.forward(embedded);
+    /// Encode one cell's character sequence into the RNN feature vector,
+    /// borrowing scratch from the worker-local workspace. The returned
+    /// caches are fresh (they must outlive the call for the backward
+    /// pass); all intermediate sequence buffers are recycled.
+    fn encode_one_into(
+        &self,
+        seq: &[usize],
+        ws: &mut Workspace,
+        embedded: &mut Matrix,
+    ) -> (Vec<f32>, (EmbeddingCache, AnyStackedCache)) {
+        let mut emb_cache = EmbeddingCache::default();
+        self.embedding.forward_into(seq, embedded, &mut emb_cache);
+        let mut rnn_cache = self.rnn.empty_cache();
+        let mut feat = vec![0.0_f32; self.rnn.output_dim()];
+        self.rnn
+            .forward_into(embedded, &mut feat, &mut rnn_cache, ws);
         (feat, (emb_cache, rnn_cache))
+    }
+
+    /// Encode one cell for inference: the cache is worker-local and
+    /// recycled, so a warmed worker allocates only the returned feature
+    /// vector per cell.
+    fn encode_features_into(&self, seq: &[usize], state: &mut PredictScratch) -> Vec<f32> {
+        let PredictScratch {
+            ws,
+            rnn_cache,
+            emb_cache,
+            embedded,
+        } = state;
+        self.embedding.forward_into(seq, embedded, emb_cache);
+        let mut feat = vec![0.0_f32; self.rnn.output_dim()];
+        self.rnn.forward_into(embedded, &mut feat, rnn_cache, ws);
+        feat
+    }
+
+    fn predict_scratch(&self) -> PredictScratch {
+        PredictScratch {
+            ws: Workspace::new(),
+            rnn_cache: self.rnn.empty_cache(),
+            emb_cache: EmbeddingCache::default(),
+            embedded: Matrix::default(),
+        }
     }
 
     /// One gradient-accumulating training step; returns the batch loss.
@@ -57,9 +103,15 @@ impl TsbRnn {
         let feat_dim = self.rnn.output_dim();
 
         let forward_span = etsb_obs::obs_span!("forward", "samples" => batch.len());
-        // Per-sample forward passes are independent: shard them.
-        let encoded =
-            parallel::parallel_map(batch.len(), |i| self.encode_one(&data.sequences[batch[i]]));
+        // Per-sample forward passes are independent: shard them, each
+        // worker reusing one workspace + embedding buffer across its
+        // samples (zero-on-acquire scratch keeps results identical to the
+        // allocating path bit for bit).
+        let encoded = parallel::parallel_map_with(
+            batch.len(),
+            || (Workspace::new(), Matrix::default()),
+            |(ws, embedded), i| self.encode_one_into(&data.sequences[batch[i]], ws, embedded),
+        );
         let mut features = Matrix::zeros(batch.len(), feat_dim);
         let mut caches = Vec::with_capacity(batch.len());
         for (row, (feat, cache)) in encoded.into_iter().enumerate() {
@@ -79,26 +131,38 @@ impl TsbRnn {
             &mut grads.slots_mut()[13..19],
         );
 
-        // Per-sample backward passes shard too, each thread accumulating
+        // Per-sample backward passes shard too, each shard accumulating
         // into its own buffer over the sequence-path slots (embedding +
-        // RNN), merged deterministically in shard order.
+        // RNN), merged deterministically in shard order. Each shard also
+        // carries a workspace and a grad-input buffer so the per-sample
+        // backward pass is allocation-free once warmed.
         let seq_shapes: Vec<(usize, usize)> = self.params()[..13]
             .iter()
             .map(|p| p.value.shape())
             .collect();
-        let seq_grads = parallel::parallel_fold(
+        let (seq_grads, _, _) = parallel::parallel_fold(
             batch.len(),
-            || GradBuffer::from_shapes(seq_shapes.iter().copied()),
-            |acc, i| {
+            || {
+                (
+                    GradBuffer::from_shapes(seq_shapes.iter().copied()),
+                    Workspace::new(),
+                    Matrix::default(),
+                )
+            },
+            |(acc, ws, grad_embedded), i| {
                 let (emb_slot, rnn_slots) = acc.slots_mut().split_at_mut(1);
                 let (emb_cache, rnn_cache) = &caches[i];
-                let grad_embedded = self
-                    .rnn
-                    .backward(rnn_cache, grad_features.row(i), rnn_slots);
+                self.rnn.backward_into(
+                    rnn_cache,
+                    grad_features.row(i),
+                    rnn_slots,
+                    grad_embedded,
+                    ws,
+                );
                 self.embedding
-                    .backward(emb_cache, &grad_embedded, &mut emb_slot[0]);
+                    .backward(emb_cache, grad_embedded, &mut emb_slot[0]);
             },
-            |a, b| a.merge(&b),
+            |a, b| a.0.merge(&b.0),
         );
         for (slot, merged) in grads.slots_mut()[..13].iter_mut().zip(seq_grads.slots()) {
             slot.add_assign(merged);
@@ -106,17 +170,21 @@ impl TsbRnn {
         loss.loss
     }
 
-    /// Error probabilities (evaluation mode), parallel across cells.
+    /// Error probabilities (evaluation mode), parallel across cells, each
+    /// worker reusing one scratch bundle (workspace + caches) so a warmed
+    /// worker allocates nothing per cell beyond its feature vector.
     pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
-        let feats: Vec<Vec<f32>> = parallel::parallel_map(cells.len(), |i| {
-            self.encode_one(&data.sequences[cells[i]]).0
-        });
+        let feats: Vec<Vec<f32>> = parallel::parallel_map_with(
+            cells.len(),
+            || self.predict_scratch(),
+            |scratch, i| self.encode_features_into(&data.sequences[cells[i]], scratch),
+        );
         let feat_dim = self.rnn.output_dim();
         let mut features = Matrix::zeros(cells.len(), feat_dim);
         for (row, f) in feats.iter().enumerate() {
             features.row_mut(row).copy_from_slice(f);
         }
-        let logits = self.head.forward_eval(features);
+        let logits = self.head.forward_eval(&features);
         (0..cells.len())
             .map(|r| {
                 let mut row = logits.row(r).to_vec();

@@ -79,6 +79,28 @@ impl Dense {
         )
     }
 
+    /// Inference-only forward into a preallocated matrix: no cache, no
+    /// input clone, no allocation once `out`'s capacity suffices. Bitwise
+    /// identical to the output of [`Dense::forward`].
+    pub fn forward_eval_into(&self, inputs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            inputs.cols(),
+            self.input_dim(),
+            "Dense::forward_eval_into: input width {} != {}",
+            inputs.cols(),
+            self.input_dim()
+        );
+        inputs.matmul_into(&self.w.value, out);
+        let bias = self.b.value.row(0);
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (o, &bi) in row.iter_mut().zip(bias) {
+                *o = self.activation.apply(*o + bi);
+            }
+        }
+        out.assert_finite("dense", "forward(activation)");
+    }
+
     /// Backward a batch: accumulates weight/bias grads into `grads`
     /// (slots `[w, b]` in [`Dense::params`] order), returns the input
     /// gradient (`N x input_dim`).

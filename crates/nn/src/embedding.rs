@@ -18,7 +18,7 @@ pub struct Embedding {
 }
 
 /// Cache produced by [`Embedding::forward`]: the looked-up indices.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct EmbeddingCache {
     ids: Vec<usize>,
 }
@@ -62,6 +62,33 @@ impl Embedding {
             out.row_mut(row).copy_from_slice(self.weights.value.row(id));
         }
         (out, EmbeddingCache { ids: ids.to_vec() })
+    }
+
+    /// Look up `ids` into a preallocated matrix (reshaped in place) — the
+    /// allocation-free inference path. Bitwise identical to
+    /// [`Embedding::forward`]'s output.
+    ///
+    /// # Panics
+    /// If any id is out of vocabulary.
+    pub fn lookup_into(&self, ids: &[usize], out: &mut Matrix) {
+        let dim = self.dim();
+        let vocab = self.vocab_size();
+        out.resize_zeroed(ids.len(), dim);
+        for (row, &id) in ids.iter().enumerate() {
+            assert!(
+                id < vocab,
+                "Embedding: id {id} out of vocabulary (size {vocab})"
+            );
+            out.row_mut(row).copy_from_slice(self.weights.value.row(id));
+        }
+    }
+
+    /// Allocation-free training forward: looks up into `out` and rebuilds
+    /// `cache` in place (its id buffer is recycled across samples).
+    pub fn forward_into(&self, ids: &[usize], out: &mut Matrix, cache: &mut EmbeddingCache) {
+        self.lookup_into(ids, out);
+        cache.ids.clear();
+        cache.ids.extend_from_slice(ids);
     }
 
     /// Accumulate gradients for the rows selected in the cached forward

@@ -13,7 +13,7 @@
 
 use crate::rnn::{split_cell_grads, Recurrence};
 use crate::Param;
-use etsb_tensor::{init, Matrix};
+use etsb_tensor::{init, Matrix, Workspace};
 use rand::rngs::StdRng;
 
 #[inline]
@@ -34,7 +34,7 @@ pub struct GruCell {
 }
 
 /// Cache from [`GruCell::forward_seq`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct GruCache {
     inputs: Matrix,
     /// Activated gates per step, `T x 3·hidden`: `[z, r, n]`.
@@ -133,13 +133,13 @@ impl Recurrence for GruCell {
             "GruCell::backward_seq: grad shape"
         );
         let (gwx, gwh, gb) = split_cell_grads(grads, "GruCell::backward_seq");
-        let mut grad_inputs = Matrix::zeros(t_max, self.input_dim());
         let mut dh_carry = vec![0.0_f32; h];
         // Gradient w.r.t. the pre-activations feeding Wx (dz_x) and the
         // hidden-side products feeding Wh (dz_h): they differ only in the
         // candidate slot, where the hidden path is gated by r.
-        let mut dz_x = vec![0.0_f32; 3 * h];
-        let mut dz_h = vec![0.0_f32; 3 * h];
+        let mut dzx_all = Matrix::zeros(t_max, 3 * h);
+        let mut dzh_all = Matrix::zeros(t_max, 3 * h);
+        let wht = self.wh.value.transpose();
         let zero = vec![0.0_f32; h];
         for t in (0..t_max).rev() {
             let gates = cache.gates.row(t);
@@ -150,6 +150,8 @@ impl Recurrence for GruCell {
                 &zero
             };
             let mut dh_prev_direct = vec![0.0_f32; h];
+            let dz_x = dzx_all.row_mut(t);
+            let dz_h = dzh_all.row_mut(t);
             for j in 0..h {
                 let (z, r, n) = (gates[j], gates[h + j], gates[2 * h + j]);
                 let dh = grad_out.row(t)[j] + dh_carry[j];
@@ -164,18 +166,139 @@ impl Recurrence for GruCell {
                 dz_h[2 * h + j] = dn * r;
                 dh_prev_direct[j] = dh * z;
             }
-            etsb_tensor::add_assign(gb.row_mut(0), &dz_x);
-            gwx.add_outer(1.0, cache.inputs.row(t), &dz_x);
-            if t > 0 {
-                gwh.add_outer(1.0, h_prev, &dz_h);
-            }
-            grad_inputs
-                .row_mut(t)
-                .copy_from_slice(&self.wx.value.matvec(&dz_x));
-            dh_carry = self.wh.value.matvec(&dz_h);
+            etsb_tensor::add_assign(gb.row_mut(0), dzx_all.row(t));
+            dh_carry = wht.vecmat(dzh_all.row(t));
             etsb_tensor::add_assign(&mut dh_carry, &dh_prev_direct);
         }
-        grad_inputs
+        // Weight gradients batched over the whole sequence: bitwise
+        // identical to ascending per-step `add_outer` calls (and therefore
+        // to `backward_seq_into`, which uses the same kernels).
+        let mut col = Vec::new();
+        gwx.add_transposed_matmul(&cache.inputs, 0, &dzx_all, 0, t_max, &mut col);
+        if t_max > 1 {
+            gwh.add_transposed_matmul(&cache.hidden, 0, &dzh_all, 1, t_max - 1, &mut col);
+        }
+        dzx_all.matmul(&self.wx.value.transpose())
+    }
+
+    fn forward_seq_into(&self, inputs: &Matrix, cache: &mut GruCache, ws: &mut Workspace) {
+        let t_max = inputs.rows();
+        assert!(t_max > 0, "GruCell::forward_seq: empty sequence");
+        assert_eq!(
+            inputs.cols(),
+            self.input_dim(),
+            "GruCell: input width mismatch"
+        );
+        let h = self.hidden;
+        cache.inputs.copy_from(inputs);
+        cache.gates.resize_zeroed(t_max, 3 * h);
+        cache.hn.resize_zeroed(t_max, h);
+        cache.hidden.resize_zeroed(t_max, h);
+        let mut zx_all = ws.take_mat("gru.zx_all", 0, 0);
+        inputs.matmul_into(&self.wx.value, &mut zx_all);
+        let mut zh = ws.take_vec("gru.zh", 3 * h);
+        let mut h_prev = ws.take_vec("gru.h_prev", h);
+        for t in 0..t_max {
+            self.wh.value.vecmat_into(&h_prev, &mut zh);
+            let zx = zx_all.row(t);
+            let b = self.b.value.row(0);
+            let g_row = cache.gates.row_mut(t);
+            let hn_row = cache.hn.row_mut(t);
+            for j in 0..h {
+                g_row[j] = sigmoid(zx[j] + zh[j] + b[j]); // z
+                g_row[h + j] = sigmoid(zx[h + j] + zh[h + j] + b[h + j]); // r
+                hn_row[j] = zh[2 * h + j];
+            }
+            for j in 0..h {
+                let n = (zx[2 * h + j] + g_row[h + j] * hn_row[j] + b[2 * h + j]).tanh();
+                g_row[2 * h + j] = n;
+            }
+            let h_row = cache.hidden.row_mut(t);
+            let g_row = cache.gates.row(t);
+            for j in 0..h {
+                let z = g_row[j];
+                h_row[j] = (1.0 - z) * g_row[2 * h + j] + z * h_prev[j];
+            }
+            h_prev.copy_from_slice(h_row);
+        }
+        ws.put_vec("gru.h_prev", h_prev);
+        ws.put_vec("gru.zh", zh);
+        ws.put_mat("gru.zx_all", zx_all);
+    }
+
+    fn seq_output(cache: &GruCache) -> &Matrix {
+        &cache.hidden
+    }
+
+    fn backward_seq_into(
+        &self,
+        cache: &GruCache,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        let t_max = cache.hidden.rows();
+        let h = self.hidden;
+        assert_eq!(
+            grad_out.shape(),
+            (t_max, h),
+            "GruCell::backward_seq_into: grad shape"
+        );
+        let (gwx, gwh, gb) = split_cell_grads(grads, "GruCell::backward_seq_into");
+        let mut dzx_all = ws.take_mat("gru.dzx_all", t_max, 3 * h);
+        let mut dzh_all = ws.take_mat("gru.dzh_all", t_max, 3 * h);
+        let mut wht = ws.take_mat("gru.wht", 0, 0);
+        self.wh.value.transpose_into(&mut wht);
+        let mut dh_carry = ws.take_vec("gru.dh_carry", h);
+        let mut dh_prev_direct = ws.take_vec("gru.dh_prev_direct", h);
+        let zero = ws.take_vec("gru.zero", h);
+        for t in (0..t_max).rev() {
+            let gates = cache.gates.row(t);
+            let hn = cache.hn.row(t);
+            let h_prev: &[f32] = if t > 0 {
+                cache.hidden.row(t - 1)
+            } else {
+                &zero
+            };
+            let dz_x = dzx_all.row_mut(t);
+            let dz_h = dzh_all.row_mut(t);
+            for j in 0..h {
+                let (z, r, n) = (gates[j], gates[h + j], gates[2 * h + j]);
+                let dh = grad_out.row(t)[j] + dh_carry[j];
+                let dz_gate = dh * (h_prev[j] - n) * z * (1.0 - z);
+                let dn = dh * (1.0 - z) * (1.0 - n * n);
+                let dr = dn * hn[j] * r * (1.0 - r);
+                dz_x[j] = dz_gate;
+                dz_x[h + j] = dr;
+                dz_x[2 * h + j] = dn;
+                dz_h[j] = dz_gate;
+                dz_h[h + j] = dr;
+                dz_h[2 * h + j] = dn * r;
+                dh_prev_direct[j] = dh * z;
+            }
+            etsb_tensor::add_assign(gb.row_mut(0), dzx_all.row(t));
+            wht.vecmat_into(dzh_all.row(t), &mut dh_carry);
+            etsb_tensor::add_assign(&mut dh_carry, &dh_prev_direct);
+        }
+        // Weight gradients batched over the whole sequence: bitwise
+        // identical to ascending per-step `add_outer` calls.
+        let mut col = ws.take_vec("gru.col", 0);
+        gwx.add_transposed_matmul(&cache.inputs, 0, &dzx_all, 0, t_max, &mut col);
+        if t_max > 1 {
+            gwh.add_transposed_matmul(&cache.hidden, 0, &dzh_all, 1, t_max - 1, &mut col);
+        }
+        let mut wxt = ws.take_mat("gru.wxt", 0, 0);
+        self.wx.value.transpose_into(&mut wxt);
+        dzx_all.matmul_into(&wxt, grad_inputs);
+        ws.put_mat("gru.wxt", wxt);
+        ws.put_mat("gru.wht", wht);
+        ws.put_vec("gru.col", col);
+        ws.put_vec("gru.zero", zero);
+        ws.put_vec("gru.dh_prev_direct", dh_prev_direct);
+        ws.put_vec("gru.dh_carry", dh_carry);
+        ws.put_mat("gru.dzh_all", dzh_all);
+        ws.put_mat("gru.dzx_all", dzx_all);
     }
 
     fn params(&self) -> Vec<&Param> {

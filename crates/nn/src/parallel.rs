@@ -113,6 +113,48 @@ where
     })
 }
 
+/// Like [`parallel_map`], but each worker thread carries a private scratch
+/// state built by `init` (e.g. an [`etsb_tensor::Workspace`] plus reusable
+/// layer caches), so per-item work can be allocation-free after its first
+/// use. The state is created *inside* each worker, so it only needs to be
+/// constructible, not `Send`. Results come back in index order; the state
+/// never crosses items in observable ways as long as `f` treats it as
+/// scratch (zero-on-acquire workspace buffers guarantee exactly that).
+pub fn parallel_map_with<S, T, F>(n: usize, init: impl Fn() -> S + Sync, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = worker_count(n);
+    if workers <= 1 || n < SPAWN_THRESHOLD {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                let init = &init;
+                scope.spawn(move || {
+                    let mut state = init();
+                    let start = w * chunk;
+                    let end = ((w + 1) * chunk).min(n);
+                    (start..end).map(|i| f(&mut state, i)).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk) => out.extend(chunk),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        out
+    })
+}
+
 /// Fold `f` over `0..n` with deterministic sharding: the range is cut into
 /// [`fold_shards`]`(n)` fixed shards, each shard folds into its own fresh
 /// accumulator from `init`, and shard accumulators are combined with
@@ -218,6 +260,36 @@ mod tests {
     fn map_small_input_uses_serial_path() {
         assert_eq!(parallel_map(3, |i| i + 1), vec![1, 2, 3]);
         assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn map_with_preserves_order() {
+        let out = parallel_map_with(
+            1000,
+            || 0u64,
+            |calls, i| {
+                *calls += 1;
+                i * 3
+            },
+        );
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn map_with_reuses_state_within_a_worker() {
+        // Below the spawn threshold the whole range shares one state.
+        let out = parallel_map_with(
+            50,
+            || 0usize,
+            |calls, _| {
+                *calls += 1;
+                *calls
+            },
+        );
+        assert_eq!(out[49], 50);
     }
 
     #[test]

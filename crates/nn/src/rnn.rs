@@ -16,7 +16,7 @@
 //! needed and inference cost is proportional to actual value lengths.
 
 use crate::Param;
-use etsb_tensor::{init, Matrix};
+use etsb_tensor::{init, Matrix, Workspace};
 use rand::rngs::StdRng;
 
 /// Split a recurrent cell's 3-slot gradient slice into `(wx, wh, b)`,
@@ -40,8 +40,10 @@ pub(crate) fn split_cell_grads<'g>(
 /// ([`RnnCell`], the paper's choice), [`crate::LstmCell`] or
 /// [`crate::GruCell`] (the heavier alternatives §2 argues against).
 pub trait Recurrence: Clone {
-    /// Cache produced by `forward`, consumed by `backward`.
-    type Cache: Clone + std::fmt::Debug;
+    /// Cache produced by `forward`, consumed by `backward`. `Default`
+    /// yields an empty cache that `forward_seq_into` rebuilds in place,
+    /// so one cache allocation serves any number of samples.
+    type Cache: Clone + std::fmt::Debug + Default;
 
     /// Construct a cell with freshly initialized weights.
     fn with_dims(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self;
@@ -60,6 +62,27 @@ pub trait Recurrence: Clone {
     /// gradients accumulated into `grads` (one slot per parameter, in
     /// [`Recurrence::params`] order) + input gradients out.
     fn backward_seq(&self, cache: &Self::Cache, grad_out: &Matrix, grads: &mut [Matrix]) -> Matrix;
+
+    /// Allocation-free forward: rebuild `cache` in place from `inputs`,
+    /// borrowing every scratch buffer from `ws`. Bitwise identical to
+    /// [`Recurrence::forward_seq`]; the output sequence is readable via
+    /// [`Recurrence::seq_output`].
+    fn forward_seq_into(&self, inputs: &Matrix, cache: &mut Self::Cache, ws: &mut Workspace);
+
+    /// The `T x hidden` output sequence a `forward_seq_into` left in `cache`.
+    fn seq_output(cache: &Self::Cache) -> &Matrix;
+
+    /// Allocation-free BPTT companion of [`Recurrence::backward_seq`]:
+    /// input gradients are written into `grad_inputs` (reshaped in place)
+    /// instead of returned. Bitwise identical to `backward_seq`.
+    fn backward_seq_into(
+        &self,
+        cache: &Self::Cache,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    );
 
     /// Parameters in a stable order.
     fn params(&self) -> Vec<&Param>;
@@ -81,7 +104,7 @@ pub struct RnnCell {
 
 /// Cache from [`RnnCell::forward`]: owns the inputs and the hidden-state
 /// sequence (`hidden.row(t)` is `h_t`, which is also the layer output).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RnnCache {
     /// The `T x input_dim` input sequence.
     pub inputs: Matrix,
@@ -141,6 +164,103 @@ impl RnnCell {
         RnnCache { inputs, hidden }
     }
 
+    /// Allocation-free forward: rebuilds `cache` in place, borrowing all
+    /// scratch from `ws`. The input projection for every step is one
+    /// batched matmul (whose rows are bitwise identical to the per-step
+    /// `vecmat` — see `Matrix::accumulate_rows`), so only the recurrent
+    /// product remains per-step. Bitwise identical to [`RnnCell::forward`].
+    pub fn forward_into(&self, inputs: &Matrix, cache: &mut RnnCache, ws: &mut Workspace) {
+        let t_max = inputs.rows();
+        assert!(t_max > 0, "RnnCell::forward: empty sequence");
+        assert_eq!(
+            inputs.cols(),
+            self.input_dim(),
+            "RnnCell::forward: input width {} != cell input dim {}",
+            inputs.cols(),
+            self.input_dim()
+        );
+        let h = self.hidden_dim();
+        cache.inputs.copy_from(inputs);
+        cache.hidden.resize_zeroed(t_max, h);
+        let mut z_all = ws.take_mat("rnn.z_all", 0, 0);
+        inputs.matmul_into(&self.wx.value, &mut z_all);
+        let mut rec = ws.take_vec("rnn.rec", h);
+        let mut prev = ws.take_vec("rnn.prev", h);
+        let b = self.b.value.row(0);
+        for t in 0..t_max {
+            self.wh.value.vecmat_into(&prev, &mut rec);
+            let h_row = cache.hidden.row_mut(t);
+            for (((hj, &zj), &rj), &bj) in h_row.iter_mut().zip(z_all.row(t)).zip(&rec).zip(b) {
+                *hj = (zj + rj + bj).tanh();
+            }
+            prev.copy_from_slice(h_row);
+        }
+        ws.put_vec("rnn.prev", prev);
+        ws.put_vec("rnn.rec", rec);
+        ws.put_mat("rnn.z_all", z_all);
+    }
+
+    /// Allocation-free BPTT: bitwise identical to [`RnnCell::backward`],
+    /// with `grad_inputs` written in place. The per-step `dz` rows are
+    /// staged in one scratch matrix so the input gradient becomes a single
+    /// batched transposed matmul (`dot` is argument-symmetric, so its rows
+    /// match the per-step `matvec` exactly).
+    pub fn backward_into(
+        &self,
+        cache: &RnnCache,
+        grad_hidden: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        let t_max = cache.hidden.rows();
+        let h = self.hidden_dim();
+        assert_eq!(
+            grad_hidden.shape(),
+            (t_max, h),
+            "RnnCell::backward_into: grad shape {:?} != {:?}",
+            grad_hidden.shape(),
+            (t_max, h)
+        );
+        let (gwx, gwh, gb) = split_cell_grads(grads, "RnnCell::backward_into");
+        let mut dz_all = ws.take_mat("rnn.dz_all", t_max, h);
+        let mut carry = ws.take_vec("rnn.carry", h);
+        // Transposing the (small) weights once turns every remaining
+        // product into a row-streaming `accumulate_rows` sweep.
+        let mut wht = ws.take_mat("rnn.wht", 0, 0);
+        self.wh.value.transpose_into(&mut wht);
+        for t in (0..t_max).rev() {
+            let h_t = cache.hidden.row(t);
+            let dz_row = dz_all.row_mut(t);
+            for (((dzj, &g), &c), &ht) in dz_row
+                .iter_mut()
+                .zip(grad_hidden.row(t))
+                .zip(&carry)
+                .zip(h_t)
+            {
+                *dzj = (g + c) * (1.0 - ht * ht);
+            }
+            let dz = dz_all.row(t);
+            etsb_tensor::add_assign(gb.row_mut(0), dz);
+            wht.vecmat_into(dz, &mut carry);
+        }
+        // Weight gradients batched over the whole sequence: bitwise
+        // identical to ascending per-step `add_outer` calls.
+        let mut col = ws.take_vec("rnn.col", 0);
+        gwx.add_transposed_matmul(&cache.inputs, 0, &dz_all, 0, t_max, &mut col);
+        if t_max > 1 {
+            gwh.add_transposed_matmul(&cache.hidden, 0, &dz_all, 1, t_max - 1, &mut col);
+        }
+        let mut wxt = ws.take_mat("rnn.wxt", 0, 0);
+        self.wx.value.transpose_into(&mut wxt);
+        dz_all.matmul_into(&wxt, grad_inputs);
+        ws.put_mat("rnn.wxt", wxt);
+        ws.put_mat("rnn.wht", wht);
+        ws.put_vec("rnn.col", col);
+        ws.put_vec("rnn.carry", carry);
+        ws.put_mat("rnn.dz_all", dz_all);
+    }
+
     /// BPTT. `grad_hidden` is `dL/dh_t` for every step (`T x hidden`);
     /// parameter gradients accumulate into `grads` (slots `wx, wh, b`),
     /// and the gradient with respect to the inputs (`T x input_dim`) is
@@ -156,29 +276,34 @@ impl RnnCell {
             (t_max, h)
         );
         let (gwx, gwh, gb) = split_cell_grads(grads, "RnnCell::backward");
-        let mut grad_inputs = Matrix::zeros(t_max, self.input_dim());
+        let mut dz_all = Matrix::zeros(t_max, h);
         let mut carry = vec![0.0_f32; h]; // dL/dh_t arriving from step t+1
+        let wht = self.wh.value.transpose();
         for t in (0..t_max).rev() {
             let h_t = cache.hidden.row(t);
             // dz_t = (dL/dh_t) * tanh'(z_t), with tanh' = 1 - h_t².
-            let dz: Vec<f32> = grad_hidden
-                .row(t)
-                .iter()
+            let dz_row = dz_all.row_mut(t);
+            for (((dzj, &g), &c), &ht) in dz_row
+                .iter_mut()
+                .zip(grad_hidden.row(t))
                 .zip(&carry)
                 .zip(h_t)
-                .map(|((&g, &c), &ht)| (g + c) * (1.0 - ht * ht))
-                .collect();
-            etsb_tensor::add_assign(gb.row_mut(0), &dz);
-            gwx.add_outer(1.0, cache.inputs.row(t), &dz);
-            if t > 0 {
-                gwh.add_outer(1.0, cache.hidden.row(t - 1), &dz);
+            {
+                *dzj = (g + c) * (1.0 - ht * ht);
             }
-            grad_inputs
-                .row_mut(t)
-                .copy_from_slice(&self.wx.value.matvec(&dz));
-            carry = self.wh.value.matvec(&dz);
+            let dz = dz_all.row(t);
+            etsb_tensor::add_assign(gb.row_mut(0), dz);
+            carry = wht.vecmat(dz);
         }
-        grad_inputs
+        // Weight gradients batched over the whole sequence: bitwise
+        // identical to ascending per-step `add_outer` calls (and therefore
+        // to `backward_into`, which uses the same kernels).
+        let mut col = Vec::new();
+        gwx.add_transposed_matmul(&cache.inputs, 0, &dz_all, 0, t_max, &mut col);
+        if t_max > 1 {
+            gwh.add_transposed_matmul(&cache.hidden, 0, &dz_all, 1, t_max - 1, &mut col);
+        }
+        dz_all.matmul(&self.wx.value.transpose())
     }
 
     /// Parameters in a stable order (for optimizers / checkpoints).
@@ -216,6 +341,26 @@ impl Recurrence for RnnCell {
         self.backward(cache, grad_out, grads)
     }
 
+    fn forward_seq_into(&self, inputs: &Matrix, cache: &mut RnnCache, ws: &mut Workspace) {
+        self.forward_into(inputs, cache, ws);
+    }
+
+    fn seq_output(cache: &RnnCache) -> &Matrix {
+        &cache.hidden
+    }
+
+    // etsb: allow(shape-assert) -- thin delegation; backward_into asserts every shape.
+    fn backward_seq_into(
+        &self,
+        cache: &RnnCache,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        self.backward_into(cache, grad_out, grads, grad_inputs, ws);
+    }
+
     fn params(&self) -> Vec<&Param> {
         RnnCell::params(self)
     }
@@ -229,10 +374,18 @@ impl Recurrence for RnnCell {
 fn reverse_rows(m: &Matrix) -> Matrix {
     let (rows, cols) = m.shape();
     let mut out = Matrix::zeros(rows, cols);
+    reverse_rows_into(m, &mut out);
+    out
+}
+
+/// Time reversal into a preallocated matrix (reshaped in place).
+// etsb: allow(shape-assert) -- `out` is a reshaped sink; there is no shape precondition.
+fn reverse_rows_into(m: &Matrix, out: &mut Matrix) {
+    let rows = m.rows();
+    out.resize_zeroed(rows, m.cols());
     for r in 0..rows {
         out.row_mut(rows - 1 - r).copy_from_slice(m.row(r));
     }
-    out
 }
 
 /// A bidirectional recurrent layer: one forward cell, one backward cell,
@@ -254,6 +407,18 @@ pub struct BiRnnCache<C: Recurrence = RnnCell> {
     /// Backward-cell cache; its rows are in *reversed* time order.
     bwd: C::Cache,
     seq_len: usize,
+}
+
+// Manual impl: a derive would demand `C: Default`, which the cells don't
+// (and shouldn't) provide — only their caches do.
+impl<C: Recurrence> Default for BiRnnCache<C> {
+    fn default() -> Self {
+        Self {
+            fwd: C::Cache::default(),
+            bwd: C::Cache::default(),
+            seq_len: 0,
+        }
+    }
 }
 
 impl<C: Recurrence> BiRnn<C> {
@@ -291,6 +456,41 @@ impl<C: Recurrence> BiRnn<C> {
         }
         out.assert_finite("birnn", "forward(recurrent-activation)");
         (out, BiRnnCache { fwd, bwd, seq_len })
+    }
+
+    /// Allocation-free forward: both directions run through the cells'
+    /// `forward_seq_into`, the concatenated output lands in `out`
+    /// (reshaped in place). Bitwise identical to [`BiRnn::forward`].
+    pub fn forward_into(
+        &self,
+        inputs: &Matrix,
+        out: &mut Matrix,
+        cache: &mut BiRnnCache<C>,
+        ws: &mut Workspace,
+    ) {
+        let seq_len = inputs.rows();
+        assert_eq!(
+            inputs.cols(),
+            self.fwd.input_dim(),
+            "BiRnn::forward_into: input width {} != {}",
+            inputs.cols(),
+            self.fwd.input_dim()
+        );
+        let mut reversed = ws.take_mat("birnn.reversed", 0, 0);
+        reverse_rows_into(inputs, &mut reversed);
+        self.fwd.forward_seq_into(inputs, &mut cache.fwd, ws);
+        self.bwd.forward_seq_into(&reversed, &mut cache.bwd, ws);
+        cache.seq_len = seq_len;
+        let h = self.hidden_dim();
+        out.resize_zeroed(seq_len, 2 * h);
+        let out_fwd = C::seq_output(&cache.fwd);
+        let out_bwd = C::seq_output(&cache.bwd);
+        for t in 0..seq_len {
+            out.row_mut(t)[..h].copy_from_slice(out_fwd.row(t));
+            out.row_mut(t)[h..].copy_from_slice(out_bwd.row(seq_len - 1 - t));
+        }
+        out.assert_finite("birnn", "forward(recurrent-activation)");
+        ws.put_mat("birnn.reversed", reversed);
     }
 
     /// Backward through both directions; `grad_out` is `T x 2·hidden` in
@@ -336,6 +536,56 @@ impl<C: Recurrence> BiRnn<C> {
         grad_inputs
     }
 
+    /// Allocation-free backward: bitwise identical to [`BiRnn::backward`],
+    /// with the input gradient written into `grad_inputs`.
+    pub fn backward_into(
+        &self,
+        cache: &BiRnnCache<C>,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        let t_max = cache.seq_len;
+        let h = self.hidden_dim();
+        assert_eq!(
+            grad_out.shape(),
+            (t_max, 2 * h),
+            "BiRnn::backward_into: grad shape {:?} != {:?}",
+            grad_out.shape(),
+            (t_max, 2 * h)
+        );
+        let n_fwd = self.fwd.params().len();
+        assert_eq!(
+            grads.len(),
+            n_fwd + self.bwd.params().len(),
+            "BiRnn::backward_into: gradient slot count"
+        );
+        let (grads_fwd, grads_bwd) = grads.split_at_mut(n_fwd);
+        let mut grad_fwd = ws.take_mat("birnn.grad_fwd", t_max, h);
+        let mut grad_bwd = ws.take_mat("birnn.grad_bwd", t_max, h);
+        for t in 0..t_max {
+            grad_fwd.row_mut(t).copy_from_slice(&grad_out.row(t)[..h]);
+            grad_bwd
+                .row_mut(t_max - 1 - t)
+                .copy_from_slice(&grad_out.row(t)[h..]);
+        }
+        self.fwd
+            .backward_seq_into(&cache.fwd, &grad_fwd, grads_fwd, grad_inputs, ws);
+        let mut gi_bwd_rev = ws.take_mat("birnn.gi_bwd", 0, 0);
+        self.bwd
+            .backward_seq_into(&cache.bwd, &grad_bwd, grads_bwd, &mut gi_bwd_rev, ws);
+        // grad_inputs[t] += gi_bwd_rev[T-1-t]: same element order as the
+        // allocating path's reverse-then-add.
+        for r in 0..t_max {
+            etsb_tensor::add_assign(grad_inputs.row_mut(t_max - 1 - r), gi_bwd_rev.row(r));
+        }
+        grad_inputs.assert_finite("birnn", "backward(grad-in)");
+        ws.put_mat("birnn.gi_bwd", gi_bwd_rev);
+        ws.put_mat("birnn.grad_bwd", grad_bwd);
+        ws.put_mat("birnn.grad_fwd", grad_fwd);
+    }
+
     /// Parameters of both cells (stable order: fwd then bwd).
     pub fn params(&self) -> Vec<&Param> {
         let mut p = self.fwd.params();
@@ -374,6 +624,16 @@ pub struct StackedBiRnnCache<C: Recurrence = RnnCell> {
     seq_len: usize,
 }
 
+impl<C: Recurrence> Default for StackedBiRnnCache<C> {
+    fn default() -> Self {
+        Self {
+            l1: BiRnnCache::default(),
+            l2: BiRnnCache::default(),
+            seq_len: 0,
+        }
+    }
+}
+
 impl<C: Recurrence> StackedBiRnn<C> {
     /// New two-stacked bidirectional RNN with `hidden` units per direction.
     pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
@@ -404,6 +664,32 @@ impl<C: Recurrence> StackedBiRnn<C> {
         (out, StackedBiRnnCache { l1, l2, seq_len })
     }
 
+    /// Allocation-free encode: the `2·hidden` feature vector is written
+    /// into `out` (typically a row of a shared feature matrix). Bitwise
+    /// identical to [`StackedBiRnn::forward`].
+    pub fn forward_into(
+        &self,
+        inputs: &Matrix,
+        out: &mut [f32],
+        cache: &mut StackedBiRnnCache<C>,
+        ws: &mut Workspace,
+    ) {
+        let seq_len = inputs.rows();
+        let h = self.layer2.hidden_dim();
+        assert_eq!(out.len(), 2 * h, "StackedBiRnn::forward_into: out width");
+        let mut seq1 = ws.take_mat("stacked.seq1", 0, 0);
+        self.layer1
+            .forward_into(inputs, &mut seq1, &mut cache.l1, ws);
+        let mut seq2 = ws.take_mat("stacked.seq2", 0, 0);
+        self.layer2
+            .forward_into(&seq1, &mut seq2, &mut cache.l2, ws);
+        cache.seq_len = seq_len;
+        out[..h].copy_from_slice(&seq2.row(seq_len - 1)[..h]);
+        out[h..].copy_from_slice(&seq2.row(0)[h..]);
+        ws.put_mat("stacked.seq2", seq2);
+        ws.put_mat("stacked.seq1", seq1);
+    }
+
     /// Backward from a gradient on the final feature vector; `grads` holds
     /// one slot per parameter in [`StackedBiRnn::params`] order (layer1
     /// then layer2). Returns the gradient with respect to the input
@@ -429,6 +715,43 @@ impl<C: Recurrence> StackedBiRnn<C> {
         grad_seq2.row_mut(0)[h..].copy_from_slice(&grad_out[h..]);
         let grad_seq1 = self.layer2.backward(&cache.l2, &grad_seq2, grads_l2);
         self.layer1.backward(&cache.l1, &grad_seq1, grads_l1)
+    }
+
+    /// Allocation-free backward: bitwise identical to
+    /// [`StackedBiRnn::backward`], input gradients written into
+    /// `grad_inputs`.
+    pub fn backward_into(
+        &self,
+        cache: &StackedBiRnnCache<C>,
+        grad_out: &[f32],
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        let h = self.layer2.hidden_dim();
+        assert_eq!(
+            grad_out.len(),
+            2 * h,
+            "StackedBiRnn::backward_into: grad width"
+        );
+        let n_l1 = self.layer1.params().len();
+        assert_eq!(
+            grads.len(),
+            n_l1 + self.layer2.params().len(),
+            "StackedBiRnn::backward_into: gradient slot count"
+        );
+        let (grads_l1, grads_l2) = grads.split_at_mut(n_l1);
+        let t_max = cache.seq_len;
+        let mut grad_seq2 = ws.take_mat("stacked.grad_seq2", t_max, 2 * h);
+        grad_seq2.row_mut(t_max - 1)[..h].copy_from_slice(&grad_out[..h]);
+        grad_seq2.row_mut(0)[h..].copy_from_slice(&grad_out[h..]);
+        let mut grad_seq1 = ws.take_mat("stacked.grad_seq1", 0, 0);
+        self.layer2
+            .backward_into(&cache.l2, &grad_seq2, grads_l2, &mut grad_seq1, ws);
+        self.layer1
+            .backward_into(&cache.l1, &grad_seq1, grads_l1, grad_inputs, ws);
+        ws.put_mat("stacked.grad_seq1", grad_seq1);
+        ws.put_mat("stacked.grad_seq2", grad_seq2);
     }
 
     /// All parameters (layer1 then layer2, each fwd then bwd).
@@ -595,6 +918,56 @@ mod tests {
             (numeric - analytic).abs() < 3e-2 * analytic.abs().max(1.0),
             "input grad: numeric {numeric} vs analytic {analytic}"
         );
+    }
+
+    /// The tentpole contract of the workspace rewrite: for every cell
+    /// kind, the `_into` forward/backward produce bit-identical outputs,
+    /// parameter gradients and input gradients — including when the same
+    /// workspace and cache are reused across samples of different lengths.
+    #[test]
+    fn into_paths_are_bitwise_identical_to_allocating_paths() {
+        fn check<C: Recurrence>(seed: u64) {
+            let mut rng = seeded_rng(seed);
+            let net: StackedBiRnn<C> = StackedBiRnn::new(5, 4, &mut rng);
+            let mut ws = Workspace::new();
+            let mut cache_into = StackedBiRnnCache::<C>::default();
+            let mut out_into = vec![0.0_f32; net.output_dim()];
+            let mut gi_into = Matrix::default();
+            // Varying lengths back-to-back: later runs reuse every buffer.
+            for (len, variant) in [(7usize, 0usize), (3, 1), (9, 2)] {
+                let x = Matrix::from_fn(len, 5, |i, j| {
+                    ((i * 5 + j + variant) as f32 * 0.37).sin() * 0.8
+                });
+                let (out_ref, cache_ref) = net.forward(x.clone());
+                net.forward_into(&x, &mut out_into, &mut cache_into, &mut ws);
+                assert_eq!(out_ref, out_into, "forward outputs diverge (len {len})");
+
+                let gseed: Vec<f32> = (0..net.output_dim())
+                    .map(|i| ((i + variant) as f32 * 0.71).cos())
+                    .collect();
+                let mut grads_ref = crate::param::grad_buffer_for(&net.params());
+                let gi_ref = net.backward(&cache_ref, &gseed, grads_ref.slots_mut());
+                let mut grads_into = crate::param::grad_buffer_for(&net.params());
+                net.backward_into(
+                    &cache_into,
+                    &gseed,
+                    grads_into.slots_mut(),
+                    &mut gi_into,
+                    &mut ws,
+                );
+                assert_eq!(gi_ref, gi_into, "input grads diverge (len {len})");
+                for s in 0..grads_ref.len() {
+                    assert_eq!(
+                        grads_ref.slot(s),
+                        grads_into.slot(s),
+                        "grad slot {s} diverges (len {len})"
+                    );
+                }
+            }
+        }
+        check::<RnnCell>(21);
+        check::<crate::GruCell>(22);
+        check::<crate::LstmCell>(23);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Allocation-regression guard for the sequence hot path.
+//!
+//! The whole point of the workspace refactor is that a *warmed*
+//! forward/backward pass over a sequence performs zero heap allocations:
+//! every buffer is either owned by the reusable cache or borrowed from
+//! the per-worker [`Workspace`]. This test pins that property with a
+//! counting global allocator — if someone reintroduces a per-step or
+//! per-sample allocation, the count goes nonzero and the test names it.
+//
+// A test-only global allocator shim is the one legitimate unsafe block in
+// the workspace; the deny-by-default lint stays on everywhere else.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use etsb_nn::{RnnCache, RnnCell};
+use etsb_tensor::{init::seeded_rng, Matrix, Workspace};
+
+/// Counts every allocation (alloc, alloc_zeroed, realloc) while
+/// delegating the actual work to the system allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn warmed_rnn_forward_backward_is_allocation_free() {
+    let mut rng = seeded_rng(7);
+    let (t_max, input_dim, hidden) = (32, 12, 16);
+    let cell = RnnCell::new(input_dim, hidden, &mut rng);
+    let inputs = Matrix::from_fn(t_max, input_dim, |i, j| {
+        ((i * input_dim + j) as f32 * 0.13).sin()
+    });
+    let grad_hidden = Matrix::from_fn(t_max, hidden, |i, j| ((i * hidden + j) as f32 * 0.29).cos());
+
+    let mut ws = Workspace::new();
+    let mut cache = RnnCache::default();
+    let mut grads = vec![
+        Matrix::zeros(input_dim, hidden),
+        Matrix::zeros(hidden, hidden),
+        Matrix::zeros(1, hidden),
+    ];
+    let mut grad_inputs = Matrix::default();
+
+    // Warm-up: every cache / workspace / output buffer reaches its final
+    // capacity here (two rounds so pool put/take cycles settle too).
+    for _ in 0..2 {
+        cell.forward_into(&inputs, &mut cache, &mut ws);
+        cell.backward_into(&cache, &grad_hidden, &mut grads, &mut grad_inputs, &mut ws);
+    }
+
+    let before = allocations();
+    cell.forward_into(&inputs, &mut cache, &mut ws);
+    cell.backward_into(&cache, &grad_hidden, &mut grads, &mut grad_inputs, &mut ws);
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "warmed RnnCell forward+backward heap-allocated {} time(s)",
+        after - before
+    );
+}

@@ -25,6 +25,7 @@ mod grad;
 mod matrix;
 mod ops;
 mod serialize;
+mod workspace;
 
 /// Seeded weight-initialization schemes (uniform, Glorot, recurrent).
 pub mod init;
@@ -38,6 +39,7 @@ pub use ops::{
     softmax_inplace, stddev, sub_assign, tanh_inplace, variance,
 };
 pub use serialize::{decode_matrix, encode_matrix, DecodeError};
+pub use workspace::Workspace;
 
 /// Crate-wide numeric tolerance used by tests and gradient checks.
 pub const EPS: f32 = 1e-5;

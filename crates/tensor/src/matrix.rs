@@ -186,19 +186,134 @@ impl Matrix {
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
-    /// Explicit transpose.
+    /// Explicit transpose, blocked so writes stream through `out`'s rows
+    /// instead of striding the full matrix height on every element.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
-            }
-        }
+        let mut out = Matrix::default();
+        self.transpose_into(&mut out);
         out
     }
 
-    /// `self @ other` — standard matrix product, ikj loop order so the
-    /// inner loop streams both `other`'s and the output's rows.
+    /// [`Matrix::transpose`] written into `out` (reshaped in place) —
+    /// allocation-free once `out`'s capacity has grown to fit.
+    // etsb: allow(shape-assert) -- `out` is a reshaped sink; there is no shape precondition.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.resize_zeroed(self.cols, self.rows);
+        const BLOCK: usize = 32;
+        for ib in (0..self.rows).step_by(BLOCK) {
+            let imax = (ib + BLOCK).min(self.rows);
+            for jb in (0..self.cols).step_by(BLOCK) {
+                let jmax = (jb + BLOCK).min(self.cols);
+                // j outer within the block: the inner i loop writes a
+                // contiguous run of out.row(j).
+                for j in jb..jmax {
+                    for i in ib..imax {
+                        out.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shared accumulation kernel: `out[j] += Σ_k v[k] * self[k][j]`,
+    /// i.e. `out += v @ self`, k-unrolled by eight. Every `vecmat` and
+    /// every `matmul` output row goes through this one function, which is
+    /// what guarantees `a.matmul(&w).row(t)` stays bitwise identical to
+    /// `w.vecmat(a.row(t))` — the batched and per-step sequence paths in
+    /// `etsb-nn` must never diverge.
+    #[inline]
+    fn accumulate_rows(&self, v: &[f32], out: &mut [f32]) {
+        assert_eq!(
+            v.len(),
+            self.rows,
+            "accumulate_rows: {} coefficients vs {} rows",
+            v.len(),
+            self.rows
+        );
+        self.accumulate_rows_from(0, v, out);
+    }
+
+    /// [`Matrix::accumulate_rows`] over the row window starting at
+    /// `start`: `out[j] += Σ_k v[k] * self[start + k][j]`. Same ascending-k
+    /// add order and zero-skip; the window form lets gradient kernels
+    /// align shifted time ranges (e.g. `h_{t-1}` against `dz_t`).
+    #[inline]
+    fn accumulate_rows_from(&self, start: usize, v: &[f32], out: &mut [f32]) {
+        assert!(
+            start + v.len() <= self.rows && out.len() == self.cols,
+            "accumulate_rows_from: window {start}+{} over {} rows / out {} vs {} cols",
+            v.len(),
+            self.rows,
+            out.len(),
+            self.cols
+        );
+        let cols = self.cols;
+        let mut chunks = v.chunks_exact(8);
+        let mut base = start;
+        for ch in &mut chunks {
+            let rows = &self.data[base * cols..(base + 8) * cols];
+            let (r0, rest) = rows.split_at(cols);
+            let (r1, rest) = rest.split_at(cols);
+            let (r2, rest) = rest.split_at(cols);
+            let (r3, rest) = rest.split_at(cols);
+            let (r4, rest) = rest.split_at(cols);
+            let (r5, rest) = rest.split_at(cols);
+            let (r6, r7) = rest.split_at(cols);
+            if ch.iter().all(|&vk| vk != 0.0) {
+                // All-nonzero fast path: fused across eight k's so the
+                // inner loop register-blocks out[j], but the adds stay in
+                // ascending-k order — bitwise identical to the scalar
+                // fallback below.
+                let (v0, v1, v2, v3) = (ch[0], ch[1], ch[2], ch[3]);
+                let (v4, v5, v6, v7) = (ch[4], ch[5], ch[6], ch[7]);
+                let it = out
+                    .iter_mut()
+                    .zip(r0)
+                    .zip(r1)
+                    .zip(r2)
+                    .zip(r3)
+                    .zip(r4)
+                    .zip(r5)
+                    .zip(r6)
+                    .zip(r7);
+                for ((((((((o, &a), &b), &c), &d), &e), &f), &g), &h) in it {
+                    let mut acc = *o;
+                    acc += v0 * a;
+                    acc += v1 * b;
+                    acc += v2 * c;
+                    acc += v3 * d;
+                    acc += v4 * e;
+                    acc += v5 * f;
+                    acc += v6 * g;
+                    acc += v7 * h;
+                    *o = acc;
+                }
+            } else {
+                for (k, &vk) in ch.iter().enumerate() {
+                    if vk == 0.0 {
+                        continue;
+                    }
+                    let r = &rows[k * cols..(k + 1) * cols];
+                    for (o, &m) in out.iter_mut().zip(r) {
+                        *o += vk * m;
+                    }
+                }
+            }
+            base += 8;
+        }
+        for (k, &vk) in chunks.remainder().iter().enumerate() {
+            if vk == 0.0 {
+                continue;
+            }
+            for (o, &m) in out.iter_mut().zip(self.row(base + k)) {
+                *o += vk * m;
+            }
+        }
+    }
+
+    /// `self @ other` — standard matrix product; each output row is one
+    /// `accumulate_rows` sweep, so the inner loop streams both `other`'s
+    /// and the output's rows.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
@@ -207,20 +322,55 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b;
-                }
-            }
+            other.accumulate_rows(self.row(i), out.row_mut(i));
         }
         crate::sanitize::assert_finite("tensor", "matmul", &out.data);
         out
+    }
+
+    /// `self @ other` written into `out`, which is reshaped in place —
+    /// allocation-free once `out`'s capacity has grown to fit.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_into: {}x{} @ {}x{} shape mismatch",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.resize_zeroed(self.rows, other.cols);
+        for i in 0..self.rows {
+            other.accumulate_rows(self.row(i), out.row_mut(i));
+        }
+        crate::sanitize::assert_finite("tensor", "matmul_into", &out.data);
+    }
+
+    /// One output row of `a @ self.T`: `out_row[j] = dot(a_row, self.row(j))`,
+    /// four `self` rows per pass via [`crate::ops::dot4`] (each element
+    /// bitwise equal to its single `dot`).
+    #[inline]
+    fn transposed_row_dots(&self, a_row: &[f32], out_row: &mut [f32]) {
+        assert!(
+            a_row.len() == self.cols && out_row.len() == self.rows,
+            "transposed_row_dots: a_row {} vs {} cols / out_row {} vs {} rows",
+            a_row.len(),
+            self.cols,
+            out_row.len(),
+            self.rows
+        );
+        let mut j = 0;
+        while j + 4 <= self.rows {
+            let r = crate::ops::dot4(
+                a_row,
+                self.row(j),
+                self.row(j + 1),
+                self.row(j + 2),
+                self.row(j + 3),
+            );
+            out_row[j..j + 4].copy_from_slice(&r);
+            j += 4;
+        }
+        for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
+            *o = crate::ops::dot(a_row, self.row(jj));
+        }
     }
 
     /// `self @ other.T` without materializing the transpose.
@@ -232,14 +382,31 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = crate::ops::dot(a_row, other.row(j));
-            }
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            other.transposed_row_dots(a_row, out_row);
         }
         crate::sanitize::assert_finite("tensor", "matmul_transposed", &out.data);
         out
+    }
+
+    /// `self @ other.T` written into `out` (reshaped in place). Each
+    /// element is a [`crate::ops::dot`]; `dot` is argument-symmetric, so
+    /// row `i` of the result is bitwise identical to
+    /// `other.matvec(self.row(i))`.
+    pub fn matmul_transposed_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed_into: {}x{} @ ({}x{})^T shape mismatch",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.resize_zeroed(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            other.transposed_row_dots(a_row, out_row);
+        }
+        crate::sanitize::assert_finite("tensor", "matmul_transposed_into", &out.data);
     }
 
     /// `self.T @ other` without materializing the transpose.
@@ -277,9 +444,41 @@ impl Matrix {
             self.cols,
             v.len()
         );
-        (0..self.rows)
-            .map(|i| crate::ops::dot(self.row(i), v))
-            .collect()
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// `self @ v` written into `out` (cleared and resized; allocation-free
+    /// once `out`'s capacity suffices). Bitwise identical to [`Self::matvec`].
+    pub fn matvec_into(&self, v: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(
+            self.cols,
+            v.len(),
+            "matvec_into: {}x{} @ vec of len {}",
+            self.rows,
+            self.cols,
+            v.len()
+        );
+        out.clear();
+        out.resize(self.rows, 0.0);
+        // Four rows per pass: `dot4` shares the sweep over `v` between four
+        // output elements, each still bitwise equal to its single `dot`.
+        let mut i = 0;
+        while i + 4 <= self.rows {
+            let r = crate::ops::dot4(
+                v,
+                self.row(i),
+                self.row(i + 1),
+                self.row(i + 2),
+                self.row(i + 3),
+            );
+            out[i..i + 4].copy_from_slice(&r);
+            i += 4;
+        }
+        for (j, o) in out.iter_mut().enumerate().skip(i) {
+            *o = crate::ops::dot(self.row(j), v);
+        }
     }
 
     /// Vector–matrix product `v @ self` (i.e. `self.T @ v`), transpose-free.
@@ -293,15 +492,24 @@ impl Matrix {
             self.cols
         );
         let mut out = vec![0.0; self.cols];
-        for (k, &vk) in v.iter().enumerate() {
-            if vk == 0.0 {
-                continue;
-            }
-            for (o, &m) in out.iter_mut().zip(self.row(k)) {
-                *o += vk * m;
-            }
-        }
+        self.accumulate_rows(v, &mut out);
         out
+    }
+
+    /// `v @ self` written into `out` (cleared and resized; allocation-free
+    /// once `out`'s capacity suffices). Bitwise identical to [`Self::vecmat`].
+    pub fn vecmat_into(&self, v: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(
+            self.rows,
+            v.len(),
+            "vecmat_into: vec of len {} @ {}x{}",
+            v.len(),
+            self.rows,
+            self.cols
+        );
+        out.clear();
+        out.resize(self.cols, 0.0);
+        self.accumulate_rows(v, out);
     }
 
     /// Rank-1 update `self += alpha * a b^T`; the outer-product accumulation
@@ -329,6 +537,45 @@ impl Matrix {
             for (o, &bj) in self.row_mut(i).iter_mut().zip(b) {
                 *o += s * bj;
             }
+        }
+    }
+
+    /// Batched outer-product accumulation over a window of matching rows:
+    /// `self[i][j] += Σ_k a[a_start + k][i] * b[b_start + k][j]` for `k`
+    /// in `0..count`. Per output element the additions run in ascending
+    /// `k` with the same zero-skip as [`Matrix::add_outer`], so this is
+    /// bitwise identical to `count` ascending `add_outer(1.0, a.row(..),
+    /// b.row(..))` calls — but register-blocked four steps at a time,
+    /// which is what makes whole-sequence weight-gradient accumulation
+    /// cheap. `col` is caller-owned scratch (one strided column gather per
+    /// output row), recycled across calls.
+    pub fn add_transposed_matmul(
+        &mut self,
+        a: &Matrix,
+        a_start: usize,
+        b: &Matrix,
+        b_start: usize,
+        count: usize,
+        col: &mut Vec<f32>,
+    ) {
+        assert_eq!(
+            self.shape(),
+            (a.cols, b.cols),
+            "add_transposed_matmul: out {:?} vs {}x{}",
+            self.shape(),
+            a.cols,
+            b.cols
+        );
+        assert!(
+            a_start + count <= a.rows && b_start + count <= b.rows,
+            "add_transposed_matmul: window {a_start}/{b_start}+{count} out of {}x{} rows",
+            a.rows,
+            b.rows
+        );
+        for i in 0..self.rows {
+            col.clear();
+            col.extend((0..count).map(|k| a.data[(a_start + k) * a.cols + i]));
+            b.accumulate_rows_from(b_start, col, self.row_mut(i));
         }
     }
 
@@ -432,6 +679,26 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Reshape to `rows x cols` with every element zero, retaining the
+    /// allocation when the existing capacity suffices. The workhorse of
+    /// the `_into` kernels and the scratch [`crate::Workspace`].
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Become an element-wise copy of `other` (shape included), reusing
+    /// the existing allocation when its capacity suffices.
+    // etsb: allow(shape-assert) -- `self` is a reshaped sink; there is no shape precondition.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()
@@ -475,6 +742,14 @@ impl Matrix {
                 .iter()
                 .zip(&other.data)
                 .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix — the placeholder state of reusable caches
+    /// and workspace buffers before their first `resize_zeroed`.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -606,6 +881,126 @@ mod tests {
     fn transpose_involution() {
         let a = Matrix::from_fn(3, 5, |i, j| (i * 7 + j) as f32);
         assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_non_square_exact() {
+        // Shapes chosen to exercise partial blocks on both axes of the
+        // blocked kernel (37 and 53 are not multiples of the block size).
+        let a = Matrix::from_fn(37, 53, |i, j| (i * 100 + j) as f32);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (53, 37));
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert_eq!(t[(j, i)], a[(i, j)], "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    /// Helper: a deterministic matrix with a mix of signs, magnitudes and
+    /// exact zeros (so the zero-skip paths are exercised).
+    fn messy(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            if (i * cols + j).is_multiple_of(7) {
+                0.0
+            } else {
+                ((i * 31 + j * 17) % 23) as f32 * 0.37 - 3.9
+            }
+        })
+    }
+
+    #[test]
+    fn into_variants_are_bitwise_identical_to_allocating_ones() {
+        let a = messy(9, 13);
+        let b = messy(13, 6);
+        let bt = messy(6, 13);
+        let v13: Vec<f32> = (0..13).map(|i| i as f32 * 0.3 - 1.7).collect();
+        let v9: Vec<f32> = (0..9).map(|i| i as f32 * -0.21 + 0.5).collect();
+
+        // Seed the `_into` outputs with garbage to prove they overwrite.
+        let mut m = Matrix::full(2, 2, 7.7);
+        a.matmul_into(&b, &mut m);
+        assert_eq!(m, a.matmul(&b));
+
+        a.matmul_transposed_into(&bt, &mut m);
+        assert_eq!(m, a.matmul_transposed(&bt));
+
+        let mut v = vec![9.9; 3];
+        a.matvec_into(&v13, &mut v);
+        assert_eq!(v, a.matvec(&v13));
+
+        a.vecmat_into(&v9, &mut v);
+        assert_eq!(v, a.vecmat(&v9));
+    }
+
+    /// The batched weight-gradient kernel must be bitwise identical to
+    /// the per-step `add_outer` loop it replaces (ascending step order,
+    /// same zero-skip), on full and shifted row windows, accumulating on
+    /// top of pre-existing gradient content.
+    #[test]
+    fn add_transposed_matmul_matches_per_step_add_outer() {
+        let a = messy(11, 7); // e.g. cached inputs, T x input_dim
+        let b = messy(11, 5); // e.g. dz rows, T x hidden
+        let mut col = Vec::new();
+
+        let mut batched = messy(7, 5); // nonzero start: accumulation, not overwrite
+        let mut looped = batched.clone();
+        batched.add_transposed_matmul(&a, 0, &b, 0, 11, &mut col);
+        for t in 0..11 {
+            looped.add_outer(1.0, a.row(t), b.row(t));
+        }
+        assert_eq!(batched, looped);
+
+        // Shifted window: a rows 0..10 against b rows 1..11 (the
+        // recurrent-weight alignment, h_{t-1} against dz_t).
+        let mut batched = messy(7, 5);
+        let mut looped = batched.clone();
+        batched.add_transposed_matmul(&a, 0, &b, 1, 10, &mut col);
+        for t in 1..11 {
+            looped.add_outer(1.0, a.row(t - 1), b.row(t));
+        }
+        assert_eq!(batched, looped);
+    }
+
+    /// The invariant the sequence layers build on: a batched matmul row
+    /// is bitwise identical to the per-step vecmat of the same row, and a
+    /// batched transposed matmul row is bitwise identical to matvec.
+    #[test]
+    fn batched_rows_match_per_step_kernels_bitwise() {
+        let inputs = messy(11, 9);
+        let w = messy(9, 5);
+        let z_all = inputs.matmul(&w);
+        for t in 0..inputs.rows() {
+            assert_eq!(z_all.row(t), &w.vecmat(inputs.row(t))[..], "row {t}");
+        }
+
+        let dz_all = messy(11, 5);
+        let gi = dz_all.matmul_transposed(&w);
+        for t in 0..dz_all.rows() {
+            assert_eq!(gi.row(t), &w.matvec(dz_all.row(t))[..], "row {t}");
+        }
+    }
+
+    #[test]
+    fn resize_zeroed_and_copy_from_reuse_storage() {
+        let mut m = Matrix::full(4, 4, 3.5);
+        let cap = m.data.capacity();
+        m.resize_zeroed(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(m.data.capacity(), cap, "resize within capacity reallocated");
+
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        assert_eq!(m.data.capacity(), cap, "copy within capacity reallocated");
+    }
+
+    #[test]
+    fn default_matrix_is_empty() {
+        let m = Matrix::default();
+        assert_eq!(m.shape(), (0, 0));
+        assert!(m.is_empty());
     }
 
     #[test]

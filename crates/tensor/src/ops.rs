@@ -14,22 +14,81 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         a.len(),
         b.len()
     );
-    // Manual 4-way unroll: gives the optimizer independent accumulation
-    // chains without needing `-C target-cpu` flags.
-    let mut acc = [0.0_f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let k = i * 4;
-        acc[0] += a[k] * b[k];
-        acc[1] += a[k + 1] * b[k + 1];
-        acc[2] += a[k + 2] * b[k + 2];
-        acc[3] += a[k + 3] * b[k + 3];
+    // Eight independent accumulation chains over bounds-check-free chunks:
+    // wide enough for the optimizer to keep the whole accumulator in one
+    // vector register without needing `-C target-cpu` flags. The reduction
+    // structure is symmetric in `a`/`b`, so `dot(a, b)` is bitwise equal to
+    // `dot(b, a)` — the batched backward kernels rely on that.
+    let mut acc = [0.0_f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        acc[0] += xa[0] * xb[0];
+        acc[1] += xa[1] * xb[1];
+        acc[2] += xa[2] * xb[2];
+        acc[3] += xa[3] * xb[3];
+        acc[4] += xa[4] * xb[4];
+        acc[5] += xa[5] * xb[5];
+        acc[6] += xa[6] * xb[6];
+        acc[7] += xa[7] * xb[7];
     }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for k in chunks * 4..a.len() {
-        sum += a[k] * b[k];
+    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (&xa, &xb) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += xa * xb;
     }
     sum
+}
+
+/// Four dot products sharing one pass over `a`: returns
+/// `[dot(a, b0), dot(a, b1), dot(a, b2), dot(a, b3)]`, each entry bitwise
+/// identical to the corresponding [`dot`] call. Blocking the `b` rows
+/// amortizes the loads of `a` and the loop control across four outputs —
+/// the difference between `matvec`/`matmul_transposed` running at memory
+/// speed and stalling on per-call overhead.
+///
+/// # Panics
+/// If any slice length differs from `a`'s.
+#[inline]
+pub fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    assert!(
+        b0.len() == a.len() && b1.len() == a.len() && b2.len() == a.len() && b3.len() == a.len(),
+        "dot4: length mismatch"
+    );
+    let mut acc0 = [0.0_f32; 8];
+    let mut acc1 = [0.0_f32; 8];
+    let mut acc2 = [0.0_f32; 8];
+    let mut acc3 = [0.0_f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut c0 = b0.chunks_exact(8);
+    let mut c1 = b1.chunks_exact(8);
+    let mut c2 = b2.chunks_exact(8);
+    let mut c3 = b3.chunks_exact(8);
+    for ((((xa, x0), x1), x2), x3) in (&mut ca)
+        .zip(&mut c0)
+        .zip(&mut c1)
+        .zip(&mut c2)
+        .zip(&mut c3)
+    {
+        for j in 0..8 {
+            acc0[j] += xa[j] * x0[j];
+            acc1[j] += xa[j] * x1[j];
+            acc2[j] += xa[j] * x2[j];
+            acc3[j] += xa[j] * x3[j];
+        }
+    }
+    // Same reduction tree as `dot`.
+    let fold = |acc: [f32; 8]| {
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+    };
+    let mut out = [fold(acc0), fold(acc1), fold(acc2), fold(acc3)];
+    let ra = ca.remainder();
+    for (k, &xa) in ra.iter().enumerate() {
+        out[0] += xa * c0.remainder()[k];
+        out[1] += xa * c1.remainder()[k];
+        out[2] += xa * c2.remainder()[k];
+        out[3] += xa * c3.remainder()[k];
+    }
+    out
 }
 
 /// `y += alpha * x`.

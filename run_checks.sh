@@ -20,6 +20,9 @@
 #   7. trace + manifest schema          -- tiny hospital pipeline with
 #                                         ETSB_TRACE=jsonl:... and
 #                                         --manifest, gated by trace_lint
+#   8. bench smoke + schema             -- bench_summary --smoke writes
+#                                         BENCH_hotpath.json, then
+#                                         --validate schema-checks it
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -54,6 +57,10 @@ if [[ "${1:-}" != "fast" ]]; then
         --tuples 5 --epochs 3 --manifest "$tmpdir/manifest.json"
     cargo run -q -p etsb-obs --bin trace_lint -- \
         --trace "$tmpdir/trace.jsonl" --manifest "$tmpdir/manifest.json"
+
+    step "bench smoke + BENCH_hotpath.json schema"
+    cargo run --release -q -p etsb-bench --bin bench_summary -- --smoke
+    cargo run --release -q -p etsb-bench --bin bench_summary -- --validate BENCH_hotpath.json
 fi
 
 printf '\nAll checks passed.\n'

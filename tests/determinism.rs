@@ -238,6 +238,89 @@ fn training_is_bitwise_identical_with_tracing_on() {
     }
 }
 
+/// The memoized prediction path (one forward pass per *unique* cell,
+/// broadcast to duplicates) must be invisible in the output: bitwise
+/// identical to the naive path, at any worker count. Hospital repeats
+/// values heavily, so this exercises real duplicate groups, including
+/// corrupted cells.
+#[test]
+fn memoized_predict_is_bitwise_identical_to_direct() {
+    use etsb_core::encode::EncodedDataset;
+    use etsb_core::model::{memo_key, AnyModel};
+    use etsb_nn::parallel::set_worker_override;
+    use etsb_tensor::init::seeded_rng;
+    use std::collections::HashSet;
+
+    let pair = Dataset::Hospital
+        .generate(&GenConfig {
+            scale: 0.05,
+            seed: 18,
+        })
+        .expect("dataset generation");
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+    let data = EncodedDataset::from_frame(&frame);
+    let cfg = tiny_cfg().train;
+    let cells: Vec<usize> = (0..data.n_cells()).collect();
+
+    // The sample must actually contain duplicates (and corrupted cells)
+    // for this test to mean anything.
+    let unique: HashSet<_> = cells.iter().map(|&c| memo_key(&data, c)).collect();
+    assert!(
+        unique.len() < cells.len(),
+        "hospital sample has no duplicate cells ({} unique of {})",
+        unique.len(),
+        cells.len()
+    );
+    assert!(data.labels.iter().any(|&l| l), "no corrupted cells in play");
+
+    for kind in [ModelKind::Tsb, ModelKind::Etsb] {
+        let model = AnyModel::new(kind, &data, &cfg, &mut seeded_rng(37));
+        set_worker_override(1);
+        let direct_1 = model.predict_probs_direct(&data, &cells);
+        let memo_1 = model.predict_probs(&data, &cells);
+        set_worker_override(4);
+        let direct_4 = model.predict_probs_direct(&data, &cells);
+        let memo_4 = model.predict_probs(&data, &cells);
+        set_worker_override(0);
+        assert_eq!(memo_1, direct_1, "{kind:?}: memoization changed bits");
+        assert_eq!(direct_1, direct_4, "{kind:?}: workers changed direct bits");
+        assert_eq!(memo_1, memo_4, "{kind:?}: workers changed memoized bits");
+    }
+}
+
+/// The memo key must compare the `length_norm` feature by bit pattern:
+/// cells whose floats merely compare equal (`-0.0 == 0.0`) are *not*
+/// merged, because the dense layer could in principle see the sign.
+#[test]
+fn memo_key_compares_length_norm_bits() {
+    use etsb_core::encode::EncodedDataset;
+    use etsb_core::model::memo_key;
+
+    let pair = Dataset::Hospital
+        .generate(&GenConfig {
+            scale: 0.03,
+            seed: 19,
+        })
+        .expect("dataset generation");
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+    let mut data = EncodedDataset::from_frame(&frame);
+    // Make cells 0 and 1 identical in every model input.
+    data.sequences[1] = data.sequences[0].clone();
+    let attr = data.attr_ids[0];
+    data.attr_ids[1] = attr;
+    data.length_norms[0] = 0.0;
+    data.length_norms[1] = 0.0;
+    assert_eq!(memo_key(&data, 0), memo_key(&data, 1));
+    // Same comparison value, different bits: keys must differ.
+    data.length_norms[1] = -0.0;
+    assert_eq!(data.length_norms[0], data.length_norms[1]);
+    assert_ne!(memo_key(&data, 0), memo_key(&data, 1));
+    // And a genuinely different attribute also splits the key.
+    data.length_norms[1] = 0.0;
+    data.attr_ids[1] = attr + 1;
+    assert_ne!(memo_key(&data, 0), memo_key(&data, 1));
+}
+
 #[test]
 fn generator_determinism_extends_to_csv_round_trip() {
     // Serialize → parse → regenerate: everything must line up.
