@@ -1,10 +1,12 @@
 //! Machine-readable hot-path benchmark summary.
 //!
-//! Times the sequence hot path (single-sample StackedBiRnn forward +
-//! backward, 64 units/direction) on three arms — the frozen pre-change
+//! Times the sequence hot path (StackedBiRnn forward + backward, 64
+//! units/direction) on three per-sample arms — the frozen pre-change
 //! implementation ([`etsb_bench::hotpath_baseline`]), the current
-//! allocating reference path, and the workspace `_into` path — then
-//! writes `BENCH_hotpath.json`: a
+//! allocating reference path, and the workspace `_into` path — plus a
+//! train_batch-shaped pair (`batch_forward_backward/*`): a 16-sequence
+//! mixed-length mini-batch through the per-sample workspace loop versus
+//! one timestep-major batched pass. It then writes `BENCH_hotpath.json`: a
 //! JSON array of `{"bench": ..., "mean_ns": ..., "samples": ...}`
 //! entries that `run_checks.sh` schema-validates and CI can trend.
 //! Arms are interleaved round by round and `mean_ns` is an
@@ -18,12 +20,29 @@
 //! ```
 
 use etsb_bench::hotpath_baseline;
-use etsb_nn::{RnnCell, StackedBiRnn, StackedBiRnnCache};
+use etsb_nn::{RnnCell, SeqBatch, StackedBiRnn, StackedBiRnnCache};
 use etsb_obs::json::{self, Value};
 use etsb_tensor::{init, Matrix, Workspace};
 use std::time::Instant;
 
 const LENGTHS: [usize; 3] = [8, 32, 128];
+/// A train_batch-shaped workload: 256 sequences (batch = trainset / 4 in
+/// §5.2) with the short mixed-length profile of real database cells —
+/// airline/city codes, dates, times and numeric ids run 2..=12
+/// characters — so the batched arm exercises length bucketing and batch
+/// shrinkage on the shapes training actually sees, not a rectangular
+/// best case.
+const BATCH_LENGTHS: [usize; 256] = [
+    4, 8, 7, 3, 5, 8, 6, 10, 8, 3, 8, 2, 12, 6, 4, 7, 4, 4, 10, 6, 7, 12, 7, 6, 5, 10, 12, 3, 4,
+    10, 3, 12, 7, 5, 10, 2, 10, 10, 3, 3, 10, 8, 2, 4, 10, 2, 12, 12, 4, 6, 8, 10, 5, 10, 10, 5, 5,
+    10, 10, 8, 6, 3, 5, 3, 2, 3, 6, 4, 4, 10, 5, 10, 10, 12, 4, 5, 7, 12, 5, 8, 5, 7, 8, 5, 8, 4,
+    5, 10, 2, 12, 4, 8, 10, 10, 3, 10, 12, 5, 7, 8, 8, 3, 10, 10, 4, 10, 12, 8, 4, 4, 3, 3, 6, 12,
+    10, 6, 3, 5, 10, 3, 5, 3, 2, 4, 5, 10, 5, 12, 3, 2, 8, 8, 10, 2, 5, 10, 8, 5, 7, 4, 7, 4, 2, 4,
+    2, 3, 3, 8, 7, 2, 4, 5, 4, 8, 4, 3, 10, 2, 12, 5, 5, 5, 3, 12, 5, 5, 6, 12, 7, 5, 10, 12, 8,
+    10, 7, 3, 8, 10, 7, 4, 5, 10, 10, 10, 4, 4, 5, 4, 7, 4, 7, 5, 2, 10, 5, 8, 5, 2, 5, 8, 8, 10,
+    3, 2, 10, 10, 5, 6, 5, 10, 5, 8, 10, 4, 10, 6, 2, 8, 2, 10, 2, 5, 4, 10, 6, 4, 8, 8, 5, 3, 5,
+    3, 5, 10, 5, 12, 8, 4, 4, 10, 5, 3, 10, 12, 2, 8, 10, 10, 3, 4, 7, 4, 10, 10, 4, 4,
+];
 const EMBED_DIM: usize = 86; // Beers alphabet
 const HIDDEN: usize = 64;
 const DEFAULT_SAMPLES: usize = 20;
@@ -152,6 +171,8 @@ fn run(samples: usize) {
         });
     }
 
+    bench_batch(&net, samples, &mut results, &mut rng);
+
     let entries: Vec<Value> = results
         .iter()
         .map(|r| {
@@ -170,6 +191,106 @@ fn run(samples: usize) {
     println!("wrote {OUT_FILE}");
 }
 
+/// Benchmark a whole mini-batch through the stack: the per-sample
+/// workspace loop (the former hot path) against one timestep-major
+/// batched pass over the same sequences. Arms are interleaved round by
+/// round like the per-sample benches, and the first round warms every
+/// buffer pool before measurement starts.
+fn bench_batch(
+    net: &StackedBiRnn<RnnCell>,
+    samples: usize,
+    results: &mut Vec<BenchResult>,
+    rng: &mut rand::rngs::StdRng,
+) {
+    let batch = SeqBatch::from_lengths(&BATCH_LENGTHS);
+    let n = batch.n_samples();
+    let inputs: Vec<Matrix> = BATCH_LENGTHS
+        .iter()
+        .map(|&len| init::glorot_uniform(len, EMBED_DIM, rng))
+        .collect();
+    let mut packed = Matrix::zeros(batch.total_rows(), EMBED_DIM);
+    for (orig, input) in inputs.iter().enumerate() {
+        let slot = batch.slot_of(orig);
+        for t in 0..input.rows() {
+            packed
+                .row_mut(batch.row(slot, t))
+                .copy_from_slice(input.row(t));
+        }
+    }
+    let grad_features = Matrix::from_fn(n, net.output_dim(), |_, _| 1.0);
+    let grad_out = vec![1.0_f32; net.output_dim()];
+    let mut grads = etsb_nn::grad_buffer_for(&net.params());
+
+    // Per-sample arm state.
+    let mut ws_s = Workspace::new();
+    let mut caches: Vec<StackedBiRnnCache<RnnCell>> =
+        (0..n).map(|_| StackedBiRnnCache::default()).collect();
+    let mut feat = vec![0.0_f32; net.output_dim()];
+    let mut grad_inputs = Matrix::default();
+
+    // Batched arm state.
+    let mut ws_b = Workspace::new();
+    let mut bcache = StackedBiRnnCache::<RnnCell>::default();
+    let mut features = Matrix::default();
+    let mut grad_packed = Matrix::default();
+
+    let mut per_sample_ns = Vec::with_capacity(samples);
+    let mut batched_ns = Vec::with_capacity(samples);
+    for round in 0..=samples {
+        let t = Instant::now();
+        for (input, cache) in inputs.iter().zip(&mut caches) {
+            net.forward_into(input, &mut feat, cache, &mut ws_s);
+            std::hint::black_box(&feat);
+        }
+        for cache in &caches {
+            net.backward_into(
+                cache,
+                &grad_out,
+                grads.slots_mut(),
+                &mut grad_inputs,
+                &mut ws_s,
+            );
+        }
+        std::hint::black_box(&grad_inputs);
+        let per_sample = t.elapsed().as_nanos() as f64;
+
+        let t = Instant::now();
+        net.forward_batch_into(&packed, &batch, &mut features, &mut bcache, &mut ws_b);
+        std::hint::black_box(&features);
+        net.backward_batch_into(
+            &batch,
+            &bcache,
+            &grad_features,
+            grads.slots_mut(),
+            &mut grad_packed,
+            &mut ws_b,
+        );
+        std::hint::black_box(&grad_packed);
+        let batched = t.elapsed().as_nanos() as f64;
+
+        if round > 0 {
+            per_sample_ns.push(per_sample);
+            batched_ns.push(batched);
+        }
+    }
+    let per_sample = trimmed_mean(&mut per_sample_ns);
+    let batched = trimmed_mean(&mut batched_ns);
+    println!(
+        "batch_forward_backward/B{n}  workspace {per_sample:>12.0} ns   batched {batched:>12.0} ns   speedup(vs per-sample) {:>5.2}x",
+        per_sample / batched
+    );
+    results.push(BenchResult {
+        bench: format!("batch_forward_backward/workspace/B{n}"),
+        mean_ns: per_sample,
+        samples,
+    });
+    results.push(BenchResult {
+        bench: format!("batch_forward_backward/batched/B{n}"),
+        mean_ns: batched,
+        samples,
+    });
+}
+
 /// Interquartile mean of the samples: drops the fastest and slowest
 /// quarter, averages the middle half. Robust to one-off scheduler or
 /// frequency-scaling spikes while still being a mean, not a single
@@ -184,7 +305,9 @@ fn trimmed_mean(samples: &mut [f64]) -> f64 {
 
 /// Schema-check a summary file: a non-empty JSON array whose entries
 /// carry a string `bench`, a positive finite `mean_ns` and a positive
-/// integer `samples`.
+/// integer `samples`, covering both the per-sample
+/// (`seq_forward_backward/`) and batched (`batch_forward_backward/`)
+/// arm families.
 fn validate(path: &str) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let value = json::parse(&text).map_err(|e| format!("invalid JSON: {e:?}"))?;
@@ -214,6 +337,16 @@ fn validate(path: &str) -> Result<usize, String> {
             return Err(format!(
                 "entry {i} ({bench}): samples {samples} not a positive integer"
             ));
+        }
+    }
+    for prefix in ["seq_forward_backward/", "batch_forward_backward/"] {
+        let covered = entries.iter().any(|e| {
+            e.get("bench")
+                .and_then(Value::as_str)
+                .is_some_and(|b| b.starts_with(prefix))
+        });
+        if !covered {
+            return Err(format!("no benchmark entries under '{prefix}'"));
         }
     }
     Ok(entries.len())

@@ -4,29 +4,39 @@
 //! 1. characters → embedding → two-stacked BiRNN (64 units/direction),
 //! 2. attribute id → embedding → two-stacked BiRNN (8 units/direction),
 //! 3. `length_norm` scalar → Dense(64, ReLU).
+//!
+//! Both recurrent paths run batch-major (see [`SeqBatch`] and the module
+//! docs on [`super::tsb`]): each deterministic fold shard packs its cells
+//! into one length-bucketed batch per path — the attribute path is a
+//! rectangular batch of length-1 sequences — so the whole shard moves
+//! through the batched kernels at once, bitwise identical to the
+//! per-sample workspace path.
 
 use super::{AnyStacked, AnyStackedCache, Head};
 use crate::config::TrainConfig;
 use crate::encode::EncodedDataset;
-use etsb_nn::{
-    parallel, softmax_cross_entropy, Activation, Dense, Embedding, EmbeddingCache, Param,
-};
+use etsb_nn::{parallel, softmax_cross_entropy, Activation, Dense, Embedding, Param, SeqBatch};
 use etsb_tensor::{GradBuffer, Matrix, Workspace};
 use rand::rngs::StdRng;
 
-/// A per-path forward cache: embedding lookup + recurrent stack.
-type PathCache = (EmbeddingCache, AnyStackedCache);
+/// A per-path forward cache: embedding lookup + recurrent stack (the
+/// per-sample reference path, kept for the bitwise-equivalence tests).
+#[cfg(test)]
+type PathCache = (etsb_nn::EmbeddingCache, AnyStackedCache);
 
-/// Worker-local scratch for the inference path: one bundle per worker
-/// thread, recycled across the cells that worker scores.
-struct PredictScratch {
-    ws: Workspace,
-    rnn_cache: AnyStackedCache,
-    attr_rnn_cache: AnyStackedCache,
-    emb_cache: EmbeddingCache,
-    attr_emb_cache: EmbeddingCache,
-    embedded: Matrix,
-    attr_embedded: Matrix,
+/// One shard of a batch, encoded batch-major on both recurrent paths.
+struct ShardEnc {
+    /// Character-path packed layout; `None` for an empty trailing shard.
+    sb: Option<SeqBatch>,
+    /// Attribute-path packed layout (rectangular: every cell contributes
+    /// one length-1 sequence of its attribute id).
+    attr_sb: Option<SeqBatch>,
+    cache: AnyStackedCache,
+    attr_cache: AnyStackedCache,
+    /// `n_shard x char_dim`, shard-local original order.
+    feats: Matrix,
+    /// `n_shard x attr_dim`, shard-local original order.
+    attr_feats: Matrix,
 }
 
 /// The Enriched Two-Stacked Bidirectional RNN model.
@@ -77,10 +87,10 @@ impl EtsbRnn {
         self.char_dim + self.attr_dim + self.len_dim
     }
 
-    /// Character + attribute features for one cell (the length path runs
-    /// batched because it is a plain dense layer). Scratch comes from the
-    /// worker-local workspace; the returned caches are fresh because the
-    /// backward pass needs them after the forward barrier.
+    /// Per-sample reference encoder for the bitwise-equivalence tests:
+    /// character + attribute features for one cell through the per-sample
+    /// workspace path.
+    #[cfg(test)]
     fn encode_seq_paths_into(
         &self,
         seq: &[usize],
@@ -89,13 +99,13 @@ impl EtsbRnn {
         embedded: &mut Matrix,
         attr_embedded: &mut Matrix,
     ) -> (Vec<f32>, Vec<f32>, PathCache, PathCache) {
-        let mut emb_cache = EmbeddingCache::default();
+        let mut emb_cache = etsb_nn::EmbeddingCache::default();
         self.embedding.forward_into(seq, embedded, &mut emb_cache);
         let mut rnn_cache = self.rnn.empty_cache();
         let mut char_feat = vec![0.0_f32; self.char_dim];
         self.rnn
             .forward_into(embedded, &mut char_feat, &mut rnn_cache, ws);
-        let mut attr_emb_cache = EmbeddingCache::default();
+        let mut attr_emb_cache = etsb_nn::EmbeddingCache::default();
         self.attr_embedding
             .forward_into(&[attr], attr_embedded, &mut attr_emb_cache);
         let mut attr_rnn_cache = self.attr_rnn.empty_cache();
@@ -110,44 +120,49 @@ impl EtsbRnn {
         )
     }
 
-    /// Both sequence-path feature vectors for one cell, inference mode:
-    /// every cache is worker-local and recycled.
-    fn encode_features_into(
-        &self,
-        seq: &[usize],
-        attr: usize,
-        state: &mut PredictScratch,
-    ) -> (Vec<f32>, Vec<f32>) {
-        let PredictScratch {
-            ws,
-            rnn_cache,
-            attr_rnn_cache,
-            emb_cache,
-            attr_emb_cache,
-            embedded,
-            attr_embedded,
-        } = state;
-        self.embedding.forward_into(seq, embedded, emb_cache);
-        let mut char_feat = vec![0.0_f32; self.char_dim];
-        self.rnn
-            .forward_into(embedded, &mut char_feat, rnn_cache, ws);
-        self.attr_embedding
-            .forward_into(&[attr], attr_embedded, attr_emb_cache);
-        let mut attr_feat = vec![0.0_f32; self.attr_dim];
-        self.attr_rnn
-            .forward_into(attr_embedded, &mut attr_feat, attr_rnn_cache, ws);
-        (char_feat, attr_feat)
-    }
-
-    fn predict_scratch(&self) -> PredictScratch {
-        PredictScratch {
-            ws: Workspace::new(),
-            rnn_cache: self.rnn.empty_cache(),
-            attr_rnn_cache: self.attr_rnn.empty_cache(),
-            emb_cache: EmbeddingCache::default(),
-            attr_emb_cache: EmbeddingCache::default(),
-            embedded: Matrix::default(),
-            attr_embedded: Matrix::default(),
+    /// Encode one shard of cells batch-major on both recurrent paths.
+    /// The returned caches retain the packed activations for the backward
+    /// pass; feature row `r` belongs to `cells[r]`.
+    fn encode_shard(&self, data: &EncodedDataset, cells: &[usize]) -> ShardEnc {
+        let mut cache = self.rnn.empty_cache();
+        let mut attr_cache = self.attr_rnn.empty_cache();
+        let mut feats = Matrix::default();
+        let mut attr_feats = Matrix::default();
+        let (sb, attr_sb) = if cells.is_empty() {
+            (None, None)
+        } else {
+            let mut ws = Workspace::new();
+            let mut packed = Matrix::default();
+            let lengths: Vec<usize> = cells.iter().map(|&c| data.sequences[c].len()).collect();
+            let sb = SeqBatch::from_lengths(&lengths);
+            let seqs: Vec<&[usize]> = cells
+                .iter()
+                .map(|&c| data.sequences[c].as_slice())
+                .collect();
+            self.embedding.lookup_batch_into(&sb, &seqs, &mut packed);
+            self.rnn
+                .forward_batch_into(&packed, &sb, &mut feats, &mut cache, &mut ws);
+            let attr_sb = SeqBatch::from_lengths(&vec![1; cells.len()]);
+            let attr_store: Vec<[usize; 1]> = cells.iter().map(|&c| [data.attr_ids[c]]).collect();
+            let attr_seqs: Vec<&[usize]> = attr_store.iter().map(|a| a.as_slice()).collect();
+            self.attr_embedding
+                .lookup_batch_into(&attr_sb, &attr_seqs, &mut packed);
+            self.attr_rnn.forward_batch_into(
+                &packed,
+                &attr_sb,
+                &mut attr_feats,
+                &mut attr_cache,
+                &mut ws,
+            );
+            (Some(sb), Some(attr_sb))
+        };
+        ShardEnc {
+            sb,
+            attr_sb,
+            cache,
+            attr_cache,
+            feats,
+            attr_feats,
         }
     }
 
@@ -155,10 +170,11 @@ impl EtsbRnn {
     ///
     /// `grads` has 34 slots in [`EtsbRnn::params`] order: char path
     /// (1 + 12), attribute path (1 + 12), length dense (2), head (6).
-    /// Per-sample sequence paths (char + attribute) shard across threads;
-    /// the batch-coupled length dense and head stay on merged batch
-    /// matrices. Per-thread accumulators merge in a fixed shard order, so
-    /// the result is bitwise-identical for any worker count.
+    /// Both recurrent paths run batch-major, one packed batch per
+    /// deterministic fold shard; the batch-coupled length dense and head
+    /// stay on merged batch matrices. Per-shard gradient buffers merge in
+    /// fixed shard order, so the result is bitwise identical to the
+    /// per-sample workspace path for any worker count.
     pub fn train_batch(
         &mut self,
         data: &EncodedDataset,
@@ -171,37 +187,34 @@ impl EtsbRnn {
         let forward_span = etsb_obs::obs_span!("forward", "samples" => n);
         let mut features = Matrix::zeros(n, self.feature_dim());
 
-        // Length path (batched).
+        // Length path (batched dense).
         let len_inputs = Matrix::from_fn(n, 1, |r, _| data.length_norms[batch[r]]);
         let (len_feats, len_cache) = self.len_dense.forward(len_inputs);
 
-        // Per-sample sequence paths are independent: shard them, each
-        // worker reusing one workspace + embedding buffers across its
-        // samples (zero-on-acquire scratch keeps results identical to the
-        // allocating path bit for bit).
-        let encoded = parallel::parallel_map_with(
-            n,
-            || (Workspace::new(), Matrix::default(), Matrix::default()),
-            |(ws, embedded, attr_embedded), i| {
-                let cell = batch[i];
-                self.encode_seq_paths_into(
-                    &data.sequences[cell],
-                    data.attr_ids[cell],
-                    ws,
-                    embedded,
-                    attr_embedded,
-                )
-            },
-        );
-        let mut char_caches = Vec::with_capacity(n);
-        let mut attr_caches = Vec::with_capacity(n);
-        for (row, (char_feat, attr_feat, cc, ac)) in encoded.into_iter().enumerate() {
-            let out = features.row_mut(row);
-            out[..self.char_dim].copy_from_slice(&char_feat);
-            out[self.char_dim..self.char_dim + self.attr_dim].copy_from_slice(&attr_feat);
-            out[self.char_dim + self.attr_dim..].copy_from_slice(len_feats.row(row));
-            char_caches.push(cc);
-            attr_caches.push(ac);
+        // Both sequence paths, batch-major per shard.
+        let encs =
+            parallel::parallel_map_shards(n, |_, range| self.encode_shard(data, &batch[range]));
+        let mut row = 0usize;
+        for enc in &encs {
+            for r in 0..enc.feats.rows() {
+                let out = features.row_mut(row);
+                out[..self.char_dim].copy_from_slice(enc.feats.row(r));
+                out[self.char_dim..self.char_dim + self.attr_dim]
+                    .copy_from_slice(enc.attr_feats.row(r));
+                out[self.char_dim + self.attr_dim..].copy_from_slice(len_feats.row(row));
+                row += 1;
+            }
+        }
+        if etsb_obs::enabled() {
+            let (rows, steps) = encs
+                .iter()
+                .filter_map(|e| e.sb.as_ref())
+                .fold((0usize, 0usize), |(rows, steps), sb| {
+                    (rows + sb.total_rows(), steps + sb.t_max())
+                });
+            if steps > 0 {
+                etsb_obs::gauge("batch_occupancy", rows as f64 / steps as f64);
+            }
         }
 
         let labels: Vec<usize> = batch.iter().map(|&c| usize::from(data.labels[c])).collect();
@@ -216,52 +229,81 @@ impl EtsbRnn {
             &mut grads.slots_mut()[28..34],
         );
 
-        // Sequence-path backward shards over per-sample work; each thread
-        // fills its own buffer over slots 0..26 (char path then attribute
-        // path), merged deterministically in shard order.
+        // Batched sequence-path backward, one shard per packed batch;
+        // shard buffers over slots 0..26 (char path then attribute path)
+        // merge in fixed shard order, empty trailing shards contributing
+        // zeroed buffers exactly like the per-sample fold.
         let seq_shapes: Vec<(usize, usize)> = self.params()[..26]
             .iter()
             .map(|p| p.value.shape())
             .collect();
         let (char_dim, attr_dim) = (self.char_dim, self.attr_dim);
-        let (seq_grads, ..) = parallel::parallel_fold(
-            n,
-            || {
-                (
-                    GradBuffer::from_shapes(seq_shapes.iter().copied()),
-                    Workspace::new(),
-                    Matrix::default(),
-                    Matrix::default(),
-                )
-            },
-            |(acc, ws, grad_embedded, grad_attr_embedded), i| {
+        let shard_grads = parallel::parallel_map_shards(n, |s, range| {
+            let mut acc = GradBuffer::from_shapes(seq_shapes.iter().copied());
+            let mut ws_bytes = 0usize;
+            if let (Some(sb), Some(attr_sb)) = (&encs[s].sb, &encs[s].attr_sb) {
+                let mut ws = Workspace::new();
+                let m = range.len();
+                let mut gf = Matrix::zeros(m, char_dim);
+                let mut attr_gf = Matrix::zeros(m, attr_dim);
+                for (r, orig) in range.clone().enumerate() {
+                    let g = grad_features.row(orig);
+                    gf.row_mut(r).copy_from_slice(&g[..char_dim]);
+                    attr_gf
+                        .row_mut(r)
+                        .copy_from_slice(&g[char_dim..char_dim + attr_dim]);
+                }
                 let (char_part, attr_part) = acc.slots_mut().split_at_mut(13);
                 let (emb_slot, rnn_slots) = char_part.split_at_mut(1);
                 let (attr_emb_slot, attr_rnn_slots) = attr_part.split_at_mut(1);
-                let (emb_cache, rnn_cache) = &char_caches[i];
-                let (attr_emb_cache, attr_rnn_cache) = &attr_caches[i];
-                let g = grad_features.row(i);
-                self.rnn
-                    .backward_into(rnn_cache, &g[..char_dim], rnn_slots, grad_embedded, ws);
-                self.embedding
-                    .backward(emb_cache, grad_embedded, &mut emb_slot[0]);
-                self.attr_rnn.backward_into(
-                    attr_rnn_cache,
-                    &g[char_dim..char_dim + attr_dim],
-                    attr_rnn_slots,
-                    grad_attr_embedded,
-                    ws,
+                let mut grad_packed = Matrix::default();
+                self.rnn.backward_batch_into(
+                    sb,
+                    &encs[s].cache,
+                    &gf,
+                    rnn_slots,
+                    &mut grad_packed,
+                    &mut ws,
                 );
-                self.attr_embedding.backward(
-                    attr_emb_cache,
-                    grad_attr_embedded,
+                let seqs: Vec<&[usize]> = batch[range.clone()]
+                    .iter()
+                    .map(|&c| data.sequences[c].as_slice())
+                    .collect();
+                self.embedding
+                    .backward_batch(sb, &seqs, &grad_packed, &mut emb_slot[0]);
+                self.attr_rnn.backward_batch_into(
+                    attr_sb,
+                    &encs[s].attr_cache,
+                    &attr_gf,
+                    attr_rnn_slots,
+                    &mut grad_packed,
+                    &mut ws,
+                );
+                let attr_store: Vec<[usize; 1]> =
+                    batch[range].iter().map(|&c| [data.attr_ids[c]]).collect();
+                let attr_seqs: Vec<&[usize]> = attr_store.iter().map(|a| a.as_slice()).collect();
+                self.attr_embedding.backward_batch(
+                    attr_sb,
+                    &attr_seqs,
+                    &grad_packed,
                     &mut attr_emb_slot[0],
                 );
-            },
-            |a, b| a.0.merge(&b.0),
-        );
-        for (slot, merged) in grads.slots_mut()[..26].iter_mut().zip(seq_grads.slots()) {
-            slot.add_assign(merged);
+                ws_bytes = ws.pooled_bytes();
+            }
+            (acc, ws_bytes)
+        });
+        if etsb_obs::enabled() {
+            let bytes: usize = shard_grads.iter().map(|(_, b)| b).sum();
+            etsb_obs::gauge("workspace_bytes", bytes as f64);
+        }
+        let mut iter = shard_grads.into_iter().map(|(acc, _)| acc);
+        if let Some(mut total) = iter.next() {
+            for b in iter {
+                total.merge(&b);
+            }
+            for (slot, merged) in grads.slots_mut()[..26].iter_mut().zip(total.slots()) {
+                slot.add_assign(merged);
+            }
         }
 
         // Length path gradient on the merged batch matrix (slots 26..28).
@@ -277,27 +319,26 @@ impl EtsbRnn {
         loss.loss
     }
 
-    /// Error probabilities (evaluation mode), parallel across cells, each
-    /// worker reusing one scratch bundle (workspace + caches) so a warmed
-    /// worker allocates nothing per cell beyond its feature vectors.
+    /// Error probabilities (evaluation mode), batch-major: each fold shard
+    /// of the requested cells packs into one batch per recurrent path, so
+    /// inference shares the training hot path.
     pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
-        let seq_feats: Vec<(Vec<f32>, Vec<f32>)> = parallel::parallel_map_with(
-            cells.len(),
-            || self.predict_scratch(),
-            |scratch, i| {
-                let cell = cells[i];
-                self.encode_features_into(&data.sequences[cell], data.attr_ids[cell], scratch)
-            },
-        );
         let n = cells.len();
+        let encs =
+            parallel::parallel_map_shards(n, |_, range| self.encode_shard(data, &cells[range]));
         let len_inputs = Matrix::from_fn(n, 1, |r, _| data.length_norms[cells[r]]);
         let (len_feats, _) = self.len_dense.forward(len_inputs);
         let mut features = Matrix::zeros(n, self.feature_dim());
-        for (row, (char_feat, attr_feat)) in seq_feats.iter().enumerate() {
-            let out = features.row_mut(row);
-            out[..self.char_dim].copy_from_slice(char_feat);
-            out[self.char_dim..self.char_dim + self.attr_dim].copy_from_slice(attr_feat);
-            out[self.char_dim + self.attr_dim..].copy_from_slice(len_feats.row(row));
+        let mut row = 0usize;
+        for enc in &encs {
+            for r in 0..enc.feats.rows() {
+                let out = features.row_mut(row);
+                out[..self.char_dim].copy_from_slice(enc.feats.row(r));
+                out[self.char_dim..self.char_dim + self.attr_dim]
+                    .copy_from_slice(enc.attr_feats.row(r));
+                out[self.char_dim + self.attr_dim..].copy_from_slice(len_feats.row(row));
+                row += 1;
+            }
         }
         let logits = self.head.forward_eval(&features);
         (0..n)
@@ -365,6 +406,139 @@ mod tests {
             length_dense_dim: 4,
             ..Default::default()
         }
+    }
+
+    /// The pre-batching ETSB training step, reproduced exactly: per-sample
+    /// workspace forward/backward on both recurrent paths, sharded with
+    /// [`parallel::fold_shards`] boundaries and merged in shard order.
+    fn reference_train_batch(
+        model: &mut EtsbRnn,
+        data: &EncodedDataset,
+        batch: &[usize],
+        grads: &mut GradBuffer,
+    ) -> f32 {
+        let n = batch.len();
+        let mut features = Matrix::zeros(n, model.feature_dim());
+        let len_inputs = Matrix::from_fn(n, 1, |r, _| data.length_norms[batch[r]]);
+        let (len_feats, len_cache) = model.len_dense.forward(len_inputs);
+        let mut ws = Workspace::new();
+        let (mut embedded, mut attr_embedded) = (Matrix::default(), Matrix::default());
+        let mut char_caches = Vec::with_capacity(n);
+        let mut attr_caches = Vec::with_capacity(n);
+        for (row, &cell) in batch.iter().enumerate() {
+            let (char_feat, attr_feat, cc, ac) = model.encode_seq_paths_into(
+                &data.sequences[cell],
+                data.attr_ids[cell],
+                &mut ws,
+                &mut embedded,
+                &mut attr_embedded,
+            );
+            let out = features.row_mut(row);
+            out[..model.char_dim].copy_from_slice(&char_feat);
+            out[model.char_dim..model.char_dim + model.attr_dim].copy_from_slice(&attr_feat);
+            out[model.char_dim + model.attr_dim..].copy_from_slice(len_feats.row(row));
+            char_caches.push(cc);
+            attr_caches.push(ac);
+        }
+        let labels: Vec<usize> = batch.iter().map(|&c| usize::from(data.labels[c])).collect();
+        let (logits, head_cache) = model.head.forward_train(features);
+        let loss = softmax_cross_entropy(&logits, &labels);
+        let grad_features = model.head.backward(
+            &head_cache,
+            &loss.grad_logits,
+            &mut grads.slots_mut()[28..34],
+        );
+        let shards = parallel::fold_shards(n);
+        let chunk = n.div_ceil(shards);
+        let seq_shapes: Vec<(usize, usize)> = model.params()[..26]
+            .iter()
+            .map(|p| p.value.shape())
+            .collect();
+        let (char_dim, attr_dim) = (model.char_dim, model.attr_dim);
+        let mut bufs = Vec::new();
+        for s in 0..shards {
+            let mut acc = GradBuffer::from_shapes(seq_shapes.iter().copied());
+            let mut ws = Workspace::new();
+            let (mut grad_embedded, mut grad_attr_embedded) =
+                (Matrix::default(), Matrix::default());
+            for i in (s * chunk).min(n)..((s + 1) * chunk).min(n) {
+                let (char_part, attr_part) = acc.slots_mut().split_at_mut(13);
+                let (emb_slot, rnn_slots) = char_part.split_at_mut(1);
+                let (attr_emb_slot, attr_rnn_slots) = attr_part.split_at_mut(1);
+                let (emb_cache, rnn_cache) = &char_caches[i];
+                let (attr_emb_cache, attr_rnn_cache) = &attr_caches[i];
+                let g = grad_features.row(i);
+                model.rnn.backward_into(
+                    rnn_cache,
+                    &g[..char_dim],
+                    rnn_slots,
+                    &mut grad_embedded,
+                    &mut ws,
+                );
+                model
+                    .embedding
+                    .backward(emb_cache, &grad_embedded, &mut emb_slot[0]);
+                model.attr_rnn.backward_into(
+                    attr_rnn_cache,
+                    &g[char_dim..char_dim + attr_dim],
+                    attr_rnn_slots,
+                    &mut grad_attr_embedded,
+                    &mut ws,
+                );
+                model.attr_embedding.backward(
+                    attr_emb_cache,
+                    &grad_attr_embedded,
+                    &mut attr_emb_slot[0],
+                );
+            }
+            bufs.push(acc);
+        }
+        let mut iter = bufs.into_iter();
+        if let Some(mut total) = iter.next() {
+            for b in iter {
+                total.merge(&b);
+            }
+            for (slot, merged) in grads.slots_mut()[..26].iter_mut().zip(total.slots()) {
+                slot.add_assign(merged);
+            }
+        }
+        let mut grad_len = Matrix::zeros(n, model.len_dim);
+        for row in 0..n {
+            grad_len
+                .row_mut(row)
+                .copy_from_slice(&grad_features.row(row)[model.char_dim + model.attr_dim..]);
+        }
+        let _ = model
+            .len_dense
+            .backward(&len_cache, &grad_len, &mut grads.slots_mut()[26..28]);
+        loss.loss
+    }
+
+    /// The tentpole guarantee for the enriched model: batched shard
+    /// execution on both recurrent paths matches the per-sample workspace
+    /// path bit for bit — loss, all 34 gradient slots, and predictions.
+    #[test]
+    fn batched_train_matches_per_sample_reference_bitwise() {
+        let data = marked_dataset(30);
+        let batch: Vec<usize> = (0..data.n_cells()).collect();
+        let mut batched = EtsbRnn::new(&data, &small_cfg(), &mut seeded_rng(7));
+        let mut reference = EtsbRnn::new(&data, &small_cfg(), &mut seeded_rng(7));
+
+        let mut grads_b = etsb_nn::grad_buffer_for(&batched.params());
+        let mut grads_r = etsb_nn::grad_buffer_for(&reference.params());
+        let loss_b = batched.train_batch(&data, &batch, &mut grads_b);
+        let loss_r = reference_train_batch(&mut reference, &data, &batch, &mut grads_r);
+        assert_eq!(loss_b.to_bits(), loss_r.to_bits(), "loss diverged");
+        for i in 0..grads_b.len() {
+            assert_eq!(
+                grads_b.slot(i).as_slice(),
+                grads_r.slot(i).as_slice(),
+                "gradient slot {i} diverged"
+            );
+        }
+        let probs_b = batched.predict_probs(&data, &batch);
+        let probs_r = reference.predict_probs(&data, &batch);
+        assert_eq!(probs_b, probs_r);
     }
 
     #[test]

@@ -76,9 +76,11 @@ impl AnyStacked {
         }
     }
 
-    /// Allocation-free forward: the feature vector lands in `out`, the
-    /// cache and workspace buffers are recycled across samples. Bitwise
-    /// identical to [`AnyStacked::forward`].
+    /// Allocation-free per-sample forward: the feature vector lands in
+    /// `out`, the cache and workspace buffers are recycled across samples.
+    /// The production paths run batch-major; this is the per-sample
+    /// reference the bitwise-equivalence tests compare against.
+    #[cfg(test)]
     pub(crate) fn forward_into(
         &self,
         inputs: &Matrix,
@@ -96,10 +98,11 @@ impl AnyStacked {
         }
     }
 
-    /// Backward on `&self`: parameter gradients accumulate into `grads`
-    /// (one slot per parameter, [`AnyStacked::params`] order), so batches
-    /// can shard across threads with per-thread buffers. Input-sequence
-    /// gradients land in `grad_inputs`.
+    /// Per-sample backward on `&self`: parameter gradients accumulate into
+    /// `grads` (one slot per parameter, [`AnyStacked::params`] order).
+    /// Like [`AnyStacked::forward_into`], kept as the per-sample reference
+    /// for the bitwise-equivalence tests.
+    #[cfg(test)]
     pub(crate) fn backward_into(
         &self,
         cache: &AnyStackedCache,
@@ -117,6 +120,59 @@ impl AnyStacked {
             }
             (AnyStacked::Gru(n), AnyStackedCache::Gru(c)) => {
                 n.backward_into(c, grad_out, grads, grad_inputs, ws);
+            }
+            _ => cache_mismatch(),
+        }
+    }
+
+    /// Batched encode of a packed timestep-major batch (see
+    /// [`etsb_nn::SeqBatch`]): each sample's feature vector lands in
+    /// `features` row `orig` (original batch order). Bitwise identical to
+    /// per-sample [`AnyStacked::forward_into`] calls.
+    pub(crate) fn forward_batch_into(
+        &self,
+        packed: &Matrix,
+        batch: &etsb_nn::SeqBatch,
+        features: &mut Matrix,
+        cache: &mut AnyStackedCache,
+        ws: &mut Workspace,
+    ) {
+        match (self, cache) {
+            (AnyStacked::Vanilla(n), AnyStackedCache::Vanilla(c)) => {
+                n.forward_batch_into(packed, batch, features, c, ws);
+            }
+            (AnyStacked::Lstm(n), AnyStackedCache::Lstm(c)) => {
+                n.forward_batch_into(packed, batch, features, c, ws);
+            }
+            (AnyStacked::Gru(n), AnyStackedCache::Gru(c)) => {
+                n.forward_batch_into(packed, batch, features, c, ws);
+            }
+            _ => cache_mismatch(),
+        }
+    }
+
+    /// Batched backward from per-sample feature gradients (`grad_features`
+    /// row `orig` is sample `orig`'s gradient); input gradients come back
+    /// in packed layout. Bitwise identical to per-sample
+    /// [`AnyStacked::backward_into`] calls in original batch order.
+    pub(crate) fn backward_batch_into(
+        &self,
+        batch: &etsb_nn::SeqBatch,
+        cache: &AnyStackedCache,
+        grad_features: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        match (self, cache) {
+            (AnyStacked::Vanilla(n), AnyStackedCache::Vanilla(c)) => {
+                n.backward_batch_into(batch, c, grad_features, grads, grad_inputs, ws);
+            }
+            (AnyStacked::Lstm(n), AnyStackedCache::Lstm(c)) => {
+                n.backward_batch_into(batch, c, grad_features, grads, grad_inputs, ws);
+            }
+            (AnyStacked::Gru(n), AnyStackedCache::Gru(c)) => {
+                n.backward_batch_into(batch, c, grad_features, grads, grad_inputs, ws);
             }
             _ => cache_mismatch(),
         }

@@ -1,20 +1,29 @@
 //! TSB-RNN (§4.3.1): character embedding → two-stacked bidirectional RNN
 //! (64 units/direction) → Dense(32, ReLU) → BatchNorm → Dense(2, softmax).
+//!
+//! Sequence execution is batch-major: each deterministic fold shard of a
+//! training batch (or prediction set) is packed into one length-bucketed
+//! [`SeqBatch`] and the whole shard runs through the batched RNN kernels
+//! at once. Shard boundaries are a pure function of the item count, so
+//! batch composition — and therefore every float operation — is identical
+//! for any worker count, and the batched kernels themselves are bitwise
+//! identical to the per-sample workspace path (pinned by the tests below).
 
 use super::{AnyStacked, AnyStackedCache, Head};
 use crate::config::TrainConfig;
 use crate::encode::EncodedDataset;
-use etsb_nn::{parallel, softmax_cross_entropy, Embedding, EmbeddingCache, Param};
+use etsb_nn::{parallel, softmax_cross_entropy, Embedding, Param, SeqBatch};
 use etsb_tensor::{GradBuffer, Matrix, Workspace};
 use rand::rngs::StdRng;
 
-/// Worker-local scratch for the inference path: one bundle per worker
-/// thread, recycled across the cells that worker scores.
-struct PredictScratch {
-    ws: Workspace,
-    rnn_cache: AnyStackedCache,
-    emb_cache: EmbeddingCache,
-    embedded: Matrix,
+/// One shard of a batch, encoded batch-major: the packed layout, the
+/// layer cache (packed-row semantics, holding everything backward needs),
+/// and the per-sample feature rows in shard-local original order.
+struct ShardEnc {
+    /// `None` for an empty trailing shard (the layout requires >= 1 sample).
+    sb: Option<SeqBatch>,
+    cache: AnyStackedCache,
+    feats: Matrix,
 }
 
 /// The Two-Stacked Bidirectional RNN model.
@@ -40,17 +49,17 @@ impl TsbRnn {
         }
     }
 
-    /// Encode one cell's character sequence into the RNN feature vector,
-    /// borrowing scratch from the worker-local workspace. The returned
-    /// caches are fresh (they must outlive the call for the backward
-    /// pass); all intermediate sequence buffers are recycled.
+    /// Per-sample reference encoder: kept for the bitwise-equivalence
+    /// tests, which compare the batched shard path against this exact
+    /// sequence of per-sample workspace calls.
+    #[cfg(test)]
     fn encode_one_into(
         &self,
         seq: &[usize],
         ws: &mut Workspace,
         embedded: &mut Matrix,
-    ) -> (Vec<f32>, (EmbeddingCache, AnyStackedCache)) {
-        let mut emb_cache = EmbeddingCache::default();
+    ) -> (Vec<f32>, (etsb_nn::EmbeddingCache, AnyStackedCache)) {
+        let mut emb_cache = etsb_nn::EmbeddingCache::default();
         self.embedding.forward_into(seq, embedded, &mut emb_cache);
         let mut rnn_cache = self.rnn.empty_cache();
         let mut feat = vec![0.0_f32; self.rnn.output_dim()];
@@ -59,39 +68,41 @@ impl TsbRnn {
         (feat, (emb_cache, rnn_cache))
     }
 
-    /// Encode one cell for inference: the cache is worker-local and
-    /// recycled, so a warmed worker allocates only the returned feature
-    /// vector per cell.
-    fn encode_features_into(&self, seq: &[usize], state: &mut PredictScratch) -> Vec<f32> {
-        let PredictScratch {
-            ws,
-            rnn_cache,
-            emb_cache,
-            embedded,
-        } = state;
-        self.embedding.forward_into(seq, embedded, emb_cache);
-        let mut feat = vec![0.0_f32; self.rnn.output_dim()];
-        self.rnn.forward_into(embedded, &mut feat, rnn_cache, ws);
-        feat
-    }
-
-    fn predict_scratch(&self) -> PredictScratch {
-        PredictScratch {
-            ws: Workspace::new(),
-            rnn_cache: self.rnn.empty_cache(),
-            emb_cache: EmbeddingCache::default(),
-            embedded: Matrix::default(),
-        }
+    /// Encode one shard of cells batch-major: pack the character
+    /// embeddings timestep-major and run the stacked RNN batched. The
+    /// returned cache retains the packed activations for the backward
+    /// pass; `feats` row `r` is the feature vector of `cells[r]`.
+    fn encode_shard(&self, data: &EncodedDataset, cells: &[usize]) -> ShardEnc {
+        let mut cache = self.rnn.empty_cache();
+        let mut feats = Matrix::default();
+        let sb = if cells.is_empty() {
+            None
+        } else {
+            let lengths: Vec<usize> = cells.iter().map(|&c| data.sequences[c].len()).collect();
+            let sb = SeqBatch::from_lengths(&lengths);
+            let seqs: Vec<&[usize]> = cells
+                .iter()
+                .map(|&c| data.sequences[c].as_slice())
+                .collect();
+            let mut ws = Workspace::new();
+            let mut packed = Matrix::default();
+            self.embedding.lookup_batch_into(&sb, &seqs, &mut packed);
+            self.rnn
+                .forward_batch_into(&packed, &sb, &mut feats, &mut cache, &mut ws);
+            Some(sb)
+        };
+        ShardEnc { sb, cache, feats }
     }
 
     /// One gradient-accumulating training step; returns the batch loss.
     ///
     /// `grads` has 19 slots in [`TsbRnn::params`] order: embedding (1),
-    /// RNN (12), head (6). Per-sample forward/backward passes shard
-    /// across threads; the batch-coupled head (BatchNorm statistics)
-    /// stays on the merged feature matrix. Per-thread accumulators merge
-    /// in a fixed shard order, so the result is bitwise-identical for any
-    /// worker count.
+    /// RNN (12), head (6). The sequence path runs batch-major: one packed
+    /// [`SeqBatch`] per deterministic fold shard, forward and backward,
+    /// with per-shard gradient buffers merged in fixed shard order. The
+    /// batch-coupled head (BatchNorm statistics) stays on the merged
+    /// feature matrix. Results are bitwise identical to the per-sample
+    /// workspace path for any worker count.
     pub fn train_batch(
         &mut self,
         data: &EncodedDataset,
@@ -103,20 +114,27 @@ impl TsbRnn {
         let feat_dim = self.rnn.output_dim();
 
         let forward_span = etsb_obs::obs_span!("forward", "samples" => batch.len());
-        // Per-sample forward passes are independent: shard them, each
-        // worker reusing one workspace + embedding buffer across its
-        // samples (zero-on-acquire scratch keeps results identical to the
-        // allocating path bit for bit).
-        let encoded = parallel::parallel_map_with(
-            batch.len(),
-            || (Workspace::new(), Matrix::default()),
-            |(ws, embedded), i| self.encode_one_into(&data.sequences[batch[i]], ws, embedded),
-        );
+        let encs = parallel::parallel_map_shards(batch.len(), |_, range| {
+            self.encode_shard(data, &batch[range])
+        });
         let mut features = Matrix::zeros(batch.len(), feat_dim);
-        let mut caches = Vec::with_capacity(batch.len());
-        for (row, (feat, cache)) in encoded.into_iter().enumerate() {
-            features.row_mut(row).copy_from_slice(&feat);
-            caches.push(cache);
+        let mut row = 0usize;
+        for enc in &encs {
+            for r in 0..enc.feats.rows() {
+                features.row_mut(row).copy_from_slice(enc.feats.row(r));
+                row += 1;
+            }
+        }
+        if etsb_obs::enabled() {
+            let (rows, steps) = encs
+                .iter()
+                .filter_map(|e| e.sb.as_ref())
+                .fold((0usize, 0usize), |(rows, steps), sb| {
+                    (rows + sb.total_rows(), steps + sb.t_max())
+                });
+            if steps > 0 {
+                etsb_obs::gauge("batch_occupancy", rows as f64 / steps as f64);
+            }
         }
 
         let labels: Vec<usize> = batch.iter().map(|&c| usize::from(data.labels[c])).collect();
@@ -131,58 +149,77 @@ impl TsbRnn {
             &mut grads.slots_mut()[13..19],
         );
 
-        // Per-sample backward passes shard too, each shard accumulating
-        // into its own buffer over the sequence-path slots (embedding +
-        // RNN), merged deterministically in shard order. Each shard also
-        // carries a workspace and a grad-input buffer so the per-sample
-        // backward pass is allocation-free once warmed.
+        // Batched backward, one shard per packed batch, each shard
+        // accumulating into its own buffer over the sequence-path slots
+        // (embedding + RNN). The batched kernels replay weight gradients
+        // per sample in shard order, and shard buffers merge in fixed
+        // shard order (empty trailing shards contribute zeroed buffers,
+        // exactly like the per-sample fold), so the result is bitwise
+        // identical to per-sample backward for any worker count.
         let seq_shapes: Vec<(usize, usize)> = self.params()[..13]
             .iter()
             .map(|p| p.value.shape())
             .collect();
-        let (seq_grads, _, _) = parallel::parallel_fold(
-            batch.len(),
-            || {
-                (
-                    GradBuffer::from_shapes(seq_shapes.iter().copied()),
-                    Workspace::new(),
-                    Matrix::default(),
-                )
-            },
-            |(acc, ws, grad_embedded), i| {
+        let shard_grads = parallel::parallel_map_shards(batch.len(), |s, range| {
+            let mut acc = GradBuffer::from_shapes(seq_shapes.iter().copied());
+            let mut ws_bytes = 0usize;
+            if let Some(sb) = &encs[s].sb {
+                let mut ws = Workspace::new();
+                let mut gf = Matrix::zeros(range.len(), feat_dim);
+                for (r, orig) in range.clone().enumerate() {
+                    gf.row_mut(r).copy_from_slice(grad_features.row(orig));
+                }
+                let mut grad_packed = Matrix::default();
                 let (emb_slot, rnn_slots) = acc.slots_mut().split_at_mut(1);
-                let (emb_cache, rnn_cache) = &caches[i];
-                self.rnn.backward_into(
-                    rnn_cache,
-                    grad_features.row(i),
+                self.rnn.backward_batch_into(
+                    sb,
+                    &encs[s].cache,
+                    &gf,
                     rnn_slots,
-                    grad_embedded,
-                    ws,
+                    &mut grad_packed,
+                    &mut ws,
                 );
+                let seqs: Vec<&[usize]> = batch[range]
+                    .iter()
+                    .map(|&c| data.sequences[c].as_slice())
+                    .collect();
                 self.embedding
-                    .backward(emb_cache, grad_embedded, &mut emb_slot[0]);
-            },
-            |a, b| a.0.merge(&b.0),
-        );
-        for (slot, merged) in grads.slots_mut()[..13].iter_mut().zip(seq_grads.slots()) {
-            slot.add_assign(merged);
+                    .backward_batch(sb, &seqs, &grad_packed, &mut emb_slot[0]);
+                ws_bytes = ws.pooled_bytes();
+            }
+            (acc, ws_bytes)
+        });
+        if etsb_obs::enabled() {
+            let bytes: usize = shard_grads.iter().map(|(_, b)| b).sum();
+            etsb_obs::gauge("workspace_bytes", bytes as f64);
+        }
+        let mut iter = shard_grads.into_iter().map(|(acc, _)| acc);
+        if let Some(mut total) = iter.next() {
+            for b in iter {
+                total.merge(&b);
+            }
+            for (slot, merged) in grads.slots_mut()[..13].iter_mut().zip(total.slots()) {
+                slot.add_assign(merged);
+            }
         }
         loss.loss
     }
 
-    /// Error probabilities (evaluation mode), parallel across cells, each
-    /// worker reusing one scratch bundle (workspace + caches) so a warmed
-    /// worker allocates nothing per cell beyond its feature vector.
+    /// Error probabilities (evaluation mode), batch-major: each fold shard
+    /// of the requested cells packs into one [`SeqBatch`] and runs the
+    /// batched forward, so inference shares the training hot path.
     pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
-        let feats: Vec<Vec<f32>> = parallel::parallel_map_with(
-            cells.len(),
-            || self.predict_scratch(),
-            |scratch, i| self.encode_features_into(&data.sequences[cells[i]], scratch),
-        );
         let feat_dim = self.rnn.output_dim();
+        let encs = parallel::parallel_map_shards(cells.len(), |_, range| {
+            self.encode_shard(data, &cells[range])
+        });
         let mut features = Matrix::zeros(cells.len(), feat_dim);
-        for (row, f) in feats.iter().enumerate() {
-            features.row_mut(row).copy_from_slice(f);
+        let mut row = 0usize;
+        for enc in &encs {
+            for r in 0..enc.feats.rows() {
+                features.row_mut(row).copy_from_slice(enc.feats.row(r));
+                row += 1;
+            }
         }
         let logits = self.head.forward_eval(&features);
         (0..cells.len())
@@ -234,6 +271,107 @@ mod tests {
             head_dim: 6,
             ..Default::default()
         }
+    }
+
+    /// The pre-batching training step, reproduced exactly: per-sample
+    /// forward/backward workspace calls, sharded with [`parallel::fold_shards`]
+    /// boundaries and merged in shard order. The batched `train_batch`
+    /// must match this bit for bit.
+    // The index drives `caches`, `grad_features` rows and the shard
+    // arithmetic together; an iterator chain would obscure the replayed order.
+    #[allow(clippy::needless_range_loop)]
+    fn reference_train_batch(
+        model: &mut TsbRnn,
+        data: &EncodedDataset,
+        batch: &[usize],
+        grads: &mut GradBuffer,
+    ) -> f32 {
+        let feat_dim = model.rnn.output_dim();
+        let mut ws = Workspace::new();
+        let mut embedded = Matrix::default();
+        let mut features = Matrix::zeros(batch.len(), feat_dim);
+        let mut caches = Vec::with_capacity(batch.len());
+        for (row, &cell) in batch.iter().enumerate() {
+            let (feat, cache) =
+                model.encode_one_into(&data.sequences[cell], &mut ws, &mut embedded);
+            features.row_mut(row).copy_from_slice(&feat);
+            caches.push(cache);
+        }
+        let labels: Vec<usize> = batch.iter().map(|&c| usize::from(data.labels[c])).collect();
+        let (logits, head_cache) = model.head.forward_train(features);
+        let loss = softmax_cross_entropy(&logits, &labels);
+        let grad_features = model.head.backward(
+            &head_cache,
+            &loss.grad_logits,
+            &mut grads.slots_mut()[13..19],
+        );
+        let shards = parallel::fold_shards(batch.len());
+        let chunk = batch.len().div_ceil(shards);
+        let seq_shapes: Vec<(usize, usize)> = model.params()[..13]
+            .iter()
+            .map(|p| p.value.shape())
+            .collect();
+        let mut bufs = Vec::new();
+        for s in 0..shards {
+            let mut acc = GradBuffer::from_shapes(seq_shapes.iter().copied());
+            let mut ws = Workspace::new();
+            let mut grad_embedded = Matrix::default();
+            for i in (s * chunk).min(batch.len())..((s + 1) * chunk).min(batch.len()) {
+                let (emb_slot, rnn_slots) = acc.slots_mut().split_at_mut(1);
+                let (emb_cache, rnn_cache) = &caches[i];
+                model.rnn.backward_into(
+                    rnn_cache,
+                    grad_features.row(i),
+                    rnn_slots,
+                    &mut grad_embedded,
+                    &mut ws,
+                );
+                model
+                    .embedding
+                    .backward(emb_cache, &grad_embedded, &mut emb_slot[0]);
+            }
+            bufs.push(acc);
+        }
+        let mut iter = bufs.into_iter();
+        // At least one shard exists for a non-empty batch.
+        if let Some(mut total) = iter.next() {
+            for b in iter {
+                total.merge(&b);
+            }
+            for (slot, merged) in grads.slots_mut()[..13].iter_mut().zip(total.slots()) {
+                slot.add_assign(merged);
+            }
+        }
+        loss.loss
+    }
+
+    /// The tentpole guarantee: the batched shard path produces the exact
+    /// same loss, gradients, and subsequent predictions as the per-sample
+    /// workspace path, on a batch with thoroughly mixed lengths.
+    #[test]
+    fn batched_train_matches_per_sample_reference_bitwise() {
+        let data = marked_dataset(30);
+        let batch: Vec<usize> = (0..data.n_cells()).collect();
+        let mut batched = TsbRnn::new(&data, &small_cfg(), &mut seeded_rng(5));
+        let mut reference = TsbRnn::new(&data, &small_cfg(), &mut seeded_rng(5));
+
+        let mut grads_b = etsb_nn::grad_buffer_for(&batched.params());
+        let mut grads_r = etsb_nn::grad_buffer_for(&reference.params());
+        let loss_b = batched.train_batch(&data, &batch, &mut grads_b);
+        let loss_r = reference_train_batch(&mut reference, &data, &batch, &mut grads_r);
+        assert_eq!(loss_b.to_bits(), loss_r.to_bits(), "loss diverged");
+        for i in 0..grads_b.len() {
+            assert_eq!(
+                grads_b.slot(i).as_slice(),
+                grads_r.slot(i).as_slice(),
+                "gradient slot {i} diverged"
+            );
+        }
+        // Predictions after one optimizer-free step must agree too (the
+        // BatchNorm running statistics advanced identically).
+        let probs_b = batched.predict_probs(&data, &batch);
+        let probs_r = reference.predict_probs(&data, &batch);
+        assert_eq!(probs_b, probs_r);
     }
 
     #[test]

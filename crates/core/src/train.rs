@@ -103,18 +103,22 @@ pub fn train_model(
         let train_start = Instant::now();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
-        let mut n_batches = 0usize;
+        let mut cells_seen = 0usize;
         for batch in order.chunks(batch_size) {
             grads.zero();
-            epoch_loss += model.train_batch(data, batch, &mut grads);
+            // Weight each batch loss by its cell count: the trailing batch
+            // may be short when the trainset is not divisible by the batch
+            // size, and the epoch loss is the mean over *cells*, not over
+            // batches.
+            epoch_loss += model.train_batch(data, batch, &mut grads) * batch.len() as f32;
+            cells_seen += batch.len();
             if etsb_obs::enabled() {
                 etsb_obs::gauge("grad_global_norm", grads.global_norm());
             }
             let _opt_span = etsb_obs::span("optimizer");
             opt.step(&mut model.params_mut(), &grads);
-            n_batches += 1;
         }
-        epoch_loss /= n_batches.max(1) as f32;
+        epoch_loss /= cells_seen.max(1) as f32;
         history.train_loss.push(epoch_loss);
         if etsb_obs::enabled() {
             etsb_obs::gauge("train_loss", f64::from(epoch_loss));
@@ -299,6 +303,54 @@ mod tests {
         // Just exercising the subsample path; accuracy is still in [0, 1].
         let history = train_model(&mut model, &data, &train, &test, &cfg, 9);
         assert!(history.test_acc.iter().all(|&a| (0.0..=1.0).contains(&a)));
+    }
+
+    /// The epoch loss is the mean over *cells*, not over batches: with a
+    /// trainset not divisible by the batch size, the short trailing batch
+    /// must contribute proportionally to its cell count. A twin model
+    /// stepping through the same shuffled chunks reproduces the recorded
+    /// epoch loss bit for bit from the cell-weighted definition.
+    #[test]
+    fn epoch_loss_is_cell_weighted() {
+        let data = marked_dataset(30);
+        let mut cfg = quick_cfg();
+        cfg.epochs = 1;
+        // 10 training cells, batch size 10/3 = 3 → chunks of 3, 3, 3, 1.
+        cfg.batch_divisor = 3;
+        let train: Vec<usize> = (0..10).collect();
+        let seed = 21;
+
+        let mut rng = seeded_rng(4);
+        let mut model = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut rng);
+        let history = train_model(&mut model, &data, &train, &[], &cfg, seed);
+
+        // Replay the epoch by hand on an identically-seeded twin.
+        let mut rng = seeded_rng(4);
+        let mut twin = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut rng);
+        let mut shuffle_rng = StdRng::seed_from_u64(seed);
+        let mut order = train.clone();
+        order.shuffle(&mut shuffle_rng);
+        let mut opt = Rmsprop::new(cfg.learning_rate);
+        let mut grads = twin.grad_buffer();
+        let (mut weighted, mut cells) = (0.0_f32, 0usize);
+        let batch_size = train.len() / cfg.batch_divisor;
+        let mut batch_lens = Vec::new();
+        for batch in order.chunks(batch_size) {
+            grads.zero();
+            weighted += twin.train_batch(&data, batch, &mut grads) * batch.len() as f32;
+            cells += batch.len();
+            opt.step(&mut twin.params_mut(), &grads);
+            batch_lens.push(batch.len());
+        }
+        assert_eq!(batch_lens, [3, 3, 3, 1], "expected a short trailing batch");
+        let expected = weighted / cells as f32;
+        assert_eq!(
+            history.train_loss[0].to_bits(),
+            expected.to_bits(),
+            "epoch loss is not the cell-weighted mean: {} vs {}",
+            history.train_loss[0],
+            expected
+        );
     }
 
     #[test]

@@ -14,6 +14,18 @@ use etsb_table::Table;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+/// Column indices into [`COLUMNS`], fixed at compile time so the error
+/// injector below needs no runtime name lookup. The
+/// `column_constants_match_names` test pins each one to its name.
+const C_FNAME: usize = 0;
+const C_LNAME: usize = 1;
+const C_CITY: usize = 5;
+const C_STATE: usize = 6;
+const C_ZIP: usize = 7;
+const C_MARITAL: usize = 8;
+const C_CHILD: usize = 9;
+const C_RATE: usize = 11;
+
 const COLUMNS: [&str; 15] = [
     "f_name",
     "l_name",
@@ -101,23 +113,6 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
     }
 
     let mut dirty = clean.clone();
-    let col = |name: &str| {
-        COLUMNS
-            .iter()
-            .position(|c| *c == name)
-            .expect("known column")
-    };
-    let (c_fname, c_lname, c_city, c_state, c_zip, c_rate, c_marital, c_child) = (
-        col("f_name"),
-        col("l_name"),
-        col("city"),
-        col("state"),
-        col("zip"),
-        col("rate"),
-        col("marital_status"),
-        col("has_child"),
-    );
-
     let mix = [
         (ErrorKind::Typo, 0.40),
         (ErrorKind::FormattingIssue, 0.40),
@@ -131,32 +126,32 @@ pub(crate) fn generate(cfg: &GenConfig) -> (Table, Table) {
     )
     .run(&mut dirty, |kind, _r, c, old, rng| match kind {
         ErrorKind::Typo => {
-            if c == c_fname || c == c_lname || c == c_city {
+            if c == C_FNAME || c == C_LNAME || c == C_CITY {
                 name_typo(old, rng)
             } else {
                 None
             }
         }
         ErrorKind::FormattingIssue => {
-            if c == c_zip {
+            if c == C_ZIP {
                 crate::corrupt::strip_leading_zero(old).or_else(|| Some(format!("0{old}")))
-            } else if c == c_rate {
+            } else if c == C_RATE {
                 add_decimal_suffix(old)
             } else {
                 None
             }
         }
         ErrorKind::ViolatedDependency => {
-            if c == c_state {
+            if c == C_STATE {
                 let (_, wrong) = vocab::pick(rng, vocab::CITY_STATE);
                 (*wrong != old).then(|| wrong.to_string())
-            } else if c == c_marital {
+            } else if c == C_MARITAL {
                 Some(if old == "M" {
                     "S".to_string()
                 } else {
                     "M".to_string()
                 })
-            } else if c == c_child {
+            } else if c == C_CHILD {
                 Some(if old == "Y" {
                     "N".to_string()
                 } else {
@@ -176,6 +171,22 @@ mod tests {
     use super::*;
     use etsb_table::CellFrame;
     use rand::SeedableRng;
+
+    #[test]
+    fn column_constants_match_names() {
+        for (idx, name) in [
+            (C_FNAME, "f_name"),
+            (C_LNAME, "l_name"),
+            (C_CITY, "city"),
+            (C_STATE, "state"),
+            (C_ZIP, "zip"),
+            (C_MARITAL, "marital_status"),
+            (C_CHILD, "has_child"),
+            (C_RATE, "rate"),
+        ] {
+            assert_eq!(COLUMNS[idx], name, "constant for {name} points at {idx}");
+        }
+    }
 
     #[test]
     fn name_typo_matches_paper_examples() {

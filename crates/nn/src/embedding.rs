@@ -7,6 +7,7 @@
 //! sequences run to their true length, but attribute ids may legitimately
 //! be 0).
 
+use crate::batch::SeqBatch;
 use crate::Param;
 use etsb_tensor::{init, Matrix};
 use rand::rngs::StdRng;
@@ -107,6 +108,78 @@ impl Embedding {
         );
         for (row, &id) in cache.ids.iter().enumerate() {
             etsb_tensor::add_assign(grad.row_mut(id), grad_out.row(row));
+        }
+    }
+
+    /// Look up a whole batch of id sequences into the packed timestep-major
+    /// layout described by `batch`: row `batch.row(slot, t)` of `out` holds
+    /// the embedding of step `t` of the sample in that slot. `seqs` is in
+    /// **original** sample order (`seqs[orig]`), exactly as passed to
+    /// [`SeqBatch::from_lengths`]. Pure row copies, so the packed rows are
+    /// bitwise identical to per-sample [`Embedding::lookup_into`] output.
+    ///
+    /// # Panics
+    /// If a sequence length disagrees with `batch` or any id is out of
+    /// vocabulary.
+    pub fn lookup_batch_into(&self, batch: &SeqBatch, seqs: &[&[usize]], out: &mut Matrix) {
+        let dim = self.dim();
+        let vocab = self.vocab_size();
+        assert_eq!(
+            seqs.len(),
+            batch.n_samples(),
+            "Embedding::lookup_batch_into: sample count mismatch"
+        );
+        out.resize_zeroed(batch.total_rows(), dim);
+        for (orig, seq) in seqs.iter().enumerate() {
+            let slot = batch.slot_of(orig);
+            assert_eq!(
+                seq.len(),
+                batch.len_at(slot),
+                "Embedding::lookup_batch_into: sequence length mismatch"
+            );
+            for (t, &id) in seq.iter().enumerate() {
+                assert!(
+                    id < vocab,
+                    "Embedding: id {id} out of vocabulary (size {vocab})"
+                );
+                out.row_mut(batch.row(slot, t))
+                    .copy_from_slice(self.weights.value.row(id));
+            }
+        }
+    }
+
+    /// Accumulate table gradients for a packed batch lookup. Rows are
+    /// replayed per sample in **original** order, each sample's steps
+    /// ascending — the identical `add_assign` sequence the per-sample
+    /// [`Embedding::backward`] calls would produce, so repeated-id rows
+    /// accumulate bitwise identically.
+    pub fn backward_batch(
+        &self,
+        batch: &SeqBatch,
+        seqs: &[&[usize]],
+        grad_packed: &Matrix,
+        grad: &mut Matrix,
+    ) {
+        assert_eq!(
+            grad_packed.shape(),
+            (batch.total_rows(), self.dim()),
+            "Embedding::backward_batch: gradient shape mismatch"
+        );
+        assert_eq!(
+            grad.shape(),
+            self.weights.value.shape(),
+            "Embedding::backward_batch: gradient slot shape mismatch"
+        );
+        assert_eq!(
+            seqs.len(),
+            batch.n_samples(),
+            "Embedding::backward_batch: sample count mismatch"
+        );
+        for (orig, seq) in seqs.iter().enumerate() {
+            let slot = batch.slot_of(orig);
+            for (t, &id) in seq.iter().enumerate() {
+                etsb_tensor::add_assign(grad.row_mut(id), grad_packed.row(batch.row(slot, t)));
+            }
         }
     }
 

@@ -11,6 +11,7 @@
 //!
 //! Gate layout in the fused weight matrices: `[z, r, n]`.
 
+use crate::batch::{accumulate_seq_grads, SeqBatch};
 use crate::rnn::{split_cell_grads, Recurrence};
 use crate::Param;
 use etsb_tensor::{init, Matrix, Workspace};
@@ -299,6 +300,168 @@ impl Recurrence for GruCell {
         ws.put_vec("gru.dh_carry", dh_carry);
         ws.put_mat("gru.dzh_all", dzh_all);
         ws.put_mat("gru.dzx_all", dzx_all);
+    }
+
+    fn forward_batch_into(
+        &self,
+        packed: &Matrix,
+        batch: &SeqBatch,
+        cache: &mut GruCache,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            packed.shape(),
+            (batch.total_rows(), self.input_dim()),
+            "GruCell::forward_batch_into: packed shape {:?} != {:?}",
+            packed.shape(),
+            (batch.total_rows(), self.input_dim())
+        );
+        let h = self.hidden;
+        let total = batch.total_rows();
+        cache.inputs.copy_from(packed);
+        cache.gates.resize_zeroed(total, 3 * h);
+        cache.hn.resize_zeroed(total, h);
+        cache.hidden.resize_zeroed(total, h);
+        let mut zx_all = ws.take_mat("gru.bzx_all", 0, 0);
+        packed.matmul_window_into(0, packed.rows(), &self.wx.value, &mut zx_all);
+        let mut zh_blk = ws.take_mat("gru.bzh", 0, 0);
+        let mut h_prev_blk = ws.take_mat("gru.bh_prev", 0, 0);
+        for t in 0..batch.t_max() {
+            let n_act = batch.active(t);
+            let off = batch.offset(t);
+            h_prev_blk.resize_zeroed(n_act, h);
+            if t == 0 {
+                // h_{-1} = 0: recurrent product and prior state are zero.
+                zh_blk.resize_zeroed(n_act, 3 * h);
+            } else {
+                let prev_off = batch.offset(t - 1);
+                cache
+                    .hidden
+                    .matmul_window_into(prev_off, n_act, &self.wh.value, &mut zh_blk);
+                for s in 0..n_act {
+                    h_prev_blk
+                        .row_mut(s)
+                        .copy_from_slice(cache.hidden.row(prev_off + s));
+                }
+            }
+            for s in 0..n_act {
+                let zx = zx_all.row(off + s);
+                let zh = zh_blk.row(s);
+                let h_prev = h_prev_blk.row(s);
+                let b = self.b.value.row(0);
+                let g_row = cache.gates.row_mut(off + s);
+                let hn_row = cache.hn.row_mut(off + s);
+                for j in 0..h {
+                    g_row[j] = sigmoid(zx[j] + zh[j] + b[j]); // z
+                    g_row[h + j] = sigmoid(zx[h + j] + zh[h + j] + b[h + j]); // r
+                    hn_row[j] = zh[2 * h + j];
+                }
+                for j in 0..h {
+                    let n = (zx[2 * h + j] + g_row[h + j] * hn_row[j] + b[2 * h + j]).tanh();
+                    g_row[2 * h + j] = n;
+                }
+                let h_row = cache.hidden.row_mut(off + s);
+                let g_row = cache.gates.row(off + s);
+                for j in 0..h {
+                    let z = g_row[j];
+                    h_row[j] = (1.0 - z) * g_row[2 * h + j] + z * h_prev[j];
+                }
+            }
+        }
+        ws.put_mat("gru.bh_prev", h_prev_blk);
+        ws.put_mat("gru.bzh", zh_blk);
+        ws.put_mat("gru.bzx_all", zx_all);
+    }
+
+    fn backward_batch_into(
+        &self,
+        batch: &SeqBatch,
+        cache: &GruCache,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        let h = self.hidden;
+        let total = batch.total_rows();
+        assert_eq!(
+            grad_out.shape(),
+            (total, h),
+            "GruCell::backward_batch_into: grad shape {:?} != {:?}",
+            grad_out.shape(),
+            (total, h)
+        );
+        let mut dzx_all = ws.take_mat("gru.bdzx_all", total, 3 * h);
+        let mut dzh_all = ws.take_mat("gru.bdzh_all", total, 3 * h);
+        let mut wht = ws.take_mat("gru.wht", 0, 0);
+        self.wh.value.transpose_into(&mut wht);
+        let mut dh_carry = ws.take_mat("gru.bdh_carry", 0, 0);
+        let mut dh_prev_direct = ws.take_mat("gru.bdh_prev", 0, 0);
+        let zero = ws.take_vec("batch.zero", h);
+        let t_max = batch.t_max();
+        for t in (0..t_max).rev() {
+            let n_act = batch.active(t);
+            let off = batch.offset(t);
+            let carried = if t + 1 < t_max {
+                batch.active(t + 1)
+            } else {
+                0
+            };
+            dh_prev_direct.resize_zeroed(n_act, h);
+            for s in 0..n_act {
+                let carry: &[f32] = if s < carried { dh_carry.row(s) } else { &zero };
+                let gates = cache.gates.row(off + s);
+                let hn = cache.hn.row(off + s);
+                let h_prev: &[f32] = if t > 0 {
+                    cache.hidden.row(batch.offset(t - 1) + s)
+                } else {
+                    &zero
+                };
+                let g_out = grad_out.row(off + s);
+                let dz_x = dzx_all.row_mut(off + s);
+                let dz_h = dzh_all.row_mut(off + s);
+                let dh_direct = dh_prev_direct.row_mut(s);
+                for j in 0..h {
+                    let (z, r, n) = (gates[j], gates[h + j], gates[2 * h + j]);
+                    let dh = g_out[j] + carry[j];
+                    let dz_gate = dh * (h_prev[j] - n) * z * (1.0 - z);
+                    let dn = dh * (1.0 - z) * (1.0 - n * n);
+                    let dr = dn * hn[j] * r * (1.0 - r);
+                    dz_x[j] = dz_gate;
+                    dz_x[h + j] = dr;
+                    dz_x[2 * h + j] = dn;
+                    dz_h[j] = dz_gate;
+                    dz_h[h + j] = dr;
+                    dz_h[2 * h + j] = dn * r;
+                    dh_direct[j] = dh * z;
+                }
+            }
+            if t > 0 {
+                dzh_all.matmul_window_into(off, n_act, &wht, &mut dh_carry);
+                for s in 0..n_act {
+                    etsb_tensor::add_assign(dh_carry.row_mut(s), dh_prev_direct.row(s));
+                }
+            }
+        }
+        accumulate_seq_grads(
+            batch,
+            &cache.inputs,
+            &cache.hidden,
+            &dzx_all,
+            &dzh_all,
+            grads,
+            ws,
+        );
+        let mut wxt = ws.take_mat("gru.wxt", 0, 0);
+        self.wx.value.transpose_into(&mut wxt);
+        dzx_all.matmul_window_into(0, dzx_all.rows(), &wxt, grad_inputs);
+        ws.put_mat("gru.wxt", wxt);
+        ws.put_vec("batch.zero", zero);
+        ws.put_mat("gru.bdh_prev", dh_prev_direct);
+        ws.put_mat("gru.bdh_carry", dh_carry);
+        ws.put_mat("gru.wht", wht);
+        ws.put_mat("gru.bdzh_all", dzh_all);
+        ws.put_mat("gru.bdzx_all", dzx_all);
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod batch;
 mod batchnorm;
 mod dense;
 mod embedding;
@@ -47,6 +48,7 @@ pub mod gradcheck;
 pub mod parallel;
 
 pub use activation::Activation;
+pub use batch::SeqBatch;
 pub use batchnorm::{BatchNorm, BatchNormCache};
 pub use checkpoint::{restore, snapshot, CheckpointError};
 pub use dense::{Dense, DenseCache};

@@ -8,6 +8,7 @@
 //!
 //! Gate layout in the fused weight matrices: `[input, forget, cell, output]`.
 
+use crate::batch::{accumulate_seq_grads, SeqBatch};
 use crate::rnn::{split_cell_grads, Recurrence};
 use crate::Param;
 use etsb_tensor::{init, Matrix, Workspace};
@@ -302,6 +303,168 @@ impl Recurrence for LstmCell {
         ws.put_vec("lstm.dc_carry", dc_carry);
         ws.put_vec("lstm.dh_carry", dh_carry);
         ws.put_mat("lstm.dz_all", dz_all);
+    }
+
+    fn forward_batch_into(
+        &self,
+        packed: &Matrix,
+        batch: &SeqBatch,
+        cache: &mut LstmCache,
+        ws: &mut Workspace,
+    ) {
+        let total = batch.total_rows();
+        assert_eq!(
+            packed.shape(),
+            (total, self.input_dim()),
+            "LstmCell::forward_batch_into: packed shape"
+        );
+        let h = self.hidden;
+        cache.inputs.copy_from(packed);
+        cache.gates.resize_zeroed(total, 4 * h);
+        cache.cells.resize_zeroed(total, h);
+        cache.tanh_cells.resize_zeroed(total, h);
+        cache.hidden.resize_zeroed(total, h);
+        let mut z_all = ws.take_mat("lstm.bz_all", 0, 0);
+        packed.matmul_window_into(0, packed.rows(), &self.wx.value, &mut z_all);
+        let mut rec = ws.take_mat("lstm.brec", 0, 0);
+        let mut c_prev = ws.take_mat("lstm.bc_prev", 0, 0);
+        for t in 0..batch.t_max() {
+            let off = batch.offset(t);
+            let n_act = batch.active(t);
+            c_prev.resize_zeroed(n_act, h);
+            if t == 0 {
+                // First step: recurrent term of a zero state is zero, same
+                // as `vecmat` against a fresh zero vector per sample.
+                rec.resize_zeroed(n_act, 4 * h);
+            } else {
+                let prev_off = batch.offset(t - 1);
+                cache
+                    .hidden
+                    .matmul_window_into(prev_off, n_act, &self.wh.value, &mut rec);
+                for s in 0..n_act {
+                    c_prev
+                        .row_mut(s)
+                        .copy_from_slice(cache.cells.row(prev_off + s));
+                }
+            }
+            for s in 0..n_act {
+                let z = z_all.row_mut(off + s);
+                for ((zi, &ri), &bi) in z.iter_mut().zip(rec.row(s)).zip(self.b.value.row(0)) {
+                    *zi += ri + bi;
+                }
+                let z = z_all.row(off + s);
+                let g_row = cache.gates.row_mut(off + s);
+                for j in 0..h {
+                    g_row[j] = sigmoid(z[j]); // i
+                    g_row[h + j] = sigmoid(z[h + j]); // f
+                    g_row[2 * h + j] = z[2 * h + j].tanh(); // g
+                    g_row[3 * h + j] = sigmoid(z[3 * h + j]); // o
+                }
+                let c_row = cache.cells.row_mut(off + s);
+                let g_row = cache.gates.row(off + s);
+                let cp = c_prev.row(s);
+                for j in 0..h {
+                    c_row[j] = g_row[h + j] * cp[j] + g_row[j] * g_row[2 * h + j];
+                }
+                let c_row = cache.cells.row(off + s);
+                let tc_row = cache.tanh_cells.row_mut(off + s);
+                for j in 0..h {
+                    tc_row[j] = c_row[j].tanh();
+                }
+                let tc_row = cache.tanh_cells.row(off + s);
+                let h_row = cache.hidden.row_mut(off + s);
+                for j in 0..h {
+                    h_row[j] = g_row[3 * h + j] * tc_row[j];
+                }
+            }
+        }
+        ws.put_mat("lstm.bc_prev", c_prev);
+        ws.put_mat("lstm.brec", rec);
+        ws.put_mat("lstm.bz_all", z_all);
+    }
+
+    fn backward_batch_into(
+        &self,
+        batch: &SeqBatch,
+        cache: &LstmCache,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        let total = batch.total_rows();
+        let h = self.hidden;
+        assert_eq!(
+            grad_out.shape(),
+            (total, h),
+            "LstmCell::backward_batch_into: grad shape"
+        );
+        let mut dz_all = ws.take_mat("lstm.bdz_all", total, 4 * h);
+        let mut wht = ws.take_mat("lstm.wht", 0, 0);
+        self.wh.value.transpose_into(&mut wht);
+        let mut dh_carry = ws.take_mat("lstm.bdh_carry", 0, 0);
+        // One cell-state carry row per slot, zeroed on take: a sample's
+        // first (latest-t) visit reads zeros, exactly like the fresh
+        // per-sample `dc_carry` vector.
+        let mut dc_carry = ws.take_mat("lstm.bdc_carry", batch.n_samples(), h);
+        let zero = ws.take_vec("batch.zero", h);
+        for t in (0..batch.t_max()).rev() {
+            let off = batch.offset(t);
+            let n_act = batch.active(t);
+            // Rows past `carried` just retired at this step: their hidden
+            // carry is the per-sample fresh zero vector.
+            let carried = if t + 1 < batch.t_max() {
+                batch.active(t + 1)
+            } else {
+                0
+            };
+            for s in 0..n_act {
+                let gates = cache.gates.row(off + s);
+                let tc = cache.tanh_cells.row(off + s);
+                let carry: &[f32] = if s < carried { dh_carry.row(s) } else { &zero };
+                let dcc = dc_carry.row_mut(s);
+                let dz = dz_all.row_mut(off + s);
+                for j in 0..h {
+                    let (i, f, g, o) = (gates[j], gates[h + j], gates[2 * h + j], gates[3 * h + j]);
+                    let dh = grad_out.row(off + s)[j] + carry[j];
+                    let do_ = dh * tc[j];
+                    let dc = dh * o * (1.0 - tc[j] * tc[j]) + dcc[j];
+                    let c_prev = if t > 0 {
+                        cache.cells.row(batch.offset(t - 1) + s)[j]
+                    } else {
+                        0.0
+                    };
+                    dz[j] = dc * g * i * (1.0 - i); // input gate
+                    dz[h + j] = dc * c_prev * f * (1.0 - f); // forget gate
+                    dz[2 * h + j] = dc * i * (1.0 - g * g); // candidate
+                    dz[3 * h + j] = do_ * o * (1.0 - o); // output gate
+                    dcc[j] = dc * f;
+                }
+            }
+            if t > 0 {
+                dz_all.matmul_window_into(off, n_act, &wht, &mut dh_carry);
+            }
+        }
+        // Replay weight/bias gradients per sample in original batch order;
+        // bitwise identical to the per-sample `backward_seq_into` calls.
+        accumulate_seq_grads(
+            batch,
+            &cache.inputs,
+            &cache.hidden,
+            &dz_all,
+            &dz_all,
+            grads,
+            ws,
+        );
+        let mut wxt = ws.take_mat("lstm.wxt", 0, 0);
+        self.wx.value.transpose_into(&mut wxt);
+        dz_all.matmul_window_into(0, dz_all.rows(), &wxt, grad_inputs);
+        ws.put_mat("lstm.wxt", wxt);
+        ws.put_vec("batch.zero", zero);
+        ws.put_mat("lstm.bdc_carry", dc_carry);
+        ws.put_mat("lstm.bdh_carry", dh_carry);
+        ws.put_mat("lstm.wht", wht);
+        ws.put_mat("lstm.bdz_all", dz_all);
     }
 
     fn params(&self) -> Vec<&Param> {

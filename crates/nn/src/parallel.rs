@@ -155,6 +155,61 @@ where
     })
 }
 
+/// Apply `f` to each deterministic fold shard of `0..n` — the **exact same
+/// shard boundaries** as [`parallel_fold`] — returning per-shard results in
+/// shard-index order. `f` receives the shard index and its item range;
+/// trailing shards may receive an empty range (the boundaries are a pure
+/// function of `n`), and their results still occupy their slot.
+///
+/// This is the batched-execution counterpart of [`parallel_fold`]: the
+/// model hot path builds one packed sequence batch per shard, and because
+/// shard composition depends only on the item count, the float-operation
+/// order inside each batch — and the shard-order combination afterwards —
+/// is identical for every worker count.
+pub fn parallel_map_shards<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+{
+    let shards = fold_shards(n);
+    if shards == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(shards);
+    let workers = worker_count(shards);
+    let run_shard = |s: usize| {
+        let start = (s * chunk).min(n);
+        let end = ((s + 1) * chunk).min(n);
+        f(s, start..end)
+    };
+    if workers <= 1 || n < SPAWN_THRESHOLD {
+        return (0..shards).map(run_shard).collect();
+    }
+    let per_worker = shards.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let run_shard = &run_shard;
+                scope.spawn(move || {
+                    let start = w * per_worker;
+                    let end = ((w + 1) * per_worker).min(shards);
+                    (start..end).map(run_shard).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(shards);
+        // Workers cover contiguous shard ranges in worker order, so
+        // concatenation restores shard order exactly.
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        out
+    })
+}
+
 /// Fold `f` over `0..n` with deterministic sharding: the range is cut into
 /// [`fold_shards`]`(n)` fixed shards, each shard folds into its own fresh
 /// accumulator from `init`, and shard accumulators are combined with
@@ -290,6 +345,36 @@ mod tests {
             },
         );
         assert_eq!(out[49], 50);
+    }
+
+    #[test]
+    fn map_shards_matches_fold_boundaries() {
+        for n in [0usize, 5, 17, 64, 200] {
+            let ranges = parallel_map_shards(n, |s, r| (s, r));
+            assert_eq!(ranges.len(), fold_shards(n));
+            let mut covered = Vec::new();
+            for (i, (s, r)) in ranges.iter().enumerate() {
+                assert_eq!(*s, i);
+                if n > 0 {
+                    let chunk = n.div_ceil(fold_shards(n));
+                    assert_eq!(r.start, (i * chunk).min(n));
+                    assert_eq!(r.end, ((i + 1) * chunk).min(n));
+                }
+                covered.extend(r.clone());
+            }
+            assert_eq!(covered, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_shards_is_worker_independent() {
+        let run = || parallel_map_shards(200, |s, r| (s, r.start, r.end));
+        set_worker_override(1);
+        let serial = run();
+        set_worker_override(4);
+        let threaded = run();
+        set_worker_override(0);
+        assert_eq!(serial, threaded);
     }
 
     #[test]

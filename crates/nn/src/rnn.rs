@@ -15,6 +15,7 @@
 //! pipeline guarantees at least one step), so no masking machinery is
 //! needed and inference cost is proportional to actual value lengths.
 
+use crate::batch::{accumulate_seq_grads, SeqBatch};
 use crate::Param;
 use etsb_tensor::{init, Matrix, Workspace};
 use rand::rngs::StdRng;
@@ -84,11 +85,49 @@ pub trait Recurrence: Clone {
         ws: &mut Workspace,
     );
 
+    /// Batched forward over a packed timestep-major batch (see
+    /// [`SeqBatch`]): `packed` holds `batch.total_rows() x input_dim`
+    /// rows, one timestep block after another, and `cache` is rebuilt
+    /// with the same packed-row semantics ([`Recurrence::seq_output`]
+    /// returns the packed hidden sequence). Every sample's rows are
+    /// bitwise identical to running [`Recurrence::forward_seq_into`] on
+    /// that sample alone.
+    fn forward_batch_into(
+        &self,
+        packed: &Matrix,
+        batch: &SeqBatch,
+        cache: &mut Self::Cache,
+        ws: &mut Workspace,
+    );
+
+    /// Batched BPTT companion of [`Recurrence::forward_batch_into`]:
+    /// `grad_out` and `grad_inputs` use the packed layout, and parameter
+    /// gradients are replayed per sample in original batch order, so the
+    /// accumulated `grads` are bitwise identical to per-sample
+    /// [`Recurrence::backward_seq_into`] calls in that order.
+    fn backward_batch_into(
+        &self,
+        batch: &SeqBatch,
+        cache: &Self::Cache,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    );
+
     /// Parameters in a stable order.
     fn params(&self) -> Vec<&Param>;
 
     /// Mutable parameters in the same order.
     fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Number of parameter slots ([`Recurrence::params`] length) without
+    /// allocating the vector: every cell carries exactly `wx`, `wh`, `b`.
+    /// Used by the hot-path gradient-slot splits, which must stay
+    /// allocation-free.
+    fn n_params(&self) -> usize {
+        3
+    }
 }
 
 /// One directional vanilla RNN cell.
@@ -261,6 +300,133 @@ impl RnnCell {
         ws.put_mat("rnn.dz_all", dz_all);
     }
 
+    /// Batched forward over a packed timestep-major batch: the per-step
+    /// recurrent product becomes one `active x hidden` windowed matmul
+    /// whose rows reduce exactly like the per-sample `vecmat`, so each
+    /// sample's hidden sequence is bitwise identical to
+    /// [`RnnCell::forward_into`] on that sample alone.
+    pub fn forward_batch_into(
+        &self,
+        packed: &Matrix,
+        batch: &SeqBatch,
+        cache: &mut RnnCache,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            packed.shape(),
+            (batch.total_rows(), self.input_dim()),
+            "RnnCell::forward_batch_into: packed shape {:?} != {:?}",
+            packed.shape(),
+            (batch.total_rows(), self.input_dim())
+        );
+        let h = self.hidden_dim();
+        cache.inputs.copy_from(packed);
+        cache.hidden.resize_zeroed(batch.total_rows(), h);
+        let mut z_all = ws.take_mat("rnn.bz_all", 0, 0);
+        packed.matmul_window_into(0, packed.rows(), &self.wx.value, &mut z_all);
+        let mut rec = ws.take_mat("rnn.brec", 0, 0);
+        let b = self.b.value.row(0);
+        for t in 0..batch.t_max() {
+            let n_act = batch.active(t);
+            if t == 0 {
+                // h_{-1} = 0: the recurrent product is exactly the zero
+                // vector the per-sample path gets from `vecmat(0)`.
+                rec.resize_zeroed(n_act, h);
+            } else {
+                cache.hidden.matmul_window_into(
+                    batch.offset(t - 1),
+                    n_act,
+                    &self.wh.value,
+                    &mut rec,
+                );
+            }
+            let off = batch.offset(t);
+            for s in 0..n_act {
+                let h_row = cache.hidden.row_mut(off + s);
+                for (((hj, &zj), &rj), &bj) in h_row
+                    .iter_mut()
+                    .zip(z_all.row(off + s))
+                    .zip(rec.row(s))
+                    .zip(b)
+                {
+                    *hj = (zj + rj + bj).tanh();
+                }
+            }
+        }
+        ws.put_mat("rnn.brec", rec);
+        ws.put_mat("rnn.bz_all", z_all);
+    }
+
+    /// Batched BPTT over a packed batch, bitwise identical to per-sample
+    /// [`RnnCell::backward_into`] calls in original batch order: the
+    /// carry matrix shrinks with the active batch (samples retiring after
+    /// step `t` read the same all-zero carry a fresh per-sample backward
+    /// starts from), and weight/bias gradients are replayed per sample.
+    pub fn backward_batch_into(
+        &self,
+        batch: &SeqBatch,
+        cache: &RnnCache,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        let h = self.hidden_dim();
+        let total = batch.total_rows();
+        assert_eq!(
+            grad_out.shape(),
+            (total, h),
+            "RnnCell::backward_batch_into: grad shape {:?} != {:?}",
+            grad_out.shape(),
+            (total, h)
+        );
+        let mut dz_all = ws.take_mat("rnn.bdz_all", total, h);
+        let mut carry = ws.take_mat("rnn.bcarry", 0, 0);
+        let zero = ws.take_vec("batch.zero", h);
+        let mut wht = ws.take_mat("rnn.wht", 0, 0);
+        self.wh.value.transpose_into(&mut wht);
+        let t_max = batch.t_max();
+        for t in (0..t_max).rev() {
+            let n_act = batch.active(t);
+            let off = batch.offset(t);
+            let carried = if t + 1 < t_max {
+                batch.active(t + 1)
+            } else {
+                0
+            };
+            for s in 0..n_act {
+                let c: &[f32] = if s < carried { carry.row(s) } else { &zero };
+                let h_t = cache.hidden.row(off + s);
+                let dz_row = dz_all.row_mut(off + s);
+                for (((dzj, &g), &cj), &ht) in
+                    dz_row.iter_mut().zip(grad_out.row(off + s)).zip(c).zip(h_t)
+                {
+                    *dzj = (g + cj) * (1.0 - ht * ht);
+                }
+            }
+            if t > 0 {
+                dz_all.matmul_window_into(off, n_act, &wht, &mut carry);
+            }
+        }
+        accumulate_seq_grads(
+            batch,
+            &cache.inputs,
+            &cache.hidden,
+            &dz_all,
+            &dz_all,
+            grads,
+            ws,
+        );
+        let mut wxt = ws.take_mat("rnn.wxt", 0, 0);
+        self.wx.value.transpose_into(&mut wxt);
+        dz_all.matmul_window_into(0, dz_all.rows(), &wxt, grad_inputs);
+        ws.put_mat("rnn.wxt", wxt);
+        ws.put_mat("rnn.wht", wht);
+        ws.put_vec("batch.zero", zero);
+        ws.put_mat("rnn.bcarry", carry);
+        ws.put_mat("rnn.bdz_all", dz_all);
+    }
+
     /// BPTT. `grad_hidden` is `dL/dh_t` for every step (`T x hidden`);
     /// parameter gradients accumulate into `grads` (slots `wx, wh, b`),
     /// and the gradient with respect to the inputs (`T x input_dim`) is
@@ -359,6 +525,30 @@ impl Recurrence for RnnCell {
         ws: &mut Workspace,
     ) {
         self.backward_into(cache, grad_out, grads, grad_inputs, ws);
+    }
+
+    // etsb: allow(shape-assert) -- thin delegation; forward_batch_into asserts every shape.
+    fn forward_batch_into(
+        &self,
+        packed: &Matrix,
+        batch: &SeqBatch,
+        cache: &mut RnnCache,
+        ws: &mut Workspace,
+    ) {
+        RnnCell::forward_batch_into(self, packed, batch, cache, ws);
+    }
+
+    // etsb: allow(shape-assert) -- thin delegation; backward_batch_into asserts every shape.
+    fn backward_batch_into(
+        &self,
+        batch: &SeqBatch,
+        cache: &RnnCache,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        RnnCell::backward_batch_into(self, batch, cache, grad_out, grads, grad_inputs, ws);
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -512,10 +702,10 @@ impl<C: Recurrence> BiRnn<C> {
             grad_out.shape(),
             (t_max, 2 * h)
         );
-        let n_fwd = self.fwd.params().len();
+        let n_fwd = self.fwd.n_params();
         assert_eq!(
             grads.len(),
-            n_fwd + self.bwd.params().len(),
+            n_fwd + self.bwd.n_params(),
             "BiRnn::backward: gradient slot count"
         );
         let (grads_fwd, grads_bwd) = grads.split_at_mut(n_fwd);
@@ -555,10 +745,10 @@ impl<C: Recurrence> BiRnn<C> {
             grad_out.shape(),
             (t_max, 2 * h)
         );
-        let n_fwd = self.fwd.params().len();
+        let n_fwd = self.fwd.n_params();
         assert_eq!(
             grads.len(),
-            n_fwd + self.bwd.params().len(),
+            n_fwd + self.bwd.n_params(),
             "BiRnn::backward_into: gradient slot count"
         );
         let (grads_fwd, grads_bwd) = grads.split_at_mut(n_fwd);
@@ -584,6 +774,120 @@ impl<C: Recurrence> BiRnn<C> {
         ws.put_mat("birnn.gi_bwd", gi_bwd_rev);
         ws.put_mat("birnn.grad_bwd", grad_bwd);
         ws.put_mat("birnn.grad_fwd", grad_fwd);
+    }
+
+    /// Batched forward over a packed timestep-major batch: both cells run
+    /// their batched recurrence (the backward cell on the per-sample
+    /// time-reversed packing), and `out` receives the concatenated
+    /// `[h_fwd ‖ h_bwd]` rows in packed layout. Bitwise identical to
+    /// per-sample [`BiRnn::forward_into`] calls.
+    pub fn forward_batch_into(
+        &self,
+        packed: &Matrix,
+        batch: &SeqBatch,
+        out: &mut Matrix,
+        cache: &mut BiRnnCache<C>,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            packed.shape(),
+            (batch.total_rows(), self.fwd.input_dim()),
+            "BiRnn::forward_batch_into: packed shape {:?} != {:?}",
+            packed.shape(),
+            (batch.total_rows(), self.fwd.input_dim())
+        );
+        let mut reversed = ws.take_mat("birnn.brev", 0, 0);
+        batch.reverse_packed_into(packed, &mut reversed);
+        self.fwd
+            .forward_batch_into(packed, batch, &mut cache.fwd, ws);
+        self.bwd
+            .forward_batch_into(&reversed, batch, &mut cache.bwd, ws);
+        cache.seq_len = batch.t_max();
+        let h = self.hidden_dim();
+        out.resize_zeroed(batch.total_rows(), 2 * h);
+        let out_fwd = C::seq_output(&cache.fwd);
+        let out_bwd = C::seq_output(&cache.bwd);
+        for s in 0..batch.n_samples() {
+            let len = batch.len_at(s);
+            for t in 0..len {
+                let row = out.row_mut(batch.row(s, t));
+                row[..h].copy_from_slice(out_fwd.row(batch.row(s, t)));
+                // The backward cell's state for a sample's position t was
+                // computed at its reversed step len-1-t.
+                row[h..].copy_from_slice(out_bwd.row(batch.row(s, len - 1 - t)));
+            }
+        }
+        out.assert_finite("birnn", "forward(recurrent-activation)");
+        ws.put_mat("birnn.brev", reversed);
+    }
+
+    /// Batched backward through both directions on the packed layout.
+    /// Bitwise identical to per-sample [`BiRnn::backward_into`] calls in
+    /// original batch order (the two cells fill disjoint gradient slots,
+    /// so per-slot accumulation order is preserved).
+    pub fn backward_batch_into(
+        &self,
+        batch: &SeqBatch,
+        cache: &BiRnnCache<C>,
+        grad_out: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        let h = self.hidden_dim();
+        let total = batch.total_rows();
+        assert_eq!(
+            grad_out.shape(),
+            (total, 2 * h),
+            "BiRnn::backward_batch_into: grad shape {:?} != {:?}",
+            grad_out.shape(),
+            (total, 2 * h)
+        );
+        let n_fwd = self.fwd.n_params();
+        assert_eq!(
+            grads.len(),
+            n_fwd + self.bwd.n_params(),
+            "BiRnn::backward_batch_into: gradient slot count"
+        );
+        let (grads_fwd, grads_bwd) = grads.split_at_mut(n_fwd);
+        let mut grad_fwd = ws.take_mat("birnn.bgrad_fwd", total, h);
+        let mut grad_bwd = ws.take_mat("birnn.bgrad_bwd", total, h);
+        for s in 0..batch.n_samples() {
+            let len = batch.len_at(s);
+            for t in 0..len {
+                let g = grad_out.row(batch.row(s, t));
+                grad_fwd.row_mut(batch.row(s, t)).copy_from_slice(&g[..h]);
+                grad_bwd
+                    .row_mut(batch.row(s, len - 1 - t))
+                    .copy_from_slice(&g[h..]);
+            }
+        }
+        self.fwd
+            .backward_batch_into(batch, &cache.fwd, &grad_fwd, grads_fwd, grad_inputs, ws);
+        let mut gi_bwd_rev = ws.take_mat("birnn.bgi_bwd", 0, 0);
+        self.bwd
+            .backward_batch_into(batch, &cache.bwd, &grad_bwd, grads_bwd, &mut gi_bwd_rev, ws);
+        // Per sample: grad_inputs[t] += gi_bwd_rev[len-1-t], the same
+        // element order as the per-sample reverse-then-add.
+        for s in 0..batch.n_samples() {
+            let len = batch.len_at(s);
+            for r in 0..len {
+                etsb_tensor::add_assign(
+                    grad_inputs.row_mut(batch.row(s, len - 1 - r)),
+                    gi_bwd_rev.row(batch.row(s, r)),
+                );
+            }
+        }
+        grad_inputs.assert_finite("birnn", "backward(grad-in)");
+        ws.put_mat("birnn.bgi_bwd", gi_bwd_rev);
+        ws.put_mat("birnn.bgrad_bwd", grad_bwd);
+        ws.put_mat("birnn.bgrad_fwd", grad_fwd);
+    }
+
+    /// Parameter-slot count of both cells without allocating the vector
+    /// (hot-path gradient splits must stay allocation-free).
+    pub fn n_params(&self) -> usize {
+        self.fwd.n_params() + self.bwd.n_params()
     }
 
     /// Parameters of both cells (stable order: fwd then bwd).
@@ -702,10 +1006,10 @@ impl<C: Recurrence> StackedBiRnn<C> {
     ) -> Matrix {
         let h = self.layer2.hidden_dim();
         assert_eq!(grad_out.len(), 2 * h, "StackedBiRnn::backward: grad width");
-        let n_l1 = self.layer1.params().len();
+        let n_l1 = self.layer1.n_params();
         assert_eq!(
             grads.len(),
-            n_l1 + self.layer2.params().len(),
+            n_l1 + self.layer2.n_params(),
             "StackedBiRnn::backward: gradient slot count"
         );
         let (grads_l1, grads_l2) = grads.split_at_mut(n_l1);
@@ -734,10 +1038,10 @@ impl<C: Recurrence> StackedBiRnn<C> {
             2 * h,
             "StackedBiRnn::backward_into: grad width"
         );
-        let n_l1 = self.layer1.params().len();
+        let n_l1 = self.layer1.n_params();
         assert_eq!(
             grads.len(),
-            n_l1 + self.layer2.params().len(),
+            n_l1 + self.layer2.n_params(),
             "StackedBiRnn::backward_into: gradient slot count"
         );
         let (grads_l1, grads_l2) = grads.split_at_mut(n_l1);
@@ -752,6 +1056,84 @@ impl<C: Recurrence> StackedBiRnn<C> {
             .backward_into(&cache.l1, &grad_seq1, grads_l1, grad_inputs, ws);
         ws.put_mat("stacked.grad_seq1", grad_seq1);
         ws.put_mat("stacked.grad_seq2", grad_seq2);
+    }
+
+    /// Batched encode of a packed batch: both layers run batched, then
+    /// each sample's `2·hidden` feature vector lands in `features` row
+    /// `orig` (original batch order — the restore-order index map).
+    /// Bitwise identical to per-sample [`StackedBiRnn::forward_into`].
+    // etsb: allow(shape-assert) -- thin delegation; layer1's batched forward asserts `packed`.
+    pub fn forward_batch_into(
+        &self,
+        packed: &Matrix,
+        batch: &SeqBatch,
+        features: &mut Matrix,
+        cache: &mut StackedBiRnnCache<C>,
+        ws: &mut Workspace,
+    ) {
+        let h = self.layer2.hidden_dim();
+        let mut seq1 = ws.take_mat("stacked.bseq1", 0, 0);
+        self.layer1
+            .forward_batch_into(packed, batch, &mut seq1, &mut cache.l1, ws);
+        let mut seq2 = ws.take_mat("stacked.bseq2", 0, 0);
+        self.layer2
+            .forward_batch_into(&seq1, batch, &mut seq2, &mut cache.l2, ws);
+        cache.seq_len = batch.t_max();
+        features.resize_zeroed(batch.n_samples(), 2 * h);
+        for orig in 0..batch.n_samples() {
+            let slot = batch.slot_of(orig);
+            let len = batch.len_at(slot);
+            let out = features.row_mut(orig);
+            out[..h].copy_from_slice(&seq2.row(batch.row(slot, len - 1))[..h]);
+            out[h..].copy_from_slice(&seq2.row(batch.row(slot, 0))[h..]);
+        }
+        ws.put_mat("stacked.bseq2", seq2);
+        ws.put_mat("stacked.bseq1", seq1);
+    }
+
+    /// Batched backward from per-sample feature gradients (`grad_features`
+    /// row `orig` is sample `orig`'s gradient); input gradients come back
+    /// in packed layout. Bitwise identical to per-sample
+    /// [`StackedBiRnn::backward_into`] calls in original batch order.
+    pub fn backward_batch_into(
+        &self,
+        batch: &SeqBatch,
+        cache: &StackedBiRnnCache<C>,
+        grad_features: &Matrix,
+        grads: &mut [Matrix],
+        grad_inputs: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        let h = self.layer2.hidden_dim();
+        assert_eq!(
+            grad_features.shape(),
+            (batch.n_samples(), 2 * h),
+            "StackedBiRnn::backward_batch_into: grad shape {:?} != {:?}",
+            grad_features.shape(),
+            (batch.n_samples(), 2 * h)
+        );
+        let n_l1 = self.layer1.n_params();
+        assert_eq!(
+            grads.len(),
+            n_l1 + self.layer2.n_params(),
+            "StackedBiRnn::backward_batch_into: gradient slot count"
+        );
+        let (grads_l1, grads_l2) = grads.split_at_mut(n_l1);
+        let mut grad_seq2 = ws.take_mat("stacked.bgrad_seq2", batch.total_rows(), 2 * h);
+        for orig in 0..batch.n_samples() {
+            let slot = batch.slot_of(orig);
+            let len = batch.len_at(slot);
+            let g = grad_features.row(orig);
+            grad_seq2.row_mut(batch.row(slot, len - 1))[..h].copy_from_slice(&g[..h]);
+            grad_seq2.row_mut(batch.row(slot, 0))[h..].copy_from_slice(&g[h..]);
+        }
+        let mut grad_seq1 = ws.take_mat("stacked.bgrad_seq1", 0, 0);
+        self.layer2
+            .backward_batch_into(batch, &cache.l2, &grad_seq2, grads_l2, &mut grad_seq1, ws);
+        self.layer1
+            .backward_batch_into(batch, &cache.l1, &grad_seq1, grads_l1, grad_inputs, ws);
+        ws.put_mat("stacked.bgrad_seq1", grad_seq1);
+        ws.put_mat("stacked.bgrad_seq2", grad_seq2);
     }
 
     /// All parameters (layer1 then layer2, each fwd then bwd).
@@ -968,6 +1350,104 @@ mod tests {
         check::<RnnCell>(21);
         check::<crate::GruCell>(22);
         check::<crate::LstmCell>(23);
+    }
+
+    /// The batched tentpole contract: packing mixed-length samples into a
+    /// timestep-major batch and running the batched kernels yields
+    /// bit-identical features, parameter gradients and input gradients to
+    /// the per-sample workspace path (itself pinned bitwise to the
+    /// allocating reference above) — for every cell kind.
+    #[test]
+    fn batched_paths_are_bitwise_identical_to_per_sample_paths() {
+        fn check<C: Recurrence>(seed: u64) {
+            let mut rng = seeded_rng(seed);
+            let net: StackedBiRnn<C> = StackedBiRnn::new(5, 4, &mut rng);
+            // Mixed lengths with duplicates and a length-1 sample, in
+            // scrambled order so the sort + restore map is exercised.
+            let lens = [7usize, 3, 9, 1, 4, 9];
+            let inputs: Vec<Matrix> = lens
+                .iter()
+                .enumerate()
+                .map(|(v, &len)| {
+                    Matrix::from_fn(len, 5, |i, j| ((i * 5 + j + v) as f32 * 0.37).sin() * 0.8)
+                })
+                .collect();
+            let gseeds: Vec<Vec<f32>> = (0..lens.len())
+                .map(|v| {
+                    (0..net.output_dim())
+                        .map(|i| ((i + v) as f32 * 0.71).cos())
+                        .collect()
+                })
+                .collect();
+
+            // Per-sample workspace reference: samples in original order,
+            // gradients accumulating into one shared buffer — exactly
+            // what one shard of the pre-batching training path did.
+            let mut ws = Workspace::new();
+            let mut grads_ref = crate::param::grad_buffer_for(&net.params());
+            let mut feats_ref: Vec<Vec<f32>> = Vec::new();
+            let mut gi_ref: Vec<Matrix> = Vec::new();
+            let mut cache = StackedBiRnnCache::<C>::default();
+            let mut out = vec![0.0_f32; net.output_dim()];
+            for (x, g) in inputs.iter().zip(&gseeds) {
+                net.forward_into(x, &mut out, &mut cache, &mut ws);
+                feats_ref.push(out.clone());
+                let mut gi = Matrix::default();
+                net.backward_into(&cache, g, grads_ref.slots_mut(), &mut gi, &mut ws);
+                gi_ref.push(gi);
+            }
+
+            // Batched path: pack, run once, compare against every sample.
+            let batch = SeqBatch::from_lengths(&lens);
+            let mut packed = Matrix::zeros(batch.total_rows(), 5);
+            for (orig, x) in inputs.iter().enumerate() {
+                let slot = batch.slot_of(orig);
+                for t in 0..x.rows() {
+                    packed.row_mut(batch.row(slot, t)).copy_from_slice(x.row(t));
+                }
+            }
+            let mut bcache = StackedBiRnnCache::<C>::default();
+            let mut feats = Matrix::default();
+            let mut bws = Workspace::new();
+            net.forward_batch_into(&packed, &batch, &mut feats, &mut bcache, &mut bws);
+            for (orig, f) in feats_ref.iter().enumerate() {
+                assert_eq!(
+                    feats.row(orig),
+                    f.as_slice(),
+                    "features diverge (sample {orig})"
+                );
+            }
+            let mut grad_feats = Matrix::zeros(lens.len(), net.output_dim());
+            for (orig, g) in gseeds.iter().enumerate() {
+                grad_feats.row_mut(orig).copy_from_slice(g);
+            }
+            let mut grads_b = crate::param::grad_buffer_for(&net.params());
+            let mut gi_packed = Matrix::default();
+            net.backward_batch_into(
+                &batch,
+                &bcache,
+                &grad_feats,
+                grads_b.slots_mut(),
+                &mut gi_packed,
+                &mut bws,
+            );
+            for s in 0..grads_ref.len() {
+                assert_eq!(grads_ref.slot(s), grads_b.slot(s), "grad slot {s} diverges");
+            }
+            for (orig, gi) in gi_ref.iter().enumerate() {
+                let slot = batch.slot_of(orig);
+                for t in 0..gi.rows() {
+                    assert_eq!(
+                        gi_packed.row(batch.row(slot, t)),
+                        gi.row(t),
+                        "input grad diverges (sample {orig}, step {t})"
+                    );
+                }
+            }
+        }
+        check::<RnnCell>(31);
+        check::<crate::GruCell>(32);
+        check::<crate::LstmCell>(33);
     }
 
     #[test]

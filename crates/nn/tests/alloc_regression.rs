@@ -14,7 +14,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use etsb_nn::{RnnCache, RnnCell};
+use etsb_nn::{grad_buffer_for, RnnCache, RnnCell, SeqBatch, StackedBiRnn, StackedBiRnnCache};
 use etsb_tensor::{init::seeded_rng, Matrix, Workspace};
 
 /// Counts every allocation (alloc, alloc_zeroed, realloc) while
@@ -87,5 +87,99 @@ fn warmed_rnn_forward_backward_is_allocation_free() {
         0,
         "warmed RnnCell forward+backward heap-allocated {} time(s)",
         after - before
+    );
+}
+
+#[test]
+fn warmed_batched_stack_is_allocation_free() {
+    let mut rng = seeded_rng(11);
+    let (input_dim, hidden) = (9, 12);
+    let net: StackedBiRnn<RnnCell> = StackedBiRnn::new(input_dim, hidden, &mut rng);
+    let batch = SeqBatch::from_lengths(&[17, 5, 29, 11]);
+    let packed = Matrix::from_fn(batch.total_rows(), input_dim, |i, j| {
+        ((i * input_dim + j) as f32 * 0.17).sin()
+    });
+    let grad_features = Matrix::from_fn(batch.n_samples(), 2 * hidden, |i, j| {
+        ((i * 2 * hidden + j) as f32 * 0.23).cos()
+    });
+
+    let mut ws = Workspace::new();
+    let mut cache = StackedBiRnnCache::default();
+    let mut grads = grad_buffer_for(&net.params());
+    let mut features = Matrix::default();
+    let mut grad_inputs = Matrix::default();
+
+    for _ in 0..2 {
+        net.forward_batch_into(&packed, &batch, &mut features, &mut cache, &mut ws);
+        net.backward_batch_into(
+            &batch,
+            &cache,
+            &grad_features,
+            grads.slots_mut(),
+            &mut grad_inputs,
+            &mut ws,
+        );
+    }
+
+    let before = allocations();
+    net.forward_batch_into(&packed, &batch, &mut features, &mut cache, &mut ws);
+    net.backward_batch_into(
+        &batch,
+        &cache,
+        &grad_features,
+        grads.slots_mut(),
+        &mut grad_inputs,
+        &mut ws,
+    );
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "warmed batched stack forward+backward heap-allocated {} time(s)",
+        after - before
+    );
+}
+
+/// Epoch-over-epoch guard for the batched workspace keys: once the pools
+/// are warm, repeating the same batch must not grow the retained heap
+/// footprint — a growing `pooled_bytes()` means some batched key leaks a
+/// fresh allocation per epoch.
+#[test]
+fn batched_workspace_footprint_stabilizes_across_epochs() {
+    let mut rng = seeded_rng(12);
+    let (input_dim, hidden) = (7, 10);
+    let net: StackedBiRnn<RnnCell> = StackedBiRnn::new(input_dim, hidden, &mut rng);
+    let batch = SeqBatch::from_lengths(&[13, 4, 21, 8, 1]);
+    let packed = Matrix::from_fn(batch.total_rows(), input_dim, |i, j| {
+        ((i * input_dim + j) as f32 * 0.19).sin()
+    });
+    let grad_features = Matrix::from_fn(batch.n_samples(), 2 * hidden, |i, j| {
+        ((i * 2 * hidden + j) as f32 * 0.31).cos()
+    });
+
+    let mut ws = Workspace::new();
+    let mut cache = StackedBiRnnCache::default();
+    let mut grads = grad_buffer_for(&net.params());
+    let mut features = Matrix::default();
+    let mut grad_inputs = Matrix::default();
+
+    let mut bytes = Vec::new();
+    for _ in 0..6 {
+        net.forward_batch_into(&packed, &batch, &mut features, &mut cache, &mut ws);
+        net.backward_batch_into(
+            &batch,
+            &cache,
+            &grad_features,
+            grads.slots_mut(),
+            &mut grad_inputs,
+            &mut ws,
+        );
+        bytes.push(ws.pooled_bytes());
+    }
+    assert!(bytes[2] > 0, "workspace unexpectedly empty after warmup");
+    assert!(
+        bytes[2..].iter().all(|&b| b == bytes[2]),
+        "workspace retained bytes kept growing across warmed epochs: {bytes:?}"
     );
 }

@@ -137,6 +137,13 @@ impl Matrix {
         self.data.is_empty()
     }
 
+    /// Heap bytes reserved by the backing buffer (capacity, not length) —
+    /// the footprint a pooled scratch matrix keeps alive between uses.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
     /// Read-only view of the row-major buffer.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
@@ -252,53 +259,7 @@ impl Matrix {
         let mut base = start;
         for ch in &mut chunks {
             let rows = &self.data[base * cols..(base + 8) * cols];
-            let (r0, rest) = rows.split_at(cols);
-            let (r1, rest) = rest.split_at(cols);
-            let (r2, rest) = rest.split_at(cols);
-            let (r3, rest) = rest.split_at(cols);
-            let (r4, rest) = rest.split_at(cols);
-            let (r5, rest) = rest.split_at(cols);
-            let (r6, r7) = rest.split_at(cols);
-            if ch.iter().all(|&vk| vk != 0.0) {
-                // All-nonzero fast path: fused across eight k's so the
-                // inner loop register-blocks out[j], but the adds stay in
-                // ascending-k order — bitwise identical to the scalar
-                // fallback below.
-                let (v0, v1, v2, v3) = (ch[0], ch[1], ch[2], ch[3]);
-                let (v4, v5, v6, v7) = (ch[4], ch[5], ch[6], ch[7]);
-                let it = out
-                    .iter_mut()
-                    .zip(r0)
-                    .zip(r1)
-                    .zip(r2)
-                    .zip(r3)
-                    .zip(r4)
-                    .zip(r5)
-                    .zip(r6)
-                    .zip(r7);
-                for ((((((((o, &a), &b), &c), &d), &e), &f), &g), &h) in it {
-                    let mut acc = *o;
-                    acc += v0 * a;
-                    acc += v1 * b;
-                    acc += v2 * c;
-                    acc += v3 * d;
-                    acc += v4 * e;
-                    acc += v5 * f;
-                    acc += v6 * g;
-                    acc += v7 * h;
-                    *o = acc;
-                }
-            } else {
-                for (k, &vk) in ch.iter().enumerate() {
-                    if vk == 0.0 {
-                        continue;
-                    }
-                    let r = &rows[k * cols..(k + 1) * cols];
-                    for (o, &m) in out.iter_mut().zip(r) {
-                        *o += vk * m;
-                    }
-                }
-            }
+            Self::apply_chunk8(ch, rows, cols, out);
             base += 8;
         }
         for (k, &vk) in chunks.remainder().iter().enumerate() {
@@ -307,6 +268,234 @@ impl Matrix {
             }
             for (o, &m) in out.iter_mut().zip(self.row(base + k)) {
                 *o += vk * m;
+            }
+        }
+    }
+
+    /// One eight-`k` chunk of [`Matrix::accumulate_rows_from`]:
+    /// `out[j] += Σ_{k<8} ch[k] * rows[k * cols + j]`, adds in ascending
+    /// `k`. Factored out so the four-row batched sweep below can fall
+    /// back to exactly this code path row by row, keeping every batched
+    /// output row bitwise identical to its single-row sweep.
+    #[inline]
+    // etsb: allow(shape-assert) -- shared kernel; the callers' window asserts name their op.
+    fn apply_chunk8(ch: &[f32], rows: &[f32], cols: usize, out: &mut [f32]) {
+        let (r0, rest) = rows.split_at(cols);
+        let (r1, rest) = rest.split_at(cols);
+        let (r2, rest) = rest.split_at(cols);
+        let (r3, rest) = rest.split_at(cols);
+        let (r4, rest) = rest.split_at(cols);
+        let (r5, rest) = rest.split_at(cols);
+        let (r6, r7) = rest.split_at(cols);
+        if ch.iter().all(|&vk| vk != 0.0) {
+            // All-nonzero fast path: fused across eight k's so the
+            // inner loop register-blocks out[j], but the adds stay in
+            // ascending-k order — bitwise identical to the scalar
+            // fallback below.
+            let (v0, v1, v2, v3) = (ch[0], ch[1], ch[2], ch[3]);
+            let (v4, v5, v6, v7) = (ch[4], ch[5], ch[6], ch[7]);
+            let it = out
+                .iter_mut()
+                .zip(r0)
+                .zip(r1)
+                .zip(r2)
+                .zip(r3)
+                .zip(r4)
+                .zip(r5)
+                .zip(r6)
+                .zip(r7);
+            for ((((((((o, &a), &b), &c), &d), &e), &f), &g), &h) in it {
+                let mut acc = *o;
+                acc += v0 * a;
+                acc += v1 * b;
+                acc += v2 * c;
+                acc += v3 * d;
+                acc += v4 * e;
+                acc += v5 * f;
+                acc += v6 * g;
+                acc += v7 * h;
+                *o = acc;
+            }
+        } else {
+            for (k, &vk) in ch.iter().enumerate() {
+                if vk == 0.0 {
+                    continue;
+                }
+                let r = &rows[k * cols..(k + 1) * cols];
+                for (o, &m) in out.iter_mut().zip(r) {
+                    *o += vk * m;
+                }
+            }
+        }
+    }
+
+    /// Fully-fused four-row sweep for windows whose coefficients are all
+    /// nonzero: `outs[r][j] += Σ_k vs[r][k] * self[start+k][j]`, blocked
+    /// over 16 output columns so the four accumulator blocks stay in
+    /// registers for the entire k loop — each weight row element is
+    /// loaded once and the output is touched exactly twice (load, store)
+    /// per block. The per-element add order is ascending k, the same
+    /// sequence the chunked and single-row sweeps produce when no
+    /// coefficient is zero.
+    fn fused_rows4_from(&self, start: usize, vs: [&[f32]; 4], outs: [&mut [f32]; 4]) {
+        const JB: usize = 16;
+        let cols = self.cols;
+        let len = vs[0].len();
+        let [va, vb, vc, vd] = vs;
+        let [oa, ob, oc, od] = outs;
+        let mut jb = 0;
+        while jb + JB <= cols {
+            let mut a0 = [0.0_f32; JB];
+            let mut a1 = [0.0_f32; JB];
+            let mut a2 = [0.0_f32; JB];
+            let mut a3 = [0.0_f32; JB];
+            a0.copy_from_slice(&oa[jb..jb + JB]);
+            a1.copy_from_slice(&ob[jb..jb + JB]);
+            a2.copy_from_slice(&oc[jb..jb + JB]);
+            a3.copy_from_slice(&od[jb..jb + JB]);
+            for k in 0..len {
+                let base = (start + k) * cols + jb;
+                let w = &self.data[base..base + JB];
+                let (x0, x1, x2, x3) = (va[k], vb[k], vc[k], vd[k]);
+                for j in 0..JB {
+                    a0[j] += x0 * w[j];
+                    a1[j] += x1 * w[j];
+                    a2[j] += x2 * w[j];
+                    a3[j] += x3 * w[j];
+                }
+            }
+            oa[jb..jb + JB].copy_from_slice(&a0);
+            ob[jb..jb + JB].copy_from_slice(&a1);
+            oc[jb..jb + JB].copy_from_slice(&a2);
+            od[jb..jb + JB].copy_from_slice(&a3);
+            jb += JB;
+        }
+        for j in jb..cols {
+            let (mut t0, mut t1, mut t2, mut t3) = (oa[j], ob[j], oc[j], od[j]);
+            for k in 0..len {
+                let w = self.data[(start + k) * cols + j];
+                t0 += va[k] * w;
+                t1 += vb[k] * w;
+                t2 += vc[k] * w;
+                t3 += vd[k] * w;
+            }
+            oa[j] = t0;
+            ob[j] = t1;
+            oc[j] = t2;
+            od[j] = t3;
+        }
+    }
+
+    /// Four [`Matrix::accumulate_rows_from`] sweeps over the same row
+    /// window, interleaved: `outs[r][j] += Σ_k vs[r][k] * self[start+k][j]`
+    /// for each of the four coefficient/output pairs. When every
+    /// coefficient in a chunk is nonzero the inner loop carries four
+    /// independent accumulator chains — one per output row — so the
+    /// eight-deep add latency chain of the single-row sweep overlaps
+    /// fourfold and each loaded weight row serves four outputs. Per
+    /// output row the adds stay in ascending `k` with the same zero-skip
+    /// fallback, so each row is bitwise identical to its own single-row
+    /// sweep — the invariant the batched sequence kernels in `etsb-nn`
+    /// are built on.
+    fn accumulate_rows4_from(&self, start: usize, vs: [&[f32]; 4], outs: [&mut [f32]; 4]) {
+        let len = vs[0].len();
+        assert!(
+            start + len <= self.rows
+                && vs.iter().all(|v| v.len() == len)
+                && outs.iter().all(|o| o.len() == self.cols),
+            "accumulate_rows4_from: window {start}+{len} over {} rows / outs vs {} cols",
+            self.rows,
+            self.cols
+        );
+        let cols = self.cols;
+        let [va, vb, vc, vd] = vs;
+        let [oa, ob, oc, od] = outs;
+        if va.iter().chain(vb).chain(vc).chain(vd).all(|&x| x != 0.0) {
+            // All-nonzero window (the common case for dense activations):
+            // the j-blocked kernel keeps each 16-wide output block in
+            // registers across the whole k loop instead of reloading it
+            // per k-chunk. Per output element the adds still run in
+            // ascending k with nothing skipped, so results are bitwise
+            // identical to the chunked path below.
+            return self.fused_rows4_from(start, [va, vb, vc, vd], [oa, ob, oc, od]);
+        }
+        // k-chunks of four (not eight): the fused inner loop then keeps
+        // 4 weight vectors + 4 accumulators + 16 broadcast coefficients
+        // live, which fits the register file; an 8-deep chunk spills.
+        // Chunk width never changes results: per output element the adds
+        // run in ascending k with the same skip-on-zero rule either way.
+        let n_chunks = len / 4;
+        for c in 0..n_chunks {
+            let base = start + c * 4;
+            let rows = &self.data[base * cols..(base + 4) * cols];
+            let ca = &va[c * 4..c * 4 + 4];
+            let cb = &vb[c * 4..c * 4 + 4];
+            let cc = &vc[c * 4..c * 4 + 4];
+            let cd = &vd[c * 4..c * 4 + 4];
+            let fused = ca.iter().chain(cb).chain(cc).chain(cd).all(|&x| x != 0.0);
+            if fused {
+                let (r0, rest) = rows.split_at(cols);
+                let (r1, rest) = rest.split_at(cols);
+                let (r2, r3) = rest.split_at(cols);
+                // Reslice to `cols` so the indexed inner loop elides its
+                // bounds checks.
+                let (sa, sb) = (&mut oa[..cols], &mut ob[..cols]);
+                let (sc, sd) = (&mut oc[..cols], &mut od[..cols]);
+                for j in 0..cols {
+                    let (w0, w1, w2, w3) = (r0[j], r1[j], r2[j], r3[j]);
+                    let mut t0 = sa[j];
+                    t0 += ca[0] * w0;
+                    t0 += ca[1] * w1;
+                    t0 += ca[2] * w2;
+                    t0 += ca[3] * w3;
+                    sa[j] = t0;
+                    let mut t1 = sb[j];
+                    t1 += cb[0] * w0;
+                    t1 += cb[1] * w1;
+                    t1 += cb[2] * w2;
+                    t1 += cb[3] * w3;
+                    sb[j] = t1;
+                    let mut t2 = sc[j];
+                    t2 += cc[0] * w0;
+                    t2 += cc[1] * w1;
+                    t2 += cc[2] * w2;
+                    t2 += cc[3] * w3;
+                    sc[j] = t2;
+                    let mut t3 = sd[j];
+                    t3 += cd[0] * w0;
+                    t3 += cd[1] * w1;
+                    t3 += cd[2] * w2;
+                    t3 += cd[3] * w3;
+                    sd[j] = t3;
+                }
+            } else {
+                for (ch, out) in [
+                    (ca, &mut *oa),
+                    (cb, &mut *ob),
+                    (cc, &mut *oc),
+                    (cd, &mut *od),
+                ] {
+                    for (k, &vk) in ch.iter().enumerate() {
+                        if vk == 0.0 {
+                            continue;
+                        }
+                        let r = &rows[k * cols..(k + 1) * cols];
+                        for (o, &m) in out.iter_mut().zip(r) {
+                            *o += vk * m;
+                        }
+                    }
+                }
+            }
+        }
+        let tail = n_chunks * 4;
+        for (v, out) in [(va, oa), (vb, ob), (vc, oc), (vd, od)] {
+            for (k, &vk) in v[tail..].iter().enumerate() {
+                if vk == 0.0 {
+                    continue;
+                }
+                for (o, &m) in out.iter_mut().zip(self.row(start + tail + k)) {
+                    *o += vk * m;
+                }
             }
         }
     }
@@ -341,6 +530,57 @@ impl Matrix {
             other.accumulate_rows(self.row(i), out.row_mut(i));
         }
         crate::sanitize::assert_finite("tensor", "matmul_into", &out.data);
+    }
+
+    /// `self[row_start .. row_start+count] @ other` written into `out`
+    /// (reshaped to `count x other.cols`). Output rows are computed four
+    /// at a time through [`Matrix::accumulate_rows4_from`], so each is
+    /// bitwise identical to the corresponding [`Matrix::matmul_into`] /
+    /// [`Matrix::vecmat`] row while the shared weight-row loads run at
+    /// four-row matmul intensity. The window form is what the batched
+    /// sequence kernels use to multiply only the still-active prefix of
+    /// a packed timestep block.
+    pub fn matmul_window_into(
+        &self,
+        row_start: usize,
+        count: usize,
+        other: &Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_window_into: {}x{} @ {}x{} shape mismatch",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert!(
+            row_start + count <= self.rows,
+            "matmul_window_into: window {row_start}+{count} out of {} rows",
+            self.rows
+        );
+        out.resize_zeroed(count, other.cols);
+        let oc = other.cols;
+        let mut i = 0;
+        while i + 4 <= count {
+            let block = &mut out.data[i * oc..(i + 4) * oc];
+            let (o0, rest) = block.split_at_mut(oc);
+            let (o1, rest) = rest.split_at_mut(oc);
+            let (o2, o3) = rest.split_at_mut(oc);
+            other.accumulate_rows4_from(
+                0,
+                [
+                    self.row(row_start + i),
+                    self.row(row_start + i + 1),
+                    self.row(row_start + i + 2),
+                    self.row(row_start + i + 3),
+                ],
+                [o0, o1, o2, o3],
+            );
+            i += 4;
+        }
+        for r in i..count {
+            other.accumulate_rows(self.row(row_start + r), out.row_mut(r));
+        }
+        crate::sanitize::assert_finite("tensor", "matmul_window_into", &out.data);
     }
 
     /// One output row of `a @ self.T`: `out_row[j] = dot(a_row, self.row(j))`,
@@ -576,6 +816,73 @@ impl Matrix {
             col.clear();
             col.extend((0..count).map(|k| a.data[(a_start + k) * a.cols + i]));
             b.accumulate_rows_from(b_start, col, self.row_mut(i));
+        }
+    }
+
+    /// [`Matrix::add_transposed_matmul`] with output rows computed four
+    /// at a time through [`Matrix::accumulate_rows4_from`]: four columns
+    /// of `a` are gathered into `cols_scratch` (reshaped to `4 x count`)
+    /// and swept against the same `b` row window together, so each loaded
+    /// `b` row serves four weight-gradient rows. Per output element the
+    /// adds run in ascending `k` with the same zero-skip, so the result
+    /// is bitwise identical to the unblocked kernel — and therefore to
+    /// the per-step `add_outer` loop both replace.
+    pub fn add_transposed_matmul_blocked(
+        &mut self,
+        a: &Matrix,
+        a_start: usize,
+        b: &Matrix,
+        b_start: usize,
+        count: usize,
+        cols_scratch: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.shape(),
+            (a.cols, b.cols),
+            "add_transposed_matmul_blocked: out {:?} vs {}x{}",
+            self.shape(),
+            a.cols,
+            b.cols
+        );
+        assert!(
+            a_start + count <= a.rows && b_start + count <= b.rows,
+            "add_transposed_matmul_blocked: window {a_start}/{b_start}+{count} out of {}x{} rows",
+            a.rows,
+            b.rows
+        );
+        cols_scratch.resize_zeroed(4, count);
+        let sc = self.cols;
+        let mut i = 0;
+        while i + 4 <= self.rows {
+            for r in 0..4 {
+                let dst = cols_scratch.row_mut(r);
+                for (k, d) in dst.iter_mut().enumerate() {
+                    *d = a.data[(a_start + k) * a.cols + i + r];
+                }
+            }
+            let block = &mut self.data[i * sc..(i + 4) * sc];
+            let (o0, rest) = block.split_at_mut(sc);
+            let (o1, rest) = rest.split_at_mut(sc);
+            let (o2, o3) = rest.split_at_mut(sc);
+            b.accumulate_rows4_from(
+                b_start,
+                [
+                    cols_scratch.row(0),
+                    cols_scratch.row(1),
+                    cols_scratch.row(2),
+                    cols_scratch.row(3),
+                ],
+                [o0, o1, o2, o3],
+            );
+            i += 4;
+        }
+        for r in i..self.rows {
+            let dst = cols_scratch.row_mut(0);
+            for (k, d) in dst.iter_mut().enumerate() {
+                *d = a.data[(a_start + k) * a.cols + r];
+            }
+            let block = &mut self.data[r * sc..(r + 1) * sc];
+            b.accumulate_rows_from(b_start, cols_scratch.row(0), block);
         }
     }
 
@@ -979,6 +1286,68 @@ mod tests {
         for t in 0..dz_all.rows() {
             assert_eq!(gi.row(t), &w.matvec(dz_all.row(t))[..], "row {t}");
         }
+    }
+
+    /// The windowed four-row matmul must reproduce the plain matmul rows
+    /// bit for bit, on aligned and unaligned windows (remainder rows go
+    /// through the single-row sweep) and zero-laced data (fallback path).
+    #[test]
+    fn matmul_window_into_is_bitwise_identical_to_matmul_rows() {
+        let a = messy(13, 17);
+        let w = messy(17, 9);
+        let full = a.matmul(&w);
+        let mut out = Matrix::full(1, 1, 5.5);
+        for (start, count) in [(0, 13), (0, 4), (2, 7), (5, 8), (9, 3), (0, 0)] {
+            a.matmul_window_into(start, count, &w, &mut out);
+            assert_eq!(out.shape(), (count, w.cols()));
+            for r in 0..count {
+                assert_eq!(
+                    out.row(r),
+                    full.row(start + r),
+                    "window {start}+{count} row {r}"
+                );
+            }
+        }
+    }
+
+    /// The blocked weight-gradient kernel must match the unblocked one
+    /// bit for bit — full windows, shifted windows, row counts that leave
+    /// a remainder against the 4-row blocking, and accumulation on top of
+    /// pre-existing gradient content.
+    #[test]
+    fn add_transposed_matmul_blocked_matches_unblocked_bitwise() {
+        let a = messy(11, 7); // 7 output rows: one full 4-block + 3 remainder
+        let b = messy(11, 5);
+        let mut col = Vec::new();
+        let mut scratch = Matrix::default();
+        for (a_start, b_start, count) in [(0, 0, 11), (0, 1, 10), (3, 0, 8), (2, 2, 9)] {
+            let mut blocked = messy(7, 5);
+            let mut plain = blocked.clone();
+            blocked.add_transposed_matmul_blocked(&a, a_start, &b, b_start, count, &mut scratch);
+            plain.add_transposed_matmul(&a, a_start, &b, b_start, count, &mut col);
+            assert_eq!(blocked, plain, "window {a_start}/{b_start}+{count}");
+        }
+        // Output with a multiple-of-4 row count (no remainder rows).
+        let a = messy(9, 8);
+        let b = messy(9, 6);
+        let mut blocked = messy(8, 6);
+        let mut plain = blocked.clone();
+        blocked.add_transposed_matmul_blocked(&a, 0, &b, 0, 9, &mut scratch);
+        plain.add_transposed_matmul(&a, 0, &b, 0, 9, &mut col);
+        assert_eq!(blocked, plain);
+    }
+
+    #[test]
+    fn capacity_bytes_tracks_backing_buffer() {
+        let mut m = Matrix::zeros(4, 4);
+        assert!(m.capacity_bytes() >= 64);
+        let cap = m.capacity_bytes();
+        m.resize_zeroed(2, 2);
+        assert_eq!(
+            m.capacity_bytes(),
+            cap,
+            "shrinking must keep the allocation"
+        );
     }
 
     #[test]

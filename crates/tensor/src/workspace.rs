@@ -72,6 +72,27 @@ impl Workspace {
         self.vecs.values().map(Vec::len).sum::<usize>()
             + self.mats.values().map(Vec::len).sum::<usize>()
     }
+
+    /// Heap bytes reserved by every pooled buffer (capacity, not length).
+    /// This is the retained footprint a warmed workspace keeps alive
+    /// between operations; the trainer exports it as the
+    /// `workspace_bytes` gauge, and the leak-regression tests pin that it
+    /// stops growing once the pools are warm.
+    pub fn pooled_bytes(&self) -> usize {
+        let vec_bytes: usize = self
+            .vecs
+            .values()
+            .flatten()
+            .map(|v| v.capacity() * std::mem::size_of::<f32>())
+            .sum();
+        let mat_bytes: usize = self
+            .mats
+            .values()
+            .flatten()
+            .map(Matrix::capacity_bytes)
+            .sum();
+        vec_bytes + mat_bytes
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +137,31 @@ mod tests {
         ws.put_vec("v", a);
         ws.put_vec("v", b);
         assert_eq!(ws.pooled(), 2);
+    }
+
+    #[test]
+    fn pooled_bytes_counts_retained_capacity() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.pooled_bytes(), 0);
+        let v = ws.take_vec("v", 16);
+        let m = ws.take_mat("m", 4, 8);
+        // Taken-out buffers are the caller's until returned.
+        assert_eq!(ws.pooled_bytes(), 0);
+        let expect = v.capacity() * 4 + m.capacity_bytes();
+        ws.put_vec("v", v);
+        ws.put_mat("m", m);
+        assert_eq!(ws.pooled_bytes(), expect);
+
+        // A warmed take/put cycle at the same or smaller size must not
+        // grow the retained footprint.
+        let before = ws.pooled_bytes();
+        for _ in 0..3 {
+            let v = ws.take_vec("v", 8);
+            let m = ws.take_mat("m", 2, 4);
+            ws.put_vec("v", v);
+            ws.put_mat("m", m);
+        }
+        assert_eq!(ws.pooled_bytes(), before);
     }
 
     #[test]

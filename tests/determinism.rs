@@ -81,11 +81,12 @@ fn samplers_are_deterministic_across_processes_conceptually() {
     }
 }
 
-/// The tentpole guarantee of the gradient-buffer refactor: per-sample
-/// backward passes shard across threads, but shard accumulators merge in
-/// a fixed order, so the worker count cannot change a single bit of the
-/// result. Run the full training loop single-threaded and with four
-/// workers and demand identical loss curves and identical final weights.
+/// The tentpole guarantee of the batched-execution refactor: each fold
+/// shard packs into one timestep-major batch, but shard boundaries are a
+/// pure function of the batch size and shard buffers merge in a fixed
+/// order, so the worker count cannot change a single bit of the result.
+/// Run the full training loop with one, two and four workers and demand
+/// identical loss curves, final weights and predictions.
 #[test]
 fn training_is_bitwise_identical_across_worker_counts() {
     use etsb_core::encode::EncodedDataset;
@@ -105,33 +106,96 @@ fn training_is_bitwise_identical_across_worker_counts() {
     let sample = sampling::diver_set(&frame, 10, 3);
     let (train, test) = data.split_by_tuples(&sample);
     let cfg = tiny_cfg().train;
+    let cells: Vec<usize> = (0..data.n_cells()).collect();
 
     let run = |workers: usize| {
         set_worker_override(workers);
         let mut model = AnyModel::new(ModelKind::Etsb, &data, &cfg, &mut seeded_rng(31));
         let history = train_model(&mut model, &data, &train, &test, &cfg, 17);
+        let probs = model.predict_probs(&data, &cells);
         set_worker_override(0);
         let weights: Vec<Vec<f32>> = model
             .params()
             .iter()
             .map(|p| p.value.as_slice().to_vec())
             .collect();
-        (history, weights)
+        (history, weights, probs)
     };
 
-    let (h1, w1) = run(1);
-    let (h4, w4) = run(4);
-    assert_eq!(
-        h1.train_loss, h4.train_loss,
-        "loss curve depends on worker count"
-    );
-    assert_eq!(h1.test_acc, h4.test_acc);
-    assert_eq!(h1.best_epoch, h4.best_epoch);
-    for (i, (a, b)) in w1.iter().zip(&w4).enumerate() {
-        assert!(
-            a == b,
-            "weights of param {i} differ between 1 and 4 workers"
+    let (h1, w1, p1) = run(1);
+    for workers in [2, 4] {
+        let (h, w, p) = run(workers);
+        assert_eq!(
+            h1.train_loss, h.train_loss,
+            "loss curve depends on worker count ({workers})"
         );
+        assert_eq!(h1.test_acc, h.test_acc);
+        assert_eq!(h1.best_epoch, h.best_epoch);
+        for (i, (a, b)) in w1.iter().zip(&w).enumerate() {
+            assert!(
+                a == b,
+                "weights of param {i} differ between 1 and {workers} workers"
+            );
+        }
+        assert_eq!(p1, p, "predictions differ between 1 and {workers} workers");
+    }
+}
+
+/// Batched execution must be worker-invariant for *every* cell type —
+/// vanilla, LSTM and GRU each take a distinct batched kernel path, and
+/// each must produce the same losses, weights and predictions whether the
+/// shards run serially or on four threads. (The batched-vs-per-sample leg
+/// of the equivalence suite lives next to the models:
+/// `model::tsb` / `model::etsb` `batched_train_matches_per_sample_reference_bitwise`
+/// and the nn-level `batched_paths_are_bitwise_identical_to_per_sample_paths`.)
+#[test]
+fn batched_training_is_worker_invariant_for_every_cell_type() {
+    use etsb_core::config::CellKind;
+    use etsb_core::encode::EncodedDataset;
+    use etsb_core::model::AnyModel;
+    use etsb_core::train::train_model;
+    use etsb_nn::parallel::set_worker_override;
+    use etsb_tensor::init::seeded_rng;
+
+    let pair = Dataset::Flights
+        .generate(&GenConfig {
+            scale: 0.04,
+            seed: 22,
+        })
+        .expect("dataset generation");
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+    let data = EncodedDataset::from_frame(&frame);
+    let sample = sampling::diver_set(&frame, 8, 5);
+    let (train, test) = data.split_by_tuples(&sample);
+    let mut cfg = tiny_cfg().train;
+    cfg.epochs = 2;
+    let cells: Vec<usize> = (0..data.n_cells().min(120)).collect();
+
+    for cell in [CellKind::Vanilla, CellKind::Lstm, CellKind::Gru] {
+        cfg.cell = cell;
+        let run = |workers: usize| {
+            set_worker_override(workers);
+            let mut model = AnyModel::new(ModelKind::Tsb, &data, &cfg, &mut seeded_rng(53));
+            let history = train_model(&mut model, &data, &train, &test, &cfg, 29);
+            let probs = model.predict_probs(&data, &cells);
+            set_worker_override(0);
+            let weights: Vec<Vec<f32>> = model
+                .params()
+                .iter()
+                .map(|p| p.value.as_slice().to_vec())
+                .collect();
+            (history.train_loss, weights, probs)
+        };
+        let (l1, w1, p1) = run(1);
+        for workers in [2, 4] {
+            let (l, w, p) = run(workers);
+            assert_eq!(l1, l, "{cell:?}: loss depends on worker count {workers}");
+            assert_eq!(w1, w, "{cell:?}: weights depend on worker count {workers}");
+            assert_eq!(
+                p1, p,
+                "{cell:?}: predictions depend on worker count {workers}"
+            );
+        }
     }
 }
 
