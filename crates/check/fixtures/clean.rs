@@ -43,6 +43,33 @@ pub fn seeded_roll(seed: u64) -> u64 {
     rng.next_u64()
 }
 
+/// Hash maps are fine when iteration order cannot escape: entry-style
+/// writes plus an annotated commutative reduction.
+pub fn bucket_total(counts: &std::collections::HashMap<String, Vec<f32>>) -> usize {
+    // etsb: allow(hash-iter-order) -- commutative usize sum.
+    counts.values().map(Vec::len).sum::<usize>()
+}
+
+/// Lattice folds are order-insensitive and exempt from float-reduce.
+pub fn max_abs(values: &[f32]) -> f32 {
+    values.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// A compliant kernel: opens with an assert, writes in place.
+pub fn double_into(a: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), out.len(), "double_into: length mismatch");
+    for (o, x) in out.iter_mut().zip(a) {
+        *o = x + x;
+    }
+}
+
+/// Justified unsafe passes the safety-comment rule.
+pub fn first_unchecked(v: &[f32]) -> f32 {
+    assert!(!v.is_empty(), "first_unchecked: empty input");
+    // SAFETY: emptiness asserted above, so index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -1,0 +1,43 @@
+//! Fixture: order-sensitive float reductions outside the blessed
+//! kernels. The three marked sites must fire; the lattice fold, the
+//! integer fold and the annotated accumulation must not.
+
+/// Ad-hoc f32 sum: associativity leak.                          [hit]
+pub fn loss_sum(losses: &[f32]) -> f32 {
+    losses.iter().sum::<f32>()
+}
+
+/// Float fold with a float-literal init.                        [hit]
+pub fn fold_sum(losses: &[f32]) -> f32 {
+    losses.iter().fold(0.0, |acc, x| acc + x)
+}
+
+/// FMA contracts rounding differently than mul-then-add.        [hit]
+pub fn fused(a: f32, b: f32, c: f32) -> f32 {
+    a.mul_add(b, c)
+}
+
+/// Min folds form a lattice: order-insensitive.              [no hit]
+pub fn min_val(losses: &[f32]) -> f32 {
+    losses.iter().copied().fold(f32::INFINITY, f32::min)
+}
+
+/// Integer folds are exact regardless of order.              [no hit]
+pub fn count_pos(losses: &[f32]) -> usize {
+    losses.iter().fold(0usize, |n, &x| if x > 0.0 { n + 1 } else { n })
+}
+
+/// Annotated pinned-order accumulation.                      [no hit]
+pub fn pinned(losses: &[f64]) -> f64 {
+    // etsb: allow(float-reduce-order) -- sequential accumulation over an ordered slice.
+    losses.iter().sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_sum_freely() {
+        let total = [1.0f32, 2.0].iter().sum::<f32>();
+        assert!(total > 2.9);
+    }
+}

@@ -1,0 +1,54 @@
+//! Fixture: order-leaking hash iteration. The three marked sites must
+//! fire; entry-only use and the annotated commutative sum must not.
+
+use std::collections::{HashMap, HashSet};
+
+/// Majority vote whose count tie-break leaks hash order.        [hit]
+pub fn majority(counts: &HashMap<String, u32>) -> Option<&String> {
+    counts.iter().max_by_key(|(_, c)| **c).map(|(v, _)| v)
+}
+
+/// Split method chain: the iterating call sits on its own line. [hit]
+pub fn chained(map: &HashMap<String, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = map
+        .values()
+        .copied()
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// `for .. in` over a set leaks order without any method call.  [hit]
+pub fn looped(set: &HashSet<u64>) -> u64 {
+    let mut acc = 0;
+    for v in set {
+        acc = acc.wrapping_mul(31).wrapping_add(*v);
+    }
+    acc
+}
+
+/// Entry-only accumulation never observes iteration order.   [no hit]
+pub fn count(values: &[String]) -> usize {
+    let mut counts: HashMap<&str, u32> = HashMap::new();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts.len()
+}
+
+/// Annotated commutative reduction is allowed.               [no hit]
+pub fn total(counts: &HashMap<String, u32>) -> u64 {
+    // etsb: allow(hash-iter-order) -- commutative integer sum.
+    counts.values().map(|&c| u64::from(c)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_iterate_freely() {
+        let m: HashMap<String, u32> = HashMap::new();
+        assert_eq!(m.values().count(), 0);
+    }
+}

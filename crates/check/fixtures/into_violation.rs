@@ -1,0 +1,64 @@
+//! Fixture: `_into` kernel contracts. `bad_axpy_into` allocates twice
+//! (into-no-alloc ×2); `bad_scale_into` opens without a shape assert
+//! (into-shape-assert ×1); the compliant and private kernels are silent.
+
+/// Kernel that allocates: the temp vec and the clone must both fire.
+pub fn bad_axpy_into(a: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), out.len(), "bad_axpy_into: length mismatch");
+    let tmp: Vec<f32> = a.to_vec();
+    let copy = tmp.clone();
+    for (o, x) in out.iter_mut().zip(&copy) {
+        *o += x;
+    }
+}
+
+/// Public kernel missing its opening assertion.
+// etsb: allow(shape-assert) -- fixture isolates the into-shape-assert rule.
+pub fn bad_scale_into(a: &[f32], out: &mut [f32]) {
+    for (o, x) in out.iter_mut().zip(a) {
+        *o = x + x;
+    }
+}
+
+/// Compliant kernel: asserts first, writes in place, never allocates.
+pub fn good_scale_into(a: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), out.len(), "good_scale_into: length mismatch");
+    for (o, x) in out.iter_mut().zip(a) {
+        *o = x + x;
+    }
+}
+
+/// Annotated reshape-style sink: no shape precondition to assert.
+// etsb: allow(shape-assert, into-shape-assert) -- `out` is zero-filled in place.
+pub fn clear_into(a: &[f32], out: &mut [f32]) {
+    let _ = a;
+    for o in out.iter_mut() {
+        *o = 0.0;
+    }
+}
+
+// Private helpers are exempt from the public assert contract (but not
+// from into-no-alloc, which stays silent here).
+fn helper_into(out: &mut [f32]) {
+    for o in out.iter_mut() {
+        *o = 0.0;
+    }
+}
+
+/// Entry point so the helper is referenced.
+pub fn wipe(out: &mut [f32]) {
+    helper_into(out);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate_in_into_helpers() {
+        fn probe_into(v: &mut Vec<f32>) {
+            *v = vec![0.0; 3];
+        }
+        let mut v = Vec::new();
+        probe_into(&mut v);
+        assert_eq!(v.len(), 3);
+    }
+}

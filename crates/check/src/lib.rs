@@ -1,9 +1,11 @@
 //! `etsb-check`: a dependency-light, source-level static-analysis pass
-//! over the workspace, enforcing the project invariants that keep the
-//! paper's 10-repetition evaluation protocol reproducible and the
-//! library crates panic-free on malformed input.
+//! over the workspace — an *invariant auditor* for the contracts that
+//! keep the paper's 10-repetition evaluation protocol reproducible, the
+//! bitwise-determinism guarantee intact, and the library crates
+//! panic-free on malformed input.
 //!
-//! Enforced rules (each with an `// etsb: allow(<rule>)` escape hatch):
+//! Enforced rules (each with an `// etsb: allow(<rule>)` escape hatch
+//! and an `--explain <rule>` doc entry):
 //!
 //! * **`no-unwrap`** — no `unwrap()` / `expect()` / `panic!` /
 //!   `unreachable!` / `todo!` / `unimplemented!` in the non-test code of
@@ -22,21 +24,39 @@
 //!   `eprint!` in the non-test code of library crates: libraries report
 //!   through return values and the `etsb-obs` tracing layer, never by
 //!   writing to the process's stdio directly.
+//! * **`hash-iter-order`** — no iteration over `std`
+//!   `HashMap`/`HashSet` in result-affecting library code; hash order is
+//!   unspecified per process, so it must never reach losses,
+//!   predictions, manifests or CSV output.
+//! * **`float-reduce-order`** — no order-sensitive float reductions
+//!   (`.sum::<f32>()`, float `fold`s, `mul_add`) outside the blessed
+//!   kernels in `etsb-tensor`; the bitwise contract pins reduction
+//!   order in exactly one place.
+//! * **`into-no-alloc`** — `_into` kernel bodies must not allocate
+//!   (static twin of the counting-allocator regression test).
+//! * **`into-shape-assert`** — public `_into` kernels must open with a
+//!   shape assertion before writing through caller-provided buffers.
+//! * **`unsafe-safety-comment`** — every `unsafe` block, fn or impl
+//!   needs a `// SAFETY:` justification.
 //!
 //! The analysis is line-oriented over comment- and string-stripped
-//! source. It is intentionally heuristic — precise enough for this
-//! workspace's house style (enforced by `rustfmt`), simple enough to
-//! audit by reading one file.
+//! source, with a lightweight function-span layer ([`fnmap`]) for the
+//! body-aware rules. It is intentionally heuristic — precise enough for
+//! this workspace's house style (enforced by `rustfmt`), simple enough
+//! to audit by reading one file per concern.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod baseline;
+pub mod fnmap;
+pub mod report;
 mod rules;
 mod strip;
 
 pub use baseline::Baseline;
+pub use report::{json_report, validate_json_report};
 pub use strip::strip_comments_and_strings;
 
 /// Library crates in which panicking paths are forbidden (`no-unwrap`).
@@ -55,6 +75,57 @@ pub const DOC_CHECKED_CRATES: [&str; 2] = ["core", "tensor"];
 /// (whose job is writing to stderr) stay exempt.
 pub const PRINT_CHECKED_CRATES: [&str; 7] = LIBRARY_CRATES;
 
+/// Crates in which hash-container iteration is forbidden
+/// (`hash-iter-order`) — everything whose output can reach losses,
+/// predictions, manifests or CSV rows.
+pub const HASH_CHECKED_CRATES: [&str; 7] = LIBRARY_CRATES;
+
+/// Crates whose float reductions must run through the blessed kernels
+/// (`float-reduce-order`).
+pub const FLOAT_CHECKED_CRATES: [&str; 3] = ["tensor", "nn", "core"];
+
+/// The blessed kernel modules: the only files allowed to spell out raw
+/// float reductions, because they are where the ascending-k order is
+/// pinned and tested.
+pub const FLOAT_BLESSED_FILES: [&str; 2] =
+    ["crates/tensor/src/matrix.rs", "crates/tensor/src/ops.rs"];
+
+/// Crates whose `_into` kernels are audited (`into-no-alloc`,
+/// `into-shape-assert`).
+pub const INTO_CHECKED_CRATES: [&str; 2] = SHAPE_CHECKED_CRATES;
+
+/// How serious a rule violation is. Severity does not change gating —
+/// every violation fails the check — it is reporting metadata for the
+/// JSON report and the `--explain` docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Violates the bitwise-reproducibility contract: results can
+    /// silently differ between runs.
+    Critical,
+    /// Violates a robustness or kernel contract: panics without context,
+    /// hidden allocation, unjustified `unsafe`.
+    High,
+    /// Violates house style: documentation and stdio discipline.
+    Style,
+}
+
+impl Severity {
+    /// Lower-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Critical => "critical",
+            Severity::High => "high",
+            Severity::Style => "style",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One invariant enforced by the checker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
@@ -68,6 +139,16 @@ pub enum Rule {
     DocPub,
     /// Direct stdio output in non-test library-crate code.
     NoPrint,
+    /// Iteration over a std hash container in result-affecting code.
+    HashIterOrder,
+    /// Order-sensitive float reduction outside the blessed kernels.
+    FloatReduceOrder,
+    /// Allocation inside an `_into` kernel body.
+    IntoNoAlloc,
+    /// Public `_into` kernel without an opening shape assertion.
+    IntoShapeAssert,
+    /// `unsafe` without a `// SAFETY:` justification.
+    UnsafeSafetyComment,
 }
 
 impl Rule {
@@ -80,30 +161,180 @@ impl Rule {
             Rule::ShapeAssert => "shape-assert",
             Rule::DocPub => "doc-pub",
             Rule::NoPrint => "no-print",
+            Rule::HashIterOrder => "hash-iter-order",
+            Rule::FloatReduceOrder => "float-reduce-order",
+            Rule::IntoNoAlloc => "into-no-alloc",
+            Rule::IntoShapeAssert => "into-shape-assert",
+            Rule::UnsafeSafetyComment => "unsafe-safety-comment",
         }
     }
 
     /// Parse a rule name; used by the allow-annotation parser.
     pub fn from_name(name: &str) -> Option<Rule> {
-        match name {
-            "no-unwrap" => Some(Rule::NoUnwrap),
-            "no-unseeded-rng" => Some(Rule::NoUnseededRng),
-            "shape-assert" => Some(Rule::ShapeAssert),
-            "doc-pub" => Some(Rule::DocPub),
-            "no-print" => Some(Rule::NoPrint),
-            _ => None,
-        }
+        Rule::all().into_iter().find(|r| r.name() == name)
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 10] {
         [
             Rule::NoUnwrap,
             Rule::NoUnseededRng,
             Rule::ShapeAssert,
             Rule::DocPub,
             Rule::NoPrint,
+            Rule::HashIterOrder,
+            Rule::FloatReduceOrder,
+            Rule::IntoNoAlloc,
+            Rule::IntoShapeAssert,
+            Rule::UnsafeSafetyComment,
         ]
+    }
+
+    /// The rule's severity class.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::NoUnseededRng | Rule::HashIterOrder | Rule::FloatReduceOrder => {
+                Severity::Critical
+            }
+            Rule::NoUnwrap
+            | Rule::ShapeAssert
+            | Rule::IntoNoAlloc
+            | Rule::IntoShapeAssert
+            | Rule::UnsafeSafetyComment => Severity::High,
+            Rule::DocPub | Rule::NoPrint => Severity::Style,
+        }
+    }
+
+    /// Long-form documentation shown by `--explain <rule>`: the contract
+    /// the rule guards, the runtime test it twins, how to fix a hit, and
+    /// when an allow annotation is legitimate.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => {
+                "no-unwrap (high)\n\
+                 Contract: library crates must not panic on malformed input; errors\n\
+                 flow through Result so the CLI can report them with context.\n\
+                 Twin runtime check: the CSV/Dataset error-path tests in etsb-table\n\
+                 and etsb-datasets.\n\
+                 Fix: return Result, restructure so the invariant is expressed in\n\
+                 the types (let-else, unwrap_or, match), or prove the invariant\n\
+                 locally and use an allow annotation with the proof in the comment.\n\
+                 Allow when: the panic is unreachable by construction and the\n\
+                 comment says why."
+            }
+            Rule::NoUnseededRng => {
+                "no-unseeded-rng (critical)\n\
+                 Contract: every random draw derives from an explicit seed, so the\n\
+                 paper's 10-repetition protocol is exactly repeatable.\n\
+                 Twin runtime check: the determinism suite (same seed => bitwise\n\
+                 identical losses and predictions).\n\
+                 Fix: plumb a seed and use SeedableRng::seed_from_u64.\n\
+                 Allow when: never in this workspace; entropy-seeded RNGs have no\n\
+                 legitimate use here."
+            }
+            Rule::ShapeAssert => {
+                "shape-assert (high)\n\
+                 Contract: a two-operand tensor/NN op must validate operand shapes\n\
+                 and panic with a message naming the op, so a mismatch points at\n\
+                 the call site instead of an index-out-of-bounds deep in a kernel.\n\
+                 Twin runtime check: the shape-mismatch panic tests in etsb-tensor.\n\
+                 Fix: open the op with assert_eq!(.., \"op_name: ..\") or delegate\n\
+                 to a shared checked kernel passing the op name as a literal.\n\
+                 Allow when: the op provably has no shape precondition (e.g. a\n\
+                 reshape into a resizable sink)."
+            }
+            Rule::DocPub => {
+                "doc-pub (style)\n\
+                 Contract: the public API of the core and tensor crates is the\n\
+                 reproduction's reference surface; every public item carries docs.\n\
+                 Twin runtime check: none (documentation is not executable).\n\
+                 Fix: write a /// doc comment saying what the item guarantees.\n\
+                 Allow when: the item is a trivial re-export shim pending removal."
+            }
+            Rule::NoPrint => {
+                "no-print (style)\n\
+                 Contract: library crates never write to the process stdio; all\n\
+                 reporting flows through return values and the etsb-obs tracing\n\
+                 layer, so the CLI owns the terminal.\n\
+                 Twin runtime check: trace_lint validates the structured stream\n\
+                 that replaces ad-hoc prints.\n\
+                 Fix: return the value, or emit a trace event.\n\
+                 Allow when: never in library code; put output in the binaries."
+            }
+            Rule::HashIterOrder => {
+                "hash-iter-order (critical)\n\
+                 Contract: batched/parallel/workspace execution stays bitwise\n\
+                 identical to the per-sample reference (DESIGN.md section 4.1).\n\
+                 std HashMap/HashSet iteration order is unspecified and differs\n\
+                 between instances even in one process, so any iteration in\n\
+                 result-affecting code can silently reorder a reduction, a\n\
+                 majority vote, or an output row.\n\
+                 Twin runtime check: the detector double-run determinism test in\n\
+                 etsb-raha and the cross-worker determinism suite in etsb-core.\n\
+                 Fix: use BTreeMap/BTreeSet, or collect and sort by a unique key\n\
+                 before consuming.\n\
+                 Allow when: the consumer is provably order-insensitive — an\n\
+                 integer/saturating sum, a min/max lattice fold, or an\n\
+                 iterate-then-sort-by-unique-key pattern — and the comment says so."
+            }
+            Rule::FloatReduceOrder => {
+                "float-reduce-order (critical)\n\
+                 Contract: float addition does not associate, so the bitwise\n\
+                 determinism story requires every result-affecting reduction to\n\
+                 run through the pinned ascending-k kernels in etsb-tensor\n\
+                 (matrix.rs / ops.rs). An ad-hoc .sum::<f32>() or float fold\n\
+                 elsewhere is one refactor (chunking, parallelism, SIMD) away\n\
+                 from a silently different answer; mul_add contracts rounding\n\
+                 differently than mul-then-add and is forbidden outside kernels.\n\
+                 Twin runtime check: the batched-vs-per-sample bitwise equality\n\
+                 tests and the ETSB_WORKERS determinism suite.\n\
+                 Fix: route the reduction through an etsb-tensor kernel, or make\n\
+                 the accumulation order explicit and pinned.\n\
+                 Allow when: the reduction order is pinned by construction (e.g.\n\
+                 a sequential f64 accumulation over an already-ordered Vec) and\n\
+                 the comment says so."
+            }
+            Rule::IntoNoAlloc => {
+                "into-no-alloc (high)\n\
+                 Contract: _into kernels write into caller-provided buffers and\n\
+                 must be allocation-free in steady state — that is the point of\n\
+                 the workspace buffer pool.\n\
+                 Twin runtime check: the counting-allocator regression test in\n\
+                 etsb-nn (alloc_regression.rs), which proves the warmed hot path\n\
+                 performs zero allocations.\n\
+                 Fix: take scratch space from the Workspace, or resize the\n\
+                 caller's buffer with resize_zeroed (amortized to zero).\n\
+                 Allow when: the allocation is genuinely one-time setup (e.g.\n\
+                 building a static lookup table on first call) and the comment\n\
+                 explains the amortization."
+            }
+            Rule::IntoShapeAssert => {
+                "into-shape-assert (high)\n\
+                 Contract: a public _into kernel writes through buffers it does\n\
+                 not own; a shape mismatch must panic with context before any\n\
+                 arithmetic runs, not corrupt a downstream layout.\n\
+                 Twin runtime check: the kernel shape-mismatch panic tests in\n\
+                 etsb-tensor.\n\
+                 Fix: open the body with assert_eq! / assert! on every operand\n\
+                 dimension, message naming the kernel.\n\
+                 Allow when: the kernel resizes its sink to fit (reshape-style)\n\
+                 and therefore has no shape precondition."
+            }
+            Rule::UnsafeSafetyComment => {
+                "unsafe-safety-comment (high)\n\
+                 Contract: the workspace denies unsafe_code by default; where a\n\
+                 file opts in (allocator shims in tests, future SIMD kernels),\n\
+                 every unsafe block/fn/impl carries a // SAFETY: comment stating\n\
+                 the invariant that makes it sound.\n\
+                 Twin runtime check: none — soundness arguments are exactly the\n\
+                 part the compiler and tests cannot see, which is why the\n\
+                 comment is mandatory.\n\
+                 Fix: write // SAFETY: <why this cannot exhibit UB> directly\n\
+                 above (or on) the unsafe line.\n\
+                 Allow when: never — if it is sound, the argument can be written\n\
+                 down."
+            }
+        }
     }
 }
 
@@ -182,6 +413,26 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
     if ctx.check_print {
         rules::check_no_print(rel, source, &stripped, &test_lines, &allows, &mut findings);
     }
+    if ctx.check_hash {
+        rules::check_hash_iter_order(rel, source, &stripped, &test_lines, &allows, &mut findings);
+    }
+    if ctx.check_float {
+        rules::check_float_reduce_order(
+            rel,
+            source,
+            &stripped,
+            &test_lines,
+            &allows,
+            &mut findings,
+        );
+    }
+    if ctx.check_into {
+        rules::check_into_no_alloc(rel, source, &stripped, &test_lines, &allows, &mut findings);
+        rules::check_into_shape_assert(rel, source, &stripped, &test_lines, &allows, &mut findings);
+    }
+    if ctx.check_unsafe {
+        rules::check_unsafe_safety_comment(rel, source, &stripped, &allows, &mut findings);
+    }
     findings
 }
 
@@ -192,6 +443,10 @@ struct FileContext {
     check_shapes: bool,
     check_docs: bool,
     check_print: bool,
+    check_hash: bool,
+    check_float: bool,
+    check_into: bool,
+    check_unsafe: bool,
 }
 
 impl FileContext {
@@ -200,18 +455,25 @@ impl FileContext {
         let in_crate_src =
             |krate: &str| rel.starts_with(&format!("crates/{krate}/src/")) && rel.ends_with(".rs");
         let lib_src = LIBRARY_CRATES.iter().any(|c| in_crate_src(c));
-        // Seeded-randomness discipline covers everything that can run in
-        // an experiment: library code, binaries, integration tests and
-        // examples — a stray `thread_rng()` in a test breaks the
-        // 10-repetition protocol just as surely as one in `train.rs`.
-        let rng_scope =
+        // Seeded-randomness and unsafe-justification discipline cover
+        // everything that can run in an experiment: library code,
+        // binaries, integration tests and examples — a stray
+        // `thread_rng()` in a test breaks the 10-repetition protocol just
+        // as surely as one in `train.rs`, and an unjustified `unsafe` in
+        // a test allocator is exactly where UB likes to hide.
+        let broad_scope =
             rel.starts_with("crates/") || rel.starts_with("tests/") || rel.starts_with("examples/");
         FileContext {
             check_unwrap: lib_src,
-            check_rng: rng_scope && rel.ends_with(".rs"),
+            check_rng: broad_scope && rel.ends_with(".rs"),
             check_shapes: SHAPE_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
             check_docs: DOC_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
             check_print: PRINT_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
+            check_hash: HASH_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
+            check_float: FLOAT_CHECKED_CRATES.iter().any(|c| in_crate_src(c))
+                && !FLOAT_BLESSED_FILES.contains(&rel.as_str()),
+            check_into: INTO_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
+            check_unsafe: broad_scope && rel.ends_with(".rs"),
         }
     }
 }

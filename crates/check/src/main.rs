@@ -1,15 +1,21 @@
-//! CLI for the workspace invariant checker.
+//! CLI for the workspace invariant auditor.
 //!
 //! ```text
 //! cargo run -p etsb-check                   # check, gated by the baseline
 //! cargo run -p etsb-check -- --update-baseline
 //! cargo run -p etsb-check -- --root DIR --baseline FILE
 //! cargo run -p etsb-check -- --list-baselined
+//! cargo run -p etsb-check -- --explain hash-iter-order
+//! cargo run -p etsb-check -- --json report.json        # CI report
+//! cargo run -p etsb-check -- --validate-json report.json
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
-use etsb_check::{baseline_from_findings, check_tree, find_workspace_root, Baseline, Rule};
+use etsb_check::{
+    baseline_from_findings, check_tree, find_workspace_root, json_report, validate_json_report,
+    Baseline, Rule,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,6 +24,9 @@ struct Args {
     baseline: Option<PathBuf>,
     update_baseline: bool,
     list_baselined: bool,
+    json: Option<PathBuf>,
+    validate_json: Option<PathBuf>,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +35,9 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         update_baseline: false,
         list_baselined: false,
+        json: None,
+        validate_json: None,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -42,11 +54,37 @@ fn parse_args() -> Result<Args, String> {
             }
             "--update-baseline" => args.update_baseline = true,
             "--list-baselined" => args.list_baselined = true,
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    it.next().ok_or("--json requires a file argument")?,
+                ));
+            }
+            "--validate-json" => {
+                args.validate_json = Some(PathBuf::from(
+                    it.next()
+                        .ok_or("--validate-json requires a file argument")?,
+                ));
+            }
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain requires a rule name")?);
+            }
             "--help" | "-h" => {
                 println!(
-                    "etsb-check: workspace invariant linter\n\n\
+                    "etsb-check: workspace invariant auditor\n\n\
                      USAGE: etsb-check [--root DIR] [--baseline FILE] \
-                     [--update-baseline] [--list-baselined]"
+                     [--update-baseline] [--list-baselined]\n       \
+                     etsb-check --json FILE        write a machine-readable report \
+                     (schema v1) alongside the normal output\n       \
+                     etsb-check --validate-json FILE   schema-check a previously \
+                     written report and exit\n       \
+                     etsb-check --explain RULE     print a rule's contract, its \
+                     twin runtime test, and the fix guidance\n\n\
+                     RULES: {}",
+                    Rule::all()
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", "),
                 );
                 std::process::exit(0);
             }
@@ -64,6 +102,47 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    // Doc lookup and report validation need no workspace scan.
+    if let Some(name) = &args.explain {
+        match Rule::from_name(name) {
+            Some(rule) => {
+                println!("{}", rule.explain());
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!(
+                    "etsb-check: unknown rule `{name}`; known rules: {}",
+                    Rule::all()
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(path) = &args.validate_json {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("etsb-check: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match validate_json_report(&text) {
+            Ok(summary) => {
+                println!("etsb-check: {summary}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("etsb-check: {} is invalid: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let root = match args.root.clone().or_else(|| {
         find_workspace_root(&std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")))
     }) {
@@ -129,6 +208,15 @@ fn main() -> ExitCode {
 
     let report = check_tree(&sources, &baseline);
 
+    if let Some(path) = &args.json {
+        let text = json_report(&report, sources.len());
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("etsb-check: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("etsb-check: wrote JSON report to {}", path.display());
+    }
+
     if args.list_baselined {
         for f in &report.baselined {
             println!("baselined: {f}");
@@ -145,10 +233,11 @@ fn main() -> ExitCode {
     }
     if !report.violations.is_empty() {
         for f in &report.violations {
-            eprintln!("error: {f}");
+            eprintln!("error: [{}] {f}", f.rule.severity());
         }
         eprintln!(
-            "\netsb-check: {} violation(s) across {} rule(s); see above. \
+            "\netsb-check: {} violation(s) across {} rule(s); see above, or \
+             `etsb-check --explain <rule>` for the contract behind each. \
              Pre-existing debt is tracked in {} — new debt is not accepted.",
             report.violations.len(),
             {

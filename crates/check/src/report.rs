@@ -1,0 +1,335 @@
+//! Machine-readable report emission and validation for CI.
+//!
+//! `--json` serializes a [`Report`] through the workspace's own JSON
+//! layer (`etsb-obs`), and `--validate-json` re-parses a written report
+//! against the schema below — mirroring the `BENCH_hotpath.json`
+//! emit-then-validate gate so a malformed report fails the pipeline
+//! instead of being silently mis-read by a dashboard.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "tool": "etsb-check",
+//!   "files_scanned": 120,
+//!   "clean": true,
+//!   "rules": [
+//!     {"rule": "no-unwrap", "severity": "high",
+//!      "violations": 0, "baselined": 0}
+//!   ],
+//!   "violations":  [{"rule": "...", "severity": "...", "file": "...",
+//!                    "line": 1, "snippet": "..."}],
+//!   "baselined":   [ ...same shape... ],
+//!   "ratchet_slack": [{"rule": "...", "file": "...",
+//!                      "current": 1, "budget": 2}],
+//!   "stale_entries": [{"rule": "...", "file": "..."}]
+//! }
+//! ```
+
+use crate::{Finding, Report, Rule};
+use etsb_obs::json::{parse, Value};
+
+/// Schema version stamped into every report.
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn finding_value(f: &Finding) -> Value {
+    Value::obj([
+        ("rule".to_string(), Value::from(f.rule.name())),
+        (
+            "severity".to_string(),
+            Value::from(f.rule.severity().name()),
+        ),
+        ("file".to_string(), Value::from(f.file.as_str())),
+        ("line".to_string(), Value::from(f.line)),
+        ("snippet".to_string(), Value::from(f.snippet.as_str())),
+    ])
+}
+
+/// Serialize a report (plus the scanned-file count) to schema-v1 JSON.
+pub fn json_report(report: &Report, files_scanned: usize) -> String {
+    let per_rule: Vec<Value> = Rule::all()
+        .iter()
+        .map(|r| {
+            let v = report.violations.iter().filter(|f| f.rule == *r).count();
+            let b = report.baselined.iter().filter(|f| f.rule == *r).count();
+            Value::obj([
+                ("rule".to_string(), Value::from(r.name())),
+                ("severity".to_string(), Value::from(r.severity().name())),
+                ("violations".to_string(), Value::from(v)),
+                ("baselined".to_string(), Value::from(b)),
+            ])
+        })
+        .collect();
+    Value::obj([
+        ("schema_version".to_string(), Value::from(SCHEMA_VERSION)),
+        ("tool".to_string(), Value::from("etsb-check")),
+        ("files_scanned".to_string(), Value::from(files_scanned)),
+        ("clean".to_string(), Value::from(report.is_clean())),
+        ("rules".to_string(), Value::Arr(per_rule)),
+        (
+            "violations".to_string(),
+            Value::Arr(report.violations.iter().map(finding_value).collect()),
+        ),
+        (
+            "baselined".to_string(),
+            Value::Arr(report.baselined.iter().map(finding_value).collect()),
+        ),
+        (
+            "ratchet_slack".to_string(),
+            Value::Arr(
+                report
+                    .ratchet_slack
+                    .iter()
+                    .map(|(rule, file, current, budget)| {
+                        Value::obj([
+                            ("rule".to_string(), Value::from(rule.as_str())),
+                            ("file".to_string(), Value::from(file.as_str())),
+                            ("current".to_string(), Value::from(*current)),
+                            ("budget".to_string(), Value::from(*budget)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "stale_entries".to_string(),
+            Value::Arr(
+                report
+                    .stale_entries
+                    .iter()
+                    .map(|(rule, file)| {
+                        Value::obj([
+                            ("rule".to_string(), Value::from(rule.as_str())),
+                            ("file".to_string(), Value::from(file.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_json()
+}
+
+fn require<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing key `{key}`"))
+}
+
+fn require_count(v: &Value, key: &str) -> Result<u64, String> {
+    let n = require(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("`{key}` is not a number"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("`{key}` is not a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+fn require_arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    match require(v, key)? {
+        Value::Arr(items) => Ok(items),
+        _ => Err(format!("`{key}` is not an array")),
+    }
+}
+
+fn known_rule(v: &Value, ctx: &str) -> Result<Rule, String> {
+    let name = require(v, "rule")?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: `rule` is not a string"))?;
+    Rule::from_name(name).ok_or_else(|| format!("{ctx}: unknown rule `{name}`"))
+}
+
+fn check_finding(v: &Value, ctx: &str) -> Result<Rule, String> {
+    let rule = known_rule(v, ctx)?;
+    let sev = require(v, "severity")?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: `severity` is not a string"))?;
+    if sev != rule.severity().name() {
+        return Err(format!(
+            "{ctx}: severity `{sev}` does not match rule `{}` (expected `{}`)",
+            rule.name(),
+            rule.severity().name()
+        ));
+    }
+    require(v, "file")?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: `file` is not a string"))?;
+    let line = require_count(v, "line").map_err(|e| format!("{ctx}: {e}"))?;
+    if line == 0 {
+        return Err(format!("{ctx}: `line` must be 1-based"));
+    }
+    require(v, "snippet")?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: `snippet` is not a string"))?;
+    Ok(rule)
+}
+
+/// Validate a schema-v1 report document. Returns a one-line summary on
+/// success, a description of the first problem on failure.
+pub fn validate_json_report(text: &str) -> Result<String, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let version = require_count(&doc, "schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} unsupported (expected {SCHEMA_VERSION})"
+        ));
+    }
+    let tool = require(&doc, "tool")?
+        .as_str()
+        .ok_or("`tool` is not a string")?;
+    if tool != "etsb-check" {
+        return Err(format!("unexpected tool `{tool}`"));
+    }
+    let files = require_count(&doc, "files_scanned")?;
+    if files == 0 {
+        return Err("files_scanned is 0 — an empty scan must not pass CI".to_string());
+    }
+    let clean = match require(&doc, "clean")? {
+        Value::Bool(b) => *b,
+        _ => return Err("`clean` is not a boolean".to_string()),
+    };
+
+    let rules = require_arr(&doc, "rules")?;
+    if rules.len() != Rule::all().len() {
+        return Err(format!(
+            "`rules` has {} entries, expected one per registered rule ({})",
+            rules.len(),
+            Rule::all().len()
+        ));
+    }
+    let mut rule_violations = 0u64;
+    for (i, entry) in rules.iter().enumerate() {
+        let ctx = format!("rules[{i}]");
+        let rule = known_rule(entry, &ctx)?;
+        let sev = require(entry, "severity")?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: `severity` is not a string"))?;
+        if sev != rule.severity().name() {
+            return Err(format!("{ctx}: severity mismatch for `{}`", rule.name()));
+        }
+        rule_violations += require_count(entry, "violations").map_err(|e| format!("{ctx}: {e}"))?;
+        require_count(entry, "baselined").map_err(|e| format!("{ctx}: {e}"))?;
+    }
+
+    let violations = require_arr(&doc, "violations")?;
+    for (i, v) in violations.iter().enumerate() {
+        check_finding(v, &format!("violations[{i}]"))?;
+    }
+    let baselined = require_arr(&doc, "baselined")?;
+    for (i, v) in baselined.iter().enumerate() {
+        check_finding(v, &format!("baselined[{i}]"))?;
+    }
+    if rule_violations != violations.len() as u64 {
+        return Err(format!(
+            "per-rule violation counts sum to {rule_violations} but `violations` lists {}",
+            violations.len()
+        ));
+    }
+    if clean != violations.is_empty() {
+        return Err("`clean` contradicts the `violations` array".to_string());
+    }
+
+    for (i, entry) in require_arr(&doc, "ratchet_slack")?.iter().enumerate() {
+        let ctx = format!("ratchet_slack[{i}]");
+        known_rule(entry, &ctx)?;
+        require(entry, "file")?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: `file` is not a string"))?;
+        let current = require_count(entry, "current").map_err(|e| format!("{ctx}: {e}"))?;
+        let budget = require_count(entry, "budget").map_err(|e| format!("{ctx}: {e}"))?;
+        if current >= budget {
+            return Err(format!(
+                "{ctx}: current {current} is not below budget {budget}"
+            ));
+        }
+    }
+    for (i, entry) in require_arr(&doc, "stale_entries")?.iter().enumerate() {
+        let ctx = format!("stale_entries[{i}]");
+        known_rule(entry, &ctx)?;
+        require(entry, "file")?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: `file` is not a string"))?;
+    }
+
+    Ok(format!(
+        "valid etsb-check report: {} files, {} violation(s), {} baselined, clean={clean}",
+        files,
+        violations.len(),
+        baselined.len(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            violations: vec![Finding {
+                rule: Rule::HashIterOrder,
+                file: "crates/core/src/x.rs".to_string(),
+                line: 12,
+                snippet: "for (k, v) in map {".to_string(),
+            }],
+            baselined: vec![Finding {
+                rule: Rule::NoUnwrap,
+                file: "crates/raha/src/y.rs".to_string(),
+                line: 3,
+                snippet: "x.unwrap()".to_string(),
+            }],
+            ratchet_slack: vec![(
+                "no-unwrap".to_string(),
+                "crates/raha/src/y.rs".to_string(),
+                1,
+                2,
+            )],
+            stale_entries: vec![(
+                "no-print".to_string(),
+                "crates/core/src/gone.rs".to_string(),
+            )],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_validation() {
+        let text = json_report(&sample_report(), 42);
+        let summary = validate_json_report(&text).expect("valid");
+        assert!(summary.contains("42 files"), "{summary}");
+        assert!(summary.contains("1 violation(s)"), "{summary}");
+        assert!(summary.contains("clean=false"), "{summary}");
+    }
+
+    #[test]
+    fn clean_report_validates() {
+        let text = json_report(&Report::default(), 7);
+        let summary = validate_json_report(&text).expect("valid");
+        assert!(summary.contains("clean=true"), "{summary}");
+    }
+
+    #[test]
+    fn rejects_tampered_reports() {
+        let text = json_report(&sample_report(), 42);
+        for (from, to, why) in [
+            ("\"schema_version\":1", "\"schema_version\":2", "version"),
+            ("\"clean\":false", "\"clean\":true", "clean flag"),
+            ("\"files_scanned\":42", "\"files_scanned\":0", "empty scan"),
+            (
+                "\"rule\":\"hash-iter-order\",\"severity\":\"critical\",\"snippet\"",
+                "\"rule\":\"hash-iter-order\",\"severity\":\"style\",\"snippet\"",
+                "severity mismatch",
+            ),
+        ] {
+            let bad = text.replace(from, to);
+            assert_ne!(bad, text, "replacement `{from}` did not apply");
+            assert!(validate_json_report(&bad).is_err(), "accepted bad {why}");
+        }
+        assert!(validate_json_report("{not json").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_rule_names() {
+        let text = json_report(&sample_report(), 42).replace("hash-iter-order", "mystery-rule");
+        let err = validate_json_report(&text).expect_err("must reject");
+        assert!(err.contains("mystery-rule"), "{err}");
+    }
+}

@@ -1,7 +1,11 @@
 //! The rule passes. Each pass walks the stripped source (comments and
 //! string contents blanked — see [`crate::strip`]) so token matches are
 //! real code, while allow-annotations are read from the raw source.
+//! Body-aware rules (`shape-assert`, `into-no-alloc`,
+//! `into-shape-assert`, `hash-iter-order`) reason over the function
+//! spans extracted by [`crate::fnmap`].
 
+use crate::fnmap::{function_spans, item_end};
 use crate::{Finding, Rule};
 use std::collections::HashSet;
 
@@ -65,37 +69,6 @@ pub fn test_code_lines(_source: &str, stripped: &str) -> Vec<bool> {
         }
     }
     in_test
-}
-
-/// Index of the last line of the item starting at (or just after) the
-/// attribute on line `start`: scans to the `;` of a bodiless item or the
-/// matching `}` of its block.
-fn item_end(lines: &[&str], start: usize) -> usize {
-    let mut depth = 0usize;
-    let mut seen_open = false;
-    for (j, line) in lines.iter().enumerate().skip(start) {
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    seen_open = true;
-                }
-                '}' => {
-                    depth = depth.saturating_sub(1);
-                    if seen_open && depth == 0 {
-                        return j;
-                    }
-                }
-                ';' if !seen_open && depth == 0 && j > start => return j,
-                _ => {}
-            }
-        }
-        // `#[cfg(test)] use foo;` on a single line.
-        if j == start && !seen_open && line.contains(';') {
-            return j;
-        }
-    }
-    lines.len().saturating_sub(1)
 }
 
 /// Tokens forbidden in non-test library-crate code, with the matcher
@@ -214,15 +187,6 @@ pub fn check_no_unseeded_rng(
     }
 }
 
-/// One parsed function in a shape-checked crate.
-struct FnInfo {
-    name: String,
-    sig_line: usize,
-    body_start: usize,
-    body_end: usize,
-    tensor_operands: usize,
-}
-
 /// Rule `shape-assert`: a function that consumes two or more tensor-like
 /// operands (`Matrix`, `&[f32]`, `Vec<f32>`, or a `Matrix` receiver)
 /// must carry a shape assertion whose message names the function
@@ -236,8 +200,10 @@ pub fn check_shape_asserts(
     findings: &mut Vec<Finding>,
 ) {
     let raw_lines: Vec<&str> = source.lines().collect();
-    for f in parse_fns(stripped) {
-        if f.tensor_operands < 2
+    for f in function_spans(stripped) {
+        let in_matrix_impl = f.impl_self.as_deref() == Some("Matrix");
+        let operands = tensor_operands(&f.sig, in_matrix_impl);
+        if operands < 2
             || test_lines.get(f.sig_line).copied().unwrap_or(false)
             || allowed(allows, f.sig_line, Rule::ShapeAssert)
         {
@@ -257,151 +223,10 @@ pub fn check_shape_asserts(
                 line: f.sig_line + 1,
                 snippet: format!(
                     "fn {} takes {} tensor operands but has no shape assertion naming it",
-                    f.name, f.tensor_operands
+                    f.name, operands
                 ),
             });
         }
-    }
-}
-
-/// Parse function signatures and body spans from stripped source,
-/// tracking `impl Matrix` receivers.
-fn parse_fns(stripped: &str) -> Vec<FnInfo> {
-    let lines: Vec<&str> = stripped.lines().collect();
-    let mut out = Vec::new();
-    let mut impl_stack: Vec<(usize, bool)> = Vec::new(); // (close_depth, is_matrix)
-    let mut depth = 0usize;
-    let mut i = 0;
-    while i < lines.len() {
-        let t = lines[i].trim_start();
-        if t.starts_with("impl ") || t.starts_with("impl<") {
-            let is_matrix = impl_target(t) == Some("Matrix".to_string());
-            impl_stack.push((depth, is_matrix));
-        }
-        if let Some(fn_col) = fn_keyword_pos(t) {
-            let name: String = t[fn_col + 3..]
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            // Collect the signature until its opening `{` (or `;` for a
-            // trait method declaration).
-            let mut sig = String::new();
-            let mut j = i;
-            let mut body_start = None;
-            while j < lines.len() {
-                let line = lines[j];
-                if let Some(brace) = sig_terminator(line, &sig) {
-                    sig.push_str(&line[..brace]);
-                    if line.as_bytes().get(brace) == Some(&b'{') {
-                        body_start = Some(j);
-                    }
-                    break;
-                }
-                sig.push_str(line);
-                sig.push(' ');
-                j += 1;
-            }
-            if let Some(start) = body_start {
-                let end = item_end(&lines, start);
-                let in_matrix_impl = impl_stack.last().is_some_and(|&(_, m)| m);
-                out.push(FnInfo {
-                    tensor_operands: tensor_operands(&sig, in_matrix_impl),
-                    name,
-                    sig_line: i,
-                    body_start: start,
-                    body_end: end,
-                });
-                // Functions may contain nested closures but not nested
-                // `fn` items in this workspace; skip past the signature
-                // only, so inner `impl` blocks still register.
-            }
-        }
-        depth += lines[i].matches('{').count();
-        depth = depth.saturating_sub(lines[i].matches('}').count());
-        while let Some(&(open_depth, _)) = impl_stack.last() {
-            if depth <= open_depth && lines[i].contains('}') {
-                impl_stack.pop();
-            } else {
-                break;
-            }
-        }
-        i += 1;
-    }
-    out
-}
-
-/// Column of the `fn ` keyword on a trimmed line, if the line declares a
-/// function (`fn`, `pub fn`, `pub(crate) fn`, `const fn`, `unsafe fn`).
-fn fn_keyword_pos(t: &str) -> Option<usize> {
-    if t.starts_with("fn ") {
-        return Some(0);
-    }
-    for prefix in [
-        "pub fn ",
-        "pub(crate) fn ",
-        "pub(super) fn ",
-        "const fn ",
-        "pub const fn ",
-        "unsafe fn ",
-    ] {
-        if t.starts_with(prefix) {
-            return Some(prefix.len() - 3);
-        }
-    }
-    None
-}
-
-/// Position in `line` where the signature ends: the opening `{` or a
-/// terminating `;`, at paren depth 0 relative to `so_far`.
-fn sig_terminator(line: &str, so_far: &str) -> Option<usize> {
-    let mut depth = so_far.matches('(').count() as isize - so_far.matches(')').count() as isize;
-    for (k, c) in line.char_indices() {
-        match c {
-            '(' => depth += 1,
-            ')' => depth -= 1,
-            '{' | ';' if depth <= 0 => return Some(k),
-            _ => {}
-        }
-    }
-    None
-}
-
-/// The self-type of an `impl` line: `impl Matrix {` → `Matrix`,
-/// `impl Trait for Matrix {` → `Matrix`.
-fn impl_target(t: &str) -> Option<String> {
-    let mut rest = t.strip_prefix("impl")?;
-    if rest.starts_with('<') {
-        let mut depth = 0isize;
-        let mut after = rest.len();
-        for (k, c) in rest.char_indices() {
-            match c {
-                '<' => depth += 1,
-                '>' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        after = k + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        rest = &rest[after..];
-    }
-    let rest = rest.trim_start();
-    let rest = match rest.find(" for ") {
-        Some(pos) => &rest[pos + 5..],
-        None => rest,
-    };
-    let name: String = rest
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    if name.is_empty() {
-        None
-    } else {
-        Some(name)
     }
 }
 
@@ -563,6 +388,583 @@ fn has_doc_above(raw_lines: &[&str], attr_lines: &[bool], i: usize) -> bool {
         // Plain comments are transparent to the parser: a doc comment
         // further up still attaches to the item through them.
         if t.starts_with("//") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// hash-iter-order
+// ---------------------------------------------------------------------
+
+/// Methods that yield a hash container's elements in unspecified order.
+const HASH_ITER_METHODS: [&str; 7] = [
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+];
+
+/// Identifiers declared with hash-container types in one file.
+#[derive(Debug, Default)]
+struct HashIdents {
+    /// Declared directly as `HashMap`/`HashSet` (possibly behind `&`):
+    /// any element-yielding method call leaks iteration order.
+    direct: HashSet<String>,
+    /// Declared as a container *of* hash containers (`Vec<HashMap<..>>`):
+    /// only indexed access followed by iteration leaks order.
+    nested: HashSet<String>,
+}
+
+/// Collect identifiers whose declared type (or constructor) names a std
+/// hash container: `let m: HashMap<..>`, `let m = HashMap::new()`,
+/// struct fields and fn params `m: &mut HashSet<..>`, and nested forms
+/// like `counts: Vec<HashMap<..>>`.
+fn collect_hash_idents(stripped: &str) -> HashIdents {
+    let mut out = HashIdents::default();
+    for line in stripped.lines() {
+        let t = line.trim_start();
+        if t.starts_with("use ") {
+            continue;
+        }
+        for token in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(token) {
+                let abs = from + pos;
+                from = abs + token.len();
+                // Token boundaries: not part of a longer identifier, and
+                // actually used as a type/constructor (`<`, `::`, `>`,
+                // `,`, `)` or end follow it).
+                if line[..abs]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    continue;
+                }
+                let after = line[abs + token.len()..].chars().next();
+                if after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    continue;
+                }
+                let Some((ident, sep, sep_pos)) = declared_ident(&line[..abs]) else {
+                    continue;
+                };
+                if ident.is_empty() {
+                    continue;
+                }
+                let type_prefix = line[sep_pos + 1..abs].trim();
+                let direct = sep == '='
+                    || type_prefix
+                        .trim_start_matches('&')
+                        .trim_start_matches("'static")
+                        .trim_start_matches("mut")
+                        .trim()
+                        .trim_start_matches("std::collections::")
+                        .is_empty();
+                if direct {
+                    out.direct.insert(ident);
+                } else {
+                    out.nested.insert(ident);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The identifier being declared left of a hash-type occurrence: walk
+/// back from the end of `before` to the nearest `:` (type ascription;
+/// `::` paths don't count) or `=` (constructor binding; `==`/`=>`/`<=`
+/// etc. don't count), then take the identifier preceding it.
+fn declared_ident(before: &str) -> Option<(String, char, usize)> {
+    let bytes = before.as_bytes();
+    let mut k = bytes.len();
+    while k > 0 {
+        k -= 1;
+        match bytes[k] {
+            b':' => {
+                let part_of_path =
+                    (k > 0 && bytes[k - 1] == b':') || bytes.get(k + 1).copied() == Some(b':');
+                if part_of_path {
+                    // Skip the whole `::`.
+                    if k > 0 && bytes[k - 1] == b':' {
+                        k -= 1;
+                    }
+                    continue;
+                }
+                let ident = trailing_ident(&before[..k]);
+                return Some((ident, ':', k));
+            }
+            b'=' => {
+                let prev = if k > 0 { bytes[k - 1] } else { b' ' };
+                let next = bytes.get(k + 1).copied().unwrap_or(b' ');
+                if matches!(
+                    prev,
+                    b'=' | b'!'
+                        | b'<'
+                        | b'>'
+                        | b'+'
+                        | b'-'
+                        | b'*'
+                        | b'/'
+                        | b'%'
+                        | b'&'
+                        | b'|'
+                        | b'^'
+                ) || matches!(next, b'=' | b'>')
+                {
+                    continue;
+                }
+                let ident = trailing_ident(&before[..k]);
+                return Some((ident, '=', k));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The trailing identifier of `s`, after trimming whitespace and
+/// `&`/`mut` qualifiers.
+fn trailing_ident(s: &str) -> String {
+    let s = s.trim_end();
+    let ident: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    ident
+}
+
+/// Byte offset of each line start, for mapping match positions to lines.
+fn line_offsets(text: &str) -> Vec<usize> {
+    let mut offsets = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            offsets.push(i + 1);
+        }
+    }
+    offsets
+}
+
+/// 0-based line of byte position `pos`.
+fn line_of(offsets: &[usize], pos: usize) -> usize {
+    match offsets.binary_search(&pos) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    }
+}
+
+/// Rule `hash-iter-order`: iteration over `std` `HashMap`/`HashSet` in
+/// result-affecting library code. Hash iteration order is unspecified
+/// and differs between runs, so any value it feeds — a majority vote, a
+/// float accumulation, an output row order — silently breaks the
+/// bitwise-reproducibility contract. Use `BTreeMap`/`BTreeSet`, sort
+/// before consuming, or justify with an allow when the consumer is
+/// provably order-insensitive (e.g. an integer sum).
+pub fn check_hash_iter_order(
+    rel: &str,
+    source: &str,
+    stripped: &str,
+    test_lines: &[bool],
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    let idents = collect_hash_idents(stripped);
+    if idents.direct.is_empty() && idents.nested.is_empty() {
+        return;
+    }
+    let offsets = line_offsets(stripped);
+    let mut hits: Vec<usize> = Vec::new(); // 0-based lines
+
+    for (name, nested) in idents
+        .direct
+        .iter()
+        .map(|n| (n, false))
+        .chain(idents.nested.iter().map(|n| (n, true)))
+    {
+        let mut from = 0;
+        while let Some(pos) = stripped[from..].find(name.as_str()) {
+            let abs = from + pos;
+            from = abs + name.len();
+            // Word boundaries around the identifier.
+            if stripped[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                continue;
+            }
+            let mut rest = &stripped[abs + name.len()..];
+            if rest
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                continue;
+            }
+            if nested {
+                // Require an index expression: `counts[attr].iter()`.
+                let Some(r) = skip_index_expr(rest) else {
+                    continue;
+                };
+                rest = r;
+            }
+            // Allow rustfmt-split method chains: the iterating method may
+            // start on the next line.
+            let trimmed = rest.trim_start();
+            let method_pos = stripped.len() - trimmed.len();
+            if HASH_ITER_METHODS.iter().any(|m| trimmed.starts_with(m)) {
+                hits.push(line_of(&offsets, method_pos));
+                continue;
+            }
+            // `for x in map {` / `for x in &map {` — iteration without a
+            // method call.
+            if !nested && is_for_in_target(&stripped[..abs], rest) {
+                hits.push(line_of(&offsets, abs));
+            }
+        }
+    }
+
+    hits.sort_unstable();
+    hits.dedup();
+    for i in hits {
+        if test_lines.get(i).copied().unwrap_or(false) || allowed(allows, i, Rule::HashIterOrder) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: Rule::HashIterOrder,
+            file: rel.to_string(),
+            line: i + 1,
+            snippet: raw_line(source, i),
+        });
+    }
+}
+
+/// If `rest` opens an index expression `[...]`, return the text after
+/// the matching `]`.
+fn skip_index_expr(rest: &str) -> Option<&str> {
+    if !rest.starts_with('[') {
+        return None;
+    }
+    let mut depth = 0isize;
+    for (k, c) in rest.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[k + 1..]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether an identifier occurrence is the target of a `for .. in`
+/// loop: preceded by `in` (with optional `&`/`&mut`), followed by a
+/// block opener or end of expression.
+fn is_for_in_target(before: &str, rest: &str) -> bool {
+    let next_ok = matches!(rest.trim_start().chars().next(), Some('{') | None);
+    if !next_ok {
+        return false;
+    }
+    let b = before.trim_end();
+    let b = b
+        .strip_suffix("&mut")
+        .map(str::trim_end)
+        .or_else(|| b.strip_suffix('&').map(str::trim_end))
+        .unwrap_or(b);
+    b.ends_with(" in") || b.ends_with("\nin")
+}
+
+// ---------------------------------------------------------------------
+// float-reduce-order
+// ---------------------------------------------------------------------
+
+/// Explicitly floating-point reduction tokens.
+const FLOAT_REDUCE_TOKENS: [&str; 5] = [
+    ".sum::<f32>()",
+    ".sum::<f64>()",
+    ".product::<f32>()",
+    ".product::<f64>()",
+    ".mul_add(",
+];
+
+/// Order-insensitive float reductions carved out of the rule: min/max
+/// form a lattice, so iteration order cannot change the result (modulo
+/// NaN, which the `sanitize` feature traps separately).
+const LATTICE_TOKENS: [&str; 4] = ["::max", "::min", ".max(", ".min("];
+
+/// Rule `float-reduce-order`: order-sensitive float reductions outside
+/// the blessed kernel modules. Float addition does not associate, so the
+/// bitwise-determinism contract requires every result-affecting
+/// reduction to run through the pinned ascending-k kernels in
+/// `etsb-tensor` — an ad-hoc `.sum::<f32>()` or float `fold` elsewhere
+/// is one refactor away from a silently different answer.
+pub fn check_float_reduce_order(
+    rel: &str,
+    source: &str,
+    stripped: &str,
+    test_lines: &[bool],
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    let lines: Vec<&str> = stripped.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if test_lines.get(i).copied().unwrap_or(false) || allowed(allows, i, Rule::FloatReduceOrder)
+        {
+            continue;
+        }
+        let mut hit = false;
+        for token in FLOAT_REDUCE_TOKENS {
+            if count_token(line, token) > 0 {
+                hit = true;
+            }
+        }
+        // `.fold(` with a float-literal or float-constant init is a
+        // float reduction; min/max folds are order-insensitive.
+        if !hit {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(".fold(") {
+                let abs = from + pos;
+                from = abs + ".fold(".len();
+                let arg = line[abs + ".fold(".len()..].trim_start();
+                if float_init(arg) {
+                    // Check this line and the next for a lattice op.
+                    let window = format!("{}\n{}", line, lines.get(i + 1).unwrap_or(&""));
+                    if !LATTICE_TOKENS.iter().any(|t| window.contains(t)) {
+                        hit = true;
+                    }
+                }
+            }
+        }
+        if hit {
+            findings.push(Finding {
+                rule: Rule::FloatReduceOrder,
+                file: rel.to_string(),
+                line: i + 1,
+                snippet: raw_line(source, i),
+            });
+        }
+    }
+}
+
+/// Whether a `fold` init expression looks like a float: `0.0`, `-1.5`,
+/// `0.0_f32`, `f32::INFINITY`, `f64::MIN`, ...
+fn float_init(arg: &str) -> bool {
+    let arg = arg.strip_prefix('-').unwrap_or(arg);
+    if arg.starts_with("f32::") || arg.starts_with("f64::") {
+        return true;
+    }
+    let digits: usize = arg.chars().take_while(|c| c.is_ascii_digit()).count();
+    digits > 0 && arg[digits..].starts_with('.')
+}
+
+// ---------------------------------------------------------------------
+// into-no-alloc / into-shape-assert
+// ---------------------------------------------------------------------
+
+/// Tokens that allocate; forbidden in `_into` kernel bodies. The
+/// workspace pattern is `out.resize_zeroed(..)` over pooled buffers —
+/// amortized to zero once warm — so anything constructing fresh heap
+/// storage inside a kernel defeats the design.
+const ALLOC_TOKENS: [&str; 14] = [
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "vec![",
+    ".to_vec()",
+    ".collect()",
+    ".collect::<",
+    "Matrix::zeros(",
+    "Matrix::new(",
+    "Matrix::full(",
+    "String::new(",
+    "format!(",
+    ".to_string()",
+    "Box::new(",
+    ".clone()",
+];
+
+/// Rule `into-no-alloc`: `_into` kernels must not allocate. This is the
+/// static twin of the counting-allocator regression test — the runtime
+/// test proves the steady state is allocation-free, this rule stops an
+/// edit from re-introducing a per-call allocation that the test's warmup
+/// might mask.
+pub fn check_into_no_alloc(
+    rel: &str,
+    source: &str,
+    stripped: &str,
+    test_lines: &[bool],
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    let lines: Vec<&str> = stripped.lines().collect();
+    for f in function_spans(stripped) {
+        if !f.name.ends_with("_into") || test_lines.get(f.sig_line).copied().unwrap_or(false) {
+            continue;
+        }
+        let end = f.body_end.min(lines.len().saturating_sub(1));
+        for (i, line) in lines.iter().enumerate().take(end + 1).skip(f.body_start) {
+            if allowed(allows, i, Rule::IntoNoAlloc) {
+                continue;
+            }
+            for token in ALLOC_TOKENS {
+                for _ in 0..count_token(line, token) {
+                    findings.push(Finding {
+                        rule: Rule::IntoNoAlloc,
+                        file: rel.to_string(),
+                        line: i + 1,
+                        snippet: format!("fn {}: {}", f.name, raw_line(source, i)),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// How many leading body lines `into-shape-assert` scans for an assert.
+const INTO_ASSERT_WINDOW: usize = 10;
+
+/// Rule `into-shape-assert`: every public `_into` kernel must open with
+/// a shape assertion. `_into` kernels write through caller-provided
+/// buffers; a silent shape mismatch corrupts memory layouts instead of
+/// panicking with context, so the precondition must be checked before
+/// any arithmetic runs.
+pub fn check_into_shape_assert(
+    rel: &str,
+    _source: &str,
+    stripped: &str,
+    test_lines: &[bool],
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    let lines: Vec<&str> = stripped.lines().collect();
+    for f in function_spans(stripped) {
+        if !f.name.ends_with("_into")
+            || !f.is_pub
+            || test_lines.get(f.sig_line).copied().unwrap_or(false)
+            || allowed(allows, f.sig_line, Rule::IntoShapeAssert)
+        {
+            continue;
+        }
+        let end = f
+            .body_end
+            .min(f.body_start + INTO_ASSERT_WINDOW)
+            .min(lines.len().saturating_sub(1));
+        let opens_with_assert = (f.body_start..=end).any(|i| lines[i].contains("assert"));
+        if !opens_with_assert {
+            findings.push(Finding {
+                rule: Rule::IntoShapeAssert,
+                file: rel.to_string(),
+                line: f.sig_line + 1,
+                snippet: format!(
+                    "pub fn {} writes through caller buffers but opens without a shape assert",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// unsafe-safety-comment
+// ---------------------------------------------------------------------
+
+/// Rule `unsafe-safety-comment`: every `unsafe` block, fn, or impl must
+/// be justified by a `// SAFETY:` comment on the same line or directly
+/// above it (attributes and blank lines are transparent).
+pub fn check_unsafe_safety_comment(
+    rel: &str,
+    source: &str,
+    stripped: &str,
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    let raw_lines: Vec<&str> = source.lines().collect();
+    for (i, line) in stripped.lines().enumerate() {
+        if allowed(allows, i, Rule::UnsafeSafetyComment) {
+            continue;
+        }
+        let mut from = 0;
+        let mut flagged = false;
+        while let Some(pos) = line[from..].find("unsafe") {
+            let abs = from + pos;
+            from = abs + "unsafe".len();
+            if flagged {
+                break;
+            }
+            // Word boundaries: `unsafe_code` in a lint attribute is not
+            // the keyword.
+            if line[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                continue;
+            }
+            let after = line[abs + "unsafe".len()..].trim_start();
+            if after
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                && !after.starts_with("fn ")
+                && !after.starts_with("impl ")
+                && !after.starts_with("impl<")
+                && !after.starts_with("trait ")
+            {
+                continue;
+            }
+            if !after.starts_with('{')
+                && !after.starts_with("fn ")
+                && !after.starts_with("impl ")
+                && !after.starts_with("impl<")
+                && !after.starts_with("trait ")
+                && !after.is_empty()
+            {
+                continue;
+            }
+            if !has_safety_comment(&raw_lines, i) {
+                flagged = true;
+                findings.push(Finding {
+                    rule: Rule::UnsafeSafetyComment,
+                    file: rel.to_string(),
+                    line: i + 1,
+                    snippet: raw_line(source, i),
+                });
+            }
+        }
+    }
+}
+
+/// Whether the `unsafe` on raw line `i` is covered by a `SAFETY:`
+/// comment: same line, or in the comment block directly above (blank
+/// lines and attributes are transparent).
+fn has_safety_comment(raw_lines: &[&str], i: usize) -> bool {
+    if raw_lines.get(i).is_some_and(|l| l.contains("SAFETY:")) {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = raw_lines[j].trim_start();
+        if t.is_empty() || t.starts_with("#[") || t.starts_with("#![") {
+            continue;
+        }
+        if t.starts_with("//") {
+            if t.contains("SAFETY:") {
+                return true;
+            }
             continue;
         }
         return false;

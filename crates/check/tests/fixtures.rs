@@ -113,12 +113,142 @@ fn print_fixture_reports_every_stdio_macro() {
 #[test]
 fn clean_fixture_has_zero_false_positives() {
     // Scanned under a path where every rule applies (tensor: unwrap +
-    // rng + shapes + docs).
+    // rng + shapes + docs + hash + float + into + unsafe).
     let findings = scan(
         include_str!("../fixtures/clean.rs"),
         "crates/tensor/src/fixture.rs",
     );
     assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn hash_iter_fixture_reports_each_order_leak() {
+    let findings = scan(
+        include_str!("../fixtures/hash_iter_violation.rs"),
+        "crates/raha/src/fixture.rs",
+    );
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::HashIterOrder)
+        .collect();
+    // Direct `.iter()`, a rustfmt-split `.values()` chain, and a
+    // `for .. in` loop; the entry-only fn, the annotated sum, and the
+    // #[cfg(test)] module stay silent.
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![8, 14, 24], "findings: {findings:?}");
+    assert_eq!(
+        findings.len(),
+        hits.len(),
+        "other rules fired: {findings:?}"
+    );
+    // Outside the result-affecting crates the rule is out of scope.
+    let findings = scan(
+        include_str!("../fixtures/hash_iter_violation.rs"),
+        "crates/cli/src/fixture.rs",
+    );
+    assert!(
+        findings.iter().all(|f| f.rule != Rule::HashIterOrder),
+        "hash-iter-order fired outside the library crates: {findings:?}"
+    );
+}
+
+#[test]
+fn float_reduce_fixture_reports_ad_hoc_reductions() {
+    let findings = scan(
+        include_str!("../fixtures/float_reduce_violation.rs"),
+        "crates/nn/src/fixture.rs",
+    );
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::FloatReduceOrder)
+        .collect();
+    // sum::<f32>, float-init fold, mul_add; the lattice fold, integer
+    // fold, and annotated accumulation stay silent.
+    assert_eq!(hits.len(), 3, "findings: {findings:?}");
+    assert!(hits.iter().any(|f| f.snippet.contains("sum::<f32>")));
+    assert!(hits.iter().any(|f| f.snippet.contains("fold(0.0")));
+    assert!(hits.iter().any(|f| f.snippet.contains("mul_add")));
+    assert_eq!(
+        findings.len(),
+        hits.len(),
+        "other rules fired: {findings:?}"
+    );
+    // The same source inside a blessed kernel module is exempt.
+    let findings = scan(
+        include_str!("../fixtures/float_reduce_violation.rs"),
+        "crates/tensor/src/ops.rs",
+    );
+    assert!(
+        findings.iter().all(|f| f.rule != Rule::FloatReduceOrder),
+        "float-reduce-order fired in a blessed kernel file: {findings:?}"
+    );
+}
+
+#[test]
+fn into_fixture_reports_alloc_and_missing_assert() {
+    let findings = scan(
+        include_str!("../fixtures/into_violation.rs"),
+        "crates/tensor/src/fixture.rs",
+    );
+    let allocs: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::IntoNoAlloc)
+        .collect();
+    // The temp vec and the clone inside bad_axpy_into.
+    assert_eq!(allocs.len(), 2, "findings: {findings:?}");
+    assert!(allocs.iter().all(|f| f.snippet.contains("bad_axpy_into")));
+    let asserts: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::IntoShapeAssert)
+        .collect();
+    assert_eq!(asserts.len(), 1, "findings: {findings:?}");
+    assert!(asserts[0].snippet.contains("bad_scale_into"));
+    // The compliant, annotated, private, and #[cfg(test)] kernels are
+    // silent, and no other rule fires.
+    assert_eq!(findings.len(), 3, "findings: {findings:?}");
+}
+
+#[test]
+fn unsafe_fixture_reports_unjustified_unsafe() {
+    let findings = scan(
+        include_str!("../fixtures/unsafe_violation.rs"),
+        "crates/tensor/src/fixture.rs",
+    );
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::UnsafeSafetyComment)
+        .collect();
+    // Bare block, unsafe fn, and the uncommented unsafe impl; the
+    // SAFETY-commented, same-line, and allow-annotated sites pass.
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![6, 10, 43], "findings: {findings:?}");
+    assert_eq!(
+        findings.len(),
+        hits.len(),
+        "other rules fired: {findings:?}"
+    );
+}
+
+#[test]
+fn every_rule_has_explain_docs_and_round_trips() {
+    for rule in Rule::all() {
+        let doc = rule.explain();
+        assert!(
+            doc.starts_with(&format!("{} ({})", rule.name(), rule.severity().name())),
+            "explain for {} must open with its name and severity: {doc:?}",
+            rule.name()
+        );
+        assert!(
+            doc.contains("Contract:") && doc.contains("Fix:"),
+            "explain for {} must state the contract and the fix",
+            rule.name()
+        );
+        assert_eq!(
+            Rule::from_name(rule.name()),
+            Some(rule),
+            "from_name round-trip"
+        );
+    }
 }
 
 #[test]
@@ -143,6 +273,22 @@ fn violation_fixtures_fail_check_tree_against_an_empty_baseline() {
         (
             include_str!("../fixtures/print_violation.rs"),
             "crates/core/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/hash_iter_violation.rs"),
+            "crates/raha/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/float_reduce_violation.rs"),
+            "crates/nn/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/into_violation.rs"),
+            "crates/tensor/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/unsafe_violation.rs"),
+            "crates/tensor/src/f.rs",
         ),
     ] {
         let sources = vec![(rel.to_string(), fixture.to_string())];

@@ -11,7 +11,7 @@
 //!   signal the character-level model cannot see.
 
 use etsb_table::CellFrame;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// OR-combine model predictions with approximate-FD violations
 /// (discovered at `support`, e.g. 0.95). Raises recall on violated
@@ -48,7 +48,7 @@ pub fn identify_record_key(frame: &CellFrame) -> Option<usize> {
     // group-count test; true unique ids fail the coverage test.
     let mut candidates: Vec<usize> = Vec::new();
     for attr in 0..frame.n_attrs() {
-        let mut counts: HashMap<&str, usize> = HashMap::new();
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
         for t in 0..n_tuples {
             let v = frame.tuple(t)[attr].value_x.as_str();
             if !v.is_empty() {
@@ -74,7 +74,7 @@ pub fn identify_record_key(frame: &CellFrame) -> Option<usize> {
     // coverage). The product separates the true key from both.
     let mut best: Option<(usize, f64)> = None;
     for &attr in &candidates {
-        let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
         for t in 0..n_tuples {
             let v = frame.tuple(t)[attr].value_x.as_str();
             if !v.is_empty() {
@@ -94,7 +94,7 @@ pub fn identify_record_key(frame: &CellFrame) -> Option<usize> {
                 if other == attr {
                     continue;
                 }
-                let mut counts: HashMap<&str, usize> = HashMap::new();
+                let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
                 for &t in tuples {
                     *counts
                         .entry(frame.tuple(t)[other].value_x.as_str())
@@ -131,7 +131,7 @@ pub fn duplicate_aware(
         frame.cells().len(),
         "duplicate_aware: prediction length"
     );
-    let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
     for t in 0..frame.n_tuples() {
         let key = frame.tuple(t)[key_attr].value_x.as_str();
         if !key.is_empty() {
@@ -144,7 +144,7 @@ pub fn duplicate_aware(
             if attr == key_attr {
                 continue;
             }
-            let mut counts: HashMap<&str, usize> = HashMap::new();
+            let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
             for &t in tuples {
                 *counts
                     .entry(frame.tuple(t)[attr].value_x.as_str())

@@ -16,7 +16,7 @@ use etsb_table::CellFrame;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Hashed character-trigram feature dimension.
 const NGRAM_DIM: usize = 512;
@@ -72,7 +72,7 @@ impl RotomDetector {
         // the *clean* labelled values: the out-of-vocabulary fraction is
         // this substitution's stand-in for the pretrained language
         // model's "this string looks unusual" signal in the real Rotom.
-        let mut clean_trigrams: Vec<HashSet<u64>> = vec![HashSet::new(); n_attrs];
+        let mut clean_trigrams: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n_attrs];
         for &t in labeled_tuples {
             for cell in frame.tuple(t) {
                 if !cell.label {
@@ -174,7 +174,7 @@ fn featurize(
     attr: usize,
     length_norm: f32,
     n_attrs: usize,
-    clean_vocab: &HashSet<u64>,
+    clean_vocab: &BTreeSet<u64>,
 ) -> Vec<f32> {
     let mut out = vec![0.0f32; NGRAM_DIM + n_attrs + 3];
     let trigrams = shape_trigrams(value);
@@ -258,7 +258,7 @@ mod tests {
 
     #[test]
     fn featurize_dimensions_and_attr_onehot() {
-        let vocab = HashSet::new();
+        let vocab = BTreeSet::new();
         let f = featurize("abc", 1, 0.5, 3, &vocab);
         assert_eq!(f.len(), NGRAM_DIM + 3 + 3);
         assert_eq!(f[NGRAM_DIM], 0.0);
@@ -271,21 +271,21 @@ mod tests {
 
     #[test]
     fn featurize_empty_flag() {
-        let vocab = HashSet::new();
+        let vocab = BTreeSet::new();
         let f = featurize("", 0, 0.0, 1, &vocab);
         assert_eq!(f[NGRAM_DIM + 1 + 1], 1.0);
     }
 
     #[test]
     fn oov_fraction_separates_unseen_shapes() {
-        let vocab: HashSet<u64> = shape_trigrams("heart failure").into_iter().collect();
+        let vocab: BTreeSet<u64> = shape_trigrams("heart failure").into_iter().collect();
         let clean = featurize("heart failure", 0, 1.0, 1, &vocab);
         let dirty = featurize("hexrt fxilure", 0, 1.0, 1, &vocab);
         let oov_idx = NGRAM_DIM + 1 + 2;
         assert_eq!(clean[oov_idx], 0.0);
         assert!(dirty[oov_idx] > 0.3, "oov fraction {}", dirty[oov_idx]);
         // Digits collapse: a different number is NOT out-of-vocabulary.
-        let vocab_num: HashSet<u64> = shape_trigrams("55%").into_iter().collect();
+        let vocab_num: BTreeSet<u64> = shape_trigrams("55%").into_iter().collect();
         let other_num = featurize("83%", 0, 1.0, 1, &vocab_num);
         assert_eq!(other_num[oov_idx], 0.0);
     }

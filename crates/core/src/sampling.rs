@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Dispatch a sampler by kind.
 pub fn select(kind: SamplerKind, frame: &CellFrame, n: usize, seed: u64) -> Vec<usize> {
@@ -53,7 +53,7 @@ pub fn diver_set(frame: &CellFrame, n: usize, seed: u64) -> Vec<usize> {
     let attrs = frame.attrs();
 
     // concat value → cells carrying it.
-    let mut by_concat: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut by_concat: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for (idx, cell) in frame.cells().iter().enumerate() {
         by_concat.entry(cell.concat(attrs)).or_default().push(idx);
     }

@@ -86,6 +86,7 @@ impl Embedding {
 
     /// Allocation-free training forward: looks up into `out` and rebuilds
     /// `cache` in place (its id buffer is recycled across samples).
+    // etsb: allow(into-shape-assert) -- thin delegation; lookup_into resizes `out` and asserts ids.
     pub fn forward_into(&self, ids: &[usize], out: &mut Matrix, cache: &mut EmbeddingCache) {
         self.lookup_into(ids, out);
         cache.ids.clear();

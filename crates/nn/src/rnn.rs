@@ -1062,7 +1062,7 @@ impl<C: Recurrence> StackedBiRnn<C> {
     /// each sample's `2·hidden` feature vector lands in `features` row
     /// `orig` (original batch order — the restore-order index map).
     /// Bitwise identical to per-sample [`StackedBiRnn::forward_into`].
-    // etsb: allow(shape-assert) -- thin delegation; layer1's batched forward asserts `packed`.
+    // etsb: allow(shape-assert, into-shape-assert) -- thin delegation; layer1's batched forward asserts `packed`, and `features` is a resized sink.
     pub fn forward_batch_into(
         &self,
         packed: &Matrix,

@@ -23,23 +23,34 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: every method delegates verbatim to the System allocator after
+// bumping an atomic counter; the GlobalAlloc contract (layout validity,
+// pointer provenance) is upheld by System itself.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the GlobalAlloc contract; System does the work.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: `layout` is the caller's, passed through unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds the GlobalAlloc contract; System does the work.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: `layout` is the caller's, passed through unchanged.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: caller upholds the GlobalAlloc contract; System does the work.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: `ptr`/`layout` came from this allocator (which is System).
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: caller upholds the GlobalAlloc contract; System does the work.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` came from this allocator (which is System).
         unsafe { System.dealloc(ptr, layout) }
     }
 }

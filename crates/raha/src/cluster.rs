@@ -107,10 +107,18 @@ fn cluster_one_column(
                 }
             }
         }
-        let (i, j, _) = best.expect("at least two live clusters");
-        let mj = members[j].take().expect("checked live");
-        members[i].as_mut().expect("checked live").extend(mj);
-        alive -= 1;
+        // `alive > k >= 1` guarantees a closest pair exists; if the scan
+        // ever comes up empty the clustering is already as coarse as it
+        // can get, so stopping is the correct degradation.
+        let Some((i, j, _)) = best else { break };
+        let Some(mj) = members[j].take() else { break };
+        if let Some(mi) = members[i].as_mut() {
+            mi.extend(mj);
+            alive -= 1;
+        } else {
+            members[j] = Some(mj); // unreachable: i was live in the scan
+            break;
+        }
     }
 
     // Renumber live clusters densely and map tuples through.

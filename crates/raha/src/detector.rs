@@ -85,7 +85,9 @@ impl RahaModel {
         let mut remaining: Vec<usize> = (0..self.n_tuples).collect();
         remaining.shuffle(&mut rng); // randomized tie-breaking
         for _ in 0..n {
-            let (pos, _) = remaining
+            // `n <= n_tuples` keeps `remaining` non-empty throughout; an
+            // empty scan means there is nothing left worth sampling.
+            let Some((pos, _)) = remaining
                 .iter()
                 .enumerate()
                 .map(|(pos, &t)| {
@@ -95,7 +97,9 @@ impl RahaModel {
                     (pos, score)
                 })
                 .max_by_key(|&(_, score)| score)
-                .expect("remaining tuples available");
+            else {
+                break;
+            };
             let t = remaining.swap_remove(pos);
             for (a, cov) in covered.iter_mut().enumerate() {
                 cov[self.clusterings[a].assignment[t]] = true;

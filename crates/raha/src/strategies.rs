@@ -6,8 +6,7 @@
 //! classifier learns to interpret per column.
 
 use etsb_table::CellFrame;
-use std::collections::HashMap;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// A configured strategy instance.
 pub trait Strategy {
@@ -231,7 +230,7 @@ impl Strategy for RareCharacter {
         let n = frame.n_tuples() as f64;
         let mut char_counts: Vec<HashMap<char, u32>> = vec![HashMap::new(); frame.n_attrs()];
         for cell in frame.cells() {
-            let distinct: HashSet<char> = cell.value_x.chars().collect();
+            let distinct: BTreeSet<char> = cell.value_x.chars().collect();
             for ch in distinct {
                 *char_counts[cell.attr].entry(ch).or_insert(0) += 1;
             }
@@ -308,8 +307,10 @@ impl Strategy for FdViolation {
                 if lhs == rhs {
                     continue;
                 }
-                // group: lhs value → (rhs value → count)
-                let mut groups: HashMap<&str, HashMap<&str, u32>> = HashMap::new();
+                // group: lhs value → (rhs value → count). Ordered maps:
+                // the majority vote below must break count ties on the
+                // same rhs value in every run.
+                let mut groups: BTreeMap<&str, BTreeMap<&str, u32>> = BTreeMap::new();
                 for t in 0..n_tuples {
                     let l = frame.tuple(t)[lhs].value_x.as_str();
                     let r = frame.tuple(t)[rhs].value_x.as_str();
@@ -317,21 +318,21 @@ impl Strategy for FdViolation {
                 }
                 let agree: u64 = groups
                     .values()
-                    .map(|rhs_counts| u64::from(*rhs_counts.values().max().expect("non-empty")))
+                    .map(|rhs_counts| u64::from(rhs_counts.values().copied().max().unwrap_or(0)))
                     .sum();
                 if (agree as f64) < self.min_support * n_tuples as f64 {
                     continue; // not (approximately) an FD
                 }
-                // Flag rhs cells that disagree with their group majority.
-                let majority: HashMap<&str, &str> = groups
+                // Flag rhs cells that disagree with their group majority
+                // (ties break toward the lexicographically largest value,
+                // deterministically, via the ordered map).
+                let majority: BTreeMap<&str, &str> = groups
                     .iter()
-                    .map(|(l, rhs_counts)| {
-                        let best = rhs_counts
+                    .filter_map(|(l, rhs_counts)| {
+                        rhs_counts
                             .iter()
                             .max_by_key(|(_, c)| **c)
-                            .map(|(v, _)| *v)
-                            .expect("non-empty");
-                        (*l, best)
+                            .map(|(v, _)| (*l, *v))
                     })
                     .collect();
                 for t in 0..n_tuples {

@@ -1,0 +1,66 @@
+//! Twin runtime check for the `hash-iter-order` lint: the full Raha
+//! pipeline must be byte-identical across repeated runs inside one
+//! process.
+//!
+//! std's `HashMap` seeds its hasher per *instance*, so two `fit` calls
+//! genuinely exercise two different hash orders. If any iteration order
+//! leaked into the strategy features, the clusterings, the greedy label
+//! sampler, or the majority votes, these runs would diverge — which is
+//! exactly what happened before the order-leaking maps were converted
+//! to `BTreeMap`/sorted iteration.
+
+use etsb_raha::{RahaConfig, RahaDetector};
+use etsb_table::{CellFrame, Table};
+
+/// A two-column frame engineered to be tie-heavy: every clean value in
+/// column `a` appears with the same frequency, and the `a -> b` mapping
+/// has tied right-hand-side counts, so frequency-outlier scores and
+/// FD majority votes must break ties deterministically rather than by
+/// hash order.
+fn tie_heavy_frame() -> CellFrame {
+    let mut dirty = Table::with_columns(&["a", "b"]);
+    let mut clean = Table::with_columns(&["a", "b"]);
+    for i in 0..120 {
+        // Six codes, each appearing exactly 20 times: all counts tie.
+        let a = format!("c{}", i % 6);
+        // For each code, two possible rhs values with equal counts: the
+        // FD majority vote for a -> b is a pure tie-break.
+        let b = format!("v{}-{}", i % 6, (i / 6) % 2);
+        if i % 15 == 0 {
+            dirty.push_row(vec!["##".to_string(), b.clone()]);
+        } else {
+            dirty.push_row(vec![a.clone(), b.clone()]);
+        }
+        clean.push_row(vec![a, b]);
+    }
+    CellFrame::merge(&dirty, &clean).expect("frames share shape")
+}
+
+/// One full pipeline run with a fresh detector (fresh hash seeds).
+fn run(frame: &CellFrame) -> (Vec<Vec<f32>>, Vec<usize>, Vec<bool>) {
+    let detector = RahaDetector::new(RahaConfig {
+        n_label_tuples: 20,
+        clusters_per_column: 20,
+    });
+    let model = detector.fit(frame);
+    let features: Vec<Vec<f32>> = (0..frame.cells().len())
+        .map(|c| model.features.row_f32(c))
+        .collect();
+    let sample = model.sample_tuples(20, 7);
+    let predictions = model.detect(frame, &sample);
+    (features, sample, predictions)
+}
+
+#[test]
+fn detector_output_is_byte_identical_across_in_process_runs() {
+    let frame = tie_heavy_frame();
+    let (f1, s1, p1) = run(&frame);
+    let (f2, s2, p2) = run(&frame);
+    let (f3, s3, p3) = run(&frame);
+    assert_eq!(f1, f2, "strategy features drift across runs");
+    assert_eq!(f1, f3, "strategy features drift across runs");
+    assert_eq!(s1, s2, "label sample drifts across runs");
+    assert_eq!(s1, s3, "label sample drifts across runs");
+    assert_eq!(p1, p2, "predictions drift across runs");
+    assert_eq!(p1, p3, "predictions drift across runs");
+}

@@ -4,7 +4,7 @@
 //! repair; also HoloClean's most informative signal).
 
 use etsb_table::CellFrame;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Discovered dependency `lhs → rhs` with its group majority table.
 #[derive(Clone, Debug)]
@@ -12,7 +12,7 @@ struct Dependency {
     lhs: usize,
     rhs: usize,
     /// lhs value → majority rhs value.
-    majority: HashMap<String, String>,
+    majority: BTreeMap<String, String>,
 }
 
 /// FD-based repairer, fit on the predicted-clean portion of a frame.
@@ -49,7 +49,9 @@ impl FdRepairer {
                     continue;
                 }
                 // Group over tuples where BOTH cells are predicted clean.
-                let mut groups: HashMap<&str, HashMap<&str, u32>> = HashMap::new();
+                // Ordered maps: the majority vote below must break count
+                // ties on the same rhs value in every run.
+                let mut groups: BTreeMap<&str, BTreeMap<&str, u32>> = BTreeMap::new();
                 let mut used = 0usize;
                 for t in 0..n_tuples {
                     if error_mask[frame.cell_index(t, lhs)] || error_mask[frame.cell_index(t, rhs)]
@@ -66,20 +68,20 @@ impl FdRepairer {
                 }
                 let agree: u64 = groups
                     .values()
-                    .map(|c| u64::from(*c.values().max().expect("non-empty")))
+                    .map(|c| u64::from(c.values().copied().max().unwrap_or(0)))
                     .sum();
                 if (agree as f64) < support * used as f64 {
                     continue;
                 }
-                let majority: HashMap<String, String> = groups
+                // Ties break toward the lexicographically largest rhs
+                // value, deterministically, via the ordered map.
+                let majority: BTreeMap<String, String> = groups
                     .into_iter()
-                    .map(|(l, counts)| {
-                        let best = counts
+                    .filter_map(|(l, counts)| {
+                        counts
                             .into_iter()
                             .max_by_key(|&(_, c)| c)
-                            .map(|(v, _)| v.to_string())
-                            .expect("non-empty");
-                        (l.to_string(), best)
+                            .map(|(v, _)| (l.to_string(), v.to_string()))
                     })
                     .collect();
                 deps.push(Dependency { lhs, rhs, majority });

@@ -1,7 +1,7 @@
 //! Format normalization: learn the dominant character-class shape of a
 //! column's clean cells and rewrite deviating values toward it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Character-class shape with run collapsing: digits → `d`, letters →
 /// `a`, whitespace → `_`, other characters verbatim.
@@ -30,7 +30,7 @@ pub fn shape(value: &str) -> String {
 /// Most common shape among `values` (ties resolve lexicographically so
 /// the result is deterministic). Returns `None` for an empty iterator.
 pub fn dominant_shape<'a>(values: impl Iterator<Item = &'a str>) -> Option<String> {
-    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     for v in values {
         *counts.entry(shape(v)).or_insert(0) += 1;
     }

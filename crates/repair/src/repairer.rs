@@ -5,7 +5,7 @@ use crate::normalize::{dominant_shape, normalize_to_shape};
 use crate::typo::TypoCorrector;
 use etsb_table::{CellFrame, Table};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which strategy produced a proposal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
@@ -69,12 +69,14 @@ impl Repairer {
             shapes.push(dominant_shape(clean_values().filter(|v| !v.is_empty())));
             // Majority imputation only for low-cardinality columns where
             // the mode is actually representative.
-            let mut counts: HashMap<&str, usize> = HashMap::new();
+            let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
             let mut total = 0usize;
             for v in clean_values().filter(|v| !v.is_empty()) {
                 *counts.entry(v).or_insert(0) += 1;
                 total += 1;
             }
+            // Ordered map: a count tie resolves to the lexicographically
+            // largest value in every run, not whichever hashed last.
             let mode = counts.iter().max_by_key(|(_, c)| **c);
             majority.push(match mode {
                 Some((v, c)) if total > 0 && *c * 2 > total => Some(v.to_string()),

@@ -3,7 +3,7 @@
 
 use crate::distance::bounded_levenshtein;
 use etsb_table::CellFrame;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-column vocabulary of frequent clean values.
 #[derive(Clone, Debug)]
@@ -25,7 +25,7 @@ impl TypoCorrector {
             frame.cells().len(),
             "TypoCorrector::fit: mask length"
         );
-        let mut counts: Vec<HashMap<&str, u32>> = vec![HashMap::new(); frame.n_attrs()];
+        let mut counts: Vec<BTreeMap<&str, u32>> = vec![BTreeMap::new(); frame.n_attrs()];
         for (i, cell) in frame.cells().iter().enumerate() {
             if !error_mask[i] && !cell.value_x.is_empty() {
                 *counts[cell.attr].entry(cell.value_x.as_str()).or_insert(0) += 1;

@@ -203,7 +203,7 @@ impl Matrix {
 
     /// [`Matrix::transpose`] written into `out` (reshaped in place) —
     /// allocation-free once `out`'s capacity has grown to fit.
-    // etsb: allow(shape-assert) -- `out` is a reshaped sink; there is no shape precondition.
+    // etsb: allow(shape-assert, into-shape-assert) -- `out` is a reshaped sink; there is no shape precondition.
     pub fn transpose_into(&self, out: &mut Matrix) {
         out.resize_zeroed(self.cols, self.rows);
         const BLOCK: usize = 32;

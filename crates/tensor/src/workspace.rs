@@ -69,7 +69,9 @@ impl Workspace {
 
     /// Number of buffers currently pooled (both kinds), for diagnostics.
     pub fn pooled(&self) -> usize {
-        self.vecs.values().map(Vec::len).sum::<usize>()
+        // Commutative usize sums over pool sizes: iteration order cannot
+        // change the result, so the maps keep their O(1) hot-path lookups.
+        self.vecs.values().map(Vec::len).sum::<usize>() // etsb: allow(hash-iter-order)
             + self.mats.values().map(Vec::len).sum::<usize>()
     }
 
@@ -81,13 +83,13 @@ impl Workspace {
     pub fn pooled_bytes(&self) -> usize {
         let vec_bytes: usize = self
             .vecs
-            .values()
+            .values() // etsb: allow(hash-iter-order) -- commutative usize sum
             .flatten()
             .map(|v| v.capacity() * std::mem::size_of::<f32>())
             .sum();
         let mat_bytes: usize = self
             .mats
-            .values()
+            .values() // etsb: allow(hash-iter-order) -- commutative usize sum
             .flatten()
             .map(Matrix::capacity_bytes)
             .sum();

@@ -9,8 +9,13 @@
 #   2. cargo clippy -D warnings        -- compiler + clippy lint floor
 #   3. etsb-check                      -- project-specific invariants
 #                                         (panic discipline, seeded RNG,
-#                                         shape asserts, doc coverage;
-#                                         ratchets via check_baseline.txt)
+#                                         shape asserts, doc coverage,
+#                                         hash/float determinism, _into
+#                                         kernel contracts, unsafe
+#                                         discipline; ratchets via
+#                                         check_baseline.txt), emitting
+#                                         a JSON report that is then
+#                                         schema-validated
 #   4. cargo test (default features)   -- tier-1 suite
 #   5. cargo test --features sanitize  -- suite again with numeric
 #                                         NaN/Inf sanitizer hooks live
@@ -34,8 +39,11 @@ cargo fmt --check
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-step "etsb-check (static invariants)"
-cargo run -q -p etsb-check
+step "etsb-check (static invariants + JSON report schema)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q -p etsb-check -- --json "$tmpdir/check_report.json"
+cargo run -q -p etsb-check -- --validate-json "$tmpdir/check_report.json"
 
 if [[ "${1:-}" != "fast" ]]; then
     step "cargo test --workspace"
@@ -48,8 +56,6 @@ if [[ "${1:-}" != "fast" ]]; then
     ETSB_WORKERS=2 cargo test -q -p etsb-core --test determinism
 
     step "trace + manifest schema (tiny hospital pipeline through trace_lint)"
-    tmpdir="$(mktemp -d)"
-    trap 'rm -rf "$tmpdir"' EXIT
     cargo run -q -p etsb-cli -- generate --dataset hospital --scale 0.03 --seed 7 \
         --dirty "$tmpdir/dirty.csv" --clean "$tmpdir/clean.csv"
     ETSB_TRACE="jsonl:$tmpdir/trace.jsonl" cargo run -q -p etsb-cli -- detect \
