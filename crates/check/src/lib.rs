@@ -60,8 +60,8 @@ pub use report::{json_report, validate_json_report};
 pub use strip::strip_comments_and_strings;
 
 /// Library crates in which panicking paths are forbidden (`no-unwrap`).
-pub const LIBRARY_CRATES: [&str; 7] = [
-    "tensor", "nn", "table", "datasets", "raha", "core", "repair",
+pub const LIBRARY_CRATES: [&str; 8] = [
+    "tensor", "nn", "table", "datasets", "raha", "core", "repair", "serve",
 ];
 
 /// Crates whose two-operand numeric ops must carry shape assertions.
@@ -73,12 +73,12 @@ pub const DOC_CHECKED_CRATES: [&str; 2] = ["core", "tensor"];
 /// Crates in which direct stdio output is forbidden (`no-print`) — the
 /// library crates. Binaries (`cli`, `bench`, `check`) and the obs sinks
 /// (whose job is writing to stderr) stay exempt.
-pub const PRINT_CHECKED_CRATES: [&str; 7] = LIBRARY_CRATES;
+pub const PRINT_CHECKED_CRATES: [&str; 8] = LIBRARY_CRATES;
 
 /// Crates in which hash-container iteration is forbidden
 /// (`hash-iter-order`) — everything whose output can reach losses,
 /// predictions, manifests or CSV rows.
-pub const HASH_CHECKED_CRATES: [&str; 7] = LIBRARY_CRATES;
+pub const HASH_CHECKED_CRATES: [&str; 8] = LIBRARY_CRATES;
 
 /// Crates whose float reductions must run through the blessed kernels
 /// (`float-reduce-order`).

@@ -7,6 +7,8 @@ use etsb_core::train::train_model;
 use etsb_core::{sampling, DatasetInfo, EncodedDataset, Metrics, RunManifest};
 use etsb_datasets::{Dataset, GenConfig};
 use etsb_repair::{evaluate, Repairer};
+use etsb_serve::engine::DetectService;
+use etsb_serve::ServeConfig;
 use etsb_table::{csv, CellFrame, Table};
 use etsb_tensor::init::seeded_rng;
 use std::collections::HashMap;
@@ -28,7 +30,14 @@ commands:
   apply     --model FILE --dirty FILE [--out FILE]
             apply a saved detector to new dirty data (no ground truth)
   repair    --dirty FILE --clean FILE [--epochs N] [--seed N] [--out FILE]
-            detect, then repair flagged cells and report repair quality";
+            detect, then repair flagged cells and report repair quality
+  serve     --model FILE [--stdin] [--http ADDR] [--max-batch N]
+            [--linger-ms N] [--queue-cells N] [--timeout-ms N] [--cache N]
+            [--threshold F]
+            keep a saved detector resident and answer detection requests
+            (newline-delimited JSON over stdin/stdout, or HTTP on ADDR);
+            concurrent requests coalesce into shared batches with results
+            bitwise identical to per-request inference";
 
 /// Parse `--key value` pairs; returns an error on dangling or unknown
 /// flags (callers pass the set of known keys).
@@ -94,7 +103,9 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         scale: parse_or(&flags, "scale", 1.0)?,
         seed: parse_or(&flags, "seed", 42u64)?,
     };
-    let pair = dataset.generate(&cfg).expect("dataset generation");
+    let pair = dataset
+        .generate(&cfg)
+        .map_err(|e| format!("generating {dataset}: {e}"))?;
     csv::write_file(&pair.dirty, required(&flags, "dirty")?).map_err(|e| e.to_string())?;
     csv::write_file(&pair.clean, required(&flags, "clean")?).map_err(|e| e.to_string())?;
     println!(
@@ -275,6 +286,95 @@ pub fn apply(args: &[String]) -> Result<(), String> {
         std::fs::write(out, csv_text).map_err(|e| e.to_string())?;
         println!("wrote flagged cells to {out}");
     }
+    Ok(())
+}
+
+/// `etsb serve`.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    // `--stdin` is a bare switch; strip it before key/value parsing.
+    let mut stdin_mode = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--stdin" {
+                stdin_mode = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    let flags = parse_flags(
+        &args,
+        &[
+            "model",
+            "http",
+            "max-batch",
+            "linger-ms",
+            "queue-cells",
+            "timeout-ms",
+            "cache",
+            "threshold",
+        ],
+    )?;
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        max_batch_cells: parse_or(&flags, "max-batch", defaults.max_batch_cells)?,
+        linger: std::time::Duration::from_millis(parse_or(
+            &flags,
+            "linger-ms",
+            defaults.linger.as_millis() as u64,
+        )?),
+        queue_capacity_cells: parse_or(&flags, "queue-cells", defaults.queue_capacity_cells)?,
+        request_timeout: std::time::Duration::from_millis(parse_or(
+            &flags,
+            "timeout-ms",
+            defaults.request_timeout.as_millis() as u64,
+        )?),
+        cache_capacity: parse_or(&flags, "cache", defaults.cache_capacity)?,
+        prob_threshold: parse_or(&flags, "threshold", defaults.prob_threshold)?,
+    };
+    let bytes = std::fs::read(required(&flags, "model")?).map_err(|e| e.to_string())?;
+    let detector = load_detector(&bytes).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {} detector over {} attributes (batch {} cells, cache {})",
+        detector.kind.name(),
+        detector.attr_index.len(),
+        cfg.max_batch_cells,
+        cfg.cache_capacity
+    );
+
+    let http_addr = flags.get("http").cloned();
+    if http_addr.is_some() && stdin_mode {
+        return Err("pick one front end: --stdin or --http ADDR".to_string());
+    }
+    let mut service = DetectService::start(detector, cfg);
+    if let Some(addr) = http_addr {
+        let listener = std::net::TcpListener::bind(&addr).map_err(|e| e.to_string())?;
+        let bound = listener.local_addr().map_err(|e| e.to_string())?;
+        eprintln!("listening on http://{bound} (POST /detect, GET /healthz, GET /metrics)");
+        // Runs until the process is terminated.
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        etsb_serve::http::run(&service, listener, &stop).map_err(|e| e.to_string())?;
+    } else {
+        let stdin = std::io::stdin();
+        etsb_serve::stdio::run(&service, stdin.lock(), std::io::stdout())
+            .map_err(|e| e.to_string())?;
+    }
+    service.shutdown();
+    let m = service.metrics();
+    eprintln!(
+        "served {} request(s) in {} batch(es): {} cells admitted, cache {}/{} hit/miss, \
+         {} timeout(s), {} overload(s)",
+        m.requests,
+        m.batches,
+        m.admitted_cells,
+        m.cache.hits,
+        m.cache.misses,
+        m.timeouts,
+        m.overloaded
+    );
     Ok(())
 }
 

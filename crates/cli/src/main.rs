@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         "detect" => commands::detect(rest),
         "apply" => commands::apply(rest),
         "repair" => commands::repair(rest),
+        "serve" => commands::serve(rest),
         "--help" | "-h" | "help" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -1,7 +1,7 @@
 //! Encoding of a merged [`CellFrame`] into model inputs, and the
 //! train/test split by tuple id.
 
-use etsb_table::{AttrIndex, CellFrame, CharIndex, Table, TableError};
+use etsb_table::{AttrIndex, CellFrame, CharIndex, Table, TableError, MAX_VALUE_LEN};
 
 /// Model-ready encoding of every cell of a dataset.
 ///
@@ -102,6 +102,72 @@ impl EncodedDataset {
             attr_index: attr_index.clone(),
             n_tuples: frame.n_tuples(),
             n_attrs: frame.n_attrs(),
+        })
+    }
+
+    /// Encode an ad-hoc batch of `(attribute id, raw value)` cells with
+    /// training-time dictionaries — the batch-entry point of the serving
+    /// path, where requests arrive as loose cells rather than a table.
+    ///
+    /// Values go through the same normalization as [`CellFrame::merge`]
+    /// (leading whitespace trimmed, truncation to
+    /// [`etsb_table::MAX_VALUE_LEN`] characters) and `length_norm` is
+    /// computed against *this batch's* per-attribute maxima, mirroring
+    /// [`EncodedDataset::from_dirty_table`]'s per-table semantics. The
+    /// encoding of a batch is therefore a pure function of the batch
+    /// alone — concatenating independently encoded batches for one
+    /// coalesced forward pass cannot change any cell's inputs, which is
+    /// what keeps coalesced serving bitwise identical to sequential
+    /// serving.
+    ///
+    /// Labels are `false` placeholders; `n_tuples` counts the cells (each
+    /// ad-hoc cell stands alone). Returns an error if an attribute id is
+    /// out of range for the dictionary.
+    pub fn from_request_cells(
+        cells: &[(usize, &str)],
+        char_index: &CharIndex,
+        attr_index: &AttrIndex,
+    ) -> Result<Self, TableError> {
+        let normalize = |raw: &str| -> String {
+            let trimmed = raw.trim_start();
+            if trimmed.chars().count() > MAX_VALUE_LEN {
+                trimmed.chars().take(MAX_VALUE_LEN).collect()
+            } else {
+                trimmed.to_string()
+            }
+        };
+        let mut max_len = vec![0usize; attr_index.len()];
+        let mut normed = Vec::with_capacity(cells.len());
+        for &(attr, value) in cells {
+            if attr >= attr_index.len() {
+                return Err(TableError::UnknownColumn(format!("attribute id {attr}")));
+            }
+            let value = normalize(value);
+            max_len[attr] = max_len[attr].max(value.chars().count());
+            normed.push((attr, value));
+        }
+        let mut sequences = Vec::with_capacity(cells.len());
+        let mut attr_ids = Vec::with_capacity(cells.len());
+        let mut length_norms = Vec::with_capacity(cells.len());
+        for (attr, value) in &normed {
+            sequences.push(char_index.encode(value));
+            attr_ids.push(*attr);
+            let len = value.chars().count();
+            length_norms.push(if max_len[*attr] == 0 {
+                0.0
+            } else {
+                len as f32 / max_len[*attr] as f32
+            });
+        }
+        Ok(Self {
+            sequences,
+            attr_ids,
+            length_norms,
+            labels: vec![false; cells.len()],
+            char_index: char_index.clone(),
+            attr_index: attr_index.clone(),
+            n_tuples: cells.len(),
+            n_attrs: attr_index.len(),
         })
     }
 
@@ -207,5 +273,58 @@ mod tests {
     fn split_rejects_bad_tuple() {
         let enc = EncodedDataset::from_frame(&frame());
         let _ = enc.split_by_tuples(&[99]);
+    }
+
+    #[test]
+    fn request_cells_encode_like_the_table_path() {
+        let trained = EncodedDataset::from_frame(&frame());
+        // The same values submitted as loose request cells encode to the
+        // same sequences and per-batch length norms as a one-table apply.
+        let req = EncodedDataset::from_request_cells(
+            &[(0, "ab"), (1, ""), (0, "c"), (1, "dd")],
+            &trained.char_index,
+            &trained.attr_index,
+        )
+        .unwrap();
+        assert_eq!(req.n_cells(), 4);
+        assert_eq!(req.sequences[0], trained.sequences[0]);
+        assert_eq!(req.sequences[1], vec![0], "empty value is one pad step");
+        // Per-attribute maxima over this batch: attr 0 max 2, attr 1 max 2.
+        assert_eq!(req.length_norms, vec![1.0, 0.0, 0.5, 1.0]);
+        assert!(req.labels.iter().all(|&l| !l));
+    }
+
+    #[test]
+    fn request_cells_normalize_and_handle_oov() {
+        let trained = EncodedDataset::from_frame(&frame());
+        let req = EncodedDataset::from_request_cells(
+            &[(0, "  ab"), (0, "zz")],
+            &trained.char_index,
+            &trained.attr_index,
+        )
+        .unwrap();
+        // Leading whitespace trimmed exactly like CellFrame::merge.
+        assert_eq!(req.sequences[0], trained.sequences[0]);
+        // Characters unseen at training time map to the pad/OOV index.
+        assert_eq!(req.sequences[1], vec![0, 0]);
+    }
+
+    #[test]
+    fn request_cells_reject_unknown_attribute_id() {
+        let trained = EncodedDataset::from_frame(&frame());
+        assert!(EncodedDataset::from_request_cells(
+            &[(5, "ab")],
+            &trained.char_index,
+            &trained.attr_index,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn request_cells_empty_batch_is_fine() {
+        let trained = EncodedDataset::from_frame(&frame());
+        let req = EncodedDataset::from_request_cells(&[], &trained.char_index, &trained.attr_index)
+            .unwrap();
+        assert_eq!(req.n_cells(), 0);
     }
 }

@@ -46,6 +46,8 @@
 
 #![warn(missing_docs)]
 
+/// Bounded, deterministic LRU over per-cell prediction probabilities.
+pub mod cache;
 /// Experiment, model and training hyper-parameter records.
 pub mod config;
 /// Cell-text to padded character-tensor encoding.
@@ -69,6 +71,7 @@ pub mod sampling;
 /// Mini-batch training loop with early stopping.
 pub mod train;
 
+pub use cache::{CacheStats, PredictCache, PredictKey};
 pub use config::{ExperimentConfig, ModelKind, SamplerKind, TrainConfig};
 pub use encode::EncodedDataset;
 pub use eval::{aggregate, Metrics, Summary};

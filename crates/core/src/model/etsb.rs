@@ -134,7 +134,10 @@ impl EtsbRnn {
             let mut ws = Workspace::new();
             let mut packed = Matrix::default();
             let lengths: Vec<usize> = cells.iter().map(|&c| data.sequences[c].len()).collect();
-            let sb = SeqBatch::from_lengths(&lengths);
+            // Clamped: a hand-built dataset may carry zero-length
+            // sequences (the normal encoder emits at least one pad step);
+            // they occupy one pad timestep, exactly as if encoded as "".
+            let sb = SeqBatch::from_lengths_clamped(&lengths);
             let seqs: Vec<&[usize]> = cells
                 .iter()
                 .map(|&c| data.sequences[c].as_slice())
@@ -323,6 +326,11 @@ impl EtsbRnn {
     /// of the requested cells packs into one batch per recurrent path, so
     /// inference shares the training hot path.
     pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
+        if cells.is_empty() {
+            // Zero cells means zero forward passes: never reach the
+            // batch-packing, length-dense or head kernels empty.
+            return Vec::new();
+        }
         let n = cells.len();
         let encs =
             parallel::parallel_map_shards(n, |_, range| self.encode_shard(data, &cells[range]));

@@ -346,7 +346,29 @@ impl AnyModel {
     /// evaluation head is row-independent, so a representative's
     /// probability is identical whichever batch it is computed in.
     pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
+        self.predict_probs_cached(data, cells, &mut crate::cache::PredictCache::disabled())
+    }
+
+    /// [`AnyModel::predict_probs`] with a caller-owned cross-call cache:
+    /// representatives whose key is already resident are served from
+    /// `cache` without a forward pass, and freshly computed
+    /// representatives are inserted. Because a cached probability was
+    /// produced by the same deterministic, row-independent evaluation
+    /// path, the output is bitwise identical to an uncached call — the
+    /// cache only changes how much work is done, never the bits.
+    ///
+    /// With [`crate::cache::PredictCache::disabled`] this is exactly the
+    /// per-call memo (no owned keys are even built).
+    pub fn predict_probs_cached(
+        &self,
+        data: &EncodedDataset,
+        cells: &[usize],
+        cache: &mut crate::cache::PredictCache,
+    ) -> Vec<f32> {
         use std::collections::HashMap;
+        if cells.is_empty() {
+            return Vec::new();
+        }
         let mut slot_of: HashMap<(usize, u32, &[usize]), usize> = HashMap::new();
         let mut reps: Vec<usize> = Vec::new();
         // Representative index per requested cell, first-encounter order.
@@ -359,6 +381,21 @@ impl AnyModel {
                 })
             })
             .collect();
+        // Probe the shared cache per representative (skipped entirely for
+        // a disabled cache so the plain path never allocates keys).
+        let mut rep_probs: Vec<Option<f32>> = vec![None; reps.len()];
+        let mut rep_keys: Vec<Option<crate::cache::PredictKey>> = vec![None; reps.len()];
+        if cache.enabled() {
+            for (slot, &cell) in reps.iter().enumerate() {
+                let key = owned_memo_key(data, cell);
+                rep_probs[slot] = cache.get(&key);
+                rep_keys[slot] = Some(key);
+            }
+        }
+        let miss_slots: Vec<usize> = (0..reps.len())
+            .filter(|&s| rep_probs[s].is_none())
+            .collect();
+        let miss_cells: Vec<usize> = miss_slots.iter().map(|&s| reps[s]).collect();
         if etsb_obs::enabled() {
             etsb_obs::emit(
                 "counter",
@@ -374,9 +411,28 @@ impl AnyModel {
                     ("value", etsb_obs::FieldValue::from(reps.len())),
                 ],
             );
+            etsb_obs::emit(
+                "counter",
+                vec![
+                    ("name", etsb_obs::FieldValue::from("predict_cache_hits")),
+                    (
+                        "value",
+                        etsb_obs::FieldValue::from(reps.len() - miss_slots.len()),
+                    ),
+                ],
+            );
         }
-        let unique = self.predict_probs_direct(data, &reps);
-        assignment.into_iter().map(|slot| unique[slot]).collect()
+        let computed = self.predict_probs_direct(data, &miss_cells);
+        for (&slot, prob) in miss_slots.iter().zip(computed) {
+            rep_probs[slot] = Some(prob);
+            if let Some(key) = rep_keys[slot].take() {
+                cache.insert(key, prob);
+            }
+        }
+        assignment
+            .into_iter()
+            .map(|slot| rep_probs[slot].unwrap_or(f32::NAN))
+            .collect()
     }
 
     /// The un-memoized prediction path: one forward pass per requested
@@ -564,6 +620,16 @@ pub fn memo_key(data: &EncodedDataset, cell: usize) -> (usize, u32, &[usize]) {
     )
 }
 
+/// Owned form of [`memo_key`] for caches that outlive the dataset borrow
+/// ([`crate::cache::PredictCache`]).
+pub fn owned_memo_key(data: &EncodedDataset, cell: usize) -> crate::cache::PredictKey {
+    (
+        data.attr_ids[cell],
+        data.length_norms[cell].to_bits(),
+        data.sequences[cell].clone(),
+    )
+}
+
 #[cfg(test)]
 pub(crate) mod test_support {
     use super::*;
@@ -743,6 +809,85 @@ mod tests {
                 "{kind:?} train accuracy {correct}/{}",
                 data.n_cells()
             );
+        }
+    }
+
+    /// Regression: zero requested cells must return an empty result, not
+    /// reach the batch-packing/head kernels (which assert non-empty).
+    #[test]
+    fn predict_probs_on_zero_cells_returns_empty() {
+        let data = marked_dataset(12);
+        let cfg = TrainConfig {
+            rnn_units: 4,
+            attr_rnn_units: 2,
+            head_dim: 4,
+            ..Default::default()
+        };
+        for kind in [ModelKind::Tsb, ModelKind::Etsb] {
+            let model = AnyModel::new(kind, &data, &cfg, &mut seeded_rng(7));
+            assert!(model.predict_probs(&data, &[]).is_empty());
+            assert!(model.predict_probs_direct(&data, &[]).is_empty());
+            assert!(model.predict(&data, &[]).is_empty());
+        }
+    }
+
+    /// Regression: a hand-built dataset carrying a zero-length sequence
+    /// (the normal encoder always emits at least one pad step) must
+    /// predict — as if the value had been encoded as the empty string —
+    /// instead of tripping the `SeqBatch` positive-length assert.
+    #[test]
+    fn predict_probs_tolerates_zero_length_sequences() {
+        let mut data = marked_dataset(12);
+        // Same cell twice: once with the encoder's pad-step encoding of
+        // "" and once force-emptied; the two must score identically.
+        data.sequences[0] = vec![0];
+        data.sequences[1] = Vec::new();
+        data.attr_ids[1] = data.attr_ids[0];
+        data.length_norms[1] = data.length_norms[0];
+        let cfg = TrainConfig {
+            rnn_units: 4,
+            attr_rnn_units: 2,
+            head_dim: 4,
+            ..Default::default()
+        };
+        for kind in [ModelKind::Tsb, ModelKind::Etsb] {
+            let model = AnyModel::new(kind, &data, &cfg, &mut seeded_rng(8));
+            let cells: Vec<usize> = (0..data.n_cells()).collect();
+            let probs = model.predict_probs_direct(&data, &cells);
+            assert_eq!(probs.len(), data.n_cells());
+            assert_eq!(
+                probs[0].to_bits(),
+                probs[1].to_bits(),
+                "{kind:?}: empty sequence must score exactly like a pad step"
+            );
+        }
+    }
+
+    /// The shared LRU changes how much work is done, never the bits:
+    /// warm-cache results equal cold-cache results equal the uncached
+    /// path, and hits are actually recorded.
+    #[test]
+    fn cached_predictions_are_bitwise_identical() {
+        use crate::cache::PredictCache;
+        let data = marked_dataset(30);
+        let cfg = TrainConfig {
+            rnn_units: 4,
+            attr_rnn_units: 2,
+            head_dim: 4,
+            ..Default::default()
+        };
+        let cells: Vec<usize> = (0..data.n_cells()).collect();
+        for kind in [ModelKind::Tsb, ModelKind::Etsb] {
+            let model = AnyModel::new(kind, &data, &cfg, &mut seeded_rng(11));
+            let plain = model.predict_probs(&data, &cells);
+            let mut cache = PredictCache::new(1024);
+            let cold = model.predict_probs_cached(&data, &cells, &mut cache);
+            let warm = model.predict_probs_cached(&data, &cells, &mut cache);
+            assert_eq!(plain, cold, "{kind:?}: cold cache changed bits");
+            assert_eq!(plain, warm, "{kind:?}: warm cache changed bits");
+            let stats = cache.stats();
+            assert!(stats.hits > 0, "{kind:?}: second pass should hit");
+            assert!(stats.len <= 1024);
         }
     }
 }

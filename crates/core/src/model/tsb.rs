@@ -79,7 +79,10 @@ impl TsbRnn {
             None
         } else {
             let lengths: Vec<usize> = cells.iter().map(|&c| data.sequences[c].len()).collect();
-            let sb = SeqBatch::from_lengths(&lengths);
+            // Clamped: a hand-built dataset may carry zero-length
+            // sequences (the normal encoder emits at least one pad step);
+            // they occupy one pad timestep, exactly as if encoded as "".
+            let sb = SeqBatch::from_lengths_clamped(&lengths);
             let seqs: Vec<&[usize]> = cells
                 .iter()
                 .map(|&c| data.sequences[c].as_slice())
@@ -209,6 +212,11 @@ impl TsbRnn {
     /// of the requested cells packs into one [`SeqBatch`] and runs the
     /// batched forward, so inference shares the training hot path.
     pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
+        if cells.is_empty() {
+            // Zero cells means zero forward passes: never reach the
+            // batch-packing or head kernels with an empty matrix.
+            return Vec::new();
+        }
         let feat_dim = self.rnn.output_dim();
         let encs = parallel::parallel_map_shards(cells.len(), |_, range| {
             self.encode_shard(data, &cells[range])

@@ -280,6 +280,20 @@ mod tests {
         assert!(!flags[0]);
     }
 
+    /// Regression: applying a detector to a table with zero rows must
+    /// return an empty mask, not panic in the batch-packing kernels.
+    #[test]
+    fn apply_to_empty_table_returns_empty_mask() {
+        let data = marked_dataset(12);
+        let cfg = small_cfg();
+        let model = AnyModel::new(ModelKind::Etsb, &data, &cfg, &mut seeded_rng(9));
+        let saved = save_detector(&model, ModelKind::Etsb, &cfg, &data);
+        let loaded = load_detector(&saved).unwrap();
+        let empty = etsb_table::Table::with_columns(&["v", "w"]);
+        assert!(loaded.apply(&empty).unwrap().is_empty());
+        assert!(loaded.apply_probs(&empty).unwrap().is_empty());
+    }
+
     #[test]
     fn bad_magic_rejected() {
         assert!(matches!(

@@ -92,6 +92,24 @@ impl SeqBatch {
         }
     }
 
+    /// [`SeqBatch::from_lengths`] with zero lengths clamped to one: a
+    /// zero-length sequence occupies a single pad timestep, exactly the
+    /// layout its value would get had it been encoded as the empty string
+    /// (the dictionary encodes `""` as one pad token). The embedding
+    /// batch kernels substitute the pad row for the missing step, so
+    /// downstream results are bitwise identical either way. Use this on
+    /// externally supplied batches (e.g. serving requests) that may carry
+    /// raggedly empty sequences; the batch itself must still be
+    /// non-empty.
+    pub fn from_lengths_clamped(lengths: &[usize]) -> Self {
+        if lengths.contains(&0) {
+            let clamped: Vec<usize> = lengths.iter().map(|&l| l.max(1)).collect();
+            Self::from_lengths(&clamped)
+        } else {
+            Self::from_lengths(lengths)
+        }
+    }
+
     /// Number of samples in the batch.
     pub fn n_samples(&self) -> usize {
         self.order.len()
@@ -250,6 +268,25 @@ pub(crate) fn accumulate_seq_grads(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clamped_constructor_pads_zero_lengths() {
+        let b = SeqBatch::from_lengths_clamped(&[3, 0, 2]);
+        assert_eq!(b.n_samples(), 3);
+        assert_eq!(b.len_at(b.slot_of(1)), 1);
+        // Identical layout to the same batch with an explicit pad step.
+        let explicit = SeqBatch::from_lengths(&[3, 1, 2]);
+        assert_eq!(b.total_rows(), explicit.total_rows());
+        for orig in 0..3 {
+            assert_eq!(b.slot_of(orig), explicit.slot_of(orig));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn clamped_constructor_still_rejects_empty_batch() {
+        let _ = SeqBatch::from_lengths_clamped(&[]);
+    }
 
     #[test]
     fn layout_of_mixed_lengths() {

@@ -119,9 +119,14 @@ impl Embedding {
     /// [`SeqBatch::from_lengths`]. Pure row copies, so the packed rows are
     /// bitwise identical to per-sample [`Embedding::lookup_into`] output.
     ///
+    /// A zero-length sequence is accepted when its slot holds one
+    /// timestep (the [`SeqBatch::from_lengths_clamped`] layout): the
+    /// missing step reads the pad row (index 0), exactly what the
+    /// sequence would contain had the empty value been encoded normally.
+    ///
     /// # Panics
-    /// If a sequence length disagrees with `batch` or any id is out of
-    /// vocabulary.
+    /// If a non-empty sequence's length disagrees with `batch` or any id
+    /// is out of vocabulary.
     pub fn lookup_batch_into(&self, batch: &SeqBatch, seqs: &[&[usize]], out: &mut Matrix) {
         let dim = self.dim();
         let vocab = self.vocab_size();
@@ -133,12 +138,13 @@ impl Embedding {
         out.resize_zeroed(batch.total_rows(), dim);
         for (orig, seq) in seqs.iter().enumerate() {
             let slot = batch.slot_of(orig);
-            assert_eq!(
-                seq.len(),
-                batch.len_at(slot),
+            let len = batch.len_at(slot);
+            assert!(
+                seq.len() == len || (seq.is_empty() && len == 1),
                 "Embedding::lookup_batch_into: sequence length mismatch"
             );
-            for (t, &id) in seq.iter().enumerate() {
+            for t in 0..len {
+                let id = seq.get(t).copied().unwrap_or(0);
                 assert!(
                     id < vocab,
                     "Embedding: id {id} out of vocabulary (size {vocab})"
@@ -178,7 +184,10 @@ impl Embedding {
         );
         for (orig, seq) in seqs.iter().enumerate() {
             let slot = batch.slot_of(orig);
-            for (t, &id) in seq.iter().enumerate() {
+            // Mirror the forward's pad substitution: a clamped empty
+            // sequence replays its single pad step into row 0.
+            for t in 0..batch.len_at(slot) {
+                let id = seq.get(t).copied().unwrap_or(0);
                 etsb_tensor::add_assign(grad.row_mut(id), grad_packed.row(batch.row(slot, t)));
             }
         }
@@ -237,5 +246,41 @@ mod tests {
         let emb = Embedding::new(3, 2, &mut rng);
         let (out, _) = emb.forward(&[]);
         assert_eq!(out.shape(), (0, 2));
+    }
+
+    #[test]
+    fn clamped_empty_sequence_reads_pad_row() {
+        let mut rng = seeded_rng(5);
+        let emb = Embedding::new(4, 3, &mut rng);
+        let sb = SeqBatch::from_lengths_clamped(&[2, 0]);
+        let seqs: Vec<&[usize]> = vec![&[1, 2], &[]];
+        let mut packed = Matrix::default();
+        emb.lookup_batch_into(&sb, &seqs, &mut packed);
+        // Identical to encoding the empty value as one explicit pad token.
+        let sb_pad = SeqBatch::from_lengths(&[2, 1]);
+        let pad_seqs: Vec<&[usize]> = vec![&[1, 2], &[0]];
+        let mut expect = Matrix::default();
+        emb.lookup_batch_into(&sb_pad, &pad_seqs, &mut expect);
+        assert_eq!(packed.shape(), expect.shape());
+        for r in 0..packed.rows() {
+            assert_eq!(packed.row(r), expect.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn clamped_empty_sequence_backward_matches_explicit_pad() {
+        let mut rng = seeded_rng(6);
+        let emb = Embedding::new(4, 2, &mut rng);
+        let sb = SeqBatch::from_lengths_clamped(&[1, 0]);
+        let grad_packed = Matrix::from_rows(&[&[1.0, 2.0], &[0.5, 0.25]]);
+        let seqs: Vec<&[usize]> = vec![&[3], &[]];
+        let mut grad = Matrix::zeros(4, 2);
+        emb.backward_batch(&sb, &seqs, &grad_packed, &mut grad);
+        let pad_seqs: Vec<&[usize]> = vec![&[3], &[0]];
+        let mut expect = Matrix::zeros(4, 2);
+        emb.backward_batch(&sb, &pad_seqs, &grad_packed, &mut expect);
+        for r in 0..4 {
+            assert_eq!(grad.row(r), expect.row(r), "row {r}");
+        }
     }
 }

@@ -1,0 +1,137 @@
+//! Minimal HTTP/1.1 front end — enough protocol for `curl` and load
+//! generators, nothing more. One short-lived connection per request
+//! (`Connection: close`), handled on a scoped thread so many callers can
+//! block in the engine simultaneously and coalesce into shared batches.
+//!
+//! Routes:
+//!
+//! * `GET /healthz` — liveness probe, always `200 {"status":"ok"}`.
+//! * `GET /metrics` — service counters + cache statistics as JSON.
+//! * `POST /detect` — one request object (the [`crate::protocol`] wire
+//!   format) in the body; the response body is the matching response
+//!   object. Statuses map to `200` (ok), `400` (bad_request), `503`
+//!   (overloaded, shutting_down) and `504` (timeout).
+
+use crate::engine::DetectService;
+use crate::protocol::{parse_request, Response, Status};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Largest accepted `POST /detect` body.
+const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// Accept loop: serve connections until `stop` becomes true, polling the
+/// (non-blocking) listener every few milliseconds so shutdown does not
+/// wait for a final connection. Each connection is handled on a scoped
+/// thread; the function returns only once all of them finished.
+pub fn run(
+    service: &DetectService,
+    listener: TcpListener,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| {
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    scope.spawn(move || {
+                        // Connection-level I/O errors only affect that
+                        // peer; the accept loop keeps serving.
+                        let _ = handle_connection(service, stream);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    })
+}
+
+fn status_line(status: Status) -> (u16, &'static str) {
+    match status {
+        Status::Ok => (200, "OK"),
+        Status::BadRequest => (400, "Bad Request"),
+        Status::Overloaded => (503, "Service Unavailable"),
+        Status::Timeout => (504, "Gateway Timeout"),
+        Status::ShuttingDown => (503, "Service Unavailable"),
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    code: u16,
+    phrase: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {code} {phrase}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+fn handle_connection(service: &DetectService, stream: TcpStream) -> std::io::Result<()> {
+    // The accepted socket may inherit the listener's non-blocking mode.
+    stream.set_nonblocking(false)?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(()); // Peer connected and said nothing.
+    }
+    let mut parts = request_line.trim_end().splitn(3, ' ');
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+
+    match (method, path) {
+        ("GET", "/healthz") => write_response(&mut stream, 200, "OK", "{\"status\":\"ok\"}"),
+        ("GET", "/metrics") => write_response(&mut stream, 200, "OK", &service.metrics().to_json()),
+        ("POST", "/detect") => {
+            if content_length > MAX_BODY_BYTES {
+                return write_response(
+                    &mut stream,
+                    413,
+                    "Payload Too Large",
+                    "{\"error\":\"body too large\"}",
+                );
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            let text = String::from_utf8_lossy(&body);
+            let response = match parse_request(text.trim()) {
+                Ok(request) => service.submit(request).wait(),
+                Err(e) => Response::failed(String::new(), Status::BadRequest, e),
+            };
+            let (code, phrase) = status_line(response.status);
+            write_response(&mut stream, code, phrase, &response.to_json_line())
+        }
+        _ => write_response(&mut stream, 404, "Not Found", "{\"error\":\"not found\"}"),
+    }
+}

@@ -1,0 +1,335 @@
+//! The request/response wire protocol: newline-delimited JSON, one
+//! object per line, shared by the stdio and HTTP front ends.
+//!
+//! Request:
+//!
+//! ```json
+//! {"id":"r1","cells":[{"tuple_id":0,"attribute":"city","value":"Zurich"}]}
+//! ```
+//!
+//! Response (`results` present only for `"status":"ok"`, in the order
+//! the cells were submitted; `error` present only on failure):
+//!
+//! ```json
+//! {"id":"r1","status":"ok","results":[
+//!   {"tuple_id":0,"attribute":"city","prob":0.0317,"flagged":false}]}
+//! ```
+//!
+//! The shape follows the HoloClean `DetectEngine` contract: a detection
+//! pass returns one record per cell id `(tuple_id, attribute)` with the
+//! detector's verdict. Probabilities are `f32` widened exactly to JSON
+//! numbers, so two byte-identical inference results always serialize to
+//! byte-identical response lines — the property the determinism smoke
+//! test (`serve_check`) asserts end to end.
+
+use etsb_obs::json::{self, Value};
+
+/// One cell submitted for detection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestCell {
+    /// Caller-side row id, echoed back untouched (defaults to 0).
+    pub tuple_id: u64,
+    /// Attribute name; must exist in the detector's training schema.
+    pub attribute: String,
+    /// The raw cell value.
+    pub value: String,
+}
+
+/// One detection request: a batch of loose cells under a caller id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed back untouched.
+    pub id: String,
+    /// Cells to score. May be empty (the response is `ok` with no
+    /// results).
+    pub cells: Vec<RequestCell>,
+}
+
+/// Terminal status of a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Scored; `results` carries one record per submitted cell.
+    Ok,
+    /// The request was malformed (unknown attribute, bad JSON shape).
+    BadRequest,
+    /// The admission queue was full — backpressure; retry later.
+    Overloaded,
+    /// The request waited in the queue past its deadline.
+    Timeout,
+    /// The service is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl Status {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::BadRequest => "bad_request",
+            Status::Overloaded => "overloaded",
+            Status::Timeout => "timeout",
+            Status::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// Verdict for one submitted cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// Echo of the submitted `tuple_id`.
+    pub tuple_id: u64,
+    /// Echo of the submitted attribute name.
+    pub attribute: String,
+    /// Error probability from the detector.
+    pub prob: f32,
+    /// `prob >= threshold` (0.5 by default).
+    pub flagged: bool,
+}
+
+/// One response line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: String,
+    /// Terminal status.
+    pub status: Status,
+    /// Human-readable failure description (non-`ok` statuses only).
+    pub error: Option<String>,
+    /// Per-cell verdicts in submission order (`ok` only).
+    pub results: Vec<CellResult>,
+}
+
+impl Response {
+    /// A successful response.
+    pub fn ok(id: String, results: Vec<CellResult>) -> Response {
+        Response {
+            id,
+            status: Status::Ok,
+            error: None,
+            results,
+        }
+    }
+
+    /// A failed response carrying a reason.
+    pub fn failed(id: String, status: Status, error: String) -> Response {
+        Response {
+            id,
+            status,
+            error: Some(error),
+            results: Vec::new(),
+        }
+    }
+
+    /// Serialize to one JSON line (no trailing newline). Key order is
+    /// fixed by the JSON object representation (sorted keys), so equal
+    /// responses always produce equal bytes.
+    pub fn to_json_line(&self) -> String {
+        let mut pairs = vec![
+            ("id".to_string(), Value::Str(self.id.clone())),
+            (
+                "status".to_string(),
+                Value::Str(self.status.as_str().to_string()),
+            ),
+        ];
+        if let Some(error) = &self.error {
+            pairs.push(("error".to_string(), Value::Str(error.clone())));
+        }
+        if self.status == Status::Ok {
+            let results: Vec<Value> = self
+                .results
+                .iter()
+                .map(|r| {
+                    Value::obj([
+                        ("tuple_id".to_string(), Value::Num(r.tuple_id as f64)),
+                        ("attribute".to_string(), Value::Str(r.attribute.clone())),
+                        ("prob".to_string(), Value::Num(f64::from(r.prob))),
+                        ("flagged".to_string(), Value::Bool(r.flagged)),
+                    ])
+                })
+                .collect();
+            pairs.push(("results".to_string(), Value::Arr(results)));
+        }
+        Value::obj(pairs).to_json()
+    }
+}
+
+fn str_field(obj: &Value, key: &str) -> Result<Option<String>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("\"{key}\" must be a string")),
+    }
+}
+
+fn u64_field(obj: &Value, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(Some(*n as u64)),
+        Some(_) => Err(format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+/// Parse one request line. Errors describe the first structural problem;
+/// the service converts them into `bad_request` responses rather than
+/// dropping the line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if !matches!(value, Value::Obj(_)) {
+        return Err("request must be a JSON object".to_string());
+    }
+    let id = str_field(&value, "id")?.unwrap_or_default();
+    let cells = match value.get("cells") {
+        None => Vec::new(),
+        Some(Value::Arr(items)) => {
+            let mut cells = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                if !matches!(item, Value::Obj(_)) {
+                    return Err(format!("cells[{i}] must be an object"));
+                }
+                let attribute = str_field(item, "attribute")?
+                    .ok_or_else(|| format!("cells[{i}] is missing \"attribute\""))?;
+                let cell_value = str_field(item, "value")?
+                    .ok_or_else(|| format!("cells[{i}] is missing \"value\""))?;
+                let tuple_id = u64_field(item, "tuple_id")?.unwrap_or(0);
+                cells.push(RequestCell {
+                    tuple_id,
+                    attribute,
+                    value: cell_value,
+                });
+            }
+            cells
+        }
+        Some(_) => return Err("\"cells\" must be an array".to_string()),
+    };
+    Ok(Request { id, cells })
+}
+
+/// Known wire statuses, for validation.
+const STATUSES: [&str; 5] = [
+    "ok",
+    "bad_request",
+    "overloaded",
+    "timeout",
+    "shutting_down",
+];
+
+/// Validate one response line against the wire schema (used by the
+/// `serve_check` smoke binary and by tests). Checks structure, status
+/// vocabulary, result fields and probability range.
+pub fn validate_response_line(line: &str) -> Result<(), String> {
+    let value = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if !matches!(value, Value::Obj(_)) {
+        return Err("response must be a JSON object".to_string());
+    }
+    if str_field(&value, "id")?.is_none() {
+        return Err("missing \"id\"".to_string());
+    }
+    let status = str_field(&value, "status")?.ok_or_else(|| "missing \"status\"".to_string())?;
+    if !STATUSES.contains(&status.as_str()) {
+        return Err(format!("unknown status {status:?}"));
+    }
+    if status == "ok" {
+        let results = match value.get("results") {
+            Some(Value::Arr(items)) => items,
+            _ => return Err("ok response must carry a \"results\" array".to_string()),
+        };
+        for (i, r) in results.iter().enumerate() {
+            if u64_field(r, "tuple_id")?.is_none() {
+                return Err(format!("results[{i}] is missing \"tuple_id\""));
+            }
+            if str_field(r, "attribute")?.is_none() {
+                return Err(format!("results[{i}] is missing \"attribute\""));
+            }
+            let prob = match r.get("prob") {
+                Some(Value::Num(p)) => *p,
+                _ => return Err(format!("results[{i}] is missing \"prob\"")),
+            };
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("results[{i}].prob {prob} outside [0, 1]"));
+            }
+            if !matches!(r.get("flagged"), Some(Value::Bool(_))) {
+                return Err(format!("results[{i}] is missing \"flagged\""));
+            }
+        }
+    } else if !matches!(value.get("error"), Some(Value::Str(_))) {
+        return Err(format!("{status} response must carry an \"error\" string"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_request() {
+        let req = parse_request(
+            r#"{"id":"r1","cells":[{"tuple_id":3,"attribute":"v","value":"x"},{"attribute":"w","value":""}]}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, "r1");
+        assert_eq!(req.cells.len(), 2);
+        assert_eq!(req.cells[0].tuple_id, 3);
+        assert_eq!(req.cells[1].tuple_id, 0, "tuple_id defaults to 0");
+        assert_eq!(req.cells[1].value, "");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("[1,2]").is_err());
+        assert!(parse_request(r#"{"cells":[{"value":"x"}]}"#).is_err());
+        assert!(parse_request(r#"{"cells":[{"attribute":"v"}]}"#).is_err());
+        assert!(parse_request(r#"{"cells":{"attribute":"v"}}"#).is_err());
+        assert!(parse_request(r#"{"id":7}"#).is_err());
+        assert!(
+            parse_request(r#"{"cells":[{"attribute":"v","value":"x","tuple_id":-1}]}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn response_round_trips_through_validation() {
+        let ok = Response::ok(
+            "a".into(),
+            vec![CellResult {
+                tuple_id: 1,
+                attribute: "v".into(),
+                prob: 0.25,
+                flagged: false,
+            }],
+        );
+        validate_response_line(&ok.to_json_line()).unwrap();
+        let err = Response::failed("b".into(), Status::Overloaded, "queue full".into());
+        validate_response_line(&err.to_json_line()).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_lines() {
+        assert!(validate_response_line("{}").is_err());
+        assert!(validate_response_line(r#"{"id":"a","status":"nope"}"#).is_err());
+        assert!(validate_response_line(r#"{"id":"a","status":"ok"}"#).is_err());
+        assert!(validate_response_line(r#"{"id":"a","status":"timeout"}"#).is_err());
+        assert!(validate_response_line(
+            r#"{"id":"a","status":"ok","results":[{"tuple_id":0,"attribute":"v","prob":1.5,"flagged":true}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn equal_results_serialize_to_equal_bytes() {
+        let r = |p: f32| {
+            Response::ok(
+                "x".into(),
+                vec![CellResult {
+                    tuple_id: 0,
+                    attribute: "v".into(),
+                    prob: p,
+                    flagged: p >= 0.5,
+                }],
+            )
+            .to_json_line()
+        };
+        assert_eq!(r(0.123_456_79_f32), r(0.123_456_79_f32));
+        assert_ne!(r(0.1), r(0.100_000_01));
+    }
+}

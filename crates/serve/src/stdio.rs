@@ -1,0 +1,77 @@
+//! JSONL-over-stdio front end: one request per input line, one response
+//! per output line, *in input order*.
+//!
+//! The reader thread parses and submits lines as fast as they arrive —
+//! this is what feeds the engine enough concurrent requests to coalesce
+//! — while a writer thread redeems response handles strictly in
+//! submission order. Output order is therefore deterministic regardless
+//! of how requests were batched, which lets the `run_checks.sh` smoke
+//! test compare coalesced and non-coalesced runs byte for byte.
+
+use crate::engine::{DetectService, ResponseHandle};
+use crate::protocol::{parse_request, Response, Status};
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+
+enum Item {
+    /// Resolved without touching the engine (parse failure).
+    Immediate(Response),
+    /// In flight; the writer blocks on it in submission order.
+    Handle(ResponseHandle),
+}
+
+/// Pump requests from `input` through `service` and write one response
+/// line per request to `output`, in input order. Returns when `input`
+/// reaches end-of-file and every submitted request has been answered.
+/// Blank lines are skipped; unparsable lines produce `bad_request`
+/// responses (with an empty `id`) rather than aborting the stream.
+pub fn run<R: BufRead, W: Write + Send>(
+    service: &DetectService,
+    input: R,
+    output: W,
+) -> std::io::Result<()> {
+    let (tx, rx) = mpsc::channel::<Item>();
+    let mut output = output;
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(move || -> std::io::Result<()> {
+            for item in rx {
+                let response = match item {
+                    Item::Immediate(response) => response,
+                    Item::Handle(handle) => handle.wait(),
+                };
+                writeln!(output, "{}", response.to_json_line())?;
+            }
+            output.flush()
+        });
+        let mut read_error = None;
+        for line in input.lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let item = match parse_request(trimmed) {
+                Ok(request) => Item::Handle(service.submit(request)),
+                Err(e) => Item::Immediate(Response::failed(String::new(), Status::BadRequest, e)),
+            };
+            if tx.send(item).is_err() {
+                break; // Writer gone (I/O error); its result says why.
+            }
+        }
+        drop(tx); // End-of-stream for the writer.
+        let wrote = match writer.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("response writer thread panicked")),
+        };
+        match read_error {
+            Some(e) => Err(e),
+            None => wrote,
+        }
+    })
+}

@@ -25,7 +25,12 @@
 #   7. trace + manifest schema          -- tiny hospital pipeline with
 #                                         ETSB_TRACE=jsonl:... and
 #                                         --manifest, gated by trace_lint
-#   8. bench smoke + schema             -- bench_summary --smoke writes
+#   8. etsb serve smoke                 -- pipe JSONL requests through
+#                                         `etsb serve --stdin` twice
+#                                         (coalesced vs --max-batch 1),
+#                                         schema-validate the responses
+#                                         and assert byte equality
+#   9. bench smoke + schema             -- bench_summary --smoke writes
 #                                         BENCH_hotpath.json, then
 #                                         --validate schema-checks it
 set -euo pipefail
@@ -60,9 +65,29 @@ if [[ "${1:-}" != "fast" ]]; then
         --dirty "$tmpdir/dirty.csv" --clean "$tmpdir/clean.csv"
     ETSB_TRACE="jsonl:$tmpdir/trace.jsonl" cargo run -q -p etsb-cli -- detect \
         --dirty "$tmpdir/dirty.csv" --clean "$tmpdir/clean.csv" \
-        --tuples 5 --epochs 3 --manifest "$tmpdir/manifest.json"
+        --tuples 5 --epochs 3 --manifest "$tmpdir/manifest.json" \
+        --save "$tmpdir/detector.bin"
     cargo run -q -p etsb-obs --bin trace_lint -- \
         --trace "$tmpdir/trace.jsonl" --manifest "$tmpdir/manifest.json"
+
+    step "etsb serve smoke (response schema + coalescing determinism)"
+    cat > "$tmpdir/requests.jsonl" <<'EOF'
+{"id":"r1","cells":[{"tuple_id":0,"attribute":"city","value":"boston"},{"tuple_id":0,"attribute":"state","value":"ma"}]}
+{"id":"r2","cells":[{"tuple_id":1,"attribute":"city","value":"boston"},{"tuple_id":1,"attribute":"zip","value":"2116x"}]}
+{"id":"r3","cells":[{"tuple_id":2,"attribute":"hospital_name","value":"general hospital"},{"tuple_id":2,"attribute":"city","value":""}]}
+{"id":"r4","cells":[{"tuple_id":3,"attribute":"not_a_column","value":"x"}]}
+{"id":"r5","cells":[]}
+{"id":"r6","cells":[{"tuple_id":4,"attribute":"city","value":"boston"}]}
+EOF
+    cargo run -q -p etsb-cli -- serve --model "$tmpdir/detector.bin" --stdin \
+        < "$tmpdir/requests.jsonl" > "$tmpdir/responses_coalesced.jsonl"
+    cargo run -q -p etsb-cli -- serve --model "$tmpdir/detector.bin" --stdin \
+        --max-batch 1 --cache 0 \
+        < "$tmpdir/requests.jsonl" > "$tmpdir/responses_unbatched.jsonl"
+    cargo run -q -p etsb-serve --bin serve_check -- \
+        --validate "$tmpdir/responses_coalesced.jsonl"
+    cargo run -q -p etsb-serve --bin serve_check -- \
+        --equal "$tmpdir/responses_coalesced.jsonl" "$tmpdir/responses_unbatched.jsonl"
 
     step "bench smoke + BENCH_hotpath.json schema"
     cargo run --release -q -p etsb-bench --bin bench_summary -- --smoke
