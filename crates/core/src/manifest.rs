@@ -45,6 +45,16 @@ impl DatasetInfo {
     }
 }
 
+/// Compiled feature flags that affect numerics or diagnostics, as
+/// recorded in manifests and per-response serve provenance.
+pub fn compiled_features() -> Vec<String> {
+    let mut features = Vec::new();
+    if etsb_tensor::sanitize::enabled() {
+        features.push("sanitize".to_string());
+    }
+    features
+}
+
 /// Provenance record for one experiment invocation.
 #[derive(Clone, Debug)]
 pub struct RunManifest {
@@ -70,10 +80,7 @@ impl RunManifest {
     /// `datasets`, capturing worker count, version and features from the
     /// running process.
     pub fn new(config: &ExperimentConfig, runs: usize, datasets: Vec<DatasetInfo>) -> RunManifest {
-        let mut features = Vec::new();
-        if etsb_tensor::sanitize::enabled() {
-            features.push("sanitize".to_string());
-        }
+        let features = compiled_features();
         RunManifest {
             seed: config.seed,
             runs,

@@ -135,7 +135,15 @@ pub fn train_model(
                 "loss" => f64::from(epoch_loss),
             );
         }
-        history.train_duration += train_start.elapsed();
+        let epoch_elapsed = train_start.elapsed();
+        history.train_duration += epoch_elapsed;
+        if etsb_obs::registry::metrics_enabled() {
+            let registry = etsb_obs::registry::global();
+            registry.counter("train_epochs_total").inc();
+            registry
+                .histogram("train_epoch_ns")
+                .record_ns(u64::try_from(epoch_elapsed.as_nanos()).unwrap_or(u64::MAX));
+        }
 
         if cfg.track_train_acc {
             let _eval_span = etsb_obs::span("eval_train_acc");

@@ -17,8 +17,15 @@
 //! training results are bitwise-identical for a given seed regardless of
 //! `ETSB_WORKERS` / core count.
 
+use etsb_obs::registry::{self, LocalHistogram};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A duration in whole nanoseconds, saturating at `u64::MAX`.
+fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Fixed shard count cap for [`parallel_fold`]: enough slack for any
 /// realistic core count while keeping per-shard merge cost trivial.
@@ -177,37 +184,55 @@ where
     }
     let chunk = n.div_ceil(shards);
     let workers = worker_count(shards);
+    // Shard wall times are recorded into the global registry from the
+    // coordinating thread in shard-index order (never from workers), so
+    // the metrics hot path cannot perturb scheduling or float order.
+    let timing = registry::metrics_enabled();
     let run_shard = |s: usize| {
         let start = (s * chunk).min(n);
         let end = ((s + 1) * chunk).min(n);
-        f(s, start..end)
-    };
-    if workers <= 1 || n < SPAWN_THRESHOLD {
-        return (0..shards).map(run_shard).collect();
-    }
-    let per_worker = shards.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let run_shard = &run_shard;
-                scope.spawn(move || {
-                    let start = w * per_worker;
-                    let end = ((w + 1) * per_worker).min(shards);
-                    (start..end).map(run_shard).collect::<Vec<T>>()
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(shards);
-        // Workers cover contiguous shard ranges in worker order, so
-        // concatenation restores shard order exactly.
-        for handle in handles {
-            match handle.join() {
-                Ok(part) => out.extend(part),
-                Err(panic) => std::panic::resume_unwind(panic),
-            }
+        if timing {
+            let t0 = Instant::now();
+            let out = f(s, start..end);
+            (out, saturating_ns(t0.elapsed()))
+        } else {
+            (f(s, start..end), 0)
         }
-        out
-    })
+    };
+    let timed: Vec<(T, u64)> = if workers <= 1 || n < SPAWN_THRESHOLD {
+        (0..shards).map(run_shard).collect()
+    } else {
+        let per_worker = shards.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let run_shard = &run_shard;
+                    scope.spawn(move || {
+                        let start = w * per_worker;
+                        let end = ((w + 1) * per_worker).min(shards);
+                        (start..end).map(run_shard).collect::<Vec<(T, u64)>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(shards);
+            // Workers cover contiguous shard ranges in worker order, so
+            // concatenation restores shard order exactly.
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => out.extend(part),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            out
+        })
+    };
+    if timing {
+        let hist = registry::global().histogram("parallel_shard_ns");
+        for (_, ns) in &timed {
+            hist.record_ns(*ns);
+        }
+    }
+    timed.into_iter().map(|(out, _)| out).collect()
 }
 
 /// Fold `f` over `0..n` with deterministic sharding: the range is cut into
@@ -251,16 +276,31 @@ where
             );
         }
     }
+    // Each shard accumulates per-item wall times into its own
+    // non-atomic [`LocalHistogram`]; the coordinating thread merges
+    // them into the global registry in shard-index order afterwards.
+    // The integer accumulators make the merged totals order-independent
+    // and the fixed order makes snapshots deterministic for a given
+    // event stream; the model's float work is untouched either way.
+    let timing = registry::metrics_enabled();
     let run_shard = |s: usize| {
         let mut acc = init();
+        let mut local = timing.then(LocalHistogram::latency);
         let start = s * chunk;
         let end = ((s + 1) * chunk).min(n);
         for i in start..end {
-            f(&mut acc, i);
+            match &mut local {
+                Some(hist) => {
+                    let t0 = Instant::now();
+                    f(&mut acc, i);
+                    hist.record(saturating_ns(t0.elapsed()));
+                }
+                None => f(&mut acc, i),
+            }
         }
-        acc
+        (acc, local)
     };
-    let accs: Vec<A> = if workers <= 1 || n < SPAWN_THRESHOLD {
+    let sharded: Vec<(A, Option<LocalHistogram>)> = if workers <= 1 || n < SPAWN_THRESHOLD {
         (0..shards).map(run_shard).collect()
     } else {
         let per_worker = shards.div_ceil(workers);
@@ -271,7 +311,9 @@ where
                     scope.spawn(move || {
                         let start = w * per_worker;
                         let end = ((w + 1) * per_worker).min(shards);
-                        (start..end).map(run_shard).collect::<Vec<A>>()
+                        (start..end)
+                            .map(run_shard)
+                            .collect::<Vec<(A, Option<LocalHistogram>)>>()
                     })
                 })
                 .collect();
@@ -285,8 +327,16 @@ where
             out
         })
     };
+    if timing {
+        let hist = registry::global().histogram("parallel_fold_item_ns");
+        for (_, local) in &sharded {
+            if let Some(local) = local {
+                hist.merge_local(local);
+            }
+        }
+    }
     let _merge_span = etsb_obs::span("merge");
-    let mut iter = accs.into_iter();
+    let mut iter = sharded.into_iter().map(|(acc, _)| acc);
     // shards >= 1 here, so the first accumulator always exists.
     let mut total = match iter.next() {
         Some(first) => first,

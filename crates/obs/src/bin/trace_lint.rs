@@ -1,39 +1,48 @@
-//! `trace_lint`: validate an `ETSB_TRACE` JSONL trace and/or a run
-//! manifest. Used by `run_checks.sh` to gate the observability layer:
-//! every trace line must be a valid JSON object carrying the stable
-//! schema keys, and the manifest must carry every required field.
+//! `trace_lint`: validate an `ETSB_TRACE` JSONL trace, a run manifest,
+//! and/or a Prometheus text exposition. Used by `run_checks.sh` to gate
+//! the observability layer: every trace line must be a valid JSON object
+//! carrying the stable schema keys, cumulative counters (names ending in
+//! `_total`) must be monotonic across the file, the manifest must carry
+//! every required field, and an exposition must satisfy the histogram
+//! invariants (`etsb_obs::expo::validate`).
 //!
 //! Usage:
-//!   trace_lint --trace <trace.jsonl> [--manifest <manifest.json>]
+//!   trace_lint [--trace <trace.jsonl>] [--manifest <manifest.json>]
+//!              [--expo <metrics.prom>]
 //!
 //! Exits nonzero on the first structural violation, printing the
 //! offending line number and reason.
 
 use etsb_obs::json;
+use std::collections::BTreeMap;
 
 const TRACE_REQUIRED_KEYS: &[&str] = &["ts_rel_us", "span", "kind", "fields"];
 const TRACE_KINDS: &[&str] = &["span_start", "span_end", "counter", "gauge", "event"];
 const DATASET_REQUIRED_KEYS: &[&str] = &["name", "rows", "cols", "cells"];
 
 fn usage() -> String {
-    "usage: trace_lint [--trace <trace.jsonl>] [--manifest <manifest.json>]".to_string()
+    "usage: trace_lint [--trace <trace.jsonl>] [--manifest <manifest.json>] [--expo <metrics.prom>]"
+        .to_string()
 }
 
 struct Args {
     trace: Option<String>,
     manifest: Option<String>,
+    expo: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         trace: None,
         manifest: None,
+        expo: None,
     };
     let mut iter = argv.iter();
     while let Some(flag) = iter.next() {
         let slot = match flag.as_str() {
             "--trace" => &mut args.trace,
             "--manifest" => &mut args.manifest,
+            "--expo" => &mut args.expo,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         };
@@ -42,14 +51,51 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             None => return Err(format!("{flag} requires a path\n{}", usage())),
         }
     }
-    if args.trace.is_none() && args.manifest.is_none() {
+    if args.trace.is_none() && args.manifest.is_none() && args.expo.is_none() {
         return Err(format!("nothing to lint\n{}", usage()));
     }
     Ok(args)
 }
 
-/// Validate one trace line; returns a reason on violation.
-fn lint_trace_line(line: &str) -> Result<(), String> {
+/// Running monotonicity state for cumulative trace counters: name →
+/// (last value, line it was seen on). Only counters whose name ends in
+/// `_total` participate — other counter events (per-shard item counts,
+/// per-call dedup ratios) are point observations, not running totals.
+type CounterState = BTreeMap<String, (f64, usize)>;
+
+/// Enforce monotonicity for a `counter` event's `_total` series.
+fn check_counter_monotonic(
+    value: &json::Value,
+    line_no: usize,
+    state: &mut CounterState,
+) -> Result<(), String> {
+    let fields = match value.get("fields") {
+        Some(f) => f,
+        None => return Ok(()),
+    };
+    let Some(name) = fields.get("name").and_then(json::Value::as_str) else {
+        return Err("counter event lacks a name field".to_string());
+    };
+    if !name.ends_with("_total") {
+        return Ok(());
+    }
+    let Some(count) = fields.get("value").and_then(json::Value::as_f64) else {
+        return Err(format!("counter {name:?} lacks a numeric value"));
+    };
+    if let Some((prev, prev_line)) = state.get(name) {
+        if count < *prev {
+            return Err(format!(
+                "cumulative counter {name:?} decreased ({prev} at line {prev_line} -> {count})"
+            ));
+        }
+    }
+    state.insert(name.to_string(), (count, line_no));
+    Ok(())
+}
+
+/// Validate one trace line; returns the parsed value (so stream-level
+/// checks can continue on it) or a reason on violation.
+fn lint_trace_line(line: &str) -> Result<json::Value, String> {
     let value = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
     for key in TRACE_REQUIRED_KEYS {
         if value.get(key).is_none() {
@@ -93,24 +139,40 @@ fn lint_trace_line(line: &str) -> Result<(), String> {
     if kind == "span_end" && value.get("fields").and_then(|f| f.get("dur_us")).is_none() {
         return Err("span_end event lacks dur_us field".to_string());
     }
-    Ok(())
+    Ok(value)
 }
 
-fn lint_trace(path: &str) -> Result<usize, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read trace: {e}"))?;
+fn lint_trace_text(path: &str, text: &str) -> Result<usize, String> {
     let mut count = 0usize;
+    let mut counters = CounterState::new();
     for (idx, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        lint_trace_line(line).map_err(|reason| format!("{path}:{}: {reason}", idx + 1))?;
+        let value =
+            lint_trace_line(line).map_err(|reason| format!("{path}:{}: {reason}", idx + 1))?;
+        if value.get("kind").and_then(json::Value::as_str) == Some("counter") {
+            check_counter_monotonic(&value, idx + 1, &mut counters)
+                .map_err(|reason| format!("{path}:{}: {reason}", idx + 1))?;
+        }
         count += 1;
     }
     if count == 0 {
         return Err(format!("{path}: trace contains no events"));
     }
     Ok(count)
+}
+
+fn lint_trace(path: &str) -> Result<usize, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read trace: {e}"))?;
+    lint_trace_text(path, &text)
+}
+
+fn lint_expo(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{path}: cannot read exposition: {e}"))?;
+    etsb_obs::expo::validate(&text).map_err(|reason| format!("{path}: {reason}"))
 }
 
 fn lint_manifest(path: &str) -> Result<(), String> {
@@ -154,6 +216,10 @@ fn run(argv: &[String]) -> Result<(), String> {
         lint_manifest(manifest)?;
         println!("trace_lint: {manifest}: manifest OK");
     }
+    if let Some(expo) = &args.expo {
+        let families = lint_expo(expo)?;
+        println!("trace_lint: {expo}: {families} metric families OK");
+    }
     Ok(())
 }
 
@@ -187,5 +253,54 @@ mod tests {
         assert!(
             lint_trace_line(r#"{"ts_rel_us":1,"span":"a","kind":"span_end","fields":{}}"#).is_err()
         );
+    }
+
+    fn counter_line(ts: u64, name: &str, value: i64) -> String {
+        format!(
+            r#"{{"ts_rel_us":{ts},"span":"s","kind":"counter","fields":{{"name":"{name}","value":{value}}}}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_monotonic_total_counters() {
+        let trace = [
+            counter_line(1, "serve_cache_hits_total", 0),
+            counter_line(2, "serve_cache_hits_total", 3),
+            counter_line(3, "serve_cache_hits_total", 3),
+            // Non-_total counters are point observations: free to vary.
+            counter_line(4, "shard_items", 9),
+            counter_line(5, "shard_items", 2),
+        ]
+        .join("\n");
+        assert_eq!(lint_trace_text("fixture", &trace), Ok(5));
+    }
+
+    #[test]
+    fn rejects_decreasing_total_counters() {
+        let trace = [
+            counter_line(1, "serve_cache_hits_total", 5),
+            counter_line(2, "serve_cache_hits_total", 4),
+        ]
+        .join("\n");
+        let err = lint_trace_text("fixture", &trace).expect_err("must reject");
+        assert!(err.contains("decreased"), "{err}");
+        assert!(err.contains("fixture:2"), "{err}");
+    }
+
+    #[test]
+    fn expo_fixtures_positive_and_negative() {
+        // Positive fixture: a rendered registry round-trips through the
+        // shared validator that --expo invokes.
+        let registry = etsb_obs::registry::Registry::new();
+        registry.counter("x_total").add(7);
+        registry
+            .histogram_with_bounds("lat_ns", &[10, 100])
+            .record(42);
+        let good = etsb_obs::expo::render(&registry.snapshot());
+        assert_eq!(etsb_obs::expo::validate(&good), Ok(2));
+        // Negative fixture: a decreasing cumulative bucket series
+        // (le="10" claims more observations than le="100").
+        let bad = good.replace("lat_ns_bucket{le=\"10\"} 0", "lat_ns_bucket{le=\"10\"} 2");
+        assert!(etsb_obs::expo::validate(&bad).is_err());
     }
 }

@@ -16,6 +16,14 @@
 //!   in-memory capture sink for tests. Selected via
 //!   `ETSB_TRACE=off|stderr|jsonl:<path>` ([`init_from_env`]) or
 //!   programmatically ([`set_sink`]).
+//! * **In-process aggregation** ([`registry`]): a lock-cheap registry of
+//!   named counters, gauges and fixed-boundary log-scale latency
+//!   histograms with deterministic snapshots (enabled via
+//!   `ETSB_METRICS=on`); a **span profiler** ([`profile`]) folding
+//!   `span_start`/`span_end` events into per-span self-time rollups
+//!   (live via `ProfileSink` or offline via the `trace_profile` bin);
+//!   and dependency-free **Prometheus text exposition** ([`expo`]) of
+//!   registry snapshots, served by `etsb serve`'s `GET /metrics`.
 //!
 //! # Overhead contract
 //!
@@ -39,7 +47,10 @@
 //! one of `span_start`, `span_end`, `counter`, `gauge`, `event`;
 //! `fields` is a flat string→scalar map.
 
+pub mod expo;
 pub mod json;
+pub mod profile;
+pub mod registry;
 mod sink;
 
 pub use sink::{CaptureSink, JsonlSink, Sink, StderrSink};

@@ -23,13 +23,13 @@
 //! any worker count and any batch boundary. The cache preserves the same
 //! identity because its key is the cell's complete model input.
 
-use crate::protocol::{CellResult, Request, Response, Status};
+use crate::protocol::{CellResult, Provenance, Request, Response, Status};
 use crate::ServeConfig;
+use etsb_core::manifest::compiled_features;
 use etsb_core::persist::LoadedDetector;
 use etsb_core::{CacheStats, EncodedDataset, PredictCache};
-use etsb_obs::json::Value;
+use etsb_obs::registry::{Counter, Gauge, Histogram, Registry, COUNT_BOUNDS};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -127,21 +127,80 @@ struct Pending {
     encoded: EncodedDataset,
     /// Queue-residency deadline; `None` never expires.
     deadline: Option<Instant>,
+    /// Admission time, for the end-to-end detect latency histogram.
+    submitted: Instant,
     slot: Arc<Slot>,
 }
 
-#[derive(Debug, Default)]
-struct Counters {
-    requests: AtomicU64,
-    admitted_cells: AtomicU64,
-    batches: AtomicU64,
-    bad_requests: AtomicU64,
-    overloaded: AtomicU64,
-    timeouts: AtomicU64,
+/// Cached handles into the service registry: resolved once at startup
+/// so the hot paths record through lock-free atomics only. The names
+/// are the Prometheus families exposed on `GET /metrics`.
+#[derive(Debug)]
+struct Instruments {
+    requests: Arc<Counter>,
+    admitted_cells: Arc<Counter>,
+    batches: Arc<Counter>,
+    bad_requests: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    /// Monotonic mirrors of the prediction-LRU's cumulative stats
+    /// (synced via `record_cumulative`, so scrapes are `rate()`-able).
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    queue_cells: Arc<Gauge>,
+    cache_len: Arc<Gauge>,
+    cache_capacity: Arc<Gauge>,
+    /// Submit-to-delivery latency of scored requests.
+    detect_latency_ns: Arc<Histogram>,
+    /// Wall time of one coalesced forward pass.
+    batch_latency_ns: Arc<Histogram>,
+    /// Cells per coalesced batch.
+    batch_occupancy: Arc<Histogram>,
+    /// Cells waiting when a tick began (pre-pop).
+    queue_depth: Arc<Histogram>,
+}
+
+impl Instruments {
+    fn register(registry: &Registry) -> Instruments {
+        Instruments {
+            requests: registry.counter("etsb_serve_requests_total"),
+            admitted_cells: registry.counter("etsb_serve_admitted_cells_total"),
+            batches: registry.counter("etsb_serve_batches_total"),
+            bad_requests: registry.counter("etsb_serve_bad_requests_total"),
+            overloaded: registry.counter("etsb_serve_overloaded_total"),
+            timeouts: registry.counter("etsb_serve_timeouts_total"),
+            cache_hits: registry.counter("etsb_serve_cache_hits_total"),
+            cache_misses: registry.counter("etsb_serve_cache_misses_total"),
+            cache_evictions: registry.counter("etsb_serve_cache_evictions_total"),
+            queue_cells: registry.gauge("etsb_serve_queue_cells"),
+            cache_len: registry.gauge("etsb_serve_cache_len"),
+            cache_capacity: registry.gauge("etsb_serve_cache_capacity"),
+            detect_latency_ns: registry.histogram("etsb_serve_detect_latency_ns"),
+            batch_latency_ns: registry.histogram("etsb_serve_batch_latency_ns"),
+            batch_occupancy: registry
+                .histogram_with_bounds("etsb_serve_batch_occupancy_cells", &COUNT_BOUNDS),
+            queue_depth: registry
+                .histogram_with_bounds("etsb_serve_queue_depth_cells", &COUNT_BOUNDS),
+        }
+    }
+
+    /// Mirror the prediction-LRU's cumulative stats into the registry.
+    /// `record_cumulative` is a `fetch_max`, so even racing syncs can
+    /// never make an exposed counter go backwards.
+    fn sync_cache(&self, stats: &CacheStats) {
+        self.cache_hits.record_cumulative(stats.hits);
+        self.cache_misses.record_cumulative(stats.misses);
+        self.cache_evictions.record_cumulative(stats.evictions);
+        self.cache_len.set(stats.len as f64);
+        self.cache_capacity.set(stats.capacity as f64);
+    }
 }
 
 /// Point-in-time service counters plus prediction-cache statistics, as
-/// exposed on `GET /metrics` and by [`DetectService::metrics`].
+/// reported by [`DetectService::metrics`] (the CLI shutdown summary).
+/// `GET /metrics` serves the full Prometheus exposition instead
+/// ([`DetectService::prometheus_text`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceMetrics {
     /// Requests submitted (all outcomes).
@@ -162,30 +221,32 @@ pub struct ServiceMetrics {
     pub cache: CacheStats,
 }
 
-impl ServiceMetrics {
-    /// One JSON object (the `GET /metrics` body).
-    pub fn to_json(&self) -> String {
-        let num = |n: u64| Value::Num(n as f64);
-        Value::obj([
-            ("requests".to_string(), num(self.requests)),
-            ("admitted_cells".to_string(), num(self.admitted_cells)),
-            ("batches".to_string(), num(self.batches)),
-            ("bad_requests".to_string(), num(self.bad_requests)),
-            ("overloaded".to_string(), num(self.overloaded)),
-            ("timeouts".to_string(), num(self.timeouts)),
-            ("queue_cells".to_string(), num(self.queue_cells)),
-            (
-                "cache".to_string(),
-                Value::obj([
-                    ("hits".to_string(), num(self.cache.hits)),
-                    ("misses".to_string(), num(self.cache.misses)),
-                    ("evictions".to_string(), num(self.cache.evictions)),
-                    ("len".to_string(), num(self.cache.len as u64)),
-                    ("capacity".to_string(), num(self.cache.capacity as u64)),
-                ]),
-            ),
-        ])
-        .to_json()
+/// A duration in whole nanoseconds, saturating at `u64::MAX` (584
+/// years — unreachable in practice, but histograms take `u64`).
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// FNV-1a 64-bit hash, used to fingerprint weight snapshots for
+/// per-response provenance.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Build the provenance stamped on every response this service fills.
+/// Deliberately excludes worker counts and timestamps: two services
+/// loaded from the same detector always stamp identical bytes.
+fn provenance_of(detector: &LoadedDetector) -> Provenance {
+    Provenance {
+        model_hash: format!("{:016x}", fnv1a64(&detector.model.snapshot())),
+        model: format!("{}/{}", detector.kind.name(), detector.train.cell.name()),
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        features: compiled_features(),
     }
 }
 
@@ -202,7 +263,11 @@ struct Shared {
     /// Signalled on every enqueue and on shutdown.
     arrived: Condvar,
     cache: Mutex<PredictCache>,
-    counters: Counters,
+    /// Per-service metrics registry, exposed on `GET /metrics`.
+    registry: Arc<Registry>,
+    ins: Instruments,
+    /// Stamped on every response this service fills.
+    provenance: Provenance,
 }
 
 /// The resident detection service. See the module docs for lifecycle
@@ -234,6 +299,10 @@ impl DetectService {
     /// batching, timeout and backpressure paths deterministically.
     pub fn start_manual(detector: LoadedDetector, cfg: ServeConfig) -> DetectService {
         let cache = PredictCache::new(cfg.cache_capacity);
+        let registry = Arc::new(Registry::new());
+        let ins = Instruments::register(&registry);
+        ins.sync_cache(&cache.stats());
+        let provenance = provenance_of(&detector);
         DetectService {
             shared: Arc::new(Shared {
                 detector,
@@ -245,7 +314,9 @@ impl DetectService {
                 }),
                 arrived: Condvar::new(),
                 cache: Mutex::new(cache),
-                counters: Counters::default(),
+                registry,
+                ins,
+                provenance,
             }),
             worker: None,
         }
@@ -267,14 +338,16 @@ impl DetectService {
         let handle = ResponseHandle {
             slot: Arc::clone(&slot),
         };
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        shared.ins.requests.inc();
         let _span = etsb_obs::obs_span!(
             "serve.submit",
             "cells" => request.cells.len() as u64,
         );
 
         if request.cells.is_empty() {
-            slot.fill(Response::ok(request.id, Vec::new()));
+            slot.fill(
+                Response::ok(request.id, Vec::new()).with_provenance(shared.provenance.clone()),
+            );
             return handle;
         }
 
@@ -289,12 +362,15 @@ impl DetectService {
                     echo.push((cell.tuple_id, cell.attribute.clone()));
                 }
                 None => {
-                    shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                    slot.fill(Response::failed(
-                        request.id,
-                        Status::BadRequest,
-                        format!("unknown attribute {:?}", cell.attribute),
-                    ));
+                    shared.ins.bad_requests.inc();
+                    slot.fill(
+                        Response::failed(
+                            request.id,
+                            Status::BadRequest,
+                            format!("unknown attribute {:?}", cell.attribute),
+                        )
+                        .with_provenance(shared.provenance.clone()),
+                    );
                     return handle;
                 }
             }
@@ -306,41 +382,51 @@ impl DetectService {
         ) {
             Ok(encoded) => encoded,
             Err(e) => {
-                shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                slot.fill(Response::failed(
-                    request.id,
-                    Status::BadRequest,
-                    format!("encoding failed: {e}"),
-                ));
+                shared.ins.bad_requests.inc();
+                slot.fill(
+                    Response::failed(
+                        request.id,
+                        Status::BadRequest,
+                        format!("encoding failed: {e}"),
+                    )
+                    .with_provenance(shared.provenance.clone()),
+                );
                 return handle;
             }
         };
 
         let n_cells = encoded.sequences.len();
-        let deadline = Instant::now().checked_add(shared.cfg.request_timeout);
+        let submitted = Instant::now();
+        let deadline = submitted.checked_add(shared.cfg.request_timeout);
         {
             let mut q = lock(&shared.queue);
             if q.shutting_down {
                 drop(q);
-                slot.fill(Response::failed(
-                    request.id,
-                    Status::ShuttingDown,
-                    "service is draining and accepts no new requests".to_string(),
-                ));
+                slot.fill(
+                    Response::failed(
+                        request.id,
+                        Status::ShuttingDown,
+                        "service is draining and accepts no new requests".to_string(),
+                    )
+                    .with_provenance(shared.provenance.clone()),
+                );
                 return handle;
             }
             if q.queued_cells + n_cells > shared.cfg.queue_capacity_cells {
                 let queued = q.queued_cells;
                 drop(q);
-                shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
-                slot.fill(Response::failed(
-                    request.id,
-                    Status::Overloaded,
-                    format!(
-                        "admission queue full ({queued} cells queued, capacity {}, request {n_cells})",
-                        shared.cfg.queue_capacity_cells
-                    ),
-                ));
+                shared.ins.overloaded.inc();
+                slot.fill(
+                    Response::failed(
+                        request.id,
+                        Status::Overloaded,
+                        format!(
+                            "admission queue full ({queued} cells queued, capacity {}, request {n_cells})",
+                            shared.cfg.queue_capacity_cells
+                        ),
+                    )
+                    .with_provenance(shared.provenance.clone()),
+                );
                 return handle;
             }
             q.queued_cells += n_cells;
@@ -349,12 +435,11 @@ impl DetectService {
                 echo,
                 encoded,
                 deadline,
+                submitted,
                 slot,
             });
-            shared
-                .counters
-                .admitted_cells
-                .fetch_add(n_cells as u64, Ordering::Relaxed);
+            shared.ins.admitted_cells.add(n_cells as u64);
+            shared.ins.queue_cells.set(q.queued_cells as f64);
             if etsb_obs::enabled() {
                 etsb_obs::gauge("serve_queue_cells", q.queued_cells as f64);
             }
@@ -373,17 +458,39 @@ impl DetectService {
 
     /// Snapshot the service counters and cache statistics.
     pub fn metrics(&self) -> ServiceMetrics {
-        let c = &self.shared.counters;
+        let ins = &self.shared.ins;
         ServiceMetrics {
-            requests: c.requests.load(Ordering::Relaxed),
-            admitted_cells: c.admitted_cells.load(Ordering::Relaxed),
-            batches: c.batches.load(Ordering::Relaxed),
-            bad_requests: c.bad_requests.load(Ordering::Relaxed),
-            overloaded: c.overloaded.load(Ordering::Relaxed),
-            timeouts: c.timeouts.load(Ordering::Relaxed),
+            requests: ins.requests.value(),
+            admitted_cells: ins.admitted_cells.value(),
+            batches: ins.batches.value(),
+            bad_requests: ins.bad_requests.value(),
+            overloaded: ins.overloaded.value(),
+            timeouts: ins.timeouts.value(),
             queue_cells: lock(&self.shared.queue).queued_cells as u64,
             cache: lock(&self.shared.cache).stats(),
         }
+    }
+
+    /// The per-service metrics registry. Shared with load harnesses so
+    /// they can diff [`Registry::snapshot`]s around each arm.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// The provenance stamped on every response this service fills.
+    pub fn provenance(&self) -> &Provenance {
+        &self.shared.provenance
+    }
+
+    /// Render the registry in Prometheus text exposition format (the
+    /// `GET /metrics` body). Syncs the cache mirrors and queue gauge
+    /// first so a scrape is never staler than the moment it was served.
+    pub fn prometheus_text(&self) -> String {
+        let ins = &self.shared.ins;
+        ins.sync_cache(&lock(&self.shared.cache).stats());
+        ins.queue_cells
+            .set(lock(&self.shared.queue).queued_cells as f64);
+        etsb_obs::expo::render(&self.shared.registry.snapshot())
     }
 
     /// Stop admissions, drain every queued request, and join the worker.
@@ -418,6 +525,7 @@ impl Shared {
             if q.queue.is_empty() {
                 return false;
             }
+            self.ins.queue_depth.record(q.queued_cells as u64);
             let mut batch = Vec::new();
             let mut cells = 0usize;
             while let Some(front) = q.queue.front() {
@@ -431,6 +539,7 @@ impl Shared {
                     batch.push(pending);
                 }
             }
+            self.ins.queue_cells.set(q.queued_cells as f64);
             if etsb_obs::enabled() {
                 etsb_obs::gauge("serve_queue_cells", q.queued_cells as f64);
             }
@@ -442,12 +551,15 @@ impl Shared {
         for pending in batch {
             match pending.deadline {
                 Some(deadline) if started >= deadline => {
-                    self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                    pending.slot.fill(Response::failed(
-                        pending.id,
-                        Status::Timeout,
-                        "request expired in the admission queue".to_string(),
-                    ));
+                    self.ins.timeouts.inc();
+                    pending.slot.fill(
+                        Response::failed(
+                            pending.id,
+                            Status::Timeout,
+                            "request expired in the admission queue".to_string(),
+                        )
+                        .with_provenance(self.provenance.clone()),
+                    );
                 }
                 _ => live.push(pending),
             }
@@ -483,35 +595,48 @@ impl Shared {
         merged.n_tuples = total;
 
         let cells: Vec<usize> = (0..total).collect();
-        let probs = {
+        let (probs, stats) = {
             let _span = etsb_obs::obs_span!(
                 "serve.batch",
                 "requests" => live.len() as u64,
                 "cells" => total as u64,
             );
             let mut cache = lock(&self.cache);
-            self.detector
+            let probs = self
+                .detector
                 .model
-                .predict_probs_cached(&merged, &cells, &mut cache)
+                .predict_probs_cached(&merged, &cells, &mut cache);
+            (probs, cache.stats())
         };
-        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.ins.batches.inc();
+        self.ins.batch_occupancy.record(total as u64);
+        self.ins
+            .batch_latency_ns
+            .record_ns(saturating_ns(started.elapsed()));
+        self.ins.sync_cache(&stats);
         if etsb_obs::enabled() {
-            let stats = lock(&self.cache).stats();
             etsb_obs::gauge("serve_batch_cells", total as f64);
             etsb_obs::gauge(
                 "serve_batch_latency_us",
                 started.elapsed().as_micros() as f64,
             );
             etsb_obs::gauge("serve_cache_len", stats.len as f64);
-            etsb_obs::counter("serve_cache_hits", stats.hits);
-            etsb_obs::counter("serve_cache_misses", stats.misses);
-            etsb_obs::counter("serve_cache_evictions", stats.evictions);
+            etsb_obs::counter("serve_cache_hits_total", stats.hits);
+            etsb_obs::counter("serve_cache_misses_total", stats.misses);
+            etsb_obs::counter("serve_cache_evictions_total", stats.evictions);
         }
 
         let threshold = self.cfg.prob_threshold;
+        let delivered = Instant::now();
         let mut offset = 0usize;
         for pending in live {
-            let Pending { id, echo, slot, .. } = pending;
+            let Pending {
+                id,
+                echo,
+                submitted,
+                slot,
+                ..
+            } = pending;
             let n = echo.len();
             let slice = &probs[offset..offset + n];
             offset += n;
@@ -525,7 +650,10 @@ impl Shared {
                     flagged: prob >= threshold,
                 })
                 .collect();
-            slot.fill(Response::ok(id, results));
+            self.ins.detect_latency_ns.record_ns(saturating_ns(
+                delivered.saturating_duration_since(submitted),
+            ));
+            slot.fill(Response::ok(id, results).with_provenance(self.provenance.clone()));
         }
         true
     }

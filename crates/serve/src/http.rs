@@ -6,7 +6,10 @@
 //! Routes:
 //!
 //! * `GET /healthz` — liveness probe, always `200 {"status":"ok"}`.
-//! * `GET /metrics` — service counters + cache statistics as JSON.
+//! * `GET /metrics` — the service metrics registry in Prometheus text
+//!   exposition format (version 0.0.4): request/cache counters as
+//!   cumulative `_total` series, queue/cache gauges, and latency and
+//!   occupancy histograms with cumulative `le` buckets.
 //! * `POST /detect` — one request object (the [`crate::protocol`] wire
 //!   format) in the body; the response body is the matching response
 //!   object. Statuses map to `200` (ok), `400` (bad_request), `503`
@@ -64,15 +67,18 @@ fn status_line(status: Status) -> (u16, &'static str) {
     }
 }
 
+const JSON_CONTENT_TYPE: &str = "application/json";
+
 fn write_response(
     stream: &mut TcpStream,
     code: u16,
     phrase: &str,
+    content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {code} {phrase}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {code} {phrase}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()
@@ -111,14 +117,27 @@ fn handle_connection(service: &DetectService, stream: TcpStream) -> std::io::Res
     }
 
     match (method, path) {
-        ("GET", "/healthz") => write_response(&mut stream, 200, "OK", "{\"status\":\"ok\"}"),
-        ("GET", "/metrics") => write_response(&mut stream, 200, "OK", &service.metrics().to_json()),
+        ("GET", "/healthz") => write_response(
+            &mut stream,
+            200,
+            "OK",
+            JSON_CONTENT_TYPE,
+            "{\"status\":\"ok\"}",
+        ),
+        ("GET", "/metrics") => write_response(
+            &mut stream,
+            200,
+            "OK",
+            etsb_obs::expo::CONTENT_TYPE,
+            &service.prometheus_text(),
+        ),
         ("POST", "/detect") => {
             if content_length > MAX_BODY_BYTES {
                 return write_response(
                     &mut stream,
                     413,
                     "Payload Too Large",
+                    JSON_CONTENT_TYPE,
                     "{\"error\":\"body too large\"}",
                 );
             }
@@ -130,8 +149,20 @@ fn handle_connection(service: &DetectService, stream: TcpStream) -> std::io::Res
                 Err(e) => Response::failed(String::new(), Status::BadRequest, e),
             };
             let (code, phrase) = status_line(response.status);
-            write_response(&mut stream, code, phrase, &response.to_json_line())
+            write_response(
+                &mut stream,
+                code,
+                phrase,
+                JSON_CONTENT_TYPE,
+                &response.to_json_line(),
+            )
         }
-        _ => write_response(&mut stream, 404, "Not Found", "{\"error\":\"not found\"}"),
+        _ => write_response(
+            &mut stream,
+            404,
+            "Not Found",
+            JSON_CONTENT_TYPE,
+            "{\"error\":\"not found\"}",
+        ),
     }
 }

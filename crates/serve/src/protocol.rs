@@ -86,6 +86,48 @@ pub struct CellResult {
     pub flagged: bool,
 }
 
+/// Compact per-response provenance: which model produced this answer.
+///
+/// Stamped by the engine on every response it fills (the response-level
+/// sibling of the `RunManifest` sidecar). Deliberately excludes anything
+/// that varies between bitwise-identical runs — worker counts, wall
+/// clocks — so two identical detectors always stamp identical bytes and
+/// the `serve_check --equal` determinism smoke keeps holding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Provenance {
+    /// FNV-1a 64-bit hash of the weight snapshot, as 16 hex digits.
+    pub model_hash: String,
+    /// Architecture: `<model kind>/<cell kind>` (e.g. `etsb/gru`).
+    pub model: String,
+    /// Workspace crate version.
+    pub version: String,
+    /// Compiled feature flags that affect numerics or diagnostics.
+    pub features: Vec<String>,
+}
+
+impl Provenance {
+    /// The JSON object embedded in response lines.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj([
+            (
+                "model_hash".to_string(),
+                Value::Str(self.model_hash.clone()),
+            ),
+            ("model".to_string(), Value::Str(self.model.clone())),
+            ("version".to_string(), Value::Str(self.version.clone())),
+            (
+                "features".to_string(),
+                Value::Arr(
+                    self.features
+                        .iter()
+                        .map(|f| Value::Str(f.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// One response line.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Response {
@@ -97,6 +139,9 @@ pub struct Response {
     pub error: Option<String>,
     /// Per-cell verdicts in submission order (`ok` only).
     pub results: Vec<CellResult>,
+    /// Model provenance; stamped by the engine, absent on responses
+    /// produced before a service was consulted (e.g. parse failures).
+    pub provenance: Option<Provenance>,
 }
 
 impl Response {
@@ -107,6 +152,7 @@ impl Response {
             status: Status::Ok,
             error: None,
             results,
+            provenance: None,
         }
     }
 
@@ -117,7 +163,14 @@ impl Response {
             status,
             error: Some(error),
             results: Vec::new(),
+            provenance: None,
         }
+    }
+
+    /// Stamp model provenance onto this response.
+    pub fn with_provenance(mut self, provenance: Provenance) -> Response {
+        self.provenance = Some(provenance);
+        self
     }
 
     /// Serialize to one JSON line (no trailing newline). Key order is
@@ -133,6 +186,9 @@ impl Response {
         ];
         if let Some(error) = &self.error {
             pairs.push(("error".to_string(), Value::Str(error.clone())));
+        }
+        if let Some(provenance) = &self.provenance {
+            pairs.push(("provenance".to_string(), provenance.to_json_value()));
         }
         if self.status == Status::Ok {
             let results: Vec<Value> = self
@@ -254,6 +310,24 @@ pub fn validate_response_line(line: &str) -> Result<(), String> {
     } else if !matches!(value.get("error"), Some(Value::Str(_))) {
         return Err(format!("{status} response must carry an \"error\" string"));
     }
+    if let Some(provenance) = value.get("provenance") {
+        if !matches!(provenance, Value::Obj(_)) {
+            return Err("\"provenance\" must be an object".to_string());
+        }
+        for key in ["model_hash", "model", "version"] {
+            if str_field(provenance, key)?.is_none() {
+                return Err(format!("provenance is missing \"{key}\""));
+            }
+        }
+        match provenance.get("features") {
+            Some(Value::Arr(items)) => {
+                if items.iter().any(|f| !matches!(f, Value::Str(_))) {
+                    return Err("provenance.features must be strings".to_string());
+                }
+            }
+            _ => return Err("provenance is missing \"features\"".to_string()),
+        }
+    }
     Ok(())
 }
 
@@ -311,6 +385,38 @@ mod tests {
         assert!(validate_response_line(r#"{"id":"a","status":"timeout"}"#).is_err());
         assert!(validate_response_line(
             r#"{"id":"a","status":"ok","results":[{"tuple_id":0,"attribute":"v","prob":1.5,"flagged":true}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn provenance_round_trips_and_validates() {
+        let provenance = Provenance {
+            model_hash: "00deadbeef00cafe".into(),
+            model: "etsb/vanilla".into(),
+            version: "0.1.0".into(),
+            features: vec!["sanitize".into()],
+        };
+        let line = Response::ok("a".into(), Vec::new())
+            .with_provenance(provenance.clone())
+            .to_json_line();
+        validate_response_line(&line).unwrap();
+        assert!(line.contains("\"provenance\""), "{line}");
+        assert!(
+            line.contains("\"model_hash\":\"00deadbeef00cafe\""),
+            "{line}"
+        );
+        let failed = Response::failed("b".into(), Status::Timeout, "expired".into())
+            .with_provenance(provenance)
+            .to_json_line();
+        validate_response_line(&failed).unwrap();
+        // Malformed provenance objects are rejected.
+        assert!(validate_response_line(
+            r#"{"id":"a","status":"ok","results":[],"provenance":{"model":"etsb"}}"#
+        )
+        .is_err());
+        assert!(validate_response_line(
+            r#"{"id":"a","status":"ok","results":[],"provenance":"etsb"}"#
         )
         .is_err());
     }

@@ -58,7 +58,10 @@ pub fn run<R: BufRead, W: Write + Send>(
             }
             let item = match parse_request(trimmed) {
                 Ok(request) => Item::Handle(service.submit(request)),
-                Err(e) => Item::Immediate(Response::failed(String::new(), Status::BadRequest, e)),
+                Err(e) => Item::Immediate(
+                    Response::failed(String::new(), Status::BadRequest, e)
+                        .with_provenance(service.provenance().clone()),
+                ),
             };
             if tx.send(item).is_err() {
                 break; // Writer gone (I/O error); its result says why.

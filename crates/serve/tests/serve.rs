@@ -378,7 +378,20 @@ fn http_front_end_round_trips() {
 
         let metrics = fetch("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n".to_string());
         assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
-        assert!(metrics.contains("\"requests\""), "{metrics}");
+        assert!(
+            metrics.contains("Content-Type: text/plain; version=0.0.4"),
+            "{metrics}"
+        );
+        let expo_body = metrics.split("\r\n\r\n").nth(1).unwrap();
+        etsb_obs::expo::validate(expo_body).unwrap();
+        assert!(
+            expo_body.contains("etsb_serve_requests_total 1"),
+            "the scored /detect submission should be counted: {expo_body}"
+        );
+        assert!(
+            expo_body.contains("etsb_serve_detect_latency_ns_bucket{le=\"+Inf\"} 1"),
+            "{expo_body}"
+        );
 
         let missing = fetch("GET /nowhere HTTP/1.1\r\nHost: x\r\n\r\n".to_string());
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
@@ -386,6 +399,83 @@ fn http_front_end_round_trips() {
         stop.store(true, Ordering::SeqCst);
         server.join().unwrap().unwrap();
     });
+}
+
+#[test]
+fn every_engine_response_carries_identical_provenance() {
+    let service = DetectService::start_manual(detector(CellKind::Vanilla), ServeConfig::default());
+    let expected = service.provenance().clone();
+    assert_eq!(expected.model_hash.len(), 16, "fnv1a64 hex");
+    assert!(
+        expected
+            .model_hash
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()),
+        "{expected:?}"
+    );
+    assert_eq!(expected.model, "ETSB-RNN/RNN");
+    assert_eq!(expected.version, env!("CARGO_PKG_VERSION"));
+
+    let scored = service.submit(req("a", &[("name", "x")]));
+    service.tick();
+    let scored = scored.wait();
+    let empty = service.submit(req("b", &[])).wait();
+    let bad = service.submit(req("c", &[("nope", "x")])).wait();
+    for response in [&scored, &empty, &bad] {
+        assert_eq!(
+            response.provenance.as_ref(),
+            Some(&expected),
+            "all engine-filled responses are stamped: {response:?}"
+        );
+    }
+    validate_response_line(&scored.to_json_line()).unwrap();
+
+    // Two services over the same detector stamp identical provenance
+    // (it excludes anything run-dependent, e.g. worker count).
+    let other = DetectService::start_manual(detector(CellKind::Vanilla), ServeConfig::default());
+    assert_eq!(other.provenance(), &expected);
+    // A different cell kind changes the weights and therefore the hash.
+    let lstm = DetectService::start_manual(detector(CellKind::Lstm), ServeConfig::default());
+    assert_ne!(lstm.provenance().model_hash, expected.model_hash);
+    assert_eq!(lstm.provenance().model, "ETSB-RNN/LSTM");
+}
+
+#[test]
+fn prometheus_text_is_valid_and_rateable() {
+    let service = DetectService::start_manual(detector(CellKind::Vanilla), ServeConfig::default());
+    // Score the same cell twice so the cache-hit mirror moves.
+    for id in ["a", "b"] {
+        let handle = service.submit(req(id, &[("name", "x")]));
+        service.tick();
+        handle.wait();
+    }
+    let text = service.prometheus_text();
+    etsb_obs::expo::validate(&text).unwrap();
+    for family in [
+        "etsb_serve_requests_total",
+        "etsb_serve_admitted_cells_total",
+        "etsb_serve_batches_total",
+        "etsb_serve_cache_hits_total",
+        "etsb_serve_cache_misses_total",
+        "etsb_serve_detect_latency_ns",
+        "etsb_serve_batch_latency_ns",
+        "etsb_serve_batch_occupancy_cells",
+        "etsb_serve_queue_depth_cells",
+        "etsb_serve_queue_cells",
+        "etsb_serve_cache_len",
+    ] {
+        assert!(text.contains(family), "missing family {family}:\n{text}");
+    }
+    assert!(text.contains("etsb_serve_cache_hits_total 1"), "{text}");
+    assert!(text.contains("etsb_serve_cache_misses_total 1"), "{text}");
+    assert!(
+        text.contains("etsb_serve_batch_occupancy_cells_bucket{le=\"1\"} 2"),
+        "two single-cell batches: {text}"
+    );
+
+    // The exposition snapshot is itself deterministic: rendering twice
+    // with no traffic in between yields identical bytes.
+    assert_eq!(service.prometheus_text(), text);
 }
 
 #[test]

@@ -33,6 +33,14 @@
 #   9. bench smoke + schema             -- bench_summary --smoke writes
 #                                         BENCH_hotpath.json, then
 #                                         --validate schema-checks it
+#  10. serve_bench smoke + schema        -- serve_bench --smoke writes
+#                                         BENCH_serve.json (3 load
+#                                         steps), its RunManifest
+#                                         sidecar and BENCH_serve.prom;
+#                                         --validate schema-checks the
+#                                         steps, trace_lint gates the
+#                                         manifest and the Prometheus
+#                                         exposition
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -69,6 +77,8 @@ if [[ "${1:-}" != "fast" ]]; then
         --save "$tmpdir/detector.bin"
     cargo run -q -p etsb-obs --bin trace_lint -- \
         --trace "$tmpdir/trace.jsonl" --manifest "$tmpdir/manifest.json"
+    cargo run -q -p etsb-obs --bin trace_profile -- \
+        --trace "$tmpdir/trace.jsonl" --top 15
 
     step "etsb serve smoke (response schema + coalescing determinism)"
     cat > "$tmpdir/requests.jsonl" <<'EOF'
@@ -92,6 +102,15 @@ EOF
     step "bench smoke + BENCH_hotpath.json schema"
     cargo run --release -q -p etsb-bench --bin bench_summary -- --smoke
     cargo run --release -q -p etsb-bench --bin bench_summary -- --validate BENCH_hotpath.json
+
+    step "serve_bench smoke + BENCH_serve.json schema + exposition lint"
+    (cd "$tmpdir" && cargo run --release -q \
+        --manifest-path "$OLDPWD/Cargo.toml" -p etsb-bench --bin serve_bench -- --smoke)
+    cargo run --release -q -p etsb-bench --bin serve_bench -- \
+        --validate "$tmpdir/BENCH_serve.json"
+    cargo run -q -p etsb-obs --bin trace_lint -- \
+        --manifest "$tmpdir/BENCH_serve.manifest.json" \
+        --expo "$tmpdir/BENCH_serve.prom"
 fi
 
 printf '\nAll checks passed.\n'

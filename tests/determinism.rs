@@ -398,3 +398,127 @@ fn generator_determinism_extends_to_csv_round_trip() {
     let parsed = etsb_table::csv::parse(&text).unwrap();
     assert_eq!(parsed, pair.dirty);
 }
+
+/// Histograms merge per-shard accumulators in shard-index order, and
+/// every accumulator is an integer, so the merged registry state — and
+/// its rendered exposition bytes — must be identical whether the shards
+/// ran on one thread or four. This drives the same
+/// `parallel_map_shards` boundaries the model hot path uses, with
+/// synthetic per-item "durations" that are a pure function of the item
+/// index (real timings are the one thing that legitimately varies).
+#[test]
+fn histogram_shard_merge_is_worker_invariant() {
+    use etsb_nn::parallel::{parallel_map_shards, set_worker_override};
+    use etsb_obs::registry::{LocalHistogram, Registry, COUNT_BOUNDS};
+
+    let n = 500usize;
+    let run = |workers: usize| -> String {
+        set_worker_override(workers);
+        let locals: Vec<LocalHistogram> = parallel_map_shards(n, |_, range| {
+            let mut local = LocalHistogram::with_bounds(&COUNT_BOUNDS);
+            for i in range {
+                local.record((i as u64 * 37 + 11) % 100_000);
+            }
+            local
+        });
+        set_worker_override(0);
+        let registry = Registry::new();
+        let hist = registry.histogram_with_bounds("fold_item_units", &COUNT_BOUNDS);
+        for local in &locals {
+            hist.merge_local(local);
+        }
+        etsb_obs::expo::render(&registry.snapshot())
+    };
+
+    let serial = run(1);
+    for workers in [2usize, 4] {
+        assert_eq!(
+            serial,
+            run(workers),
+            "merged exposition bytes depend on worker count ({workers})"
+        );
+    }
+    assert!(serial.contains("fold_item_units_count 500"), "{serial}");
+}
+
+/// Two registries fed the same event stream render byte-identical
+/// Prometheus expositions: name-sorted snapshots, integer accumulators
+/// and a fixed text format leave no room for drift.
+#[test]
+fn registry_snapshots_are_byte_identical_across_runs() {
+    use etsb_obs::registry::Registry;
+
+    let run = || -> String {
+        let registry = Registry::new();
+        let c = registry.counter("events_total");
+        let g = registry.gauge("level");
+        let h = registry.histogram("work_ns");
+        for i in 0..200u64 {
+            c.inc();
+            g.set(i as f64 / 3.0);
+            h.record(i * 991);
+        }
+        etsb_obs::expo::render(&registry.snapshot())
+    };
+    assert_eq!(run(), run());
+}
+
+/// Enabling the metrics registry must be purely observational: the
+/// instrumented hot paths (sharded gradient folds, epoch timing) record
+/// wall times around the float work, never inside it, so training with
+/// `ETSB_METRICS=on` produces bit-identical losses, weights and
+/// predictions to training with it off.
+#[test]
+fn metrics_registry_never_changes_model_outputs() {
+    use etsb_core::encode::EncodedDataset;
+    use etsb_core::model::AnyModel;
+    use etsb_core::train::train_model;
+    use etsb_obs::registry::{global, set_metrics_enabled};
+    use etsb_tensor::init::seeded_rng;
+
+    let pair = Dataset::Beers
+        .generate(&GenConfig {
+            scale: 0.03,
+            seed: 35,
+        })
+        .expect("dataset generation");
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).unwrap();
+    let data = EncodedDataset::from_frame(&frame);
+    let sample = sampling::diver_set(&frame, 8, 9);
+    let (train, test) = data.split_by_tuples(&sample);
+    let mut cfg = tiny_cfg().train;
+    cfg.epochs = 3;
+    let cells: Vec<usize> = (0..data.n_cells().min(100)).collect();
+
+    let run = |metrics: bool| {
+        set_metrics_enabled(metrics);
+        let mut model = AnyModel::new(ModelKind::Etsb, &data, &cfg, &mut seeded_rng(41));
+        let history = train_model(&mut model, &data, &train, &test, &cfg, 43);
+        let probs = model.predict_probs(&data, &cells);
+        set_metrics_enabled(false);
+        let weights: Vec<Vec<f32>> = model
+            .params()
+            .iter()
+            .map(|p| p.value.as_slice().to_vec())
+            .collect();
+        (history.train_loss, weights, probs)
+    };
+
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off.0, on.0, "loss curve changed with metrics enabled");
+    assert_eq!(off.1, on.1, "weights changed with metrics enabled");
+    assert_eq!(off.2, on.2, "predictions changed with metrics enabled");
+
+    // And the instrumentation actually observed the run: three epochs
+    // were counted and per-item fold timings were merged.
+    let snapshot = global().snapshot();
+    assert!(
+        snapshot.counter("train_epochs_total").unwrap_or(0) >= 3,
+        "epoch counter did not advance"
+    );
+    let shards = snapshot
+        .histogram("parallel_shard_ns")
+        .expect("shard histogram registered");
+    assert!(shards.count > 0, "no shards timed");
+}
