@@ -6,8 +6,11 @@
 //! allocating reference path, and the workspace `_into` path — plus a
 //! train_batch-shaped pair (`batch_forward_backward/*`): a 16-sequence
 //! mixed-length mini-batch through the per-sample workspace loop versus
-//! one timestep-major batched pass. It then writes `BENCH_hotpath.json`: a
-//! JSON array of `{"bench": ..., "mean_ns": ..., "samples": ...}`
+//! one timestep-major batched pass, and an inference-only pair
+//! (`inference_exact/*` vs `inference_fast/*`) timing the batched
+//! forward pass under both kernel policies. It then writes
+//! `BENCH_hotpath.json`: a JSON array of
+//! `{"bench": ..., "mean_ns": ..., "iqr_ns": ..., "samples": ...}`
 //! entries that `run_checks.sh` schema-validates and CI can trend.
 //! Arms are interleaved round by round and `mean_ns` is an
 //! interquartile mean, so background load perturbs the reported
@@ -15,17 +18,21 @@
 //!
 //! ```text
 //! cargo run --release -p etsb-bench --bin bench_summary              # full run
-//! cargo run --release -p etsb-bench --bin bench_summary -- --smoke  # 3 samples
+//! cargo run --release -p etsb-bench --bin bench_summary -- --smoke  # 6 samples
 //! cargo run --release -p etsb-bench --bin bench_summary -- --validate BENCH_hotpath.json
 //! ```
 
 use etsb_bench::hotpath_baseline;
-use etsb_nn::{RnnCell, SeqBatch, StackedBiRnn, StackedBiRnnCache};
+use etsb_nn::{KernelPolicy, RnnCell, SeqBatch, StackedBiRnn, StackedBiRnnCache};
 use etsb_obs::json::{self, Value};
 use etsb_tensor::{init, Matrix, Workspace};
 use std::time::Instant;
 
 const LENGTHS: [usize; 3] = [8, 32, 128];
+/// Sequences per inference batch: sized like a well-coalesced serve
+/// tick so the `inference_*` arms measure the batched forward pass the
+/// detection hot path actually runs.
+const INFER_BATCH: usize = 32;
 /// A train_batch-shaped workload: 256 sequences (batch = trainset / 4 in
 /// §5.2) with the short mixed-length profile of real database cells —
 /// airline/city codes, dates, times and numeric ids run 2..=12
@@ -45,12 +52,17 @@ const BATCH_LENGTHS: [usize; 256] = [
 ];
 const EMBED_DIM: usize = 86; // Beers alphabet
 const HIDDEN: usize = 64;
-const DEFAULT_SAMPLES: usize = 20;
+const DEFAULT_SAMPLES: usize = 40;
+const SMOKE_SAMPLES: usize = 6;
 const OUT_FILE: &str = "BENCH_hotpath.json";
 
 struct BenchResult {
     bench: String,
     mean_ns: f64,
+    /// Interquartile spread (Q3 − Q1) of the per-round samples, in ns —
+    /// a dispersion bar so CI trending can tell a real regression from
+    /// a noisy run.
+    iqr_ns: f64,
     samples: usize,
 }
 
@@ -67,7 +79,7 @@ fn main() {
                 }
             }
         }
-        Some("--smoke") => run(3),
+        Some("--smoke") => run(SMOKE_SAMPLES),
         None => run(DEFAULT_SAMPLES),
         Some(other) => {
             eprintln!("error: unknown flag {other} (try --smoke or --validate PATH)");
@@ -146,9 +158,9 @@ fn run(samples: usize) {
                 ws_ns.push(wsn);
             }
         }
-        let prechange = trimmed_mean(&mut pre_ns);
-        let naive = trimmed_mean(&mut naive_ns);
-        let workspace = trimmed_mean(&mut ws_ns);
+        let (prechange, pre_iqr) = summarize(&mut pre_ns);
+        let (naive, naive_iqr) = summarize(&mut naive_ns);
+        let (workspace, ws_iqr) = summarize(&mut ws_ns);
 
         println!(
             "seq_forward_backward/{len:<4} prechange {prechange:>12.0} ns   naive {naive:>12.0} ns   workspace {workspace:>12.0} ns   speedup(vs prechange) {:>5.2}x",
@@ -157,21 +169,25 @@ fn run(samples: usize) {
         results.push(BenchResult {
             bench: format!("seq_forward_backward/prechange/{len}"),
             mean_ns: prechange,
+            iqr_ns: pre_iqr,
             samples,
         });
         results.push(BenchResult {
             bench: format!("seq_forward_backward/naive/{len}"),
             mean_ns: naive,
+            iqr_ns: naive_iqr,
             samples,
         });
         results.push(BenchResult {
             bench: format!("seq_forward_backward/workspace/{len}"),
             mean_ns: workspace,
+            iqr_ns: ws_iqr,
             samples,
         });
     }
 
     bench_batch(&net, samples, &mut results, &mut rng);
+    bench_inference(&net, samples, &mut results, &mut rng);
 
     let entries: Vec<Value> = results
         .iter()
@@ -179,6 +195,7 @@ fn run(samples: usize) {
             Value::obj([
                 ("bench".to_string(), Value::Str(r.bench.clone())),
                 ("mean_ns".to_string(), Value::Num(r.mean_ns)),
+                ("iqr_ns".to_string(), Value::Num(r.iqr_ns)),
                 ("samples".to_string(), Value::Num(r.samples as f64)),
             ])
         })
@@ -255,7 +272,14 @@ fn bench_batch(
         let per_sample = t.elapsed().as_nanos() as f64;
 
         let t = Instant::now();
-        net.forward_batch_into(&packed, &batch, &mut features, &mut bcache, &mut ws_b);
+        net.forward_batch_into(
+            &packed,
+            &batch,
+            &mut features,
+            &mut bcache,
+            &mut ws_b,
+            KernelPolicy::Exact,
+        );
         std::hint::black_box(&features);
         net.backward_batch_into(
             &batch,
@@ -273,8 +297,8 @@ fn bench_batch(
             batched_ns.push(batched);
         }
     }
-    let per_sample = trimmed_mean(&mut per_sample_ns);
-    let batched = trimmed_mean(&mut batched_ns);
+    let (per_sample, per_sample_iqr) = summarize(&mut per_sample_ns);
+    let (batched, batched_iqr) = summarize(&mut batched_ns);
     println!(
         "batch_forward_backward/B{n}  workspace {per_sample:>12.0} ns   batched {batched:>12.0} ns   speedup(vs per-sample) {:>5.2}x",
         per_sample / batched
@@ -282,32 +306,116 @@ fn bench_batch(
     results.push(BenchResult {
         bench: format!("batch_forward_backward/workspace/B{n}"),
         mean_ns: per_sample,
+        iqr_ns: per_sample_iqr,
         samples,
     });
     results.push(BenchResult {
         bench: format!("batch_forward_backward/batched/B{n}"),
         mean_ns: batched,
+        iqr_ns: batched_iqr,
         samples,
     });
 }
 
-/// Interquartile mean of the samples: drops the fastest and slowest
-/// quarter, averages the middle half. Robust to one-off scheduler or
-/// frequency-scaling spikes while still being a mean, not a single
-/// order statistic.
-fn trimmed_mean(samples: &mut [f64]) -> f64 {
-    assert!(!samples.is_empty(), "trimmed_mean of empty sample set");
+/// Benchmark the inference hot path — the batched forward-only pass a
+/// coalesced serve tick or `etsb detect` runs — under both kernel
+/// policies. [`INFER_BATCH`] same-length sequences per pass, exact and
+/// fast-math arms interleaved round by round; backward never runs, so
+/// this isolates exactly the code the `--fast-math` flag switches.
+fn bench_inference(
+    net: &StackedBiRnn<RnnCell>,
+    samples: usize,
+    results: &mut Vec<BenchResult>,
+    rng: &mut rand::rngs::StdRng,
+) {
+    for &len in &LENGTHS {
+        let lengths = vec![len; INFER_BATCH];
+        let batch = SeqBatch::from_lengths(&lengths);
+        let packed = init::glorot_uniform(batch.total_rows(), EMBED_DIM, rng);
+
+        let mut ws = Workspace::new();
+        let mut cache = StackedBiRnnCache::<RnnCell>::default();
+        let mut features = Matrix::default();
+        // Warm both arms' buffer pools before measurement.
+        for policy in [KernelPolicy::Exact, KernelPolicy::FastMath] {
+            net.forward_batch_into(&packed, &batch, &mut features, &mut cache, &mut ws, policy);
+        }
+
+        let mut exact_ns = Vec::with_capacity(samples);
+        let mut fast_ns = Vec::with_capacity(samples);
+        for round in 0..=samples {
+            let t = Instant::now();
+            net.forward_batch_into(
+                &packed,
+                &batch,
+                &mut features,
+                &mut cache,
+                &mut ws,
+                KernelPolicy::Exact,
+            );
+            std::hint::black_box(&features);
+            let exact = t.elapsed().as_nanos() as f64;
+
+            let t = Instant::now();
+            net.forward_batch_into(
+                &packed,
+                &batch,
+                &mut features,
+                &mut cache,
+                &mut ws,
+                KernelPolicy::FastMath,
+            );
+            std::hint::black_box(&features);
+            let fast = t.elapsed().as_nanos() as f64;
+
+            if round > 0 {
+                exact_ns.push(exact);
+                fast_ns.push(fast);
+            }
+        }
+        let (exact, exact_iqr) = summarize(&mut exact_ns);
+        let (fast, fast_iqr) = summarize(&mut fast_ns);
+        println!(
+            "inference/{len:<4}            exact {exact:>12.0} ns   fast-math {fast:>12.0} ns   speedup(vs exact) {:>5.2}x",
+            exact / fast
+        );
+        results.push(BenchResult {
+            bench: format!("inference_exact/{len}"),
+            mean_ns: exact,
+            iqr_ns: exact_iqr,
+            samples,
+        });
+        results.push(BenchResult {
+            bench: format!("inference_fast/{len}"),
+            mean_ns: fast,
+            iqr_ns: fast_iqr,
+            samples,
+        });
+    }
+}
+
+/// Interquartile summary of the samples: `(mean, spread)`. The mean
+/// drops the fastest and slowest quarter and averages the middle half —
+/// robust to one-off scheduler or frequency-scaling spikes while still
+/// being a mean, not a single order statistic. The spread is Q3 − Q1 of
+/// the sorted samples, reported alongside so trending can weigh a mean
+/// shift against the run's own noise floor.
+fn summarize(samples: &mut [f64]) -> (f64, f64) {
+    assert!(!samples.is_empty(), "summarize of empty sample set");
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let q = samples.len() / 4;
     let mid = &samples[q..samples.len() - q];
-    mid.iter().sum::<f64>() / mid.len() as f64
+    let mean = mid.iter().sum::<f64>() / mid.len() as f64;
+    let spread = samples[samples.len() - 1 - q] - samples[q];
+    (mean, spread)
 }
 
 /// Schema-check a summary file: a non-empty JSON array whose entries
-/// carry a string `bench`, a positive finite `mean_ns` and a positive
-/// integer `samples`, covering both the per-sample
-/// (`seq_forward_backward/`) and batched (`batch_forward_backward/`)
-/// arm families.
+/// carry a string `bench`, a positive finite `mean_ns`, a finite
+/// non-negative `iqr_ns` and a positive integer `samples`, covering the
+/// per-sample (`seq_forward_backward/`), batched
+/// (`batch_forward_backward/`) and kernel-policy (`inference_exact/`,
+/// `inference_fast/`) arm families.
 fn validate(path: &str) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let value = json::parse(&text).map_err(|e| format!("invalid JSON: {e:?}"))?;
@@ -330,6 +438,14 @@ fn validate(path: &str) -> Result<usize, String> {
                 "entry {i} ({bench}): mean_ns {mean_ns} not positive"
             ));
         }
+        let iqr_ns = entry.get("iqr_ns").and_then(Value::as_f64).ok_or(format!(
+            "entry {i} ({bench}): missing number field 'iqr_ns'"
+        ))?;
+        if !iqr_ns.is_finite() || iqr_ns < 0.0 {
+            return Err(format!(
+                "entry {i} ({bench}): iqr_ns {iqr_ns} not a finite non-negative number"
+            ));
+        }
         let samples = entry.get("samples").and_then(Value::as_f64).ok_or(format!(
             "entry {i} ({bench}): missing number field 'samples'"
         ))?;
@@ -339,7 +455,12 @@ fn validate(path: &str) -> Result<usize, String> {
             ));
         }
     }
-    for prefix in ["seq_forward_backward/", "batch_forward_backward/"] {
+    for prefix in [
+        "seq_forward_backward/",
+        "batch_forward_backward/",
+        "inference_exact/",
+        "inference_fast/",
+    ] {
         let covered = entries.iter().any(|e| {
             e.get("bench")
                 .and_then(Value::as_str)

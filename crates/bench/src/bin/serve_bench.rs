@@ -106,6 +106,10 @@ fn histogram_json(h: &HistogramSnapshot) -> Value {
 }
 
 struct StepResult {
+    /// Which kernel policy the serving instance ran: "exact" or
+    /// "fast-math". One service per policy — the engine pins the policy
+    /// for its lifetime so one prediction cache never mixes policies.
+    kernel_policy: &'static str,
     clients: usize,
     requests: usize,
     errors: usize,
@@ -121,6 +125,10 @@ struct StepResult {
 impl StepResult {
     fn to_json_value(&self) -> Value {
         Value::obj([
+            (
+                "kernel_policy".to_string(),
+                Value::Str(self.kernel_policy.to_string()),
+            ),
             ("clients".to_string(), Value::Num(self.clients as f64)),
             ("requests".to_string(), Value::Num(self.requests as f64)),
             ("errors".to_string(), Value::Num(self.errors as f64)),
@@ -153,7 +161,12 @@ impl StepResult {
 /// Run one closed-loop arm: `clients` threads each submit
 /// `requests_per_client` requests back-to-back against the shared
 /// service, then the arm's metrics are read as registry deltas.
-fn run_step(service: &DetectService, clients: usize, requests_per_client: usize) -> StepResult {
+fn run_step(
+    service: &DetectService,
+    kernel_policy: &'static str,
+    clients: usize,
+    requests_per_client: usize,
+) -> StepResult {
     let before = service.registry().snapshot();
     let started = Instant::now();
     let errors: usize = std::thread::scope(|scope| {
@@ -198,6 +211,7 @@ fn run_step(service: &DetectService, clients: usize, requests_per_client: usize)
     let misses = counter_delta("etsb_serve_cache_misses_total");
     let lookups = hits + misses;
     StepResult {
+        kernel_policy,
         clients,
         requests,
         errors,
@@ -216,26 +230,41 @@ fn run_step(service: &DetectService, clients: usize, requests_per_client: usize)
 }
 
 fn run(steps: &[usize], requests_per_client: usize) {
-    let service = DetectService::start(detector(), ServeConfig::default());
-    println!(
-        "serve_bench: model {} (hash {})",
-        service.provenance().model,
-        service.provenance().model_hash
-    );
-
-    let mut results = Vec::with_capacity(steps.len());
-    for &clients in steps {
-        let step = run_step(&service, clients, requests_per_client);
+    // One service per kernel policy: the engine pins the policy (and the
+    // prediction cache) for its lifetime, so the fast-math arm is a
+    // separate instance, exactly like `etsb serve --fast-math` would be.
+    let mut results = Vec::with_capacity(steps.len() * 2);
+    let mut expo = String::new();
+    for (kernel_policy, fast_math) in [("exact", false), ("fast-math", true)] {
+        let cfg = ServeConfig {
+            fast_math,
+            ..ServeConfig::default()
+        };
+        let service = DetectService::start(detector(), cfg);
         println!(
-            "clients {clients:>3}  reqs {:>5}  {:>9.0} req/s  p50 {:>9} ns  p99 {:>10} ns  occupancy(mean) {:>5.1}  hit-rate {:>4.2}",
-            step.requests,
-            step.throughput_rps,
-            step.detect_latency.p50(),
-            step.detect_latency.p99(),
-            step.batch_occupancy.mean(),
-            step.cache_hit_rate,
+            "serve_bench[{kernel_policy}]: model {} (hash {})",
+            service.provenance().model,
+            service.provenance().model_hash
         );
-        results.push(step);
+
+        for &clients in steps {
+            let step = run_step(&service, kernel_policy, clients, requests_per_client);
+            println!(
+                "{kernel_policy:>9}  clients {clients:>3}  reqs {:>5}  {:>9.0} req/s  p50 {:>9} ns  p99 {:>10} ns  occupancy(mean) {:>5.1}  hit-rate {:>4.2}",
+                step.requests,
+                step.throughput_rps,
+                step.detect_latency.p50(),
+                step.detect_latency.p99(),
+                step.batch_occupancy.mean(),
+                step.cache_hit_rate,
+            );
+            results.push(step);
+        }
+        // Keep the exact instance's exposition for the lint gate — it is
+        // the default-config service `GET /metrics` mirrors.
+        if kernel_policy == "exact" {
+            expo = service.prometheus_text();
+        }
     }
 
     let entries: Vec<Value> = results.iter().map(StepResult::to_json_value).collect();
@@ -252,16 +281,18 @@ fn run(steps: &[usize], requests_per_client: usize) {
         seed: SEED,
         ..ExperimentConfig::default()
     };
-    let datasets = steps
+    let datasets = ["exact", "fast-math"]
         .iter()
-        .map(|&clients| {
-            DatasetInfo::from_shape(
-                &format!("serve_load_c{clients}"),
-                (clients * requests_per_client, CELLS_PER_REQUEST),
-            )
+        .flat_map(|policy| {
+            steps.iter().map(move |&clients| {
+                DatasetInfo::from_shape(
+                    &format!("serve_load_{policy}_c{clients}"),
+                    (clients * requests_per_client, CELLS_PER_REQUEST),
+                )
+            })
         })
         .collect();
-    let manifest = RunManifest::new(&config, steps.len(), datasets);
+    let manifest = RunManifest::new(&config, steps.len() * 2, datasets);
     let stem = OUT_FILE.strip_suffix(".json").unwrap_or(OUT_FILE);
     let manifest_path = format!("{stem}.manifest.json");
     if let Err(e) = manifest.write(&manifest_path) {
@@ -271,7 +302,7 @@ fn run(steps: &[usize], requests_per_client: usize) {
     println!("wrote {manifest_path}");
 
     // The final exposition, exactly as `GET /metrics` would serve it.
-    if let Err(e) = std::fs::write(EXPO_FILE, service.prometheus_text()) {
+    if let Err(e) = std::fs::write(EXPO_FILE, expo) {
         eprintln!("error: writing {EXPO_FILE}: {e}");
         std::process::exit(1);
     }
@@ -281,7 +312,10 @@ fn run(steps: &[usize], requests_per_client: usize) {
 /// Schema-check a results file: a JSON array with at least three load
 /// steps whose quantiles are ordered (`p50 <= p90 <= p99 <= max`),
 /// whose `cache_hit_rate` lies in `[0, 1]`, and whose throughput and
-/// latency counts are positive with zero failed requests.
+/// latency counts are positive with zero failed requests. Every entry
+/// must be tagged `kernel_policy` ("exact" or "fast-math") and both
+/// policies must appear, so the fast-math arm can never silently drop
+/// out of the gate.
 fn validate(path: &str) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let value = json::parse(&text).map_err(|e| format!("invalid JSON: {e:?}"))?;
@@ -300,12 +334,23 @@ fn validate(path: &str) -> Result<usize, String> {
             .and_then(Value::as_f64)
             .ok_or(format!("missing number field {key:?}"))
     };
+    let mut policies_seen = std::collections::HashSet::new();
     for (i, entry) in entries.iter().enumerate() {
         let clients = num(entry, "clients")?;
         let context = format!("entry {i} (clients {clients})");
         if clients < 1.0 {
             return Err(format!("{context}: clients not positive"));
         }
+        let policy = entry
+            .get("kernel_policy")
+            .and_then(Value::as_str)
+            .ok_or(format!("{context}: missing string field 'kernel_policy'"))?;
+        if policy != "exact" && policy != "fast-math" {
+            return Err(format!(
+                "{context}: kernel_policy {policy:?} not 'exact' or 'fast-math'"
+            ));
+        }
+        policies_seen.insert(policy.to_string());
         if num(entry, "errors")? != 0.0 {
             return Err(format!("{context}: failed requests under load"));
         }
@@ -342,6 +387,11 @@ fn validate(path: &str) -> Result<usize, String> {
             <= 0.0
         {
             return Err(format!("{context}: no latency observations"));
+        }
+    }
+    for policy in ["exact", "fast-math"] {
+        if !policies_seen.contains(policy) {
+            return Err(format!("no load steps with kernel_policy {policy:?}"));
         }
     }
     Ok(entries.len())

@@ -1,0 +1,28 @@
+//! Fixture: fast-math primitives escaping the blessed SIMD kernel
+//! directory. The four marked sites must fire; the annotated site must
+//! not.
+
+/// FMA outside the kernel set: one rounding, not two.            [hit]
+pub fn fused(a: f32, b: f32, c: f32) -> f32 {
+    a.mul_add(b, c)
+}
+
+/// Direct std::arch intrinsic import.                            [hit]
+pub use std::arch::x86_64::_mm256_setzero_ps;
+
+/// Fully qualified core::arch path.                              [hit]
+pub fn lanes() -> core::arch::x86_64::__m256 {
+    _mm256_setzero_ps()
+}
+
+/// Per-function codegen override.                                [hit]
+#[target_feature(enable = "avx2")]
+pub fn blocked(a: f32, b: f32) -> f32 {
+    a + b
+}
+
+/// Annotated escape hatch: justified, stays silent.           [no hit]
+pub fn pinned(a: f32, b: f32, c: f32) -> f32 {
+    // etsb: allow(fast-math-confinement) -- reference value for a rounding-tolerance test.
+    a.mul_add(b, c)
+}

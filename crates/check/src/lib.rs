@@ -32,6 +32,10 @@
 //!   (`.sum::<f32>()`, float `fold`s, `mul_add`) outside the blessed
 //!   kernels in `etsb-tensor`; the bitwise contract pins reduction
 //!   order in exactly one place.
+//! * **`fast-math-confinement`** — `mul_add`, `std::arch`/`core::arch`
+//!   intrinsics and `#[target_feature]` only inside the
+//!   `crates/tensor/src/simd/` kernel set; fused-multiply-add rounding
+//!   must never leak into the exact bitwise paths.
 //! * **`into-no-alloc`** — `_into` kernel bodies must not allocate
 //!   (static twin of the counting-allocator regression test).
 //! * **`into-shape-assert`** — public `_into` kernels must open with a
@@ -90,6 +94,13 @@ pub const FLOAT_CHECKED_CRATES: [&str; 3] = ["tensor", "nn", "core"];
 pub const FLOAT_BLESSED_FILES: [&str; 2] =
     ["crates/tensor/src/matrix.rs", "crates/tensor/src/ops.rs"];
 
+/// The opt-in FastMath kernel set: the only directory allowed to use
+/// `mul_add`, `std::arch`/`core::arch` intrinsics and
+/// `#[target_feature]` (`fast-math-confinement`), and — like
+/// [`FLOAT_BLESSED_FILES`] — exempt from `float-reduce-order`, because
+/// its reduction orders are pinned and equivalence-tested there.
+pub const SIMD_BLESSED_PREFIX: &str = "crates/tensor/src/simd/";
+
 /// Crates whose `_into` kernels are audited (`into-no-alloc`,
 /// `into-shape-assert`).
 pub const INTO_CHECKED_CRATES: [&str; 2] = SHAPE_CHECKED_CRATES;
@@ -143,6 +154,9 @@ pub enum Rule {
     HashIterOrder,
     /// Order-sensitive float reduction outside the blessed kernels.
     FloatReduceOrder,
+    /// Fast-math primitive (`mul_add`, arch intrinsics,
+    /// `#[target_feature]`) outside `crates/tensor/src/simd/`.
+    FastMathConfinement,
     /// Allocation inside an `_into` kernel body.
     IntoNoAlloc,
     /// Public `_into` kernel without an opening shape assertion.
@@ -163,6 +177,7 @@ impl Rule {
             Rule::NoPrint => "no-print",
             Rule::HashIterOrder => "hash-iter-order",
             Rule::FloatReduceOrder => "float-reduce-order",
+            Rule::FastMathConfinement => "fast-math-confinement",
             Rule::IntoNoAlloc => "into-no-alloc",
             Rule::IntoShapeAssert => "into-shape-assert",
             Rule::UnsafeSafetyComment => "unsafe-safety-comment",
@@ -175,7 +190,7 @@ impl Rule {
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 10] {
+    pub fn all() -> [Rule; 11] {
         [
             Rule::NoUnwrap,
             Rule::NoUnseededRng,
@@ -184,6 +199,7 @@ impl Rule {
             Rule::NoPrint,
             Rule::HashIterOrder,
             Rule::FloatReduceOrder,
+            Rule::FastMathConfinement,
             Rule::IntoNoAlloc,
             Rule::IntoShapeAssert,
             Rule::UnsafeSafetyComment,
@@ -193,9 +209,10 @@ impl Rule {
     /// The rule's severity class.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::NoUnseededRng | Rule::HashIterOrder | Rule::FloatReduceOrder => {
-                Severity::Critical
-            }
+            Rule::NoUnseededRng
+            | Rule::HashIterOrder
+            | Rule::FloatReduceOrder
+            | Rule::FastMathConfinement => Severity::Critical,
             Rule::NoUnwrap
             | Rule::ShapeAssert
             | Rule::IntoNoAlloc
@@ -293,6 +310,24 @@ impl Rule {
                  Allow when: the reduction order is pinned by construction (e.g.\n\
                  a sequential f64 accumulation over an already-ordered Vec) and\n\
                  the comment says so."
+            }
+            Rule::FastMathConfinement => {
+                "fast-math-confinement (critical)\n\
+                 Contract: fused multiply-add rounds once where mul-then-add\n\
+                 rounds twice, so any mul_add, std::arch/core::arch intrinsic\n\
+                 or #[target_feature] override outside the opt-in kernel set in\n\
+                 crates/tensor/src/simd/ silently changes bits on the exact\n\
+                 path. The FastMath kernels are reachable only through an\n\
+                 explicit KernelPolicy::FastMath, and their numerics are\n\
+                 guarded by the epsilon-equivalence suite — nowhere else may\n\
+                 spell these primitives.\n\
+                 Twin runtime check: the fast-math equivalence suite in\n\
+                 etsb-core and the portable-vs-AVX2 bitwise identity tests in\n\
+                 etsb-tensor.\n\
+                 Fix: move the kernel into crates/tensor/src/simd/ behind the\n\
+                 KernelPolicy dispatch, or use plain mul-then-add arithmetic.\n\
+                 Allow when: the value never reaches a result (e.g. a test's\n\
+                 reference tolerance computation) and the comment says so."
             }
             Rule::IntoNoAlloc => {
                 "into-no-alloc (high)\n\
@@ -426,6 +461,9 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
             &mut findings,
         );
     }
+    if ctx.check_fast_math {
+        rules::check_fast_math_confinement(rel, source, &stripped, &allows, &mut findings);
+    }
     if ctx.check_into {
         rules::check_into_no_alloc(rel, source, &stripped, &test_lines, &allows, &mut findings);
         rules::check_into_shape_assert(rel, source, &stripped, &test_lines, &allows, &mut findings);
@@ -445,6 +483,7 @@ struct FileContext {
     check_print: bool,
     check_hash: bool,
     check_float: bool,
+    check_fast_math: bool,
     check_into: bool,
     check_unsafe: bool,
 }
@@ -471,7 +510,14 @@ impl FileContext {
             check_print: PRINT_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
             check_hash: HASH_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
             check_float: FLOAT_CHECKED_CRATES.iter().any(|c| in_crate_src(c))
-                && !FLOAT_BLESSED_FILES.contains(&rel.as_str()),
+                && !FLOAT_BLESSED_FILES.contains(&rel.as_str())
+                && !rel.starts_with(SIMD_BLESSED_PREFIX),
+            // Fast-math primitives are confined everywhere a float can
+            // reach a result — library code, binaries, tests — except
+            // the blessed SIMD kernel directory itself.
+            check_fast_math: broad_scope
+                && rel.ends_with(".rs")
+                && !rel.starts_with(SIMD_BLESSED_PREFIX),
             check_into: INTO_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
             check_unsafe: broad_scope && rel.ends_with(".rs"),
         }

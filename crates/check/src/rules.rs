@@ -772,6 +772,46 @@ fn float_init(arg: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------
+// fast-math-confinement
+// ---------------------------------------------------------------------
+
+/// Fast-math primitives that must stay inside the blessed SIMD kernel
+/// directory: fused multiply-add (one rounding where the exact contract
+/// requires two), direct architecture intrinsics, and per-function
+/// codegen overrides.
+const FAST_MATH_TOKENS: [&str; 4] = [".mul_add(", "std::arch", "core::arch", "target_feature("];
+
+/// Rule `fast-math-confinement`: `mul_add`, `std::arch`/`core::arch`
+/// intrinsics and `#[target_feature]` are only permitted inside
+/// `crates/tensor/src/simd/` (the path gate lives in
+/// [`crate::SIMD_BLESSED_PREFIX`]; this pass runs on every other file,
+/// test code included — a fused reference value in a test can mask the
+/// very divergence the exact path forbids).
+pub fn check_fast_math_confinement(
+    rel: &str,
+    source: &str,
+    stripped: &str,
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    for (i, line) in stripped.lines().enumerate() {
+        if allowed(allows, i, Rule::FastMathConfinement) {
+            continue;
+        }
+        for token in FAST_MATH_TOKENS {
+            for _ in 0..count_token(line, token) {
+                findings.push(Finding {
+                    rule: Rule::FastMathConfinement,
+                    file: rel.to_string(),
+                    line: i + 1,
+                    snippet: raw_line(source, i),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // into-no-alloc / into-shape-assert
 // ---------------------------------------------------------------------
 

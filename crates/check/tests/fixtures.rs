@@ -168,9 +168,12 @@ fn float_reduce_fixture_reports_ad_hoc_reductions() {
     assert!(hits.iter().any(|f| f.snippet.contains("sum::<f32>")));
     assert!(hits.iter().any(|f| f.snippet.contains("fold(0.0")));
     assert!(hits.iter().any(|f| f.snippet.contains("mul_add")));
-    assert_eq!(
-        findings.len(),
-        hits.len(),
+    // The mul_add site additionally trips fast-math-confinement (the
+    // two rules deliberately overlap on FMA); nothing else fires.
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.rule == Rule::FloatReduceOrder || f.rule == Rule::FastMathConfinement),
         "other rules fired: {findings:?}"
     );
     // The same source inside a blessed kernel module is exempt.
@@ -181,6 +184,41 @@ fn float_reduce_fixture_reports_ad_hoc_reductions() {
     assert!(
         findings.iter().all(|f| f.rule != Rule::FloatReduceOrder),
         "float-reduce-order fired in a blessed kernel file: {findings:?}"
+    );
+}
+
+#[test]
+fn fast_math_fixture_reports_each_escaped_primitive() {
+    // Scanned under a non-library crate to show the rule's scope is the
+    // whole workspace, not just the float-checked crates.
+    let findings = scan(
+        include_str!("../fixtures/fast_math_violation.rs"),
+        "crates/cli/src/fixture.rs",
+    );
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::FastMathConfinement)
+        .collect();
+    // mul_add, std::arch, core::arch, #[target_feature(..)] — one each;
+    // the allow-annotated mul_add stays silent.
+    assert_eq!(hits.len(), 4, "findings: {findings:?}");
+    assert!(hits.iter().any(|f| f.snippet.contains("mul_add")));
+    assert!(hits.iter().any(|f| f.snippet.contains("std::arch")));
+    assert!(hits.iter().any(|f| f.snippet.contains("core::arch")));
+    assert!(hits.iter().any(|f| f.snippet.contains("target_feature")));
+    assert_eq!(
+        findings.len(),
+        hits.len(),
+        "other rules fired: {findings:?}"
+    );
+    // The same source inside the blessed SIMD directory is exempt.
+    let findings = scan(
+        include_str!("../fixtures/fast_math_violation.rs"),
+        "crates/tensor/src/simd/fixture.rs",
+    );
+    assert!(
+        findings.iter().all(|f| f.rule != Rule::FastMathConfinement),
+        "fast-math-confinement fired inside the blessed directory: {findings:?}"
     );
 }
 
@@ -281,6 +319,10 @@ fn violation_fixtures_fail_check_tree_against_an_empty_baseline() {
         (
             include_str!("../fixtures/float_reduce_violation.rs"),
             "crates/nn/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/fast_math_violation.rs"),
+            "crates/cli/src/f.rs",
         ),
         (
             include_str!("../fixtures/into_violation.rs"),

@@ -4,7 +4,7 @@ use etsb_core::config::{ExperimentConfig, ModelKind, SamplerKind, TrainConfig};
 use etsb_core::model::AnyModel;
 use etsb_core::persist::{load_detector, save_detector};
 use etsb_core::train::train_model;
-use etsb_core::{sampling, DatasetInfo, EncodedDataset, Metrics, RunManifest};
+use etsb_core::{sampling, DatasetInfo, EncodedDataset, KernelPolicy, Metrics, RunManifest};
 use etsb_datasets::{Dataset, GenConfig};
 use etsb_repair::{evaluate, Repairer};
 use etsb_serve::engine::DetectService;
@@ -24,20 +24,23 @@ commands:
             print Table-2 style statistics for a dataset pair
   detect    --dirty FILE --clean FILE [--model tsb|etsb] [--sampler random|raha|diverset]
             [--tuples N] [--epochs N] [--seed N] [--out FILE] [--save FILE]
-            [--manifest FILE]
+            [--manifest FILE] [--fast-math]
             train the detector and report precision/recall/F1; --manifest
-            writes a JSON provenance record of the invocation
+            writes a JSON provenance record of the invocation; --fast-math
+            scores test cells with the SIMD inference kernels (training
+            stays on the exact bitwise path)
   apply     --model FILE --dirty FILE [--out FILE]
             apply a saved detector to new dirty data (no ground truth)
   repair    --dirty FILE --clean FILE [--epochs N] [--seed N] [--out FILE]
             detect, then repair flagged cells and report repair quality
   serve     --model FILE [--stdin] [--http ADDR] [--max-batch N]
             [--linger-ms N] [--queue-cells N] [--timeout-ms N] [--cache N]
-            [--threshold F]
+            [--threshold F] [--fast-math]
             keep a saved detector resident and answer detection requests
             (newline-delimited JSON over stdin/stdout, or HTTP on ADDR);
             concurrent requests coalesce into shared batches with results
-            bitwise identical to per-request inference";
+            bitwise identical to per-request inference; --fast-math scores
+            with the SIMD kernels and stamps provenance.kernel_policy";
 
 /// Parse `--key value` pairs; returns an error on dangling or unknown
 /// flags (callers pass the set of known keys).
@@ -138,6 +141,7 @@ pub fn stats(args: &[String]) -> Result<(), String> {
 fn run_detection(
     frame: &CellFrame,
     flags: &HashMap<String, String>,
+    policy: KernelPolicy,
 ) -> Result<
     (
         EncodedDataset,
@@ -191,7 +195,7 @@ fn run_detection(
     );
     eprintln!("best epoch {}", history.best_epoch);
 
-    let preds = model.predict(&data, &test_cells);
+    let preds = model.predict_with(&data, &test_cells, policy);
     let labels = data.labels_of(&test_cells);
     let metrics = Metrics::from_predictions(&preds, &labels);
 
@@ -207,15 +211,34 @@ fn run_detection(
 
 /// `etsb detect`.
 pub fn detect(args: &[String]) -> Result<(), String> {
+    // `--fast-math` is a bare switch; strip it before key/value parsing.
+    let mut fast_math = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--fast-math" {
+                fast_math = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
     let flags = parse_flags(
-        args,
+        &args,
         &[
             "dirty", "clean", "model", "sampler", "tuples", "epochs", "seed", "out", "save",
             "manifest",
         ],
     )?;
+    let policy = if fast_math {
+        KernelPolicy::FastMath
+    } else {
+        KernelPolicy::Exact
+    };
     let (_, _, frame) = load_pair(&flags)?;
-    let (data, mask, metrics, model, cfg) = run_detection(&frame, &flags)?;
+    let (data, mask, metrics, model, cfg) = run_detection(&frame, &flags, policy)?;
     if let Some(path) = flags.get("manifest") {
         let info = DatasetInfo::from_shape(
             required(&flags, "dirty")?,
@@ -291,17 +314,22 @@ pub fn apply(args: &[String]) -> Result<(), String> {
 
 /// `etsb serve`.
 pub fn serve(args: &[String]) -> Result<(), String> {
-    // `--stdin` is a bare switch; strip it before key/value parsing.
+    // `--stdin` and `--fast-math` are bare switches; strip them before
+    // key/value parsing.
     let mut stdin_mode = false;
+    let mut fast_math = false;
     let args: Vec<String> = args
         .iter()
-        .filter(|a| {
-            if a.as_str() == "--stdin" {
+        .filter(|a| match a.as_str() {
+            "--stdin" => {
                 stdin_mode = true;
                 false
-            } else {
-                true
             }
+            "--fast-math" => {
+                fast_math = true;
+                false
+            }
+            _ => true,
         })
         .cloned()
         .collect();
@@ -334,15 +362,17 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         )?),
         cache_capacity: parse_or(&flags, "cache", defaults.cache_capacity)?,
         prob_threshold: parse_or(&flags, "threshold", defaults.prob_threshold)?,
+        fast_math,
     };
     let bytes = std::fs::read(required(&flags, "model")?).map_err(|e| e.to_string())?;
     let detector = load_detector(&bytes).map_err(|e| e.to_string())?;
     eprintln!(
-        "serving {} detector over {} attributes (batch {} cells, cache {})",
+        "serving {} detector over {} attributes (batch {} cells, cache {}, kernels {})",
         detector.kind.name(),
         detector.attr_index.len(),
         cfg.max_batch_cells,
-        cfg.cache_capacity
+        cfg.cache_capacity,
+        if cfg.fast_math { "fast-math" } else { "exact" }
     );
 
     let http_addr = flags.get("http").cloned();
@@ -382,7 +412,9 @@ pub fn serve(args: &[String]) -> Result<(), String> {
 pub fn repair(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["dirty", "clean", "epochs", "seed", "out"])?;
     let (dirty, _, frame) = load_pair(&flags)?;
-    let (_, mask, metrics, _, _) = run_detection(&frame, &flags)?;
+    // Repair quality is compared against exact-path baselines; keep it
+    // on the bitwise kernels.
+    let (_, mask, metrics, _, _) = run_detection(&frame, &flags, KernelPolicy::Exact)?;
     println!("detection F1 {:.3}", metrics.f1);
 
     let repairer = Repairer::fit(&frame, &mask);

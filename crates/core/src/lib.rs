@@ -74,6 +74,7 @@ pub mod train;
 pub use cache::{CacheStats, PredictCache, PredictKey};
 pub use config::{ExperimentConfig, ModelKind, SamplerKind, TrainConfig};
 pub use encode::EncodedDataset;
+pub use etsb_tensor::KernelPolicy;
 pub use eval::{aggregate, Metrics, Summary};
 pub use manifest::{DatasetInfo, RunManifest};
 pub use pipeline::{run_once, run_repeated, RepeatedResult, RunResult};

@@ -16,7 +16,7 @@ use super::{AnyStacked, AnyStackedCache, Head};
 use crate::config::TrainConfig;
 use crate::encode::EncodedDataset;
 use etsb_nn::{parallel, softmax_cross_entropy, Activation, Dense, Embedding, Param, SeqBatch};
-use etsb_tensor::{GradBuffer, Matrix, Workspace};
+use etsb_tensor::{GradBuffer, KernelPolicy, Matrix, Workspace};
 use rand::rngs::StdRng;
 
 /// A per-path forward cache: embedding lookup + recurrent stack (the
@@ -123,7 +123,12 @@ impl EtsbRnn {
     /// Encode one shard of cells batch-major on both recurrent paths.
     /// The returned caches retain the packed activations for the backward
     /// pass; feature row `r` belongs to `cells[r]`.
-    fn encode_shard(&self, data: &EncodedDataset, cells: &[usize]) -> ShardEnc {
+    fn encode_shard(
+        &self,
+        data: &EncodedDataset,
+        cells: &[usize],
+        policy: KernelPolicy,
+    ) -> ShardEnc {
         let mut cache = self.rnn.empty_cache();
         let mut attr_cache = self.attr_rnn.empty_cache();
         let mut feats = Matrix::default();
@@ -144,7 +149,7 @@ impl EtsbRnn {
                 .collect();
             self.embedding.lookup_batch_into(&sb, &seqs, &mut packed);
             self.rnn
-                .forward_batch_into(&packed, &sb, &mut feats, &mut cache, &mut ws);
+                .forward_batch_into(&packed, &sb, &mut feats, &mut cache, &mut ws, policy);
             let attr_sb = SeqBatch::from_lengths(&vec![1; cells.len()]);
             let attr_store: Vec<[usize; 1]> = cells.iter().map(|&c| [data.attr_ids[c]]).collect();
             let attr_seqs: Vec<&[usize]> = attr_store.iter().map(|a| a.as_slice()).collect();
@@ -156,6 +161,7 @@ impl EtsbRnn {
                 &mut attr_feats,
                 &mut attr_cache,
                 &mut ws,
+                policy,
             );
             (Some(sb), Some(attr_sb))
         };
@@ -195,8 +201,9 @@ impl EtsbRnn {
         let (len_feats, len_cache) = self.len_dense.forward(len_inputs);
 
         // Both sequence paths, batch-major per shard.
-        let encs =
-            parallel::parallel_map_shards(n, |_, range| self.encode_shard(data, &batch[range]));
+        let encs = parallel::parallel_map_shards(n, |_, range| {
+            self.encode_shard(data, &batch[range], KernelPolicy::Exact)
+        });
         let mut row = 0usize;
         for enc in &encs {
             for r in 0..enc.feats.rows() {
@@ -326,14 +333,27 @@ impl EtsbRnn {
     /// of the requested cells packs into one batch per recurrent path, so
     /// inference shares the training hot path.
     pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
+        self.predict_probs_with(data, cells, KernelPolicy::Exact)
+    }
+
+    /// [`EtsbRnn::predict_probs`] under an explicit [`KernelPolicy`]:
+    /// `Exact` keeps the bitwise contract, `FastMath` runs both batched
+    /// sequence encoders on the fused inference kernels.
+    pub fn predict_probs_with(
+        &self,
+        data: &EncodedDataset,
+        cells: &[usize],
+        policy: KernelPolicy,
+    ) -> Vec<f32> {
         if cells.is_empty() {
             // Zero cells means zero forward passes: never reach the
             // batch-packing, length-dense or head kernels empty.
             return Vec::new();
         }
         let n = cells.len();
-        let encs =
-            parallel::parallel_map_shards(n, |_, range| self.encode_shard(data, &cells[range]));
+        let encs = parallel::parallel_map_shards(n, |_, range| {
+            self.encode_shard(data, &cells[range], policy)
+        });
         let len_inputs = Matrix::from_fn(n, 1, |r, _| data.length_norms[cells[r]]);
         let (len_feats, _) = self.len_dense.forward(len_inputs);
         let mut features = Matrix::zeros(n, self.feature_dim());

@@ -13,7 +13,7 @@ use etsb_nn::{
     Activation, BatchNorm, BatchNormCache, Dense, DenseCache, GruCell, LstmCell, Param, RnnCell,
     StackedBiRnn, StackedBiRnnCache,
 };
-use etsb_tensor::{Matrix, Workspace};
+use etsb_tensor::{KernelPolicy, Matrix, Workspace};
 use rand::rngs::StdRng;
 
 /// A cache built by one cell kind was handed to another — an internal
@@ -128,7 +128,8 @@ impl AnyStacked {
     /// Batched encode of a packed timestep-major batch (see
     /// [`etsb_nn::SeqBatch`]): each sample's feature vector lands in
     /// `features` row `orig` (original batch order). Bitwise identical to
-    /// per-sample [`AnyStacked::forward_into`] calls.
+    /// per-sample [`AnyStacked::forward_into`] calls under
+    /// [`KernelPolicy::Exact`]; epsilon-close under `FastMath`.
     pub(crate) fn forward_batch_into(
         &self,
         packed: &Matrix,
@@ -136,16 +137,17 @@ impl AnyStacked {
         features: &mut Matrix,
         cache: &mut AnyStackedCache,
         ws: &mut Workspace,
+        policy: KernelPolicy,
     ) {
         match (self, cache) {
             (AnyStacked::Vanilla(n), AnyStackedCache::Vanilla(c)) => {
-                n.forward_batch_into(packed, batch, features, c, ws);
+                n.forward_batch_into(packed, batch, features, c, ws, policy);
             }
             (AnyStacked::Lstm(n), AnyStackedCache::Lstm(c)) => {
-                n.forward_batch_into(packed, batch, features, c, ws);
+                n.forward_batch_into(packed, batch, features, c, ws, policy);
             }
             (AnyStacked::Gru(n), AnyStackedCache::Gru(c)) => {
-                n.forward_batch_into(packed, batch, features, c, ws);
+                n.forward_batch_into(packed, batch, features, c, ws, policy);
             }
             _ => cache_mismatch(),
         }
@@ -349,6 +351,25 @@ impl AnyModel {
         self.predict_probs_cached(data, cells, &mut crate::cache::PredictCache::disabled())
     }
 
+    /// [`AnyModel::predict_probs`] under an explicit [`KernelPolicy`]:
+    /// `Exact` is the bitwise reference path; `FastMath` routes the
+    /// batched sequence encoders through the fused inference kernels
+    /// (epsilon-close probabilities, see the fast-math equivalence
+    /// suite). The head and memoization logic are shared either way.
+    pub fn predict_probs_with(
+        &self,
+        data: &EncodedDataset,
+        cells: &[usize],
+        policy: KernelPolicy,
+    ) -> Vec<f32> {
+        self.predict_probs_cached_with(
+            data,
+            cells,
+            &mut crate::cache::PredictCache::disabled(),
+            policy,
+        )
+    }
+
     /// [`AnyModel::predict_probs`] with a caller-owned cross-call cache:
     /// representatives whose key is already resident are served from
     /// `cache` without a forward pass, and freshly computed
@@ -364,6 +385,21 @@ impl AnyModel {
         data: &EncodedDataset,
         cells: &[usize],
         cache: &mut crate::cache::PredictCache,
+    ) -> Vec<f32> {
+        self.predict_probs_cached_with(data, cells, cache, KernelPolicy::Exact)
+    }
+
+    /// [`AnyModel::predict_probs_cached`] under an explicit
+    /// [`KernelPolicy`]. Cache keys do not encode the policy, so a given
+    /// `cache` must only ever be fed one policy (the serve engine pins
+    /// the policy per service instance); mixing policies on one cache
+    /// would conflate exact and fast-math bits.
+    pub fn predict_probs_cached_with(
+        &self,
+        data: &EncodedDataset,
+        cells: &[usize],
+        cache: &mut crate::cache::PredictCache,
+        policy: KernelPolicy,
     ) -> Vec<f32> {
         use std::collections::HashMap;
         if cells.is_empty() {
@@ -422,7 +458,7 @@ impl AnyModel {
                 ],
             );
         }
-        let computed = self.predict_probs_direct(data, &miss_cells);
+        let computed = self.predict_probs_direct_with(data, &miss_cells, policy);
         for (&slot, prob) in miss_slots.iter().zip(computed) {
             rep_probs[slot] = Some(prob);
             if let Some(key) = rep_keys[slot].take() {
@@ -440,15 +476,37 @@ impl AnyModel {
     /// this on the deduplicated representatives; tests compare the two
     /// for bitwise equality.
     pub fn predict_probs_direct(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
+        self.predict_probs_direct_with(data, cells, KernelPolicy::Exact)
+    }
+
+    /// [`AnyModel::predict_probs_direct`] under an explicit
+    /// [`KernelPolicy`].
+    pub fn predict_probs_direct_with(
+        &self,
+        data: &EncodedDataset,
+        cells: &[usize],
+        policy: KernelPolicy,
+    ) -> Vec<f32> {
         match self {
-            AnyModel::Tsb(m) => m.predict_probs(data, cells),
-            AnyModel::Etsb(m) => m.predict_probs(data, cells),
+            AnyModel::Tsb(m) => m.predict_probs_with(data, cells, policy),
+            AnyModel::Etsb(m) => m.predict_probs_with(data, cells, policy),
         }
     }
 
     /// Hard predictions at threshold 0.5.
     pub fn predict(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<bool> {
-        self.predict_probs(data, cells)
+        self.predict_with(data, cells, KernelPolicy::Exact)
+    }
+
+    /// Hard predictions at threshold 0.5 under an explicit kernel
+    /// policy (`etsb detect --fast-math` routes through here).
+    pub fn predict_with(
+        &self,
+        data: &EncodedDataset,
+        cells: &[usize],
+        policy: KernelPolicy,
+    ) -> Vec<bool> {
+        self.predict_probs_with(data, cells, policy)
             .into_iter()
             .map(|p| p >= 0.5)
             .collect()

@@ -13,7 +13,7 @@ use super::{AnyStacked, AnyStackedCache, Head};
 use crate::config::TrainConfig;
 use crate::encode::EncodedDataset;
 use etsb_nn::{parallel, softmax_cross_entropy, Embedding, Param, SeqBatch};
-use etsb_tensor::{GradBuffer, Matrix, Workspace};
+use etsb_tensor::{GradBuffer, KernelPolicy, Matrix, Workspace};
 use rand::rngs::StdRng;
 
 /// One shard of a batch, encoded batch-major: the packed layout, the
@@ -72,7 +72,12 @@ impl TsbRnn {
     /// embeddings timestep-major and run the stacked RNN batched. The
     /// returned cache retains the packed activations for the backward
     /// pass; `feats` row `r` is the feature vector of `cells[r]`.
-    fn encode_shard(&self, data: &EncodedDataset, cells: &[usize]) -> ShardEnc {
+    fn encode_shard(
+        &self,
+        data: &EncodedDataset,
+        cells: &[usize],
+        policy: KernelPolicy,
+    ) -> ShardEnc {
         let mut cache = self.rnn.empty_cache();
         let mut feats = Matrix::default();
         let sb = if cells.is_empty() {
@@ -91,7 +96,7 @@ impl TsbRnn {
             let mut packed = Matrix::default();
             self.embedding.lookup_batch_into(&sb, &seqs, &mut packed);
             self.rnn
-                .forward_batch_into(&packed, &sb, &mut feats, &mut cache, &mut ws);
+                .forward_batch_into(&packed, &sb, &mut feats, &mut cache, &mut ws, policy);
             Some(sb)
         };
         ShardEnc { sb, cache, feats }
@@ -118,7 +123,7 @@ impl TsbRnn {
 
         let forward_span = etsb_obs::obs_span!("forward", "samples" => batch.len());
         let encs = parallel::parallel_map_shards(batch.len(), |_, range| {
-            self.encode_shard(data, &batch[range])
+            self.encode_shard(data, &batch[range], KernelPolicy::Exact)
         });
         let mut features = Matrix::zeros(batch.len(), feat_dim);
         let mut row = 0usize;
@@ -212,6 +217,18 @@ impl TsbRnn {
     /// of the requested cells packs into one [`SeqBatch`] and runs the
     /// batched forward, so inference shares the training hot path.
     pub fn predict_probs(&self, data: &EncodedDataset, cells: &[usize]) -> Vec<f32> {
+        self.predict_probs_with(data, cells, KernelPolicy::Exact)
+    }
+
+    /// [`TsbRnn::predict_probs`] under an explicit [`KernelPolicy`]:
+    /// `Exact` keeps the bitwise contract, `FastMath` runs the batched
+    /// sequence encoder on the fused inference kernels.
+    pub fn predict_probs_with(
+        &self,
+        data: &EncodedDataset,
+        cells: &[usize],
+        policy: KernelPolicy,
+    ) -> Vec<f32> {
         if cells.is_empty() {
             // Zero cells means zero forward passes: never reach the
             // batch-packing or head kernels with an empty matrix.
@@ -219,7 +236,7 @@ impl TsbRnn {
         }
         let feat_dim = self.rnn.output_dim();
         let encs = parallel::parallel_map_shards(cells.len(), |_, range| {
-            self.encode_shard(data, &cells[range])
+            self.encode_shard(data, &cells[range], policy)
         });
         let mut features = Matrix::zeros(cells.len(), feat_dim);
         let mut row = 0usize;

@@ -1,0 +1,123 @@
+//! Epsilon-bounded equivalence of the FastMath inference path against
+//! the exact bitwise path.
+//!
+//! The documented contract (DESIGN.md §15): for every cell type, the
+//! FastMath probabilities stay within [`MAX_ABS_DIFF`] of the exact
+//! path with **zero** prediction flips at the 0.5 threshold, and both
+//! policies are bitwise invariant across worker counts 1/2/4 (sharding
+//! is a pure function of the cell count, and each policy's reduction
+//! chains are fixed).
+//!
+//! One test function on purpose: the worker override is process-global
+//! state, and the default test harness runs `#[test]`s concurrently.
+
+use etsb_core::config::{CellKind, ModelKind, TrainConfig};
+use etsb_core::model::AnyModel;
+use etsb_core::{EncodedDataset, KernelPolicy};
+use etsb_nn::parallel::set_worker_override;
+use etsb_nn::{Optimizer, Rmsprop};
+use etsb_table::{CellFrame, Table};
+use etsb_tensor::init::seeded_rng;
+
+/// The documented FastMath drift bound at this model scale: FMA
+/// contracts one rounding per multiply-add, so the worst-case drift
+/// grows with chain length but stays orders of magnitude below any
+/// decision boundary a trained detector produces.
+const MAX_ABS_DIFF: f32 = 1e-5;
+
+/// The same two-column marked dataset the in-crate model tests train
+/// on: `val{k}` values with a `!` error mark on every third tuple.
+fn marked_dataset(n: usize) -> EncodedDataset {
+    let mut dirty = Table::with_columns(&["v", "w"]);
+    let mut clean = Table::with_columns(&["v", "w"]);
+    for i in 0..n {
+        let v = format!("val{}", i % 5);
+        let w = format!("{}", 10 + (i % 4));
+        if i % 3 == 0 {
+            dirty.push_row(vec![format!("{v}!"), w.clone()]);
+        } else {
+            dirty.push_row(vec![v.clone(), w.clone()]);
+        }
+        clean.push_row(vec![v, w]);
+    }
+    let frame = CellFrame::merge(&dirty, &clean).expect("fixture tables always merge");
+    EncodedDataset::from_frame(&frame)
+}
+
+/// Briefly train so probabilities separate from the 0.5 threshold —
+/// the flip-rate bound is only meaningful on a detector whose outputs
+/// are not all sitting on the decision boundary.
+fn trained(cell: CellKind, data: &EncodedDataset) -> AnyModel {
+    let cfg = TrainConfig {
+        rnn_units: 6,
+        attr_rnn_units: 3,
+        head_dim: 6,
+        cell,
+        ..Default::default()
+    };
+    let mut model = AnyModel::new(ModelKind::Etsb, data, &cfg, &mut seeded_rng(11));
+    let all: Vec<usize> = (0..data.n_cells()).collect();
+    let mut opt = Rmsprop::new(5e-3);
+    let mut grads = model.grad_buffer();
+    for _ in 0..40 {
+        grads.zero();
+        model.train_batch(data, &all, &mut grads);
+        opt.step(&mut model.params_mut(), &grads);
+    }
+    model
+}
+
+#[test]
+fn fast_math_is_epsilon_close_with_zero_flips_across_workers() {
+    let data = marked_dataset(24);
+    let cells: Vec<usize> = (0..data.n_cells()).collect();
+    for cell in [CellKind::Vanilla, CellKind::Lstm, CellKind::Gru] {
+        let model = trained(cell, &data);
+
+        set_worker_override(1);
+        let exact = model.predict_probs_with(&data, &cells, KernelPolicy::Exact);
+        let fast = model.predict_probs_with(&data, &cells, KernelPolicy::FastMath);
+
+        // Both policies must be bitwise worker-invariant.
+        for workers in [2usize, 4] {
+            set_worker_override(workers);
+            let exact_w = model.predict_probs_with(&data, &cells, KernelPolicy::Exact);
+            let fast_w = model.predict_probs_with(&data, &cells, KernelPolicy::FastMath);
+            for (i, (a, b)) in exact.iter().zip(&exact_w).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{cell:?}: exact path diverged at cell {i} with {workers} workers"
+                );
+            }
+            for (i, (a, b)) in fast.iter().zip(&fast_w).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{cell:?}: fast path diverged at cell {i} with {workers} workers"
+                );
+            }
+        }
+        set_worker_override(0);
+
+        // Epsilon bound and zero prediction flips against the exact path.
+        let mut max_diff = 0.0f32;
+        for (i, (e, f)) in exact.iter().zip(&fast).enumerate() {
+            max_diff = max_diff.max((e - f).abs());
+            assert_eq!(
+                *e >= 0.5,
+                *f >= 0.5,
+                "{cell:?}: prediction flip at cell {i} (exact {e} vs fast {f})"
+            );
+        }
+        assert!(
+            max_diff <= MAX_ABS_DIFF,
+            "{cell:?}: fast-math drifted {max_diff} from exact (bound {MAX_ABS_DIFF})"
+        );
+        assert!(
+            max_diff > 0.0,
+            "{cell:?}: fast path is bitwise identical to exact — the FastMath \
+             kernels were not actually exercised"
+        );
+    }
+}

@@ -14,7 +14,7 @@
 use crate::batch::{accumulate_seq_grads, SeqBatch};
 use crate::rnn::{split_cell_grads, Recurrence};
 use crate::Param;
-use etsb_tensor::{init, Matrix, Workspace};
+use etsb_tensor::{init, KernelPolicy, Matrix, Workspace};
 use rand::rngs::StdRng;
 
 #[inline]
@@ -308,6 +308,7 @@ impl Recurrence for GruCell {
         batch: &SeqBatch,
         cache: &mut GruCache,
         ws: &mut Workspace,
+        policy: KernelPolicy,
     ) {
         assert_eq!(
             packed.shape(),
@@ -323,7 +324,7 @@ impl Recurrence for GruCell {
         cache.hn.resize_zeroed(total, h);
         cache.hidden.resize_zeroed(total, h);
         let mut zx_all = ws.take_mat("gru.bzx_all", 0, 0);
-        packed.matmul_window_into(0, packed.rows(), &self.wx.value, &mut zx_all);
+        packed.matmul_window_policy_into(0, packed.rows(), &self.wx.value, &mut zx_all, policy);
         let mut zh_blk = ws.take_mat("gru.bzh", 0, 0);
         let mut h_prev_blk = ws.take_mat("gru.bh_prev", 0, 0);
         for t in 0..batch.t_max() {
@@ -335,9 +336,13 @@ impl Recurrence for GruCell {
                 zh_blk.resize_zeroed(n_act, 3 * h);
             } else {
                 let prev_off = batch.offset(t - 1);
-                cache
-                    .hidden
-                    .matmul_window_into(prev_off, n_act, &self.wh.value, &mut zh_blk);
+                cache.hidden.matmul_window_policy_into(
+                    prev_off,
+                    n_act,
+                    &self.wh.value,
+                    &mut zh_blk,
+                    policy,
+                );
                 for s in 0..n_act {
                     h_prev_blk
                         .row_mut(s)

@@ -53,7 +53,7 @@ pub use batchnorm::{BatchNorm, BatchNormCache};
 pub use checkpoint::{restore, snapshot, CheckpointError};
 pub use dense::{Dense, DenseCache};
 pub use embedding::{Embedding, EmbeddingCache};
-pub use etsb_tensor::GradBuffer;
+pub use etsb_tensor::{GradBuffer, KernelPolicy};
 pub use gru::{GruCache, GruCell};
 pub use loss::{binary_cross_entropy, softmax_cross_entropy, LossOutput};
 pub use lstm::{LstmCache, LstmCell};

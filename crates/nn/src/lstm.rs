@@ -11,7 +11,7 @@
 use crate::batch::{accumulate_seq_grads, SeqBatch};
 use crate::rnn::{split_cell_grads, Recurrence};
 use crate::Param;
-use etsb_tensor::{init, Matrix, Workspace};
+use etsb_tensor::{init, KernelPolicy, Matrix, Workspace};
 use rand::rngs::StdRng;
 
 #[inline]
@@ -311,6 +311,7 @@ impl Recurrence for LstmCell {
         batch: &SeqBatch,
         cache: &mut LstmCache,
         ws: &mut Workspace,
+        policy: KernelPolicy,
     ) {
         let total = batch.total_rows();
         assert_eq!(
@@ -325,7 +326,7 @@ impl Recurrence for LstmCell {
         cache.tanh_cells.resize_zeroed(total, h);
         cache.hidden.resize_zeroed(total, h);
         let mut z_all = ws.take_mat("lstm.bz_all", 0, 0);
-        packed.matmul_window_into(0, packed.rows(), &self.wx.value, &mut z_all);
+        packed.matmul_window_policy_into(0, packed.rows(), &self.wx.value, &mut z_all, policy);
         let mut rec = ws.take_mat("lstm.brec", 0, 0);
         let mut c_prev = ws.take_mat("lstm.bc_prev", 0, 0);
         for t in 0..batch.t_max() {
@@ -338,9 +339,13 @@ impl Recurrence for LstmCell {
                 rec.resize_zeroed(n_act, 4 * h);
             } else {
                 let prev_off = batch.offset(t - 1);
-                cache
-                    .hidden
-                    .matmul_window_into(prev_off, n_act, &self.wh.value, &mut rec);
+                cache.hidden.matmul_window_policy_into(
+                    prev_off,
+                    n_act,
+                    &self.wh.value,
+                    &mut rec,
+                    policy,
+                );
                 for s in 0..n_act {
                     c_prev
                         .row_mut(s)

@@ -17,7 +17,7 @@
 
 use crate::batch::{accumulate_seq_grads, SeqBatch};
 use crate::Param;
-use etsb_tensor::{init, Matrix, Workspace};
+use etsb_tensor::{init, KernelPolicy, Matrix, Workspace};
 use rand::rngs::StdRng;
 
 /// Split a recurrent cell's 3-slot gradient slice into `(wx, wh, b)`,
@@ -89,15 +89,19 @@ pub trait Recurrence: Clone {
     /// [`SeqBatch`]): `packed` holds `batch.total_rows() x input_dim`
     /// rows, one timestep block after another, and `cache` is rebuilt
     /// with the same packed-row semantics ([`Recurrence::seq_output`]
-    /// returns the packed hidden sequence). Every sample's rows are
-    /// bitwise identical to running [`Recurrence::forward_seq_into`] on
-    /// that sample alone.
+    /// returns the packed hidden sequence). Under
+    /// [`KernelPolicy::Exact`] every sample's rows are bitwise identical
+    /// to running [`Recurrence::forward_seq_into`] on that sample alone;
+    /// [`KernelPolicy::FastMath`] routes the dense window products
+    /// through the fused inference kernels (epsilon-close, still
+    /// deterministic for a fixed backend).
     fn forward_batch_into(
         &self,
         packed: &Matrix,
         batch: &SeqBatch,
         cache: &mut Self::Cache,
         ws: &mut Workspace,
+        policy: KernelPolicy,
     );
 
     /// Batched BPTT companion of [`Recurrence::forward_batch_into`]:
@@ -304,13 +308,15 @@ impl RnnCell {
     /// recurrent product becomes one `active x hidden` windowed matmul
     /// whose rows reduce exactly like the per-sample `vecmat`, so each
     /// sample's hidden sequence is bitwise identical to
-    /// [`RnnCell::forward_into`] on that sample alone.
+    /// [`RnnCell::forward_into`] on that sample alone (under
+    /// [`KernelPolicy::Exact`]; `FastMath` is epsilon-close).
     pub fn forward_batch_into(
         &self,
         packed: &Matrix,
         batch: &SeqBatch,
         cache: &mut RnnCache,
         ws: &mut Workspace,
+        policy: KernelPolicy,
     ) {
         assert_eq!(
             packed.shape(),
@@ -323,7 +329,7 @@ impl RnnCell {
         cache.inputs.copy_from(packed);
         cache.hidden.resize_zeroed(batch.total_rows(), h);
         let mut z_all = ws.take_mat("rnn.bz_all", 0, 0);
-        packed.matmul_window_into(0, packed.rows(), &self.wx.value, &mut z_all);
+        packed.matmul_window_policy_into(0, packed.rows(), &self.wx.value, &mut z_all, policy);
         let mut rec = ws.take_mat("rnn.brec", 0, 0);
         let b = self.b.value.row(0);
         for t in 0..batch.t_max() {
@@ -333,23 +339,39 @@ impl RnnCell {
                 // vector the per-sample path gets from `vecmat(0)`.
                 rec.resize_zeroed(n_act, h);
             } else {
-                cache.hidden.matmul_window_into(
+                cache.hidden.matmul_window_policy_into(
                     batch.offset(t - 1),
                     n_act,
                     &self.wh.value,
                     &mut rec,
+                    policy,
                 );
             }
             let off = batch.offset(t);
             for s in 0..n_act {
                 let h_row = cache.hidden.row_mut(off + s);
-                for (((hj, &zj), &rj), &bj) in h_row
-                    .iter_mut()
-                    .zip(z_all.row(off + s))
-                    .zip(rec.row(s))
-                    .zip(b)
-                {
-                    *hj = (zj + rj + bj).tanh();
+                match policy {
+                    KernelPolicy::Exact => {
+                        for (((hj, &zj), &rj), &bj) in h_row
+                            .iter_mut()
+                            .zip(z_all.row(off + s))
+                            .zip(rec.row(s))
+                            .zip(b)
+                        {
+                            *hj = (zj + rj + bj).tanh();
+                        }
+                    }
+                    KernelPolicy::FastMath => {
+                        for (((hj, &zj), &rj), &bj) in h_row
+                            .iter_mut()
+                            .zip(z_all.row(off + s))
+                            .zip(rec.row(s))
+                            .zip(b)
+                        {
+                            *hj = zj + rj + bj;
+                        }
+                        etsb_tensor::simd::tanh_fast(h_row);
+                    }
                 }
             }
         }
@@ -534,8 +556,9 @@ impl Recurrence for RnnCell {
         batch: &SeqBatch,
         cache: &mut RnnCache,
         ws: &mut Workspace,
+        policy: KernelPolicy,
     ) {
-        RnnCell::forward_batch_into(self, packed, batch, cache, ws);
+        RnnCell::forward_batch_into(self, packed, batch, cache, ws, policy);
     }
 
     // etsb: allow(shape-assert) -- thin delegation; backward_batch_into asserts every shape.
@@ -780,7 +803,8 @@ impl<C: Recurrence> BiRnn<C> {
     /// their batched recurrence (the backward cell on the per-sample
     /// time-reversed packing), and `out` receives the concatenated
     /// `[h_fwd ‖ h_bwd]` rows in packed layout. Bitwise identical to
-    /// per-sample [`BiRnn::forward_into`] calls.
+    /// per-sample [`BiRnn::forward_into`] calls under
+    /// [`KernelPolicy::Exact`]; epsilon-close under `FastMath`.
     pub fn forward_batch_into(
         &self,
         packed: &Matrix,
@@ -788,6 +812,7 @@ impl<C: Recurrence> BiRnn<C> {
         out: &mut Matrix,
         cache: &mut BiRnnCache<C>,
         ws: &mut Workspace,
+        policy: KernelPolicy,
     ) {
         assert_eq!(
             packed.shape(),
@@ -799,9 +824,9 @@ impl<C: Recurrence> BiRnn<C> {
         let mut reversed = ws.take_mat("birnn.brev", 0, 0);
         batch.reverse_packed_into(packed, &mut reversed);
         self.fwd
-            .forward_batch_into(packed, batch, &mut cache.fwd, ws);
+            .forward_batch_into(packed, batch, &mut cache.fwd, ws, policy);
         self.bwd
-            .forward_batch_into(&reversed, batch, &mut cache.bwd, ws);
+            .forward_batch_into(&reversed, batch, &mut cache.bwd, ws, policy);
         cache.seq_len = batch.t_max();
         let h = self.hidden_dim();
         out.resize_zeroed(batch.total_rows(), 2 * h);
@@ -1061,7 +1086,8 @@ impl<C: Recurrence> StackedBiRnn<C> {
     /// Batched encode of a packed batch: both layers run batched, then
     /// each sample's `2·hidden` feature vector lands in `features` row
     /// `orig` (original batch order — the restore-order index map).
-    /// Bitwise identical to per-sample [`StackedBiRnn::forward_into`].
+    /// Bitwise identical to per-sample [`StackedBiRnn::forward_into`]
+    /// under [`KernelPolicy::Exact`]; epsilon-close under `FastMath`.
     // etsb: allow(shape-assert, into-shape-assert) -- thin delegation; layer1's batched forward asserts `packed`, and `features` is a resized sink.
     pub fn forward_batch_into(
         &self,
@@ -1070,14 +1096,15 @@ impl<C: Recurrence> StackedBiRnn<C> {
         features: &mut Matrix,
         cache: &mut StackedBiRnnCache<C>,
         ws: &mut Workspace,
+        policy: KernelPolicy,
     ) {
         let h = self.layer2.hidden_dim();
         let mut seq1 = ws.take_mat("stacked.bseq1", 0, 0);
         self.layer1
-            .forward_batch_into(packed, batch, &mut seq1, &mut cache.l1, ws);
+            .forward_batch_into(packed, batch, &mut seq1, &mut cache.l1, ws, policy);
         let mut seq2 = ws.take_mat("stacked.bseq2", 0, 0);
         self.layer2
-            .forward_batch_into(&seq1, batch, &mut seq2, &mut cache.l2, ws);
+            .forward_batch_into(&seq1, batch, &mut seq2, &mut cache.l2, ws, policy);
         cache.seq_len = batch.t_max();
         features.resize_zeroed(batch.n_samples(), 2 * h);
         for orig in 0..batch.n_samples() {
@@ -1409,7 +1436,14 @@ mod tests {
             let mut bcache = StackedBiRnnCache::<C>::default();
             let mut feats = Matrix::default();
             let mut bws = Workspace::new();
-            net.forward_batch_into(&packed, &batch, &mut feats, &mut bcache, &mut bws);
+            net.forward_batch_into(
+                &packed,
+                &batch,
+                &mut feats,
+                &mut bcache,
+                &mut bws,
+                KernelPolicy::Exact,
+            );
             for (orig, f) in feats_ref.iter().enumerate() {
                 assert_eq!(
                     feats.row(orig),

@@ -15,7 +15,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use etsb_nn::{grad_buffer_for, RnnCache, RnnCell, SeqBatch, StackedBiRnn, StackedBiRnnCache};
-use etsb_tensor::{init::seeded_rng, Matrix, Workspace};
+use etsb_tensor::{init::seeded_rng, KernelPolicy, Matrix, Workspace};
 
 /// Counts every allocation (alloc, alloc_zeroed, realloc) while
 /// delegating the actual work to the system allocator.
@@ -121,7 +121,14 @@ fn warmed_batched_stack_is_allocation_free() {
     let mut grad_inputs = Matrix::default();
 
     for _ in 0..2 {
-        net.forward_batch_into(&packed, &batch, &mut features, &mut cache, &mut ws);
+        net.forward_batch_into(
+            &packed,
+            &batch,
+            &mut features,
+            &mut cache,
+            &mut ws,
+            KernelPolicy::Exact,
+        );
         net.backward_batch_into(
             &batch,
             &cache,
@@ -133,7 +140,14 @@ fn warmed_batched_stack_is_allocation_free() {
     }
 
     let before = allocations();
-    net.forward_batch_into(&packed, &batch, &mut features, &mut cache, &mut ws);
+    net.forward_batch_into(
+        &packed,
+        &batch,
+        &mut features,
+        &mut cache,
+        &mut ws,
+        KernelPolicy::Exact,
+    );
     net.backward_batch_into(
         &batch,
         &cache,
@@ -177,7 +191,14 @@ fn batched_workspace_footprint_stabilizes_across_epochs() {
 
     let mut bytes = Vec::new();
     for _ in 0..6 {
-        net.forward_batch_into(&packed, &batch, &mut features, &mut cache, &mut ws);
+        net.forward_batch_into(
+            &packed,
+            &batch,
+            &mut features,
+            &mut cache,
+            &mut ws,
+            KernelPolicy::Exact,
+        );
         net.backward_batch_into(
             &batch,
             &cache,

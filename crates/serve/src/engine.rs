@@ -27,7 +27,7 @@ use crate::protocol::{CellResult, Provenance, Request, Response, Status};
 use crate::ServeConfig;
 use etsb_core::manifest::compiled_features;
 use etsb_core::persist::LoadedDetector;
-use etsb_core::{CacheStats, EncodedDataset, PredictCache};
+use etsb_core::{CacheStats, EncodedDataset, KernelPolicy, PredictCache};
 use etsb_obs::registry::{Counter, Gauge, Histogram, Registry, COUNT_BOUNDS};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -241,11 +241,12 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Build the provenance stamped on every response this service fills.
 /// Deliberately excludes worker counts and timestamps: two services
 /// loaded from the same detector always stamp identical bytes.
-fn provenance_of(detector: &LoadedDetector) -> Provenance {
+fn provenance_of(detector: &LoadedDetector, policy: KernelPolicy) -> Provenance {
     Provenance {
         model_hash: format!("{:016x}", fnv1a64(&detector.model.snapshot())),
         model: format!("{}/{}", detector.kind.name(), detector.train.cell.name()),
         version: env!("CARGO_PKG_VERSION").to_string(),
+        kernel_policy: policy.name().to_string(),
         features: compiled_features(),
     }
 }
@@ -268,6 +269,9 @@ struct Shared {
     ins: Instruments,
     /// Stamped on every response this service fills.
     provenance: Provenance,
+    /// Inference kernel policy, fixed for the service's lifetime (one
+    /// cache, one policy: cache keys do not encode the policy).
+    policy: KernelPolicy,
 }
 
 /// The resident detection service. See the module docs for lifecycle
@@ -302,7 +306,12 @@ impl DetectService {
         let registry = Arc::new(Registry::new());
         let ins = Instruments::register(&registry);
         ins.sync_cache(&cache.stats());
-        let provenance = provenance_of(&detector);
+        let policy = if cfg.fast_math {
+            KernelPolicy::FastMath
+        } else {
+            KernelPolicy::Exact
+        };
+        let provenance = provenance_of(&detector, policy);
         DetectService {
             shared: Arc::new(Shared {
                 detector,
@@ -317,6 +326,7 @@ impl DetectService {
                 registry,
                 ins,
                 provenance,
+                policy,
             }),
             worker: None,
         }
@@ -602,12 +612,28 @@ impl Shared {
                 "cells" => total as u64,
             );
             let mut cache = lock(&self.cache);
-            let probs = self
-                .detector
-                .model
-                .predict_probs_cached(&merged, &cells, &mut cache);
+            let probs = self.detector.model.predict_probs_cached_with(
+                &merged,
+                &cells,
+                &mut cache,
+                self.policy,
+            );
             (probs, cache.stats())
         };
+        if etsb_obs::enabled() {
+            // Batch-level manifest event: the response-provenance fields
+            // plus which coalesced requests shared this forward pass, so
+            // a trace replays exactly who was scored under which kernels.
+            let request_ids: Vec<&str> = live.iter().map(|p| p.id.as_str()).collect();
+            etsb_obs::obs_event!(
+                "serve.batch_manifest",
+                "model_hash" => self.provenance.model_hash.clone(),
+                "model" => self.provenance.model.clone(),
+                "kernel_policy" => self.policy.name(),
+                "requests" => request_ids.join(","),
+                "cells" => total as u64,
+            );
+        }
         self.ins.batches.inc();
         self.ins.batch_occupancy.record(total as u64);
         self.ins

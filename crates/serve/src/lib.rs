@@ -59,6 +59,12 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// A cell is flagged when its probability reaches this threshold.
     pub prob_threshold: f32,
+    /// Score with the FastMath inference kernels
+    /// ([`etsb_core::KernelPolicy::FastMath`]) instead of the exact
+    /// bitwise path. The active policy is recorded in every response's
+    /// `provenance.kernel_policy`, so exact and fast results are never
+    /// conflated by byte-equality checks downstream.
+    pub fast_math: bool,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +76,7 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(1),
             cache_capacity: 65536,
             prob_threshold: 0.5,
+            fast_math: false,
         }
     }
 }

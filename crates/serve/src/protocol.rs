@@ -101,6 +101,10 @@ pub struct Provenance {
     pub model: String,
     /// Workspace crate version.
     pub version: String,
+    /// Active inference kernel policy (`exact` or `fast-math`) — fast
+    /// and exact results must never be conflated by byte-equality
+    /// comparisons, so the policy travels with every response.
+    pub kernel_policy: String,
     /// Compiled feature flags that affect numerics or diagnostics.
     pub features: Vec<String>,
 }
@@ -115,6 +119,10 @@ impl Provenance {
             ),
             ("model".to_string(), Value::Str(self.model.clone())),
             ("version".to_string(), Value::Str(self.version.clone())),
+            (
+                "kernel_policy".to_string(),
+                Value::Str(self.kernel_policy.clone()),
+            ),
             (
                 "features".to_string(),
                 Value::Arr(
@@ -314,9 +322,16 @@ pub fn validate_response_line(line: &str) -> Result<(), String> {
         if !matches!(provenance, Value::Obj(_)) {
             return Err("\"provenance\" must be an object".to_string());
         }
-        for key in ["model_hash", "model", "version"] {
+        for key in ["model_hash", "model", "version", "kernel_policy"] {
             if str_field(provenance, key)?.is_none() {
                 return Err(format!("provenance is missing \"{key}\""));
+            }
+        }
+        if let Some(kp) = str_field(provenance, "kernel_policy")? {
+            if kp != "exact" && kp != "fast-math" {
+                return Err(format!(
+                    "provenance.kernel_policy {kp:?} is not \"exact\" or \"fast-math\""
+                ));
             }
         }
         match provenance.get("features") {
@@ -395,6 +410,7 @@ mod tests {
             model_hash: "00deadbeef00cafe".into(),
             model: "etsb/vanilla".into(),
             version: "0.1.0".into(),
+            kernel_policy: "exact".into(),
             features: vec!["sanitize".into()],
         };
         let line = Response::ok("a".into(), Vec::new())
@@ -406,6 +422,13 @@ mod tests {
             line.contains("\"model_hash\":\"00deadbeef00cafe\""),
             "{line}"
         );
+        assert!(line.contains("\"kernel_policy\":\"exact\""), "{line}");
+        // Unknown kernel policies are rejected: fast/exact conflation is
+        // exactly what the field exists to prevent.
+        assert!(validate_response_line(
+            r#"{"id":"a","status":"ok","results":[],"provenance":{"model_hash":"h","model":"m","version":"v","kernel_policy":"warp","features":[]}}"#
+        )
+        .is_err());
         let failed = Response::failed("b".into(), Status::Timeout, "expired".into())
             .with_provenance(provenance)
             .to_json_line();

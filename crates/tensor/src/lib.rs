@@ -7,10 +7,14 @@
 //! arithmetic, reductions, seeded random initialization and a compact
 //! binary serialization used for weight checkpoints.
 //!
-//! The crate deliberately stays scalar (no SIMD intrinsics, no BLAS) so it
-//! builds anywhere; the matmul kernels are written cache-consciously
-//! (ikj loop order, transpose-free variants) which is enough to train the
-//! paper's models in seconds on a laptop core.
+//! The reference kernels stay scalar (no BLAS) so they build anywhere and
+//! pin the bitwise-determinism contract; the matmul kernels are written
+//! cache-consciously (ikj loop order, transpose-free variants) which is
+//! enough to train the paper's models in seconds on a laptop core. An
+//! opt-in fast inference tier lives in [`simd`]: fused multiply-add
+//! kernels (portable scalar or runtime-detected AVX2+FMA) selected
+//! through a [`KernelPolicy`], epsilon-close to the exact path and
+//! bitwise identical across backends.
 //!
 //! ```
 //! use etsb_tensor::Matrix;
@@ -31,6 +35,8 @@ mod workspace;
 pub mod init;
 /// NaN/Inf detection hooks, active under the `sanitize` feature.
 pub mod sanitize;
+/// Opt-in FastMath inference kernels with runtime backend dispatch.
+pub mod simd;
 
 pub use grad::GradBuffer;
 pub use matrix::Matrix;
@@ -39,6 +45,7 @@ pub use ops::{
     softmax_inplace, stddev, sub_assign, tanh_inplace, variance,
 };
 pub use serialize::{decode_matrix, encode_matrix, DecodeError};
+pub use simd::KernelPolicy;
 pub use workspace::Workspace;
 
 /// Crate-wide numeric tolerance used by tests and gradient checks.

@@ -1,0 +1,521 @@
+//! Opt-in fast inference kernels: the `FastMath` tier of the kernel
+//! policy dispatch.
+//!
+//! # The kernel-policy contract
+//!
+//! The exact kernels in `matrix.rs` / `ops.rs` pin a fixed ascending-k
+//! mul-then-add reduction order — the bitwise-determinism contract the
+//! whole training and reference-inference stack is built on. This module
+//! adds a second, *opt-in* tier for batched inference only:
+//!
+//! * [`KernelPolicy::Exact`] (the default) routes every call to the
+//!   existing scalar kernels, byte-for-byte unchanged.
+//! * [`KernelPolicy::FastMath`] routes the hot products through fused
+//!   multiply-add kernels — a portable scalar [`f32::mul_add`] fallback
+//!   and an x86-64 AVX2+FMA implementation selected by runtime CPU
+//!   feature detection — and the elementwise tanh through a rational
+//!   FMA approximation ([`tanh_fast`], max abs error 2.4e-7).
+//!
+//! FastMath results are *not* bitwise comparable to Exact results (FMA
+//! contracts the intermediate rounding step), but they are **backend
+//! invariant**: the portable and AVX2 kernels compute the same chains of
+//! IEEE-754 fused operations in the same order, so `FastMath` output is
+//! bitwise identical across machines, backends and worker counts. The
+//! two policies therefore form two internally-deterministic universes,
+//! and response provenance records which one produced an answer.
+//!
+//! # Dispatch
+//!
+//! | policy    | backend                      | kernel                            |
+//! |-----------|------------------------------|-----------------------------------|
+//! | Exact     | n/a                          | scalar mul-then-add, [`f32::tanh`] |
+//! | FastMath  | [`Backend::Portable`]        | scalar [`f32::mul_add`] products + rational tanh |
+//! | FastMath  | `Backend::Avx2` (detected)   | AVX2 `_mm256_fmadd_ps` products + 8-lane rational tanh |
+//!
+//! The backend is chosen once per process by
+//! [`is_x86_feature_detected!`](std::arch::is_x86_feature_detected)
+//! (`avx2` *and* `fma`), overridable through the `ETSB_KERNELS`
+//! environment variable: `portable` forces the scalar fallback (how CI
+//! exercises both paths on any host), `native` (or unset) keeps the
+//! detected backend. Unrecognized values fall back to detection — the
+//! override can only *narrow* capability, never enable an instruction
+//! set the host lacks.
+
+use crate::Matrix;
+use std::sync::OnceLock;
+
+mod portable;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+/// Which numeric contract a kernel invocation must honour.
+///
+/// Threaded from `etsb_core`'s prediction entry points down through the
+/// batched RNN forward paths. Training, backward and the per-sample
+/// reference paths never accept a policy: they are always exact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelPolicy {
+    /// The bitwise-determinism contract: fixed ascending-k mul-then-add
+    /// reduction order, identical across batch shapes and worker counts.
+    #[default]
+    Exact,
+    /// Fused multiply-add kernels (portable scalar or AVX2+FMA),
+    /// epsilon-close to `Exact` and bitwise identical across backends.
+    FastMath,
+}
+
+impl KernelPolicy {
+    /// Stable name used in provenance records and bench arm labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPolicy::Exact => "exact",
+            KernelPolicy::FastMath => "fast-math",
+        }
+    }
+}
+
+/// The FastMath kernel implementation in use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Scalar [`f32::mul_add`] kernels; compiled everywhere.
+    Portable,
+    /// AVX2 + FMA intrinsics; selected when the CPU supports both.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl Backend {
+    /// Stable name used in diagnostics and tests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Portable => "portable",
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Runtime CPU-feature detection: AVX2 kernels require both `avx2`
+/// (8-wide f32 vectors) and `fma` (`_mm256_fmadd_ps`).
+fn detected_backend() -> Backend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Backend::Avx2;
+        }
+    }
+    Backend::Portable
+}
+
+/// Resolve the backend for a given `ETSB_KERNELS` value: `portable`
+/// forces the scalar fallback, `native` / unset / unrecognized use
+/// feature detection. The override can only narrow capability — there is
+/// no way to force AVX2 on a host that lacks it, which is what keeps the
+/// dispatch sound.
+fn backend_for(env_override: Option<&str>) -> Backend {
+    match env_override.map(str::trim) {
+        Some("portable") => Backend::Portable,
+        _ => detected_backend(),
+    }
+}
+
+/// The FastMath backend for this process: detection plus the
+/// `ETSB_KERNELS` override, resolved once and cached.
+pub fn active_backend() -> Backend {
+    static CACHE: OnceLock<Backend> = OnceLock::new();
+    *CACHE.get_or_init(|| backend_for(std::env::var("ETSB_KERNELS").ok().as_deref()))
+}
+
+impl Matrix {
+    /// Policy-dispatched [`Matrix::matmul_window_into`]:
+    /// `self[row_start .. row_start+count] @ other` written into `out`.
+    ///
+    /// `Exact` delegates to the pinned scalar kernel unchanged.
+    /// `FastMath` computes each output element as one ascending-k fused
+    /// multiply-add chain from zero — bitwise identical between the
+    /// portable and AVX2 backends (see the module docs), epsilon-close
+    /// to the exact result.
+    // Dispatching into the runtime-verified AVX2 kernels is the one
+    // sanctioned unsafe_code opt-out outside `simd/x86.rs`.
+    #[allow(unsafe_code)]
+    pub fn matmul_window_policy_into(
+        &self,
+        row_start: usize,
+        count: usize,
+        other: &Matrix,
+        out: &mut Matrix,
+        policy: KernelPolicy,
+    ) {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul_window_policy_into: {}x{} @ {}x{} shape mismatch",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        assert!(
+            row_start + count <= self.rows(),
+            "matmul_window_policy_into: window {row_start}+{count} out of {} rows",
+            self.rows()
+        );
+        match policy {
+            KernelPolicy::Exact => self.matmul_window_into(row_start, count, other, out),
+            KernelPolicy::FastMath => {
+                out.resize_zeroed(count, other.cols());
+                match active_backend() {
+                    Backend::Portable => {
+                        portable::matmul_window(self, row_start, count, other, out);
+                    }
+                    #[cfg(target_arch = "x86_64")]
+                    // SAFETY: Backend::Avx2 is only ever produced by
+                    // `detected_backend`, which verified the `avx2` and
+                    // `fma` CPU features at runtime.
+                    Backend::Avx2 => unsafe {
+                        x86::matmul_window(self, row_start, count, other, out);
+                    },
+                }
+                crate::sanitize::assert_finite(
+                    "tensor",
+                    "matmul_window_policy_into",
+                    out.as_slice(),
+                );
+            }
+        }
+    }
+
+    /// Policy-dispatched [`Matrix::matvec_into`]: `self @ v` into `out`.
+    ///
+    /// `FastMath` computes each output element as an eight-lane fused
+    /// multiply-add dot product (lane `l` accumulates indices
+    /// `k ≡ l (mod 8)`), bitwise identical across backends.
+    // Dispatch into runtime-verified AVX2 kernels (see above).
+    #[allow(unsafe_code)]
+    pub fn matvec_policy_into(&self, v: &[f32], out: &mut Vec<f32>, policy: KernelPolicy) {
+        assert_eq!(
+            self.cols(),
+            v.len(),
+            "matvec_policy_into: {}x{} @ vec of len {}",
+            self.rows(),
+            self.cols(),
+            v.len()
+        );
+        match policy {
+            KernelPolicy::Exact => self.matvec_into(v, out),
+            KernelPolicy::FastMath => {
+                out.clear();
+                out.resize(self.rows(), 0.0);
+                match active_backend() {
+                    Backend::Portable => portable::matvec(self, v, out),
+                    #[cfg(target_arch = "x86_64")]
+                    // SAFETY: Backend::Avx2 is only ever produced by
+                    // `detected_backend`, which verified the `avx2` and
+                    // `fma` CPU features at runtime.
+                    Backend::Avx2 => unsafe { x86::matvec(self, v, out) },
+                }
+                crate::sanitize::assert_finite("tensor", "matvec_policy_into", out);
+            }
+        }
+    }
+
+    /// Policy-dispatched [`Matrix::matmul_transposed_into`]:
+    /// `self @ other.T` into `out`, each element one fused multiply-add
+    /// dot product under `FastMath` (same lane scheme as
+    /// [`Matrix::matvec_policy_into`], bitwise identical across
+    /// backends).
+    // Dispatch into runtime-verified AVX2 kernels (see above).
+    #[allow(unsafe_code)]
+    pub fn matmul_transposed_policy_into(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        policy: KernelPolicy,
+    ) {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_transposed_policy_into: {}x{} @ ({}x{})^T shape mismatch",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        match policy {
+            KernelPolicy::Exact => self.matmul_transposed_into(other, out),
+            KernelPolicy::FastMath => {
+                out.resize_zeroed(self.rows(), other.rows());
+                match active_backend() {
+                    Backend::Portable => portable::matmul_transposed(self, other, out),
+                    #[cfg(target_arch = "x86_64")]
+                    // SAFETY: Backend::Avx2 is only ever produced by
+                    // `detected_backend`, which verified the `avx2` and
+                    // `fma` CPU features at runtime.
+                    Backend::Avx2 => unsafe { x86::matmul_transposed(self, other, out) },
+                }
+                crate::sanitize::assert_finite(
+                    "tensor",
+                    "matmul_transposed_policy_into",
+                    out.as_slice(),
+                );
+            }
+        }
+    }
+}
+
+/// Explicit-backend window product, for the dispatch-correctness tests:
+/// callers pick the backend instead of [`active_backend`]. Panics are
+/// impossible for `Avx2` on a non-AVX2 host because the variant cannot
+/// be constructed there (`cfg`-gated).
+// Dispatch into runtime-verified AVX2 kernels (see the policy methods).
+#[allow(unsafe_code)]
+pub fn matmul_window_fast_with(
+    backend: Backend,
+    a: &Matrix,
+    row_start: usize,
+    count: usize,
+    b: &Matrix,
+    out: &mut Matrix,
+) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_window_fast_with: {}x{} @ {}x{} shape mismatch",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert!(
+        row_start + count <= a.rows(),
+        "matmul_window_fast_with: window {row_start}+{count} out of {} rows",
+        a.rows()
+    );
+    out.resize_zeroed(count, b.cols());
+    match backend {
+        Backend::Portable => portable::matmul_window(a, row_start, count, b, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Backend::Avx2 values only exist on hosts where
+        // `detected_backend` verified the `avx2` and `fma` features.
+        Backend::Avx2 => unsafe { x86::matmul_window(a, row_start, count, b, out) },
+    }
+}
+
+/// Explicit-backend fused dot product (the FastMath building block of
+/// `matvec` / `matmul_transposed`), for the dispatch-correctness tests.
+// Dispatch into runtime-verified AVX2 kernels (see the policy methods).
+#[allow(unsafe_code)]
+pub fn dot_fast_with(backend: Backend, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot_fast_with: {} vs {} elements",
+        a.len(),
+        b.len()
+    );
+    match backend {
+        Backend::Portable => portable::dot(a, b),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Backend::Avx2 values only exist on hosts where
+        // `detected_backend` verified the `avx2` and `fma` features.
+        Backend::Avx2 => unsafe { x86::dot(a, b) },
+    }
+}
+
+/// FastMath elementwise tanh in place, on [`active_backend`]: the
+/// rational approximation `x·P(x²)/Q(x²)` evaluated as fused
+/// multiply-add Horner chains — max abs error 2.4e-7 against
+/// [`f32::tanh`], bitwise identical across backends (elementwise, so
+/// there is no reduction order to preserve; both backends run the same
+/// per-element IEEE-754 chain). The Exact tier never calls this: exact
+/// paths keep [`f32::tanh`].
+pub fn tanh_fast(xs: &mut [f32]) {
+    tanh_fast_with(active_backend(), xs);
+    crate::sanitize::assert_finite("tensor", "tanh_fast", xs);
+}
+
+/// Explicit-backend FastMath tanh, for the dispatch-correctness tests.
+// Dispatch into runtime-verified AVX2 kernels (see the policy methods).
+#[allow(unsafe_code)]
+pub fn tanh_fast_with(backend: Backend, xs: &mut [f32]) {
+    match backend {
+        Backend::Portable => portable::tanh_inplace(xs),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Backend::Avx2 values only exist on hosts where
+        // `detected_backend` verified the `avx2` and `fma` features.
+        Backend::Avx2 => unsafe { x86::tanh_inplace(xs) },
+    }
+}
+
+/// Reduce the eight dot-product lanes with the fixed symmetric tree
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` — shared verbatim by the
+/// portable and AVX2 backends so their results stay bitwise identical.
+#[inline]
+pub(crate) fn reduce_lanes(l: &[f32; 8]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+    use crate::ops::max_abs_diff;
+    use rand::Rng;
+
+    fn random_matrix(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+        // Lace in exact zeros so the exact kernels' zero-skip paths and
+        // the fast kernels' no-skip contract are both exercised.
+        Matrix::from_fn(rows, cols, |i, j| {
+            if (i * cols + j).is_multiple_of(7) {
+                0.0
+            } else {
+                rng.gen_range(-1.0..1.0)
+            }
+        })
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(KernelPolicy::Exact.name(), "exact");
+        assert_eq!(KernelPolicy::FastMath.name(), "fast-math");
+        assert_eq!(KernelPolicy::default(), KernelPolicy::Exact);
+        assert_eq!(Backend::Portable.name(), "portable");
+    }
+
+    #[test]
+    fn env_override_narrows_but_never_widens() {
+        assert_eq!(backend_for(Some("portable")), Backend::Portable);
+        assert_eq!(backend_for(Some(" portable ")), Backend::Portable);
+        assert_eq!(backend_for(Some("native")), detected_backend());
+        assert_eq!(backend_for(None), detected_backend());
+        // Unrecognized values fall back to detection.
+        assert_eq!(backend_for(Some("quantum")), detected_backend());
+    }
+
+    #[test]
+    fn exact_policy_is_bitwise_identical_to_the_exact_kernel() {
+        let mut rng = seeded_rng(41);
+        let a = random_matrix(&mut rng, 13, 9);
+        let b = random_matrix(&mut rng, 9, 11);
+        let mut exact = Matrix::default();
+        let mut via_policy = Matrix::default();
+        a.matmul_window_into(2, 7, &b, &mut exact);
+        a.matmul_window_policy_into(2, 7, &b, &mut via_policy, KernelPolicy::Exact);
+        assert_eq!(exact.as_slice(), via_policy.as_slice());
+    }
+
+    #[test]
+    fn fast_math_is_epsilon_close_to_exact() {
+        let mut rng = seeded_rng(42);
+        let a = random_matrix(&mut rng, 24, 86);
+        let b = random_matrix(&mut rng, 86, 64);
+        let mut exact = Matrix::default();
+        let mut fast = Matrix::default();
+        a.matmul_window_policy_into(0, 24, &b, &mut exact, KernelPolicy::Exact);
+        a.matmul_window_policy_into(0, 24, &b, &mut fast, KernelPolicy::FastMath);
+        let diff = max_abs_diff(exact.as_slice(), fast.as_slice());
+        assert!(diff <= 1e-5, "fast-math drifted {diff} from exact");
+    }
+
+    #[test]
+    fn portable_and_native_backends_are_bitwise_identical() {
+        let native = detected_backend();
+        let mut rng = seeded_rng(43);
+        // Odd sizes exercise the j-tail and k-remainder lanes.
+        for (rows, inner, cols) in [(7, 86, 64), (4, 33, 37), (1, 8, 8), (5, 3, 70)] {
+            let a = random_matrix(&mut rng, rows, inner);
+            let b = random_matrix(&mut rng, inner, cols);
+            let mut p = Matrix::default();
+            let mut n = Matrix::default();
+            matmul_window_fast_with(Backend::Portable, &a, 0, rows, &b, &mut p);
+            matmul_window_fast_with(native, &a, 0, rows, &b, &mut n);
+            assert_eq!(
+                p.as_slice(),
+                n.as_slice(),
+                "portable vs {} diverged on {rows}x{inner}x{cols}",
+                native.name()
+            );
+        }
+        for len in [1usize, 7, 8, 9, 64, 129] {
+            let a: Vec<f32> = (0..len)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    }
+                })
+                .collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let p = dot_fast_with(Backend::Portable, &a, &b);
+            let n = dot_fast_with(native, &a, &b);
+            assert_eq!(
+                p.to_bits(),
+                n.to_bits(),
+                "dot lanes diverged at len {len} (portable {p} vs {} {n})",
+                native.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fast_matvec_and_transposed_match_exact_within_epsilon() {
+        let mut rng = seeded_rng(44);
+        let m = random_matrix(&mut rng, 19, 31);
+        let v: Vec<f32> = (0..31).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut exact = Vec::new();
+        let mut fast = Vec::new();
+        m.matvec_policy_into(&v, &mut exact, KernelPolicy::Exact);
+        m.matvec_policy_into(&v, &mut fast, KernelPolicy::FastMath);
+        assert!(max_abs_diff(&exact, &fast) <= 1e-5);
+
+        let other = random_matrix(&mut rng, 13, 31);
+        let mut exact = Matrix::default();
+        let mut fast = Matrix::default();
+        m.matmul_transposed_policy_into(&other, &mut exact, KernelPolicy::Exact);
+        m.matmul_transposed_policy_into(&other, &mut fast, KernelPolicy::FastMath);
+        assert!(max_abs_diff(exact.as_slice(), fast.as_slice()) <= 1e-5);
+    }
+
+    #[test]
+    fn fast_tanh_is_close_to_std_and_backend_invariant() {
+        let native = detected_backend();
+        let mut rng = seeded_rng(45);
+        // 1003 % 8 == 3 exercises the sub-register scalar tail; the
+        // pinned values cover the exact zero and both clamp regions.
+        let mut xs: Vec<f32> = (0..1003).map(|_| rng.gen_range(-9.0..9.0)).collect();
+        xs[0] = 0.0;
+        xs[1] = 20.0;
+        xs[2] = -20.0;
+        let mut p = xs.clone();
+        let mut n = xs.clone();
+        tanh_fast_with(Backend::Portable, &mut p);
+        tanh_fast_with(native, &mut n);
+        for (i, (a, b)) in p.iter().zip(&n).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "fast tanh diverged between portable and {} at element {i}",
+                native.name()
+            );
+        }
+        for (&x, &y) in xs.iter().zip(&p) {
+            let want = x.tanh();
+            assert!(
+                (y - want).abs() <= 5e-7,
+                "fast tanh({x}) = {y}, std = {want}"
+            );
+        }
+        assert_eq!(p[0].to_bits(), 0.0f32.to_bits(), "tanh(0) must stay 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_window_policy_into")]
+    fn policy_window_checks_shapes() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(5, 2);
+        let mut out = Matrix::default();
+        a.matmul_window_policy_into(0, 3, &b, &mut out, KernelPolicy::FastMath);
+    }
+}

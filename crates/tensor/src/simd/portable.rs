@@ -1,0 +1,130 @@
+//! Portable scalar FastMath kernels: [`f32::mul_add`] chains in exactly
+//! the order the AVX2 backend computes them, so the two backends are
+//! bitwise interchangeable (the `ETSB_KERNELS=portable` CI leg asserts
+//! this). Scalar `mul_add` and `_mm256_fmadd_ps` both perform one
+//! IEEE-754 fused multiply-add per element, so identical chains produce
+//! identical bits.
+//!
+//! Callers (the dispatchers in `simd::mod`) validate shapes and
+//! pre-zero the output; these kernels only accumulate.
+
+use super::reduce_lanes;
+use crate::Matrix;
+
+/// FastMath window product into a pre-zeroed `out`:
+/// `out[r][j] = Σ_k a[row_start+r][k] * b[k][j]` as one ascending-k
+/// fused multiply-add chain per output element, no zero-skip. Each
+/// column chain is independent, which is why the AVX2 backend may block
+/// columns freely without changing a single bit.
+// etsb: allow(shape-assert) -- shapes validated by the policy dispatcher.
+pub(super) fn matmul_window(
+    a: &Matrix,
+    row_start: usize,
+    count: usize,
+    b: &Matrix,
+    out: &mut Matrix,
+) {
+    for r in 0..count {
+        let a_row = a.row(row_start + r);
+        let out_row = out.row_mut(r);
+        for (k, &av) in a_row.iter().enumerate() {
+            for (o, &bv) in out_row.iter_mut().zip(b.row(k)) {
+                *o = av.mul_add(bv, *o);
+            }
+        }
+    }
+}
+
+/// FastMath dot product: eight independent fused multiply-add lanes
+/// (lane `l` accumulates indices `k ≡ l (mod 8)` in ascending order,
+/// the remainder continuing lanes `0..len%8`), reduced by the shared
+/// symmetric tree. Mirrors one AVX2 register lane-for-lane.
+// etsb: allow(shape-assert) -- lengths validated by the policy dispatcher.
+pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for (a8, b8) in (&mut ac).zip(&mut bc) {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane = a8[l].mul_add(b8[l], *lane);
+        }
+    }
+    for (l, (&av, &bv)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+        lanes[l] = av.mul_add(bv, lanes[l]);
+    }
+    reduce_lanes(&lanes)
+}
+
+/// Clamp bound of the FastMath tanh approximation: beyond this |x| the
+/// true tanh is 1 to within f32 resolution, so clamping first keeps the
+/// rational form from overflowing without changing the rounded result.
+pub(super) const TANH_CLAMP: f32 = 7.998_811_7;
+
+/// Odd numerator coefficients of the FastMath tanh rational
+/// approximation `x·P(x²) / Q(x²)` (ascending powers x¹..x¹³) — the
+/// classic single-precision fit used across ML runtimes, measured at
+/// max abs error 2.4e-7 against [`f32::tanh`] over the clamped range.
+pub(super) const TANH_ALPHA: [f32; 7] = [
+    4.893_524_6e-3,
+    6.372_619_5e-4,
+    1.485_722_35e-5,
+    5.122_297_3e-8,
+    -8.604_672e-11,
+    2.000_188e-13,
+    -2.760_768_4e-16,
+];
+
+/// Even denominator coefficients of the tanh approximation (ascending
+/// powers x⁰..x⁶).
+pub(super) const TANH_BETA: [f32; 4] =
+    [4.893_525e-3, 2.268_434_7e-3, 1.185_347_1e-4, 1.198_258_4e-6];
+
+/// One FastMath tanh: clamp, then evaluate both polynomials as
+/// descending-degree fused multiply-add (Horner) chains in `x²`, then
+/// one multiply and one division. Every step is a single correctly
+/// rounded IEEE-754 operation, so the AVX2 backend reproduces it bit for
+/// bit by running the same chain per lane.
+#[inline]
+pub(super) fn tanh_one(x: f32) -> f32 {
+    let x = x.clamp(-TANH_CLAMP, TANH_CLAMP);
+    let x2 = x * x;
+    let mut p = TANH_ALPHA[6];
+    for &a in TANH_ALPHA[..6].iter().rev() {
+        p = x2.mul_add(p, a);
+    }
+    let p = x * p;
+    let mut q = TANH_BETA[3];
+    for &b in TANH_BETA[..3].iter().rev() {
+        q = x2.mul_add(q, b);
+    }
+    p / q
+}
+
+/// FastMath elementwise tanh in place.
+pub(super) fn tanh_inplace(xs: &mut [f32]) {
+    for x in xs {
+        *x = tanh_one(*x);
+    }
+}
+
+/// FastMath matrix–vector product into a pre-sized `out`: one fused
+/// [`dot`] per row.
+// etsb: allow(shape-assert) -- shapes validated by the policy dispatcher.
+pub(super) fn matvec(m: &Matrix, v: &[f32], out: &mut [f32]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = dot(m.row(i), v);
+    }
+}
+
+/// FastMath `a @ b.T` into a pre-shaped `out`: one fused [`dot`] per
+/// element.
+// etsb: allow(shape-assert) -- shapes validated by the policy dispatcher.
+pub(super) fn matmul_transposed(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot(a_row, b.row(j));
+        }
+    }
+}

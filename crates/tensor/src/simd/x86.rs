@@ -1,0 +1,223 @@
+//! AVX2+FMA FastMath kernels. Only compiled on x86-64 and only *run*
+//! after [`super::detected_backend`] has verified the `avx2` and `fma`
+//! CPU features at runtime — the `Backend::Avx2` variant cannot be
+//! constructed any other way.
+//!
+//! # Bitwise contract with the portable backend
+//!
+//! Every output element is the same chain of IEEE-754 fused
+//! multiply-adds the portable kernels compute: `_mm256_fmadd_ps`
+//! performs one fused multiply-add per lane, exactly like scalar
+//! [`f32::mul_add`]. Column blocking (32/8/scalar in `matmul_window`)
+//! regroups *independent* per-column chains and therefore cannot change
+//! a bit; the dot kernel's register lanes and reduction tree mirror the
+//! portable eight-lane scheme index for index.
+//
+// The one sanctioned opt-out from the workspace-wide `unsafe_code`
+// deny: SIMD intrinsics are unsafe by definition, and this module is
+// the blessed home for them (enforced by the `fast-math-confinement`
+// check rule).
+#![allow(unsafe_code)]
+
+use super::portable::{TANH_ALPHA, TANH_BETA, TANH_CLAMP};
+use super::reduce_lanes;
+use crate::Matrix;
+use std::arch::x86_64::{
+    _mm256_div_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_max_ps, _mm256_min_ps, _mm256_mul_ps,
+    _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+};
+
+/// FastMath window product into a pre-zeroed `out` (see
+/// `portable::matmul_window` for the chain definition). Columns are
+/// processed in blocks of 32 (four independent accumulator registers),
+/// then 8, then a scalar [`f32::mul_add`] tail — all computing the same
+/// ascending-k chain per column.
+///
+/// # Safety
+///
+/// The CPU must support `avx2` and `fma`, and the caller must have
+/// validated shapes (`a.cols() == b.rows()`, the row window in bounds)
+/// and shaped `out` to `count x b.cols()`.
+// SAFETY: callers uphold the `# Safety` contract above — `Backend::Avx2`
+// existence proves avx2+fma, and the policy dispatcher validated shapes.
+// etsb: allow(shape-assert) -- shapes validated by the policy dispatcher.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn matmul_window(
+    a: &Matrix,
+    row_start: usize,
+    count: usize,
+    b: &Matrix,
+    out: &mut Matrix,
+) {
+    let cols = b.cols();
+    let bp = b.as_slice().as_ptr();
+    for r in 0..count {
+        let a_row = a.row(row_start + r);
+        let out_row = out.row_mut(r);
+        let op = out_row.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 32 <= cols {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            for (k, &av) in a_row.iter().enumerate() {
+                let va = _mm256_set1_ps(av);
+                // SAFETY: k < b.rows() and j+32 <= cols, so every load
+                // reads inside row k of `b`'s backing slice.
+                let base = bp.add(k * cols + j);
+                acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(base), acc0);
+                acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(base.add(8)), acc1);
+                acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(base.add(16)), acc2);
+                acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(base.add(24)), acc3);
+            }
+            // SAFETY: j+32 <= cols == out_row.len(), so the four stores
+            // stay inside this output row.
+            _mm256_storeu_ps(op.add(j), acc0);
+            _mm256_storeu_ps(op.add(j + 8), acc1);
+            _mm256_storeu_ps(op.add(j + 16), acc2);
+            _mm256_storeu_ps(op.add(j + 24), acc3);
+            j += 32;
+        }
+        while j + 8 <= cols {
+            let mut acc = _mm256_setzero_ps();
+            for (k, &av) in a_row.iter().enumerate() {
+                // SAFETY: k < b.rows() and j+8 <= cols keep the load in
+                // row k of `b`.
+                let bv = _mm256_loadu_ps(bp.add(k * cols + j));
+                acc = _mm256_fmadd_ps(_mm256_set1_ps(av), bv, acc);
+            }
+            // SAFETY: j+8 <= cols == out_row.len().
+            _mm256_storeu_ps(op.add(j), acc);
+            j += 8;
+        }
+        for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
+            let mut acc = 0.0f32;
+            for (k, &av) in a_row.iter().enumerate() {
+                // SAFETY: k < b.rows() and jj < cols index one element
+                // of row k.
+                acc = av.mul_add(*bp.add(k * cols + jj), acc);
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// FastMath dot product: one accumulator register whose lane `l` holds
+/// the ascending chain over indices `k ≡ l (mod 8)`, spilled to the
+/// same eight lanes and reduced by the same tree as the portable
+/// backend.
+///
+/// # Safety
+///
+/// The CPU must support `avx2` and `fma`, and the caller must have
+/// checked `a.len() == b.len()`.
+// SAFETY: callers uphold the `# Safety` contract above — `Backend::Avx2`
+// existence proves avx2+fma, and the policy dispatcher validated lengths.
+// etsb: allow(shape-assert) -- lengths validated by the policy dispatcher.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let chunks = a.len() / 8;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    for c in 0..chunks {
+        // SAFETY: c*8+8 <= a.len() == b.len(), so both loads are in
+        // bounds.
+        let va = _mm256_loadu_ps(ap.add(c * 8));
+        let vb = _mm256_loadu_ps(bp.add(c * 8));
+        acc = _mm256_fmadd_ps(va, vb, acc);
+    }
+    let mut lanes = [0.0f32; 8];
+    // SAFETY: `lanes` is exactly eight contiguous f32s.
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    for (l, lane) in lanes.iter_mut().enumerate().take(a.len() % 8) {
+        let k = chunks * 8 + l;
+        // SAFETY: k < a.len() == b.len() by the remainder bound.
+        *lane = (*ap.add(k)).mul_add(*bp.add(k), *lane);
+    }
+    reduce_lanes(&lanes)
+}
+
+/// FastMath matrix–vector product into a pre-sized `out`: one fused
+/// [`dot`] per row.
+///
+/// # Safety
+///
+/// The CPU must support `avx2` and `fma`, and the caller must have
+/// validated `m.cols() == v.len()` and sized `out` to `m.rows()`.
+// SAFETY: callers uphold the `# Safety` contract above — `Backend::Avx2`
+// existence proves avx2+fma, and the policy dispatcher validated shapes.
+// etsb: allow(shape-assert) -- shapes validated by the policy dispatcher.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn matvec(m: &Matrix, v: &[f32], out: &mut [f32]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        // SAFETY: features hold for this whole fn; row lengths equal
+        // v.len() by the caller's shape check.
+        *o = dot(m.row(i), v);
+    }
+}
+
+/// FastMath `a @ b.T` into a pre-shaped `out`: one fused [`dot`] per
+/// element.
+///
+/// # Safety
+///
+/// The CPU must support `avx2` and `fma`, and the caller must have
+/// validated `a.cols() == b.cols()` and shaped `out` to
+/// `a.rows() x b.rows()`.
+// SAFETY: callers uphold the `# Safety` contract above — `Backend::Avx2`
+// existence proves avx2+fma, and the policy dispatcher validated shapes.
+// etsb: allow(shape-assert) -- shapes validated by the policy dispatcher.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn matmul_transposed(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            // SAFETY: features hold for this whole fn; row lengths
+            // equal by the caller's shape check.
+            *o = dot(a_row, b.row(j));
+        }
+    }
+}
+
+/// FastMath elementwise tanh in place: the rational approximation from
+/// `portable::tanh_one` evaluated eight lanes at a time. Clamp
+/// (min-then-max), both Horner chains, the final multiply and the
+/// division are each one correctly rounded IEEE-754 operation per lane
+/// — the identical chain the scalar kernel runs — so the two backends
+/// agree bit for bit; the sub-register tail reuses the scalar kernel
+/// outright.
+///
+/// # Safety
+///
+/// The CPU must support `avx2` and `fma`.
+// SAFETY: callers uphold the `# Safety` contract above — `Backend::Avx2`
+// existence proves avx2+fma; any slice length is valid.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn tanh_inplace(xs: &mut [f32]) {
+    let hi = _mm256_set1_ps(TANH_CLAMP);
+    let lo = _mm256_set1_ps(-TANH_CLAMP);
+    let mut chunks = xs.chunks_exact_mut(8);
+    for c in &mut chunks {
+        let p8 = c.as_mut_ptr();
+        // SAFETY: `c` is exactly eight contiguous f32s.
+        let x = _mm256_max_ps(_mm256_min_ps(_mm256_loadu_ps(p8), hi), lo);
+        let x2 = _mm256_mul_ps(x, x);
+        let mut p = _mm256_set1_ps(TANH_ALPHA[6]);
+        for &a in TANH_ALPHA[..6].iter().rev() {
+            p = _mm256_fmadd_ps(x2, p, _mm256_set1_ps(a));
+        }
+        let p = _mm256_mul_ps(x, p);
+        let mut q = _mm256_set1_ps(TANH_BETA[3]);
+        for &b in TANH_BETA[..3].iter().rev() {
+            q = _mm256_fmadd_ps(x2, q, _mm256_set1_ps(b));
+        }
+        // SAFETY: same eight lanes the load above read.
+        _mm256_storeu_ps(p8, _mm256_div_ps(p, q));
+    }
+    for x in chunks.into_remainder() {
+        *x = super::portable::tanh_one(*x);
+    }
+}

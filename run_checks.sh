@@ -35,12 +35,18 @@
 #                                         --validate schema-checks it
 #  10. serve_bench smoke + schema        -- serve_bench --smoke writes
 #                                         BENCH_serve.json (3 load
-#                                         steps), its RunManifest
-#                                         sidecar and BENCH_serve.prom;
-#                                         --validate schema-checks the
-#                                         steps, trace_lint gates the
-#                                         manifest and the Prometheus
-#                                         exposition
+#                                         steps, both kernel policies),
+#                                         its RunManifest sidecar and
+#                                         BENCH_serve.prom; --validate
+#                                         schema-checks the steps,
+#                                         trace_lint gates the manifest
+#                                         and the Prometheus exposition
+#  11. forced-portable dispatch          -- fast-math suites again with
+#                                         ETSB_KERNELS=portable, so the
+#                                         scalar fallback (the only
+#                                         backend a non-AVX2 host ever
+#                                         runs) keeps the epsilon and
+#                                         dispatch contracts too
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -111,6 +117,10 @@ EOF
     cargo run -q -p etsb-obs --bin trace_lint -- \
         --manifest "$tmpdir/BENCH_serve.manifest.json" \
         --expo "$tmpdir/BENCH_serve.prom"
+
+    step "forced-portable kernel dispatch (ETSB_KERNELS=portable)"
+    ETSB_KERNELS=portable cargo test -q -p etsb-tensor --test kernel_dispatch
+    ETSB_KERNELS=portable cargo test -q -p etsb-core --test fast_math_equiv
 fi
 
 printf '\nAll checks passed.\n'
