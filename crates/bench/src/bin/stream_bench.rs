@@ -1,0 +1,406 @@
+//! Million-row streaming-throughput benchmark for the chunked detection
+//! pipeline.
+//!
+//! Drives [`etsb_core::stream_predict`] over a deterministic synthetic
+//! [`RowSource`] that *generates* rows on the fly — no table is ever
+//! materialized, on disk or in memory — at two row counts per kernel
+//! policy, and reports cells/sec plus the peak resident chunk and
+//! encode-workspace bytes read back from the metrics registry gauges
+//! the pipeline itself maintains. Because every synthetic value is
+//! fixed-width and drawn from a bounded pool, those peaks must be
+//! **identical across row counts**; the bench (and `--validate`)
+//! fail if they are not, which is the executable form of the O(chunk)
+//! memory claim. Writes `BENCH_stream.json` (schema-checked by
+//! `--validate` and gated in `run_checks.sh`) and a
+//! `BENCH_stream.manifest.json` provenance sidecar.
+//!
+//! ```text
+//! cargo run --release -p etsb-bench --bin stream_bench             # 1M rows
+//! cargo run --release -p etsb-bench --bin stream_bench -- --smoke  # 100k rows
+//! cargo run --release -p etsb-bench --bin stream_bench -- --validate BENCH_stream.json
+//! ```
+
+use etsb_core::config::{CellKind, ExperimentConfig, ModelKind, TrainConfig};
+use etsb_core::manifest::{DatasetInfo, RunManifest};
+use etsb_core::model::AnyModel;
+use etsb_core::{stream_predict, EncodedDataset, KernelPolicy, PredictCache};
+use etsb_obs::json::{self, Value};
+use etsb_table::scan::{scan_stats, FrameScan, RowSource};
+use etsb_table::{AttrIndex, CharIndex, TableError};
+use etsb_tensor::init::seeded_rng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const OUT_FILE: &str = "BENCH_stream.json";
+const CHUNK_ROWS: usize = 4096;
+const SEED: u64 = 11;
+const N_COLS: usize = 4;
+/// Distinct values cycled per column. Bounded so the prediction cache
+/// and the chunk-buffer capacities are independent of the row count.
+const VALUE_POOL: u64 = 512;
+/// Rows used for the one-off dictionary/maxima calibration scan; covers
+/// every character the generator can emit.
+const CALIBRATION_ROWS: usize = 4096;
+/// Two row counts per arm: the memory gauges must not move between them.
+const FULL_ROWS: [usize; 2] = [250_000, 1_000_000];
+const SMOKE_ROWS: [usize; 2] = [25_000, 100_000];
+
+/// Deterministic synthetic dirty/clean row stream. Values are
+/// fixed-width (`v0042-3` / `e0042-3`) draws from a per-column modulo
+/// pool, so the set of string lengths — and therefore every reused
+/// buffer capacity downstream — is the same for any row count. Rows are
+/// a pure function of `(row, col)`; no RNG state, so `reset` is free.
+#[derive(Debug)]
+struct SynthSource {
+    columns: Vec<String>,
+    n_rows: usize,
+    next: usize,
+}
+
+impl SynthSource {
+    fn new(n_rows: usize) -> SynthSource {
+        SynthSource {
+            columns: (0..N_COLS).map(|c| format!("col{c}")).collect(),
+            n_rows,
+            next: 0,
+        }
+    }
+
+    /// Pool index for cell `(r, c)` — a multiplicative hash, not an RNG,
+    /// so any row can be regenerated independently.
+    fn pool_index(r: usize, c: usize) -> u64 {
+        (r as u64)
+            .wrapping_mul(2_654_435_761)
+            .wrapping_add(c as u64 * 97 + SEED)
+            % VALUE_POOL
+    }
+
+    /// Roughly 1 in 13 cells carries an injected error.
+    fn is_error(r: usize, c: usize) -> bool {
+        (r * 31 + c * 7).is_multiple_of(13)
+    }
+}
+
+impl RowSource for SynthSource {
+    fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    fn next_row(
+        &mut self,
+        dirty: &mut Vec<String>,
+        clean: &mut Vec<String>,
+    ) -> Result<bool, TableError> {
+        if self.next == self.n_rows {
+            return Ok(false);
+        }
+        let r = self.next;
+        self.next += 1;
+        dirty.resize_with(N_COLS, String::new);
+        clean.resize_with(N_COLS, String::new);
+        for c in 0..N_COLS {
+            let pool = Self::pool_index(r, c);
+            let truth = &mut clean[c];
+            truth.clear();
+            let _ = write!(truth, "v{pool:04}-{c}");
+            let observed = &mut dirty[c];
+            observed.clear();
+            if Self::is_error(r, c) {
+                let _ = write!(observed, "e{:04}-{c}", (pool + 1) % VALUE_POOL);
+            } else {
+                observed.push_str(truth);
+            }
+        }
+        Ok(true)
+    }
+
+    fn reset(&mut self) -> Result<(), TableError> {
+        self.next = 0;
+        Ok(())
+    }
+}
+
+/// Frozen dictionaries and per-attribute maxima from one calibration
+/// scan, plus the small untrained-but-deterministic detector every arm
+/// shares — mirroring deployment, where the model is trained once and
+/// then streamed over tables of any size.
+struct Frozen {
+    char_index: CharIndex,
+    attr_index: AttrIndex,
+    max_len: Vec<usize>,
+    model: AnyModel,
+}
+
+fn frozen() -> Frozen {
+    let mut source = SynthSource::new(CALIBRATION_ROWS);
+    let (stats, char_index) = scan_stats(&mut source).expect("calibration scan");
+    let attr_index = AttrIndex::from_names(source.columns().to_vec());
+    let train = TrainConfig {
+        rnn_units: 8,
+        attr_rnn_units: 4,
+        head_dim: 8,
+        length_dense_dim: 8,
+        embed_dim: Some(6),
+        cell: CellKind::Vanilla,
+        ..TrainConfig::default()
+    };
+    let dims = EncodedDataset::empty_with_dicts(char_index.clone(), attr_index.clone());
+    let model = AnyModel::new(ModelKind::Etsb, &dims, &train, &mut seeded_rng(SEED));
+    Frozen {
+        char_index,
+        attr_index,
+        max_len: stats.max_len,
+        model,
+    }
+}
+
+struct ArmResult {
+    kernel_policy: &'static str,
+    rows: usize,
+    cells: usize,
+    flagged: usize,
+    elapsed_ns: u64,
+    cells_per_sec: f64,
+    peak_chunk_bytes: u64,
+    peak_encoded_bytes: u64,
+}
+
+impl ArmResult {
+    fn peak_resident_bytes(&self) -> u64 {
+        self.peak_chunk_bytes + self.peak_encoded_bytes
+    }
+
+    fn to_json_value(&self) -> Value {
+        Value::obj([
+            ("kernel_policy".to_string(), Value::from(self.kernel_policy)),
+            ("rows".to_string(), Value::from(self.rows)),
+            ("cells".to_string(), Value::from(self.cells)),
+            ("chunk_rows".to_string(), Value::from(CHUNK_ROWS)),
+            ("flagged".to_string(), Value::from(self.flagged)),
+            ("elapsed_ns".to_string(), Value::from(self.elapsed_ns)),
+            ("cells_per_sec".to_string(), Value::from(self.cells_per_sec)),
+            (
+                "peak_chunk_bytes".to_string(),
+                Value::from(self.peak_chunk_bytes),
+            ),
+            (
+                "peak_encoded_bytes".to_string(),
+                Value::from(self.peak_encoded_bytes),
+            ),
+            (
+                "peak_resident_bytes".to_string(),
+                Value::from(self.peak_resident_bytes()),
+            ),
+        ])
+    }
+}
+
+/// Stream `rows` synthetic rows through the detector and read the
+/// pipeline's own registry gauges back as the memory measurement.
+fn run_arm(
+    frozen: &Frozen,
+    kernel_policy: &'static str,
+    policy: KernelPolicy,
+    rows: usize,
+) -> ArmResult {
+    let mut scan = FrameScan::new(SynthSource::new(rows), frozen.max_len.clone(), CHUNK_ROWS);
+    let mut cache = PredictCache::new(1 << 15);
+    let started = Instant::now();
+    let outcome = stream_predict(
+        &frozen.model,
+        &frozen.char_index,
+        &frozen.attr_index,
+        &mut scan,
+        &mut cache,
+        policy,
+        |_| Ok(()),
+    )
+    .expect("streaming over the synthetic source");
+    let elapsed = started.elapsed();
+
+    let registry = etsb_obs::registry::global();
+    let peak_chunk_bytes = registry.gauge("etsb_stream_chunk_bytes").value() as u64;
+    let peak_encoded_bytes = registry.gauge("etsb_stream_encoded_bytes").value() as u64;
+    // The gauges are the pipeline's own accounting; they must agree with
+    // the outcome the call returned.
+    assert_eq!(peak_chunk_bytes, outcome.peak_chunk_bytes as u64);
+    assert_eq!(peak_encoded_bytes, outcome.peak_encoded_bytes as u64);
+    assert_eq!(outcome.n_rows, rows);
+
+    ArmResult {
+        kernel_policy,
+        rows,
+        cells: outcome.n_cells,
+        flagged: outcome.flagged,
+        elapsed_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        cells_per_sec: outcome.n_cells as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        peak_chunk_bytes,
+        peak_encoded_bytes,
+    }
+}
+
+fn run(row_counts: &[usize]) {
+    // The gauges are the measurement here, so force them on regardless
+    // of ETSB_METRICS.
+    etsb_obs::registry::set_metrics_enabled(true);
+    let frozen = frozen();
+    let mut results = Vec::with_capacity(row_counts.len() * 2);
+    for (kernel_policy, policy) in [
+        ("exact", KernelPolicy::Exact),
+        ("fast-math", KernelPolicy::FastMath),
+    ] {
+        for &rows in row_counts {
+            let arm = run_arm(&frozen, kernel_policy, policy, rows);
+            println!(
+                "{kernel_policy:>9}  rows {rows:>9}  cells {:>9}  {:>12.0} cells/s  peak {:>8} B chunk + {:>8} B encoded",
+                arm.cells, arm.cells_per_sec, arm.peak_chunk_bytes, arm.peak_encoded_bytes,
+            );
+            results.push(arm);
+        }
+        // The executable O(chunk) claim: growing the row count must not
+        // move the resident peak by a single byte.
+        let peaks: Vec<u64> = results
+            .iter()
+            .filter(|a| a.kernel_policy == kernel_policy)
+            .map(ArmResult::peak_resident_bytes)
+            .collect();
+        if peaks.windows(2).any(|w| w[0] != w[1]) {
+            eprintln!(
+                "error: [{kernel_policy}] peak resident bytes vary with row count: {peaks:?}"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let entries: Vec<Value> = results.iter().map(ArmResult::to_json_value).collect();
+    if let Err(e) = std::fs::write(OUT_FILE, Value::Arr(entries).to_json()) {
+        eprintln!("error: writing {OUT_FILE}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {OUT_FILE}");
+
+    // Provenance sidecar in the shape `trace_lint --manifest` validates.
+    let config = ExperimentConfig {
+        model: ModelKind::Etsb,
+        seed: SEED,
+        ..ExperimentConfig::default()
+    };
+    let datasets = results
+        .iter()
+        .map(|a| {
+            DatasetInfo::from_shape(
+                &format!("stream_{}_r{}", a.kernel_policy, a.rows),
+                (a.rows, N_COLS),
+            )
+        })
+        .collect();
+    let manifest = RunManifest::new(&config, results.len(), datasets).with_chunk_rows(CHUNK_ROWS);
+    let stem = OUT_FILE.strip_suffix(".json").unwrap_or(OUT_FILE);
+    let manifest_path = format!("{stem}.manifest.json");
+    if let Err(e) = manifest.write(&manifest_path) {
+        eprintln!("error: writing {manifest_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {manifest_path}");
+}
+
+/// Schema-check a results file: a JSON array covering both kernel
+/// policies, each at two or more distinct row counts, with positive
+/// throughput and — the point of the bench — a `peak_resident_bytes`
+/// that is *identical* across row counts within each policy.
+fn validate(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value = json::parse(&text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let Value::Arr(entries) = value else {
+        return Err("top-level value is not an array".into());
+    };
+    let num = |entry: &Value, key: &str| -> Result<f64, String> {
+        entry
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or(format!("missing number field {key:?}"))
+    };
+    let mut by_policy: std::collections::HashMap<String, Vec<(f64, f64)>> =
+        std::collections::HashMap::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let policy = entry
+            .get("kernel_policy")
+            .and_then(Value::as_str)
+            .ok_or(format!("entry {i}: missing string field 'kernel_policy'"))?;
+        if policy != "exact" && policy != "fast-math" {
+            return Err(format!(
+                "entry {i}: kernel_policy {policy:?} not 'exact' or 'fast-math'"
+            ));
+        }
+        let rows = num(entry, "rows")?;
+        let context = format!("entry {i} ({policy}, {rows} rows)");
+        if rows < 1.0 {
+            return Err(format!("{context}: rows not positive"));
+        }
+        if num(entry, "cells")? < rows {
+            return Err(format!("{context}: fewer cells than rows"));
+        }
+        if num(entry, "chunk_rows")? < 1.0 {
+            return Err(format!("{context}: chunk_rows not positive"));
+        }
+        if num(entry, "cells_per_sec")? <= 0.0 {
+            return Err(format!("{context}: throughput not positive"));
+        }
+        let resident = num(entry, "peak_resident_bytes")?;
+        if resident <= 0.0 {
+            return Err(format!("{context}: peak_resident_bytes not positive"));
+        }
+        if resident != num(entry, "peak_chunk_bytes")? + num(entry, "peak_encoded_bytes")? {
+            return Err(format!("{context}: resident peak is not chunk + encoded"));
+        }
+        by_policy
+            .entry(policy.to_string())
+            .or_default()
+            .push((rows, resident));
+    }
+    for policy in ["exact", "fast-math"] {
+        let arms = by_policy
+            .get(policy)
+            .ok_or(format!("no arms with kernel_policy {policy:?}"))?;
+        let distinct_rows: std::collections::HashSet<u64> =
+            arms.iter().map(|&(rows, _)| rows as u64).collect();
+        if distinct_rows.len() < 2 {
+            return Err(format!(
+                "kernel_policy {policy:?}: need at least 2 distinct row counts to \
+                 witness O(chunk) memory, got {}",
+                distinct_rows.len()
+            ));
+        }
+        let peak = arms[0].1;
+        if arms.iter().any(|&(_, p)| p != peak) {
+            return Err(format!(
+                "kernel_policy {policy:?}: peak_resident_bytes varies with row count \
+                 ({:?})",
+                arms
+            ));
+        }
+    }
+    Ok(entries.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--validate") => {
+            let path = args.get(1).map(String::as_str).unwrap_or(OUT_FILE);
+            match validate(path) {
+                Ok(n) => println!("{path}: {n} arm(s), schema ok"),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("--smoke") => run(&SMOKE_ROWS),
+        None => run(&FULL_ROWS),
+        Some(other) => {
+            eprintln!("error: unknown flag {other} (try --smoke or --validate PATH)");
+            std::process::exit(2);
+        }
+    }
+}

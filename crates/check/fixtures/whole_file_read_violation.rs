@@ -1,0 +1,31 @@
+//! Fixture: whole-file reads on the data path — the three reads below
+//! must fire `no-whole-file-read`, except the test-gated and
+//! allow-annotated sites.
+
+/// Materializes an entire input file — forbidden on the data path.
+pub fn slurp(path: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}
+
+/// Both the byte and the reader form count as whole-file reads.
+pub fn slurp_bytes(path: &str) -> std::io::Result<Vec<u8>> {
+    let bytes = std::fs::read(path)?;
+    let mut text = String::new();
+    use std::io::Read;
+    std::fs::File::open(path)?.read_to_string(&mut text)?;
+    Ok(bytes)
+}
+
+/// Shielded by an allow annotation: not a finding.
+pub fn checkpoint(path: &str) -> std::io::Result<Vec<u8>> {
+    // etsb: allow(no-whole-file-read) -- fixture-bounded checkpoint.
+    std::fs::read(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_reads_are_exempt() {
+        let _ = std::fs::read_to_string("fixture.txt");
+    }
+}

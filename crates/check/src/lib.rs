@@ -42,6 +42,12 @@
 //!   shape assertion before writing through caller-provided buffers.
 //! * **`unsafe-safety-comment`** — every `unsafe` block, fn or impl
 //!   needs a `// SAFETY:` justification.
+//! * **`no-whole-file-read`** — no `read_to_string` / `fs::read` in the
+//!   non-test code of library crates or the CLI: the data path streams
+//!   through `BufRead` so peak memory stays O(chunk), and a whole-file
+//!   read is one large input away from undoing that. Blessed sites
+//!   (bounded model checkpoints, validation tools) carry allow
+//!   annotations.
 //!
 //! The analysis is line-oriented over comment- and string-stripped
 //! source, with a lightweight function-span layer ([`fnmap`]) for the
@@ -110,8 +116,9 @@ pub const INTO_CHECKED_CRATES: [&str; 2] = SHAPE_CHECKED_CRATES;
 /// JSON report and the `--explain` docs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
-    /// Violates the bitwise-reproducibility contract: results can
-    /// silently differ between runs.
+    /// Violates a load-bearing contract of the reproduction — bitwise
+    /// reproducibility (results can silently differ between runs) or
+    /// O(chunk) streaming memory (one large input away from OOM).
     Critical,
     /// Violates a robustness or kernel contract: panics without context,
     /// hidden allocation, unjustified `unsafe`.
@@ -163,6 +170,8 @@ pub enum Rule {
     IntoShapeAssert,
     /// `unsafe` without a `// SAFETY:` justification.
     UnsafeSafetyComment,
+    /// Whole-file read (`read_to_string` / `fs::read`) on the data path.
+    NoWholeFileRead,
 }
 
 impl Rule {
@@ -181,6 +190,7 @@ impl Rule {
             Rule::IntoNoAlloc => "into-no-alloc",
             Rule::IntoShapeAssert => "into-shape-assert",
             Rule::UnsafeSafetyComment => "unsafe-safety-comment",
+            Rule::NoWholeFileRead => "no-whole-file-read",
         }
     }
 
@@ -190,7 +200,7 @@ impl Rule {
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 11] {
+    pub fn all() -> [Rule; 12] {
         [
             Rule::NoUnwrap,
             Rule::NoUnseededRng,
@@ -203,6 +213,7 @@ impl Rule {
             Rule::IntoNoAlloc,
             Rule::IntoShapeAssert,
             Rule::UnsafeSafetyComment,
+            Rule::NoWholeFileRead,
         ]
     }
 
@@ -212,7 +223,8 @@ impl Rule {
             Rule::NoUnseededRng
             | Rule::HashIterOrder
             | Rule::FloatReduceOrder
-            | Rule::FastMathConfinement => Severity::Critical,
+            | Rule::FastMathConfinement
+            | Rule::NoWholeFileRead => Severity::Critical,
             Rule::NoUnwrap
             | Rule::ShapeAssert
             | Rule::IntoNoAlloc
@@ -369,6 +381,23 @@ impl Rule {
                  Allow when: never — if it is sound, the argument can be written\n\
                  down."
             }
+            Rule::NoWholeFileRead => {
+                "no-whole-file-read (critical)\n\
+                 Contract: the data path scales to tables larger than memory by\n\
+                 streaming through BufRead (DESIGN.md section 16); peak residency\n\
+                 is O(chunk_rows x attrs), independent of row count. A\n\
+                 read_to_string or fs::read of an input file re-introduces an\n\
+                 O(file) allocation that silently undoes that bound the day a\n\
+                 table outgrows RAM.\n\
+                 Twin runtime check: the stream_bench gauge assertion (peak\n\
+                 resident bytes identical across row counts) and the\n\
+                 streaming-vs-in-memory equality suite.\n\
+                 Fix: open a BufReader and parse incrementally (CsvReader /\n\
+                 read_table), or stream through a RowSource.\n\
+                 Allow when: the file is bounded by construction — a model\n\
+                 checkpoint, a config, a validation tool's report — and the\n\
+                 comment says so."
+            }
         }
     }
 }
@@ -471,6 +500,16 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
     if ctx.check_unsafe {
         rules::check_unsafe_safety_comment(rel, source, &stripped, &allows, &mut findings);
     }
+    if ctx.check_whole_read {
+        rules::check_no_whole_file_read(
+            rel,
+            source,
+            &stripped,
+            &test_lines,
+            &allows,
+            &mut findings,
+        );
+    }
     findings
 }
 
@@ -486,6 +525,7 @@ struct FileContext {
     check_fast_math: bool,
     check_into: bool,
     check_unsafe: bool,
+    check_whole_read: bool,
 }
 
 impl FileContext {
@@ -520,6 +560,11 @@ impl FileContext {
                 && !rel.starts_with(SIMD_BLESSED_PREFIX),
             check_into: INTO_CHECKED_CRATES.iter().any(|c| in_crate_src(c)),
             check_unsafe: broad_scope && rel.ends_with(".rs"),
+            // Whole-file reads are confined wherever the data path runs:
+            // library crates and the CLI. Dev tooling (check, bench,
+            // obs lint bins) reads its own bounded reports and stays
+            // out of scope.
+            check_whole_read: lib_src || in_crate_src("cli"),
         }
     }
 }

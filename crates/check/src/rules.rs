@@ -161,6 +161,40 @@ pub fn check_no_print(
     }
 }
 
+/// Whole-file read APIs forbidden on the data path (`no-whole-file-read`).
+const WHOLE_READ_TOKENS: [&str; 2] = ["read_to_string(", "fs::read("];
+
+/// Rule `no-whole-file-read`: the data path streams inputs through
+/// `BufRead` so peak memory is O(chunk); a `read_to_string` / `fs::read`
+/// is an O(file) allocation that undoes the bound on large tables.
+/// Bounded reads (model checkpoints, validation-tool reports) carry
+/// allow annotations; test code is exempt.
+pub fn check_no_whole_file_read(
+    rel: &str,
+    source: &str,
+    stripped: &str,
+    test_lines: &[bool],
+    allows: &[HashSet<Rule>],
+    findings: &mut Vec<Finding>,
+) {
+    for (i, line) in stripped.lines().enumerate() {
+        if test_lines.get(i).copied().unwrap_or(false) || allowed(allows, i, Rule::NoWholeFileRead)
+        {
+            continue;
+        }
+        for token in WHOLE_READ_TOKENS {
+            for _ in 0..count_token(line, token) {
+                findings.push(Finding {
+                    rule: Rule::NoWholeFileRead,
+                    file: rel.to_string(),
+                    line: i + 1,
+                    snippet: raw_line(source, i),
+                });
+            }
+        }
+    }
+}
+
 /// Rule `no-unseeded-rng`: all randomness must flow from an explicit
 /// seed; `thread_rng()` / `from_entropy()` make runs unrepeatable.
 pub fn check_no_unseeded_rng(

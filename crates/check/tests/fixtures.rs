@@ -268,6 +268,50 @@ fn unsafe_fixture_reports_unjustified_unsafe() {
 }
 
 #[test]
+fn whole_file_read_fixture_reports_each_slurp() {
+    let findings = scan(
+        include_str!("../fixtures/whole_file_read_violation.rs"),
+        "crates/table/src/fixture.rs",
+    );
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::NoWholeFileRead)
+        .collect();
+    // fs::read_to_string, fs::read, and the Read::read_to_string reader
+    // form; the allow-annotated checkpoint and the #[cfg(test)] read
+    // stay silent.
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![7, 12, 15], "findings: {findings:?}");
+    assert_eq!(
+        findings.len(),
+        hits.len(),
+        "other rules fired: {findings:?}"
+    );
+    // The CLI is on the data path too.
+    let findings = scan(
+        include_str!("../fixtures/whole_file_read_violation.rs"),
+        "crates/cli/src/fixture.rs",
+    );
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == Rule::NoWholeFileRead)
+            .count(),
+        3,
+        "findings: {findings:?}"
+    );
+    // Dev tooling that reads its own bounded reports is out of scope.
+    let findings = scan(
+        include_str!("../fixtures/whole_file_read_violation.rs"),
+        "crates/bench/src/bin/fixture.rs",
+    );
+    assert!(
+        findings.iter().all(|f| f.rule != Rule::NoWholeFileRead),
+        "no-whole-file-read fired outside the data path: {findings:?}"
+    );
+}
+
+#[test]
 fn every_rule_has_explain_docs_and_round_trips() {
     for rule in Rule::all() {
         let doc = rule.explain();
@@ -331,6 +375,10 @@ fn violation_fixtures_fail_check_tree_against_an_empty_baseline() {
         (
             include_str!("../fixtures/unsafe_violation.rs"),
             "crates/tensor/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/whole_file_read_violation.rs"),
+            "crates/table/src/f.rs",
         ),
     ] {
         let sources = vec![(rel.to_string(), fixture.to_string())];

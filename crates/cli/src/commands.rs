@@ -4,14 +4,19 @@ use etsb_core::config::{ExperimentConfig, ModelKind, SamplerKind, TrainConfig};
 use etsb_core::model::AnyModel;
 use etsb_core::persist::{load_detector, save_detector};
 use etsb_core::train::train_model;
-use etsb_core::{sampling, DatasetInfo, EncodedDataset, KernelPolicy, Metrics, RunManifest};
+use etsb_core::{
+    sampling, stream_predict, DatasetInfo, EncodedDataset, KernelPolicy, Metrics, PredictCache,
+    RunManifest,
+};
 use etsb_datasets::{Dataset, GenConfig};
+use etsb_obs::json::Value;
 use etsb_repair::{evaluate, Repairer};
 use etsb_serve::engine::DetectService;
 use etsb_serve::ServeConfig;
+use etsb_table::scan::{scan_stats, CsvSource, FrameScan};
 use etsb_table::{csv, CellFrame, Table};
 use etsb_tensor::init::seeded_rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -24,11 +29,15 @@ commands:
             print Table-2 style statistics for a dataset pair
   detect    --dirty FILE --clean FILE [--model tsb|etsb] [--sampler random|raha|diverset]
             [--tuples N] [--epochs N] [--seed N] [--out FILE] [--save FILE]
-            [--manifest FILE] [--fast-math]
+            [--manifest FILE] [--fast-math] [--chunk-rows N]
             train the detector and report precision/recall/F1; --manifest
             writes a JSON provenance record of the invocation; --fast-math
             scores test cells with the SIMD inference kernels (training
-            stays on the exact bitwise path)
+            stays on the exact bitwise path); --chunk-rows N re-scans the
+            pair from disk and streams --out emission in N-row chunks
+            with O(chunk) memory, byte-identical to the in-memory writer
+            (0 = in-memory); an --out path ending in .jsonl emits one
+            JSON object per flagged cell instead of CSV
   apply     --model FILE --dirty FILE [--out FILE]
             apply a saved detector to new dirty data (no ground truth)
   repair    --dirty FILE --clean FILE [--epochs N] [--seed N] [--out FILE]
@@ -135,23 +144,27 @@ pub fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Shared detection path; returns the frame, encoding and the full-table
+/// Everything `run_detection` produces: the encoding, the full-table
 /// prediction mask (ground truth on labelled tuples, model output
-/// elsewhere).
+/// elsewhere), its metrics, the trained model, the resolved config and
+/// the labelled tuple ids.
+type Detection = (
+    EncodedDataset,
+    Vec<bool>,
+    Metrics,
+    AnyModel,
+    ExperimentConfig,
+    Vec<usize>,
+);
+
+/// Shared detection path; returns the frame, encoding, the full-table
+/// prediction mask (ground truth on labelled tuples, model output
+/// elsewhere) and the labelled tuple ids.
 fn run_detection(
     frame: &CellFrame,
     flags: &HashMap<String, String>,
     policy: KernelPolicy,
-) -> Result<
-    (
-        EncodedDataset,
-        Vec<bool>,
-        Metrics,
-        AnyModel,
-        ExperimentConfig,
-    ),
-    String,
-> {
+) -> Result<Detection, String> {
     let model_kind = match flags.get("model").map(String::as_str) {
         None | Some("etsb") => ModelKind::Etsb,
         Some("tsb") => ModelKind::Tsb,
@@ -206,7 +219,122 @@ fn run_detection(
     for &cell in &train_cells {
         mask[cell] = data.labels[cell];
     }
-    Ok((data, mask, metrics, model, cfg))
+    Ok((data, mask, metrics, model, cfg, sample))
+}
+
+/// Output format of `--out`, chosen by extension (`.jsonl` → JSONL,
+/// anything else → the legacy CSV layout).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EmitFormat {
+    /// `tuple_id,attribute,value,flagged` CSV rows.
+    Csv,
+    /// One JSON object per flagged cell.
+    Jsonl,
+}
+
+impl EmitFormat {
+    fn of(path: &str) -> EmitFormat {
+        if path.ends_with(".jsonl") {
+            EmitFormat::Jsonl
+        } else {
+            EmitFormat::Csv
+        }
+    }
+
+    fn header(self) -> &'static str {
+        match self {
+            EmitFormat::Csv => "tuple_id,attribute,value,flagged\n",
+            EmitFormat::Jsonl => "",
+        }
+    }
+
+    /// Append one flagged cell. Both the in-memory and the streaming
+    /// writers go through here, so their output is identical by
+    /// construction.
+    fn push_line(self, out: &mut String, tuple_id: usize, attr: &str, value: &str) {
+        match self {
+            EmitFormat::Csv => {
+                out.push_str(&format!("{tuple_id},{attr},{value:?},1\n"));
+            }
+            EmitFormat::Jsonl => {
+                let line = Value::obj([
+                    ("tuple_id".to_string(), Value::from(tuple_id)),
+                    ("attribute".to_string(), Value::from(attr)),
+                    ("value".to_string(), Value::from(value)),
+                    ("flagged".to_string(), Value::from(true)),
+                ]);
+                out.push_str(&line.to_json());
+                out.push('\n');
+            }
+        }
+    }
+}
+
+/// Streaming `--out` writer: re-scan the dataset pair from disk and emit
+/// flagged cells chunk-at-a-time through the trained model, so the
+/// emission stage holds O(`chunk_rows` × attrs) cells resident instead
+/// of the whole table. The mask semantics match the in-memory writer
+/// exactly — ground truth on labelled tuples, model output elsewhere —
+/// and the bytes written are identical for every chunk size.
+fn stream_flagged(
+    out_path: &str,
+    flags: &HashMap<String, String>,
+    model: &AnyModel,
+    data: &EncodedDataset,
+    train_tuples: &[usize],
+    chunk_rows: usize,
+    policy: KernelPolicy,
+) -> Result<(), String> {
+    use std::io::Write;
+    let mut source = CsvSource::open(
+        required(flags, "dirty")?,
+        Some(std::path::Path::new(required(flags, "clean")?)),
+    )
+    .map_err(|e| e.to_string())?;
+    // Pass 1: per-attribute maxima (the global length_norm denominators).
+    // The character dictionary is the trained model's, not this pass's.
+    let (stats, _) = scan_stats(&mut source).map_err(|e| e.to_string())?;
+    let mut scan = FrameScan::new(source, stats.max_len, chunk_rows);
+    let columns: Vec<String> = scan.columns().to_vec();
+    let train: HashSet<usize> = train_tuples.iter().copied().collect();
+    let format = EmitFormat::of(out_path);
+    let file = std::fs::File::create(out_path).map_err(|e| e.to_string())?;
+    let mut writer = std::io::BufWriter::new(file);
+    writer
+        .write_all(format.header().as_bytes())
+        .map_err(|e| e.to_string())?;
+    // Dedups repeated values across chunk boundaries; bitwise neutral.
+    let mut cache = PredictCache::new(1 << 14);
+    let mut line = String::new();
+    let outcome = stream_predict(
+        model,
+        &data.char_index,
+        &data.attr_index,
+        &mut scan,
+        &mut cache,
+        policy,
+        |chunk| {
+            line.clear();
+            for (i, cell) in chunk.frame.cells().iter().enumerate() {
+                let flag = if train.contains(&cell.tuple_id) {
+                    cell.label
+                } else {
+                    chunk.preds[i]
+                };
+                if flag {
+                    format.push_line(&mut line, cell.tuple_id, &columns[cell.attr], &cell.value_x);
+                }
+            }
+            writer.write_all(line.as_bytes()).map_err(|e| e.to_string())
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "streamed {} rows ({} cells) in chunks of {chunk_rows}: peak {} B chunk + {} B encoded",
+        outcome.n_rows, outcome.n_cells, outcome.peak_chunk_bytes, outcome.peak_encoded_bytes
+    );
+    Ok(())
 }
 
 /// `etsb detect`.
@@ -228,8 +356,17 @@ pub fn detect(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         &args,
         &[
-            "dirty", "clean", "model", "sampler", "tuples", "epochs", "seed", "out", "save",
+            "dirty",
+            "clean",
+            "model",
+            "sampler",
+            "tuples",
+            "epochs",
+            "seed",
+            "out",
+            "save",
             "manifest",
+            "chunk-rows",
         ],
     )?;
     let policy = if fast_math {
@@ -237,14 +374,15 @@ pub fn detect(args: &[String]) -> Result<(), String> {
     } else {
         KernelPolicy::Exact
     };
+    let chunk_rows: usize = parse_or(&flags, "chunk-rows", 0)?;
     let (_, _, frame) = load_pair(&flags)?;
-    let (data, mask, metrics, model, cfg) = run_detection(&frame, &flags, policy)?;
+    let (data, mask, metrics, model, cfg, sample) = run_detection(&frame, &flags, policy)?;
     if let Some(path) = flags.get("manifest") {
         let info = DatasetInfo::from_shape(
             required(&flags, "dirty")?,
             (frame.n_tuples(), frame.n_attrs()),
         );
-        let manifest = RunManifest::new(&cfg, 1, vec![info]);
+        let manifest = RunManifest::new(&cfg, 1, vec![info]).with_chunk_rows(chunk_rows);
         manifest.write(path).map_err(|e| e.to_string())?;
         println!("wrote run manifest to {path}");
     }
@@ -258,18 +396,23 @@ pub fn detect(args: &[String]) -> Result<(), String> {
         metrics.precision, metrics.recall, metrics.f1, metrics.tp, metrics.fp, metrics.fn_
     );
     if let Some(out) = flags.get("out") {
-        let mut csv_text = String::from("tuple_id,attribute,value,flagged\n");
-        for (i, cell) in frame.cells().iter().enumerate() {
-            if mask[i] {
-                csv_text.push_str(&format!(
-                    "{},{},{:?},1\n",
-                    cell.tuple_id,
-                    frame.attrs()[cell.attr],
-                    cell.value_x
-                ));
+        if chunk_rows > 0 {
+            stream_flagged(out, &flags, &model, &data, &sample, chunk_rows, policy)?;
+        } else {
+            let format = EmitFormat::of(out);
+            let mut text = String::from(format.header());
+            for (i, cell) in frame.cells().iter().enumerate() {
+                if mask[i] {
+                    format.push_line(
+                        &mut text,
+                        cell.tuple_id,
+                        &frame.attrs()[cell.attr],
+                        &cell.value_x,
+                    );
+                }
             }
+            std::fs::write(out, text).map_err(|e| e.to_string())?;
         }
-        std::fs::write(out, csv_text).map_err(|e| e.to_string())?;
         println!("wrote flagged cells to {out}");
     }
     Ok(())
@@ -278,6 +421,7 @@ pub fn detect(args: &[String]) -> Result<(), String> {
 /// `etsb apply`.
 pub fn apply(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["model", "dirty", "out"])?;
+    // etsb: allow(no-whole-file-read) -- model checkpoints are bounded.
     let bytes = std::fs::read(required(&flags, "model")?).map_err(|e| e.to_string())?;
     let detector = load_detector(&bytes).map_err(|e| e.to_string())?;
     let dirty = csv::read_file(required(&flags, "dirty")?).map_err(|e| e.to_string())?;
@@ -364,6 +508,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         prob_threshold: parse_or(&flags, "threshold", defaults.prob_threshold)?,
         fast_math,
     };
+    // etsb: allow(no-whole-file-read) -- model checkpoints are bounded.
     let bytes = std::fs::read(required(&flags, "model")?).map_err(|e| e.to_string())?;
     let detector = load_detector(&bytes).map_err(|e| e.to_string())?;
     eprintln!(
@@ -414,7 +559,7 @@ pub fn repair(args: &[String]) -> Result<(), String> {
     let (dirty, _, frame) = load_pair(&flags)?;
     // Repair quality is compared against exact-path baselines; keep it
     // on the bitwise kernels.
-    let (_, mask, metrics, _, _) = run_detection(&frame, &flags, KernelPolicy::Exact)?;
+    let (_, mask, metrics, _, _, _) = run_detection(&frame, &flags, KernelPolicy::Exact)?;
     println!("detection F1 {:.3}", metrics.f1);
 
     let repairer = Repairer::fit(&frame, &mask);
@@ -484,6 +629,27 @@ mod tests {
         assert_eq!(dirty.n_cols(), 10);
         std::fs::remove_file(d).ok();
         std::fs::remove_file(c).ok();
+    }
+
+    #[test]
+    fn emit_format_is_chosen_by_extension_and_lines_are_stable() {
+        assert_eq!(EmitFormat::of("out.csv"), EmitFormat::Csv);
+        assert_eq!(EmitFormat::of("out"), EmitFormat::Csv);
+        assert_eq!(EmitFormat::of("out.jsonl"), EmitFormat::Jsonl);
+
+        let mut csv_text = String::from(EmitFormat::Csv.header());
+        EmitFormat::Csv.push_line(&mut csv_text, 3, "zip", "a\"b");
+        assert_eq!(
+            csv_text,
+            "tuple_id,attribute,value,flagged\n3,zip,\"a\\\"b\",1\n"
+        );
+
+        let mut jsonl = String::from(EmitFormat::Jsonl.header());
+        EmitFormat::Jsonl.push_line(&mut jsonl, 3, "zip", "ok");
+        assert_eq!(
+            jsonl,
+            "{\"attribute\":\"zip\",\"flagged\":true,\"tuple_id\":3,\"value\":\"ok\"}\n"
+        );
     }
 
     #[test]

@@ -1,7 +1,29 @@
 //! Encoding of a merged [`CellFrame`] into model inputs, and the
 //! train/test split by tuple id.
 
-use etsb_table::{AttrIndex, CellFrame, CharIndex, Table, TableError, MAX_VALUE_LEN};
+use etsb_table::{normalize_value, AttrIndex, CellFrame, CharIndex, Table, TableError};
+
+/// Encode one **already-normalized** value against a frozen [`CharIndex`]
+/// and return its `length_norm` against a caller-supplied per-attribute
+/// maximum — the single frozen-dict encode rule shared by serve-request
+/// encoding ([`EncodedDataset::from_request_cells`]) and the streaming
+/// chunk encoder ([`crate::stream`]). The formula is byte-for-byte the
+/// one `CellFrame::merge` uses, which is what keeps every frozen-dict
+/// path bitwise identical to the in-memory merge.
+pub(crate) fn encode_frozen_into(
+    char_index: &CharIndex,
+    value: &str,
+    col_max: usize,
+    seq: &mut Vec<usize>,
+) -> f32 {
+    char_index.encode_into(value, seq);
+    let len = value.chars().count();
+    if col_max == 0 {
+        0.0
+    } else {
+        len as f32 / col_max as f32
+    }
+}
 
 /// Model-ready encoding of every cell of a dataset.
 ///
@@ -128,21 +150,13 @@ impl EncodedDataset {
         char_index: &CharIndex,
         attr_index: &AttrIndex,
     ) -> Result<Self, TableError> {
-        let normalize = |raw: &str| -> String {
-            let trimmed = raw.trim_start();
-            if trimmed.chars().count() > MAX_VALUE_LEN {
-                trimmed.chars().take(MAX_VALUE_LEN).collect()
-            } else {
-                trimmed.to_string()
-            }
-        };
         let mut max_len = vec![0usize; attr_index.len()];
         let mut normed = Vec::with_capacity(cells.len());
         for &(attr, value) in cells {
             if attr >= attr_index.len() {
                 return Err(TableError::UnknownColumn(format!("attribute id {attr}")));
             }
-            let value = normalize(value);
+            let value = normalize_value(value);
             max_len[attr] = max_len[attr].max(value.chars().count());
             normed.push((attr, value));
         }
@@ -150,14 +164,15 @@ impl EncodedDataset {
         let mut attr_ids = Vec::with_capacity(cells.len());
         let mut length_norms = Vec::with_capacity(cells.len());
         for (attr, value) in &normed {
-            sequences.push(char_index.encode(value));
+            let mut seq = Vec::new();
+            length_norms.push(encode_frozen_into(
+                char_index,
+                value,
+                max_len[*attr],
+                &mut seq,
+            ));
+            sequences.push(seq);
             attr_ids.push(*attr);
-            let len = value.chars().count();
-            length_norms.push(if max_len[*attr] == 0 {
-                0.0
-            } else {
-                len as f32 / max_len[*attr] as f32
-            });
         }
         Ok(Self {
             sequences,

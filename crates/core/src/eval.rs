@@ -47,6 +47,21 @@ impl Metrics {
                 (false, false) => tn += 1,
             }
         }
+        Self::from_counts(tp, fp, fn_, tn)
+    }
+
+    /// Compute metrics from a raw confusion matrix.
+    ///
+    /// The ratios are derived from the integer counts alone, so chunked
+    /// evaluation that accumulates `tp/fp/fn/tn` per chunk and finishes
+    /// through this constructor is bitwise identical to a single
+    /// [`Metrics::from_predictions`] call over the whole cell stream.
+    ///
+    /// # Panics
+    /// If all four counts are zero (an empty evaluation).
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize, tn: usize) -> Self {
+        let total = tp + fp + fn_ + tn;
+        assert!(total > 0, "Metrics: empty evaluation");
         let precision = if tp + fp == 0 {
             if tp + fn_ == 0 {
                 1.0
@@ -66,7 +81,7 @@ impl Metrics {
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        let accuracy = (tp + tn) as f64 / preds.len() as f64;
+        let accuracy = (tp + tn) as f64 / total as f64;
         Self {
             tp,
             fp,
@@ -183,6 +198,24 @@ mod tests {
         let m = Metrics::from_predictions(&[false, false], &[false, false]);
         assert_eq!(m.precision, 1.0);
         assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn from_counts_matches_from_predictions() {
+        let preds = [true, true, true, false, false];
+        let labels = [true, true, false, true, false];
+        let whole = Metrics::from_predictions(&preds, &labels);
+        let counted = Metrics::from_counts(whole.tp, whole.fp, whole.fn_, whole.tn);
+        assert_eq!(whole.precision.to_bits(), counted.precision.to_bits());
+        assert_eq!(whole.recall.to_bits(), counted.recall.to_bits());
+        assert_eq!(whole.f1.to_bits(), counted.f1.to_bits());
+        assert_eq!(whole.accuracy.to_bits(), counted.accuracy.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation")]
+    fn from_counts_rejects_empty() {
+        let _ = Metrics::from_counts(0, 0, 0, 0);
     }
 
     #[test]

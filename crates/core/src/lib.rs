@@ -68,6 +68,8 @@ pub mod pipeline;
 pub mod rotom;
 /// Training-set samplers (RandomSet, DiverSet, ...).
 pub mod sampling;
+/// Chunk-at-a-time streaming detection with O(chunk) memory.
+pub mod stream;
 /// Mini-batch training loop with early stopping.
 pub mod train;
 
@@ -78,3 +80,4 @@ pub use etsb_tensor::KernelPolicy;
 pub use eval::{aggregate, Metrics, Summary};
 pub use manifest::{DatasetInfo, RunManifest};
 pub use pipeline::{run_once, run_repeated, RepeatedResult, RunResult};
+pub use stream::{stream_predict, StreamChunk, StreamError, StreamMetrics, StreamOutcome};

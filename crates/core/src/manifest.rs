@@ -73,6 +73,10 @@ pub struct RunManifest {
     pub features: Vec<String>,
     /// Datasets the invocation runs over.
     pub datasets: Vec<DatasetInfo>,
+    /// Rows per streaming chunk (`None` = in-memory path). Recorded so a
+    /// result produced via `detect --chunk-rows` is distinguishable even
+    /// though the bits are identical.
+    pub chunk_rows: Option<usize>,
 }
 
 impl RunManifest {
@@ -89,7 +93,15 @@ impl RunManifest {
             version: env!("CARGO_PKG_VERSION").to_string(),
             features,
             datasets,
+            chunk_rows: None,
         }
+    }
+
+    /// Record the streaming chunk size used for emission (0 is treated as
+    /// the in-memory path and leaves the manifest unchanged).
+    pub fn with_chunk_rows(mut self, chunk_rows: usize) -> RunManifest {
+        self.chunk_rows = (chunk_rows > 0).then_some(chunk_rows);
+        self
     }
 
     /// The manifest as a JSON value (stable, alphabetical key order).
@@ -146,7 +158,7 @@ impl RunManifest {
             ("train".to_string(), train_json),
             ("seed".to_string(), Value::from(self.config.seed)),
         ]);
-        Value::obj([
+        let mut fields = vec![
             ("seed".to_string(), Value::from(self.seed)),
             ("runs".to_string(), Value::from(self.runs)),
             ("config".to_string(), config_json),
@@ -170,7 +182,11 @@ impl RunManifest {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(chunk_rows) = self.chunk_rows {
+            fields.push(("chunk_rows".to_string(), Value::from(chunk_rows)));
+        }
+        Value::obj(fields)
     }
 
     /// The manifest as a JSON string.
@@ -231,6 +247,23 @@ mod tests {
             .get("workers")
             .and_then(json::Value::as_f64)
             .is_some_and(|w| w >= 1.0));
+    }
+
+    #[test]
+    fn chunk_rows_is_recorded_only_for_streaming_runs() {
+        let legacy = json::parse(&sample().to_json()).expect("parses");
+        assert!(legacy.get("chunk_rows").is_none());
+        let legacy_zero = json::parse(&sample().with_chunk_rows(0).to_json()).expect("parses");
+        assert!(legacy_zero.get("chunk_rows").is_none());
+        let streamed = json::parse(&sample().with_chunk_rows(512).to_json()).expect("parses");
+        assert_eq!(
+            streamed.get("chunk_rows").and_then(json::Value::as_f64),
+            Some(512.0)
+        );
+        // Required keys unaffected either way.
+        for key in etsb_obs::MANIFEST_REQUIRED_KEYS {
+            assert!(streamed.get(key).is_some(), "missing required key {key}");
+        }
     }
 
     #[test]

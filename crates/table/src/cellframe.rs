@@ -14,6 +14,32 @@ use crate::{Table, TableError};
 /// characters … we cut them off").
 pub const MAX_VALUE_LEN: usize = 128;
 
+/// Normalize one raw cell value exactly as [`CellFrame::merge`] does:
+/// trim leading whitespace, then cap at [`MAX_VALUE_LEN`] characters.
+///
+/// This is the single normalization used everywhere a raw string enters
+/// the model's view of the data — the in-memory merge, the streaming
+/// scan and serve-request encoding all call it, which is what makes the
+/// chunked path bitwise-identical to the in-memory one.
+pub fn normalize_value(raw: &str) -> String {
+    let mut out = String::new();
+    normalize_value_into(raw, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`normalize_value`]: clears `out` and
+/// fills it with the normalized value, reusing its capacity.
+pub fn normalize_value_into(raw: &str, out: &mut String) {
+    out.clear();
+    let trimmed = raw.trim_start();
+    for (n, ch) in trimmed.chars().enumerate() {
+        if n == MAX_VALUE_LEN {
+            return;
+        }
+        out.push(ch);
+    }
+}
+
 /// One cell of the merged long-format dataset.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Cell {
@@ -69,20 +95,11 @@ impl CellFrame {
         let (n_rows, n_cols) = dirty.shape();
         let attrs: Vec<String> = clean.columns().to_vec();
 
-        let normalize = |raw: &str| -> String {
-            let trimmed = raw.trim_start();
-            if trimmed.chars().count() > MAX_VALUE_LEN {
-                trimmed.chars().take(MAX_VALUE_LEN).collect()
-            } else {
-                trimmed.to_string()
-            }
-        };
-
         // First pass: per-attribute maximum dirty-value length.
         let mut max_len = vec![0usize; n_cols];
         for r in 0..n_rows {
             for (c, slot) in max_len.iter_mut().enumerate() {
-                let len = normalize(dirty.cell(r, c)).chars().count();
+                let len = normalize_value(dirty.cell(r, c)).chars().count();
                 *slot = (*slot).max(len);
             }
         }
@@ -90,8 +107,8 @@ impl CellFrame {
         let mut cells = Vec::with_capacity(n_rows * n_cols);
         for r in 0..n_rows {
             for (c, &col_max) in max_len.iter().enumerate() {
-                let value_x = normalize(dirty.cell(r, c));
-                let value_y = normalize(clean.cell(r, c));
+                let value_x = normalize_value(dirty.cell(r, c));
+                let value_y = normalize_value(clean.cell(r, c));
                 let len = value_x.chars().count();
                 cells.push(Cell {
                     tuple_id: r,

@@ -4,21 +4,43 @@
 //! embedded newlines inside quoted fields — everything the benchmark
 //! datasets (Movies titles with commas, Rayyan abstracts with quotes)
 //! require. The first record is always treated as the header.
+//!
+//! Reading is incremental: [`CsvReader`] pulls one record at a time from
+//! any [`BufRead`] and parses it into a reusable [`RecordBuf`], so a
+//! million-row file is never resident as a single `String` and
+//! steady-state parsing performs no heap allocations. [`parse`] and
+//! [`read_file`] are thin wrappers over the same state machine.
 
 use crate::{Table, TableError};
+use std::io::BufRead;
 use std::path::Path;
 
 /// Parse CSV text into a [`Table`]. The first record is the header.
 pub fn parse(text: &str) -> Result<Table, TableError> {
-    let records = parse_records(text)?;
-    let mut iter = records.into_iter();
-    let (header, _) = iter.next().ok_or(TableError::Csv {
-        line: 1,
-        message: "empty input".into(),
-    })?;
-    let mut table = Table::new(header);
+    read_table(text.as_bytes())
+}
+
+/// Read and parse a CSV file incrementally (the file is never resident
+/// as one string).
+pub fn read_file(path: impl AsRef<Path>) -> Result<Table, TableError> {
+    let file = std::fs::File::open(path)?;
+    read_table(std::io::BufReader::new(file))
+}
+
+/// Parse a whole table from any buffered reader. The first record is the
+/// header.
+pub fn read_table(input: impl BufRead) -> Result<Table, TableError> {
+    let mut reader = CsvReader::new(input);
+    let mut record = RecordBuf::new();
+    if reader.read_record(&mut record)?.is_none() {
+        return Err(TableError::Csv {
+            line: 1,
+            message: "empty input".into(),
+        });
+    }
+    let mut table = Table::new(record.to_vec());
     let width = table.n_cols();
-    for (record, line) in iter {
+    while let Some(line) = reader.read_record(&mut record)? {
         if record.len() != width {
             return Err(TableError::RaggedRow {
                 line,
@@ -26,15 +48,9 @@ pub fn parse(text: &str) -> Result<Table, TableError> {
                 found: record.len(),
             });
         }
-        table.push_row(record);
+        table.push_row(record.to_vec());
     }
     Ok(table)
-}
-
-/// Read and parse a CSV file.
-pub fn read_file(path: impl AsRef<Path>) -> Result<Table, TableError> {
-    let text = std::fs::read_to_string(path)?;
-    parse(&text)
 }
 
 /// Serialize a [`Table`] to CSV text (header first, `\n` line endings).
@@ -83,83 +99,196 @@ fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
     out.push('\n');
 }
 
-/// State machine CSV record parser. Returns each record with the 1-based
-/// line number it started on (for error messages).
-#[allow(clippy::type_complexity)]
-fn parse_records(text: &str) -> Result<Vec<(Vec<String>, usize)>, TableError> {
-    let mut records = Vec::new();
-    let mut record: Vec<String> = Vec::new();
-    let mut field = String::new();
-    let mut in_quotes = false;
-    let mut line = 1usize;
-    let mut record_start_line = 1usize;
-    let mut chars = text.chars().peekable();
-    let mut any_content = false;
+/// A reusable buffer holding the fields of one CSV record.
+///
+/// Field strings are retained (cleared, not dropped) between records, so
+/// once the buffer has grown to the widest/longest record seen, parsing
+/// further records performs no heap allocations.
+#[derive(Debug, Default)]
+pub struct RecordBuf {
+    fields: Vec<String>,
+    len: usize,
+}
 
-    while let Some(ch) = chars.next() {
-        if in_quotes {
-            match ch {
-                '"' => {
-                    if chars.peek() == Some(&'"') {
-                        chars.next();
-                        field.push('"');
-                    } else {
-                        in_quotes = false;
+impl RecordBuf {
+    /// An empty record buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fields of the most recently parsed record.
+    pub fn fields(&self) -> &[String] {
+        &self.fields[..self.len]
+    }
+
+    /// Number of fields in the current record.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no record.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copy the current record out as owned strings.
+    pub fn to_vec(&self) -> Vec<String> {
+        self.fields().to_vec()
+    }
+
+    /// Reset to a single empty field (every record has at least one).
+    fn start(&mut self) {
+        self.len = 0;
+        self.open_field();
+    }
+
+    /// Terminate the current field and open the next one.
+    fn open_field(&mut self) -> &mut String {
+        if self.len == self.fields.len() {
+            self.fields.push(String::new());
+        }
+        self.fields[self.len].clear();
+        self.len += 1;
+        &mut self.fields[self.len - 1]
+    }
+
+    /// The field currently being filled.
+    fn current(&mut self) -> &mut String {
+        let i = self.len - 1;
+        &mut self.fields[i]
+    }
+}
+
+/// Incremental CSV record reader over any [`BufRead`].
+///
+/// Reads one physical line at a time (continuing across lines while a
+/// quoted field is open) and parses it into a caller-supplied
+/// [`RecordBuf`], so peak memory is one record — never the whole file.
+#[derive(Debug)]
+pub struct CsvReader<R> {
+    input: R,
+    /// Reusable buffer holding the raw bytes of one physical line.
+    line_buf: String,
+    /// 1-based number of the next physical line to be read.
+    next_line: usize,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Wrap a buffered reader positioned at the start of the input.
+    pub fn new(input: R) -> Self {
+        Self {
+            input,
+            line_buf: String::new(),
+            next_line: 1,
+        }
+    }
+
+    /// Read the next record into `record`, returning the 1-based line it
+    /// started on, or `None` at end of input. Blank lines are skipped.
+    ///
+    /// Grammar notes (RFC 4180 with the liberties the benchmark datasets
+    /// need): a quote may only open at the start of a field; `""` inside
+    /// a quoted field is a literal quote; after a closing quote only a
+    /// comma, a line ending or end of input may follow; a bare `\r` that
+    /// is not part of a `\r\n` line ending is field data, not a
+    /// terminator.
+    pub fn read_record(&mut self, record: &mut RecordBuf) -> Result<Option<usize>, TableError> {
+        'next_record: loop {
+            let start_line = self.next_line;
+            record.start();
+            let mut in_quotes = false;
+            let mut after_close = false;
+            let mut any_content = false;
+            let mut started = false;
+            loop {
+                self.line_buf.clear();
+                let n = self
+                    .input
+                    .read_line(&mut self.line_buf)
+                    .map_err(TableError::from)?;
+                if n == 0 {
+                    if in_quotes {
+                        return Err(TableError::Csv {
+                            line: self.next_line,
+                            message: "unterminated quoted field".into(),
+                        });
+                    }
+                    if started
+                        && (any_content || record.len() > 1 || !record.fields()[0].is_empty())
+                    {
+                        return Ok(Some(start_line));
+                    }
+                    return Ok(None);
+                }
+                started = true;
+                let line = self.next_line;
+                let terminated = self.line_buf.ends_with('\n');
+                if terminated {
+                    self.next_line += 1;
+                }
+                let mut chars = self.line_buf.chars().peekable();
+                while let Some(ch) = chars.next() {
+                    if in_quotes {
+                        if ch == '"' {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                record.current().push('"');
+                            } else {
+                                in_quotes = false;
+                                after_close = true;
+                            }
+                        } else {
+                            record.current().push(ch);
+                        }
+                        continue;
+                    }
+                    match ch {
+                        '"' => {
+                            if after_close || !record.current().is_empty() {
+                                return Err(TableError::Csv {
+                                    line,
+                                    message: "quote inside unquoted field".into(),
+                                });
+                            }
+                            in_quotes = true;
+                            any_content = true;
+                        }
+                        ',' => {
+                            record.open_field();
+                            after_close = false;
+                            any_content = true;
+                        }
+                        '\r' if chars.peek() == Some(&'\n') => {
+                            // CRLF: swallow the CR; the LF terminates the
+                            // record on the next iteration.
+                        }
+                        '\n' => {
+                            // End of record (the chunk's final character).
+                        }
+                        _ => {
+                            if after_close {
+                                return Err(TableError::Csv {
+                                    line,
+                                    message: "unexpected text after closing quote".into(),
+                                });
+                            }
+                            record.current().push(ch);
+                            any_content = true;
+                        }
                     }
                 }
-                '\n' => {
-                    line += 1;
-                    field.push('\n');
+                if !in_quotes && terminated {
+                    if !any_content && record.len() == 1 && record.fields()[0].is_empty() {
+                        // Blank line: skip it and look for the next record.
+                        continue 'next_record;
+                    }
+                    return Ok(Some(start_line));
                 }
-                _ => field.push(ch),
-            }
-            continue;
-        }
-        match ch {
-            '"' => {
-                if field.is_empty() {
-                    in_quotes = true;
-                    any_content = true;
-                } else {
-                    return Err(TableError::Csv {
-                        line,
-                        message: "quote inside unquoted field".into(),
-                    });
-                }
-            }
-            ',' => {
-                record.push(std::mem::take(&mut field));
-                any_content = true;
-            }
-            '\r' => {
-                // Swallow; a following \n terminates the record.
-            }
-            '\n' => {
-                if any_content || !field.is_empty() || !record.is_empty() {
-                    record.push(std::mem::take(&mut field));
-                    records.push((std::mem::take(&mut record), record_start_line));
-                }
-                line += 1;
-                record_start_line = line;
-                any_content = false;
-            }
-            _ => {
-                field.push(ch);
-                any_content = true;
+                // Still inside a quoted field (the record spans lines), or
+                // the input ended without a trailing newline — keep going.
             }
         }
     }
-    if in_quotes {
-        return Err(TableError::Csv {
-            line,
-            message: "unterminated quoted field".into(),
-        });
-    }
-    if any_content || !field.is_empty() || !record.is_empty() {
-        record.push(field);
-        records.push((record, record_start_line));
-    }
-    Ok(records)
 }
 
 #[cfg(test)]
@@ -240,5 +369,63 @@ mod tests {
         t.push_row_strs(&["Zürich"]);
         t.push_row_strs(&["東京"]);
         assert_eq!(parse(&to_string(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn bare_cr_outside_quotes_is_field_data() {
+        // A \r not followed by \n is not a line ending; it used to be
+        // silently dropped.
+        let t = parse("a\nx\rb\n").unwrap();
+        assert_eq!(t.cell(0, 0), "x\rb");
+        // And it round-trips because the writer quotes it.
+        assert_eq!(parse(&to_string(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn text_after_closing_quote_is_an_error() {
+        // Used to be silently appended to the field.
+        let err = parse("a\n\"x\"y\n").unwrap_err();
+        assert!(matches!(err, TableError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn quote_reopened_after_close_is_an_error() {
+        let err = parse("a\n\"x\"\"y\"z\n").unwrap_err();
+        assert!(matches!(err, TableError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_line_numbers_stay_accurate() {
+        let t = parse("a\n\n1\n\n2\n").unwrap();
+        assert_eq!(t.shape(), (2, 1));
+        let err = parse("a,b\n\n1\n").unwrap_err();
+        assert!(matches!(err, TableError::RaggedRow { line: 3, .. }));
+    }
+
+    #[test]
+    fn incremental_reader_yields_records_with_start_lines() {
+        let text = "a,b\n\"multi\nline\",2\n3,4\n";
+        let mut reader = CsvReader::new(std::io::BufReader::with_capacity(4, text.as_bytes()));
+        let mut record = RecordBuf::new();
+        assert_eq!(reader.read_record(&mut record).unwrap(), Some(1));
+        assert_eq!(record.fields(), ["a", "b"]);
+        assert_eq!(reader.read_record(&mut record).unwrap(), Some(2));
+        assert_eq!(record.fields(), ["multi\nline", "2"]);
+        assert_eq!(reader.read_record(&mut record).unwrap(), Some(4));
+        assert_eq!(record.fields(), ["3", "4"]);
+        assert_eq!(reader.read_record(&mut record).unwrap(), None);
+    }
+
+    #[test]
+    fn record_buffer_is_reused_across_records() {
+        let text = "a,b\n1,2\n3,4\n";
+        let mut reader = CsvReader::new(text.as_bytes());
+        let mut record = RecordBuf::new();
+        let mut last = Vec::new();
+        while reader.read_record(&mut record).unwrap().is_some() {
+            last = record.to_vec();
+        }
+        // The same buffer served every record; the last one is intact.
+        assert_eq!(last, ["3", "4"]);
     }
 }

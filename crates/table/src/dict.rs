@@ -23,14 +23,11 @@ impl CharIndex {
     /// first-occurrence order, which makes the dictionary deterministic
     /// for a given frame.
     pub fn build(frame: &CellFrame) -> Self {
-        let mut map = HashMap::new();
+        let mut builder = CharIndexBuilder::new();
         for cell in frame.cells() {
-            for ch in cell.value_x.chars() {
-                let next = map.len() + 1;
-                map.entry(ch).or_insert(next);
-            }
+            builder.observe(&cell.value_x);
         }
-        Self { map }
+        builder.finish()
     }
 
     /// Export the dictionary as `(char, index)` pairs sorted by index —
@@ -92,10 +89,20 @@ impl CharIndex {
     /// least one step (the RNN requires non-empty input, and "emptiness"
     /// itself is a signal the model should see).
     pub fn encode(&self, value: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.encode_into(value, &mut out);
+        out
+    }
+
+    /// Allocation-reusing variant of [`Self::encode`]: clears `out` and
+    /// fills it with the index sequence (at least one step).
+    pub fn encode_into(&self, value: &str, out: &mut Vec<usize>) {
+        out.clear();
         if value.is_empty() {
-            return vec![PAD_INDEX];
+            out.push(PAD_INDEX);
+            return;
         }
-        value.chars().map(|ch| self.index_of(ch)).collect()
+        out.extend(value.chars().map(|ch| self.index_of(ch)));
     }
 
     /// Encode and right-pad with `PAD_INDEX` to exactly `len` (values
@@ -110,6 +117,45 @@ impl CharIndex {
             .collect();
         out.resize(len, PAD_INDEX);
         out
+    }
+}
+
+/// Incremental [`CharIndex`] construction for the streaming data path.
+///
+/// Feeding every *normalized* dirty value to [`CharIndexBuilder::observe`]
+/// in row-major order (all attributes of tuple 0, then tuple 1, …)
+/// produces a dictionary identical to [`CharIndex::build`] on the fully
+/// materialized frame: both number characters in first-occurrence order
+/// over the same character stream. `CharIndex::build` is itself
+/// implemented on this builder, so the equivalence is structural, not
+/// coincidental.
+#[derive(Clone, Debug, Default)]
+pub struct CharIndexBuilder {
+    map: HashMap<char, usize>,
+}
+
+impl CharIndexBuilder {
+    /// An empty builder (vocabulary of just the pad slot).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record every character of one normalized dirty value.
+    pub fn observe(&mut self, value: &str) {
+        for ch in value.chars() {
+            let next = self.map.len() + 1;
+            self.map.entry(ch).or_insert(next);
+        }
+    }
+
+    /// Number of distinct characters observed so far.
+    pub fn n_chars(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Freeze the builder into an immutable dictionary.
+    pub fn finish(self) -> CharIndex {
+        CharIndex { map: self.map }
     }
 }
 
@@ -204,6 +250,19 @@ mod tests {
         let idx = CharIndex::build(&frame());
         assert_eq!(idx.encode_padded("ab", 4), vec![1, 2, 0, 0]);
         assert_eq!(idx.encode_padded("abc", 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn incremental_builder_matches_batch_build() {
+        let f = frame();
+        let batch = CharIndex::build(&f);
+        let mut builder = CharIndexBuilder::new();
+        for cell in f.cells() {
+            builder.observe(&cell.value_x);
+        }
+        assert_eq!(builder.n_chars(), batch.n_chars());
+        let inc = builder.finish();
+        assert_eq!(batch.entries(), inc.entries());
     }
 
     #[test]

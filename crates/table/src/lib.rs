@@ -17,6 +17,8 @@
 //!   `length_norm` exactly as Figure 3 describes,
 //! * [`CharIndex`] / [`AttrIndex`] — the value and attribute dictionaries
 //!   of step (4), with index 0 reserved for padding,
+//! * [`scan`] — the streaming counterpart: chunk-at-a-time merge over a
+//!   [`scan::RowSource`] with O(chunk) memory and bit-identical cells,
 //! * [`stats`] — the dataset statistics reported in the paper's Table 2.
 
 #![warn(missing_docs)]
@@ -27,9 +29,10 @@ mod error;
 mod table;
 
 pub mod csv;
+pub mod scan;
 pub mod stats;
 
-pub use cellframe::{Cell, CellFrame, MAX_VALUE_LEN};
-pub use dict::{AttrIndex, CharIndex, PAD_INDEX};
+pub use cellframe::{normalize_value, normalize_value_into, Cell, CellFrame, MAX_VALUE_LEN};
+pub use dict::{AttrIndex, CharIndex, CharIndexBuilder, PAD_INDEX};
 pub use error::TableError;
 pub use table::Table;

@@ -41,7 +41,14 @@
 #                                         schema-checks the steps,
 #                                         trace_lint gates the manifest
 #                                         and the Prometheus exposition
-#  11. forced-portable dispatch          -- fast-math suites again with
+#  11. stream_bench smoke + schema       -- stream_bench --smoke streams
+#                                         100k synthetic rows per policy
+#                                         at two row counts, asserting
+#                                         the resident-memory gauges do
+#                                         not move; --validate schema-
+#                                         checks BENCH_stream.json and
+#                                         trace_lint gates the manifest
+#  12. forced-portable dispatch          -- fast-math suites again with
 #                                         ETSB_KERNELS=portable, so the
 #                                         scalar fallback (the only
 #                                         backend a non-AVX2 host ever
@@ -117,6 +124,14 @@ EOF
     cargo run -q -p etsb-obs --bin trace_lint -- \
         --manifest "$tmpdir/BENCH_serve.manifest.json" \
         --expo "$tmpdir/BENCH_serve.prom"
+
+    step "stream_bench smoke + BENCH_stream.json schema + manifest lint"
+    (cd "$tmpdir" && cargo run --release -q \
+        --manifest-path "$OLDPWD/Cargo.toml" -p etsb-bench --bin stream_bench -- --smoke)
+    cargo run --release -q -p etsb-bench --bin stream_bench -- \
+        --validate "$tmpdir/BENCH_stream.json"
+    cargo run -q -p etsb-obs --bin trace_lint -- \
+        --manifest "$tmpdir/BENCH_stream.manifest.json"
 
     step "forced-portable kernel dispatch (ETSB_KERNELS=portable)"
     ETSB_KERNELS=portable cargo test -q -p etsb-tensor --test kernel_dispatch

@@ -1,0 +1,173 @@
+//! Streaming-vs-in-memory bitwise equality suite.
+//!
+//! The streaming pipeline's contract (DESIGN.md §16) is that chunk
+//! boundaries are *invisible in the bits*: for every chunk size, worker
+//! count and kernel policy, the probabilities, the threshold
+//! predictions, the accumulated metrics and the emitted flagged-cell
+//! bytes are identical to the whole-table in-memory path. This suite
+//! pins that over the hospital benchmark across the full matrix
+//! {1, 7, 64, whole-table} chunks × {1, 2, 4} workers × both
+//! [`KernelPolicy`] arms.
+
+use etsb_core::config::{ModelKind, TrainConfig};
+use etsb_core::model::AnyModel;
+use etsb_core::{
+    stream_predict, EncodedDataset, KernelPolicy, Metrics, PredictCache, StreamMetrics,
+};
+use etsb_datasets::{Dataset, DatasetPair, GenConfig};
+use etsb_nn::parallel::set_worker_override;
+use etsb_table::scan::{scan_stats, FrameScan, TableSource};
+use etsb_table::CellFrame;
+use etsb_tensor::init::seeded_rng;
+
+/// Small enough to keep the full matrix fast; the architecture (both
+/// RNN stacks, attribute embedding, length path) is fully exercised.
+fn small_cfg() -> TrainConfig {
+    TrainConfig {
+        rnn_units: 4,
+        attr_rnn_units: 2,
+        head_dim: 4,
+        length_dense_dim: 2,
+        embed_dim: Some(3),
+        ..TrainConfig::default()
+    }
+}
+
+fn hospital() -> DatasetPair {
+    Dataset::Hospital
+        .generate(&GenConfig {
+            scale: 0.05,
+            seed: 9,
+        })
+        .expect("hospital generation")
+}
+
+/// The CLI's flagged-cell CSV, rendered from an in-memory mask.
+fn emit_reference(frame: &CellFrame, preds: &[bool]) -> String {
+    let mut text = String::from("tuple_id,attribute,value,flagged\n");
+    for (i, cell) in frame.cells().iter().enumerate() {
+        if preds[i] {
+            text.push_str(&format!(
+                "{},{},{:?},1\n",
+                cell.tuple_id,
+                frame.attrs()[cell.attr],
+                cell.value_x
+            ));
+        }
+    }
+    text
+}
+
+#[test]
+fn streaming_matches_in_memory_for_every_chunk_worker_and_policy() {
+    let pair = hospital();
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("merge");
+    let data = EncodedDataset::from_frame(&frame);
+    let model = AnyModel::new(ModelKind::Etsb, &data, &small_cfg(), &mut seeded_rng(5));
+    let all: Vec<usize> = (0..data.n_cells()).collect();
+    let n_rows = frame.n_tuples();
+    let attrs = frame.attrs().to_vec();
+
+    for workers in [1usize, 2, 4] {
+        set_worker_override(workers);
+        for policy in [KernelPolicy::Exact, KernelPolicy::FastMath] {
+            let reference = model.predict_probs_with(&data, &all, policy);
+            let ref_bits: Vec<u32> = reference.iter().map(|p| p.to_bits()).collect();
+            let ref_preds: Vec<bool> = reference.iter().map(|&p| p >= 0.5).collect();
+            let ref_metrics = Metrics::from_predictions(&ref_preds, &data.labels);
+            let ref_bytes = emit_reference(&frame, &ref_preds);
+
+            for chunk_rows in [1usize, 7, 64, n_rows] {
+                let context = format!("workers {workers}, {policy:?}, chunk {chunk_rows}");
+                let mut source = TableSource::pair(&pair.dirty, &pair.clean).expect("table source");
+                let (stats, _) = scan_stats(&mut source).expect("scan stats");
+                let mut scan = FrameScan::new(source, stats.max_len, chunk_rows);
+                let mut cache = PredictCache::new(256);
+                let mut bits: Vec<u32> = Vec::new();
+                let mut metrics = StreamMetrics::new();
+                let mut bytes = String::from("tuple_id,attribute,value,flagged\n");
+                let outcome = stream_predict(
+                    &model,
+                    &data.char_index,
+                    &data.attr_index,
+                    &mut scan,
+                    &mut cache,
+                    policy,
+                    |chunk| {
+                        for (i, cell) in chunk.frame.cells().iter().enumerate() {
+                            bits.push(chunk.probs[i].to_bits());
+                            metrics.observe(chunk.preds[i], cell.label);
+                            if chunk.preds[i] {
+                                bytes.push_str(&format!(
+                                    "{},{},{:?},1\n",
+                                    cell.tuple_id, attrs[cell.attr], cell.value_x
+                                ));
+                            }
+                        }
+                        Ok(())
+                    },
+                )
+                .expect("stream");
+
+                assert_eq!(outcome.n_rows, n_rows, "{context}: row count");
+                assert_eq!(bits, ref_bits, "{context}: probabilities drifted");
+                assert_eq!(bytes, ref_bytes, "{context}: emitted bytes drifted");
+                let streamed = metrics.finish().expect("non-empty metrics");
+                assert_eq!(
+                    (streamed.tp, streamed.fp, streamed.fn_, streamed.tn),
+                    (
+                        ref_metrics.tp,
+                        ref_metrics.fp,
+                        ref_metrics.fn_,
+                        ref_metrics.tn
+                    ),
+                    "{context}: confusion counts drifted"
+                );
+                for (name, a, b) in [
+                    ("precision", streamed.precision, ref_metrics.precision),
+                    ("recall", streamed.recall, ref_metrics.recall),
+                    ("f1", streamed.f1, ref_metrics.f1),
+                    ("accuracy", streamed.accuracy, ref_metrics.accuracy),
+                ] {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{context}: {name} drifted");
+                }
+            }
+        }
+    }
+    set_worker_override(0);
+}
+
+#[test]
+fn shared_cache_and_fresh_cache_streams_agree() {
+    // A cache reused across the whole stream (serving posture) and a
+    // disabled cache must produce the same bits — memoization is an
+    // optimization, never an input.
+    let pair = hospital();
+    let frame = CellFrame::merge(&pair.dirty, &pair.clean).expect("merge");
+    let data = EncodedDataset::from_frame(&frame);
+    let model = AnyModel::new(ModelKind::Etsb, &data, &small_cfg(), &mut seeded_rng(5));
+
+    let run = |capacity: usize| -> Vec<u32> {
+        let mut source = TableSource::pair(&pair.dirty, &pair.clean).expect("table source");
+        let (stats, _) = scan_stats(&mut source).expect("scan stats");
+        let mut scan = FrameScan::new(source, stats.max_len, 16);
+        let mut cache = PredictCache::new(capacity);
+        let mut bits = Vec::new();
+        stream_predict(
+            &model,
+            &data.char_index,
+            &data.attr_index,
+            &mut scan,
+            &mut cache,
+            KernelPolicy::Exact,
+            |chunk| {
+                bits.extend(chunk.probs.iter().map(|p| p.to_bits()));
+                Ok(())
+            },
+        )
+        .expect("stream");
+        bits
+    };
+
+    assert_eq!(run(0), run(4096), "cache capacity changed the bits");
+}

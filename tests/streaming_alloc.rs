@@ -1,0 +1,204 @@
+//! Allocation bounds for the streaming scan path.
+//!
+//! The O(chunk) memory story has two layers. The table layer
+//! ([`FrameScan`] + [`ChunkedFrame`] + the row sources) reuses every
+//! buffer, so a warmed scan performs **zero** heap allocations — pinned
+//! exactly here with a counting allocator. The prediction layer above it
+//! allocates per chunk (probe keys, the per-chunk probability vector),
+//! so its budget is *linear in chunks processed* and independent of the
+//! table's total size — pinned by comparing a double-length stream
+//! against a single-length one.
+//
+// A test-only global allocator shim is a sanctioned unsafe site; the
+// deny-by-default lint stays on everywhere else.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use etsb_core::config::{ModelKind, TrainConfig};
+use etsb_core::model::AnyModel;
+use etsb_core::{stream_predict, EncodedDataset, KernelPolicy, PredictCache};
+use etsb_table::scan::{scan_stats, ChunkedFrame, FrameScan, RowSource};
+use etsb_table::{AttrIndex, TableError};
+use etsb_tensor::init::seeded_rng;
+use std::fmt::Write as _;
+
+/// Counts every allocation (alloc, alloc_zeroed, realloc) while
+/// delegating the actual work to the system allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: every method delegates verbatim to the System allocator after
+// bumping an atomic counter; the GlobalAlloc contract (layout validity,
+// pointer provenance) is upheld by System itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the GlobalAlloc contract; System does the work.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: `layout` is the caller's, passed through unchanged.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: caller upholds the GlobalAlloc contract; System does the work.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: `layout` is the caller's, passed through unchanged.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: caller upholds the GlobalAlloc contract; System does the work.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: `ptr`/`layout` came from this allocator (which is System).
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    // SAFETY: caller upholds the GlobalAlloc contract; System does the work.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` came from this allocator (which is System).
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+const N_COLS: usize = 3;
+
+/// Deterministic fixed-width synthetic rows from a bounded pool — the
+/// same shape of source `stream_bench` uses, small enough for a test.
+#[derive(Debug)]
+struct SynthSource {
+    columns: Vec<String>,
+    n_rows: usize,
+    next: usize,
+}
+
+impl SynthSource {
+    fn new(n_rows: usize) -> SynthSource {
+        SynthSource {
+            columns: (0..N_COLS).map(|c| format!("col{c}")).collect(),
+            n_rows,
+            next: 0,
+        }
+    }
+}
+
+impl RowSource for SynthSource {
+    fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    fn next_row(
+        &mut self,
+        dirty: &mut Vec<String>,
+        clean: &mut Vec<String>,
+    ) -> Result<bool, TableError> {
+        if self.next == self.n_rows {
+            return Ok(false);
+        }
+        let r = self.next;
+        self.next += 1;
+        dirty.resize_with(N_COLS, String::new);
+        clean.resize_with(N_COLS, String::new);
+        for c in 0..N_COLS {
+            let pool = (r * 7 + c * 3) % 16;
+            let truth = &mut clean[c];
+            truth.clear();
+            let _ = write!(truth, "v{pool:02}");
+            let observed = &mut dirty[c];
+            observed.clear();
+            if (r + c).is_multiple_of(5) {
+                let _ = write!(observed, "e{pool:02}");
+            } else {
+                observed.push_str(truth);
+            }
+        }
+        Ok(true)
+    }
+
+    fn reset(&mut self) -> Result<(), TableError> {
+        self.next = 0;
+        Ok(())
+    }
+}
+
+#[test]
+fn warmed_chunk_scan_is_allocation_free() {
+    let mut source = SynthSource::new(64);
+    let (stats, _) = scan_stats(&mut source).expect("scan stats");
+    let mut scan = FrameScan::new(source, stats.max_len, 8);
+    let mut chunk = ChunkedFrame::new();
+
+    // Warm-up: two full passes so every cell string and row buffer
+    // reaches its final capacity.
+    for _ in 0..2 {
+        while scan.next_chunk(&mut chunk).expect("chunk") {}
+        scan.reset().expect("reset");
+    }
+
+    let before = allocations();
+    while scan.next_chunk(&mut chunk).expect("chunk") {}
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warmed chunk scan heap-allocated {} time(s)",
+        after - before
+    );
+}
+
+#[test]
+fn stream_allocations_scale_with_chunks_not_table_size() {
+    let small_cfg = TrainConfig {
+        rnn_units: 4,
+        attr_rnn_units: 2,
+        head_dim: 4,
+        length_dense_dim: 2,
+        embed_dim: Some(3),
+        ..TrainConfig::default()
+    };
+    let mut calibration = SynthSource::new(64);
+    let (stats, char_index) = scan_stats(&mut calibration).expect("calibration");
+    let attr_index = AttrIndex::from_names(calibration.columns().to_vec());
+    let dims = EncodedDataset::empty_with_dicts(char_index.clone(), attr_index.clone());
+    let model = AnyModel::new(ModelKind::Etsb, &dims, &small_cfg, &mut seeded_rng(3));
+
+    let max_len = stats.max_len;
+    let run = |rows: usize| -> usize {
+        let mut scan = FrameScan::new(SynthSource::new(rows), max_len.clone(), 8);
+        // Caching off so the work per chunk is identical across runs.
+        let mut cache = PredictCache::new(0);
+        let before = allocations();
+        stream_predict(
+            &model,
+            &char_index,
+            &attr_index,
+            &mut scan,
+            &mut cache,
+            KernelPolicy::Exact,
+            |_| Ok(()),
+        )
+        .expect("stream");
+        allocations() - before
+    };
+
+    // Warm the buffer pools shared below (worker workspaces etc.).
+    let _ = run(64);
+    let base = run(64);
+    let double = run(128);
+    assert!(base > 0, "counting allocator wired up");
+    // Doubling the table doubles the chunks; the allocation count may
+    // scale with chunks but must not scale any faster (an O(table)
+    // buffer per chunk would show up quadratically here).
+    assert!(
+        double <= 2 * base + 64,
+        "allocations grew faster than the chunk count: {base} for 64 rows, {double} for 128"
+    );
+}
